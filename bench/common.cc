@@ -1,0 +1,112 @@
+#include "bench/common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+
+#include "trace/io.h"
+
+namespace wmesh::bench {
+namespace {
+
+GeneratorConfig bench_config(bool clients_only) {
+  GeneratorConfig c = default_config();
+  if (const char* seed = std::getenv("WMESH_BENCH_SEED")) {
+    c.seed = std::strtoull(seed, nullptr, 10);
+  }
+  if (const char* hours = std::getenv("WMESH_BENCH_HOURS")) {
+    c.probes.duration_s = std::strtod(hours, nullptr) * 3600.0;
+  }
+  if (clients_only) c.probes.duration_s = 0.0;
+  return c;
+}
+
+Dataset make_snapshot(bool clients_only) {
+  if (const char* prefix = std::getenv("WMESH_SNAPSHOT")) {
+    Dataset ds;
+    if (load_dataset(prefix, &ds)) {
+      std::printf("# snapshot: loaded from %s (%zu traces, %zu probe sets)\n",
+                  prefix, ds.networks.size(), ds.total_probe_sets());
+      return ds;
+    }
+    std::fprintf(stderr, "warning: cannot load %s, generating instead\n",
+                 prefix);
+  }
+  const GeneratorConfig c = bench_config(clients_only);
+  std::printf("# snapshot: generating (seed %llu, %.1f h probe trace)...\n",
+              static_cast<unsigned long long>(c.seed),
+              c.probes.duration_s / 3600.0);
+  std::fflush(stdout);
+  Dataset ds = generate_dataset(c);
+  std::printf("# snapshot: %zu traces, %zu APs, %zu probe sets\n",
+              ds.networks.size(), ds.total_aps(), ds.total_probe_sets());
+  return ds;
+}
+
+}  // namespace
+
+const Dataset& snapshot(bool clients_only) {
+  static std::mutex mu;
+  static Dataset ds;
+  static bool made = false;
+  std::lock_guard<std::mutex> lock(mu);
+  if (!made) {
+    ds = make_snapshot(clients_only);
+    made = true;
+  }
+  return ds;
+}
+
+std::string out_dir() {
+  const std::string dir = "bench_out";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+CsvWriter open_csv(const std::string& name) {
+  CsvWriter w(out_dir() + "/" + name + ".csv");
+  w.comment("wmesh bench output: " + name);
+  return w;
+}
+
+void section(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+void emit_cdfs(const std::string& figure, const std::vector<NamedCdf>& cdfs,
+               const std::string& x_label) {
+  std::vector<Series> series;
+  CsvWriter csv = open_csv(figure);
+  csv.row({"series", "value", "fraction"});
+  TextTable quartiles;
+  quartiles.header({"series", "n", "p10", "p25", "median", "p75", "p90"});
+  for (const auto& nc : cdfs) {
+    if (nc.cdf.empty()) continue;
+    Series s;
+    s.name = nc.name;
+    s.points = nc.cdf.curve(120);
+    for (const auto& [v, f] : s.points) {
+      csv.raw_line(nc.name + ',' + fmt(v, 5) + ',' + fmt(f, 5));
+    }
+    quartiles.add_row({nc.name, std::to_string(nc.cdf.size()),
+                       fmt(nc.cdf.value_at(0.10)), fmt(nc.cdf.value_at(0.25)),
+                       fmt(nc.cdf.median()), fmt(nc.cdf.value_at(0.75)),
+                       fmt(nc.cdf.value_at(0.90))});
+    series.push_back(std::move(s));
+  }
+  std::fputs(quartiles.render().c_str(), stdout);
+  std::fputs(ascii_plot(series, 72, 18, x_label, "CDF").c_str(), stdout);
+  std::printf("(csv: %s/%s.csv)\n", out_dir().c_str(), figure.c_str());
+}
+
+int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace wmesh::bench

@@ -1,0 +1,63 @@
+// Shared infrastructure for the figure/table bench binaries.
+//
+// Every binary under bench/ regenerates one of the paper's tables or
+// figures.  The flow is identical everywhere:
+//   1. obtain the snapshot (generated from the default seed, or loaded from
+//      CSV when WMESH_SNAPSHOT=<prefix> is set -- that is how the harness
+//      runs against real traces);
+//   2. compute the figure's series with the core library;
+//   3. print the series as aligned text (+ an ASCII rendition for CDFs);
+//   4. write the series to bench_out/<figure>.csv for plotting;
+//   5. run google-benchmark timings of the underlying analysis kernels.
+//
+// Environment knobs:
+//   WMESH_SNAPSHOT      load this CSV prefix instead of generating
+//   WMESH_BENCH_SEED    generation seed        (default: library default)
+//   WMESH_BENCH_HOURS   probe-trace length     (default: 4 h)
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/generator.h"
+#include "trace/records.h"
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/text_table.h"
+
+namespace wmesh::bench {
+
+// The snapshot shared by everything in one binary.  Generated (or loaded)
+// once, on first use.  `clients_only` skips probe simulation -- the §7
+// binaries only need client data.
+const Dataset& snapshot(bool clients_only = false);
+
+// Directory for CSV output ("bench_out", created on demand).
+std::string out_dir();
+
+// Opens bench_out/<name>.csv with a provenance comment.
+CsvWriter open_csv(const std::string& name);
+
+// Prints a titled section header to stdout.
+void section(const std::string& title);
+
+// Formats a CDF as (value, fraction) rows, downsampled, and writes it both
+// to stdout (ASCII plot) and to the CSV writer as columns named
+// <label>_value,<label>_cdf appended row-wise.
+struct NamedCdf {
+  std::string name;
+  Cdf cdf;
+};
+
+// Prints several CDFs as one ASCII plot and writes them to CSV (long form:
+// series,value,fraction).
+void emit_cdfs(const std::string& figure, const std::vector<NamedCdf>& cdfs,
+               const std::string& x_label);
+
+// Runs google-benchmark with the binary's registered benchmarks.  Returns
+// the process exit code.
+int run_benchmarks(int argc, char** argv);
+
+}  // namespace wmesh::bench

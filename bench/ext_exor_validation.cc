@@ -1,0 +1,89 @@
+// Extension -- Monte-Carlo validation of the §5 methodology.
+// The paper computes opportunistic-routing gains from a closed-form
+// expected-transmission recursion.  This bench replays actual packets
+// through both protocols on sampled pairs of the fleet and reports how
+// closely the simulated transmission counts track the analytic ETX and
+// ExOR costs -- the error should be Monte-Carlo noise, not model error.
+#include "bench/common.h"
+#include "core/exor.h"
+#include "core/exor_sim.h"
+
+using namespace wmesh;
+
+int main(int argc, char** argv) {
+  const Dataset& ds = bench::snapshot();
+
+  bench::section("Extension: packet-level validation of the §5 cost model "
+                 "(1 Mbit/s, ETX1)");
+  CsvWriter csv = bench::open_csv("ext_exor_validation");
+  csv.row({"network", "src", "dst", "etx_analytic", "etx_simulated",
+           "exor_analytic", "exor_simulated"});
+
+  RunningStats etx_err, exor_err;
+  std::size_t sampled = 0;
+  PacketSimParams sim;
+  sim.packets = 1500;
+  for (const auto& nt : ds.networks) {
+    if (nt.info.standard != Standard::kBg || nt.ap_count < 5 ||
+        nt.ap_count > 40) {
+      continue;
+    }
+    const auto success = mean_success_matrix(nt, 0);
+    EtxGraph graph(success, EtxVariant::kEtx1);
+    // Sample a handful of pairs per network (every 7th destination).
+    for (ApId dst = 0; dst < nt.ap_count; dst += 7) {
+      const auto etx_to = graph.shortest_to(dst);
+      const auto exor_to = exor_costs_to(success, etx_to);
+      for (ApId src = 0; src < nt.ap_count; src += 5) {
+        if (src == dst || etx_to[src] == kInfCost ||
+            exor_to[src] == kInfCost) {
+          continue;
+        }
+        Rng rng_a(nt.info.id * 1000003 + src * 131 + dst);
+        Rng rng_b(nt.info.id * 1000033 + src * 137 + dst);
+        const auto etx_sim =
+            simulate_etx_path(success, graph, src, dst, sim, rng_a);
+        const auto exor_sim_res =
+            simulate_exor(success, etx_to, src, dst, sim, rng_b);
+        if (etx_sim.delivered == 0 || exor_sim_res.delivered == 0) continue;
+        ++sampled;
+        etx_err.add((etx_sim.mean_transmissions - etx_to[src]) / etx_to[src]);
+        exor_err.add((exor_sim_res.mean_transmissions - exor_to[src]) /
+                     exor_to[src]);
+        csv.raw_line(std::to_string(nt.info.id) + ',' + std::to_string(src) +
+                     ',' + std::to_string(dst) + ',' + fmt(etx_to[src], 4) +
+                     ',' + fmt(etx_sim.mean_transmissions, 4) + ',' +
+                     fmt(exor_to[src], 4) + ',' +
+                     fmt(exor_sim_res.mean_transmissions, 4));
+      }
+    }
+  }
+
+  TextTable t;
+  t.header({"protocol", "pairs", "mean rel. error", "stddev rel. error"});
+  t.add_row({"ETX shortest path", std::to_string(sampled),
+             fmt(etx_err.mean(), 4), fmt(etx_err.stddev(), 4)});
+  t.add_row({"idealized ExOR", std::to_string(sampled),
+             fmt(exor_err.mean(), 4), fmt(exor_err.stddev(), 4)});
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\n(mean relative error should be ~0: the closed form is "
+              "exact, residuals are Monte-Carlo noise)\n");
+  std::printf("(csv: %s/ext_exor_validation.csv)\n", bench::out_dir().c_str());
+
+  benchmark::RegisterBenchmark("simulate_exor/1500pkts",
+                               [&](benchmark::State& st) {
+                                 const auto& nt = ds.networks.front();
+                                 const auto success =
+                                     mean_success_matrix(nt, 0);
+                                 EtxGraph g(success, EtxVariant::kEtx1);
+                                 const auto etx_to = g.shortest_to(0);
+                                 for (auto _ : st) {
+                                   Rng rng(9);
+                                   benchmark::DoNotOptimize(simulate_exor(
+                                       success, etx_to,
+                                       static_cast<ApId>(nt.ap_count - 1), 0,
+                                       sim, rng));
+                                 }
+                               });
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,84 @@
+// Extension -- the §4.5 proposal as a running protocol.
+// The paper stops at "a trained per-link SNR table could drive (or narrow)
+// rate adaptation".  This bench runs that protocol against SampleRate-style
+// probing, static SNR thresholds, and fixed rates, over identical channel
+// realizations at several link qualities, and reports throughput as a
+// fraction of the per-frame oracle.
+#include "bench/common.h"
+#include "rateadapt/arena.h"
+
+using namespace wmesh;
+
+int main(int argc, char** argv) {
+  bench::section("Extension: rate-adaptation protocols vs link quality");
+  CsvWriter csv = bench::open_csv("ext_rate_adaptation");
+  csv.row({"distance_m", "policy", "mean_mbps", "oracle_mbps",
+           "fraction_of_oracle"});
+
+  // Each (distance, seed) pair is one link realization; policies compete on
+  // identical realizations, and we aggregate across seeds so no single
+  // link's hidden offset decides the story.
+  const double distances[] = {30.0, 40.0, 50.0, 60.0, 70.0};
+  const int kSeeds = 12;
+  TextTable t;
+  t.header({"link (m)", "oracle Mbit/s", "trained-table", "sample-rate",
+            "snr-threshold", "fixed-11M"});
+  for (const double dist : distances) {
+    double oracle_sum = 0.0;
+    double policy_sum[4] = {};
+    std::string names[4];
+    int live = 0;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      ArenaParams params;
+      params.duration_s = 6 * 3600.0;
+      params.frame_interval_s = 20.0;
+      params.link_distance_m = dist;
+      params.seed = 404 + static_cast<std::uint64_t>(seed);
+      std::vector<std::unique_ptr<RatePolicy>> policies;
+      policies.push_back(make_trained_table_policy(Standard::kBg));
+      policies.push_back(make_sample_rate_policy(Standard::kBg));
+      policies.push_back(make_snr_threshold_policy(Standard::kBg));
+      policies.push_back(make_fixed_rate_policy(Standard::kBg, 2));  // 11M
+      const auto results = run_arena_all(policies, params);
+      if (results.front().frames == 0 ||
+          results.front().oracle_throughput_mbps <= 0.01) {
+        continue;
+      }
+      ++live;
+      oracle_sum += results.front().oracle_throughput_mbps;
+      for (int i = 0; i < 4; ++i) {
+        policy_sum[i] += results[static_cast<std::size_t>(i)]
+                             .mean_throughput_mbps;
+        names[i] = results[static_cast<std::size_t>(i)].policy;
+      }
+    }
+    if (live == 0) continue;
+    std::vector<std::string> row = {
+        fmt(dist, 0), fmt(oracle_sum / live, 1)};
+    for (int i = 0; i < 4; ++i) {
+      const double frac = policy_sum[i] / oracle_sum;
+      row.push_back(fmt(100.0 * frac, 1) + "%");
+      csv.raw_line(fmt(dist, 0) + ',' + names[i] + ',' +
+                   fmt(policy_sum[i] / live, 3) + ',' +
+                   fmt(oracle_sum / live, 3) + ',' + fmt(frac, 4));
+    }
+    t.add_row(row);
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\n(the trained table should track the oracle at least as well "
+              "as blind probing, per §4.5)\n");
+  std::printf("(csv: %s/ext_rate_adaptation.csv)\n", bench::out_dir().c_str());
+
+  benchmark::RegisterBenchmark("arena/trained_table_1h",
+                               [](benchmark::State& st) {
+                                 for (auto _ : st) {
+                                   ArenaParams p;
+                                   p.duration_s = 3600.0;
+                                   auto policy =
+                                       make_trained_table_policy(Standard::kBg);
+                                   benchmark::DoNotOptimize(
+                                       run_arena(*policy, p));
+                                 }
+                               });
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,84 @@
+// Extension -- does the distributed routing substrate reach the §5 oracle?
+// The paper's routing analysis assumes converged ETX shortest paths.  This
+// bench runs the DSDV-style protocol (lossy control plane) on every
+// mid-size network and reports rounds-to-stability and the route stretch
+// versus the centralized Dijkstra optimum.
+#include "bench/common.h"
+#include "routing/dsdv.h"
+
+using namespace wmesh;
+
+int main(int argc, char** argv) {
+  const Dataset& ds = bench::snapshot();
+
+  bench::section("Extension: DSDV convergence vs the centralized optimum "
+                 "(1 Mbit/s, ETX1)");
+  CsvWriter csv = bench::open_csv("ext_routing_convergence");
+  csv.row({"network", "aps", "rounds_to_stable", "median_stretch",
+           "p95_stretch", "routed_pair_fraction"});
+
+  TextTable t;
+  t.header({"network", "APs", "rounds", "median stretch", "p95 stretch",
+            "routed pairs"});
+  RunningStats rounds_stats, stretch_stats;
+  for (const auto& nt : ds.networks) {
+    if (nt.info.standard != Standard::kBg || nt.ap_count < 5 ||
+        nt.ap_count > 40) {
+      continue;
+    }
+    const auto success = mean_success_matrix(nt, 0);
+    DsdvMesh mesh(success, DsdvParams{});
+    Rng rng(nt.info.id + 31337);
+    const auto rounds = mesh.run_until_stable(rng, 3, 120);
+    EtxGraph oracle(success, EtxVariant::kEtx1);
+
+    std::vector<double> stretches;
+    std::size_t reachable = 0, routed = 0;
+    for (ApId src = 0; src < nt.ap_count; ++src) {
+      const auto opt = oracle.shortest_from(src);
+      for (ApId dst = 0; dst < nt.ap_count; ++dst) {
+        if (src == dst || opt[dst] == kInfCost) continue;
+        ++reachable;
+        const double s = mesh.stretch(src, dst);
+        if (s > 0.0) {
+          ++routed;
+          stretches.push_back(s);
+        }
+      }
+    }
+    if (stretches.empty()) continue;
+    const double med = median(stretches);
+    const double p95 = quantile(stretches, 0.95);
+    const double routed_frac =
+        static_cast<double>(routed) / static_cast<double>(reachable);
+    t.add_row({std::to_string(nt.info.id), std::to_string(nt.ap_count),
+               std::to_string(rounds), fmt(med, 3), fmt(p95, 3),
+               fmt(100.0 * routed_frac, 1) + "%"});
+    csv.raw_line(std::to_string(nt.info.id) + ',' +
+                 std::to_string(nt.ap_count) + ',' + std::to_string(rounds) +
+                 ',' + fmt(med, 4) + ',' + fmt(p95, 4) + ',' +
+                 fmt(routed_frac, 4));
+    rounds_stats.add(static_cast<double>(rounds));
+    for (double s : stretches) stretch_stats.add(s);
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\nacross networks: mean rounds to stability %.1f, overall "
+              "mean stretch %.4f (1.0 = the oracle the paper assumes)\n",
+              rounds_stats.mean(), stretch_stats.mean());
+  std::printf("(csv: %s/ext_routing_convergence.csv)\n",
+              bench::out_dir().c_str());
+
+  benchmark::RegisterBenchmark("dsdv/run_until_stable",
+                               [&](benchmark::State& st) {
+                                 const auto& nt = ds.networks.front();
+                                 const auto success =
+                                     mean_success_matrix(nt, 0);
+                                 for (auto _ : st) {
+                                   DsdvMesh mesh(success, DsdvParams{});
+                                   Rng rng(1);
+                                   benchmark::DoNotOptimize(
+                                       mesh.run_until_stable(rng, 3, 120));
+                                 }
+                               });
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,31 @@
+// Fig 3.1 -- Standard Deviation of SNR Values.
+// CDFs of the SNR standard deviation within probe sets, per link, and per
+// network.  Paper: probe-set sigma < 5 dB ~97.5% of the time; link and
+// network sigmas progressively larger.
+#include "bench/common.h"
+#include "core/snr_stats.h"
+
+using namespace wmesh;
+
+int main(int argc, char** argv) {
+  const Dataset& ds = bench::snapshot();
+  const auto dev = snr_deviations(ds, Standard::kBg);
+
+  bench::section("Fig 3.1: Standard Deviation of SNR Values (802.11b/g)");
+  bench::emit_cdfs("fig3_1_snr_stddev",
+                   {{"probe-sets", Cdf(dev.per_probe_set)},
+                    {"links", Cdf(dev.per_link)},
+                    {"networks", Cdf(dev.per_network)}},
+                   "Standard Deviation in SNR (dB)");
+
+  const Cdf sets(dev.per_probe_set);
+  std::printf("\nprobe-set sigma < 5 dB: %.1f%%  (paper: ~97.5%%)\n",
+              100.0 * sets.fraction_at_or_below(5.0));
+
+  benchmark::RegisterBenchmark("snr_deviations/bg", [&](benchmark::State& st) {
+    for (auto _ : st) {
+      benchmark::DoNotOptimize(snr_deviations(ds, Standard::kBg));
+    }
+  });
+  return bench::run_benchmarks(argc, argv);
+}

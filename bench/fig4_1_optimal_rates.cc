@@ -1,0 +1,53 @@
+// Fig 4.1 -- Optimal Bit Rates for Different SNRs (802.11b/g).
+// For each integer SNR, which rates were ever the optimal rate of a probe
+// set.  Paper: most SNRs have several ever-optimal rates, so a global
+// SNR->rate table cannot be exact.
+#include "bench/common.h"
+#include "core/rate_selection.h"
+
+using namespace wmesh;
+
+int main(int argc, char** argv) {
+  const Dataset& ds = bench::snapshot();
+  const auto ever = ever_optimal_rates(ds, Standard::kBg);
+  const auto rates = probed_rates(Standard::kBg);
+
+  bench::section("Fig 4.1: Optimal Bit Rates for Different SNRs (802.11b/g)");
+  CsvWriter csv = bench::open_csv("fig4_1_optimal_rates");
+  csv.row({"snr_db", "rate_mbps"});
+
+  TextTable t;
+  t.header({"SNR(dB)", "ever-optimal rates", "#rates"});
+  std::size_t multi = 0, populated = 0;
+  for (std::size_t row = 0; row < ever.table.size(); ++row) {
+    const int snr = ever.snr_min + static_cast<int>(row);
+    std::string names;
+    int count = 0;
+    for (RateIndex r = 0; r < rates.size(); ++r) {
+      if (!ever.table[row][r]) continue;
+      if (!names.empty()) names += ' ';
+      names += std::string(rates[r].name);
+      ++count;
+      csv.raw_line(std::to_string(snr) + ',' + fmt(rates[r].kbps / 1000.0, 1));
+    }
+    if (count == 0) continue;
+    ++populated;
+    multi += count > 1 ? 1 : 0;
+    if (snr % 2 == 0) {  // print every other dB to keep the table compact
+      t.add_row({std::to_string(snr), names, std::to_string(count)});
+    }
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\nSNRs with more than one ever-optimal rate: %zu of %zu "
+              "(paper: the majority)\n",
+              multi, populated);
+
+  benchmark::RegisterBenchmark("ever_optimal_rates/bg",
+                               [&](benchmark::State& st) {
+                                 for (auto _ : st) {
+                                   benchmark::DoNotOptimize(
+                                       ever_optimal_rates(ds, Standard::kBg));
+                                 }
+                               });
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,30 @@
+// Fig 4.2 -- Performance of SNR Look-up Tables, 802.11b/g.
+// Unique bit rates needed to reach the optimal rate 50/80/95% of the time
+// per SNR, for global / network / AP / link tables.  Paper: the count drops
+// as the training scope narrows; per-link, one rate usually suffices.
+#include "bench/common.h"
+#include "bench/lookup_curves.h"
+
+using namespace wmesh;
+
+int main(int argc, char** argv) {
+  const Dataset& ds = bench::snapshot();
+  bench::section("Fig 4.2: Performance of SNR Look-up Tables, 802.11b/g");
+  bench::emit_rates_needed_figure("fig4_2_lookup_bg", Standard::kBg, ds);
+
+  benchmark::RegisterBenchmark("build_lookup_table/bg/link",
+                               [&](benchmark::State& st) {
+                                 for (auto _ : st) {
+                                   benchmark::DoNotOptimize(build_lookup_table(
+                                       ds, Standard::kBg, TableScope::kLink));
+                                 }
+                               });
+  benchmark::RegisterBenchmark("build_lookup_table/bg/global",
+                               [&](benchmark::State& st) {
+                                 for (auto _ : st) {
+                                   benchmark::DoNotOptimize(build_lookup_table(
+                                       ds, Standard::kBg, TableScope::kGlobal));
+                                 }
+                               });
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,23 @@
+// Fig 4.3 -- Performance of SNR Look-up Tables, 802.11n.
+// As Fig 4.2 but for the 16-MCS 802.11n networks.  Paper: each percentile
+// needs more rates than 802.11b/g, and even per-link tables are not always
+// 95% accurate -- but they shrink the probing set substantially.
+#include "bench/common.h"
+#include "bench/lookup_curves.h"
+
+using namespace wmesh;
+
+int main(int argc, char** argv) {
+  const Dataset& ds = bench::snapshot();
+  bench::section("Fig 4.3: Performance of SNR Look-up Tables, 802.11n");
+  bench::emit_rates_needed_figure("fig4_3_lookup_n", Standard::kN, ds);
+
+  benchmark::RegisterBenchmark("build_lookup_table/n/link",
+                               [&](benchmark::State& st) {
+                                 for (auto _ : st) {
+                                   benchmark::DoNotOptimize(build_lookup_table(
+                                       ds, Standard::kN, TableScope::kLink));
+                                 }
+                               });
+  return bench::run_benchmarks(argc, argv);
+}

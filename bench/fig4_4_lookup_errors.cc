@@ -1,0 +1,49 @@
+// Fig 4.4 -- Quantifying Errors in SNR Look-up Tables.
+// CDF of the per-probe-set throughput difference between the optimal rate
+// and the table's choice, for both standards and all four scopes.  Paper:
+// link ~ AP >> network ~ global in b/g; the gap widens for 802.11n; the
+// link table is exactly optimal ~90% (b/g) / ~75% (n) of the time.
+#include "bench/common.h"
+#include "core/lookup_table.h"
+
+using namespace wmesh;
+
+namespace {
+
+void emit_for_standard(const Dataset& ds, Standard std,
+                       const std::string& figure) {
+  std::vector<bench::NamedCdf> cdfs;
+  TextTable t;
+  t.header({"scope", "exact", "mean loss", "p90 loss (Mbit/s)"});
+  for (const TableScope scope :
+       {TableScope::kLink, TableScope::kAp, TableScope::kNetwork,
+        TableScope::kGlobal}) {
+    const auto err = lookup_table_errors(ds, std, scope);
+    const Cdf cdf(err.throughput_diff_mbps);
+    t.add_row({to_string(scope), fmt(100.0 * err.exact_fraction, 1) + "%",
+               fmt(mean(err.throughput_diff_mbps), 3),
+               fmt(cdf.value_at(0.9), 3)});
+    cdfs.push_back({to_string(scope), cdf});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  bench::emit_cdfs(figure, cdfs, "Throughput Difference (Mbit/s)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Dataset& ds = bench::snapshot();
+  bench::section("Fig 4.4(a): Throughput errors of look-up tables, 802.11b/g");
+  emit_for_standard(ds, Standard::kBg, "fig4_4a_lookup_errors_bg");
+  bench::section("Fig 4.4(b): Throughput errors of look-up tables, 802.11n");
+  emit_for_standard(ds, Standard::kN, "fig4_4b_lookup_errors_n");
+
+  benchmark::RegisterBenchmark("lookup_table_errors/bg/link",
+                               [&](benchmark::State& st) {
+                                 for (auto _ : st) {
+                                   benchmark::DoNotOptimize(lookup_table_errors(
+                                       ds, Standard::kBg, TableScope::kLink));
+                                 }
+                               });
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,62 @@
+// Fig 4.5 -- Correlation between SNR and Throughput (802.11b/g).
+// Median throughput (with quartile error bars) versus SNR for each probed
+// rate, over all b/g links.  Paper: throughput rises with SNR until ~30 dB
+// then levels off; variation is widest on the steep part of each curve.
+#include "bench/common.h"
+#include "core/rate_selection.h"
+
+using namespace wmesh;
+
+int main(int argc, char** argv) {
+  const Dataset& ds = bench::snapshot();
+  const auto samples = snr_throughput_samples(ds, Standard::kBg);
+  const auto rates = probed_rates(Standard::kBg);
+
+  bench::section("Fig 4.5: Correlation between SNR and Throughput (802.11b/g)");
+  CsvWriter csv = bench::open_csv("fig4_5_snr_throughput");
+  csv.row({"rate", "snr_db", "n", "p25_mbps", "median_mbps", "p75_mbps"});
+
+  std::vector<Series> series;
+  for (RateIndex r = 0; r < rates.size(); ++r) {
+    Series s;
+    s.name = std::string(rates[r].name);
+    for (std::size_t row = 0; row < samples.samples[r].size(); ++row) {
+      const auto& vals = samples.samples[r][row];
+      if (vals.size() < 20) continue;  // skip sparsely-populated SNRs
+      const int snr = samples.snr_min + static_cast<int>(row);
+      const auto sum = summarize(vals);
+      csv.raw_line(s.name + ',' + std::to_string(snr) + ',' +
+                   std::to_string(sum.count) + ',' + fmt(sum.p25, 3) + ',' +
+                   fmt(sum.median, 3) + ',' + fmt(sum.p75, 3));
+      s.points.emplace_back(static_cast<double>(snr), sum.median);
+    }
+    if (!s.points.empty()) series.push_back(std::move(s));
+  }
+  std::fputs(
+      ascii_plot(series, 72, 22, "SNR (dB)", "Median Throughput (Mbit/s)")
+          .c_str(),
+      stdout);
+
+  // The plateau check the paper calls out.
+  double best_at_30 = 0.0, best_at_45 = 0.0;
+  for (const auto& s : series) {
+    for (const auto& [snr, thr] : s.points) {
+      if (snr >= 29.5 && snr <= 30.5) best_at_30 = std::max(best_at_30, thr);
+      if (snr >= 44.5 && snr <= 45.5) best_at_45 = std::max(best_at_45, thr);
+    }
+  }
+  std::printf("\nbest median throughput at 30 dB: %.1f, at 45 dB: %.1f "
+              "Mbit/s (paper: flat after ~30 dB)\n",
+              best_at_30, best_at_45);
+  std::printf("(csv: %s/fig4_5_snr_throughput.csv)\n", bench::out_dir().c_str());
+
+  benchmark::RegisterBenchmark("snr_throughput_samples/bg",
+                               [&](benchmark::State& st) {
+                                 for (auto _ : st) {
+                                   benchmark::DoNotOptimize(
+                                       snr_throughput_samples(ds,
+                                                              Standard::kBg));
+                                 }
+                               });
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,55 @@
+// Fig 4.6 -- Accuracy of Look-Up Table Strategies (802.11b/g).
+// Prediction accuracy versus the number of probe sets seen on the link, for
+// the First / MostRecent / Subsampled / All update strategies.  Paper: all
+// strategies land between 80% and 90% and are comparable.
+#include "bench/common.h"
+#include "core/strategies.h"
+
+using namespace wmesh;
+
+int main(int argc, char** argv) {
+  const Dataset& ds = bench::snapshot();
+  bench::section("Fig 4.6: Accuracy of Look-Up Table Strategies (802.11b/g)");
+
+  CsvWriter csv = bench::open_csv("fig4_6_strategy_accuracy");
+  csv.row({"strategy", "probe_sets_seen", "accuracy", "predictions"});
+
+  std::vector<Series> series;
+  TextTable t;
+  t.header({"strategy", "overall accuracy"});
+  for (const UpdateStrategy s :
+       {UpdateStrategy::kFirst, UpdateStrategy::kMostRecent,
+        UpdateStrategy::kSubsampled, UpdateStrategy::kAll}) {
+    StrategyParams p;
+    p.strategy = s;
+    const auto res = run_strategy(ds, Standard::kBg, p);
+    Series line;
+    line.name = to_string(s);
+    for (std::size_t round = 1; round < res.accuracy.size(); ++round) {
+      if (res.predictions[round] < 50) continue;  // noisy tail
+      csv.raw_line(std::string(to_string(s)) + ',' + std::to_string(round) +
+                   ',' + fmt(res.accuracy[round], 4) + ',' +
+                   std::to_string(res.predictions[round]));
+      line.points.emplace_back(static_cast<double>(round),
+                               100.0 * res.accuracy[round]);
+    }
+    t.add_row({to_string(s), fmt(100.0 * res.overall_accuracy, 1) + "%"});
+    series.push_back(std::move(line));
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::fputs(ascii_plot(series, 72, 18, "Number of Probe Sets",
+                        "% Accuracy")
+                 .c_str(),
+             stdout);
+  std::printf("(csv: %s/fig4_6_strategy_accuracy.csv)\n",
+              bench::out_dir().c_str());
+
+  benchmark::RegisterBenchmark("run_strategy/all", [&](benchmark::State& st) {
+    StrategyParams p;
+    p.strategy = UpdateStrategy::kAll;
+    for (auto _ : st) {
+      benchmark::DoNotOptimize(run_strategy(ds, Standard::kBg, p));
+    }
+  });
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,51 @@
+// Fig 5.1 -- Improvements from Opportunistic Routing.
+// CDF of the per-pair fractional improvement of idealized opportunistic
+// routing over ETX1 and ETX2, per bit rate, for networks with >= 5 APs.
+// Paper: ETX1 gains are small (median .05-.08, 13-20% of pairs none);
+// ETX2 gains are much larger because of link asymmetry.
+#include "bench/common.h"
+#include "bench/routing_common.h"
+
+using namespace wmesh;
+
+int main(int argc, char** argv) {
+  const Dataset& ds = bench::snapshot();
+  const auto rates = probed_rates(Standard::kBg);
+
+  for (const EtxVariant variant : {EtxVariant::kEtx1, EtxVariant::kEtx2}) {
+    bench::section(std::string("Fig 5.1: improvement over ") +
+                   to_string(variant));
+    std::vector<bench::NamedCdf> cdfs;
+    TextTable t;
+    t.header({"rate", "pairs", "mean", "median", "none (=0)", "none (<1%)"});
+    for (RateIndex r = 0; r < rates.size(); ++r) {
+      const auto per_net = bench::gains_at_rate(ds, r, variant);
+      const auto imps = bench::flatten_improvements(per_net);
+      if (imps.empty()) continue;
+      std::size_t zero = 0, small = 0;
+      for (double v : imps) {
+        zero += (v < 1e-9) ? 1 : 0;
+        small += (v < 0.01) ? 1 : 0;
+      }
+      const double n = static_cast<double>(imps.size());
+      t.add_row({std::string(rates[r].name), std::to_string(imps.size()),
+                 fmt(mean(imps), 3), fmt(median(imps), 3),
+                 fmt(100.0 * static_cast<double>(zero) / n, 1) + "%",
+                 fmt(100.0 * static_cast<double>(small) / n, 1) + "%"});
+      cdfs.push_back({std::string(rates[r].name), Cdf(imps)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+    bench::emit_cdfs(std::string("fig5_1_improvement_") +
+                         (variant == EtxVariant::kEtx1 ? "etx1" : "etx2"),
+                     cdfs, "Fraction Improvement");
+  }
+
+  benchmark::RegisterBenchmark("opportunistic_gains/1M/etx1",
+                               [&](benchmark::State& st) {
+                                 for (auto _ : st) {
+                                   benchmark::DoNotOptimize(bench::gains_at_rate(
+                                       ds, 0, EtxVariant::kEtx1));
+                                 }
+                               });
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,53 @@
+// Fig 5.2 -- Link Asymmetry.
+// CDF of the ratio of forward to reverse packet success rate per node pair,
+// per bit rate.  Paper: asymmetry is present (enough to separate ETX1 from
+// ETX2) and does not change much with the bit rate.
+#include "bench/common.h"
+#include "core/exor.h"
+
+using namespace wmesh;
+
+int main(int argc, char** argv) {
+  const Dataset& ds = bench::snapshot();
+  const auto rates = probed_rates(Standard::kBg);
+
+  bench::section("Fig 5.2: Link Asymmetry (802.11b/g)");
+  std::vector<bench::NamedCdf> cdfs;
+  TextTable t;
+  t.header({"rate", "pairs", "median ratio", "p90 ratio",
+            "fraction >1.25x off"});
+  for (RateIndex r = 0; r < rates.size(); ++r) {
+    std::vector<double> asym;
+    for (const auto& nt : ds.networks) {
+      if (nt.info.standard != Standard::kBg || nt.ap_count < 5) continue;
+      const auto a = link_asymmetries(mean_success_matrix(nt, r));
+      asym.insert(asym.end(), a.begin(), a.end());
+    }
+    if (asym.empty()) continue;
+    std::size_t off = 0;
+    for (double v : asym) off += (v > 1.25 || v < 0.8) ? 1 : 0;
+    const Cdf cdf(asym);
+    t.add_row({std::string(rates[r].name), std::to_string(asym.size()),
+               fmt(cdf.median(), 3), fmt(cdf.value_at(0.9), 3),
+               fmt(100.0 * static_cast<double>(off) /
+                       static_cast<double>(asym.size()),
+                   1) +
+                   "%"});
+    cdfs.push_back({std::string(rates[r].name), cdf});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  bench::emit_cdfs("fig5_2_link_asymmetry", cdfs, "Asymmetry of Link");
+
+  benchmark::RegisterBenchmark("link_asymmetries/1M",
+                               [&](benchmark::State& st) {
+                                 for (auto _ : st) {
+                                   for (const auto& nt : ds.networks) {
+                                     if (nt.info.standard != Standard::kBg)
+                                       continue;
+                                     benchmark::DoNotOptimize(link_asymmetries(
+                                         mean_success_matrix(nt, 0)));
+                                   }
+                                 }
+                               });
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,48 @@
+// Fig 5.3 -- Path Lengths.
+// CDF of ETX1 shortest-path hop counts for every reachable pair, per bit
+// rate, in networks with >= 5 APs.  Paper: 30-40% of paths are one hop at
+// the five lowest rates; at the two highest rates ~40% exceed three hops.
+#include "bench/common.h"
+#include "core/exor.h"
+
+using namespace wmesh;
+
+int main(int argc, char** argv) {
+  const Dataset& ds = bench::snapshot();
+  const auto rates = probed_rates(Standard::kBg);
+
+  bench::section("Fig 5.3: Path Lengths (802.11b/g)");
+  std::vector<bench::NamedCdf> cdfs;
+  TextTable t;
+  t.header({"rate", "paths", "1 hop", "<3 hops", ">3 hops", "max"});
+  for (RateIndex r = 0; r < rates.size(); ++r) {
+    std::vector<double> hops;
+    for (const auto& nt : ds.networks) {
+      if (nt.info.standard != Standard::kBg || nt.ap_count < 5) continue;
+      for (int h : path_lengths(mean_success_matrix(nt, r))) {
+        hops.push_back(static_cast<double>(h));
+      }
+    }
+    if (hops.empty()) continue;
+    const Cdf cdf(hops);
+    t.add_row({std::string(rates[r].name), std::to_string(hops.size()),
+               fmt(100.0 * cdf.fraction_at_or_below(1.0), 1) + "%",
+               fmt(100.0 * cdf.fraction_at_or_below(2.0), 1) + "%",
+               fmt(100.0 * (1.0 - cdf.fraction_at_or_below(3.0)), 1) + "%",
+               fmt(cdf.value_at(1.0), 0)});
+    cdfs.push_back({std::string(rates[r].name), cdf});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  bench::emit_cdfs("fig5_3_path_lengths", cdfs,
+                   "Path Length (Number of Hops)");
+
+  benchmark::RegisterBenchmark("path_lengths/48M", [&](benchmark::State& st) {
+    for (auto _ : st) {
+      for (const auto& nt : ds.networks) {
+        if (nt.info.standard != Standard::kBg || nt.ap_count < 5) continue;
+        benchmark::DoNotOptimize(path_lengths(mean_success_matrix(nt, 6)));
+      }
+    }
+  });
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,60 @@
+// Fig 5.4 -- Effect of Path Length on Opportunistic Routing.
+// Median and maximum ETX1 improvement versus ETX1 path length, averaged
+// over all bit rates.  Paper: the median improvement rises with path
+// length while the maximum falls (short paths own the biggest relative
+// wins, like the A->B->C example of §5.2.2).
+#include <map>
+
+#include "bench/common.h"
+#include "bench/routing_common.h"
+
+using namespace wmesh;
+
+int main(int argc, char** argv) {
+  const Dataset& ds = bench::snapshot();
+  const auto rates = probed_rates(Standard::kBg);
+
+  bench::section("Fig 5.4: Effect of Path Length on Opportunistic Routing");
+  std::map<int, std::vector<double>> by_hops;
+  for (RateIndex r = 0; r < rates.size(); ++r) {
+    for (const auto& ng : bench::gains_at_rate(ds, r, EtxVariant::kEtx1)) {
+      for (const auto& g : ng.gains) {
+        if (g.hops >= 1) by_hops[g.hops].push_back(g.improvement());
+      }
+    }
+  }
+
+  CsvWriter csv = bench::open_csv("fig5_4_pathlen_effect");
+  csv.row({"hops", "pairs", "median_improvement", "max_improvement"});
+  TextTable t;
+  t.header({"hops", "pairs", "median improvement", "max improvement"});
+  std::vector<Series> series(2);
+  series[0].name = "median";
+  series[1].name = "maximum";
+  for (const auto& [hops, imps] : by_hops) {
+    if (imps.size() < 10) continue;  // too few pairs for a stable statistic
+    const auto s = summarize(imps);
+    t.add_row({std::to_string(hops), std::to_string(imps.size()),
+               fmt(s.median, 3), fmt(s.max, 3)});
+    csv.raw_line(std::to_string(hops) + ',' + std::to_string(imps.size()) +
+                 ',' + fmt(s.median, 4) + ',' + fmt(s.max, 4));
+    series[0].points.emplace_back(hops, s.median);
+    series[1].points.emplace_back(hops, s.max);
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::fputs(ascii_plot(series, 64, 16, "Path Length (Number of Hops)",
+                        "Improvement")
+                 .c_str(),
+             stdout);
+  std::printf("(csv: %s/fig5_4_pathlen_effect.csv)\n",
+              bench::out_dir().c_str());
+
+  benchmark::RegisterBenchmark("gains_at_rate/all_rates",
+                               [&](benchmark::State& st) {
+                                 for (auto _ : st) {
+                                   benchmark::DoNotOptimize(bench::gains_at_rate(
+                                       ds, 0, EtxVariant::kEtx1));
+                                 }
+                               });
+  return bench::run_benchmarks(argc, argv);
+}

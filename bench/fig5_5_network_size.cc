@@ -1,0 +1,64 @@
+// Fig 5.5 -- Effect of Network Size on Opportunistic Routing.
+// Mean ETX1 improvement per network (with stddev bars) versus network size
+// at 1 Mbit/s.  Paper: both the mean and the spread stay roughly constant
+// as networks grow -- large networks also have many more short paths.
+#include "bench/common.h"
+#include "bench/routing_common.h"
+
+using namespace wmesh;
+
+int main(int argc, char** argv) {
+  const Dataset& ds = bench::snapshot();
+
+  bench::section("Fig 5.5: Effect of Network Size on Opportunistic Routing "
+                 "(1 Mbit/s, ETX1)");
+  CsvWriter csv = bench::open_csv("fig5_5_network_size");
+  csv.row({"network", "size", "pairs", "mean_improvement",
+           "stddev_improvement"});
+  TextTable t;
+  t.header({"network", "size", "pairs", "mean", "stddev"});
+  Series points;
+  points.name = "mean improvement";
+  for (const auto& ng : bench::gains_at_rate(ds, 0, EtxVariant::kEtx1)) {
+    std::vector<double> imps;
+    for (const auto& g : ng.gains) imps.push_back(g.improvement());
+    if (imps.empty()) continue;
+    const auto s = summarize(imps);
+    t.add_row({std::to_string(ng.network_id), std::to_string(ng.ap_count),
+               std::to_string(imps.size()), fmt(s.mean, 3), fmt(s.stddev, 3)});
+    csv.raw_line(std::to_string(ng.network_id) + ',' +
+                 std::to_string(ng.ap_count) + ',' +
+                 std::to_string(imps.size()) + ',' + fmt(s.mean, 4) + ',' +
+                 fmt(s.stddev, 4));
+    points.points.emplace_back(static_cast<double>(ng.ap_count), s.mean);
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::fputs(ascii_plot({points}, 64, 16, "Network Size",
+                        "Mean Improvement")
+                 .c_str(),
+             stdout);
+
+  // Correlation between size and mean improvement should be weak.
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  const double n = static_cast<double>(points.points.size());
+  for (const auto& [x, y] : points.points) {
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    syy += y * y;
+    sxy += x * y;
+  }
+  const double denom =
+      std::sqrt((n * sxx - sx * sx) * (n * syy - sy * sy));
+  const double corr = denom > 0 ? (n * sxy - sx * sy) / denom : 0.0;
+  std::printf("\ncorrelation(size, mean improvement) = %.3f (paper: ~none)\n",
+              corr);
+  std::printf("(csv: %s/fig5_5_network_size.csv)\n", bench::out_dir().c_str());
+
+  benchmark::RegisterBenchmark("gains_at_rate/1M", [&](benchmark::State& st) {
+    for (auto _ : st) {
+      benchmark::DoNotOptimize(bench::gains_at_rate(ds, 0, EtxVariant::kEtx1));
+    }
+  });
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,66 @@
+// Fig 6.2 -- Range.
+// Change in network "range" (node pairs that hear each other) per bit rate,
+// relative to 1 Mbit/s, mean +/- stddev across networks.  Paper: the mean
+// declines steadily with the bit rate but the variance is strikingly high,
+// so one cannot assume higher rates always have poorer reception.
+#include "bench/common.h"
+#include "core/hidden.h"
+
+using namespace wmesh;
+
+int main(int argc, char** argv) {
+  const Dataset& ds = bench::snapshot();
+  const auto rates = probed_rates(Standard::kBg);
+  const auto ratios = range_ratios(ds, Standard::kBg, 0.10);
+
+  bench::section("Fig 6.2: Change in Range vs Bit Rate (threshold 10%)");
+  CsvWriter csv = bench::open_csv("fig6_2_range");
+  csv.row({"rate_mbps", "networks", "mean_ratio", "stddev_ratio",
+           "min_ratio", "max_ratio"});
+  TextTable t;
+  t.header({"rate", "networks", "mean ratio", "stddev", "min", "max"});
+  Series means;
+  means.name = "mean change in range";
+  for (RateIndex r = 0; r < rates.size(); ++r) {
+    if (ratios[r].empty()) continue;
+    const auto s = summarize(ratios[r]);
+    t.add_row({std::string(rates[r].name), std::to_string(ratios[r].size()),
+               fmt(s.mean, 3), fmt(s.stddev, 3), fmt(s.min, 3),
+               fmt(s.max, 3)});
+    csv.raw_line(fmt(rates[r].kbps / 1000.0, 1) + ',' +
+                 std::to_string(ratios[r].size()) + ',' + fmt(s.mean, 4) +
+                 ',' + fmt(s.stddev, 4) + ',' + fmt(s.min, 4) + ',' +
+                 fmt(s.max, 4));
+    means.points.emplace_back(rates[r].kbps / 1000.0, s.mean);
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::fputs(ascii_plot({means}, 64, 14, "Bit Rate (Mbit/s)",
+                        "Change in Range")
+                 .c_str(),
+             stdout);
+
+  // Count networks where a higher rate out-ranges a lower one -- the
+  // surprising tail the paper highlights.
+  std::size_t inversions = 0, comparisons = 0;
+  for (std::size_t net = 0; net < ratios[0].size(); ++net) {
+    for (RateIndex r = 2; r < rates.size(); ++r) {
+      if (ratios[r].size() != ratios[0].size()) continue;
+      ++comparisons;
+      if (ratios[r][net] > ratios[r - 1][net] + 1e-9) ++inversions;
+    }
+  }
+  if (comparisons > 0) {
+    std::printf("\nrange inversions (higher rate hears more than the next "
+                "lower): %.1f%% of comparisons\n",
+                100.0 * static_cast<double>(inversions) /
+                    static_cast<double>(comparisons));
+  }
+  std::printf("(csv: %s/fig6_2_range.csv)\n", bench::out_dir().c_str());
+
+  benchmark::RegisterBenchmark("range_ratios", [&](benchmark::State& st) {
+    for (auto _ : st) {
+      benchmark::DoNotOptimize(range_ratios(ds, Standard::kBg, 0.10));
+    }
+  });
+  return bench::run_benchmarks(argc, argv);
+}

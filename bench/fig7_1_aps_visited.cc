@@ -1,0 +1,60 @@
+// Fig 7.1 -- Number of APs Visited by Clients.
+// Histogram of the number of distinct APs each client associated with over
+// the 11-hour client snapshot.  Paper: the majority associate with exactly
+// one AP, with a long tail past 50 for a few highly mobile clients.
+#include "bench/common.h"
+#include "core/mobility.h"
+
+using namespace wmesh;
+
+int main(int argc, char** argv) {
+  const Dataset& ds = bench::snapshot(/*clients_only=*/true);
+
+  MobilityStats all;
+  for (const auto env : {Environment::kIndoor, Environment::kOutdoor,
+                         Environment::kMixed}) {
+    merge_mobility(all, analyze_mobility_by_env(ds, env));
+  }
+
+  bench::section("Fig 7.1: Number of APs Visited by Clients");
+  CsvWriter csv = bench::open_csv("fig7_1_aps_visited");
+  csv.row({"aps_visited", "clients"});
+  std::map<int, std::size_t> hist;
+  int max_aps = 0;
+  for (int v : all.aps_visited) {
+    ++hist[v];
+    max_aps = std::max(max_aps, v);
+  }
+  TextTable t;
+  t.header({"#APs", "clients", "bar"});
+  for (const auto& [aps, count] : hist) {
+    csv.raw_line(std::to_string(aps) + ',' + std::to_string(count));
+    if (aps <= 20) {
+      t.add_row({std::to_string(aps), std::to_string(count),
+                 std::string(std::min<std::size_t>(60, count / 5 + 1), '#')});
+    }
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::size_t beyond20 = 0, one = 0;
+  for (const auto& [aps, count] : hist) {
+    if (aps > 20) beyond20 += count;
+    if (aps == 1) one += count;
+  }
+  std::printf("\nclients: %zu total, %zu (%.0f%%) at exactly one AP, %zu "
+              "beyond 20 APs, max %d APs\n",
+              all.aps_visited.size(), one,
+              100.0 * static_cast<double>(one) /
+                  static_cast<double>(all.aps_visited.size()),
+              beyond20, max_aps);
+  std::printf("(csv: %s/fig7_1_aps_visited.csv)\n", bench::out_dir().c_str());
+
+  benchmark::RegisterBenchmark("analyze_mobility/indoor",
+                               [&](benchmark::State& st) {
+                                 for (auto _ : st) {
+                                   benchmark::DoNotOptimize(
+                                       analyze_mobility_by_env(
+                                           ds, Environment::kIndoor));
+                                 }
+                               });
+  return bench::run_benchmarks(argc, argv);
+}

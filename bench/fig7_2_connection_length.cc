@@ -1,0 +1,45 @@
+// Fig 7.2 -- Length of Client Connections.
+// CDF of session lengths over the 11-hour client snapshot.  Paper: ~23% of
+// clients connect for under two hours, while ~60% stay connected for the
+// entire trace.
+#include "bench/common.h"
+#include "core/mobility.h"
+
+using namespace wmesh;
+
+int main(int argc, char** argv) {
+  const Dataset& ds = bench::snapshot(/*clients_only=*/true);
+
+  MobilityStats all;
+  for (const auto env : {Environment::kIndoor, Environment::kOutdoor,
+                         Environment::kMixed}) {
+    merge_mobility(all, analyze_mobility_by_env(ds, env));
+  }
+
+  bench::section("Fig 7.2: Length of Client Connections");
+  std::vector<double> hours;
+  double max_h = 0.0;
+  for (double m : all.connection_length_min) {
+    hours.push_back(m / 60.0);
+    max_h = std::max(max_h, m / 60.0);
+  }
+  const Cdf cdf(hours);
+  bench::emit_cdfs("fig7_2_connection_length", {{"sessions", cdf}},
+                   "Length of Connection (hr)");
+  std::printf("\nconnected < 2 h: %.1f%%  (paper: ~23%%)\n",
+              100.0 * cdf.fraction_at_or_below(2.0));
+  std::printf("connected for the whole trace: %.1f%%  (paper: ~60%%)\n",
+              100.0 * (1.0 - cdf.fraction_at_or_below(max_h - 0.05)));
+
+  benchmark::RegisterBenchmark("sessions/reconstruct",
+                               [&](benchmark::State& st) {
+                                 for (auto _ : st) {
+                                   for (const auto& nt : ds.networks) {
+                                     benchmark::DoNotOptimize(
+                                         reconstruct_sessions(
+                                             nt.client_samples));
+                                   }
+                                 }
+                               });
+  return bench::run_benchmarks(argc, argv);
+}

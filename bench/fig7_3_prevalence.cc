@@ -1,0 +1,34 @@
+// Fig 7.3 -- Prevalence.
+// CDF of non-zero prevalence values (fraction of the observation window a
+// client spent at an AP), indoor vs outdoor.  Paper: indoor mean/median
+// .07/.02, outdoor .15/.08 -- outdoor clients stay put longer.
+#include "bench/common.h"
+#include "core/mobility.h"
+
+using namespace wmesh;
+
+int main(int argc, char** argv) {
+  const Dataset& ds = bench::snapshot(/*clients_only=*/true);
+  const auto indoor = analyze_mobility_by_env(ds, Environment::kIndoor);
+  const auto outdoor = analyze_mobility_by_env(ds, Environment::kOutdoor);
+
+  bench::section("Fig 7.3: Prevalence (indoor vs outdoor)");
+  bench::emit_cdfs("fig7_3_prevalence",
+                   {{"indoor", Cdf(indoor.prevalence)},
+                    {"outdoor", Cdf(outdoor.prevalence)}},
+                   "Prevalence");
+  std::printf("\nindoor  mean/median: %.3f/%.3f (paper: .07/.02)\n",
+              mean(indoor.prevalence), median(indoor.prevalence));
+  std::printf("outdoor mean/median: %.3f/%.3f (paper: .15/.08)\n",
+              mean(outdoor.prevalence), median(outdoor.prevalence));
+
+  benchmark::RegisterBenchmark("analyze_mobility_by_env",
+                               [&](benchmark::State& st) {
+                                 for (auto _ : st) {
+                                   benchmark::DoNotOptimize(
+                                       analyze_mobility_by_env(
+                                           ds, Environment::kIndoor));
+                                 }
+                               });
+  return bench::run_benchmarks(argc, argv);
+}

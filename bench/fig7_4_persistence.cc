@@ -1,0 +1,34 @@
+// Fig 7.4 -- Persistence.
+// CDF of persistence values (time at an AP before switching), indoor vs
+// outdoor.  Paper: indoor mean/median 19.4/6.25 min, outdoor 38.6/25 min --
+// indoor clients flap between APs far more.
+#include "bench/common.h"
+#include "core/mobility.h"
+
+using namespace wmesh;
+
+int main(int argc, char** argv) {
+  const Dataset& ds = bench::snapshot(/*clients_only=*/true);
+  const auto indoor = analyze_mobility_by_env(ds, Environment::kIndoor);
+  const auto outdoor = analyze_mobility_by_env(ds, Environment::kOutdoor);
+
+  bench::section("Fig 7.4: Persistence (indoor vs outdoor)");
+  bench::emit_cdfs("fig7_4_persistence",
+                   {{"indoor", Cdf(indoor.persistence_min)},
+                    {"outdoor", Cdf(outdoor.persistence_min)}},
+                   "Persistence (min)");
+  std::printf("\nindoor  mean/median: %.1f/%.1f min (paper: 19.4/6.25)\n",
+              mean(indoor.persistence_min), median(indoor.persistence_min));
+  std::printf("outdoor mean/median: %.1f/%.1f min (paper: 38.6/25.0)\n",
+              mean(outdoor.persistence_min), median(outdoor.persistence_min));
+
+  benchmark::RegisterBenchmark("persistence/full",
+                               [&](benchmark::State& st) {
+                                 for (auto _ : st) {
+                                   benchmark::DoNotOptimize(
+                                       analyze_mobility_by_env(
+                                           ds, Environment::kOutdoor));
+                                 }
+                               });
+  return bench::run_benchmarks(argc, argv);
+}

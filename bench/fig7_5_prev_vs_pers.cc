@@ -1,0 +1,59 @@
+// Fig 7.5 -- Prevalence versus Persistence.
+// Scatter of each client's median persistence against its maximum
+// prevalence.  Paper: rapid switchers sit in the lower-left (low/low),
+// stay-put clients in the upper-right (high/high); the off-diagonal
+// quadrants are nearly empty.
+#include "bench/common.h"
+#include "core/mobility.h"
+
+using namespace wmesh;
+
+int main(int argc, char** argv) {
+  const Dataset& ds = bench::snapshot(/*clients_only=*/true);
+
+  MobilityStats all;
+  for (const auto env : {Environment::kIndoor, Environment::kOutdoor,
+                         Environment::kMixed}) {
+    merge_mobility(all, analyze_mobility_by_env(ds, env));
+  }
+
+  bench::section("Fig 7.5: Prevalence versus Persistence");
+  CsvWriter csv = bench::open_csv("fig7_5_prev_vs_pers");
+  csv.row({"median_persistence_min", "max_prevalence"});
+  Series scatter;
+  scatter.name = "clients";
+  std::size_t q_ll = 0, q_lr = 0, q_ul = 0, q_ur = 0;
+  for (const auto& [pers, prev] : all.pers_vs_prev) {
+    csv.raw_line(fmt(pers, 2) + ',' + fmt(prev, 4));
+    // Log-ish axes like the paper: plot log10 of persistence.
+    scatter.points.emplace_back(std::log10(std::max(1.0, pers)), prev);
+    const bool high_pers = pers > 30.0;   // half an hour
+    const bool high_prev = prev > 0.5;
+    if (high_pers && high_prev) ++q_ur;
+    else if (high_pers) ++q_lr;
+    else if (high_prev) ++q_ul;
+    else ++q_ll;
+  }
+  std::fputs(ascii_plot({scatter}, 64, 20, "log10 Median Persistence (min)",
+                        "Max Prevalence")
+                 .c_str(),
+             stdout);
+  const double n = static_cast<double>(all.pers_vs_prev.size());
+  std::printf("\nquadrants (pers>30min, prev>.5): lower-left %.0f%%, "
+              "upper-right %.0f%%, lower-right %.0f%%, upper-left %.0f%%\n",
+              100.0 * q_ll / n, 100.0 * q_ur / n, 100.0 * q_lr / n,
+              100.0 * q_ul / n);
+  std::printf("(paper: diagonal quadrants dominate)\n");
+  std::printf("(csv: %s/fig7_5_prev_vs_pers.csv)\n", bench::out_dir().c_str());
+
+  benchmark::RegisterBenchmark("mobility/merge_all", [&](benchmark::State& st) {
+    for (auto _ : st) {
+      MobilityStats m;
+      for (const auto env : {Environment::kIndoor, Environment::kOutdoor}) {
+        merge_mobility(m, analyze_mobility_by_env(ds, env));
+      }
+      benchmark::DoNotOptimize(m);
+    }
+  });
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,45 @@
+// Shared renderer for Figs 4.2 / 4.3: the number of unique bit rates needed
+// to reach a percentile of optimality, per SNR, at every table scope.
+#pragma once
+
+#include "bench/common.h"
+#include "core/lookup_table.h"
+
+namespace wmesh::bench {
+
+inline void emit_rates_needed_figure(const std::string& figure, Standard std,
+                                     const Dataset& ds) {
+  const double percentiles[] = {0.50, 0.80, 0.95};
+  CsvWriter csv = open_csv(figure);
+  csv.row({"scope", "percentile", "snr_db", "mean_rates", "max_rates"});
+
+  for (const TableScope scope :
+       {TableScope::kGlobal, TableScope::kNetwork, TableScope::kAp,
+        TableScope::kLink}) {
+    const auto table = build_lookup_table(ds, std, scope);
+    std::printf("\n  scope: %s\n", to_string(scope));
+    TextTable t;
+    t.header({"pct", "mean rates needed (across SNRs)", "worst SNR cell"});
+    for (const double p : percentiles) {
+      const auto curve = rates_needed_curve(table, p);
+      double mean_of_means = 0.0;
+      int worst = 0;
+      for (std::size_t i = 0; i < curve.snr.size(); ++i) {
+        mean_of_means += curve.mean_rates[i];
+        worst = std::max(worst, curve.max_rates[i]);
+        csv.raw_line(std::string(to_string(scope)) + ',' + fmt(p, 2) + ',' +
+                     std::to_string(curve.snr[i]) + ',' +
+                     fmt(curve.mean_rates[i], 3) + ',' +
+                     std::to_string(curve.max_rates[i]));
+      }
+      if (!curve.snr.empty()) {
+        mean_of_means /= static_cast<double>(curve.snr.size());
+      }
+      t.add_row({fmt(p, 2), fmt(mean_of_means, 2), std::to_string(worst)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+  }
+  std::printf("(csv: %s/%s.csv)\n", out_dir().c_str(), figure.c_str());
+}
+
+}  // namespace wmesh::bench

@@ -1,0 +1,44 @@
+// Shared helpers for the §5 (opportunistic routing) bench binaries.
+#pragma once
+
+#include <vector>
+
+#include "bench/common.h"
+#include "core/exor.h"
+
+namespace wmesh::bench {
+
+// Per-network pair gains at one rate, over b/g networks with >= 5 APs (the
+// paper's population for §5).
+struct NetworkGains {
+  std::uint32_t network_id;
+  std::size_t ap_count;
+  std::vector<PairGain> gains;
+};
+
+inline std::vector<NetworkGains> gains_at_rate(const Dataset& ds,
+                                               RateIndex rate,
+                                               EtxVariant variant,
+                                               std::size_t min_aps = 5) {
+  std::vector<NetworkGains> out;
+  for (const auto& nt : ds.networks) {
+    if (nt.info.standard != Standard::kBg || nt.ap_count < min_aps) continue;
+    NetworkGains ng;
+    ng.network_id = nt.info.id;
+    ng.ap_count = nt.ap_count;
+    ng.gains = opportunistic_gains(mean_success_matrix(nt, rate), variant);
+    out.push_back(std::move(ng));
+  }
+  return out;
+}
+
+inline std::vector<double> flatten_improvements(
+    const std::vector<NetworkGains>& per_net) {
+  std::vector<double> out;
+  for (const auto& ng : per_net) {
+    for (const auto& g : ng.gains) out.push_back(g.improvement());
+  }
+  return out;
+}
+
+}  // namespace wmesh::bench

@@ -1,0 +1,75 @@
+// Table 4.1 -- Costs Associated with Each Strategy.
+// The paper gives qualitative update-frequency and memory classes; the
+// instrumented strategy runner reports the measured numbers behind them.
+#include "bench/common.h"
+#include "core/strategies.h"
+
+using namespace wmesh;
+
+namespace {
+
+const char* update_class(double updates_per_set) {
+  if (updates_per_set < 0.25) return "Low";
+  if (updates_per_set < 0.75) return "Moderate";
+  return "High";
+}
+
+const char* memory_class(double points_per_set) {
+  if (points_per_set < 0.25) return "Small";
+  if (points_per_set < 0.75) return "Moderate";
+  return "Large";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Dataset& ds = bench::snapshot();
+  bench::section("Table 4.1: Costs Associated with Each Strategy (802.11b/g)");
+
+  CsvWriter csv = bench::open_csv("table4_1_strategy_costs");
+  csv.row({"strategy", "updates", "memory_points", "probe_sets",
+           "updates_per_set", "points_per_set", "update_class",
+           "memory_class"});
+
+  TextTable t;
+  t.header({"Strategy", "Frequency of Updates", "Memory Consumed",
+            "updates/set", "points/set"});
+  for (const UpdateStrategy s :
+       {UpdateStrategy::kFirst, UpdateStrategy::kMostRecent,
+        UpdateStrategy::kSubsampled, UpdateStrategy::kAll}) {
+    StrategyParams p;
+    p.strategy = s;
+    const auto res = run_strategy(ds, Standard::kBg, p);
+    const double ups =
+        static_cast<double>(res.updates) / static_cast<double>(res.probe_sets);
+    const double pps = static_cast<double>(res.memory_points) /
+                       static_cast<double>(res.probe_sets);
+    t.add_row({to_string(s), update_class(ups), memory_class(pps), fmt(ups, 3),
+               fmt(pps, 3)});
+    csv.raw_line(std::string(to_string(s)) + ',' +
+                 std::to_string(res.updates) + ',' +
+                 std::to_string(res.memory_points) + ',' +
+                 std::to_string(res.probe_sets) + ',' + fmt(ups, 4) + ',' +
+                 fmt(pps, 4) + ',' + update_class(ups) + ',' +
+                 memory_class(pps));
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\npaper's classes: First=Low/Small, MostRecent=High/Small, "
+              "Subsampled=Moderate/Moderate, All=High/Large\n");
+  std::printf("(csv: %s/table4_1_strategy_costs.csv)\n",
+              bench::out_dir().c_str());
+
+  for (const UpdateStrategy s :
+       {UpdateStrategy::kFirst, UpdateStrategy::kAll}) {
+    benchmark::RegisterBenchmark(
+        (std::string("run_strategy/") + to_string(s)).c_str(),
+        [&ds, s](benchmark::State& st) {
+          StrategyParams p;
+          p.strategy = s;
+          for (auto _ : st) {
+            benchmark::DoNotOptimize(run_strategy(ds, Standard::kBg, p));
+          }
+        });
+  }
+  return bench::run_benchmarks(argc, argv);
+}

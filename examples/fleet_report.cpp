@@ -1,0 +1,181 @@
+// fleet_report: generate a synthetic fleet snapshot and print the paper's
+// headline findings for it -- a one-binary tour of the whole toolkit.
+//
+// Usage: fleet_report [seed] [duration_hours]
+//
+// This is the example to start from when adapting wmesh to a real trace:
+// swap generate_dataset() for load_dataset() and everything below runs
+// unchanged.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/exor.h"
+#include "core/hidden.h"
+#include "core/lookup_table.h"
+#include "core/mobility.h"
+#include "core/rate_selection.h"
+#include "core/snr_stats.h"
+#include "core/strategies.h"
+#include "core/traffic.h"
+#include "sim/generator.h"
+#include "util/stats.h"
+#include "util/text_table.h"
+
+using namespace wmesh;
+
+namespace {
+
+void report_dataset(const Dataset& ds) {
+  std::size_t bg = 0, n = 0, indoor = 0, outdoor = 0, mixed = 0;
+  for (const auto& nt : ds.networks) {
+    (nt.info.standard == Standard::kBg ? bg : n) += 1;
+    switch (nt.info.env) {
+      case Environment::kIndoor: ++indoor; break;
+      case Environment::kOutdoor: ++outdoor; break;
+      case Environment::kMixed: ++mixed; break;
+    }
+  }
+  std::printf("dataset: %zu traces (%zu b/g, %zu n; %zu indoor, %zu outdoor, "
+              "%zu mixed), %zu APs, %zu probe sets\n",
+              ds.networks.size(), bg, n, indoor, outdoor, mixed,
+              ds.total_aps(), ds.total_probe_sets());
+}
+
+void report_snr_dispersion(const Dataset& ds) {
+  const auto dev = snr_deviations(ds, Standard::kBg);
+  const Cdf set_cdf(dev.per_probe_set);
+  std::printf("\n-- SNR dispersion (Fig 3.1) --\n");
+  std::printf("probe-set sigma < 5 dB: %.1f%% (paper: ~97.5%%)\n",
+              100.0 * set_cdf.fraction_at_or_below(5.0));
+  std::printf("median sigma: probe-set %.2f, link %.2f, network %.2f dB\n",
+              Cdf(dev.per_probe_set).median(), Cdf(dev.per_link).median(),
+              Cdf(dev.per_network).median());
+}
+
+void report_lookup(const Dataset& ds, Standard std) {
+  std::printf("\n-- SNR look-up tables, %s (Fig 4.4) --\n",
+              std::string(to_string(std)).c_str());
+  for (const TableScope scope :
+       {TableScope::kGlobal, TableScope::kNetwork, TableScope::kAp,
+        TableScope::kLink}) {
+    const auto err = lookup_table_errors(ds, std, scope);
+    const Cdf cdf(err.throughput_diff_mbps);
+    std::printf("  %-8s exact %.1f%%  median loss %.3f  p90 loss %.3f Mbit/s\n",
+                to_string(scope), 100.0 * err.exact_fraction, cdf.median(),
+                cdf.value_at(0.9));
+  }
+}
+
+void report_strategies(const Dataset& ds) {
+  std::printf("\n-- Online strategies, b/g (Fig 4.6 / Table 4.1) --\n");
+  for (const UpdateStrategy s :
+       {UpdateStrategy::kFirst, UpdateStrategy::kMostRecent,
+        UpdateStrategy::kSubsampled, UpdateStrategy::kAll}) {
+    StrategyParams p;
+    p.strategy = s;
+    const auto res = run_strategy(ds, Standard::kBg, p);
+    std::printf("  %-12s accuracy %.1f%%  updates %llu  memory %llu points\n",
+                to_string(s), 100.0 * res.overall_accuracy,
+                static_cast<unsigned long long>(res.updates),
+                static_cast<unsigned long long>(res.memory_points));
+  }
+}
+
+void report_opportunistic(const Dataset& ds) {
+  std::printf("\n-- Opportunistic routing, b/g (Fig 5.1) --\n");
+  const auto rates = probed_rates(Standard::kBg);
+  for (const EtxVariant variant : {EtxVariant::kEtx1, EtxVariant::kEtx2}) {
+    std::vector<double> improvements;
+    std::size_t none = 0;
+    for (const auto& nt : ds.networks) {
+      if (nt.info.standard != Standard::kBg || nt.ap_count < 5) continue;
+      const auto success = mean_success_matrix(nt, 0);  // 1 Mbit/s
+      for (const auto& g : opportunistic_gains(success, variant)) {
+        improvements.push_back(g.improvement());
+        // Count sub-1% gains as "no improvement", the paper's granularity.
+        if (g.improvement() < 0.01) ++none;
+      }
+    }
+    if (improvements.empty()) continue;
+    const auto s = summarize(improvements);
+    std::printf(
+        "  %s @%s: mean %.3f median %.3f  no-improvement %.1f%% of pairs\n",
+        to_string(variant), std::string(rates[0].name).c_str(), s.mean,
+        s.median,
+        100.0 * static_cast<double>(none) /
+            static_cast<double>(improvements.size()));
+  }
+}
+
+void report_hidden(const Dataset& ds) {
+  std::printf("\n-- Hidden triples @10%% threshold, b/g (Fig 6.1) --\n");
+  const auto rates = probed_rates(Standard::kBg);
+  for (RateIndex r = 0; r < rates.size(); ++r) {
+    const auto stats = hidden_triples_per_network(ds, Standard::kBg, r, 0.10);
+    if (stats.fractions.empty()) continue;
+    std::printf("  %-4s median %.3f over %zu networks\n",
+                std::string(rates[r].name).c_str(), median(stats.fractions),
+                stats.fractions.size());
+  }
+}
+
+void report_mobility(const Dataset& ds) {
+  std::printf("\n-- Client mobility (Figs 7.1-7.4) --\n");
+  for (const Environment env : {Environment::kIndoor, Environment::kOutdoor}) {
+    const auto m = analyze_mobility_by_env(ds, env);
+    if (m.prevalence.empty()) continue;
+    const auto prev = summarize(m.prevalence);
+    const auto pers = summarize(m.persistence_min);
+    const Cdf len(m.connection_length_min);
+    std::size_t one_ap = 0;
+    for (int v : m.aps_visited) one_ap += (v == 1) ? 1 : 0;
+    std::printf("  %-7s prevalence mean/med %.3f/%.3f  persistence "
+                "mean/med %.1f/%.1f min\n",
+                to_string(env).c_str(), prev.mean, prev.median, pers.mean,
+                pers.median);
+    std::printf("          clients at 1 AP: %.0f%%  connected full trace: "
+                "%.0f%%\n",
+                100.0 * static_cast<double>(one_ap) /
+                    static_cast<double>(m.aps_visited.size()),
+                100.0 * (1.0 - len.fraction_at_or_below(
+                                   len.sorted_values().back() - 1.0)));
+  }
+}
+
+void report_traffic(const Dataset& ds) {
+  const auto t = analyze_traffic(ds);
+  if (t.packets_per_client.empty()) return;
+  std::printf("\n-- Client traffic (§3.2) --\n");
+  const auto per_client = summarize(t.packets_per_client);
+  std::printf("data packets per client: median %.0f, p90 %.0f\n",
+              per_client.median, quantile(t.packets_per_client, 0.9));
+  std::printf("busiest 10%% of APs carry %.0f%% of all packets\n",
+              100.0 * t.top_decile_ap_share);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  GeneratorConfig config = default_config();
+  if (argc > 1) config.seed = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) {
+    config.probes.duration_s = std::strtod(argv[2], nullptr) * 3600.0;
+  }
+
+  std::printf("generating snapshot (seed %llu, %.1f h probe trace)...\n",
+              static_cast<unsigned long long>(config.seed),
+              config.probes.duration_s / 3600.0);
+  const Dataset ds = generate_dataset(config);
+
+  report_dataset(ds);
+  report_snr_dispersion(ds);
+  report_lookup(ds, Standard::kBg);
+  report_lookup(ds, Standard::kN);
+  report_strategies(ds);
+  report_opportunistic(ds);
+  report_hidden(ds);
+  report_mobility(ds);
+  report_traffic(ds);
+  return 0;
+}

@@ -1,0 +1,155 @@
+// rate_adaptation_demo: an online SNR-guided rate controller on one link.
+//
+// Scenario: the paper's §4.5 proposal made concrete.  A sender keeps a
+// per-link SNR->rate table (with the "k best rates" augmentation) and uses
+// it to restrict probing; we replay a fading channel and compare
+//   * oracle        -- always transmits at the best rate (upper bound)
+//   * snr-table     -- transmits at the table's choice for the current SNR
+//   * fixed-rate    -- best single static rate in hindsight
+// on achieved throughput.  The table warms up as probes arrive, exactly as
+// the paper envisions.
+//
+// Usage: rate_adaptation_demo [minutes] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "phy/error_model.h"
+#include "sim/channel.h"
+#include "util/rng.h"
+#include "util/text_table.h"
+
+using namespace wmesh;
+
+namespace {
+
+// Tiny per-link table: SNR -> counts of observed-best rate (the paper's
+// "All probes" strategy), with a k-best view for restricted probing.
+class OnlineTable {
+ public:
+  explicit OnlineTable(std::size_t n_rates) : n_rates_(n_rates) {}
+
+  void observe(int snr, std::size_t best_rate) {
+    auto& c = cells_[snr];
+    if (c.empty()) c.assign(n_rates_, 0);
+    ++c[best_rate];
+  }
+
+  int choose(int snr) const {
+    const auto it = cells_.find(snr);
+    if (it == cells_.end()) return -1;
+    std::size_t best = 0;
+    for (std::size_t r = 1; r < n_rates_; ++r) {
+      if (it->second[r] > it->second[best]) best = r;
+    }
+    return it->second[best] > 0 ? static_cast<int>(best) : -1;
+  }
+
+  // How many distinct rates were ever best at this SNR (the size of the
+  // restricted probe set the paper proposes).
+  int candidates(int snr) const {
+    const auto it = cells_.find(snr);
+    if (it == cells_.end()) return 0;
+    int k = 0;
+    for (auto v : it->second) k += v > 0 ? 1 : 0;
+    return k;
+  }
+
+ private:
+  std::size_t n_rates_;
+  std::map<int, std::vector<std::uint32_t>> cells_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double minutes = argc > 1 ? std::strtod(argv[1], nullptr) : 240.0;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5;
+
+  // One 55 m indoor link.
+  Rng rng(seed);
+  std::vector<Ap> aps = {{0, 0.0, 0.0}, {1, 55.0, 0.0}};
+  MeshNetwork net({}, aps);
+  ChannelModel chan(net, Standard::kBg, indoor_channel_params(),
+                    minutes * 60.0, rng);
+  if (chan.links().empty()) {
+    std::fprintf(stderr, "link silent; try another seed\n");
+    return 1;
+  }
+
+  const auto rates = probed_rates(Standard::kBg);
+  OnlineTable table(rates.size());
+  double thr_oracle = 0.0, thr_table = 0.0;
+  std::vector<double> thr_fixed(rates.size(), 0.0);
+  std::size_t steps = 0, table_ready = 0;
+
+  for (double t = 40.0; t < minutes * 60.0; t += 40.0) {
+    chan.advance_slow_fading(40.0, rng);
+    // Probe every rate (20-probe equivalent collapsed to the success
+    // probability) and observe the winner.
+    const auto probe = chan.sample_probe(0, 0, t, rng);
+    const int snr = static_cast<int>(std::lround(probe.reported_snr_db));
+    double best_thr = 0.0;
+    std::size_t best_rate = 0;
+    std::vector<double> per_rate(rates.size());
+    for (std::size_t r = 0; r < rates.size(); ++r) {
+      // Expected throughput at this instant (mean over fast fading).
+      int delivered = 0;
+      for (int k = 0; k < 20; ++k) {
+        delivered += chan.sample_probe(0, static_cast<RateIndex>(r), t, rng)
+                             .delivered
+                         ? 1
+                         : 0;
+      }
+      per_rate[r] =
+          throughput_mbps(rates[r], static_cast<double>(delivered) / 20.0);
+      thr_fixed[r] += per_rate[r];
+      if (per_rate[r] > best_thr) {
+        best_thr = per_rate[r];
+        best_rate = r;
+      }
+    }
+    thr_oracle += best_thr;
+    const int choice = table.choose(snr);
+    if (choice >= 0) {
+      thr_table += per_rate[static_cast<std::size_t>(choice)];
+      ++table_ready;
+    } else {
+      thr_table += per_rate[0];  // fall back to the most robust rate
+    }
+    table.observe(snr, best_rate);
+    ++steps;
+  }
+
+  double best_fixed = 0.0;
+  std::size_t best_fixed_rate = 0;
+  for (std::size_t r = 0; r < rates.size(); ++r) {
+    if (thr_fixed[r] > best_fixed) {
+      best_fixed = thr_fixed[r];
+      best_fixed_rate = r;
+    }
+  }
+
+  const double n = static_cast<double>(steps);
+  std::printf("link: static SNR %.1f dB, %zu probe rounds over %.0f min\n",
+              chan.links()[0].static_snr_db, steps, minutes);
+  TextTable t;
+  t.header({"policy", "mean throughput (Mbit/s)", "vs oracle"});
+  t.add_row({"oracle (per-round best)", fmt(thr_oracle / n, 2), "100.0%"});
+  t.add_row({"per-link SNR table", fmt(thr_table / n, 2),
+             fmt(100.0 * thr_table / thr_oracle, 1) + "%"});
+  t.add_row({"best fixed rate (" +
+                 std::string(rates[best_fixed_rate].name) + ")",
+             fmt(best_fixed / n, 2),
+             fmt(100.0 * best_fixed / thr_oracle, 1) + "%"});
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\ntable had a prediction for %.1f%% of rounds; typical "
+              "restricted probe set at the link's SNRs: %d rates of %zu\n",
+              100.0 * static_cast<double>(table_ready) / n,
+              table.candidates(static_cast<int>(
+                  std::lround(chan.links()[0].static_snr_db))),
+              rates.size());
+  std::printf("(the paper's §4.5: a trained per-link table tracks the "
+              "oracle closely and shrinks the probing set)\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// site_survey: hidden-terminal audit of one deployment.
+//
+// Scenario: you operate a building-wide mesh and want to know, before
+// enabling higher bit rates, how much hidden-terminal exposure each rate
+// adds (the paper's §6 analysis applied as an operations tool).
+//
+// Usage: site_survey [aps] [spacing_m] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/hidden.h"
+#include "mesh/topology.h"
+#include "sim/generator.h"
+#include "util/text_table.h"
+
+using namespace wmesh;
+
+int main(int argc, char** argv) {
+  const std::size_t aps = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 12;
+  const double spacing = argc > 2 ? std::strtod(argv[2], nullptr) : 50.0;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+
+  Rng rng(seed);
+  TopologyParams topo;
+  topo.spacing_min_m = spacing;
+  topo.spacing_max_m = spacing;
+  NetworkInfo info;
+  info.env = Environment::kIndoor;
+  info.name = "site-survey";
+  MeshNetwork net(info, make_grid_topology(aps, topo, rng));
+
+  GeneratorConfig config;
+  config.probes.duration_s = 2 * 3600.0;
+  const NetworkTrace trace = generate_network_trace(
+      net, Standard::kBg, config, rng, /*with_clients=*/false);
+  std::printf("surveyed %zu APs at ~%.0f m spacing: %zu probe sets\n", aps,
+              spacing, trace.probe_sets.size());
+
+  const auto rates = probed_rates(Standard::kBg);
+  TextTable t;
+  t.header({"rate", "audible pairs", "relevant triples", "hidden triples",
+            "hidden fraction", "verdict"});
+  for (RateIndex r = 0; r < rates.size(); ++r) {
+    const auto success = mean_success_matrix(trace, r);
+    const HearingGraph g(success, 0.10);
+    const auto c = count_triples(g);
+    const double frac = c.hidden_fraction();
+    const char* verdict = frac < 0.10   ? "ok"
+                          : frac < 0.30 ? "watch"
+                                        : "risky";
+    t.add_row({std::string(rates[r].name), std::to_string(g.range_pairs()),
+               std::to_string(c.relevant), std::to_string(c.hidden),
+               fmt(frac, 3), verdict});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\n'hidden fraction' = relevant triples (A,B,C) where A and C "
+              "hear B but not each other\n");
+  std::printf("(the paper's §6: expect the fraction to grow with the rate, "
+              "with 11M dipping below 6M)\n");
+
+  // Worst offenders: the centre APs that participate in the most hidden
+  // triples at the top rate.
+  const auto success48 = mean_success_matrix(trace, 6);
+  const HearingGraph g48(success48, 0.10);
+  std::vector<std::size_t> centre_hidden(aps, 0);
+  for (ApId b = 0; b < aps; ++b) {
+    for (ApId a = 0; a < aps; ++a) {
+      if (a == b || !g48.hears(a, b)) continue;
+      for (ApId c = static_cast<ApId>(a + 1); c < aps; ++c) {
+        if (c == b || !g48.hears(c, b)) continue;
+        if (!g48.hears(a, c)) ++centre_hidden[b];
+      }
+    }
+  }
+  std::printf("\nmost exposed APs at 48M (hidden triples centred on them):\n");
+  for (int shown = 0; shown < 3; ++shown) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < aps; ++i) {
+      if (centre_hidden[i] > centre_hidden[best]) best = i;
+    }
+    if (centre_hidden[best] == 0) break;
+    std::printf("  AP%zu: %zu hidden triples\n", best, centre_hidden[best]);
+    centre_hidden[best] = 0;
+  }
+  return 0;
+}

@@ -1,0 +1,179 @@
+#include "clients/mobility_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wmesh {
+
+MobilityParams indoor_mobility_params() { return MobilityParams{}; }
+
+MobilityParams outdoor_mobility_params() {
+  MobilityParams p;
+  // Sparser networks: fewer flappers, calmer walkers, longer dwells
+  // (paper §7.2: outdoor prevalence and persistence are both higher).
+  p.w_resident = 0.27;
+  p.w_flapper = 0.10;
+  p.w_transient = 0.32;
+  p.w_nomad = 0.22;
+  p.w_walker = 0.09;
+  p.flap_prob = 0.20;
+  p.nomad_dwell_s = 55 * 60.0;
+  p.walker_move_prob = 0.35;
+  p.transient_median_s = 60 * 60.0;
+  return p;
+}
+
+MobilityParams mobility_params_for(Environment env) {
+  return env == Environment::kOutdoor ? outdoor_mobility_params()
+                                      : indoor_mobility_params();
+}
+
+namespace {
+
+// k nearest APs (excluding self) for each AP -- the hand-off candidates.
+std::vector<std::vector<ApId>> nearest_neighbours(const MeshNetwork& net,
+                                                  std::size_t k) {
+  const std::size_t n = net.size();
+  std::vector<std::vector<ApId>> out(n);
+  std::vector<std::pair<double, ApId>> dists;
+  for (std::size_t a = 0; a < n; ++a) {
+    dists.clear();
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      dists.emplace_back(
+          net.distance_m(static_cast<ApId>(a), static_cast<ApId>(b)),
+          static_cast<ApId>(b));
+    }
+    const std::size_t take = std::min(k, dists.size());
+    std::partial_sort(dists.begin(), dists.begin() + static_cast<long>(take),
+                      dists.end());
+    out[a].reserve(take);
+    for (std::size_t i = 0; i < take; ++i) out[a].push_back(dists[i].second);
+  }
+  return out;
+}
+
+ClientArchetype draw_archetype(const MobilityParams& p, Rng& rng) {
+  const double w[5] = {p.w_resident, p.w_flapper, p.w_transient, p.w_nomad,
+                       p.w_walker};
+  return static_cast<ClientArchetype>(rng.pick_weighted(w));
+}
+
+// Association sequence: aps[b] = associated AP at bucket b, or -1.
+using AssocSeq = std::vector<int>;
+
+AssocSeq simulate_one_client(ClientArchetype kind, const MeshNetwork& net,
+                             const std::vector<std::vector<ApId>>& neigh,
+                             const MobilityParams& p, std::size_t buckets,
+                             Rng& rng) {
+  AssocSeq seq(buckets, -1);
+  const auto n_aps = static_cast<std::int64_t>(net.size());
+  const int home = static_cast<int>(rng.uniform_int(0, n_aps - 1));
+
+  auto pick_neighbour = [&](int ap) -> int {
+    const auto& cands = neigh[static_cast<std::size_t>(ap)];
+    if (cands.empty()) return ap;
+    return cands[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(cands.size()) - 1))];
+  };
+
+  switch (kind) {
+    case ClientArchetype::kResident: {
+      for (std::size_t b = 0; b < buckets; ++b) seq[b] = home;
+      break;
+    }
+    case ClientArchetype::kFlapper: {
+      // Oscillates within a small fixed neighbourhood of its home AP.
+      std::vector<int> hood = {home};
+      for (ApId a : neigh[static_cast<std::size_t>(home)]) {
+        if (hood.size() >= p.flap_neighbourhood) break;
+        hood.push_back(a);
+      }
+      int cur = home;
+      for (std::size_t b = 0; b < buckets; ++b) {
+        if (rng.bernoulli(p.flap_prob) && hood.size() > 1) {
+          int next = cur;
+          while (next == cur) {
+            next = hood[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(hood.size()) - 1))];
+          }
+          cur = next;
+        }
+        seq[b] = cur;
+      }
+      break;
+    }
+    case ClientArchetype::kTransient: {
+      const double len_s = p.transient_median_s *
+                           std::exp(rng.normal(0.0, p.transient_sigma_log));
+      auto len_b = static_cast<std::size_t>(
+          std::max(1.0, std::round(len_s / p.bucket_s)));
+      len_b = std::min(len_b, buckets);
+      const std::size_t start = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(buckets - len_b)));
+      for (std::size_t b = start; b < start + len_b; ++b) seq[b] = home;
+      break;
+    }
+    case ClientArchetype::kNomad: {
+      int cur = home;
+      double dwell_left_s = rng.exponential(1.0 / p.nomad_dwell_s);
+      for (std::size_t b = 0; b < buckets; ++b) {
+        seq[b] = cur;
+        dwell_left_s -= p.bucket_s;
+        if (dwell_left_s <= 0.0) {
+          cur = pick_neighbour(cur);
+          dwell_left_s = rng.exponential(1.0 / p.nomad_dwell_s);
+        }
+      }
+      break;
+    }
+    case ClientArchetype::kWalker: {
+      int cur = home;
+      for (std::size_t b = 0; b < buckets; ++b) {
+        seq[b] = cur;
+        if (rng.bernoulli(p.walker_move_prob)) cur = pick_neighbour(cur);
+      }
+      break;
+    }
+  }
+  return seq;
+}
+
+}  // namespace
+
+std::vector<ClientSample> simulate_clients(const MeshNetwork& net,
+                                           const MobilityParams& params,
+                                           Rng& rng) {
+  const auto buckets = static_cast<std::size_t>(
+      std::max(1.0, std::round(params.duration_s / params.bucket_s)));
+  const auto n_clients = static_cast<std::size_t>(std::max(
+      1.0, std::round(params.clients_per_ap * static_cast<double>(net.size()))));
+  const auto neigh = nearest_neighbours(net, params.neighbours);
+
+  std::vector<ClientSample> samples;
+  for (std::size_t c = 0; c < n_clients; ++c) {
+    Rng crng = rng.fork();
+    const auto kind = draw_archetype(params, crng);
+    const auto seq =
+        simulate_one_client(kind, net, neigh, params, buckets, crng);
+    int prev_ap = -1;
+    for (std::size_t b = 0; b < buckets; ++b) {
+      if (seq[b] < 0) {
+        prev_ap = -1;
+        continue;
+      }
+      ClientSample s;
+      s.client = static_cast<std::uint32_t>(c);
+      s.ap = static_cast<ApId>(seq[b]);
+      s.bucket = static_cast<std::uint32_t>(b);
+      s.assoc_requests = (seq[b] != prev_ap) ? 1 : 0;
+      s.data_packets = static_cast<std::uint32_t>(
+          crng.exponential(1.0 / params.packets_per_bucket));
+      samples.push_back(s);
+      prev_ap = seq[b];
+    }
+  }
+  return samples;
+}
+
+}  // namespace wmesh

@@ -1,0 +1,181 @@
+#include "clients/waypoint_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace wmesh {
+namespace {
+
+struct Box {
+  double x0, y0, x1, y1;
+};
+
+Box roaming_box(const MeshNetwork& net, double margin) {
+  Box b{std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity()};
+  for (const Ap& ap : net.aps()) {
+    b.x0 = std::min(b.x0, ap.x_m);
+    b.y0 = std::min(b.y0, ap.y_m);
+    b.x1 = std::max(b.x1, ap.x_m);
+    b.y1 = std::max(b.y1, ap.y_m);
+  }
+  b.x0 -= margin;
+  b.y0 -= margin;
+  b.x1 += margin;
+  b.y1 += margin;
+  return b;
+}
+
+// Random-waypoint walker sampled at bucket boundaries.
+class Walker {
+ public:
+  Walker(const Box& box, const WaypointParams& p, bool is_static, Rng& rng)
+      : box_(box), params_(p), static_(is_static) {
+    x_ = rng.uniform(box.x0, box.x1);
+    y_ = rng.uniform(box.y0, box.y1);
+    pick_leg(rng);
+  }
+
+  void advance(double dt_s, Rng& rng) {
+    if (static_) return;
+    while (dt_s > 0.0) {
+      if (pause_left_s_ > 0.0) {
+        const double used = std::min(pause_left_s_, dt_s);
+        pause_left_s_ -= used;
+        dt_s -= used;
+        continue;
+      }
+      const double dx = tx_ - x_;
+      const double dy = ty_ - y_;
+      const double dist = std::hypot(dx, dy);
+      if (dist < 1e-6) {
+        pause_left_s_ = rng.exponential(1.0 / params_.pause_mean_s);
+        pick_leg(rng);
+        continue;
+      }
+      const double step = speed_mps_ * dt_s;
+      if (step >= dist) {
+        x_ = tx_;
+        y_ = ty_;
+        dt_s -= dist / speed_mps_;
+        pause_left_s_ = rng.exponential(1.0 / params_.pause_mean_s);
+        pick_leg(rng);
+      } else {
+        x_ += dx / dist * step;
+        y_ += dy / dist * step;
+        dt_s = 0.0;
+      }
+    }
+  }
+
+  double x() const { return x_; }
+  double y() const { return y_; }
+
+ private:
+  void pick_leg(Rng& rng) {
+    tx_ = rng.uniform(box_.x0, box_.x1);
+    ty_ = rng.uniform(box_.y0, box_.y1);
+    speed_mps_ = rng.uniform(params_.speed_min_mps, params_.speed_max_mps);
+  }
+
+  Box box_;
+  WaypointParams params_;
+  bool static_;
+  double x_ = 0.0, y_ = 0.0;
+  double tx_ = 0.0, ty_ = 0.0;
+  double speed_mps_ = 1.0;
+  double pause_left_s_ = 0.0;
+};
+
+}  // namespace
+
+std::vector<ClientSample> simulate_waypoint_clients(
+    const MeshNetwork& net, const ChannelParams& channel,
+    const WaypointParams& params, Rng& rng) {
+  const auto buckets = static_cast<std::size_t>(
+      std::max(1.0, std::round(params.duration_s / params.bucket_s)));
+  const auto n_clients = static_cast<std::size_t>(std::max(
+      1.0,
+      std::round(params.clients_per_ap * static_cast<double>(net.size()))));
+  const Box box = roaming_box(net, params.area_margin_m);
+
+  std::vector<ClientSample> samples;
+  for (std::size_t c = 0; c < n_clients; ++c) {
+    Rng crng = rng.fork();
+    const bool is_static = crng.bernoulli(params.static_fraction);
+    Walker walker(box, params, is_static, crng);
+
+    // Per (client, AP) static shadowing: the client's own multipath world.
+    std::vector<double> shadow(net.size());
+    for (double& s : shadow) {
+      s = crng.normal(0.0, params.client_shadow_sigma_db);
+    }
+
+    // Session window.
+    std::size_t first = 0, last = buckets;
+    if (crng.bernoulli(params.transient_fraction)) {
+      const double len_s =
+          params.transient_median_s *
+          std::exp(crng.normal(0.0, params.transient_sigma_log));
+      auto len_b = static_cast<std::size_t>(
+          std::max(1.0, std::round(len_s / params.bucket_s)));
+      len_b = std::min(len_b, buckets);
+      first = static_cast<std::size_t>(
+          crng.uniform_int(0, static_cast<std::int64_t>(buckets - len_b)));
+      last = first + len_b;
+    }
+
+    int current = -1;
+    int prev_emitted = -1;
+    for (std::size_t b = 0; b < buckets; ++b) {
+      walker.advance(params.bucket_s, crng);
+      if (b < first || b >= last) {
+        current = -1;
+        prev_emitted = -1;
+        continue;
+      }
+      // SNR to every AP from the mesh's own propagation constants.
+      double best_snr = -1e9;
+      int best_ap = -1;
+      double current_snr = -1e9;
+      for (const Ap& ap : net.aps()) {
+        const double d =
+            std::max(1.0, std::hypot(ap.x_m - walker.x(), ap.y_m - walker.y()));
+        const double snr =
+            channel.snr_ref_db -
+            10.0 * channel.pathloss_exp * std::log10(d / channel.ref_m) +
+            shadow[ap.id];
+        if (snr > best_snr) {
+          best_snr = snr;
+          best_ap = ap.id;
+        }
+        if (current >= 0 && ap.id == current) current_snr = snr;
+      }
+      // Driver policy: stay unless the best beats current by the
+      // hysteresis margin or the current AP fell below the floor.
+      if (current < 0 || current_snr < params.assoc_floor_db ||
+          best_snr > current_snr + params.hysteresis_db) {
+        current = best_snr >= params.assoc_floor_db ? best_ap : -1;
+      }
+      if (current < 0) {
+        prev_emitted = -1;
+        continue;
+      }
+      ClientSample s;
+      s.client = static_cast<std::uint32_t>(c);
+      s.ap = static_cast<ApId>(current);
+      s.bucket = static_cast<std::uint32_t>(b);
+      s.assoc_requests = (current != prev_emitted) ? 1 : 0;
+      s.data_packets = static_cast<std::uint32_t>(
+          crng.exponential(1.0 / params.packets_per_bucket));
+      samples.push_back(s);
+      prev_emitted = current;
+    }
+  }
+  return samples;
+}
+
+}  // namespace wmesh

@@ -1,0 +1,73 @@
+#include "core/dataset_ops.h"
+
+namespace wmesh {
+
+void for_each_probe_set(
+    const Dataset& ds, Standard standard,
+    const std::function<void(const NetworkTrace&, const ProbeSet&)>& fn) {
+  for (const auto& nt : ds.networks) {
+    if (nt.info.standard != standard) continue;
+    for (const auto& set : nt.probe_sets) fn(nt, set);
+  }
+}
+
+std::size_t SuccessMatrix::live_links() const noexcept {
+  std::size_t live = 0;
+  for (double v : p_) live += (v > 0.0) ? 1 : 0;
+  return live;
+}
+
+std::vector<SuccessMatrix> all_success_matrices(const NetworkTrace& trace) {
+  const std::size_t n_rates = rate_count(trace.info.standard);
+  const std::size_t n = trace.ap_count;
+  std::vector<SuccessMatrix> out(n_rates, SuccessMatrix(n));
+
+  // Accumulate the mean success per (link, rate) in one pass.
+  std::vector<double> sum(n_rates * n * n, 0.0);
+  std::vector<std::uint32_t> cnt(n_rates * n * n, 0);
+  for (const auto& set : trace.probe_sets) {
+    const std::size_t base = static_cast<std::size_t>(set.from) * n + set.to;
+    for (const auto& e : set.entries) {
+      const std::size_t idx = static_cast<std::size_t>(e.rate) * n * n + base;
+      sum[idx] += 1.0 - static_cast<double>(e.loss);
+      ++cnt[idx];
+    }
+  }
+  for (std::size_t r = 0; r < n_rates; ++r) {
+    for (std::size_t f = 0; f < n; ++f) {
+      for (std::size_t t = 0; t < n; ++t) {
+        const std::size_t idx = r * n * n + f * n + t;
+        if (cnt[idx] > 0) {
+          out[r].set(static_cast<ApId>(f), static_cast<ApId>(t),
+                     sum[idx] / cnt[idx]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+SuccessMatrix mean_success_matrix(const NetworkTrace& trace, RateIndex rate) {
+  const std::size_t n = trace.ap_count;
+  SuccessMatrix out(n);
+  std::vector<double> sum(n * n, 0.0);
+  std::vector<std::uint32_t> cnt(n * n, 0);
+  for (const auto& set : trace.probe_sets) {
+    const ProbeEntry* e = set.entry(rate);
+    if (e == nullptr) continue;
+    const std::size_t idx = static_cast<std::size_t>(set.from) * n + set.to;
+    sum[idx] += 1.0 - static_cast<double>(e->loss);
+    ++cnt[idx];
+  }
+  for (std::size_t f = 0; f < n; ++f) {
+    for (std::size_t t = 0; t < n; ++t) {
+      const std::size_t idx = f * n + t;
+      if (cnt[idx] > 0) {
+        out.set(static_cast<ApId>(f), static_cast<ApId>(t), sum[idx] / cnt[idx]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wmesh

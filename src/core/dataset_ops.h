@@ -1,0 +1,64 @@
+// Shared dataset operations used by every analysis module.
+//
+// Two idioms recur throughout the paper's methodology:
+//   * per-probe-set analysis (iterate every ProbeSet of one standard), and
+//   * per-network link matrices (collapse the snapshot into one packet
+//     success rate per directed link per bit rate, as §5 and §6 do).
+// This header provides both, plus the SNR-bucketing convention (integer dB)
+// that all look-up tables key on.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "trace/records.h"
+
+namespace wmesh {
+
+// The look-up tables key SNR by integer dB, the resolution the Atheros
+// radios report at.
+inline int snr_key(float snr_db) noexcept {
+  return static_cast<int>(std::lround(snr_db));
+}
+
+// Calls `fn(trace, set)` for every probe set of every trace of `standard`.
+void for_each_probe_set(
+    const Dataset& ds, Standard standard,
+    const std::function<void(const NetworkTrace&, const ProbeSet&)>& fn);
+
+// Mean packet success rate per directed link at one bit rate, averaged over
+// every probe set of the snapshot (the paper's per-network "matrix of packet
+// success rates", §5.1).  Links that never appear have success 0.
+class SuccessMatrix {
+ public:
+  SuccessMatrix() = default;
+  SuccessMatrix(std::size_t ap_count)
+      : n_(ap_count), p_(ap_count * ap_count, 0.0) {}
+
+  std::size_t ap_count() const noexcept { return n_; }
+
+  double at(ApId from, ApId to) const noexcept {
+    return p_[static_cast<std::size_t>(from) * n_ + to];
+  }
+  void set(ApId from, ApId to, double p) noexcept {
+    p_[static_cast<std::size_t>(from) * n_ + to] = p;
+  }
+
+  // Number of directed links with success > 0.
+  std::size_t live_links() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> p_;
+};
+
+// Builds the success matrix of `trace` at probed rate `rate`.
+SuccessMatrix mean_success_matrix(const NetworkTrace& trace, RateIndex rate);
+
+// All success matrices of a trace (one per probed rate), sharing one pass
+// over the probe sets.
+std::vector<SuccessMatrix> all_success_matrices(const NetworkTrace& trace);
+
+}  // namespace wmesh

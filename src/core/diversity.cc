@@ -1,0 +1,116 @@
+#include "core/diversity.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace wmesh {
+namespace {
+
+// Node-split max-flow: node v becomes v_in (2v) and v_out (2v+1) joined by
+// a capacity-1 arc; a link u->w becomes u_out -> w_in with capacity 1.
+// Source uses s_out, sink uses d_in, and the s/d split arcs get capacity
+// `cap` so only intermediate nodes constrain the flow.
+class UnitFlow {
+ public:
+  UnitFlow(std::size_t nodes) : n_(2 * nodes), adj_(n_) {}
+
+  void add_edge(int from, int to, int capacity) {
+    adj_[static_cast<std::size_t>(from)].push_back(
+        {to, static_cast<int>(edges_.size())});
+    edges_.push_back(capacity);
+    adj_[static_cast<std::size_t>(to)].push_back(
+        {from, static_cast<int>(edges_.size())});
+    edges_.push_back(0);
+  }
+
+  int max_flow(int s, int t, int cap) {
+    int flow = 0;
+    while (flow < cap && augment(s, t)) ++flow;
+    return flow;
+  }
+
+ private:
+  struct Arc {
+    int to;
+    int edge;
+  };
+
+  bool augment(int s, int t) {
+    std::vector<int> parent_edge(n_, -1);
+    std::vector<int> parent_node(n_, -1);
+    std::queue<int> q;
+    q.push(s);
+    parent_node[static_cast<std::size_t>(s)] = s;
+    while (!q.empty() && parent_node[static_cast<std::size_t>(t)] < 0) {
+      const int u = q.front();
+      q.pop();
+      for (const Arc& a : adj_[static_cast<std::size_t>(u)]) {
+        if (edges_[static_cast<std::size_t>(a.edge)] <= 0) continue;
+        if (parent_node[static_cast<std::size_t>(a.to)] >= 0) continue;
+        parent_node[static_cast<std::size_t>(a.to)] = u;
+        parent_edge[static_cast<std::size_t>(a.to)] = a.edge;
+        q.push(a.to);
+      }
+    }
+    if (parent_node[static_cast<std::size_t>(t)] < 0) return false;
+    for (int v = t; v != s; v = parent_node[static_cast<std::size_t>(v)]) {
+      const int e = parent_edge[static_cast<std::size_t>(v)];
+      --edges_[static_cast<std::size_t>(e)];
+      ++edges_[static_cast<std::size_t>(e ^ 1)];
+    }
+    return true;
+  }
+
+  std::size_t n_;
+  std::vector<std::vector<Arc>> adj_;
+  std::vector<int> edges_;
+};
+
+inline int node_in(ApId v) { return 2 * static_cast<int>(v); }
+inline int node_out(ApId v) { return 2 * static_cast<int>(v) + 1; }
+
+}  // namespace
+
+int disjoint_paths(const SuccessMatrix& success, ApId src, ApId dst,
+                   double min_delivery, int cap) {
+  if (src == dst) return 0;
+  const std::size_t n = success.ap_count();
+  UnitFlow flow(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const int c =
+        (v == src || v == dst) ? cap : 1;  // endpoints don't constrain
+    flow.add_edge(node_in(static_cast<ApId>(v)),
+                  node_out(static_cast<ApId>(v)), c);
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t w = 0; w < n; ++w) {
+      if (u == w) continue;
+      if (success.at(static_cast<ApId>(u), static_cast<ApId>(w)) >
+          min_delivery) {
+        flow.add_edge(node_out(static_cast<ApId>(u)),
+                      node_in(static_cast<ApId>(w)), 1);
+      }
+    }
+  }
+  return flow.max_flow(node_out(src), node_in(dst), cap);
+}
+
+std::vector<PairDiversity> all_pair_diversity(const SuccessMatrix& success,
+                                              double min_delivery, int cap) {
+  const std::size_t n = success.ap_count();
+  std::vector<PairDiversity> out;
+  out.reserve(n * (n - 1));
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < n; ++d) {
+      if (s == d) continue;
+      PairDiversity pd;
+      pd.src = static_cast<ApId>(s);
+      pd.dst = static_cast<ApId>(d);
+      pd.paths = disjoint_paths(success, pd.src, pd.dst, min_delivery, cap);
+      out.push_back(pd);
+    }
+  }
+  return out;
+}
+
+}  // namespace wmesh

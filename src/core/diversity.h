@@ -1,0 +1,36 @@
+// Path diversity (paper §5.2.2, the "not pictured" companion to Fig 5.4).
+//
+// The paper reports that the median opportunistic-routing improvement
+// rises with the number of diverse paths between source and destination
+// while the maximum improvement falls -- same shape as path length.  The
+// standard diversity measure is the number of internally node-disjoint
+// paths, computed here as max-flow on the node-split graph (each
+// intermediate node gets capacity 1; links with delivery above a floor get
+// capacity 1).
+#pragma once
+
+#include <vector>
+
+#include "core/dataset_ops.h"
+
+namespace wmesh {
+
+// Number of internally node-disjoint s->d paths using links with delivery
+// > min_delivery.  A direct s->d link counts as one path.  Capped at `cap`
+// (the interesting range is small; capping bounds the flow iterations).
+int disjoint_paths(const SuccessMatrix& success, ApId src, ApId dst,
+                   double min_delivery = 0.05, int cap = 8);
+
+// Diversity of every ordered pair of a network (0 when disconnected),
+// flattened row-major excluding the diagonal -- companion to
+// opportunistic_gains() ordering is NOT guaranteed; use the struct form.
+struct PairDiversity {
+  ApId src = 0;
+  ApId dst = 0;
+  int paths = 0;
+};
+std::vector<PairDiversity> all_pair_diversity(const SuccessMatrix& success,
+                                              double min_delivery = 0.05,
+                                              int cap = 8);
+
+}  // namespace wmesh

@@ -1,0 +1,81 @@
+#include "core/etx.h"
+
+#include <queue>
+
+namespace wmesh {
+
+const char* to_string(EtxVariant v) {
+  return v == EtxVariant::kEtx1 ? "ETX1" : "ETX2";
+}
+
+double etx_link_cost(double p_fwd, double p_rev, EtxVariant variant,
+                     double min_delivery) noexcept {
+  if (p_fwd <= min_delivery) return kInfCost;
+  if (variant == EtxVariant::kEtx1) return 1.0 / p_fwd;
+  if (p_rev <= min_delivery) return kInfCost;
+  return 1.0 / (p_fwd * p_rev);
+}
+
+EtxGraph::EtxGraph(const SuccessMatrix& success, EtxVariant variant,
+                   double min_delivery)
+    : n_(success.ap_count()), variant_(variant), cost_(n_ * n_, kInfCost) {
+  for (std::size_t f = 0; f < n_; ++f) {
+    for (std::size_t t = 0; t < n_; ++t) {
+      if (f == t) continue;
+      cost_[f * n_ + t] = etx_link_cost(
+          success.at(static_cast<ApId>(f), static_cast<ApId>(t)),
+          success.at(static_cast<ApId>(t), static_cast<ApId>(f)), variant,
+          min_delivery);
+    }
+  }
+}
+
+std::vector<double> EtxGraph::dijkstra(ApId origin, bool reversed,
+                                       std::vector<int>* parent) const {
+  std::vector<double> dist(n_, kInfCost);
+  if (parent != nullptr) parent->assign(n_, -1);
+  using Item = std::pair<double, std::size_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[origin] = 0.0;
+  pq.emplace(0.0, origin);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    for (std::size_t v = 0; v < n_; ++v) {
+      if (v == u) continue;
+      const double w = reversed ? cost_[v * n_ + u] : cost_[u * n_ + v];
+      if (w == kInfCost) continue;
+      const double nd = d + w;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        if (parent != nullptr) (*parent)[v] = static_cast<int>(u);
+        pq.emplace(nd, v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> EtxGraph::shortest_from(ApId src,
+                                            std::vector<int>* parent) const {
+  return dijkstra(src, /*reversed=*/false, parent);
+}
+
+std::vector<double> EtxGraph::shortest_to(ApId dst) const {
+  return dijkstra(dst, /*reversed=*/true, nullptr);
+}
+
+int EtxGraph::hops(const std::vector<int>& parent, ApId src, ApId dst) {
+  if (src == dst) return 0;
+  int hops = 0;
+  int cur = dst;
+  while (cur != -1 && cur != src) {
+    cur = parent[static_cast<std::size_t>(cur)];
+    ++hops;
+    if (hops > static_cast<int>(parent.size())) return -1;  // cycle guard
+  }
+  return cur == src ? hops : -1;
+}
+
+}  // namespace wmesh

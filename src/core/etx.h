@@ -1,0 +1,66 @@
+// ETX shortest-path routing (paper §2.3, §5.1).
+//
+// The expected-transmission-count metric of De Couto et al. [15], in the two
+// variants the paper compares:
+//   ETX1  assumes a perfect ACK channel: link cost = 1 / p_fwd
+//   ETX2  accounts for the lossy reverse (ACK) channel:
+//         link cost = 1 / (p_fwd * p_rev)
+// Path costs are sums of link costs along the Dijkstra-shortest path.  The
+// paper argues ETX1 is what deployments should use; the gap between the two
+// is driven by link asymmetry (Fig 5.2).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "core/dataset_ops.h"
+
+namespace wmesh {
+
+inline constexpr double kInfCost = std::numeric_limits<double>::infinity();
+
+enum class EtxVariant : std::uint8_t { kEtx1, kEtx2 };
+
+const char* to_string(EtxVariant v);
+
+// Link-cost matrix for one network at one bit rate.
+class EtxGraph {
+ public:
+  EtxGraph(const SuccessMatrix& success, EtxVariant variant,
+           double min_delivery = 0.0);
+
+  std::size_t ap_count() const noexcept { return n_; }
+  EtxVariant variant() const noexcept { return variant_; }
+
+  // Cost of the directed link, kInfCost when unusable.
+  double link_cost(ApId from, ApId to) const noexcept {
+    return cost_[static_cast<std::size_t>(from) * n_ + to];
+  }
+
+  // Single-source shortest-path costs from `src` to every node.  When
+  // `parent` is non-null it receives the predecessor of each node on its
+  // shortest path (-1 for src/unreachable).
+  std::vector<double> shortest_from(ApId src,
+                                    std::vector<int>* parent = nullptr) const;
+
+  // Shortest-path costs *to* `dst` from every node (Dijkstra on the
+  // reversed graph) -- the distance field opportunistic routing needs.
+  std::vector<double> shortest_to(ApId dst) const;
+
+  // Hop count along the parent chain from src to dst; -1 when unreachable.
+  static int hops(const std::vector<int>& parent, ApId src, ApId dst);
+
+ private:
+  std::vector<double> dijkstra(ApId origin, bool reversed,
+                               std::vector<int>* parent) const;
+
+  std::size_t n_ = 0;
+  EtxVariant variant_;
+  std::vector<double> cost_;
+};
+
+// Builds the ETX cost for one link from forward/reverse success rates.
+double etx_link_cost(double p_fwd, double p_rev, EtxVariant variant,
+                     double min_delivery = 0.0) noexcept;
+
+}  // namespace wmesh

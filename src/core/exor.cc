@@ -1,0 +1,136 @@
+#include "core/exor.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace wmesh {
+
+std::vector<double> exor_costs_to(const SuccessMatrix& success,
+                                  const std::vector<double>& etx_to_dst) {
+  const std::size_t n = success.ap_count();
+  std::vector<double> exor(n, kInfCost);
+
+  // Evaluate nodes in increasing ETX distance so every candidate (strictly
+  // closer) is already final.  The destination itself has distance 0.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return etx_to_dst[a] < etx_to_dst[b];
+  });
+
+  struct Candidate {
+    std::size_t node;
+    double dist;
+    double p;
+  };
+  std::vector<Candidate> cands;
+
+  for (const std::size_t s : order) {
+    if (etx_to_dst[s] == kInfCost) break;  // rest are unreachable too
+    if (etx_to_dst[s] == 0.0) {
+      exor[s] = 0.0;  // the destination
+      continue;
+    }
+    cands.clear();
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v == s) continue;
+      if (etx_to_dst[v] >= etx_to_dst[s]) continue;
+      const double p =
+          success.at(static_cast<ApId>(s), static_cast<ApId>(v));
+      if (p <= 0.0) continue;
+      // A node can be closer by ETX yet itself unable to progress (its own
+      // ExOR cost is infinite); a real protocol would never pick it as a
+      // forwarder, so it is not a candidate.
+      if (exor[v] == kInfCost) continue;
+      cands.push_back({v, etx_to_dst[v], p});
+    }
+    if (cands.empty()) continue;  // cannot progress; leave infinite
+    std::sort(cands.begin(), cands.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.dist < b.dist;
+              });
+    double none = 1.0;      // P(no candidate received), running product
+    double weighted = 0.0;  // sum r(c_k) * ExOR(c_k)
+    for (const Candidate& c : cands) {
+      weighted += c.p * none * exor[c.node];
+      none *= (1.0 - c.p);
+    }
+    if (none < 1.0) {
+      exor[s] = (1.0 + weighted) / (1.0 - none);
+    }
+  }
+  return exor;
+}
+
+std::vector<PairGain> opportunistic_gains(const SuccessMatrix& success,
+                                          EtxVariant variant,
+                                          double min_delivery) {
+  const std::size_t n = success.ap_count();
+  EtxGraph graph(success, variant, min_delivery);
+  std::vector<PairGain> out;
+
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    const auto etx_to = graph.shortest_to(static_cast<ApId>(dst));
+    const auto exor_to = exor_costs_to(success, etx_to);
+    // Hop counts come from the forward shortest-path tree of each source;
+    // compute them from the reverse tree instead: run one forward Dijkstra
+    // per destination is O(n^2 log n) overall -- fine at our sizes.
+    for (std::size_t src = 0; src < n; ++src) {
+      if (src == dst) continue;
+      if (etx_to[src] == kInfCost || exor_to[src] == kInfCost) continue;
+      PairGain g;
+      g.src = static_cast<ApId>(src);
+      g.dst = static_cast<ApId>(dst);
+      g.etx_cost = etx_to[src];
+      g.exor_cost = exor_to[src];
+      out.push_back(g);
+    }
+  }
+
+  // Fill hop counts with one forward Dijkstra per source.
+  std::vector<std::vector<int>> parents(n);
+  std::vector<int> parent;
+  for (std::size_t src = 0; src < n; ++src) {
+    graph.shortest_from(static_cast<ApId>(src), &parent);
+    parents[src] = parent;
+  }
+  for (PairGain& g : out) {
+    g.hops = EtxGraph::hops(parents[g.src], g.src, g.dst);
+  }
+  return out;
+}
+
+std::vector<double> link_asymmetries(const SuccessMatrix& success) {
+  const std::size_t n = success.ap_count();
+  std::vector<double> out;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const double fwd = success.at(static_cast<ApId>(a), static_cast<ApId>(b));
+      const double rev = success.at(static_cast<ApId>(b), static_cast<ApId>(a));
+      if (fwd <= 0.0 || rev <= 0.0) continue;
+      out.push_back(fwd / rev);
+    }
+  }
+  return out;
+}
+
+std::vector<int> path_lengths(const SuccessMatrix& success,
+                              double min_delivery) {
+  const std::size_t n = success.ap_count();
+  EtxGraph graph(success, EtxVariant::kEtx1, min_delivery);
+  std::vector<int> out;
+  std::vector<int> parent;
+  for (std::size_t src = 0; src < n; ++src) {
+    const auto dist = graph.shortest_from(static_cast<ApId>(src), &parent);
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      if (dst == src || dist[dst] == kInfCost) continue;
+      const int h = EtxGraph::hops(parent, static_cast<ApId>(src),
+                                   static_cast<ApId>(dst));
+      if (h > 0) out.push_back(h);
+    }
+  }
+  return out;
+}
+
+}  // namespace wmesh

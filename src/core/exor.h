@@ -1,0 +1,68 @@
+// Idealized opportunistic routing (paper §5).
+//
+// Models an overhead-free ExOR/MORE: the sender broadcasts, and among the
+// receivers that are closer to the destination (under the ETX metric) the
+// closest one forwards.  For source s and destination d with candidate set
+// C = { n : ETX(n->d) < ETX(s->d), p(s->n) > 0 }, ordered by increasing
+// ETX-to-d,
+//
+//     r(c_k)   = p(s->c_k) * prod_{j<k} (1 - p(s->c_j))
+//     r(none)  = prod_{c in C} (1 - p(s->c))
+//     ExOR(s->d) = (1 + sum_k r(c_k) * ExOR(c_k->d)) / (1 - r(none))
+//
+// which the paper's §5.1 formula expresses with the "1" accounting for the
+// broadcast itself and the denominator for the chance the packet never
+// leaves s.  Because candidates strictly decrease the ETX distance, the
+// recursion is evaluated bottom-up in one sweep per destination.
+//
+// The improvement of opportunistic routing over ETX routing for a pair is
+//     (ETX_cost - ExOR_cost) / ETX_cost,
+// i.e. an improvement of x means ETX needs (x*100)% more transmissions.
+#pragma once
+
+#include <vector>
+
+#include "core/etx.h"
+
+namespace wmesh {
+
+// Per source-destination pair result at one bit rate.
+struct PairGain {
+  ApId src = 0;
+  ApId dst = 0;
+  double etx_cost = 0.0;
+  double exor_cost = 0.0;
+  int hops = 0;  // hop count of the ETX shortest path
+
+  double improvement() const noexcept {
+    if (etx_cost <= 0.0) return 0.0;
+    return (etx_cost - exor_cost) / etx_cost;
+  }
+};
+
+// ExOR costs to destination `dst` for every node, given the per-link
+// success matrix and the ETX-to-dst distance field of the same variant.
+// Entries are kInfCost where dst is unreachable.
+std::vector<double> exor_costs_to(const SuccessMatrix& success,
+                                  const std::vector<double>& etx_to_dst);
+
+// Links below this delivery rate are not usable by ETX routing (real ETX
+// implementations ignore links they barely hear; the paper's own neighbor
+// threshold in §6 is the same 10%).  Opportunistic *receptions* still use
+// every link with non-zero delivery -- that is the point of ExOR.
+inline constexpr double kEtxMinDelivery = 0.10;
+
+// All reachable source-destination pairs of one network at one rate.
+std::vector<PairGain> opportunistic_gains(const SuccessMatrix& success,
+                                          EtxVariant variant,
+                                          double min_delivery = kEtxMinDelivery);
+
+// Fig 5.2: link asymmetry samples -- p(a->b)/p(b->a) for every ordered pair
+// with both directions alive.
+std::vector<double> link_asymmetries(const SuccessMatrix& success);
+
+// Fig 5.3: ETX1 shortest-path hop counts for all reachable pairs.
+std::vector<int> path_lengths(const SuccessMatrix& success,
+                              double min_delivery = kEtxMinDelivery);
+
+}  // namespace wmesh

@@ -1,0 +1,122 @@
+#include "core/exor_sim.h"
+
+#include <algorithm>
+
+namespace wmesh {
+namespace {
+
+void finalize(PacketSimResult& r, double tx_sum) {
+  if (r.delivered > 0) {
+    r.mean_transmissions = tx_sum / static_cast<double>(r.delivered);
+  }
+  if (r.packets > 0) {
+    r.delivery_fraction =
+        static_cast<double>(r.delivered) / static_cast<double>(r.packets);
+  }
+}
+
+}  // namespace
+
+PacketSimResult simulate_etx_path(const SuccessMatrix& success,
+                                  const EtxGraph& graph, ApId src, ApId dst,
+                                  const PacketSimParams& params, Rng& rng) {
+  PacketSimResult out;
+  out.packets = params.packets;
+
+  // Materialize the shortest path once; it is the route a DSDV/ETX mesh
+  // would pin for this pair.
+  std::vector<int> parent;
+  const auto dist = graph.shortest_from(src, &parent);
+  if (dist[dst] == kInfCost) return out;
+  std::vector<ApId> path;  // dst ... src
+  for (int cur = dst; cur != src; cur = parent[static_cast<std::size_t>(cur)]) {
+    path.push_back(static_cast<ApId>(cur));
+  }
+  path.push_back(src);
+  std::reverse(path.begin(), path.end());  // src ... dst
+
+  double tx_sum = 0.0;
+  for (std::size_t pkt = 0; pkt < params.packets; ++pkt) {
+    std::size_t tx = 0;
+    bool dead = false;
+    for (std::size_t hop = 0; hop + 1 < path.size() && !dead; ++hop) {
+      const ApId from = path[hop];
+      const ApId to = path[hop + 1];
+      const double p_fwd = success.at(from, to);
+      const double p_rev = success.at(to, from);
+      while (true) {
+        if (++tx > params.max_transmissions) {
+          dead = true;
+          break;
+        }
+        if (!rng.bernoulli(p_fwd)) continue;  // data lost, retransmit
+        if (graph.variant() == EtxVariant::kEtx2 && !rng.bernoulli(p_rev)) {
+          continue;  // ACK lost: sender retransmits although data arrived
+        }
+        break;
+      }
+    }
+    if (!dead) {
+      ++out.delivered;
+      tx_sum += static_cast<double>(tx);
+    }
+  }
+  finalize(out, tx_sum);
+  return out;
+}
+
+PacketSimResult simulate_exor(const SuccessMatrix& success,
+                              const std::vector<double>& etx_to_dst,
+                              ApId src, ApId dst,
+                              const PacketSimParams& params, Rng& rng) {
+  PacketSimResult out;
+  out.packets = params.packets;
+  const std::size_t n = success.ap_count();
+  if (etx_to_dst[src] == kInfCost) return out;
+
+  // Candidate lists per holder, sorted by increasing distance to dst,
+  // precomputed once.
+  std::vector<std::vector<ApId>> cands(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (etx_to_dst[s] == kInfCost) continue;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v == s || etx_to_dst[v] >= etx_to_dst[s]) continue;
+      if (success.at(static_cast<ApId>(s), static_cast<ApId>(v)) <= 0.0) {
+        continue;
+      }
+      cands[s].push_back(static_cast<ApId>(v));
+    }
+    std::sort(cands[s].begin(), cands[s].end(), [&](ApId a, ApId b) {
+      return etx_to_dst[a] < etx_to_dst[b];
+    });
+  }
+
+  double tx_sum = 0.0;
+  for (std::size_t pkt = 0; pkt < params.packets; ++pkt) {
+    ApId holder = src;
+    std::size_t tx = 0;
+    bool dead = false;
+    while (holder != dst) {
+      if (cands[holder].empty() || ++tx > params.max_transmissions) {
+        dead = true;
+        break;
+      }
+      // Broadcast: the closest candidate that receives it takes over.
+      for (ApId c : cands[holder]) {
+        if (rng.bernoulli(success.at(holder, c))) {
+          holder = c;
+          break;
+        }
+      }
+      // Nobody received: the holder keeps the packet and rebroadcasts.
+    }
+    if (!dead) {
+      ++out.delivered;
+      tx_sum += static_cast<double>(tx);
+    }
+  }
+  finalize(out, tx_sum);
+  return out;
+}
+
+}  // namespace wmesh

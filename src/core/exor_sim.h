@@ -1,0 +1,54 @@
+// Packet-level validation of the §5 routing analysis.
+//
+// exor_costs_to() computes the *expected* transmissions of an idealized
+// opportunistic protocol in closed form.  This module complements it with a
+// Monte-Carlo packet simulator for both protocols:
+//
+//   * ETX single path -- the packet walks the Dijkstra shortest path; each
+//     hop retransmits until delivered (ETX1's perfect-ACK assumption) or,
+//     under ETX2, until a data+ACK exchange succeeds.
+//   * idealized ExOR -- every transmission is a broadcast; among the
+//     candidates closer to the destination (by the ETX field) that received
+//     it, the closest becomes the new holder.
+//
+// Agreement between the simulated transmission counts and the closed-form
+// costs is asserted by tests/test_exor_sim.cc -- the strongest check we
+// have that the §5 numbers mean what the paper says they mean.
+#pragma once
+
+#include "core/etx.h"
+#include "util/rng.h"
+
+namespace wmesh {
+
+struct PacketSimResult {
+  std::size_t packets = 0;
+  std::size_t delivered = 0;
+  double mean_transmissions = 0.0;  // over delivered packets
+  double delivery_fraction = 0.0;
+};
+
+struct PacketSimParams {
+  std::size_t packets = 2000;
+  // Per-packet transmission budget; packets exceeding it count as lost
+  // (guards pathological topologies).
+  std::size_t max_transmissions = 10000;
+};
+
+// Single-path routing along `graph`'s shortest path from src to dst.
+// Under ETX2 each hop needs both the data frame (forward success rate) and
+// the ACK (reverse success rate) to get through; under ETX1 the ACK is
+// free.
+PacketSimResult simulate_etx_path(const SuccessMatrix& success,
+                                  const EtxGraph& graph, ApId src, ApId dst,
+                                  const PacketSimParams& params, Rng& rng);
+
+// Idealized opportunistic routing: broadcast, closest receiving candidate
+// forwards.  `etx_to_dst` must be the ETX distance field toward dst from
+// the same variant used for candidacy.
+PacketSimResult simulate_exor(const SuccessMatrix& success,
+                              const std::vector<double>& etx_to_dst,
+                              ApId src, ApId dst,
+                              const PacketSimParams& params, Rng& rng);
+
+}  // namespace wmesh

@@ -1,0 +1,103 @@
+#include "core/hidden.h"
+
+namespace wmesh {
+
+HearingGraph::HearingGraph(const SuccessMatrix& success, double threshold)
+    : n_(success.ap_count()), hear_(n_ * n_, 0) {
+  for (std::size_t a = 0; a < n_; ++a) {
+    for (std::size_t b = a + 1; b < n_; ++b) {
+      const double fwd = success.at(static_cast<ApId>(a), static_cast<ApId>(b));
+      const double rev = success.at(static_cast<ApId>(b), static_cast<ApId>(a));
+      const bool heard = 0.5 * (fwd + rev) > threshold;
+      hear_[a * n_ + b] = heard ? 1 : 0;
+      hear_[b * n_ + a] = heard ? 1 : 0;
+    }
+  }
+}
+
+std::size_t HearingGraph::range_pairs() const noexcept {
+  std::size_t pairs = 0;
+  for (std::size_t a = 0; a < n_; ++a) {
+    for (std::size_t b = a + 1; b < n_; ++b) {
+      pairs += hear_[a * n_ + b];
+    }
+  }
+  return pairs;
+}
+
+TripleCounts count_triples(const HearingGraph& graph) {
+  const std::size_t n = graph.ap_count();
+  TripleCounts out;
+  std::vector<ApId> hearers;
+  for (std::size_t b = 0; b < n; ++b) {
+    hearers.clear();
+    for (std::size_t x = 0; x < n; ++x) {
+      if (x == b) continue;
+      if (graph.hears(static_cast<ApId>(x), static_cast<ApId>(b))) {
+        hearers.push_back(static_cast<ApId>(x));
+      }
+    }
+    for (std::size_t i = 0; i < hearers.size(); ++i) {
+      for (std::size_t j = i + 1; j < hearers.size(); ++j) {
+        ++out.relevant;
+        if (!graph.hears(hearers[i], hearers[j])) ++out.hidden;
+      }
+    }
+  }
+  return out;
+}
+
+HiddenTripleStats hidden_triples_per_network(const Dataset& ds,
+                                             Standard standard,
+                                             RateIndex rate, double threshold,
+                                             std::size_t min_aps) {
+  HiddenTripleStats out;
+  for (const auto& nt : ds.networks) {
+    if (nt.info.standard != standard) continue;
+    if (nt.ap_count < min_aps) continue;
+    const auto success = mean_success_matrix(nt, rate);
+    const HearingGraph graph(success, threshold);
+    const auto counts = count_triples(graph);
+    if (counts.relevant == 0) continue;
+    ++out.networks_with_triples;
+    out.fractions.push_back(counts.hidden_fraction());
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> range_ratios(const Dataset& ds,
+                                              Standard standard,
+                                              double threshold,
+                                              RateIndex base_rate) {
+  const std::size_t n_rates = rate_count(standard);
+  std::vector<std::vector<double>> out(n_rates);
+  for (const auto& nt : ds.networks) {
+    if (nt.info.standard != standard) continue;
+    const auto matrices = all_success_matrices(nt);
+    const HearingGraph base(matrices[base_rate], threshold);
+    const double base_pairs = static_cast<double>(base.range_pairs());
+    if (base_pairs <= 0.0) continue;
+    for (std::size_t r = 0; r < n_rates; ++r) {
+      const HearingGraph g(matrices[r], threshold);
+      out[r].push_back(static_cast<double>(g.range_pairs()) / base_pairs);
+    }
+  }
+  return out;
+}
+
+std::vector<double> normalized_range(const Dataset& ds, Standard standard,
+                                     RateIndex rate, double threshold,
+                                     Environment env) {
+  std::vector<double> out;
+  for (const auto& nt : ds.networks) {
+    if (nt.info.standard != standard || nt.info.env != env) continue;
+    if (nt.ap_count < 2) continue;
+    const auto success = mean_success_matrix(nt, rate);
+    const HearingGraph g(success, threshold);
+    const double size = static_cast<double>(nt.ap_count);
+    out.push_back(static_cast<double>(g.range_pairs()) / (size * size));
+  }
+  return out;
+}
+
+}  // namespace wmesh

@@ -1,0 +1,79 @@
+// Hidden-triple and range analysis (paper §6).
+//
+// Definitions (paper §6, verbatim semantics):
+//   * APs A and B "can hear each other at rate b" when more than threshold t
+//     of the probes sent between them at rate b were received (we use the
+//     mean of the two directions' success rates, matching the paper's
+//     "probes sent between them").
+//   * A *relevant triple* (A, B, C) has A and C both hearing B.
+//   * A *hidden triple* is a relevant triple where A and C cannot hear each
+//     other -- the topology that can produce hidden terminals.
+//   * The *range* of a network at rate b is the number of node pairs that
+//     can hear each other at b; Fig 6.2 reports range(b) / range(1 Mbit/s).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset_ops.h"
+
+namespace wmesh {
+
+// Symmetric hearing relation of one network at one rate and threshold.
+class HearingGraph {
+ public:
+  HearingGraph(const SuccessMatrix& success, double threshold);
+
+  std::size_t ap_count() const noexcept { return n_; }
+  bool hears(ApId a, ApId b) const noexcept {
+    return hear_[static_cast<std::size_t>(a) * n_ + b] != 0;
+  }
+
+  // Number of unordered pairs that hear each other (the paper's "range").
+  std::size_t range_pairs() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint8_t> hear_;
+};
+
+struct TripleCounts {
+  std::size_t relevant = 0;
+  std::size_t hidden = 0;
+
+  double hidden_fraction() const noexcept {
+    return relevant == 0
+               ? 0.0
+               : static_cast<double>(hidden) / static_cast<double>(relevant);
+  }
+};
+
+// Counts relevant and hidden triples: for every centre B and unordered pair
+// {A, C} of B's hearers.
+TripleCounts count_triples(const HearingGraph& graph);
+
+// Per-network hidden-triple fractions at one rate/threshold, over the traces
+// of `standard` with at least `min_aps` APs.  One value per network that has
+// at least one relevant triple.
+struct HiddenTripleStats {
+  std::vector<double> fractions;           // per network
+  std::size_t networks_with_triples = 0;
+};
+HiddenTripleStats hidden_triples_per_network(const Dataset& ds,
+                                             Standard standard,
+                                             RateIndex rate, double threshold,
+                                             std::size_t min_aps = 3);
+
+// Fig 6.2: per network, range(rate) / range(rate 0) for every probed rate.
+// ratios[rate] holds one value per network whose base-rate range is > 0.
+std::vector<std::vector<double>> range_ratios(const Dataset& ds,
+                                              Standard standard,
+                                              double threshold,
+                                              RateIndex base_rate = 0);
+
+// §6.3: range normalized by network size squared, per network, at one rate.
+std::vector<double> normalized_range(const Dataset& ds, Standard standard,
+                                     RateIndex rate, double threshold,
+                                     Environment env);
+
+}  // namespace wmesh

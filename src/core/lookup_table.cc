@@ -1,0 +1,165 @@
+#include "core/lookup_table.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/dataset_ops.h"
+#include "core/rate_selection.h"
+
+namespace wmesh {
+
+const char* to_string(TableScope scope) {
+  switch (scope) {
+    case TableScope::kGlobal:
+      return "global";
+    case TableScope::kNetwork:
+      return "network";
+    case TableScope::kAp:
+      return "ap";
+    case TableScope::kLink:
+      return "link";
+  }
+  return "?";
+}
+
+void SnrLookupTable::observe(std::uint64_t key, int snr, RateIndex rate) {
+  Counts& c = cells_[{key, snr}];
+  if (c.empty()) c.assign(n_rates_, 0);
+  if (rate < n_rates_) ++c[rate];
+}
+
+int SnrLookupTable::choose(std::uint64_t key, int snr) const {
+  const auto it = cells_.find({key, snr});
+  if (it == cells_.end()) return -1;
+  const Counts& c = it->second;
+  // Highest count wins; ties break toward the lower (more robust) rate.
+  std::size_t best = 0;
+  for (std::size_t r = 1; r < c.size(); ++r) {
+    if (c[r] > c[best]) best = r;
+  }
+  return c[best] > 0 ? static_cast<int>(best) : -1;
+}
+
+int SnrLookupTable::rates_needed(std::uint64_t key, int snr,
+                                 double percentile) const {
+  const auto it = cells_.find({key, snr});
+  if (it == cells_.end()) return 0;
+  Counts sorted = it->second;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  std::uint64_t total = 0;
+  for (auto v : sorted) total += v;
+  if (total == 0) return 0;
+  const double target = percentile * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  int needed = 0;
+  for (auto v : sorted) {
+    if (v == 0) break;
+    cum += v;
+    ++needed;
+    if (static_cast<double>(cum) + 1e-9 >= target) break;
+  }
+  return needed;
+}
+
+std::size_t SnrLookupTable::cell_count(std::uint64_t key, int snr) const {
+  const auto it = cells_.find({key, snr});
+  if (it == cells_.end()) return 0;
+  std::uint64_t total = 0;
+  for (auto v : it->second) total += v;
+  return total;
+}
+
+std::vector<SnrLookupTable::Cell> SnrLookupTable::cells() const {
+  std::vector<Cell> out;
+  out.reserve(cells_.size());
+  for (const auto& [ks, counts] : cells_) {
+    std::uint64_t total = 0;
+    for (auto v : counts) total += v;
+    out.push_back({ks.first, ks.second, total});
+  }
+  return out;
+}
+
+std::uint64_t SnrLookupTable::scope_key(TableScope scope,
+                                        std::uint32_t network_id, ApId from,
+                                        ApId to) noexcept {
+  switch (scope) {
+    case TableScope::kGlobal:
+      return 0;
+    case TableScope::kNetwork:
+      return network_id;
+    case TableScope::kAp:
+      return (static_cast<std::uint64_t>(network_id) << 16) | from;
+    case TableScope::kLink:
+      return (static_cast<std::uint64_t>(network_id) << 32) |
+             (static_cast<std::uint64_t>(from) << 16) | to;
+  }
+  return 0;
+}
+
+SnrLookupTable build_lookup_table(const Dataset& ds, Standard standard,
+                                  TableScope scope) {
+  SnrLookupTable table(standard, scope);
+  for_each_probe_set(
+      ds, standard, [&](const NetworkTrace& nt, const ProbeSet& set) {
+        if (std::isnan(set.snr_db)) return;
+        const auto opt = optimal_rate(set, standard);
+        if (!opt) return;
+        table.observe(
+            SnrLookupTable::scope_key(scope, nt.info.id, set.from, set.to),
+            snr_key(set.snr_db), *opt);
+      });
+  return table;
+}
+
+RatesNeededCurve rates_needed_curve(const SnrLookupTable& table,
+                                    double percentile) {
+  // Aggregate per SNR across scope instances: observation-weighted mean and
+  // max of the per-cell rates_needed.
+  std::map<int, std::pair<double, std::uint64_t>> weighted;  // sum, weight
+  std::map<int, int> maxima;
+  for (const auto& cell : table.cells()) {
+    const int k = table.rates_needed(cell.key, cell.snr, percentile);
+    if (k == 0) continue;
+    auto& [sum, w] = weighted[cell.snr];
+    sum += static_cast<double>(k) * static_cast<double>(cell.count);
+    w += cell.count;
+    maxima[cell.snr] = std::max(maxima[cell.snr], k);
+  }
+  RatesNeededCurve out;
+  for (const auto& [snr, sw] : weighted) {
+    out.snr.push_back(snr);
+    out.mean_rates.push_back(sw.first / static_cast<double>(sw.second));
+    out.max_rates.push_back(maxima[snr]);
+  }
+  return out;
+}
+
+TableErrorResult lookup_table_errors(const Dataset& ds, Standard standard,
+                                     TableScope scope) {
+  const SnrLookupTable table = build_lookup_table(ds, standard, scope);
+  TableErrorResult out;
+  std::size_t exact = 0;
+  for_each_probe_set(
+      ds, standard, [&](const NetworkTrace& nt, const ProbeSet& set) {
+        if (std::isnan(set.snr_db)) return;
+        const auto opt = optimal_rate(set, standard);
+        if (!opt) return;
+        const int choice = table.choose(
+            SnrLookupTable::scope_key(scope, nt.info.id, set.from, set.to),
+            snr_key(set.snr_db));
+        if (choice < 0) return;  // paper: no prediction without data
+        const double best = probe_set_throughput_mbps(set, standard, *opt);
+        const double got = probe_set_throughput_mbps(
+            set, standard, static_cast<RateIndex>(choice));
+        out.throughput_diff_mbps.push_back(best - got);
+        if (choice == static_cast<int>(*opt)) ++exact;
+      });
+  if (!out.throughput_diff_mbps.empty()) {
+    out.exact_fraction = static_cast<double>(exact) /
+                         static_cast<double>(out.throughput_diff_mbps.size());
+  }
+  return out;
+}
+
+}  // namespace wmesh

@@ -1,0 +1,97 @@
+// SNR -> bit-rate look-up tables at four training scopes (paper §4.1-4.3).
+//
+// The paper's central §4 experiment: build a table mapping (rounded) SNR to
+// the bit rate that was most frequently optimal, at one of four scopes --
+//   global   one table for everything (base case)
+//   network  one table per network
+//   ap       one table per sending AP
+//   link     one table per directed link
+// -- then ask (a) how many distinct rates per SNR cell are needed to cover
+// the optimal rate p% of the time (Figs 4.2/4.3), and (b) how much
+// throughput the single most-frequent choice loses versus the per-set
+// optimum (Fig 4.4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "trace/records.h"
+
+namespace wmesh {
+
+enum class TableScope : std::uint8_t { kGlobal, kNetwork, kAp, kLink };
+
+const char* to_string(TableScope scope);
+
+// A frequency table of optimal rates, keyed by (scope instance, SNR dB).
+class SnrLookupTable {
+ public:
+  explicit SnrLookupTable(Standard standard, TableScope scope)
+      : standard_(standard), scope_(scope), n_rates_(rate_count(standard)) {}
+
+  Standard standard() const noexcept { return standard_; }
+  TableScope scope() const noexcept { return scope_; }
+
+  // Records that a probe set with rounded SNR `snr` in scope instance `key`
+  // had optimal rate `rate`.
+  void observe(std::uint64_t key, int snr, RateIndex rate);
+
+  // The most frequently optimal rate for (key, snr); -1 when never seen.
+  int choose(std::uint64_t key, int snr) const;
+
+  // Smallest number of distinct rates whose cumulative optimal-frequency
+  // reaches `percentile` (in (0,1]) for cell (key, snr); 0 when never seen.
+  int rates_needed(std::uint64_t key, int snr, double percentile) const;
+
+  // Total observations in cell (key, snr).
+  std::size_t cell_count(std::uint64_t key, int snr) const;
+
+  // All populated (key, snr) cells.
+  struct Cell {
+    std::uint64_t key;
+    int snr;
+    std::size_t count;
+  };
+  std::vector<Cell> cells() const;
+
+  // The scope key of a probe set under this table's scope.
+  static std::uint64_t scope_key(TableScope scope, std::uint32_t network_id,
+                                 ApId from, ApId to) noexcept;
+
+ private:
+  using Counts = std::vector<std::uint32_t>;  // one per rate
+  Standard standard_;
+  TableScope scope_;
+  std::size_t n_rates_;
+  std::map<std::pair<std::uint64_t, int>, Counts> cells_;
+};
+
+// Builds the table of `scope` from every probe set of `standard` in `ds`.
+SnrLookupTable build_lookup_table(const Dataset& ds, Standard standard,
+                                  TableScope scope);
+
+// Figs 4.2/4.3: for each SNR, the number of unique rates needed to reach
+// `percentile`, aggregated across all scope instances.  The aggregate is the
+// observation-weighted mean over cells (and the max, for the pessimist).
+struct RatesNeededCurve {
+  std::vector<int> snr;        // populated SNR values, ascending
+  std::vector<double> mean_rates;
+  std::vector<int> max_rates;
+};
+RatesNeededCurve rates_needed_curve(const SnrLookupTable& table,
+                                    double percentile);
+
+// Fig 4.4: per probe set, the throughput of its optimal rate minus the
+// throughput of the table's choice (>= 0 by construction of the optimum;
+// when the table's choice has no entry in the set the difference counts the
+// full optimal throughput).  Also reports the fraction of sets where the
+// table choice was exactly optimal.
+struct TableErrorResult {
+  std::vector<double> throughput_diff_mbps;  // one per evaluated probe set
+  double exact_fraction = 0.0;
+};
+TableErrorResult lookup_table_errors(const Dataset& ds, Standard standard,
+                                     TableScope scope);
+
+}  // namespace wmesh

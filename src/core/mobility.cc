@@ -1,0 +1,101 @@
+#include "core/mobility.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/stats.h"
+
+namespace wmesh {
+
+std::vector<ClientSession> reconstruct_sessions(
+    const std::vector<ClientSample>& samples) {
+  std::vector<ClientSession> sessions;
+  const ClientSample* prev = nullptr;
+  for (const auto& s : samples) {
+    const bool new_session = prev == nullptr || s.client != prev->client ||
+                             s.bucket > prev->bucket + 1;
+    if (new_session) {
+      sessions.emplace_back();
+      sessions.back().client = s.client;
+      sessions.back().start_bucket = s.bucket;
+    }
+    sessions.back().aps.push_back(s.ap);
+    prev = &s;
+  }
+  return sessions;
+}
+
+MobilityStats analyze_mobility(const NetworkTrace& trace,
+                               double bucket_minutes) {
+  MobilityStats out;
+  const auto sessions = reconstruct_sessions(trace.client_samples);
+
+  // Prevalence is a fraction of the observation window (the 11-hour trace),
+  // so short visits yield small values even for single-AP clients -- this is
+  // what gives Fig 7.3 its mass below 0.05.
+  std::uint32_t horizon_buckets = 0;
+  for (const auto& s : trace.client_samples) {
+    horizon_buckets = std::max(horizon_buckets, s.bucket + 1);
+  }
+  const double horizon_min =
+      static_cast<double>(horizon_buckets) * bucket_minutes;
+
+  for (const auto& sess : sessions) {
+    const double total_min =
+        static_cast<double>(sess.aps.size()) * bucket_minutes;
+    out.connection_length_min.push_back(total_min);
+
+    // Time per AP and run lengths in one pass.
+    std::map<ApId, std::size_t> buckets_at;
+    std::vector<double> runs_min;
+    std::size_t run_len = 0;
+    for (std::size_t i = 0; i < sess.aps.size(); ++i) {
+      ++buckets_at[sess.aps[i]];
+      ++run_len;
+      const bool run_ends =
+          i + 1 == sess.aps.size() || sess.aps[i + 1] != sess.aps[i];
+      if (run_ends) {
+        runs_min.push_back(static_cast<double>(run_len) * bucket_minutes);
+        run_len = 0;
+      }
+    }
+
+    out.aps_visited.push_back(static_cast<int>(buckets_at.size()));
+    double max_prev = 0.0;
+    for (const auto& [ap, b] : buckets_at) {
+      (void)ap;
+      const double prev =
+          static_cast<double>(b) * bucket_minutes / horizon_min;
+      out.prevalence.push_back(prev);
+      max_prev = std::max(max_prev, prev);
+    }
+    for (double r : runs_min) out.persistence_min.push_back(r);
+    out.pers_vs_prev.emplace_back(median(runs_min), max_prev);
+  }
+  return out;
+}
+
+MobilityStats analyze_mobility_by_env(const Dataset& ds, Environment env,
+                                      double bucket_minutes) {
+  MobilityStats out;
+  for (const auto& nt : ds.networks) {
+    if (nt.info.env != env) continue;
+    if (nt.client_samples.empty()) continue;
+    merge_mobility(out, analyze_mobility(nt, bucket_minutes));
+  }
+  return out;
+}
+
+void merge_mobility(MobilityStats& into, MobilityStats&& more) {
+  auto append = [](auto& dst, auto&& src) {
+    dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+               std::make_move_iterator(src.end()));
+  };
+  append(into.aps_visited, std::move(more.aps_visited));
+  append(into.connection_length_min, std::move(more.connection_length_min));
+  append(into.prevalence, std::move(more.prevalence));
+  append(into.persistence_min, std::move(more.persistence_min));
+  append(into.pers_vs_prev, std::move(more.pers_vs_prev));
+}
+
+}  // namespace wmesh

@@ -1,0 +1,57 @@
+// Client-mobility analysis (paper §7): prevalence and persistence.
+//
+// From five-minute association samples we reconstruct *sessions*: a client
+// that disappears for more than one sample interval is treated as a new
+// client on return (the paper's five-minute disconnection rule).  Then:
+//
+//   * connection length  -- session duration (Fig 7.2);
+//   * APs visited        -- distinct APs in a session (Fig 7.1);
+//   * prevalence of AP A for client c -- fraction of the observation
+//     window c spent associated with A (one value per (client, AP) pair
+//     with non-zero time, Fig 7.3);
+//   * persistence -- the length of each maximal run at a single AP before
+//     switching (one value per run, Fig 7.4);
+//   * per-client (median persistence, max prevalence) for Fig 7.5.
+#pragma once
+
+#include <vector>
+
+#include "trace/records.h"
+
+namespace wmesh {
+
+// One reconstructed session: contiguous buckets of one (virtual) client.
+struct ClientSession {
+  std::uint32_t client = 0;   // original client id
+  std::uint32_t start_bucket = 0;
+  std::vector<ApId> aps;      // one entry per bucket, in order
+};
+
+// Splits a trace's client samples into sessions.  Samples must be sorted by
+// (client, bucket), as the simulator and loader produce.
+std::vector<ClientSession> reconstruct_sessions(
+    const std::vector<ClientSample>& samples);
+
+struct MobilityStats {
+  std::vector<int> aps_visited;              // per session
+  std::vector<double> connection_length_min; // per session
+  std::vector<double> prevalence;            // per (session, AP), non-zero
+  std::vector<double> persistence_min;       // per run at one AP
+  // Fig 7.5: per session, (median persistence in minutes, max prevalence).
+  std::vector<std::pair<double, double>> pers_vs_prev;
+};
+
+// Analyzes one trace; bucket_minutes converts buckets to wall time.
+MobilityStats analyze_mobility(const NetworkTrace& trace,
+                               double bucket_minutes = 5.0);
+
+// Aggregates over every trace of `env` in the dataset (traces whose
+// environment is kMixed are skipped when env is indoor/outdoor, matching
+// the paper's classification rule).
+MobilityStats analyze_mobility_by_env(const Dataset& ds, Environment env,
+                                      double bucket_minutes = 5.0);
+
+// Merges `more` into `into` (simple concatenation of all sample vectors).
+void merge_mobility(MobilityStats& into, MobilityStats&& more);
+
+}  // namespace wmesh

@@ -1,0 +1,85 @@
+#include "core/rate_selection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/dataset_ops.h"
+#include "phy/error_model.h"
+
+namespace wmesh {
+
+double probe_set_throughput_mbps(const ProbeSet& set, Standard standard,
+                                 RateIndex rate) {
+  const ProbeEntry* e = set.entry(rate);
+  if (e == nullptr) return 0.0;
+  const auto rates = probed_rates(standard);
+  if (rate >= rates.size()) return 0.0;
+  return throughput_from_loss_mbps(rates[rate], e->loss);
+}
+
+std::optional<RateIndex> optimal_rate(const ProbeSet& set, Standard standard) {
+  const auto rates = probed_rates(standard);
+  double best_thr = 0.0;
+  int best = -1;
+  for (const auto& e : set.entries) {
+    if (e.rate >= rates.size()) continue;
+    const double thr = throughput_from_loss_mbps(rates[e.rate], e.loss);
+    if (thr > best_thr) {
+      best_thr = thr;
+      best = e.rate;
+    }
+  }
+  if (best < 0) return std::nullopt;
+  return static_cast<RateIndex>(best);
+}
+
+double optimal_throughput_mbps(const ProbeSet& set, Standard standard) {
+  const auto opt = optimal_rate(set, standard);
+  if (!opt) return 0.0;
+  return probe_set_throughput_mbps(set, standard, *opt);
+}
+
+namespace {
+constexpr int kSnrLo = -20;
+constexpr int kSnrHi = 100;
+}  // namespace
+
+EverOptimal ever_optimal_rates(const Dataset& ds, Standard standard) {
+  EverOptimal out;
+  out.snr_min = kSnrLo;
+  out.table.assign(kSnrHi - kSnrLo + 1,
+                   std::vector<bool>(rate_count(standard), false));
+  for_each_probe_set(ds, standard,
+                     [&](const NetworkTrace&, const ProbeSet& set) {
+                       if (std::isnan(set.snr_db)) return;
+                       const auto opt = optimal_rate(set, standard);
+                       if (!opt) return;
+                       const int s =
+                           std::clamp(snr_key(set.snr_db), kSnrLo, kSnrHi);
+                       out.table[static_cast<std::size_t>(s - kSnrLo)][*opt] =
+                           true;
+                     });
+  return out;
+}
+
+SnrThroughputSamples snr_throughput_samples(const Dataset& ds,
+                                            Standard standard) {
+  SnrThroughputSamples out;
+  out.snr_min = kSnrLo;
+  const std::size_t n_rates = rate_count(standard);
+  out.samples.assign(
+      n_rates, std::vector<std::vector<double>>(kSnrHi - kSnrLo + 1));
+  for_each_probe_set(
+      ds, standard, [&](const NetworkTrace&, const ProbeSet& set) {
+        if (std::isnan(set.snr_db)) return;
+        const int s = std::clamp(snr_key(set.snr_db), kSnrLo, kSnrHi);
+        for (const auto& e : set.entries) {
+          if (e.rate >= n_rates) continue;
+          out.samples[e.rate][static_cast<std::size_t>(s - kSnrLo)].push_back(
+              probe_set_throughput_mbps(set, standard, e.rate));
+        }
+      });
+  return out;
+}
+
+}  // namespace wmesh

@@ -1,0 +1,52 @@
+// Optimal-bit-rate extraction (paper §4, preliminaries).
+//
+// For a probe set P the paper defines
+//     P_opt = argmax_b { b * (1 - b_loss) | b in P_rates },
+// i.e. the probed rate with the highest throughput, where throughput is the
+// paper's §3.1.2 definition (bit rate x packet success rate).  These
+// helpers compute P_opt and the per-rate throughputs that Figs 4.1 and 4.5
+// are built from.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "trace/records.h"
+
+namespace wmesh {
+
+// Throughput (Mbit/s) of sending at probed rate `rate` according to probe
+// set `set`.  Returns 0 when the set has no entry for that rate or the
+// entry saw total loss.
+double probe_set_throughput_mbps(const ProbeSet& set, Standard standard,
+                                 RateIndex rate);
+
+// P_opt: the probed rate maximizing throughput in `set`.  Ties break toward
+// the lower rate index (i.e. the more robust rate).  Empty when no rate
+// delivered anything.
+std::optional<RateIndex> optimal_rate(const ProbeSet& set, Standard standard);
+
+// Throughput of P_opt itself; 0 when no rate delivered anything.
+double optimal_throughput_mbps(const ProbeSet& set, Standard standard);
+
+// Fig 4.1: for each integer SNR, the set of rates that were ever optimal.
+// ever_optimal[snr][rate] == true when some probe set with that (rounded)
+// SNR had that optimal rate.
+struct EverOptimal {
+  int snr_min = 0;
+  // rows indexed by (snr - snr_min), columns by RateIndex.
+  std::vector<std::vector<bool>> table;
+};
+EverOptimal ever_optimal_rates(const Dataset& ds, Standard standard);
+
+// Fig 4.5: throughput samples grouped by (rate, integer SNR), from which the
+// bench computes median and quartiles.
+struct SnrThroughputSamples {
+  int snr_min = 0;
+  // samples[rate][snr - snr_min] = throughputs observed (Mbit/s)
+  std::vector<std::vector<std::vector<double>>> samples;
+};
+SnrThroughputSamples snr_throughput_samples(const Dataset& ds,
+                                            Standard standard);
+
+}  // namespace wmesh

@@ -1,0 +1,39 @@
+#include "core/snr_stats.h"
+
+#include <cmath>
+#include <map>
+
+#include "core/dataset_ops.h"
+#include "util/stats.h"
+
+namespace wmesh {
+
+SnrDeviations snr_deviations(const Dataset& ds, Standard standard) {
+  SnrDeviations out;
+  for (const auto& nt : ds.networks) {
+    if (nt.info.standard != standard) continue;
+    RunningStats network_stats;
+    std::map<std::uint32_t, RunningStats> link_stats;
+    for (const auto& set : nt.probe_sets) {
+      RunningStats within;
+      for (const auto& e : set.entries) {
+        if (!std::isnan(e.snr_db)) within.add(e.snr_db);
+      }
+      if (within.count() >= 2) out.per_probe_set.push_back(within.stddev());
+      if (!std::isnan(set.snr_db)) {
+        network_stats.add(set.snr_db);
+        link_stats[link_key({set.from, set.to})].add(set.snr_db);
+      }
+    }
+    for (const auto& [key, stats] : link_stats) {
+      (void)key;
+      if (stats.count() >= 2) out.per_link.push_back(stats.stddev());
+    }
+    if (network_stats.count() >= 2) {
+      out.per_network.push_back(network_stats.stddev());
+    }
+  }
+  return out;
+}
+
+}  // namespace wmesh

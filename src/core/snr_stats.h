@@ -1,0 +1,28 @@
+// SNR dispersion analysis (paper §3.1.1, Fig 3.1).
+//
+// Three nested dispersion scales justify the paper's use of the median SNR
+// as "the SNR of the probe set":
+//   * within one probe set (the per-rate SNRs of ~20 interleaved probes) the
+//     standard deviation is small (< 5 dB ~97.5% of the time);
+//   * per link over the whole trace it is larger (the channel drifts);
+//   * per network it is large (each network spans a diverse set of links).
+#pragma once
+
+#include <vector>
+
+#include "trace/records.h"
+
+namespace wmesh {
+
+struct SnrDeviations {
+  std::vector<double> per_probe_set;  // sigma of entry SNRs within each set
+  std::vector<double> per_link;       // sigma of set SNRs per directed link
+  std::vector<double> per_network;    // sigma of set SNRs per network trace
+};
+
+// Computes all three distributions over the traces of `standard`.
+// Probe sets with fewer than two received rates contribute no per-set value;
+// links/networks with fewer than two sets contribute no value either.
+SnrDeviations snr_deviations(const Dataset& ds, Standard standard);
+
+}  // namespace wmesh

@@ -1,0 +1,148 @@
+#include "core/strategies.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/dataset_ops.h"
+#include "core/rate_selection.h"
+
+namespace wmesh {
+
+const char* to_string(UpdateStrategy s) {
+  switch (s) {
+    case UpdateStrategy::kFirst:
+      return "first";
+    case UpdateStrategy::kMostRecent:
+      return "most-recent";
+    case UpdateStrategy::kSubsampled:
+      return "subsampled";
+    case UpdateStrategy::kAll:
+      return "all";
+  }
+  return "?";
+}
+
+namespace {
+
+// Per-link incremental table: SNR -> per-rate counts of recorded P_opt.
+// First/MostRecent keep a single point per SNR; Subsampled/All accumulate.
+struct LinkTable {
+  // snr -> counts per rate
+  std::map<int, std::vector<std::uint32_t>> cells;
+  std::uint64_t updates = 0;
+  std::uint64_t points = 0;
+  std::uint64_t sets_seen = 0;
+
+  int predict(int snr, std::size_t n_rates) const {
+    const auto it = cells.find(snr);
+    if (it == cells.end()) return -1;
+    const auto& c = it->second;
+    std::size_t best = 0;
+    for (std::size_t r = 1; r < n_rates; ++r) {
+      if (c[r] > c[best]) best = r;
+    }
+    return c[best] > 0 ? static_cast<int>(best) : -1;
+  }
+
+  void record(int snr, RateIndex rate, std::size_t n_rates, bool replace) {
+    auto& c = cells[snr];
+    if (c.empty()) c.assign(n_rates, 0);
+    if (replace) {
+      bool had = false;
+      for (auto& v : c) {
+        had = had || v > 0;
+        v = 0;
+      }
+      if (!had) ++points;  // a replaced cell keeps one resident point
+    } else {
+      ++points;
+    }
+    ++c[rate];
+    ++updates;
+  }
+};
+
+}  // namespace
+
+StrategyResult run_strategy(const Dataset& ds, Standard standard,
+                            const StrategyParams& params) {
+  const std::size_t n_rates = rate_count(standard);
+  StrategyResult out;
+  out.accuracy.assign(params.max_rounds + 1, 0.0);
+  out.predictions.assign(params.max_rounds + 1, 0);
+  std::vector<std::uint64_t> correct(params.max_rounds + 1, 0);
+  std::uint64_t total_predictions = 0;
+  std::uint64_t total_correct = 0;
+
+  for (const auto& nt : ds.networks) {
+    if (nt.info.standard != standard) continue;
+    std::map<std::uint32_t, LinkTable> tables;
+    // Probe sets are time-ordered within a trace, so a single pass replays
+    // every link's stream in order.
+    for (const auto& set : nt.probe_sets) {
+      if (std::isnan(set.snr_db)) continue;
+      const auto opt = optimal_rate(set, standard);
+      if (!opt) continue;
+      LinkTable& lt = tables[link_key({set.from, set.to})];
+      const int snr = snr_key(set.snr_db);
+      ++lt.sets_seen;
+      ++out.probe_sets;
+
+      // Predict with the state built from *previous* sets only.
+      const int pred = lt.predict(snr, n_rates);
+      if (pred >= 0) {
+        const std::uint64_t round = lt.sets_seen - 1;  // prior sets seen
+        const bool ok = pred == static_cast<int>(*opt);
+        ++total_predictions;
+        total_correct += ok ? 1 : 0;
+        if (round >= 1 && round <= params.max_rounds) {
+          ++out.predictions[round];
+          correct[round] += ok ? 1 : 0;
+        }
+      }
+
+      // Update per strategy.
+      switch (params.strategy) {
+        case UpdateStrategy::kFirst:
+          if (lt.cells.find(snr) == lt.cells.end()) {
+            lt.record(snr, *opt, n_rates, /*replace=*/false);
+          }
+          break;
+        case UpdateStrategy::kMostRecent:
+          lt.record(snr, *opt, n_rates, /*replace=*/true);
+          break;
+        case UpdateStrategy::kSubsampled:
+          // Always take the first point for an unseen SNR (otherwise the
+          // strategy would stay blind for k rounds), then every k-th set.
+          if (lt.cells.find(snr) == lt.cells.end() ||
+              lt.sets_seen % params.subsample_k == 0) {
+            lt.record(snr, *opt, n_rates, /*replace=*/false);
+          }
+          break;
+        case UpdateStrategy::kAll:
+          lt.record(snr, *opt, n_rates, /*replace=*/false);
+          break;
+      }
+    }
+    for (const auto& [key, lt] : tables) {
+      (void)key;
+      out.updates += lt.updates;
+      out.memory_points += lt.points;
+    }
+  }
+
+  for (std::size_t i = 0; i <= params.max_rounds; ++i) {
+    if (out.predictions[i] > 0) {
+      out.accuracy[i] = static_cast<double>(correct[i]) /
+                        static_cast<double>(out.predictions[i]);
+    }
+  }
+  if (total_predictions > 0) {
+    out.overall_accuracy = static_cast<double>(total_correct) /
+                           static_cast<double>(total_predictions);
+  }
+  return out;
+}
+
+}  // namespace wmesh

@@ -1,0 +1,60 @@
+// Online look-up-table building strategies (paper §4.5, Fig 4.6, Table 4.1).
+//
+// A deployed link builds its SNR->rate table incrementally from its own
+// probe stream.  The paper compares four update policies:
+//   First       keep only the first P_opt seen at each SNR   (low updates,
+//               small memory)
+//   MostRecent  keep only the latest P_opt at each SNR       (high updates,
+//               small memory)
+//   Subsampled  record every k-th probe set per SNR          (moderate both)
+//   All         record every P_opt, predict the mode         (high updates,
+//               large memory)
+// and measures prediction accuracy as a function of how many probe sets the
+// link has seen.  No prediction is attempted when the SNR has no entry yet.
+// The runner instruments update and memory costs so Table 4.1's qualitative
+// rows can be reported as measured numbers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/records.h"
+
+namespace wmesh {
+
+enum class UpdateStrategy : std::uint8_t {
+  kFirst,
+  kMostRecent,
+  kSubsampled,
+  kAll,
+};
+
+const char* to_string(UpdateStrategy s);
+
+struct StrategyParams {
+  UpdateStrategy strategy = UpdateStrategy::kAll;
+  unsigned subsample_k = 4;     // for kSubsampled: record every k-th set
+  std::size_t max_rounds = 40;  // accuracy is tracked for rounds 1..max
+};
+
+struct StrategyResult {
+  // accuracy[i] = P(prediction == P_opt) for the probe set seen after i
+  // prior probe sets on the link (i >= 1); predictions[i] counts how many
+  // predictions were attempted at that round.
+  std::vector<double> accuracy;
+  std::vector<std::size_t> predictions;
+
+  // Cost accounting across all links (Table 4.1).
+  std::uint64_t updates = 0;        // table writes performed
+  std::uint64_t memory_points = 0;  // data points resident at end of trace
+  std::uint64_t probe_sets = 0;     // probe sets processed
+
+  double overall_accuracy = 0.0;
+};
+
+// Replays every link's probe stream (in time order) of `standard` under the
+// given strategy.
+StrategyResult run_strategy(const Dataset& ds, Standard standard,
+                            const StrategyParams& params);
+
+}  // namespace wmesh

@@ -1,0 +1,76 @@
+#include "core/traffic.h"
+
+#include <algorithm>
+#include <map>
+
+namespace wmesh {
+namespace {
+
+void finalize_ap_share(TrafficStats& out) {
+  if (out.packets_per_ap.empty() || out.total_packets <= 0.0) return;
+  std::vector<double> sorted = out.packets_per_ap;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const std::size_t top =
+      std::max<std::size_t>(1, sorted.size() / 10);
+  double top_sum = 0.0;
+  for (std::size_t i = 0; i < top; ++i) top_sum += sorted[i];
+  out.top_decile_ap_share = top_sum / out.total_packets;
+}
+
+void accumulate(const NetworkTrace& trace,
+                std::map<std::uint64_t, double>& by_client,
+                std::map<std::uint64_t, double>& by_ap,
+                std::map<std::uint64_t, double>& assocs, double& total) {
+  const std::uint64_t net = static_cast<std::uint64_t>(trace.info.id) << 32;
+  for (const auto& s : trace.client_samples) {
+    by_client[net | s.client] += s.data_packets;
+    by_ap[net | s.ap] += s.data_packets;
+    assocs[net | s.client] += s.assoc_requests;
+    total += s.data_packets;
+  }
+}
+
+TrafficStats from_maps(const std::map<std::uint64_t, double>& by_client,
+                       const std::map<std::uint64_t, double>& by_ap,
+                       const std::map<std::uint64_t, double>& assocs,
+                       double total) {
+  TrafficStats out;
+  out.total_packets = total;
+  out.packets_per_client.reserve(by_client.size());
+  for (const auto& [k, v] : by_client) {
+    (void)k;
+    out.packets_per_client.push_back(v);
+  }
+  out.packets_per_ap.reserve(by_ap.size());
+  for (const auto& [k, v] : by_ap) {
+    (void)k;
+    out.packets_per_ap.push_back(v);
+  }
+  out.assocs_per_client.reserve(assocs.size());
+  for (const auto& [k, v] : assocs) {
+    (void)k;
+    out.assocs_per_client.push_back(v);
+  }
+  finalize_ap_share(out);
+  return out;
+}
+
+}  // namespace
+
+TrafficStats analyze_traffic(const NetworkTrace& trace) {
+  std::map<std::uint64_t, double> by_client, by_ap, assocs;
+  double total = 0.0;
+  accumulate(trace, by_client, by_ap, assocs, total);
+  return from_maps(by_client, by_ap, assocs, total);
+}
+
+TrafficStats analyze_traffic(const Dataset& ds) {
+  std::map<std::uint64_t, double> by_client, by_ap, assocs;
+  double total = 0.0;
+  for (const auto& nt : ds.networks) {
+    accumulate(nt, by_client, by_ap, assocs, total);
+  }
+  return from_maps(by_client, by_ap, assocs, total);
+}
+
+}  // namespace wmesh

@@ -1,0 +1,30 @@
+// Client-traffic characterization (paper §3.2's other columns).
+//
+// The aggregate client data carries association-request and data-packet
+// counters per five-minute sample.  §7 uses only the association pattern;
+// this module summarizes the traffic itself -- how load distributes over
+// clients and over APs -- the kind of usage characterization the campus
+// studies the paper cites (Henderson & Kotz; Schwab & Bunt) report.
+#pragma once
+
+#include <vector>
+
+#include "trace/records.h"
+
+namespace wmesh {
+
+struct TrafficStats {
+  std::vector<double> packets_per_client;  // total data packets per client
+  std::vector<double> packets_per_ap;      // total data packets per AP
+  std::vector<double> assocs_per_client;   // association requests per client
+  double total_packets = 0.0;
+  // Fraction of all packets handled by the busiest 10% of APs -- load skew.
+  double top_decile_ap_share = 0.0;
+};
+
+TrafficStats analyze_traffic(const NetworkTrace& trace);
+
+// Aggregate over every trace with client data in the dataset.
+TrafficStats analyze_traffic(const Dataset& ds);
+
+}  // namespace wmesh

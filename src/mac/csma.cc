@@ -1,0 +1,149 @@
+#include "mac/csma.h"
+
+#include <algorithm>
+
+namespace wmesh {
+namespace {
+
+struct NodeState {
+  int target = -1;            // receiver of this node's frames
+  std::size_t queue = 0;      // backlogged frames
+  std::size_t backoff = 0;    // remaining backoff slots
+  std::size_t cw = 16;        // current contention window
+  std::size_t tx_left = 0;    // remaining slots of the ongoing transmission
+  bool tx_clean = true;       // no concurrent audible transmitter so far
+};
+
+}  // namespace
+
+MacResult simulate_csma(const HearingGraph& hearing, const MacParams& params,
+                        Rng& rng) {
+  const std::size_t n = hearing.ap_count();
+  MacResult out;
+  if (n == 0) return out;
+
+  // Sense relation: 1-hop hearing, optionally extended to 2 hops.
+  std::vector<std::vector<ApId>> senses(n);
+  std::vector<std::vector<ApId>> hears(n);
+  for (ApId a = 0; a < n; ++a) {
+    for (ApId b = 0; b < n; ++b) {
+      if (a == b) continue;
+      if (hearing.hears(a, b)) {
+        hears[a].push_back(b);
+        senses[a].push_back(b);
+      }
+    }
+  }
+  if (params.conservative_carrier_sense) {
+    for (ApId a = 0; a < n; ++a) {
+      std::vector<std::uint8_t> mark(n, 0);
+      for (ApId b : senses[a]) mark[b] = 1;
+      std::vector<ApId> extended = senses[a];
+      for (ApId b : hears[a]) {
+        for (ApId c : hears[b]) {
+          if (c != a && !mark[c]) {
+            mark[c] = 1;
+            extended.push_back(c);
+          }
+        }
+      }
+      senses[a] = std::move(extended);
+    }
+  }
+
+  std::vector<NodeState> nodes(n);
+  for (ApId a = 0; a < n; ++a) {
+    nodes[a].cw = params.cw_min;
+    if (!hears[a].empty()) nodes[a].target = hears[a].front();
+  }
+
+  std::vector<std::uint8_t> transmitting(n, 0);
+
+  auto any_sensed_busy = [&](ApId a) {
+    for (ApId b : senses[a]) {
+      if (transmitting[b]) return true;
+    }
+    return false;
+  };
+
+  for (std::size_t slot = 0; slot < params.sim_slots; ++slot) {
+    // 1. Traffic arrivals.
+    for (ApId a = 0; a < n; ++a) {
+      if (nodes[a].target < 0) continue;
+      if (rng.bernoulli(params.offered_load)) {
+        if (nodes[a].queue < 64) {
+          ++nodes[a].queue;
+        } else {
+          ++out.dropped;
+        }
+      }
+    }
+
+    // 2. Transmission starts: nodes with backlog, zero backoff, and a quiet
+    // channel begin transmitting this slot (simultaneous starts collide).
+    std::vector<ApId> starters;
+    for (ApId a = 0; a < n; ++a) {
+      NodeState& node = nodes[a];
+      if (node.tx_left > 0 || node.queue == 0 || node.target < 0) continue;
+      if (any_sensed_busy(a)) continue;  // freeze backoff while busy
+      if (node.backoff > 0) {
+        --node.backoff;
+        continue;
+      }
+      starters.push_back(a);
+    }
+    for (ApId a : starters) {
+      nodes[a].tx_left = params.frame_slots;
+      nodes[a].tx_clean = true;
+      transmitting[a] = 1;
+      ++out.attempted;
+    }
+
+    // 3. Collision detection at each active receiver: a frame stays clean
+    // only while the receiver hears no other active transmitter.
+    for (ApId a = 0; a < n; ++a) {
+      if (!transmitting[a]) continue;
+      const auto rcv = static_cast<ApId>(nodes[a].target);
+      if (transmitting[rcv]) {
+        nodes[a].tx_clean = false;  // half-duplex receiver is deaf
+        continue;
+      }
+      for (ApId other = 0; other < n; ++other) {
+        if (other == a || !transmitting[other]) continue;
+        if (hearing.hears(rcv, other)) {
+          nodes[a].tx_clean = false;
+          break;
+        }
+      }
+    }
+
+    // 4. Advance transmissions; complete the ones ending this slot.
+    for (ApId a = 0; a < n; ++a) {
+      if (!transmitting[a]) continue;
+      NodeState& node = nodes[a];
+      if (--node.tx_left > 0) continue;
+      transmitting[a] = 0;
+      if (node.tx_clean) {
+        ++out.delivered;
+        --node.queue;
+        node.cw = params.cw_min;
+      } else {
+        ++out.collided;
+        // Retransmit later with a doubled window (the frame stays queued).
+        node.cw = std::min(params.cw_max, node.cw * 2);
+      }
+      node.backoff = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(node.cw) - 1));
+    }
+  }
+
+  if (out.attempted > 0) {
+    out.collision_fraction = static_cast<double>(out.collided) /
+                             static_cast<double>(out.attempted);
+  }
+  out.goodput_frames_per_kslot = 1000.0 * static_cast<double>(out.delivered) /
+                                 static_cast<double>(params.sim_slots);
+  return out;
+}
+
+}  // namespace wmesh

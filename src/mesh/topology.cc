@@ -1,0 +1,181 @@
+#include "mesh/topology.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wmesh {
+
+std::string to_string(Environment env) {
+  switch (env) {
+    case Environment::kIndoor:
+      return "indoor";
+    case Environment::kOutdoor:
+      return "outdoor";
+    case Environment::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+TopologyParams indoor_topology_params() {
+  // Dense deployments: neighbours a grid-step apart are strong links,
+  // corner-to-corner pairs in median-size networks straddle the 1 Mbit/s
+  // hearing range, which is what produces hidden triples indoors.
+  return TopologyParams{.spacing_min_m = 38.0,
+                        .spacing_max_m = 66.0,
+                        .jitter_frac = 0.30};
+}
+
+TopologyParams outdoor_topology_params() {
+  // Sparse deployments with gentler path loss: fewer hidden triples, longer
+  // client persistence (paper §6.3, §7.2).
+  return TopologyParams{.spacing_min_m = 140.0,
+                        .spacing_max_m = 260.0,
+                        .jitter_frac = 0.25};
+}
+
+std::vector<Ap> make_grid_topology(std::size_t n, const TopologyParams& params,
+                                   Rng& rng) {
+  std::vector<Ap> aps;
+  aps.reserve(n);
+  const double spacing = rng.uniform(params.spacing_min_m, params.spacing_max_m);
+  const double jitter = spacing * params.jitter_frac;
+  const auto cols = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(std::sqrt(static_cast<double>(n)))));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t row = i / cols;
+    const std::size_t col = i % cols;
+    Ap ap;
+    ap.id = static_cast<ApId>(i);
+    ap.x_m = static_cast<double>(col) * spacing + rng.normal(0.0, jitter);
+    ap.y_m = static_cast<double>(row) * spacing + rng.normal(0.0, jitter);
+    aps.push_back(ap);
+  }
+  return aps;
+}
+
+std::vector<Ap> make_clustered_topology(std::size_t n,
+                                        const TopologyParams& params,
+                                        Rng& rng) {
+  std::vector<Ap> aps;
+  aps.reserve(n);
+  const double spacing = params.cluster_spacing_factor *
+                         rng.uniform(params.spacing_min_m, params.spacing_max_m);
+  const double jitter = spacing * params.jitter_frac;
+  const double gap = spacing * params.cluster_gap_factor / 
+                     params.cluster_spacing_factor;
+
+  // Carve n into cluster sizes, then lay clusters out on a coarse grid.
+  std::vector<std::size_t> sizes;
+  std::size_t left = n;
+  while (left > 0) {
+    std::size_t take = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(params.cluster_size_min),
+        static_cast<std::int64_t>(params.cluster_size_max)));
+    take = std::min(take, left);
+    // Avoid a trailing runt cluster below the minimum.
+    if (left - take > 0 && left - take < params.cluster_size_min) {
+      take = left;
+    }
+    sizes.push_back(take);
+    left -= take;
+  }
+  const auto cluster_cols = static_cast<std::size_t>(std::max(
+      1.0, std::ceil(std::sqrt(static_cast<double>(sizes.size())))));
+  ApId next_id = 0;
+  for (std::size_t c = 0; c < sizes.size(); ++c) {
+    const double cx = static_cast<double>(c % cluster_cols) * gap +
+                      rng.normal(0.0, gap * 0.1);
+    const double cy = static_cast<double>(c / cluster_cols) * gap +
+                      rng.normal(0.0, gap * 0.1);
+    const auto cols = static_cast<std::size_t>(std::max(
+        1.0, std::ceil(std::sqrt(static_cast<double>(sizes[c])))));
+    for (std::size_t i = 0; i < sizes[c]; ++i) {
+      Ap ap;
+      ap.id = next_id++;
+      ap.x_m = cx + static_cast<double>(i % cols) * spacing +
+               rng.normal(0.0, jitter);
+      ap.y_m = cy + static_cast<double>(i / cols) * spacing +
+               rng.normal(0.0, jitter);
+      aps.push_back(ap);
+    }
+  }
+  return aps;
+}
+
+namespace {
+
+std::size_t draw_size(const FleetParams& p, Rng& rng) {
+  const double raw = rng.lognormal(p.size_log_mu, p.size_log_sigma);
+  const auto n = static_cast<std::size_t>(std::llround(raw));
+  return std::clamp(n, p.min_size, p.max_size);
+}
+
+}  // namespace
+
+std::vector<FleetNetwork> make_fleet(const FleetParams& params, Rng& rng) {
+  std::vector<FleetNetwork> fleet;
+  fleet.reserve(params.network_count);
+
+  // Standard assignment: first bg_only, then n_only, then both; environment
+  // assignment interleaves so neither correlates with network id or size.
+  for (std::size_t i = 0; i < params.network_count; ++i) {
+    Rng net_rng = rng.fork();
+    FleetNetwork fn;
+    if (i < params.bg_only) {
+      fn.has_bg = true;
+    } else if (i < params.bg_only + params.n_only) {
+      fn.has_n = true;
+    } else {
+      fn.has_bg = true;
+      fn.has_n = true;
+    }
+
+    NetworkInfo info;
+    info.id = static_cast<std::uint32_t>(i);
+    // Deterministic environment striping that still mixes environments
+    // across the standard classes: indices are taken modulo the population.
+    const std::size_t env_slot = (i * 37) % params.network_count;
+    if (env_slot < params.indoor) {
+      info.env = Environment::kIndoor;
+    } else if (env_slot < params.indoor + params.outdoor) {
+      info.env = Environment::kOutdoor;
+    } else {
+      info.env = Environment::kMixed;
+    }
+    info.standard = fn.has_bg ? Standard::kBg : Standard::kN;
+
+    std::size_t size = draw_size(params, net_rng);
+    if (params.force_max_network && i == params.network_count / 2) {
+      size = params.max_size;  // the paper's 203-AP network
+    }
+
+    const TopologyParams& topo = (info.env == Environment::kOutdoor)
+                                     ? params.outdoor_topology
+                                     : params.indoor_topology;
+    auto aps = (size > topo.cluster_threshold)
+                   ? make_clustered_topology(size, topo, net_rng)
+                   : make_grid_topology(size, topo, net_rng);
+    info.name = "net" + std::to_string(i) + "-" + to_string(info.env);
+    fn.network = MeshNetwork(std::move(info), std::move(aps));
+    fleet.push_back(std::move(fn));
+  }
+  return fleet;
+}
+
+std::vector<FleetNetwork> make_test_fleet(std::size_t networks,
+                                          std::size_t aps, Rng& rng) {
+  FleetParams p;
+  p.network_count = networks;
+  p.bg_only = networks;
+  p.n_only = 0;
+  p.both = 0;
+  p.indoor = networks;
+  p.outdoor = 0;
+  p.min_size = aps;
+  p.max_size = aps;
+  p.force_max_network = false;
+  return make_fleet(p, rng);
+}
+
+}  // namespace wmesh

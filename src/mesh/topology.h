@@ -1,0 +1,98 @@
+// Topology generation: AP placement and the 110-network fleet specification.
+//
+// The paper's data set has a precisely described population:
+//   110 networks, 1407 APs total, sizes 3..203 (median 7, mean 13);
+//   77 networks 802.11b/g, 31 802.11n, 2 both;
+//   72 indoor, 17 outdoor, 21 mixed.
+// make_fleet() reproduces that population deterministically from a seed.
+// Individual topologies are jittered grids whose spacing is drawn per
+// network, giving the across-network diversity the paper's CDFs rely on
+// (e.g. Fig 6.1's wide spread of hidden-triple fractions).
+//
+// Note on units: coordinates are nominal metres, but what the simulator
+// consumes is the SNR field induced by the channel parameters
+// (sim/channel.h); spacing and path-loss constants were calibrated *jointly*
+// against the paper's reported shapes (see DESIGN.md §4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/network.h"
+#include "util/rng.h"
+
+namespace wmesh {
+
+struct TopologyParams {
+  // Mean AP spacing; each network draws its own spacing uniformly in
+  // [spacing_min_m, spacing_max_m], then each AP jitters off the grid.
+  double spacing_min_m = 45.0;
+  double spacing_max_m = 75.0;
+  double jitter_frac = 0.30;  // jitter stddev as a fraction of spacing
+
+  // Networks larger than this are laid out as multiple dense clusters with
+  // radio-unreachable gaps between them (the shape of real citywide
+  // deployments, where APs group around gateways).  This keeps the
+  // path-length distribution short-dominated even in the 203-AP network,
+  // as the paper's Fig 5.3 shows.
+  std::size_t cluster_threshold = 24;
+  std::size_t cluster_size_min = 8;
+  std::size_t cluster_size_max = 16;
+  double cluster_gap_factor = 7.0;  // inter-cluster spacing in AP spacings
+  // Clusters of large deployments are packed denser than standalone small
+  // networks (APs placed for solid coverage around a gateway).  This is
+  // what makes the pair-weighted path statistics (Fig 5.3) show *longer*
+  // paths at higher bit rates -- links shorten but stay connected -- while
+  // the network-weighted hidden-triple medians stay governed by the small
+  // networks.
+  double cluster_spacing_factor = 0.72;
+};
+
+TopologyParams indoor_topology_params();
+TopologyParams outdoor_topology_params();
+
+// Places `n` APs on a jittered grid (roughly square aspect).  AP ids are
+// 0..n-1 in row-major order.
+std::vector<Ap> make_grid_topology(std::size_t n, const TopologyParams& params,
+                                   Rng& rng);
+
+// Places `n` APs as dense jittered-grid clusters separated by
+// cluster_gap_factor x spacing; used automatically by make_fleet for
+// networks above params.cluster_threshold.
+std::vector<Ap> make_clustered_topology(std::size_t n,
+                                        const TopologyParams& params,
+                                        Rng& rng);
+
+// One network of the fleet: its structure plus which PHY standards it runs.
+// Networks with both radios produce one probe trace per standard (the paper
+// counts them once in the 110 but in both the 77 and 31).
+struct FleetNetwork {
+  MeshNetwork network;
+  bool has_bg = false;
+  bool has_n = false;
+};
+
+struct FleetParams {
+  std::size_t network_count = 110;
+  std::size_t bg_only = 77;
+  std::size_t n_only = 31;
+  std::size_t both = 2;
+  std::size_t indoor = 72;
+  std::size_t outdoor = 17;  // remainder is mixed
+  std::size_t min_size = 3;
+  std::size_t max_size = 203;
+  double size_log_mu = 1.9459;   // ln 7 -> median network size 7
+  double size_log_sigma = 0.85;  // spread; mean lands near the paper's 13
+  bool force_max_network = true; // ensure one 203-AP network exists
+  TopologyParams indoor_topology = indoor_topology_params();
+  TopologyParams outdoor_topology = outdoor_topology_params();
+};
+
+// Generates the full fleet.  Deterministic given (params, seed of rng).
+std::vector<FleetNetwork> make_fleet(const FleetParams& params, Rng& rng);
+
+// Convenience: a small fleet for unit tests (handful of networks).
+std::vector<FleetNetwork> make_test_fleet(std::size_t networks, std::size_t aps,
+                                          Rng& rng);
+
+}  // namespace wmesh

@@ -1,0 +1,124 @@
+#include "phy/rates.h"
+
+#include <array>
+
+namespace wmesh {
+namespace {
+
+using enum Modulation;
+
+// 802.11b/g probed rates (paper §3.1).  thr50/width calibration notes:
+//  * 1 Mbit/s DSSS is the most robust rate (preambles are sent at it).
+//  * 11 Mbit/s CCK is deliberately placed *below* 6 Mbit/s OFDM in threshold
+//    so that DSSS/CCK out-ranges mid OFDM at low SNR (paper §6.1 finds fewer
+//    hidden triples at 11 than at 6 Mbit/s and attributes it to DSSS).
+//  * 48 Mbit/s crosses ~97% delivery near 30 dB, producing the throughput
+//    plateau of Fig 4.5.
+constexpr std::array<BitRate, 7> kBgProbed = {{
+    {1'000, kDsss, -1, "1M", 2.0, 1.3},
+    {6'000, kOfdm, -1, "6M", 8.5, 1.1},
+    {11'000, kCck, -1, "11M", 6.3, 1.3},
+    {12'000, kOfdm, -1, "12M", 10.5, 1.1},
+    {24'000, kOfdm, -1, "24M", 14.5, 1.2},
+    {36'000, kOfdm, -1, "36M", 18.5, 1.2},
+    {48'000, kOfdm, -1, "48M", 22.5, 1.3},
+}};
+
+// Full b/g table for the rate-adaptation example applications.
+constexpr std::array<BitRate, 12> kBgAll = {{
+    {1'000, kDsss, -1, "1M", 2.0, 1.3},
+    {2'000, kDsss, -1, "2M", 4.0, 1.3},
+    {5'500, kCck, -1, "5.5M", 5.5, 1.3},
+    {6'000, kOfdm, -1, "6M", 8.5, 1.1},
+    {9'000, kOfdm, -1, "9M", 9.5, 1.1},
+    {11'000, kCck, -1, "11M", 6.3, 1.3},
+    {12'000, kOfdm, -1, "12M", 10.5, 1.1},
+    {18'000, kOfdm, -1, "18M", 12.5, 1.1},
+    {24'000, kOfdm, -1, "24M", 14.5, 1.2},
+    {36'000, kOfdm, -1, "36M", 18.5, 1.2},
+    {48'000, kOfdm, -1, "48M", 22.5, 1.3},
+    {54'000, kOfdm, -1, "54M", 24.5, 1.3},
+}};
+
+// 802.11n, 20 MHz, MCS 0..7 one stream, MCS 8..15 two streams.  Thresholds
+// are compressed into roughly 2..18 dB so that (a) throughput flattens near
+// 15 dB as the paper reports and (b) adjacent MCS are ~1-2.5 dB apart,
+// which is what makes the SNR a weaker determinant for n than for b/g.
+constexpr std::array<BitRate, 16> kNProbed = {{
+    {6'500, kHtOfdm, 0, "MCS00", 2.0, 1.1},
+    {13'000, kHtOfdm, 1, "MCS01", 4.0, 1.1},
+    {19'500, kHtOfdm, 2, "MCS02", 5.5, 1.1},
+    {26'000, kHtOfdm, 3, "MCS03", 7.0, 1.1},
+    {39'000, kHtOfdm, 4, "MCS04", 9.5, 1.2},
+    {52'000, kHtOfdm, 5, "MCS05", 12.0, 1.2},
+    {58'500, kHtOfdm, 6, "MCS06", 13.5, 1.2},
+    {65'000, kHtOfdm, 7, "MCS07", 15.0, 1.3},
+    {13'000, kHtOfdm, 8, "MCS08", 4.5, 1.2},
+    {26'000, kHtOfdm, 9, "MCS09", 7.5, 1.2},
+    {39'000, kHtOfdm, 10, "MCS10", 9.0, 1.2},
+    {52'000, kHtOfdm, 11, "MCS11", 11.0, 1.3},
+    {78'000, kHtOfdm, 12, "MCS12", 13.0, 1.3},
+    {104'000, kHtOfdm, 13, "MCS13", 15.5, 1.4},
+    {117'000, kHtOfdm, 14, "MCS14", 16.5, 1.4},
+    {130'000, kHtOfdm, 15, "MCS15", 17.5, 1.4},
+}};
+
+}  // namespace
+
+std::span<const BitRate> probed_rates(Standard std) {
+  switch (std) {
+    case Standard::kBg:
+      return kBgProbed;
+    case Standard::kN:
+      return kNProbed;
+  }
+  return {};
+}
+
+std::span<const BitRate> bg_all_rates() { return kBgAll; }
+
+std::string_view to_string(Standard std) {
+  switch (std) {
+    case Standard::kBg:
+      return "802.11b/g";
+    case Standard::kN:
+      return "802.11n";
+  }
+  return "?";
+}
+
+std::string_view to_string(Modulation mod) {
+  switch (mod) {
+    case Modulation::kDsss:
+      return "DSSS";
+    case Modulation::kCck:
+      return "CCK";
+    case Modulation::kOfdm:
+      return "OFDM";
+    case Modulation::kHtOfdm:
+      return "HT-OFDM";
+  }
+  return "?";
+}
+
+std::string_view rate_name(Standard std, RateIndex idx) {
+  const auto rates = probed_rates(std);
+  return idx < rates.size() ? rates[idx].name : "?";
+}
+
+double rate_mbps(Standard std, RateIndex idx) {
+  const auto rates = probed_rates(std);
+  return idx < rates.size() ? rates[idx].kbps / 1000.0 : 0.0;
+}
+
+int find_rate(Standard std, int kbps, int mcs) {
+  const auto rates = probed_rates(std);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    if (rates[i].kbps == kbps && (mcs < 0 || rates[i].mcs == mcs)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace wmesh

@@ -1,0 +1,72 @@
+// 802.11 bit-rate tables.
+//
+// The paper's probe data covers two PHY families:
+//   * 802.11b/g — probes are sent at 1, 6, 11, 12, 24, 36 and 48 Mbit/s
+//     (54 Mbit/s existed but "was not probed as frequently", so the paper
+//     excludes it; we do the same for the probed set).
+//   * 802.11n   — 20 MHz channel, MCS 0..15 (one and two spatial streams).
+//
+// Each BitRate carries its modulation family and the two parameters of the
+// logistic SNR -> delivery-probability model used by phy/error_model.h.  The
+// parameters are calibrated, not derived from first principles: the goal is
+// to reproduce the paper's *orderings* (see DESIGN.md §4), in particular
+//   - DSSS/CCK receive better at low SNR than mid OFDM rates, so that
+//     11 Mbit/s has fewer hidden triples than 6 Mbit/s (paper §6.1);
+//   - 802.11b/g throughput-vs-SNR flattens near 30 dB, 802.11n near 15 dB
+//     (paper §4.4);
+//   - successive 802.11n MCS thresholds are much closer together than the
+//     b/g ones, making SNR a weaker determinant of the optimal rate
+//     (paper Figs 4.3 / 4.4b).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace wmesh {
+
+enum class Standard : std::uint8_t { kBg, kN };
+
+enum class Modulation : std::uint8_t { kDsss, kCck, kOfdm, kHtOfdm };
+
+// Index of a rate within its standard's probed-rate table.  All analysis
+// code identifies rates by (Standard, RateIndex).
+using RateIndex = std::uint8_t;
+
+struct BitRate {
+  int kbps = 0;            // nominal PHY rate
+  Modulation mod = Modulation::kOfdm;
+  int mcs = -1;            // 802.11n MCS index, -1 for b/g rates
+  std::string_view name;   // e.g. "11M", "MCS07"
+  // Logistic reception model: P(delivery | snr) =
+  //   1 / (1 + exp(-(snr - thr50_db) / width_db)).
+  double thr50_db = 0.0;   // SNR at which 50% of probes are delivered
+  double width_db = 1.0;   // steepness of the reception curve
+};
+
+// The probed rates for a standard, in increasing nominal-rate order for b/g
+// and MCS order for n.  Spans refer to static storage.
+std::span<const BitRate> probed_rates(Standard std);
+
+// Full 802.11b/g rate table (including 2, 5.5, 9, 18, 54 Mbit/s), used by
+// the examples that emulate a production rate-adaptation loop rather than
+// the paper's probing schedule.
+std::span<const BitRate> bg_all_rates();
+
+std::string_view to_string(Standard std);
+std::string_view to_string(Modulation mod);
+
+// Number of probed rates for `std` (7 for b/g, 16 for n).
+inline std::size_t rate_count(Standard std) { return probed_rates(std).size(); }
+
+// Human-readable label of probed rate `idx` of `std` ("1M", "MCS12", ...).
+std::string_view rate_name(Standard std, RateIndex idx);
+
+// Nominal rate in Mbit/s of probed rate `idx` of `std`.
+double rate_mbps(Standard std, RateIndex idx);
+
+// Finds the probed-rate index with the given kbps (and mcs for 802.11n,
+// since several MCS share a nominal rate).  Returns -1 when absent.
+int find_rate(Standard std, int kbps, int mcs = -1);
+
+}  // namespace wmesh

@@ -1,0 +1,100 @@
+#include "rateadapt/arena.h"
+
+#include <cmath>
+
+#include "phy/error_model.h"
+
+namespace wmesh {
+namespace {
+
+struct Link {
+  MeshNetwork net;
+  ChannelModel chan;
+};
+
+ChannelParams resolve_channel(const ArenaParams& p) {
+  // A default-constructed ChannelParams equals the indoor calibration; use
+  // it as-is (callers can override any field).
+  return p.channel;
+}
+
+MeshNetwork make_link_net(double distance_m) {
+  std::vector<Ap> aps = {{0, 0.0, 0.0}, {1, distance_m, 0.0}};
+  NetworkInfo info;
+  info.name = "arena-link";
+  return MeshNetwork(info, aps);
+}
+
+}  // namespace
+
+ArenaResult run_arena(RatePolicy& policy, const ArenaParams& params) {
+  const auto rates = probed_rates(params.standard);
+  ArenaResult out;
+  out.policy = std::string(policy.name());
+
+  MeshNetwork net = make_link_net(params.link_distance_m);
+  Rng build_rng(params.seed);
+  ChannelModel chan(net, params.standard, resolve_channel(params),
+                    params.duration_s, build_rng);
+  if (chan.links().empty()) return out;  // silent link; nothing to do
+
+  // Frame-level randomness comes from a stream that is a pure function of
+  // (seed, frame index, rate): both the policy run and the oracle sweep see
+  // the same channel realization for the same (frame, rate).
+  double policy_sum = 0.0, oracle_sum = 0.0;
+  double last_reported_snr = std::nan("");
+  std::size_t frame_idx = 0;
+  Rng fading_rng(params.seed ^ 0xfadefadefadeULL);
+
+  for (double t = params.frame_interval_s; t < params.duration_s;
+       t += params.frame_interval_s, ++frame_idx) {
+    chan.advance_slow_fading(params.frame_interval_s, fading_rng);
+
+    // Evaluate every rate's outcome at this instant with per-(frame, rate)
+    // deterministic draws.
+    double best = 0.0;
+    std::vector<ChannelModel::ProbeOutcome> outcomes(rates.size());
+    for (std::size_t r = 0; r < rates.size(); ++r) {
+      Rng frame_rng(params.seed ^ (frame_idx * 1315423911ULL) ^ (r << 48));
+      outcomes[r] = chan.sample_probe(0, static_cast<RateIndex>(r), t,
+                                      frame_rng);
+      if (outcomes[r].delivered) {
+        best = std::max(best, rates[r].kbps / 1000.0);
+      }
+    }
+    oracle_sum += best;
+
+    const RateIndex choice = policy.choose_rate(last_reported_snr);
+    const auto& res = outcomes[choice];
+    ++out.frames;
+    if (res.delivered) {
+      ++out.delivered;
+      policy_sum += rates[choice].kbps / 1000.0;
+      last_reported_snr = res.reported_snr_db;
+    }
+    policy.on_result(choice, res.delivered, last_reported_snr);
+  }
+
+  if (out.frames > 0) {
+    out.mean_throughput_mbps = policy_sum / static_cast<double>(out.frames);
+    out.oracle_throughput_mbps = oracle_sum / static_cast<double>(out.frames);
+    out.fraction_of_oracle =
+        out.oracle_throughput_mbps > 0.0
+            ? out.mean_throughput_mbps / out.oracle_throughput_mbps
+            : 0.0;
+  }
+  return out;
+}
+
+std::vector<ArenaResult> run_arena_all(
+    std::vector<std::unique_ptr<RatePolicy>>& policies,
+    const ArenaParams& params) {
+  std::vector<ArenaResult> out;
+  out.reserve(policies.size());
+  for (auto& p : policies) {
+    out.push_back(run_arena(*p, params));
+  }
+  return out;
+}
+
+}  // namespace wmesh

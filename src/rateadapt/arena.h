@@ -1,0 +1,47 @@
+// Arena: replays rate-adaptation policies over the channel simulator.
+//
+// Each policy run rebuilds the channel from the same seed, so competing
+// policies face the *identical* fading/interference realization -- the
+// only difference in outcome is the policy's choices.  Feedback mirrors
+// real 802.11: the policy learns the SNR only from frames that were
+// delivered (receiver reports ride on ACK-path traffic), so a policy that
+// drives the link into the ground also starves its own channel state.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rateadapt/protocol.h"
+#include "sim/channel.h"
+
+namespace wmesh {
+
+struct ArenaParams {
+  double duration_s = 3600.0;
+  double frame_interval_s = 10.0;  // decision granularity
+  double link_distance_m = 55.0;
+  Standard standard = Standard::kBg;
+  ChannelParams channel = {};  // defaulted to indoor in run_arena
+  std::uint64_t seed = 1;
+};
+
+struct ArenaResult {
+  std::string policy;
+  std::size_t frames = 0;
+  std::size_t delivered = 0;
+  double mean_throughput_mbps = 0.0;  // mean over frames of rate * success
+  double oracle_throughput_mbps = 0.0;  // per-frame best rate, same channel
+  double fraction_of_oracle = 0.0;
+};
+
+// Runs one policy over a fresh single-link channel built from
+// params.seed.  The oracle is evaluated on an identically-seeded channel.
+ArenaResult run_arena(RatePolicy& policy, const ArenaParams& params);
+
+// Convenience: run several policies under identical conditions.
+std::vector<ArenaResult> run_arena_all(
+    std::vector<std::unique_ptr<RatePolicy>>& policies,
+    const ArenaParams& params);
+
+}  // namespace wmesh

@@ -1,0 +1,262 @@
+#include "rateadapt/protocol.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace wmesh {
+namespace {
+
+// All policies are deterministic: "random" probing is a frame counter, so
+// two runs over the same channel realization are identical (testability,
+// and the same property the simulator has).
+
+class FixedRatePolicy final : public RatePolicy {
+ public:
+  FixedRatePolicy(Standard std, RateIndex rate)
+      : name_("fixed-" + std::string(rate_name(std, rate))), rate_(rate) {}
+
+  std::string_view name() const override { return name_; }
+  RateIndex choose_rate(double) override { return rate_; }
+  void on_result(RateIndex, bool, double) override {}
+
+ private:
+  std::string name_;
+  RateIndex rate_;
+};
+
+class SnrThresholdPolicy final : public RatePolicy {
+ public:
+  SnrThresholdPolicy(Standard std, double margin_db)
+      : std_(std), margin_db_(margin_db) {}
+
+  std::string_view name() const override { return "snr-threshold"; }
+
+  RateIndex choose_rate(double reported_snr_db) override {
+    const auto rates = probed_rates(std_);
+    if (std::isnan(reported_snr_db)) return 0;
+    int best = 0;
+    double best_mbps = -1.0;
+    for (std::size_t r = 0; r < rates.size(); ++r) {
+      if (rates[r].thr50_db + margin_db_ <= reported_snr_db &&
+          rates[r].kbps > best_mbps) {
+        best = static_cast<int>(r);
+        best_mbps = rates[r].kbps;
+      }
+    }
+    return static_cast<RateIndex>(best);
+  }
+
+  void on_result(RateIndex, bool, double) override {}
+
+ private:
+  Standard std_;
+  double margin_db_;
+};
+
+// Per-rate delivery EWMA shared by the learning policies.
+class DeliveryEstimates {
+ public:
+  DeliveryEstimates(std::size_t n_rates, double alpha)
+      : alpha_(alpha), est_(n_rates, 0.0), tried_(n_rates, false) {}
+
+  void update(RateIndex rate, bool success) {
+    if (!tried_[rate]) {
+      // First observation seeds the estimate instead of averaging into the
+      // prior, so a single probe is enough to rank an untried rate.
+      est_[rate] = success ? 1.0 : 0.0;
+      tried_[rate] = true;
+      return;
+    }
+    est_[rate] = (1.0 - alpha_) * est_[rate] + alpha_ * (success ? 1.0 : 0.0);
+  }
+
+  double delivery(RateIndex rate) const { return est_[rate]; }
+  bool tried(RateIndex rate) const { return tried_[rate]; }
+
+  bool any_tried() const {
+    for (bool t : tried_) {
+      if (t) return true;
+    }
+    return false;
+  }
+
+  // Rate with the best expected throughput among *tried* rates; untried
+  // rates are only reached via probing.  Falls back to the most robust
+  // rate when nothing has been tried or every tried rate looks dead (a
+  // real radio drops to its base rate in that situation).
+  RateIndex best(Standard std) const {
+    const auto rates = probed_rates(std);
+    std::size_t best = 0;
+    double best_thr = -1.0;
+    for (std::size_t r = 0; r < rates.size(); ++r) {
+      if (!tried_[r]) continue;
+      const double thr = rates[r].kbps * est_[r];
+      if (thr > best_thr) {
+        best_thr = thr;
+        best = r;
+      }
+    }
+    return best_thr > 0.0 ? static_cast<RateIndex>(best) : RateIndex{0};
+  }
+
+ private:
+  double alpha_;
+  std::vector<double> est_;
+  std::vector<bool> tried_;
+};
+
+class SampleRatePolicy final : public RatePolicy {
+ public:
+  SampleRatePolicy(Standard std, const SampleRateParams& params)
+      : std_(std),
+        params_(params),
+        est_(rate_count(std), params.ewma_alpha) {}
+
+  std::string_view name() const override { return "sample-rate"; }
+
+  RateIndex choose_rate(double) override {
+    ++frame_;
+    const auto n = rate_count(std_);
+    const std::size_t probe_every = params_.probe_fraction > 0.0
+        ? static_cast<std::size_t>(std::lround(1.0 / params_.probe_fraction))
+        : 0;
+    if (probe_every > 0 && frame_ % probe_every == 0) {
+      // Round-robin probe over all rates (untried first).
+      for (std::size_t k = 0; k < n; ++k) {
+        const auto r = static_cast<RateIndex>((probe_cursor_ + k) % n);
+        if (!est_.tried(r)) {
+          probe_cursor_ = (r + 1) % n;
+          return r;
+        }
+      }
+      const auto r = static_cast<RateIndex>(probe_cursor_ % n);
+      probe_cursor_ = (probe_cursor_ + 1) % n;
+      return r;
+    }
+    return est_.best(std_);
+  }
+
+  void on_result(RateIndex rate, bool success, double) override {
+    est_.update(rate, success);
+  }
+
+ private:
+  Standard std_;
+  SampleRateParams params_;
+  DeliveryEstimates est_;
+  std::size_t frame_ = 0;
+  std::size_t probe_cursor_ = 0;
+};
+
+class TrainedTablePolicy final : public RatePolicy {
+ public:
+  TrainedTablePolicy(Standard std, const TrainedTableParams& params)
+      : std_(std), params_(params), bootstrap_(std, /*margin_db=*/2.0) {}
+
+  std::string_view name() const override { return "trained-table"; }
+
+  RateIndex choose_rate(double reported_snr_db) override {
+    ++frame_;
+    if (std::isnan(reported_snr_db)) return 0;
+    const int snr = cell_key(reported_snr_db);
+    auto it = cells_.find(snr);
+    if (it == cells_.end()) {
+      // Never seen this SNR: bootstrap from the static thresholds (this is
+      // the "training cost is one probe per SNR" property of §4.5).
+      last_snr_ = snr;
+      return bootstrap_.choose_rate(reported_snr_db);
+    }
+    last_snr_ = snr;
+    DeliveryEstimates& est = it->second;
+    const auto probe_set = k_best(est);
+    const std::size_t probe_every = params_.probe_fraction > 0.0
+        ? static_cast<std::size_t>(std::lround(1.0 / params_.probe_fraction))
+        : 0;
+    if (probe_every > 0 && frame_ % probe_every == 0 && !probe_set.empty()) {
+      const auto r = probe_set[probe_cursor_ % probe_set.size()];
+      ++probe_cursor_;
+      return r;
+    }
+    return est.best(std_);
+  }
+
+  void on_result(RateIndex rate, bool success, double reported_snr_db) override {
+    const int snr =
+        std::isnan(reported_snr_db) ? last_snr_ : cell_key(reported_snr_db);
+    auto [it, inserted] =
+        cells_.try_emplace(snr, rate_count(std_), params_.ewma_alpha);
+    it->second.update(rate, success);
+  }
+
+  // Cells are 2 dB wide: coarse enough to learn quickly, fine enough that
+  // the optimal rate rarely changes inside a cell.
+  static int cell_key(double snr_db) {
+    return static_cast<int>(std::lround(snr_db / 2.0)) * 2;
+  }
+
+  // Exposed for tests/benches: size of the restricted probe set at `snr`.
+  std::size_t probe_set_size(int snr) const {
+    const auto it = cells_.find(snr);
+    if (it == cells_.end()) return 0;
+    return k_best(it->second).size();
+  }
+
+ private:
+  std::vector<RateIndex> k_best(const DeliveryEstimates& est) const {
+    const auto rates = probed_rates(std_);
+    std::vector<std::pair<double, RateIndex>> scored;
+    RateIndex next_untried = rates.size();  // sentinel: none
+    for (std::size_t r = 0; r < rates.size(); ++r) {
+      if (est.tried(static_cast<RateIndex>(r))) {
+        scored.emplace_back(rates[r].kbps * est.delivery(static_cast<RateIndex>(r)),
+                            static_cast<RateIndex>(r));
+      } else if (next_untried == rates.size()) {
+        next_untried = static_cast<RateIndex>(r);
+      }
+    }
+    std::sort(scored.begin(), scored.end(), std::greater<>());
+    std::vector<RateIndex> out;
+    for (std::size_t i = 0; i < scored.size() && out.size() < params_.k_best;
+         ++i) {
+      out.push_back(scored[i].second);
+    }
+    // Keep exploring one untried rate so the table can ever discover a
+    // faster rate becoming viable.
+    if (next_untried < rates.size()) out.push_back(next_untried);
+    return out;
+  }
+
+  Standard std_;
+  TrainedTableParams params_;
+  SnrThresholdPolicy bootstrap_;
+  std::map<int, DeliveryEstimates> cells_;
+  std::size_t frame_ = 0;
+  std::size_t probe_cursor_ = 0;
+  int last_snr_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<RatePolicy> make_fixed_rate_policy(Standard std,
+                                                   RateIndex rate) {
+  return std::make_unique<FixedRatePolicy>(std, rate);
+}
+
+std::unique_ptr<RatePolicy> make_snr_threshold_policy(Standard std,
+                                                      double margin_db) {
+  return std::make_unique<SnrThresholdPolicy>(std, margin_db);
+}
+
+std::unique_ptr<RatePolicy> make_sample_rate_policy(
+    Standard std, const SampleRateParams& params) {
+  return std::make_unique<SampleRatePolicy>(std, params);
+}
+
+std::unique_ptr<RatePolicy> make_trained_table_policy(
+    Standard std, const TrainedTableParams& params) {
+  return std::make_unique<TrainedTablePolicy>(std, params);
+}
+
+}  // namespace wmesh

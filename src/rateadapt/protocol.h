@@ -1,0 +1,71 @@
+// Bit-rate adaptation protocols (paper §2.2 and the §4.5 proposal).
+//
+// The paper's §4 analysis motivates a concrete protocol: keep a per-link
+// SNR->rate table and use it to pick (or to narrow the probing of) the
+// transmit rate.  This module implements that protocol and the two
+// families it competes with, behind one feedback interface:
+//
+//   SnrThresholdPolicy   SGRA/RBAR-style: static SNR thresholds derived
+//                        from the PHY table; no learning.
+//   SampleRatePolicy     Bicket's SampleRate, simplified: per-rate EWMA of
+//                        delivery, occasional probes at other rates, pick
+//                        the throughput-maximizing rate.
+//   TrainedTablePolicy   the paper's §4.5 scheme: learn the per-SNR best
+//                        rate online; restrict SampleRate-style probing to
+//                        the k best rates ever seen at the current SNR.
+//   FixedRatePolicy      baseline.
+//
+// The interface is frame-oriented: choose_rate() before a transmission,
+// on_result() with the outcome.  rateadapt/arena.h replays protocols over
+// the channel simulator and scores achieved throughput.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "phy/rates.h"
+
+namespace wmesh {
+
+class RatePolicy {
+ public:
+  virtual ~RatePolicy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Picks the rate for the next frame given the latest SNR report (the
+  // receiver-fed value; NaN when none is available yet).
+  virtual RateIndex choose_rate(double reported_snr_db) = 0;
+
+  // Feedback: the frame at `rate` succeeded/failed while the link reported
+  // `reported_snr_db`.
+  virtual void on_result(RateIndex rate, bool success,
+                         double reported_snr_db) = 0;
+};
+
+// Always transmits at one rate.
+std::unique_ptr<RatePolicy> make_fixed_rate_policy(Standard std,
+                                                   RateIndex rate);
+
+// Static thresholds: the fastest rate whose 50%-delivery SNR is at least
+// `margin_db` below the reported SNR; the most robust rate as fallback.
+std::unique_ptr<RatePolicy> make_snr_threshold_policy(Standard std,
+                                                      double margin_db = 2.0);
+
+struct SampleRateParams {
+  double ewma_alpha = 0.1;    // per-rate delivery EWMA weight
+  double probe_fraction = 0.1;  // fraction of frames spent probing
+};
+std::unique_ptr<RatePolicy> make_sample_rate_policy(
+    Standard std, const SampleRateParams& params = {});
+
+struct TrainedTableParams {
+  std::size_t k_best = 3;       // probing restricted to the k best per SNR
+  double probe_fraction = 0.1;  // probing budget within the restricted set
+  double ewma_alpha = 0.1;
+};
+std::unique_ptr<RatePolicy> make_trained_table_policy(
+    Standard std, const TrainedTableParams& params = {});
+
+}  // namespace wmesh

@@ -1,0 +1,138 @@
+#include "routing/dsdv.h"
+
+#include <cmath>
+
+namespace wmesh {
+
+DsdvMesh::DsdvMesh(const SuccessMatrix& success, const DsdvParams& params)
+    : n_(success.ap_count()),
+      params_(params),
+      link_cost_(n_ * n_, kInfCost),
+      delivery_(n_ * n_, 0.0),
+      table_(n_ * n_),
+      own_seqno_(n_, 0),
+      oracle_(success, params.variant, params.min_delivery) {
+  for (std::size_t a = 0; a < n_; ++a) {
+    for (std::size_t b = 0; b < n_; ++b) {
+      if (a == b) continue;
+      const double p_fwd =
+          success.at(static_cast<ApId>(a), static_cast<ApId>(b));
+      const double p_rev =
+          success.at(static_cast<ApId>(b), static_cast<ApId>(a));
+      delivery_[a * n_ + b] = p_fwd;
+      link_cost_[a * n_ + b] =
+          etx_link_cost(p_fwd, p_rev, params.variant, params.min_delivery);
+    }
+    // Self route: metric 0, next hop self.
+    DsdvRoute& self = table_[a * n_ + a];
+    self.next_hop = static_cast<int>(a);
+    self.metric = 0.0;
+  }
+}
+
+std::size_t DsdvMesh::step(Rng& rng) {
+  std::size_t changes = 0;
+
+  // Age all foreign routes; expire the stale ones.
+  for (std::size_t at = 0; at < n_; ++at) {
+    for (std::size_t dst = 0; dst < n_; ++dst) {
+      if (at == dst) continue;
+      DsdvRoute& r = table_[at * n_ + dst];
+      if (r.next_hop < 0) continue;
+      if (++r.age_rounds > params_.route_timeout_rounds) {
+        r = DsdvRoute{};
+        ++changes;
+      }
+    }
+  }
+
+  // Everyone bumps its own sequence number and advertises.  Advertisements
+  // are processed against the *previous* tables (classic synchronous DV
+  // round), so snapshot them first.
+  for (std::size_t a = 0; a < n_; ++a) {
+    own_seqno_[a] += 2;  // even seqnos, as in DSDV
+    DsdvRoute& self = table_[a * n_ + a];
+    self.seqno = own_seqno_[a];
+    self.age_rounds = 0;
+  }
+  const std::vector<DsdvRoute> snapshot = table_;
+
+  for (std::size_t sender = 0; sender < n_; ++sender) {
+    for (std::size_t rcv = 0; rcv < n_; ++rcv) {
+      if (sender == rcv) continue;
+      const double link = link_cost_[rcv * n_ + sender];
+      if (link == kInfCost) continue;  // not a neighbour of rcv
+      if (params_.lossy_control_plane &&
+          !rng.bernoulli(delivery_[sender * n_ + rcv])) {
+        continue;  // advertisement lost on air
+      }
+      // rcv ingests sender's snapshot table.
+      for (std::size_t dst = 0; dst < n_; ++dst) {
+        if (dst == rcv) continue;
+        const DsdvRoute& adv = snapshot[sender * n_ + dst];
+        if (adv.next_hop < 0) continue;
+        const double metric = adv.metric + link;
+        DsdvRoute& mine = table_[rcv * n_ + dst];
+        // Relayed routes are one sequence generation (one round, +2) staler
+        // than the destination's direct advertisement by construction of
+        // the synchronous rounds.  Accepting a *better-metric* route within
+        // one generation is DSDV's settling-time rule: without it, a bad
+        // direct link would win on freshness alone forever.
+        const bool acquire = mine.next_hop < 0 && adv.seqno > mine.seqno;
+        const bool fresh_enough = adv.seqno + 2 >= mine.seqno;
+        const bool better = fresh_enough && metric < mine.metric - 1e-12;
+        const bool refresh = mine.next_hop == static_cast<int>(sender) &&
+                             adv.seqno >= mine.seqno;
+        if (acquire || better || refresh) {
+          const bool changed = mine.next_hop != static_cast<int>(sender) ||
+                               std::abs(mine.metric - metric) > 1e-9;
+          mine.next_hop = static_cast<int>(sender);
+          mine.metric = metric;
+          mine.seqno = adv.seqno;
+          mine.age_rounds = 0;
+          if (changed) ++changes;
+        }
+      }
+    }
+  }
+  return changes;
+}
+
+std::size_t DsdvMesh::run_until_stable(Rng& rng, std::size_t stable_rounds,
+                                       std::size_t max_rounds) {
+  std::size_t quiet = 0;
+  std::size_t rounds = 0;
+  while (rounds < max_rounds && quiet < stable_rounds) {
+    const std::size_t changes = step(rng);
+    ++rounds;
+    quiet = (changes == 0) ? quiet + 1 : 0;
+  }
+  return rounds;
+}
+
+double DsdvMesh::forwarding_cost(ApId src, ApId dst) const {
+  if (src == dst) return 0.0;
+  double cost = 0.0;
+  std::size_t cur = src;
+  for (std::size_t hops = 0; hops <= n_; ++hops) {
+    const DsdvRoute& r = table_[cur * n_ + dst];
+    if (r.next_hop < 0) return kInfCost;
+    const auto nh = static_cast<std::size_t>(r.next_hop);
+    const double link = link_cost_[cur * n_ + nh];
+    if (link == kInfCost) return kInfCost;
+    cost += link;
+    cur = nh;
+    if (cur == dst) return cost;
+  }
+  return kInfCost;  // loop
+}
+
+double DsdvMesh::stretch(ApId src, ApId dst) const {
+  const auto opt = oracle_.shortest_from(src);
+  if (opt[dst] == kInfCost || opt[dst] <= 0.0) return 0.0;
+  const double fwd = forwarding_cost(src, dst);
+  if (fwd == kInfCost) return 0.0;
+  return fwd / opt[dst];
+}
+
+}  // namespace wmesh

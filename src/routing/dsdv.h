@@ -1,0 +1,84 @@
+// Distance-vector mesh routing over lossy links (the §5 substrate).
+//
+// The paper's "traditional routing" is Roofnet-style: every node keeps an
+// ETX estimate per neighbour from broadcast probes and runs a
+// destination-sequenced distance-vector protocol (DSDV) to pick next hops.
+// The §5 analysis treats that machinery as given and jumps straight to the
+// converged shortest paths; this module builds the machinery itself, so the
+// repository also answers *whether* and *how fast* the distributed protocol
+// reaches the centralized optimum the analysis assumes.
+//
+// Model: rounds.  Each round every node broadcasts its route advertisement
+// (its full table, bumped sequence number for itself); each neighbour
+// receives it independently with the link's delivery probability.  Routes
+// follow DSDV's rule: prefer newer sequence numbers, then lower metric;
+// a route's metric is the advertised metric plus the local link's ETX cost.
+// Stale routes expire after `route_timeout_rounds` without refresh.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/etx.h"
+#include "core/exor.h"  // kEtxMinDelivery
+#include "util/rng.h"
+
+namespace wmesh {
+
+struct DsdvParams {
+  EtxVariant variant = EtxVariant::kEtx1;
+  double min_delivery = kEtxMinDelivery;  // links below are not neighbours
+  std::size_t route_timeout_rounds = 8;
+  // When true, advertisements traverse the lossy channel (delivery drawn
+  // per neighbour per round); when false every advertisement arrives --
+  // the protocol's fixed point, useful for convergence tests.
+  bool lossy_control_plane = true;
+};
+
+struct DsdvRoute {
+  int next_hop = -1;               // -1: no route
+  double metric = kInfCost;        // accumulated ETX cost
+  std::uint32_t seqno = 0;         // destination-sequenced number
+  std::size_t age_rounds = 0;      // rounds since last refresh
+};
+
+// The whole network's protocol state, advanced round by round.
+class DsdvMesh {
+ public:
+  DsdvMesh(const SuccessMatrix& success, const DsdvParams& params);
+
+  std::size_t node_count() const noexcept { return n_; }
+
+  // Runs one protocol round (everyone advertises once).  Returns the number
+  // of route entries that changed.
+  std::size_t step(Rng& rng);
+
+  // Runs rounds until no route changes for `stable_rounds` consecutive
+  // rounds or `max_rounds` elapse; returns rounds executed.
+  std::size_t run_until_stable(Rng& rng, std::size_t stable_rounds = 3,
+                               std::size_t max_rounds = 200);
+
+  const DsdvRoute& route(ApId at, ApId dst) const {
+    return table_[static_cast<std::size_t>(at) * n_ + dst];
+  }
+
+  // Cost of the path the protocol would forward along from src to dst
+  // (sum of link ETX costs following next hops); kInfCost when no route or
+  // a forwarding loop is found.
+  double forwarding_cost(ApId src, ApId dst) const;
+
+  // Route stretch vs the centralized optimum: forwarding cost divided by
+  // the Dijkstra cost (1.0 = optimal).  Returns 0 for unreachable pairs.
+  double stretch(ApId src, ApId dst) const;
+
+ private:
+  std::size_t n_;
+  DsdvParams params_;
+  std::vector<double> link_cost_;   // n*n ETX link costs (inf if no link)
+  std::vector<double> delivery_;    // n*n forward delivery probabilities
+  std::vector<DsdvRoute> table_;    // n*n routes [at][dst]
+  std::vector<std::uint32_t> own_seqno_;
+  EtxGraph oracle_;                 // centralized reference
+};
+
+}  // namespace wmesh

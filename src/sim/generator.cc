@@ -1,0 +1,78 @@
+#include "sim/generator.h"
+
+namespace wmesh {
+
+GeneratorConfig default_config() { return GeneratorConfig{}; }
+
+GeneratorConfig paper_scale_config() {
+  GeneratorConfig c;
+  c.probes = paper_scale_probe_params();
+  return c;
+}
+
+GeneratorConfig small_config() {
+  GeneratorConfig c;
+  c.fleet.network_count = 6;
+  c.fleet.bg_only = 4;
+  c.fleet.n_only = 1;
+  c.fleet.both = 1;
+  c.fleet.indoor = 4;
+  c.fleet.outdoor = 2;
+  c.fleet.min_size = 4;
+  c.fleet.max_size = 12;
+  c.fleet.force_max_network = false;
+  c.probes.duration_s = 3600.0;
+  return c;
+}
+
+NetworkTrace generate_network_trace(const MeshNetwork& net, Standard standard,
+                                    const GeneratorConfig& config, Rng& rng,
+                                    bool with_clients) {
+  NetworkTrace trace;
+  trace.info = net.info();
+  trace.info.standard = standard;
+  trace.ap_count = static_cast<std::uint16_t>(net.size());
+
+  const ChannelParams& chan = (net.info().env == Environment::kOutdoor)
+                                  ? config.outdoor_channel
+                                  : config.indoor_channel;
+  Rng probe_rng = rng.fork();
+  trace.probe_sets =
+      simulate_probes(net, standard, chan, config.probes, probe_rng);
+
+  if (with_clients && config.generate_clients) {
+    const MobilityParams& mob = (net.info().env == Environment::kOutdoor)
+                                    ? config.outdoor_mobility
+                                    : config.indoor_mobility;
+    Rng client_rng = rng.fork();
+    trace.client_samples = simulate_clients(net, mob, client_rng);
+  }
+  return trace;
+}
+
+Dataset generate_dataset(const GeneratorConfig& config) {
+  Rng master(config.seed);
+  Rng fleet_rng = master.fork();
+  const auto fleet = make_fleet(config.fleet, fleet_rng);
+
+  Dataset ds;
+  for (const FleetNetwork& fn : fleet) {
+    Rng net_rng = master.fork();
+    bool clients_done = false;
+    if (fn.has_bg) {
+      ds.networks.push_back(generate_network_trace(
+          fn.network, Standard::kBg, config, net_rng, /*with_clients=*/true));
+      clients_done = true;
+    }
+    if (fn.has_n) {
+      // Dual-radio networks: client data is attached to the first trace
+      // only, so mobility analyses count each physical network once.
+      ds.networks.push_back(generate_network_trace(fn.network, Standard::kN,
+                                                   config, net_rng,
+                                                   !clients_done));
+    }
+  }
+  return ds;
+}
+
+}  // namespace wmesh

@@ -1,0 +1,132 @@
+#include "sim/probe_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace wmesh {
+namespace {
+
+// Per-(link, rate) sliding window of probe outcomes.  The window length in
+// probes is window_s / probe_interval_s (20 for the defaults); a plain ring
+// buffer of bits plus a received-count keeps updates O(1).
+class OutcomeWindow {
+ public:
+  void configure(std::size_t capacity) {
+    bits_.assign(capacity, 0);
+    head_ = 0;
+    filled_ = 0;
+    received_ = 0;
+  }
+
+  void push(bool delivered) {
+    if (filled_ == bits_.size()) {
+      received_ -= bits_[head_];
+    } else {
+      ++filled_;
+    }
+    bits_[head_] = delivered ? 1 : 0;
+    received_ += bits_[head_];
+    head_ = (head_ + 1) % bits_.size();
+  }
+
+  std::size_t samples() const { return filled_; }
+  std::size_t received() const { return received_; }
+
+  double loss() const {
+    if (filled_ == 0) return 1.0;
+    return 1.0 -
+           static_cast<double>(received_) / static_cast<double>(filled_);
+  }
+
+ private:
+  std::vector<std::uint8_t> bits_;
+  std::size_t head_ = 0;
+  std::size_t filled_ = 0;
+  std::size_t received_ = 0;
+};
+
+float median_snr(std::vector<float>& snrs) {
+  if (snrs.empty()) return kNoSnr;
+  std::sort(snrs.begin(), snrs.end());
+  const std::size_t n = snrs.size();
+  if (n % 2 == 1) return snrs[n / 2];
+  return 0.5f * (snrs[n / 2 - 1] + snrs[n / 2]);
+}
+
+}  // namespace
+
+std::vector<ProbeSet> simulate_probes(const MeshNetwork& net,
+                                      Standard standard,
+                                      const ChannelParams& channel_params,
+                                      const ProbeSimParams& params, Rng& rng) {
+  ChannelModel channel(net, standard, channel_params, params.duration_s, rng);
+  const auto rates = probed_rates(standard);
+  const std::size_t n_rates = rates.size();
+  const std::size_t n_links = channel.links().size();
+
+  const auto window_probes = static_cast<std::size_t>(
+      std::max(1.0, std::round(params.window_s / params.probe_interval_s)));
+
+  // State per (link, rate), flattened.
+  std::vector<OutcomeWindow> windows(n_links * n_rates);
+  for (auto& w : windows) w.configure(window_probes);
+  std::vector<float> last_snr(n_links * n_rates, kNoSnr);
+
+  std::vector<ProbeSet> out;
+  double next_report = params.report_interval_s;
+  double prev_t = 0.0;
+
+  std::vector<float> median_buf;
+  median_buf.reserve(n_rates);
+
+  for (double t = params.probe_interval_s; t <= params.duration_s;
+       t += params.probe_interval_s) {
+    channel.advance_slow_fading(t - prev_t, rng);
+    prev_t = t;
+
+    for (std::size_t li = 0; li < n_links; ++li) {
+      for (std::size_t ri = 0; ri < n_rates; ++ri) {
+        const auto outcome =
+            channel.sample_probe(li, static_cast<RateIndex>(ri), t, rng);
+        const std::size_t slot = li * n_rates + ri;
+        windows[slot].push(outcome.delivered);
+        if (outcome.delivered) last_snr[slot] = outcome.reported_snr_db;
+      }
+    }
+
+    // Emit reports that are due.  Probe rounds are much finer than report
+    // intervals, so checking after each round is exact enough (reports land
+    // on the first probe round at/after their nominal time).
+    while (next_report <= t + 1e-9) {
+      for (std::size_t li = 0; li < n_links; ++li) {
+        ProbeSet set;
+        set.from = channel.links()[li].from;
+        set.to = channel.links()[li].to;
+        set.time_s = static_cast<std::uint32_t>(std::lround(next_report));
+        bool any_received = false;
+        median_buf.clear();
+        for (std::size_t ri = 0; ri < n_rates; ++ri) {
+          const std::size_t slot = li * n_rates + ri;
+          ProbeEntry e;
+          e.rate = static_cast<RateIndex>(ri);
+          e.loss = static_cast<float>(windows[slot].loss());
+          if (windows[slot].received() > 0) {
+            e.snr_db = last_snr[slot];
+            median_buf.push_back(e.snr_db);
+            any_received = true;
+          }
+          set.entries.push_back(e);
+        }
+        if (!any_received) continue;  // link absent from the logs
+        set.snr_db = median_snr(median_buf);
+        out.push_back(std::move(set));
+      }
+      next_report += params.report_interval_s;
+    }
+  }
+
+  return out;
+}
+
+}  // namespace wmesh

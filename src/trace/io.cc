@@ -1,0 +1,176 @@
+#include "trace/io.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "util/csv.h"
+
+namespace wmesh {
+namespace {
+
+std::string env_code(Environment e) {
+  switch (e) {
+    case Environment::kIndoor:
+      return "I";
+    case Environment::kOutdoor:
+      return "O";
+    case Environment::kMixed:
+      return "M";
+  }
+  return "?";
+}
+
+Environment env_from_code(const std::string& s) {
+  if (s == "O") return Environment::kOutdoor;
+  if (s == "M") return Environment::kMixed;
+  return Environment::kIndoor;
+}
+
+std::string std_code(Standard s) {
+  return s == Standard::kN ? "n" : "bg";
+}
+
+Standard std_from_code(const std::string& s) {
+  return s == "n" ? Standard::kN : Standard::kBg;
+}
+
+double to_double(const std::string& s) {
+  if (s == "nan") return std::nan("");
+  return std::strtod(s.c_str(), nullptr);
+}
+
+long to_long(const std::string& s) { return std::strtol(s.c_str(), nullptr, 10); }
+
+std::string num(double v, int digits = 3) {
+  if (std::isnan(v)) return "nan";
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace
+
+bool save_dataset(const Dataset& ds, const std::string& prefix) {
+  try {
+    CsvWriter probes(prefix + ".probes.csv");
+    probes.comment("wmesh probe snapshot; one row per (probe set, rate)");
+    probes.row({"network", "env", "standard", "ap_count", "time_s", "from",
+                "to", "set_snr", "rate", "loss", "snr"});
+    for (const auto& nt : ds.networks) {
+      const std::string net = std::to_string(nt.info.id);
+      const std::string env = env_code(nt.info.env);
+      const std::string std_s = std_code(nt.info.standard);
+      const std::string apc = std::to_string(nt.ap_count);
+      for (const auto& set : nt.probe_sets) {
+        const std::string common =
+            net + ',' + env + ',' + std_s + ',' + apc + ',' +
+            std::to_string(set.time_s) + ',' + std::to_string(set.from) +
+            ',' + std::to_string(set.to) + ',' + num(set.snr_db, 2);
+        for (const auto& e : set.entries) {
+          probes.raw_line(common + ',' + std::to_string(e.rate) + ',' +
+                          num(e.loss, 4) + ',' + num(e.snr_db, 2));
+        }
+      }
+    }
+    if (!probes.ok()) return false;
+
+    CsvWriter clients(prefix + ".clients.csv");
+    clients.comment("wmesh client snapshot; one row per 5-minute sample");
+    clients.row(
+        {"network", "env", "client", "ap", "bucket", "assoc", "packets"});
+    for (const auto& nt : ds.networks) {
+      const std::string net = std::to_string(nt.info.id);
+      const std::string env = env_code(nt.info.env);
+      for (const auto& s : nt.client_samples) {
+        clients.raw_line(net + ',' + env + ',' + std::to_string(s.client) +
+                         ',' + std::to_string(s.ap) + ',' +
+                         std::to_string(s.bucket) + ',' +
+                         std::to_string(s.assoc_requests) + ',' +
+                         std::to_string(s.data_packets));
+      }
+    }
+    return clients.ok();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool load_dataset(const std::string& prefix, Dataset* out) {
+  out->networks.clear();
+  CsvReader probes;
+  if (!probes.load(prefix + ".probes.csv")) return false;
+
+  // (network id, standard) -> index in out->networks.
+  std::map<std::pair<long, std::string>, std::size_t> index;
+
+  NetworkTrace* nt = nullptr;
+  ProbeSet* cur = nullptr;
+  for (const auto& r : probes.rows()) {
+    if (r.size() != 11) return false;
+    const long net_id = to_long(r[0]);
+    const std::string& std_s = r[2];
+    const auto key = std::make_pair(net_id, std_s);
+    auto it = index.find(key);
+    if (it == index.end()) {
+      it = index.emplace(key, out->networks.size()).first;
+      out->networks.emplace_back();
+      NetworkTrace& fresh = out->networks.back();
+      fresh.info.id = static_cast<std::uint32_t>(net_id);
+      fresh.info.env = env_from_code(r[1]);
+      fresh.info.standard = std_from_code(std_s);
+      fresh.ap_count = static_cast<std::uint16_t>(to_long(r[3]));
+      nt = &fresh;
+      cur = nullptr;
+    } else {
+      nt = &out->networks[it->second];
+    }
+
+    const auto time_s = static_cast<std::uint32_t>(to_long(r[4]));
+    const auto from = static_cast<ApId>(to_long(r[5]));
+    const auto to = static_cast<ApId>(to_long(r[6]));
+    if (cur == nullptr || nt->probe_sets.empty() ||
+        &nt->probe_sets.back() != cur || cur->time_s != time_s ||
+        cur->from != from || cur->to != to) {
+      nt->probe_sets.emplace_back();
+      cur = &nt->probe_sets.back();
+      cur->from = from;
+      cur->to = to;
+      cur->time_s = time_s;
+      cur->snr_db = static_cast<float>(to_double(r[7]));
+    }
+    ProbeEntry e;
+    e.rate = static_cast<RateIndex>(to_long(r[8]));
+    e.loss = static_cast<float>(to_double(r[9]));
+    e.snr_db = static_cast<float>(to_double(r[10]));
+    cur->entries.push_back(e);
+  }
+
+  CsvReader clients;
+  if (clients.load(prefix + ".clients.csv")) {
+    for (const auto& r : clients.rows()) {
+      if (r.size() != 7) return false;
+      const long net_id = to_long(r[0]);
+      // Client samples attach to the first trace of the network.
+      NetworkTrace* target = nullptr;
+      for (auto& cand : out->networks) {
+        if (cand.info.id == static_cast<std::uint32_t>(net_id)) {
+          target = &cand;
+          break;
+        }
+      }
+      if (target == nullptr) continue;
+      ClientSample s;
+      s.client = static_cast<std::uint32_t>(to_long(r[2]));
+      s.ap = static_cast<ApId>(to_long(r[3]));
+      s.bucket = static_cast<std::uint32_t>(to_long(r[4]));
+      s.assoc_requests = static_cast<std::uint16_t>(to_long(r[5]));
+      s.data_packets = static_cast<std::uint32_t>(to_long(r[6]));
+      target->client_samples.push_back(s);
+    }
+  }
+  return true;
+}
+
+}  // namespace wmesh

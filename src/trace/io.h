@@ -1,0 +1,27 @@
+// Trace persistence: CSV round-tripping of the snapshot.
+//
+// A snapshot is stored as two files:
+//   <prefix>.probes.csv   network,env,standard,ap_count,time_s,from,to,
+//                         set_snr,rate,loss,snr     (one row per ProbeEntry)
+//   <prefix>.clients.csv  network,env,client,ap,bucket,assoc,packets
+//
+// Rows for entries with no received probe carry "nan" in the snr column.
+// The format is intentionally flat and greppable -- it doubles as the
+// interchange format for running this toolkit over real traces with the
+// same schema.
+#pragma once
+
+#include <string>
+
+#include "trace/records.h"
+
+namespace wmesh {
+
+// Writes both files.  Returns false (and leaves partial files) on I/O error.
+bool save_dataset(const Dataset& ds, const std::string& prefix);
+
+// Loads both files; returns an empty optional-like flag via bool.  Probe
+// entries are regrouped into ProbeSets in file order.
+bool load_dataset(const std::string& prefix, Dataset* out);
+
+}  // namespace wmesh

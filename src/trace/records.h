@@ -1,0 +1,95 @@
+// The wmesh data model: the exact schema the paper's analyses consume.
+//
+// Probe data (paper §3.1): every AP broadcasts probes at each probed bit
+// rate every 40 s; loss rates are averaged over a sliding 800 s window
+// (~20 probes per rate) and reported every 300 s.  One report for one
+// directed link is a ProbeSet: per-rate tuples
+//     (sender, bit rate, mean loss rate, most recent SNR)
+// plus the probe-set SNR, defined as the median of the per-rate SNRs.
+//
+// Client data (paper §3.2): per-client counters aggregated over five-minute
+// intervals -- association requests and data packets per (AP, client).
+//
+// Everything above this boundary (src/core, bench/, examples/) sees only
+// these records, never simulator internals, so the toolkit runs unmodified
+// on real traces with the same schema.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "mesh/network.h"
+#include "phy/rates.h"
+
+namespace wmesh {
+
+// Sentinel SNR for "no probe received at this rate inside the window".
+inline constexpr float kNoSnr = std::numeric_limits<float>::quiet_NaN();
+
+struct ProbeEntry {
+  RateIndex rate = 0;     // index into probed_rates(standard)
+  float loss = 1.0f;      // mean loss rate over the window, in [0, 1]
+  float snr_db = kNoSnr;  // most recent SNR at this rate; NaN if none
+
+  bool received_any() const noexcept { return loss < 1.0f; }
+};
+
+struct ProbeSet {
+  ApId from = 0;
+  ApId to = 0;
+  std::uint32_t time_s = 0;  // report timestamp (seconds from trace start)
+  float snr_db = kNoSnr;     // median of per-entry SNRs ("SNR of the set")
+  std::vector<ProbeEntry> entries;  // one per probed rate, rate order
+
+  // Entry for rate `r`, or nullptr when that rate has no entry.
+  const ProbeEntry* entry(RateIndex r) const noexcept {
+    for (const auto& e : entries) {
+      if (e.rate == r) return &e;
+    }
+    return nullptr;
+  }
+};
+
+// One five-minute client-data record (paper §3.2).
+struct ClientSample {
+  std::uint32_t client = 0;  // anonymized client id, unique per network
+  ApId ap = 0;
+  std::uint32_t bucket = 0;  // five-minute interval index from trace start
+  std::uint16_t assoc_requests = 0;
+  std::uint32_t data_packets = 0;
+};
+
+// All data collected from one (network, standard) pair.  Networks running
+// both 802.11b/g and 802.11n radios contribute two NetworkTraces.
+struct NetworkTrace {
+  NetworkInfo info;
+  std::uint16_t ap_count = 0;
+  std::vector<ProbeSet> probe_sets;       // sorted by (time, from, to)
+  std::vector<ClientSample> client_samples;  // sorted by (client, bucket)
+};
+
+// The full snapshot: the synthetic equivalent of the paper's 24-hour /
+// 110-network Meraki data set.
+struct Dataset {
+  std::vector<NetworkTrace> networks;
+
+  std::size_t total_probe_sets() const noexcept {
+    std::size_t n = 0;
+    for (const auto& nt : networks) n += nt.probe_sets.size();
+    return n;
+  }
+  // Counts each physical network once, even when it contributes traces for
+  // both standards (traces of one network share info.id).
+  std::size_t total_aps() const {
+    std::size_t n = 0;
+    std::uint32_t prev_id = std::numeric_limits<std::uint32_t>::max();
+    for (const auto& nt : networks) {
+      if (nt.info.id != prev_id) n += nt.ap_count;
+      prev_id = nt.info.id;
+    }
+    return n;
+  }
+};
+
+}  // namespace wmesh

@@ -1,0 +1,77 @@
+#include "util/csv.h"
+
+#include <stdexcept>
+
+namespace wmesh {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+void CsvWriter::row(std::span<const std::string> fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << fields[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<std::string_view> fields) {
+  std::size_t i = 0;
+  for (std::string_view f : fields) {
+    if (i++ != 0) out_ << ',';
+    out_ << f;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::raw_line(std::string_view line) { out_ << line << '\n'; }
+
+void CsvWriter::comment(std::string_view text) { out_ << "# " << text << '\n'; }
+
+bool CsvReader::load(const std::string& path) {
+  header_.clear();
+  rows_.clear();
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    auto fields = split_csv_line(line);
+    if (!saw_header) {
+      header_ = std::move(fields);
+      saw_header = true;
+    } else {
+      rows_.push_back(std::move(fields));
+    }
+  }
+  return saw_header;
+}
+
+int CsvReader::column(std::string_view name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<std::string> split_csv_line(std::string_view line) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      out.emplace_back(line.substr(start));
+      break;
+    }
+    out.emplace_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace wmesh

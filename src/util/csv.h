@@ -1,0 +1,62 @@
+// Minimal CSV reading/writing for trace persistence and bench output.
+//
+// The probe and client data sets round-trip through CSV (see trace/io.h) so
+// that a generated snapshot can be saved once and re-analyzed by every bench
+// binary, mirroring how the paper's authors worked from a fixed snapshot.
+// The dialect is deliberately tiny: comma separator, no quoting (fields in
+// wmesh traces are numeric or simple identifiers), '#' comment lines, one
+// header row.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wmesh {
+
+// Streaming writer.  Throws std::runtime_error if the file cannot be opened;
+// subsequent write failures surface via `ok()` and the destructor flushes.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+
+  // Writes one row; elements are joined with commas.
+  void row(std::span<const std::string> fields);
+  void row(std::initializer_list<std::string_view> fields);
+
+  // Convenience for mixed numeric rows built by the caller.
+  void raw_line(std::string_view line);
+  void comment(std::string_view text);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  std::ofstream out_;
+};
+
+// Whole-file reader: loads every non-comment row into memory.  Suitable for
+// the snapshot sizes wmesh produces (tens of MB).
+class CsvReader {
+ public:
+  // Returns false if the file cannot be opened.
+  bool load(const std::string& path);
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  // Index of a header column, or -1 when absent.
+  int column(std::string_view name) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Splits `line` at commas.  Exposed for tests.
+std::vector<std::string> split_csv_line(std::string_view line);
+
+}  // namespace wmesh

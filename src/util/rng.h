@@ -1,0 +1,79 @@
+// Deterministic random-number facade for the simulators.
+//
+// Every stochastic component in wmesh (topology placement, channel shadowing,
+// probe delivery draws, client mobility) takes an Rng by reference so that a
+// single 64-bit seed reproduces the entire synthetic "Meraki snapshot"
+// bit-for-bit.  This is what makes the bench outputs in EXPERIMENTS.md
+// reproducible across runs and machines.
+//
+// The engine is std::mt19937_64; the helpers below exist so call sites read
+// as the distribution they draw from rather than as <random> boilerplate.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+
+namespace wmesh {
+
+class Rng {
+ public:
+  static constexpr std::uint64_t kDefaultSeed = 0x5eed0000f00dULL;
+
+  explicit Rng(std::uint64_t seed = kDefaultSeed) : engine_(seed) {}
+
+  // Derive an independent child stream; used to give each network / link /
+  // client its own stream so that adding one network does not perturb the
+  // draws of another (important when sweeping fleet sizes in benches).
+  Rng fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
+
+  std::uint64_t next_u64() { return engine_(); }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  double normal(double mu, double sigma) {
+    return std::normal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  double lognormal(double mu_log, double sigma_log) {
+    return std::lognormal_distribution<double>(mu_log, sigma_log)(engine_);
+  }
+
+  double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  // Number of successes in n Bernoulli(p) trials.
+  int binomial(int n, double p) {
+    if (n <= 0 || p <= 0.0) return 0;
+    if (p >= 1.0) return n;
+    return std::binomial_distribution<int>(n, p)(engine_);
+  }
+
+  // Index into `weights` drawn proportionally to the weights (all >= 0).
+  std::size_t pick_weighted(std::span<const double> weights) {
+    std::discrete_distribution<std::size_t> d(weights.begin(), weights.end());
+    return d(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace wmesh

@@ -1,0 +1,150 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wmesh {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::sample_variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::sample_stddev() const noexcept {
+  return std::sqrt(sample_variance());
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) noexcept {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double quantile(std::span<const double> values, double q) {
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  return quantile_sorted(copy, q);
+}
+
+double median(std::span<const double> values) { return quantile(values, 0.5); }
+
+double mean(std::span<const double> values) noexcept {
+  RunningStats s;
+  for (double v : values) s.add(v);
+  return s.mean();
+}
+
+double stddev(std::span<const double> values) noexcept {
+  RunningStats s;
+  for (double v : values) s.add(v);
+  return s.stddev();
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary out;
+  if (values.empty()) return out;
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  RunningStats s;
+  for (double v : copy) s.add(v);
+  out.count = s.count();
+  out.mean = s.mean();
+  out.stddev = s.stddev();
+  out.min = copy.front();
+  out.max = copy.back();
+  out.p25 = quantile_sorted(copy, 0.25);
+  out.median = quantile_sorted(copy, 0.50);
+  out.p75 = quantile_sorted(copy, 0.75);
+  return out;
+}
+
+Cdf::Cdf(std::vector<double> values) : sorted_(std::move(values)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::fraction_at_or_below(double x) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Cdf::value_at(double q) const noexcept {
+  return quantile_sorted(sorted_, q);
+}
+
+std::vector<std::pair<double, double>> Cdf::curve(std::size_t max_points) const {
+  std::vector<std::pair<double, double>> out;
+  if (sorted_.empty() || max_points == 0) return out;
+  const std::size_t n = sorted_.size();
+  const std::size_t step = std::max<std::size_t>(1, n / max_points);
+  for (std::size_t i = 0; i < n; i += step) {
+    out.emplace_back(sorted_[i],
+                     static_cast<double>(i + 1) / static_cast<double>(n));
+  }
+  if (out.back().first != sorted_.back() || out.back().second != 1.0) {
+    out.emplace_back(sorted_.back(), 1.0);
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(bins == 0 ? 1 : bins)),
+      counts_(bins == 0 ? 1 : bins, 0) {}
+
+void Histogram::add(double x) noexcept {
+  auto idx = static_cast<long>((x - lo_) / width_);
+  idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_center(std::size_t i) const noexcept {
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+}  // namespace wmesh

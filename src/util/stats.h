@@ -1,0 +1,121 @@
+// Statistical primitives used throughout the measurement-analysis toolkit.
+//
+// The paper reports almost every result as a CDF, a quantile, or a
+// mean +/- standard deviation, so these helpers are the common vocabulary of
+// the analysis layer (src/core) and of every bench binary.
+//
+// All functions operate on plain doubles; none of them throw.  Quantile
+// conventions follow the "nearest rank with linear interpolation" rule
+// (type 7 in the R taxonomy), which is what gnuplot/NumPy use by default and
+// therefore what the paper's plots are implicitly built on.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace wmesh {
+
+// Running first/second-moment accumulator (Welford).  Numerically stable for
+// the long, skewed series the probe simulator emits.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+  // Mean of the observations; 0.0 when empty.
+  double mean() const noexcept { return mean_; }
+  // Population variance (divides by n); 0.0 when fewer than two samples.
+  double variance() const noexcept;
+  // Sample variance (divides by n-1); 0.0 when fewer than two samples.
+  double sample_variance() const noexcept;
+  double stddev() const noexcept;
+  double sample_stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Quantile of `sorted` (ascending) with linear interpolation, q in [0, 1].
+// Returns 0.0 for an empty span.  Precondition: the span is sorted.
+double quantile_sorted(std::span<const double> sorted, double q) noexcept;
+
+// Convenience wrappers that copy + sort internally.
+double quantile(std::span<const double> values, double q);
+double median(std::span<const double> values);
+double mean(std::span<const double> values) noexcept;
+double stddev(std::span<const double> values) noexcept;
+
+// Five-number-style summary of a sample, as the paper's error bars use
+// (median with upper/lower quartiles) plus mean/stddev for Figs 5.5 and 6.2.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population stddev
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> values);
+
+// Empirical CDF over a sample.  Built once, then queried either as the full
+// step function (for plotting) or at specific probabilities/values.
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(std::vector<double> values);
+
+  bool empty() const noexcept { return sorted_.empty(); }
+  std::size_t size() const noexcept { return sorted_.size(); }
+
+  // P(X <= x).
+  double fraction_at_or_below(double x) const noexcept;
+  // Inverse CDF (quantile) at q in [0, 1].
+  double value_at(double q) const noexcept;
+  double median() const noexcept { return value_at(0.5); }
+
+  // Evaluation points of the step function: (value, cumulative fraction)
+  // downsampled to at most `max_points` points, suitable for printing a
+  // figure series.  Always includes the first and last sample.
+  std::vector<std::pair<double, double>> curve(std::size_t max_points = 200) const;
+
+  const std::vector<double>& sorted_values() const noexcept { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+// Fixed-width histogram over [lo, hi); values outside are clamped into the
+// first/last bin.  Used for Fig 7.1 (number of APs visited) and for the
+// SNR-occupancy diagnostics in the bench binaries.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t total() const noexcept { return total_; }
+  // Center value of bin i.
+  double bin_center(std::size_t i) const noexcept;
+  double bin_width() const noexcept { return width_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace wmesh

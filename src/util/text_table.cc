@@ -1,0 +1,137 @@
+#include "util/text_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace wmesh {
+
+void TextTable::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto emit = [&widths](std::string& out, const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out += "  ";
+      out += row[i];
+      if (i + 1 < row.size()) {
+        out.append(widths[i] - row[i].size(), ' ');
+      }
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  if (!header_.empty()) {
+    emit(out, header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      total += widths[i] + (i ? 2 : 0);
+    }
+    out.append(total, '-');
+    out += '\n';
+  }
+  for (const auto& r : rows_) emit(out, r);
+  return out;
+}
+
+std::string fmt(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string ascii_plot(const std::vector<Series>& series, int width,
+                       int height, const std::string& x_label,
+                       const std::string& y_label) {
+  static constexpr char kGlyphs[] = "*+x#o@%&";
+  if (series.empty() || width < 8 || height < 4) return "(no data)\n";
+
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -std::numeric_limits<double>::infinity();
+  double ymin = std::numeric_limits<double>::infinity();
+  double ymax = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const auto& s : series) {
+    for (const auto& [x, y] : s.points) {
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+      ymin = std::min(ymin, y);
+      ymax = std::max(ymax, y);
+      any = true;
+    }
+  }
+  if (!any) return "(no data)\n";
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % (sizeof(kGlyphs) - 1)];
+    for (const auto& [x, y] : series[si].points) {
+      int cx = static_cast<int>(std::lround((x - xmin) / (xmax - xmin) *
+                                            (width - 1)));
+      int cy = static_cast<int>(std::lround((y - ymin) / (ymax - ymin) *
+                                            (height - 1)));
+      cx = std::clamp(cx, 0, width - 1);
+      cy = std::clamp(cy, 0, height - 1);
+      grid[static_cast<std::size_t>(height - 1 - cy)]
+          [static_cast<std::size_t>(cx)] = glyph;
+    }
+  }
+
+  std::string out;
+  if (!y_label.empty()) out += y_label + "\n";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%10.3g +", ymax);
+  out += buf;
+  out += grid.front() + "\n";
+  for (int r = 1; r + 1 < height; ++r) {
+    out += "           |";
+    out += grid[static_cast<std::size_t>(r)] + "\n";
+  }
+  std::snprintf(buf, sizeof(buf), "%10.3g +", ymin);
+  out += buf;
+  out += grid.back() + "\n";
+  std::snprintf(buf, sizeof(buf), "           %-10.3g", xmin);
+  out += buf;
+  std::string right;
+  std::snprintf(buf, sizeof(buf), "%.3g", xmax);
+  right = buf;
+  const int pad = width - 10 - static_cast<int>(right.size());
+  if (pad > 0) out.append(static_cast<std::size_t>(pad), ' ');
+  out += right + "\n";
+  if (!x_label.empty()) {
+    const int lpad =
+        std::max(0, 11 + (width - static_cast<int>(x_label.size())) / 2);
+    out.append(static_cast<std::size_t>(lpad), ' ');
+    out += x_label + "\n";
+  }
+  std::string legend = "  legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    legend += ' ';
+    legend += kGlyphs[si % (sizeof(kGlyphs) - 1)];
+    legend += '=' + series[si].name;
+  }
+  out += legend + "\n";
+  return out;
+}
+
+}  // namespace wmesh

@@ -1,0 +1,47 @@
+// Text rendering for bench binaries: aligned tables and ASCII plots.
+//
+// Every bench target reproduces one of the paper's tables or figures.  The
+// numbers go to CSV (util/csv.h) for plotting, but the binaries also print a
+// human-readable rendition on stdout so that `for b in build/bench/*; do $b;
+// done` yields a reviewable report.  This header provides the two renderers
+// those reports use: a column-aligned table and a coarse ASCII line chart
+// for CDFs / series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wmesh {
+
+// Column-aligned table.  Cells are strings; the renderer pads each column to
+// its widest cell.  First row is treated as a header and underlined.
+class TextTable {
+ public:
+  void header(std::vector<std::string> cells);
+  void add_row(std::vector<std::string> cells);
+  // Renders with two spaces between columns.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// One named series of (x, y) points.
+struct Series {
+  std::string name;
+  std::vector<std::pair<double, double>> points;
+};
+
+// Renders `series` into a width x height character grid with shared axes.
+// Each series is drawn with its own glyph and listed in a legend.  Intended
+// for CDFs and monotone trends; it is a sanity-check view, not a publication
+// plot.
+std::string ascii_plot(const std::vector<Series>& series, int width = 72,
+                       int height = 20, const std::string& x_label = "",
+                       const std::string& y_label = "");
+
+// Formats a double with `digits` digits after the decimal point.
+std::string fmt(double v, int digits = 3);
+
+}  // namespace wmesh

@@ -1,0 +1,190 @@
+// Unit tests for sim/channel.h: link construction, fading, interference.
+#include "sim/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "mesh/topology.h"
+#include "util/stats.h"
+
+namespace wmesh {
+namespace {
+
+MeshNetwork line_network(std::size_t n, double spacing) {
+  std::vector<Ap> aps;
+  for (std::size_t i = 0; i < n; ++i) {
+    aps.push_back({static_cast<ApId>(i), spacing * static_cast<double>(i), 0.0});
+  }
+  NetworkInfo info;
+  info.id = 1;
+  return MeshNetwork(info, aps);
+}
+
+TEST(Channel, BuildsBothDirectionsForAudiblePairs) {
+  Rng rng(1);
+  const auto net = line_network(3, 40.0);
+  ChannelModel chan(net, Standard::kBg, indoor_channel_params(), 3600.0, rng);
+  std::map<std::pair<ApId, ApId>, int> seen;
+  for (const auto& l : chan.links()) seen[{l.from, l.to}]++;
+  // Adjacent pairs at 40 m are far above the silent floor.
+  EXPECT_EQ((seen[{0, 1}]), 1);
+  EXPECT_EQ((seen[{1, 0}]), 1);
+  EXPECT_EQ((seen[{1, 2}]), 1);
+  EXPECT_EQ((seen[{2, 1}]), 1);
+}
+
+TEST(Channel, SilentFloorPrunesFarPairs) {
+  Rng rng(2);
+  const auto net = line_network(2, 5000.0);  // 5 km apart
+  ChannelModel chan(net, Standard::kBg, indoor_channel_params(), 3600.0, rng);
+  EXPECT_TRUE(chan.links().empty());
+}
+
+TEST(Channel, StaticSnrFollowsPathLoss) {
+  // With shadowing and offsets disabled, static SNR equals the log-distance
+  // formula exactly.
+  ChannelParams p = indoor_channel_params();
+  p.shadow_sigma_db = 0.0;
+  p.dir_offset_sigma_db = 0.0;
+  Rng rng(3);
+  const auto net = line_network(2, 50.0);
+  ChannelModel chan(net, Standard::kBg, p, 3600.0, rng);
+  ASSERT_EQ(chan.links().size(), 2u);
+  const double expected =
+      p.snr_ref_db - 10.0 * p.pathloss_exp * std::log10(50.0 / p.ref_m);
+  EXPECT_NEAR(chan.links()[0].static_snr_db, expected, 1e-9);
+  EXPECT_NEAR(chan.links()[1].static_snr_db, expected, 1e-9);
+}
+
+TEST(Channel, DirectionsShareShadowingButDifferByOffset) {
+  ChannelParams p = indoor_channel_params();
+  p.dir_offset_sigma_db = 0.0;
+  Rng rng(4);
+  const auto net = line_network(2, 50.0);
+  ChannelModel chan(net, Standard::kBg, p, 3600.0, rng);
+  ASSERT_EQ(chan.links().size(), 2u);
+  // Without directional offsets the two directions are identical.
+  EXPECT_DOUBLE_EQ(chan.links()[0].static_snr_db,
+                   chan.links()[1].static_snr_db);
+}
+
+TEST(Channel, RateOffsetsSharedWithinModulationFamily) {
+  ChannelParams p = indoor_channel_params();
+  p.rate_jitter_sigma_db = 0.0;  // isolate the family offset
+  Rng rng(5);
+  const auto net = line_network(2, 50.0);
+  ChannelModel chan(net, Standard::kBg, p, 3600.0, rng);
+  const auto& lc = chan.links()[0];
+  const auto rates = probed_rates(Standard::kBg);
+  // 1M (DSSS) and 11M (CCK) share the spread-spectrum family offset.
+  const int i1 = find_rate(Standard::kBg, 1'000);
+  const int i11 = find_rate(Standard::kBg, 11'000);
+  const int i6 = find_rate(Standard::kBg, 6'000);
+  const int i48 = find_rate(Standard::kBg, 48'000);
+  EXPECT_DOUBLE_EQ(lc.rate_offset_db[static_cast<std::size_t>(i1)],
+                   lc.rate_offset_db[static_cast<std::size_t>(i11)]);
+  EXPECT_DOUBLE_EQ(lc.rate_offset_db[static_cast<std::size_t>(i6)],
+                   lc.rate_offset_db[static_cast<std::size_t>(i48)]);
+  ASSERT_EQ(lc.rate_offset_db.size(), rates.size());
+}
+
+TEST(Channel, SlowFadingIsStationary) {
+  // After many OU steps the per-link slow state must keep its stationary
+  // standard deviation (no drift, no collapse).
+  ChannelParams p = indoor_channel_params();
+  p.disturbed_link_prob = 0.0;
+  Rng rng(6);
+  const auto net = line_network(2, 40.0);
+  ChannelModel chan(net, Standard::kBg, p, 3600.0, rng);
+  RunningStats s;
+  // Steps of one correlation time keep successive samples nearly
+  // independent, so the usual sqrt-n error bars apply.
+  for (int i = 0; i < 20000; ++i) {
+    chan.advance_slow_fading(p.slow_tau_s, rng);
+    s.add(chan.links()[0].slow_db);
+  }
+  EXPECT_NEAR(s.mean(), 0.0, 0.1);
+  EXPECT_NEAR(s.stddev(), p.slow_sigma_db, 0.1);
+}
+
+TEST(Channel, DisturbedLinksGetLargerSigma) {
+  ChannelParams p = indoor_channel_params();
+  p.disturbed_link_prob = 1.0;
+  Rng rng(7);
+  const auto net = line_network(2, 40.0);
+  ChannelModel chan(net, Standard::kBg, p, 3600.0, rng);
+  for (const auto& l : chan.links()) {
+    EXPECT_DOUBLE_EQ(l.slow_sigma_db,
+                     p.slow_sigma_db * p.disturbed_slow_multiplier);
+  }
+}
+
+TEST(Channel, InterferenceIsNonNegativeAndEpisodic) {
+  ChannelParams p = indoor_channel_params();
+  p.interference_rate_hz = 1.0 / 600.0;  // frequent bursts for the test
+  Rng rng(8);
+  const auto net = line_network(2, 40.0);
+  ChannelModel chan(net, Standard::kBg, p, 24 * 3600.0, rng);
+  int active = 0, total = 0;
+  for (double t = 0.0; t < 24 * 3600.0; t += 60.0) {
+    const double d = chan.interference_db(0, t);
+    EXPECT_GE(d, 0.0);
+    ++total;
+    active += (d > 0.0) ? 1 : 0;
+  }
+  EXPECT_GT(active, 0);
+  EXPECT_LT(active, total);  // bursts must not cover the whole trace
+}
+
+TEST(Channel, MeanDeliveryDecreasesWithRateThreshold) {
+  // For a mid-SNR link, delivery at 1M must exceed delivery at 48M.
+  ChannelParams p = indoor_channel_params();
+  p.shadow_sigma_db = 0.0;
+  p.link_offset_sigma_db = 0.0;
+  p.mod_offset_sigma_db = 0.0;
+  p.rate_jitter_sigma_db = 0.0;
+  p.dir_offset_sigma_db = 0.0;
+  Rng rng(9);
+  const auto net = line_network(2, 55.0);
+  ChannelModel chan(net, Standard::kBg, p, 3600.0, rng);
+  ASSERT_FALSE(chan.links().empty());
+  const double p1 = chan.mean_delivery(0, 0);
+  const double p48 = chan.mean_delivery(0, 6);
+  EXPECT_GT(p1, p48);
+  EXPECT_GT(p1, 0.5);
+}
+
+TEST(Channel, SampleProbeDeterministicGivenRng) {
+  Rng build_a(10), build_b(10);
+  const auto net = line_network(3, 45.0);
+  ChannelModel a(net, Standard::kBg, indoor_channel_params(), 3600.0, build_a);
+  ChannelModel b(net, Standard::kBg, indoor_channel_params(), 3600.0, build_b);
+  Rng sample_a(77), sample_b(77);
+  for (int i = 0; i < 200; ++i) {
+    const auto oa = a.sample_probe(0, 0, 40.0 * i, sample_a);
+    const auto ob = b.sample_probe(0, 0, 40.0 * i, sample_b);
+    EXPECT_EQ(oa.delivered, ob.delivered);
+    EXPECT_FLOAT_EQ(oa.reported_snr_db, ob.reported_snr_db);
+  }
+}
+
+TEST(Channel, ReportedSnrTracksStaticSnr) {
+  ChannelParams p = indoor_channel_params();
+  Rng rng(11);
+  const auto net = line_network(2, 30.0);
+  ChannelModel chan(net, Standard::kBg, p, 3600.0, rng);
+  RunningStats s;
+  Rng sample(12);
+  for (int i = 0; i < 2000; ++i) {
+    s.add(chan.sample_probe(0, 0, 40.0 * i, sample).reported_snr_db);
+  }
+  // Slow fading is never advanced here, so its initial draw is a constant
+  // part of every reported SNR.
+  EXPECT_NEAR(s.mean(),
+              chan.links()[0].static_snr_db + chan.links()[0].slow_db, 0.5);
+}
+
+}  // namespace
+}  // namespace wmesh

@@ -1,0 +1,114 @@
+// Unit tests for util/csv.h: splitting, writing, reading, round trips.
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace wmesh {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(SplitCsvLine, Basic) {
+  const auto f = split_csv_line("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[1], "b");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(SplitCsvLine, EmptyFields) {
+  const auto f = split_csv_line(",x,");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "");
+  EXPECT_EQ(f[1], "x");
+  EXPECT_EQ(f[2], "");
+}
+
+TEST(SplitCsvLine, SingleField) {
+  const auto f = split_csv_line("lonely");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0], "lonely");
+}
+
+TEST(SplitCsvLine, EmptyLine) {
+  const auto f = split_csv_line("");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0], "");
+}
+
+TEST(CsvWriter, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv"), std::runtime_error);
+}
+
+TEST(CsvRoundTrip, HeaderRowsAndComments) {
+  const std::string path = temp_path("wmesh_csv_test.csv");
+  {
+    CsvWriter w(path);
+    w.comment("a comment line");
+    w.row({"col1", "col2", "col3"});
+    w.row({"1", "2", "3"});
+    w.raw_line("4,5,6");
+    w.comment("trailing comment");
+    EXPECT_TRUE(w.ok());
+  }
+  CsvReader r;
+  ASSERT_TRUE(r.load(path));
+  ASSERT_EQ(r.header().size(), 3u);
+  EXPECT_EQ(r.header()[1], "col2");
+  ASSERT_EQ(r.rows().size(), 2u);
+  EXPECT_EQ(r.rows()[0][0], "1");
+  EXPECT_EQ(r.rows()[1][2], "6");
+  EXPECT_EQ(r.column("col3"), 2);
+  EXPECT_EQ(r.column("absent"), -1);
+  std::remove(path.c_str());
+}
+
+TEST(CsvReader, MissingFileFails) {
+  CsvReader r;
+  EXPECT_FALSE(r.load("/nonexistent-dir-xyz/none.csv"));
+}
+
+TEST(CsvReader, EmptyFileFails) {
+  const std::string path = temp_path("wmesh_csv_empty.csv");
+  { std::ofstream out(path); }
+  CsvReader r;
+  EXPECT_FALSE(r.load(path));  // no header row
+  std::remove(path.c_str());
+}
+
+TEST(CsvReader, SkipsBlankAndCommentLines) {
+  const std::string path = temp_path("wmesh_csv_blank.csv");
+  {
+    std::ofstream out(path);
+    out << "# leading comment\n\nh1,h2\n\n# mid comment\nv1,v2\n";
+  }
+  CsvReader r;
+  ASSERT_TRUE(r.load(path));
+  EXPECT_EQ(r.header()[0], "h1");
+  ASSERT_EQ(r.rows().size(), 1u);
+  EXPECT_EQ(r.rows()[0][1], "v2");
+  std::remove(path.c_str());
+}
+
+TEST(CsvReader, HandlesCrLf) {
+  const std::string path = temp_path("wmesh_csv_crlf.csv");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "a,b\r\n1,2\r\n";
+  }
+  CsvReader r;
+  ASSERT_TRUE(r.load(path));
+  EXPECT_EQ(r.header()[1], "b");
+  EXPECT_EQ(r.rows()[0][1], "2");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wmesh

@@ -1,0 +1,103 @@
+// Unit tests for core/diversity.h: node-disjoint path counting.
+#include "core/diversity.h"
+
+#include <gtest/gtest.h>
+
+namespace wmesh {
+namespace {
+
+SuccessMatrix sym(std::size_t n,
+                  std::initializer_list<std::pair<ApId, ApId>> links,
+                  double p = 0.9) {
+  SuccessMatrix m(n);
+  for (const auto& [a, b] : links) {
+    m.set(a, b, p);
+    m.set(b, a, p);
+  }
+  return m;
+}
+
+TEST(Diversity, DirectLinkIsOnePath) {
+  const auto m = sym(2, {{0, 1}});
+  EXPECT_EQ(disjoint_paths(m, 0, 1), 1);
+}
+
+TEST(Diversity, DisconnectedIsZero) {
+  const auto m = sym(3, {{0, 1}});
+  EXPECT_EQ(disjoint_paths(m, 0, 2), 0);
+  EXPECT_EQ(disjoint_paths(m, 0, 0), 0);  // self
+}
+
+TEST(Diversity, ChainIsOnePath) {
+  const auto m = sym(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(disjoint_paths(m, 0, 3), 1);
+}
+
+TEST(Diversity, TwoDisjointRelaysAndDirect) {
+  // 0 -> 3 directly, via 1, and via 2: three node-disjoint paths.
+  const auto m = sym(4, {{0, 3}, {0, 1}, {1, 3}, {0, 2}, {2, 3}});
+  EXPECT_EQ(disjoint_paths(m, 0, 3), 3);
+}
+
+TEST(Diversity, SharedRelayCollapsesToOne) {
+  // Two 2-hop routes that share the middle node 1: only one disjoint path.
+  SuccessMatrix m(5);
+  auto link = [&m](ApId a, ApId b) {
+    m.set(a, b, 0.9);
+    m.set(b, a, 0.9);
+  };
+  link(0, 1);
+  link(1, 4);
+  link(0, 2);
+  link(2, 1);  // second route 0-2-1-4 also passes node 1
+  EXPECT_EQ(disjoint_paths(m, 0, 4), 1);
+}
+
+TEST(Diversity, MinDeliveryPrunesWeakLinks) {
+  SuccessMatrix m(3);
+  m.set(0, 1, 0.9);
+  m.set(1, 2, 0.9);
+  m.set(0, 2, 0.03);  // below the floor
+  EXPECT_EQ(disjoint_paths(m, 0, 2, 0.05), 1);
+  EXPECT_EQ(disjoint_paths(m, 0, 2, 0.01), 2);
+}
+
+TEST(Diversity, CapBoundsResult) {
+  // Complete graph on 6 nodes: 0->5 has direct + 4 relays = 5 paths.
+  SuccessMatrix m(6);
+  for (ApId a = 0; a < 6; ++a) {
+    for (ApId b = 0; b < 6; ++b) {
+      if (a != b) m.set(a, b, 0.9);
+    }
+  }
+  EXPECT_EQ(disjoint_paths(m, 0, 5), 5);
+  EXPECT_EQ(disjoint_paths(m, 0, 5, 0.05, 3), 3);
+}
+
+TEST(Diversity, DirectedLinksRespected) {
+  SuccessMatrix m(3);
+  m.set(0, 1, 0.9);
+  m.set(1, 2, 0.9);  // forward only
+  EXPECT_EQ(disjoint_paths(m, 0, 2), 1);
+  EXPECT_EQ(disjoint_paths(m, 2, 0), 0);
+}
+
+TEST(Diversity, AllPairsShape) {
+  const auto m = sym(3, {{0, 1}, {1, 2}});
+  const auto all = all_pair_diversity(m);
+  EXPECT_EQ(all.size(), 6u);
+  for (const auto& pd : all) {
+    EXPECT_NE(pd.src, pd.dst);
+    EXPECT_GE(pd.paths, 0);
+    EXPECT_LE(pd.paths, 1);  // a chain has at most one disjoint path
+  }
+}
+
+TEST(Diversity, GridHasMultiplePaths) {
+  // 2x2 grid: opposite corners have exactly two disjoint paths.
+  const auto m = sym(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  EXPECT_EQ(disjoint_paths(m, 0, 3), 2);
+}
+
+}  // namespace
+}  // namespace wmesh

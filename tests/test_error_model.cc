@@ -1,0 +1,125 @@
+// Unit and property tests for phy/error_model.h.
+#include "phy/error_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wmesh {
+namespace {
+
+BitRate test_rate(double thr = 10.0, double width = 2.0, int kbps = 24'000) {
+  BitRate r;
+  r.kbps = kbps;
+  r.thr50_db = thr;
+  r.width_db = width;
+  r.name = "test";
+  return r;
+}
+
+TEST(ErrorModel, HalfDeliveryAtThreshold) {
+  const BitRate r = test_rate();
+  EXPECT_NEAR(delivery_probability(r, 10.0), 0.5, 1e-12);
+}
+
+TEST(ErrorModel, ExtremesSaturate) {
+  const BitRate r = test_rate();
+  EXPECT_DOUBLE_EQ(delivery_probability(r, 1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(delivery_probability(r, -1000.0), 0.0);
+}
+
+TEST(ErrorModel, SymmetricAroundThreshold) {
+  const BitRate r = test_rate();
+  for (double d : {0.5, 1.0, 3.0, 7.0}) {
+    EXPECT_NEAR(delivery_probability(r, 10.0 + d) +
+                    delivery_probability(r, 10.0 - d),
+                1.0, 1e-12);
+  }
+}
+
+TEST(ErrorModel, InverseRoundTrip) {
+  const BitRate r = test_rate(5.0, 1.3);
+  for (double p : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+    const double snr = snr_for_delivery(r, p);
+    EXPECT_NEAR(delivery_probability(r, snr), p, 1e-9);
+  }
+}
+
+TEST(ErrorModel, InverseClampsP) {
+  const BitRate r = test_rate();
+  EXPECT_TRUE(std::isfinite(snr_for_delivery(r, 0.0)));
+  EXPECT_TRUE(std::isfinite(snr_for_delivery(r, 1.0)));
+  EXPECT_LT(snr_for_delivery(r, 0.0), snr_for_delivery(r, 1.0));
+}
+
+TEST(ErrorModel, TenPercentPointFormula) {
+  const BitRate r = test_rate(8.0, 1.5);
+  // logistic^-1(0.1) = -ln 9
+  EXPECT_NEAR(snr_for_delivery(r, 0.1), 8.0 - 1.5 * std::log(9.0), 1e-9);
+}
+
+TEST(ErrorModel, ThroughputDefinition) {
+  const BitRate r = test_rate(10.0, 2.0, 36'000);
+  EXPECT_DOUBLE_EQ(throughput_mbps(r, 1.0), 36.0);
+  EXPECT_DOUBLE_EQ(throughput_mbps(r, 0.5), 18.0);
+  EXPECT_DOUBLE_EQ(throughput_from_loss_mbps(r, 0.25), 27.0);
+  EXPECT_DOUBLE_EQ(throughput_from_loss_mbps(r, 1.0), 0.0);
+}
+
+// Property: delivery probability is monotone in SNR for every probed rate of
+// both standards, and lies in [0, 1].
+class MonotoneDelivery : public ::testing::TestWithParam<Standard> {};
+
+TEST_P(MonotoneDelivery, AllRates) {
+  for (const BitRate& r : probed_rates(GetParam())) {
+    double prev = -1.0;
+    for (double snr = -30.0; snr <= 60.0; snr += 0.25) {
+      const double p = delivery_probability(r, snr);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+      EXPECT_GE(p, prev) << r.name << " at " << snr;
+      prev = p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Standards, MonotoneDelivery,
+                         ::testing::Values(Standard::kBg, Standard::kN));
+
+// Property: at any fixed SNR there is a single throughput-maximizing rate
+// region structure -- specifically, max throughput over rates is monotone
+// non-decreasing in SNR (more SNR can never hurt the best choice).
+class BestThroughputMonotone : public ::testing::TestWithParam<Standard> {};
+
+TEST_P(BestThroughputMonotone, MaxOverRates) {
+  const auto rates = probed_rates(GetParam());
+  double prev_best = 0.0;
+  for (double snr = -10.0; snr <= 50.0; snr += 0.5) {
+    double best = 0.0;
+    for (const auto& r : rates) {
+      best = std::max(best, throughput_mbps(r, delivery_probability(r, snr)));
+    }
+    EXPECT_GE(best + 1e-12, prev_best) << "snr " << snr;
+    prev_best = best;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Standards, BestThroughputMonotone,
+                         ::testing::Values(Standard::kBg, Standard::kN));
+
+TEST(ErrorModel, BgPlateauNearThirtyDb) {
+  // Fig 4.5's calibration: at 30 dB the best b/g rate (48M) delivers >= 97%.
+  const auto bg = probed_rates(Standard::kBg);
+  const BitRate& r48 = bg[6];
+  EXPECT_GE(delivery_probability(r48, 30.0), 0.97);
+}
+
+TEST(ErrorModel, NPlateauNearFifteenDb) {
+  // The paper: 802.11n throughput levels off around 15 dB.  At 20 dB the top
+  // MCS should already deliver most probes.
+  const auto n = probed_rates(Standard::kN);
+  EXPECT_GE(delivery_probability(n[15], 20.0), 0.8);
+}
+
+}  // namespace
+}  // namespace wmesh

@@ -1,0 +1,148 @@
+// Unit tests for core/etx.h: link costs and shortest paths.
+#include "core/etx.h"
+
+#include <gtest/gtest.h>
+
+namespace wmesh {
+namespace {
+
+SuccessMatrix matrix(std::size_t n) { return SuccessMatrix(n); }
+
+TEST(EtxLinkCost, Formulas) {
+  EXPECT_DOUBLE_EQ(etx_link_cost(0.5, 0.8, EtxVariant::kEtx1), 2.0);
+  EXPECT_DOUBLE_EQ(etx_link_cost(0.5, 0.8, EtxVariant::kEtx2), 2.5);
+  EXPECT_DOUBLE_EQ(etx_link_cost(1.0, 1.0, EtxVariant::kEtx2), 1.0);
+}
+
+TEST(EtxLinkCost, DeadLinksAreInfinite) {
+  EXPECT_EQ(etx_link_cost(0.0, 1.0, EtxVariant::kEtx1), kInfCost);
+  EXPECT_EQ(etx_link_cost(1.0, 0.0, EtxVariant::kEtx2), kInfCost);
+  EXPECT_EQ(etx_link_cost(1.0, 0.0, EtxVariant::kEtx1), 1.0);  // ACK ideal
+}
+
+TEST(EtxLinkCost, MinDeliveryThreshold) {
+  EXPECT_EQ(etx_link_cost(0.04, 1.0, EtxVariant::kEtx1, 0.05), kInfCost);
+  EXPECT_DOUBLE_EQ(etx_link_cost(0.10, 1.0, EtxVariant::kEtx1, 0.05), 10.0);
+}
+
+TEST(EtxGraph, CostsFromMatrix) {
+  auto m = matrix(2);
+  m.set(0, 1, 0.8);
+  m.set(1, 0, 0.4);
+  EtxGraph g1(m, EtxVariant::kEtx1);
+  EXPECT_DOUBLE_EQ(g1.link_cost(0, 1), 1.25);
+  EXPECT_DOUBLE_EQ(g1.link_cost(1, 0), 2.5);
+  EtxGraph g2(m, EtxVariant::kEtx2);
+  EXPECT_NEAR(g2.link_cost(0, 1), 1.0 / 0.32, 1e-9);
+  EXPECT_NEAR(g2.link_cost(1, 0), 1.0 / 0.32, 1e-9);  // symmetric under ETX2
+}
+
+TEST(EtxGraph, DijkstraPrefersGoodTwoHopOverBadDirect) {
+  // 0 -> 2 direct at p=.2 (cost 5) vs 0 -> 1 -> 2 at p=.9 each (~2.22).
+  auto m = matrix(3);
+  m.set(0, 2, 0.2);
+  m.set(0, 1, 0.9);
+  m.set(1, 2, 0.9);
+  EtxGraph g(m, EtxVariant::kEtx1);
+  std::vector<int> parent;
+  const auto dist = g.shortest_from(0, &parent);
+  EXPECT_NEAR(dist[2], 2.0 / 0.9, 1e-9);
+  EXPECT_EQ(parent[2], 1);
+  EXPECT_EQ(parent[1], 0);
+  EXPECT_EQ(EtxGraph::hops(parent, 0, 2), 2);
+}
+
+TEST(EtxGraph, DijkstraPrefersDirectWhenGoodEnough) {
+  auto m = matrix(3);
+  m.set(0, 2, 0.9);
+  m.set(0, 1, 0.9);
+  m.set(1, 2, 0.9);
+  EtxGraph g(m, EtxVariant::kEtx1);
+  std::vector<int> parent;
+  const auto dist = g.shortest_from(0, &parent);
+  EXPECT_NEAR(dist[2], 1.0 / 0.9, 1e-9);
+  EXPECT_EQ(EtxGraph::hops(parent, 0, 2), 1);
+}
+
+TEST(EtxGraph, UnreachableIsInfinite) {
+  auto m = matrix(3);
+  m.set(0, 1, 1.0);
+  EtxGraph g(m, EtxVariant::kEtx1);
+  const auto dist = g.shortest_from(0);
+  EXPECT_EQ(dist[2], kInfCost);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  std::vector<int> parent;
+  g.shortest_from(0, &parent);
+  EXPECT_EQ(EtxGraph::hops(parent, 0, 2), -1);
+}
+
+TEST(EtxGraph, ShortestToMatchesReversedFrom) {
+  // Asymmetric graph: dist_to(d)[s] must equal dist_from(s)[d].
+  auto m = matrix(4);
+  m.set(0, 1, 0.9);
+  m.set(1, 0, 0.5);
+  m.set(1, 2, 0.7);
+  m.set(2, 1, 0.9);
+  m.set(2, 3, 0.8);
+  m.set(3, 2, 0.4);
+  m.set(0, 2, 0.15);
+  EtxGraph g(m, EtxVariant::kEtx1);
+  for (ApId d = 0; d < 4; ++d) {
+    const auto to = g.shortest_to(d);
+    for (ApId s = 0; s < 4; ++s) {
+      const auto from = g.shortest_from(s);
+      EXPECT_NEAR(to[s], from[d], 1e-9) << "s=" << int(s) << " d=" << int(d);
+    }
+  }
+}
+
+TEST(EtxGraph, HopsZeroForSelf) {
+  std::vector<int> parent = {-1, 0};
+  EXPECT_EQ(EtxGraph::hops(parent, 0, 0), 0);
+  EXPECT_EQ(EtxGraph::hops(parent, 0, 1), 1);
+}
+
+TEST(EtxGraph, Etx2CostsNeverBelowEtx1) {
+  auto m = matrix(3);
+  m.set(0, 1, 0.9);
+  m.set(1, 0, 0.6);
+  m.set(1, 2, 0.8);
+  m.set(2, 1, 0.7);
+  EtxGraph g1(m, EtxVariant::kEtx1);
+  EtxGraph g2(m, EtxVariant::kEtx2);
+  const auto d1 = g1.shortest_from(0);
+  const auto d2 = g2.shortest_from(0);
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_GE(d2[i], d1[i] - 1e-12);
+  }
+}
+
+TEST(EtxGraph, VariantAccessorsAndToString) {
+  auto m = matrix(2);
+  m.set(0, 1, 1.0);
+  EtxGraph g(m, EtxVariant::kEtx2);
+  EXPECT_EQ(g.variant(), EtxVariant::kEtx2);
+  EXPECT_EQ(g.ap_count(), 2u);
+  EXPECT_STREQ(to_string(EtxVariant::kEtx1), "ETX1");
+  EXPECT_STREQ(to_string(EtxVariant::kEtx2), "ETX2");
+}
+
+TEST(EtxGraph, PerfectChainCostEqualsHopCount) {
+  const std::size_t n = 6;
+  auto m = matrix(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    m.set(static_cast<ApId>(i), static_cast<ApId>(i + 1), 1.0);
+    m.set(static_cast<ApId>(i + 1), static_cast<ApId>(i), 1.0);
+  }
+  EtxGraph g(m, EtxVariant::kEtx1);
+  std::vector<int> parent;
+  const auto dist = g.shortest_from(0, &parent);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(dist[i], static_cast<double>(i));
+    EXPECT_EQ(EtxGraph::hops(parent, 0, static_cast<ApId>(i)),
+              static_cast<int>(i));
+  }
+}
+
+}  // namespace
+}  // namespace wmesh

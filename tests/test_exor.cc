@@ -1,0 +1,181 @@
+// Unit and property tests for core/exor.h: the idealized opportunistic
+// routing cost recursion.
+#include "core/exor.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace wmesh {
+namespace {
+
+TEST(Exor, SingleLinkEqualsEtx1) {
+  // With only the destination as candidate, ExOR(s->d) = 1/p = ETX1(s->d).
+  SuccessMatrix m(2);
+  m.set(0, 1, 0.4);
+  m.set(1, 0, 0.9);
+  EtxGraph g(m, EtxVariant::kEtx1);
+  const auto etx_to = g.shortest_to(1);
+  const auto exor = exor_costs_to(m, etx_to);
+  EXPECT_NEAR(exor[0], 2.5, 1e-9);
+  EXPECT_DOUBLE_EQ(exor[1], 0.0);
+}
+
+TEST(Exor, PaperChainExample) {
+  // The thesis' §5.2.2 example: A -> B -> C with p=.9 on both hops and a
+  // direct A -> C probability of .3.  ETX1 path cost = 2/.9 ~ 2.22.
+  SuccessMatrix m(3);
+  m.set(0, 1, 0.9);
+  m.set(1, 0, 0.9);
+  m.set(1, 2, 0.9);
+  m.set(2, 1, 0.9);
+  m.set(0, 2, 0.3);
+  m.set(2, 0, 0.3);
+  EtxGraph g(m, EtxVariant::kEtx1);
+  const auto etx_to = g.shortest_to(2);
+  EXPECT_NEAR(etx_to[0], 2.0 / 0.9, 1e-9);
+  const auto exor = exor_costs_to(m, etx_to);
+  // Candidates of A: C (dist 0, p .3) then B (dist 1.11, p .9).
+  // r(C) = .3, r(B) = .7 * .9 = .63, none = .7 * .1 = .07.
+  // ExOR(B->C) = 1/.9.  ExOR(A) = (1 + .63 / .9) / .93.
+  const double expected = (1.0 + 0.63 * (1.0 / 0.9)) / (1.0 - 0.07);
+  EXPECT_NEAR(exor[0], expected, 1e-9);
+  EXPECT_LT(exor[0], etx_to[0]);  // opportunism helps on this topology
+}
+
+TEST(Exor, NoHelpWhenNoIntermediate) {
+  // Without the direct A->C link ExOR degenerates to the chain cost.
+  SuccessMatrix m(3);
+  m.set(0, 1, 0.8);
+  m.set(1, 2, 0.8);
+  EtxGraph g(m, EtxVariant::kEtx1);
+  const auto etx_to = g.shortest_to(2);
+  const auto exor = exor_costs_to(m, etx_to);
+  EXPECT_NEAR(exor[0], etx_to[0], 1e-9);
+}
+
+TEST(Exor, UnreachableStaysInfinite) {
+  SuccessMatrix m(3);
+  m.set(0, 1, 0.9);
+  EtxGraph g(m, EtxVariant::kEtx1);
+  const auto etx_to = g.shortest_to(2);
+  const auto exor = exor_costs_to(m, etx_to);
+  EXPECT_EQ(exor[0], kInfCost);
+  EXPECT_EQ(exor[1], kInfCost);
+  EXPECT_DOUBLE_EQ(exor[2], 0.0);
+}
+
+TEST(PairGain, ImprovementDefinition) {
+  PairGain g;
+  g.etx_cost = 1.5;
+  g.exor_cost = 1.2;
+  EXPECT_NEAR(g.improvement(), 0.2, 1e-12);
+  g.etx_cost = 0.0;
+  EXPECT_DOUBLE_EQ(g.improvement(), 0.0);
+}
+
+TEST(OpportunisticGains, CoversAllReachablePairs) {
+  SuccessMatrix m(3);
+  for (ApId a = 0; a < 3; ++a) {
+    for (ApId b = 0; b < 3; ++b) {
+      if (a != b) m.set(a, b, 0.9);
+    }
+  }
+  const auto gains = opportunistic_gains(m, EtxVariant::kEtx1);
+  EXPECT_EQ(gains.size(), 6u);  // 3 * 2 directed pairs
+  for (const auto& g : gains) {
+    EXPECT_EQ(g.hops, 1);
+    EXPECT_GT(g.etx_cost, 0.0);
+    EXPECT_GT(g.exor_cost, 0.0);
+  }
+}
+
+TEST(OpportunisticGains, HopsMatchPathLengths) {
+  // Chain of 4 perfect links: hop counts must be the chain distances.
+  SuccessMatrix m(4);
+  for (std::size_t i = 0; i + 1 < 4; ++i) {
+    m.set(static_cast<ApId>(i), static_cast<ApId>(i + 1), 1.0);
+    m.set(static_cast<ApId>(i + 1), static_cast<ApId>(i), 1.0);
+  }
+  const auto gains = opportunistic_gains(m, EtxVariant::kEtx1);
+  for (const auto& g : gains) {
+    EXPECT_EQ(g.hops, std::abs(static_cast<int>(g.src) -
+                               static_cast<int>(g.dst)));
+  }
+  const auto lengths = path_lengths(m);
+  EXPECT_EQ(lengths.size(), 12u);
+}
+
+TEST(LinkAsymmetries, RatiosOfLivePairs) {
+  SuccessMatrix m(3);
+  m.set(0, 1, 0.8);
+  m.set(1, 0, 0.4);
+  m.set(0, 2, 0.5);  // reverse dead: excluded
+  const auto asym = link_asymmetries(m);
+  ASSERT_EQ(asym.size(), 2u);  // both orders of the live pair
+  EXPECT_NEAR(asym[0] * asym[1], 1.0, 1e-9);
+  EXPECT_NEAR(std::max(asym[0], asym[1]), 2.0, 1e-9);
+}
+
+// Property: over random success matrices, 0 <= ExOR <= ETX for every
+// reachable pair under both variants, and improvements lie in [0, 1).
+class ExorBounds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExorBounds, ExorNeverWorseThanEtx) {
+  std::mt19937_64 gen(GetParam());
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  const std::size_t n = 6;
+  SuccessMatrix m(n);
+  for (ApId a = 0; a < n; ++a) {
+    for (ApId b = 0; b < n; ++b) {
+      if (a == b) continue;
+      // ~40% dead links, rest uniform quality.
+      const double p = u(gen) < 0.4 ? 0.0 : u(gen);
+      m.set(a, b, p);
+    }
+  }
+  for (const auto variant : {EtxVariant::kEtx1, EtxVariant::kEtx2}) {
+    for (const auto& g : opportunistic_gains(m, variant)) {
+      EXPECT_GT(g.exor_cost, 0.0);
+      EXPECT_LE(g.exor_cost, g.etx_cost + 1e-9)
+          << "variant " << to_string(variant) << " pair " << int(g.src)
+          << "->" << int(g.dst);
+      EXPECT_GE(g.improvement(), -1e-9);
+      EXPECT_LT(g.improvement(), 1.0);
+      EXPECT_GE(g.hops, 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExorBounds,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// Property: ExOR cost of every node is at least 1 transmission (you must
+// broadcast at least once) whenever the destination is reachable.
+class ExorFloor : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExorFloor, AtLeastOneTransmission) {
+  std::mt19937_64 gen(GetParam());
+  std::uniform_real_distribution<double> u(0.1, 1.0);
+  const std::size_t n = 5;
+  SuccessMatrix m(n);
+  for (ApId a = 0; a < n; ++a) {
+    for (ApId b = 0; b < n; ++b) {
+      if (a != b) m.set(a, b, u(gen));
+    }
+  }
+  EtxGraph g(m, EtxVariant::kEtx1);
+  for (ApId d = 0; d < n; ++d) {
+    const auto exor = exor_costs_to(m, g.shortest_to(d));
+    for (ApId s = 0; s < n; ++s) {
+      if (s == d) continue;
+      EXPECT_GE(exor[s], 1.0 - 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExorFloor,
+                         ::testing::Values(3u, 7u, 11u, 13u));
+
+}  // namespace
+}  // namespace wmesh

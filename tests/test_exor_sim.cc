@@ -1,0 +1,144 @@
+// Monte-Carlo validation of the §5 closed-form costs (core/exor_sim.h).
+#include "core/exor_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exor.h"
+
+namespace wmesh {
+namespace {
+
+PacketSimParams quick(std::size_t packets = 4000) {
+  PacketSimParams p;
+  p.packets = packets;
+  return p;
+}
+
+TEST(EtxSim, SingleLinkMatchesExpectation) {
+  SuccessMatrix m(2);
+  m.set(0, 1, 0.5);
+  m.set(1, 0, 1.0);
+  EtxGraph g(m, EtxVariant::kEtx1);
+  Rng rng(1);
+  const auto r = simulate_etx_path(m, g, 0, 1, quick(), rng);
+  EXPECT_EQ(r.delivered, r.packets);
+  EXPECT_NEAR(r.mean_transmissions, 2.0, 0.1);  // 1/p = 2
+}
+
+TEST(EtxSim, Etx2AccountsForLostAcks) {
+  SuccessMatrix m(2);
+  m.set(0, 1, 0.8);
+  m.set(1, 0, 0.5);
+  EtxGraph g(m, EtxVariant::kEtx2);
+  Rng rng(2);
+  const auto r = simulate_etx_path(m, g, 0, 1, quick(), rng);
+  EXPECT_NEAR(r.mean_transmissions, 1.0 / (0.8 * 0.5), 0.15);
+}
+
+TEST(EtxSim, ChainCostIsSumOfLinks) {
+  SuccessMatrix m(4);
+  for (std::size_t i = 0; i + 1 < 4; ++i) {
+    m.set(static_cast<ApId>(i), static_cast<ApId>(i + 1), 0.8);
+    m.set(static_cast<ApId>(i + 1), static_cast<ApId>(i), 0.8);
+  }
+  EtxGraph g(m, EtxVariant::kEtx1);
+  Rng rng(3);
+  const auto r = simulate_etx_path(m, g, 0, 3, quick(), rng);
+  EXPECT_NEAR(r.mean_transmissions, 3.0 / 0.8, 0.15);
+}
+
+TEST(EtxSim, UnreachablePairDeliversNothing) {
+  SuccessMatrix m(3);
+  m.set(0, 1, 0.9);
+  EtxGraph g(m, EtxVariant::kEtx1);
+  Rng rng(4);
+  const auto r = simulate_etx_path(m, g, 0, 2, quick(100), rng);
+  EXPECT_EQ(r.delivered, 0u);
+  EXPECT_DOUBLE_EQ(r.delivery_fraction, 0.0);
+}
+
+TEST(ExorSim, SingleLinkEqualsEtx) {
+  SuccessMatrix m(2);
+  m.set(0, 1, 0.4);
+  m.set(1, 0, 1.0);
+  EtxGraph g(m, EtxVariant::kEtx1);
+  Rng rng(5);
+  const auto r =
+      simulate_exor(m, g.shortest_to(1), 0, 1, quick(), rng);
+  EXPECT_EQ(r.delivered, r.packets);
+  EXPECT_NEAR(r.mean_transmissions, 2.5, 0.12);
+}
+
+TEST(ExorSim, MatchesClosedFormOnPaperChain) {
+  // The §5.2.2 example: analytic ExOR cost ~1.828 transmissions.
+  SuccessMatrix m(3);
+  m.set(0, 1, 0.9);
+  m.set(1, 0, 0.9);
+  m.set(1, 2, 0.9);
+  m.set(2, 1, 0.9);
+  m.set(0, 2, 0.3);
+  m.set(2, 0, 0.3);
+  EtxGraph g(m, EtxVariant::kEtx1);
+  const auto etx_to = g.shortest_to(2);
+  const auto analytic = exor_costs_to(m, etx_to);
+  Rng rng(6);
+  const auto r = simulate_exor(m, etx_to, 0, 2, quick(8000), rng);
+  EXPECT_EQ(r.delivered, r.packets);
+  EXPECT_NEAR(r.mean_transmissions, analytic[0], 0.06);
+}
+
+// Property: simulated ExOR transmissions match exor_costs_to() within
+// Monte-Carlo error on random connected matrices -- the core validation of
+// the paper's methodology.
+class ExorSimAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExorSimAgreement, SimMatchesAnalytic) {
+  Rng gen(GetParam());
+  const std::size_t n = 5;
+  SuccessMatrix m(n);
+  for (ApId a = 0; a < n; ++a) {
+    for (ApId b = 0; b < n; ++b) {
+      if (a != b) m.set(a, b, gen.uniform(0.25, 1.0));
+    }
+  }
+  EtxGraph g(m, EtxVariant::kEtx1, /*min_delivery=*/0.0);
+  const auto etx_to = g.shortest_to(n - 1);
+  const auto analytic = exor_costs_to(m, etx_to);
+  Rng rng(GetParam() + 1000);
+  const auto r = simulate_exor(m, etx_to, 0, n - 1, quick(6000), rng);
+  ASSERT_EQ(r.delivered, r.packets);
+  // 3-sigma-ish band for the Monte-Carlo mean.
+  EXPECT_NEAR(r.mean_transmissions, analytic[0],
+              std::max(0.05, 0.05 * analytic[0]));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExorSimAgreement,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// Property: simulated ExOR never needs more transmissions than simulated
+// single-path ETX on the same matrix (in expectation, with slack).
+class ExorBeatsEtxSim : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExorBeatsEtxSim, OpportunismNeverHurts) {
+  Rng gen(GetParam() * 7);
+  const std::size_t n = 6;
+  SuccessMatrix m(n);
+  for (ApId a = 0; a < n; ++a) {
+    for (ApId b = 0; b < n; ++b) {
+      if (a != b) m.set(a, b, gen.uniform(0.2, 1.0));
+    }
+  }
+  EtxGraph g(m, EtxVariant::kEtx1, /*min_delivery=*/0.0);
+  Rng rng_a(GetParam() + 5), rng_b(GetParam() + 6);
+  const auto etx = simulate_etx_path(m, g, 0, n - 1, quick(5000), rng_a);
+  const auto exor =
+      simulate_exor(m, g.shortest_to(n - 1), 0, n - 1, quick(5000), rng_b);
+  EXPECT_LE(exor.mean_transmissions,
+            etx.mean_transmissions * 1.05 + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExorBeatsEtxSim,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace wmesh

@@ -1,0 +1,113 @@
+// Tests for sim/generator.h: configuration plumbing and fleet assembly.
+#include "sim/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace wmesh {
+namespace {
+
+TEST(Generator, SmallConfigShape) {
+  const GeneratorConfig c = small_config();
+  const Dataset ds = generate_dataset(c);
+  // 6 networks, one dual-radio -> 7 traces.
+  EXPECT_EQ(ds.networks.size(), 7u);
+  std::size_t bg = 0, n = 0;
+  for (const auto& nt : ds.networks) {
+    (nt.info.standard == Standard::kBg ? bg : n) += 1;
+  }
+  EXPECT_EQ(bg, 5u);
+  EXPECT_EQ(n, 2u);
+}
+
+TEST(Generator, PaperScaleUsesTwentyFourHours) {
+  EXPECT_DOUBLE_EQ(paper_scale_config().probes.duration_s, 24 * 3600.0);
+  EXPECT_DOUBLE_EQ(default_config().probes.duration_s, 4 * 3600.0);
+}
+
+TEST(Generator, ZeroDurationYieldsClientsOnly) {
+  GeneratorConfig c = small_config();
+  c.probes.duration_s = 0.0;
+  const Dataset ds = generate_dataset(c);
+  std::size_t probe_sets = 0, client_samples = 0;
+  for (const auto& nt : ds.networks) {
+    probe_sets += nt.probe_sets.size();
+    client_samples += nt.client_samples.size();
+  }
+  EXPECT_EQ(probe_sets, 0u);
+  EXPECT_GT(client_samples, 0u);
+}
+
+TEST(Generator, DisablingClients) {
+  GeneratorConfig c = small_config();
+  c.probes.duration_s = 600.0;
+  c.generate_clients = false;
+  const Dataset ds = generate_dataset(c);
+  for (const auto& nt : ds.networks) {
+    EXPECT_TRUE(nt.client_samples.empty());
+  }
+}
+
+TEST(Generator, DualRadioTracesShareTopology) {
+  GeneratorConfig c = small_config();
+  c.probes.duration_s = 600.0;
+  const Dataset ds = generate_dataset(c);
+  std::map<std::uint32_t, std::vector<const NetworkTrace*>> by_id;
+  for (const auto& nt : ds.networks) by_id[nt.info.id].push_back(&nt);
+  bool saw_dual = false;
+  for (const auto& [id, traces] : by_id) {
+    (void)id;
+    if (traces.size() < 2) continue;
+    saw_dual = true;
+    EXPECT_EQ(traces[0]->ap_count, traces[1]->ap_count);
+    EXPECT_EQ(traces[0]->info.env, traces[1]->info.env);
+    EXPECT_NE(traces[0]->info.standard, traces[1]->info.standard);
+  }
+  EXPECT_TRUE(saw_dual);
+}
+
+TEST(Generator, EnvironmentSelectsChannelParams) {
+  // Outdoor networks use the gentler path loss: their mean probe-set SNR at
+  // a given nominal spacing is systematically different.  Just assert both
+  // environments generate data.
+  GeneratorConfig c = small_config();
+  c.probes.duration_s = 1200.0;
+  const Dataset ds = generate_dataset(c);
+  bool indoor = false, outdoor = false;
+  for (const auto& nt : ds.networks) {
+    if (nt.probe_sets.empty()) continue;
+    indoor = indoor || nt.info.env == Environment::kIndoor;
+    outdoor = outdoor || nt.info.env == Environment::kOutdoor;
+  }
+  EXPECT_TRUE(indoor);
+  EXPECT_TRUE(outdoor);
+}
+
+TEST(Generator, TraceProbeSetsSortedByTime) {
+  GeneratorConfig c = small_config();
+  c.probes.duration_s = 1500.0;
+  const Dataset ds = generate_dataset(c);
+  for (const auto& nt : ds.networks) {
+    for (std::size_t i = 1; i < nt.probe_sets.size(); ++i) {
+      EXPECT_LE(nt.probe_sets[i - 1].time_s, nt.probe_sets[i].time_s);
+    }
+  }
+}
+
+TEST(Generator, ClientSamplesSortedByClientBucket) {
+  GeneratorConfig c = small_config();
+  c.probes.duration_s = 0.0;
+  const Dataset ds = generate_dataset(c);
+  for (const auto& nt : ds.networks) {
+    for (std::size_t i = 1; i < nt.client_samples.size(); ++i) {
+      const auto& a = nt.client_samples[i - 1];
+      const auto& b = nt.client_samples[i];
+      EXPECT_TRUE(a.client < b.client ||
+                  (a.client == b.client && a.bucket < b.bucket));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wmesh

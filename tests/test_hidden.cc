@@ -1,0 +1,171 @@
+// Unit tests for core/hidden.h: hearing graphs, triples, range.
+#include "core/hidden.h"
+
+#include <gtest/gtest.h>
+
+namespace wmesh {
+namespace {
+
+SuccessMatrix sym(std::size_t n,
+                  std::initializer_list<std::tuple<ApId, ApId, double>> links) {
+  SuccessMatrix m(n);
+  for (const auto& [a, b, p] : links) {
+    m.set(a, b, p);
+    m.set(b, a, p);
+  }
+  return m;
+}
+
+TEST(HearingGraph, ThresholdOnMeanOfDirections) {
+  SuccessMatrix m(2);
+  m.set(0, 1, 0.15);
+  m.set(1, 0, 0.03);  // mean .09, below a 10% threshold
+  HearingGraph g(m, 0.10);
+  EXPECT_FALSE(g.hears(0, 1));
+  m.set(1, 0, 0.09);  // mean .12
+  HearingGraph g2(m, 0.10);
+  EXPECT_TRUE(g2.hears(0, 1));
+  EXPECT_TRUE(g2.hears(1, 0));  // symmetric
+}
+
+TEST(HearingGraph, StrictlyGreaterThanThreshold) {
+  SuccessMatrix m(2);
+  m.set(0, 1, 0.10);
+  m.set(1, 0, 0.10);
+  HearingGraph g(m, 0.10);
+  EXPECT_FALSE(g.hears(0, 1));  // "more than t percent"
+}
+
+TEST(HearingGraph, RangeCountsUnorderedPairs) {
+  const auto m = sym(4, {{0, 1, 0.9}, {1, 2, 0.9}, {0, 2, 0.9}});
+  HearingGraph g(m, 0.10);
+  EXPECT_EQ(g.range_pairs(), 3u);  // the triangle; node 3 isolated
+}
+
+TEST(CountTriples, HiddenLine) {
+  // 0 -- 1 -- 2 with no 0--2 link: one relevant triple, hidden.
+  const auto m = sym(3, {{0, 1, 0.9}, {1, 2, 0.9}});
+  const auto c = count_triples(HearingGraph(m, 0.10));
+  EXPECT_EQ(c.relevant, 1u);
+  EXPECT_EQ(c.hidden, 1u);
+  EXPECT_DOUBLE_EQ(c.hidden_fraction(), 1.0);
+}
+
+TEST(CountTriples, TriangleNotHidden) {
+  const auto m = sym(3, {{0, 1, 0.9}, {1, 2, 0.9}, {0, 2, 0.9}});
+  const auto c = count_triples(HearingGraph(m, 0.10));
+  // Each of the three nodes centres one relevant triple; none hidden.
+  EXPECT_EQ(c.relevant, 3u);
+  EXPECT_EQ(c.hidden, 0u);
+  EXPECT_DOUBLE_EQ(c.hidden_fraction(), 0.0);
+}
+
+TEST(CountTriples, StarIsAllHidden) {
+  // Hub 0 heard by 1,2,3 which cannot hear each other: C(3,2)=3 relevant,
+  // all hidden.
+  const auto m = sym(4, {{0, 1, 0.9}, {0, 2, 0.9}, {0, 3, 0.9}});
+  const auto c = count_triples(HearingGraph(m, 0.10));
+  EXPECT_EQ(c.relevant, 3u);
+  EXPECT_EQ(c.hidden, 3u);
+}
+
+TEST(CountTriples, EmptyGraph) {
+  const auto m = sym(3, {});
+  const auto c = count_triples(HearingGraph(m, 0.10));
+  EXPECT_EQ(c.relevant, 0u);
+  EXPECT_DOUBLE_EQ(c.hidden_fraction(), 0.0);
+}
+
+NetworkTrace trace_with_matrix(const SuccessMatrix& m, RateIndex rate,
+                               Standard std = Standard::kBg,
+                               Environment env = Environment::kIndoor) {
+  NetworkTrace nt;
+  nt.info.standard = std;
+  nt.info.env = env;
+  nt.ap_count = static_cast<std::uint16_t>(m.ap_count());
+  for (ApId f = 0; f < m.ap_count(); ++f) {
+    for (ApId t = 0; t < m.ap_count(); ++t) {
+      if (f == t || m.at(f, t) <= 0.0) continue;
+      ProbeSet s;
+      s.from = f;
+      s.to = t;
+      s.time_s = 300;
+      s.snr_db = 10.0f;
+      s.entries.push_back(
+          {rate, static_cast<float>(1.0 - m.at(f, t)), 10.0f});
+      nt.probe_sets.push_back(std::move(s));
+    }
+  }
+  return nt;
+}
+
+TEST(HiddenTriplesPerNetwork, ComputesFractions) {
+  Dataset ds;
+  // Network A: line (fraction 1), network B: triangle (fraction 0).
+  ds.networks.push_back(
+      trace_with_matrix(sym(3, {{0, 1, 0.9}, {1, 2, 0.9}}), 0));
+  ds.networks.push_back(trace_with_matrix(
+      sym(3, {{0, 1, 0.9}, {1, 2, 0.9}, {0, 2, 0.9}}), 0));
+  const auto stats = hidden_triples_per_network(ds, Standard::kBg, 0, 0.10);
+  ASSERT_EQ(stats.fractions.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats.fractions[0], 1.0);
+  EXPECT_DOUBLE_EQ(stats.fractions[1], 0.0);
+  EXPECT_EQ(stats.networks_with_triples, 2u);
+}
+
+TEST(HiddenTriplesPerNetwork, RespectsMinAps) {
+  Dataset ds;
+  ds.networks.push_back(
+      trace_with_matrix(sym(3, {{0, 1, 0.9}, {1, 2, 0.9}}), 0));
+  const auto stats =
+      hidden_triples_per_network(ds, Standard::kBg, 0, 0.10, /*min_aps=*/5);
+  EXPECT_TRUE(stats.fractions.empty());
+}
+
+TEST(RangeRatios, BaseRateIsUnity) {
+  Dataset ds;
+  // Rate 0 has a triangle, rate 6 only one edge.
+  auto nt = trace_with_matrix(sym(3, {{0, 1, .9}, {1, 2, .9}, {0, 2, .9}}), 0);
+  const auto extra = trace_with_matrix(sym(3, {{0, 1, .9}}), 6);
+  for (const auto& s : extra.probe_sets) nt.probe_sets.push_back(s);
+  ds.networks.push_back(std::move(nt));
+  const auto ratios = range_ratios(ds, Standard::kBg, 0.10);
+  ASSERT_EQ(ratios.size(), rate_count(Standard::kBg));
+  ASSERT_EQ(ratios[0].size(), 1u);
+  EXPECT_DOUBLE_EQ(ratios[0][0], 1.0);
+  EXPECT_NEAR(ratios[6][0], 1.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(ratios[3][0], 0.0);  // never probed at 12M
+}
+
+TEST(RangeRatios, SkipsNetworksSilentAtBaseRate) {
+  Dataset ds;
+  ds.networks.push_back(trace_with_matrix(sym(3, {{0, 1, .9}}), 6));
+  const auto ratios = range_ratios(ds, Standard::kBg, 0.10, 0);
+  EXPECT_TRUE(ratios[0].empty());
+}
+
+TEST(NormalizedRange, FiltersEnvironment) {
+  Dataset ds;
+  ds.networks.push_back(trace_with_matrix(
+      sym(3, {{0, 1, .9}, {1, 2, .9}}), 0, Standard::kBg,
+      Environment::kIndoor));
+  ds.networks.push_back(trace_with_matrix(
+      sym(4, {{0, 1, .9}, {1, 2, .9}, {2, 3, .9}}), 0, Standard::kBg,
+      Environment::kOutdoor));
+  const auto indoor =
+      normalized_range(ds, Standard::kBg, 0, 0.10, Environment::kIndoor);
+  const auto outdoor =
+      normalized_range(ds, Standard::kBg, 0, 0.10, Environment::kOutdoor);
+  ASSERT_EQ(indoor.size(), 1u);
+  ASSERT_EQ(outdoor.size(), 1u);
+  EXPECT_NEAR(indoor[0], 2.0 / 9.0, 1e-12);
+  EXPECT_NEAR(outdoor[0], 3.0 / 16.0, 1e-12);
+}
+
+TEST(TripleCounts, FractionGuardsZeroDivide) {
+  TripleCounts c;
+  EXPECT_DOUBLE_EQ(c.hidden_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace wmesh

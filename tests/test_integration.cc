@@ -1,0 +1,263 @@
+// Integration tests: generate a small fleet end-to-end and assert the
+// paper's qualitative findings hold on it.  These are the "does the whole
+// reproduction hang together" checks; the bench binaries report the same
+// quantities at full scale.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exor.h"
+#include "core/hidden.h"
+#include "core/lookup_table.h"
+#include "core/mobility.h"
+#include "core/rate_selection.h"
+#include "core/snr_stats.h"
+#include "core/strategies.h"
+#include "sim/generator.h"
+#include "util/stats.h"
+
+namespace wmesh {
+namespace {
+
+// One shared mid-size snapshot for all integration tests (generation is the
+// expensive part).  ~20 networks, 2 hours.
+const Dataset& snapshot() {
+  static const Dataset ds = [] {
+    GeneratorConfig c;
+    c.seed = 20100521;  // the thesis' submission date
+    c.fleet.network_count = 24;
+    c.fleet.bg_only = 18;
+    c.fleet.n_only = 4;
+    c.fleet.both = 2;
+    c.fleet.indoor = 16;
+    c.fleet.outdoor = 5;
+    c.fleet.min_size = 5;
+    c.fleet.max_size = 40;
+    c.fleet.force_max_network = false;
+    c.probes.duration_s = 2 * 3600.0;
+    return generate_dataset(c);
+  }();
+  return ds;
+}
+
+TEST(Integration, DatasetShape) {
+  const auto& ds = snapshot();
+  EXPECT_EQ(ds.networks.size(), 26u);  // 24 networks, 2 dual-radio
+  EXPECT_GT(ds.total_probe_sets(), 1000u);
+  for (const auto& nt : ds.networks) {
+    EXPECT_GE(nt.ap_count, 5u);
+    EXPECT_LE(nt.ap_count, 40u);
+  }
+}
+
+TEST(Integration, GenerationIsDeterministic) {
+  GeneratorConfig c = small_config();
+  c.probes.duration_s = 1200.0;
+  const Dataset a = generate_dataset(c);
+  const Dataset b = generate_dataset(c);
+  ASSERT_EQ(a.networks.size(), b.networks.size());
+  ASSERT_EQ(a.total_probe_sets(), b.total_probe_sets());
+  for (std::size_t i = 0; i < a.networks.size(); ++i) {
+    ASSERT_EQ(a.networks[i].probe_sets.size(),
+              b.networks[i].probe_sets.size());
+    if (!a.networks[i].probe_sets.empty()) {
+      EXPECT_FLOAT_EQ(a.networks[i].probe_sets[0].snr_db,
+                      b.networks[i].probe_sets[0].snr_db);
+    }
+  }
+}
+
+TEST(Integration, SeedChangesData) {
+  GeneratorConfig c = small_config();
+  c.probes.duration_s = 1200.0;
+  const Dataset a = generate_dataset(c);
+  c.seed += 1;
+  const Dataset b = generate_dataset(c);
+  // Same structure sizes are possible, but the SNR values must differ.
+  bool any_diff = a.total_probe_sets() != b.total_probe_sets();
+  if (!any_diff) {
+    for (std::size_t i = 0; i < a.networks.size() && !any_diff; ++i) {
+      for (std::size_t j = 0;
+           j < a.networks[i].probe_sets.size() && !any_diff; ++j) {
+        any_diff = a.networks[i].probe_sets[j].snr_db !=
+                   b.networks[i].probe_sets[j].snr_db;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Integration, Fig31_ProbeSetSigmaSmall) {
+  const auto dev = snr_deviations(snapshot(), Standard::kBg);
+  ASSERT_GT(dev.per_probe_set.size(), 100u);
+  const Cdf cdf(dev.per_probe_set);
+  // Paper: < 5 dB about 97.5% of the time.  Loose band: >= 90%.
+  EXPECT_GE(cdf.fraction_at_or_below(5.0), 0.90);
+  // And the network-level spread must dominate the probe-set spread.
+  EXPECT_GT(median(dev.per_network), 2.0 * median(dev.per_probe_set));
+}
+
+TEST(Integration, Fig42_SpecificityReducesRatesNeeded) {
+  const auto& ds = snapshot();
+  const auto global =
+      build_lookup_table(ds, Standard::kBg, TableScope::kGlobal);
+  const auto link = build_lookup_table(ds, Standard::kBg, TableScope::kLink);
+  const auto g_curve = rates_needed_curve(global, 0.95);
+  const auto l_curve = rates_needed_curve(link, 0.95);
+  // Mean over SNRs of the rates needed must shrink from global to link.
+  const double g_mean = mean(g_curve.mean_rates);
+  const double l_mean = mean(l_curve.mean_rates);
+  EXPECT_GT(g_mean, l_mean);
+  EXPECT_LT(l_mean, 1.6);  // per-link: usually a single rate suffices
+}
+
+TEST(Integration, Fig44_ScopeOrdering) {
+  const auto& ds = snapshot();
+  const double link =
+      lookup_table_errors(ds, Standard::kBg, TableScope::kLink).exact_fraction;
+  const double ap =
+      lookup_table_errors(ds, Standard::kBg, TableScope::kAp).exact_fraction;
+  const double net = lookup_table_errors(ds, Standard::kBg,
+                                         TableScope::kNetwork).exact_fraction;
+  const double global = lookup_table_errors(ds, Standard::kBg,
+                                            TableScope::kGlobal).exact_fraction;
+  EXPECT_GT(link, ap);
+  EXPECT_GT(ap, net);
+  EXPECT_GE(net, global - 0.02);  // paper: network ~ global
+  EXPECT_GT(link, 0.7);           // per-link works well
+  EXPECT_LT(global, 0.7);         // global does not
+}
+
+TEST(Integration, Fig44_BgEasierThanN) {
+  const auto& ds = snapshot();
+  const double bg =
+      lookup_table_errors(ds, Standard::kBg, TableScope::kLink).exact_fraction;
+  const double n =
+      lookup_table_errors(ds, Standard::kN, TableScope::kLink).exact_fraction;
+  EXPECT_GT(bg, n);  // more rates -> harder
+}
+
+TEST(Integration, Fig46_StrategiesComparable) {
+  const auto& ds = snapshot();
+  double lo = 1.0, hi = 0.0;
+  for (const auto s : {UpdateStrategy::kFirst, UpdateStrategy::kMostRecent,
+                       UpdateStrategy::kSubsampled, UpdateStrategy::kAll}) {
+    StrategyParams p;
+    p.strategy = s;
+    const double acc = run_strategy(ds, Standard::kBg, p).overall_accuracy;
+    lo = std::min(lo, acc);
+    hi = std::max(hi, acc);
+  }
+  EXPECT_GT(lo, 0.55);        // all of them work
+  EXPECT_LT(hi - lo, 0.15);   // and are comparable (paper: all within ~10%)
+}
+
+TEST(Integration, Fig51_Etx2GainsExceedEtx1) {
+  const auto& ds = snapshot();
+  std::vector<double> imp1, imp2;
+  for (const auto& nt : ds.networks) {
+    if (nt.info.standard != Standard::kBg || nt.ap_count < 5) continue;
+    const auto success = mean_success_matrix(nt, 0);
+    for (const auto& g : opportunistic_gains(success, EtxVariant::kEtx1)) {
+      imp1.push_back(g.improvement());
+    }
+    for (const auto& g : opportunistic_gains(success, EtxVariant::kEtx2)) {
+      imp2.push_back(g.improvement());
+    }
+  }
+  ASSERT_GT(imp1.size(), 100u);
+  EXPECT_GT(median(imp2), median(imp1));
+  EXPECT_LT(median(imp1), 0.2);  // ETX1 gains are small (paper: .05-.08)
+}
+
+TEST(Integration, Fig53_MostPathsShortAtLowRate) {
+  const auto& ds = snapshot();
+  std::vector<double> hops;
+  for (const auto& nt : ds.networks) {
+    if (nt.info.standard != Standard::kBg || nt.ap_count < 5) continue;
+    for (int h : path_lengths(mean_success_matrix(nt, 0))) {
+      hops.push_back(static_cast<double>(h));
+    }
+  }
+  ASSERT_FALSE(hops.empty());
+  const Cdf cdf(hops);
+  EXPECT_GE(cdf.fraction_at_or_below(3.0), 0.6);  // paper: >= 80% < 3 hops
+}
+
+TEST(Integration, Fig61_HiddenTriplesGrowWithRate) {
+  const auto& ds = snapshot();
+  const auto at1 = hidden_triples_per_network(ds, Standard::kBg, 0, 0.10);
+  const auto at48 = hidden_triples_per_network(ds, Standard::kBg, 6, 0.10);
+  ASSERT_FALSE(at1.fractions.empty());
+  ASSERT_FALSE(at48.fractions.empty());
+  EXPECT_GT(median(at48.fractions), median(at1.fractions));
+}
+
+TEST(Integration, Fig61_DsssExceptionElevenBelowSix) {
+  const auto& ds = snapshot();
+  const auto at6 = hidden_triples_per_network(ds, Standard::kBg, 1, 0.10);
+  const auto at11 = hidden_triples_per_network(ds, Standard::kBg, 2, 0.10);
+  EXPECT_LT(median(at11.fractions), median(at6.fractions) + 1e-9);
+}
+
+TEST(Integration, Fig62_RangeShrinksWithRate) {
+  const auto ratios = range_ratios(snapshot(), Standard::kBg, 0.10);
+  ASSERT_EQ(ratios.size(), 7u);
+  // Mean ratio at 48M well below 1M's (which is 1 by construction).
+  EXPECT_LT(mean(ratios[6]), 0.8);
+  for (double r : ratios[0]) EXPECT_DOUBLE_EQ(r, 1.0);
+  // High variance across networks is part of the finding.
+  EXPECT_GT(stddev(ratios[6]), 0.02);
+}
+
+TEST(Integration, Fig73_OutdoorPrevalenceHigher) {
+  const auto& ds = snapshot();
+  const auto indoor = analyze_mobility_by_env(ds, Environment::kIndoor);
+  const auto outdoor = analyze_mobility_by_env(ds, Environment::kOutdoor);
+  ASSERT_FALSE(indoor.prevalence.empty());
+  ASSERT_FALSE(outdoor.prevalence.empty());
+  EXPECT_GT(mean(outdoor.prevalence), mean(indoor.prevalence));
+}
+
+TEST(Integration, Fig74_OutdoorPersistenceLonger) {
+  const auto& ds = snapshot();
+  const auto indoor = analyze_mobility_by_env(ds, Environment::kIndoor);
+  const auto outdoor = analyze_mobility_by_env(ds, Environment::kOutdoor);
+  EXPECT_GT(median(outdoor.persistence_min), median(indoor.persistence_min));
+}
+
+TEST(Integration, Fig71_MostClientsVisitOneAp) {
+  const auto& ds = snapshot();
+  MobilityStats all;
+  for (const auto env : {Environment::kIndoor, Environment::kOutdoor}) {
+    merge_mobility(all, analyze_mobility_by_env(ds, env));
+  }
+  ASSERT_FALSE(all.aps_visited.empty());
+  std::size_t one = 0;
+  int max_aps = 0;
+  for (int v : all.aps_visited) {
+    one += (v == 1) ? 1 : 0;
+    max_aps = std::max(max_aps, v);
+  }
+  const double frac_one =
+      static_cast<double>(one) / static_cast<double>(all.aps_visited.size());
+  EXPECT_GT(frac_one, 0.35);  // a plurality is single-AP
+  EXPECT_GT(max_aps, 5);      // but some clients roam widely
+}
+
+TEST(Integration, ClientDataOnlyOnFirstTraceOfDualRadioNetworks) {
+  GeneratorConfig c = small_config();
+  c.probes.duration_s = 600.0;
+  const Dataset ds = generate_dataset(c);
+  // small_config has one dual-radio network (the last id).
+  std::map<std::uint32_t, int> traces_with_clients;
+  for (const auto& nt : ds.networks) {
+    if (!nt.client_samples.empty()) ++traces_with_clients[nt.info.id];
+  }
+  for (const auto& [id, count] : traces_with_clients) {
+    EXPECT_EQ(count, 1) << "network " << id;
+  }
+}
+
+}  // namespace
+}  // namespace wmesh

@@ -1,0 +1,109 @@
+// Failure-injection tests for trace/io.h: malformed snapshots must fail
+// cleanly, never crash or silently mis-parse.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "trace/io.h"
+
+namespace wmesh {
+namespace {
+
+std::string temp_prefix(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void write_probes(const std::string& prefix, const std::string& body) {
+  std::ofstream out(prefix + ".probes.csv");
+  out << "network,env,standard,ap_count,time_s,from,to,set_snr,rate,loss,snr\n";
+  out << body;
+}
+
+void cleanup(const std::string& prefix) {
+  std::remove((prefix + ".probes.csv").c_str());
+  std::remove((prefix + ".clients.csv").c_str());
+}
+
+TEST(IoRobustness, ShortRowFailsLoad) {
+  const auto prefix = temp_prefix("wmesh_iorob_short");
+  write_probes(prefix, "0,I,bg,2,300,0,1\n");  // 7 of 11 fields
+  Dataset ds;
+  EXPECT_FALSE(load_dataset(prefix, &ds));
+  cleanup(prefix);
+}
+
+TEST(IoRobustness, ExtraFieldsFailLoad) {
+  const auto prefix = temp_prefix("wmesh_iorob_long");
+  write_probes(prefix, "0,I,bg,2,300,0,1,10.0,0,0.1,10.0,EXTRA\n");
+  Dataset ds;
+  EXPECT_FALSE(load_dataset(prefix, &ds));
+  cleanup(prefix);
+}
+
+TEST(IoRobustness, ValidMinimalSnapshotLoads) {
+  const auto prefix = temp_prefix("wmesh_iorob_ok");
+  write_probes(prefix,
+               "3,O,n,4,300,0,1,12.50,0,0.1000,12.50\n"
+               "3,O,n,4,300,0,1,12.50,1,0.5000,11.75\n"
+               "3,O,n,4,600,1,0,8.00,0,1.0000,nan\n");
+  Dataset ds;
+  ASSERT_TRUE(load_dataset(prefix, &ds));
+  ASSERT_EQ(ds.networks.size(), 1u);
+  const auto& nt = ds.networks[0];
+  EXPECT_EQ(nt.info.id, 3u);
+  EXPECT_EQ(nt.info.env, Environment::kOutdoor);
+  EXPECT_EQ(nt.info.standard, Standard::kN);
+  EXPECT_EQ(nt.ap_count, 4u);
+  ASSERT_EQ(nt.probe_sets.size(), 2u);
+  EXPECT_EQ(nt.probe_sets[0].entries.size(), 2u);
+  EXPECT_TRUE(std::isnan(nt.probe_sets[1].entries[0].snr_db));
+  cleanup(prefix);
+}
+
+TEST(IoRobustness, MissingClientsFileIsTolerated) {
+  // Probe data without a clients file: load succeeds with no samples
+  // (real traces may legitimately lack client data).
+  const auto prefix = temp_prefix("wmesh_iorob_noclients");
+  write_probes(prefix, "0,I,bg,2,300,0,1,10.00,0,0.1000,10.00\n");
+  Dataset ds;
+  ASSERT_TRUE(load_dataset(prefix, &ds));
+  EXPECT_TRUE(ds.networks[0].client_samples.empty());
+  cleanup(prefix);
+}
+
+TEST(IoRobustness, ClientRowsForUnknownNetworkAreSkipped) {
+  const auto prefix = temp_prefix("wmesh_iorob_orphan");
+  write_probes(prefix, "0,I,bg,2,300,0,1,10.00,0,0.1000,10.00\n");
+  {
+    std::ofstream out(prefix + ".clients.csv");
+    out << "network,env,client,ap,bucket,assoc,packets\n";
+    out << "99,I,1,0,0,1,100\n";  // network 99 has no probe data
+    out << "0,I,1,0,0,1,100\n";
+  }
+  Dataset ds;
+  ASSERT_TRUE(load_dataset(prefix, &ds));
+  EXPECT_EQ(ds.networks[0].client_samples.size(), 1u);
+  cleanup(prefix);
+}
+
+TEST(IoRobustness, SplitProbeSetsRegroupByTimeAndLink) {
+  // Entries of the same (time, from, to) must merge into one ProbeSet even
+  // across standards boundary rows for other links in between.
+  const auto prefix = temp_prefix("wmesh_iorob_group");
+  write_probes(prefix,
+               "0,I,bg,3,300,0,1,10.00,0,0.1000,10.00\n"
+               "0,I,bg,3,300,0,2,20.00,0,0.2000,20.00\n"
+               "0,I,bg,3,300,0,1,10.00,1,0.3000,9.00\n");
+  Dataset ds;
+  ASSERT_TRUE(load_dataset(prefix, &ds));
+  // The (0,1) entries are split by the (0,2) row -> three ProbeSets, which
+  // is the loader's defined behaviour for out-of-order files (the saver
+  // always writes a set's rows contiguously).
+  EXPECT_EQ(ds.networks[0].probe_sets.size(), 3u);
+  cleanup(prefix);
+}
+
+}  // namespace
+}  // namespace wmesh

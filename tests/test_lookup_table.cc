@@ -1,0 +1,168 @@
+// Unit tests for core/lookup_table.h.
+#include "core/lookup_table.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dataset_ops.h"
+
+namespace wmesh {
+namespace {
+
+TEST(LookupTable, ChooseReturnsMode) {
+  SnrLookupTable t(Standard::kBg, TableScope::kGlobal);
+  t.observe(0, 15, 2);
+  t.observe(0, 15, 2);
+  t.observe(0, 15, 4);
+  EXPECT_EQ(t.choose(0, 15), 2);
+  EXPECT_EQ(t.choose(0, 16), -1);
+  EXPECT_EQ(t.choose(1, 15), -1);
+}
+
+TEST(LookupTable, ModeTieBreaksTowardLowerRate) {
+  SnrLookupTable t(Standard::kBg, TableScope::kGlobal);
+  t.observe(0, 20, 5);
+  t.observe(0, 20, 3);
+  EXPECT_EQ(t.choose(0, 20), 3);
+}
+
+TEST(LookupTable, RatesNeededMath) {
+  SnrLookupTable t(Standard::kBg, TableScope::kGlobal);
+  // 67% rate 2, 30% rate 4, 3% rate 6 (out of 100 observations).
+  for (int i = 0; i < 67; ++i) t.observe(0, 25, 2);
+  for (int i = 0; i < 30; ++i) t.observe(0, 25, 4);
+  for (int i = 0; i < 3; ++i) t.observe(0, 25, 6);
+  EXPECT_EQ(t.rates_needed(0, 25, 0.50), 1);
+  EXPECT_EQ(t.rates_needed(0, 25, 0.67), 1);
+  EXPECT_EQ(t.rates_needed(0, 25, 0.95), 2);
+  EXPECT_EQ(t.rates_needed(0, 25, 0.97), 2);
+  EXPECT_EQ(t.rates_needed(0, 25, 0.98), 3);
+  EXPECT_EQ(t.rates_needed(0, 25, 1.00), 3);
+  EXPECT_EQ(t.rates_needed(0, 26, 0.5), 0);  // unseen cell
+  EXPECT_EQ(t.cell_count(0, 25), 100u);
+}
+
+TEST(LookupTable, CellsEnumeration) {
+  SnrLookupTable t(Standard::kBg, TableScope::kNetwork);
+  t.observe(1, 10, 0);
+  t.observe(1, 11, 0);
+  t.observe(2, 10, 1);
+  const auto cells = t.cells();
+  EXPECT_EQ(cells.size(), 3u);
+}
+
+TEST(LookupTable, ScopeKeysDistinguishInstances) {
+  using T = SnrLookupTable;
+  // Global collapses everything.
+  EXPECT_EQ(T::scope_key(TableScope::kGlobal, 1, 2, 3),
+            T::scope_key(TableScope::kGlobal, 9, 8, 7));
+  // Network distinguishes networks only.
+  EXPECT_EQ(T::scope_key(TableScope::kNetwork, 5, 1, 2),
+            T::scope_key(TableScope::kNetwork, 5, 3, 4));
+  EXPECT_NE(T::scope_key(TableScope::kNetwork, 5, 1, 2),
+            T::scope_key(TableScope::kNetwork, 6, 1, 2));
+  // AP distinguishes sender.
+  EXPECT_EQ(T::scope_key(TableScope::kAp, 5, 1, 2),
+            T::scope_key(TableScope::kAp, 5, 1, 9));
+  EXPECT_NE(T::scope_key(TableScope::kAp, 5, 1, 2),
+            T::scope_key(TableScope::kAp, 5, 2, 2));
+  // Link distinguishes both ends.
+  EXPECT_NE(T::scope_key(TableScope::kLink, 5, 1, 2),
+            T::scope_key(TableScope::kLink, 5, 2, 1));
+  EXPECT_NE(T::scope_key(TableScope::kLink, 5, 1, 2),
+            T::scope_key(TableScope::kLink, 6, 1, 2));
+}
+
+TEST(LookupTable, ToStringCoverage) {
+  EXPECT_STREQ(to_string(TableScope::kGlobal), "global");
+  EXPECT_STREQ(to_string(TableScope::kNetwork), "network");
+  EXPECT_STREQ(to_string(TableScope::kAp), "ap");
+  EXPECT_STREQ(to_string(TableScope::kLink), "link");
+}
+
+// A dataset where link (0,1) and link (1,0) disagree about the optimal rate
+// at the same SNR: per-link tables are exact, coarser scopes are not.
+Dataset conflicting_links_dataset() {
+  Dataset ds;
+  NetworkTrace nt;
+  nt.info.id = 0;
+  nt.info.standard = Standard::kBg;
+  nt.ap_count = 2;
+  auto add = [&nt](ApId from, ApId to, RateIndex good) {
+    ProbeSet s;
+    s.from = from;
+    s.to = to;
+    s.time_s = static_cast<std::uint32_t>(nt.probe_sets.size() + 1) * 300;
+    s.snr_db = 18.0f;
+    // The "good" rate is clean, every other rate is lossy.
+    for (RateIndex r = 0; r < rate_count(Standard::kBg); ++r) {
+      const float loss = (r == good) ? 0.0f : 0.99f;
+      s.entries.push_back({r, loss, 18.0f});
+    }
+    nt.probe_sets.push_back(std::move(s));
+  };
+  for (int i = 0; i < 10; ++i) {
+    add(0, 1, 4);  // 24M optimal on 0->1
+    add(1, 0, 2);  // 11M optimal on 1->0
+  }
+  ds.networks.push_back(std::move(nt));
+  return ds;
+}
+
+TEST(LookupTableErrors, LinkScopeIsExactWhenLinksAreConsistent) {
+  const auto ds = conflicting_links_dataset();
+  const auto link_err = lookup_table_errors(ds, Standard::kBg, TableScope::kLink);
+  EXPECT_DOUBLE_EQ(link_err.exact_fraction, 1.0);
+  for (double d : link_err.throughput_diff_mbps) EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST(LookupTableErrors, CoarserScopesPayForLinkDiversity) {
+  const auto ds = conflicting_links_dataset();
+  const auto net_err =
+      lookup_table_errors(ds, Standard::kBg, TableScope::kNetwork);
+  // The network table must pick one of the two optima; it is right half the
+  // time and pays the throughput gap the other half.
+  EXPECT_NEAR(net_err.exact_fraction, 0.5, 1e-9);
+  double nonzero = 0;
+  for (double d : net_err.throughput_diff_mbps) nonzero += (d > 0.0) ? 1 : 0;
+  EXPECT_NEAR(nonzero / net_err.throughput_diff_mbps.size(), 0.5, 1e-9);
+}
+
+TEST(LookupTableErrors, ApScopeSeparatesSenders) {
+  // In the conflicting dataset each sender has one link, so AP scope is as
+  // good as link scope.
+  const auto ds = conflicting_links_dataset();
+  const auto ap_err = lookup_table_errors(ds, Standard::kBg, TableScope::kAp);
+  EXPECT_DOUBLE_EQ(ap_err.exact_fraction, 1.0);
+}
+
+TEST(RatesNeededCurve, AggregatesCells) {
+  SnrLookupTable t(Standard::kBg, TableScope::kNetwork);
+  // Network 1 @10dB: always rate 0 -> needs 1.
+  for (int i = 0; i < 10; ++i) t.observe(1, 10, 0);
+  // Network 2 @10dB: 50/50 two rates -> needs 2 at the 95th percentile.
+  for (int i = 0; i < 5; ++i) t.observe(2, 10, 0);
+  for (int i = 0; i < 5; ++i) t.observe(2, 10, 1);
+  const auto curve = rates_needed_curve(t, 0.95);
+  ASSERT_EQ(curve.snr.size(), 1u);
+  EXPECT_EQ(curve.snr[0], 10);
+  EXPECT_NEAR(curve.mean_rates[0], 1.5, 1e-9);  // weighted: (10*1+10*2)/20
+  EXPECT_EQ(curve.max_rates[0], 2);
+}
+
+TEST(BuildLookupTable, SkipsSetsWithoutSnrOrOptimum) {
+  Dataset ds;
+  NetworkTrace nt;
+  nt.info.standard = Standard::kBg;
+  nt.ap_count = 2;
+  ProbeSet dead;
+  dead.from = 0;
+  dead.to = 1;
+  dead.snr_db = kNoSnr;
+  nt.probe_sets.push_back(dead);
+  ds.networks.push_back(std::move(nt));
+  const auto t = build_lookup_table(ds, Standard::kBg, TableScope::kGlobal);
+  EXPECT_TRUE(t.cells().empty());
+}
+
+}  // namespace
+}  // namespace wmesh

@@ -1,0 +1,156 @@
+// Unit tests for core/mobility.h: sessions, prevalence, persistence.
+#include "core/mobility.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace wmesh {
+namespace {
+
+ClientSample sample(std::uint32_t client, ApId ap, std::uint32_t bucket) {
+  ClientSample s;
+  s.client = client;
+  s.ap = ap;
+  s.bucket = bucket;
+  return s;
+}
+
+TEST(Sessions, SplitsOnGap) {
+  std::vector<ClientSample> samples = {
+      sample(1, 0, 0), sample(1, 0, 1),
+      sample(1, 0, 5),  // gap of 3 buckets -> new session
+      sample(2, 1, 0),  // new client -> new session
+  };
+  const auto sessions = reconstruct_sessions(samples);
+  ASSERT_EQ(sessions.size(), 3u);
+  EXPECT_EQ(sessions[0].client, 1u);
+  EXPECT_EQ(sessions[0].aps.size(), 2u);
+  EXPECT_EQ(sessions[1].start_bucket, 5u);
+  EXPECT_EQ(sessions[2].client, 2u);
+}
+
+TEST(Sessions, ContiguousStaysTogether) {
+  std::vector<ClientSample> samples = {
+      sample(1, 0, 3), sample(1, 2, 4), sample(1, 0, 5)};
+  const auto sessions = reconstruct_sessions(samples);
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].aps.size(), 3u);
+  EXPECT_EQ(sessions[0].start_bucket, 3u);
+}
+
+TEST(Sessions, EmptyInput) {
+  EXPECT_TRUE(reconstruct_sessions({}).empty());
+}
+
+NetworkTrace trace_of(std::vector<ClientSample> samples,
+                      Environment env = Environment::kIndoor) {
+  NetworkTrace nt;
+  nt.info.env = env;
+  nt.ap_count = 8;
+  nt.client_samples = std::move(samples);
+  return nt;
+}
+
+TEST(Mobility, SingleApClient) {
+  // One client at AP 0 for 4 of 8 buckets; horizon is set by a second
+  // client's later sample.
+  auto nt = trace_of({sample(1, 0, 0), sample(1, 0, 1), sample(1, 0, 2),
+                      sample(1, 0, 3), sample(2, 1, 7)});
+  const auto m = analyze_mobility(nt, 5.0);
+  ASSERT_EQ(m.aps_visited.size(), 2u);
+  EXPECT_EQ(m.aps_visited[0], 1);
+  EXPECT_DOUBLE_EQ(m.connection_length_min[0], 20.0);
+  // Prevalence of client 1's AP: 4 buckets of an 8-bucket horizon.
+  EXPECT_DOUBLE_EQ(m.prevalence[0], 0.5);
+  // One run of 4 buckets = 20 minutes.
+  EXPECT_DOUBLE_EQ(m.persistence_min[0], 20.0);
+}
+
+TEST(Mobility, AlternatingClientHasShortPersistence) {
+  // The paper's example: alternating between two APs every bucket versus
+  // staying an hour at each -- same prevalence, different persistence.
+  std::vector<ClientSample> alternating, blocked;
+  for (std::uint32_t b = 0; b < 12; ++b) {
+    alternating.push_back(sample(1, b % 2 == 0 ? 0 : 1, b));
+    blocked.push_back(sample(1, b < 6 ? 0 : 1, b));
+  }
+  const auto ma = analyze_mobility(trace_of(std::move(alternating)), 5.0);
+  const auto mb = analyze_mobility(trace_of(std::move(blocked)), 5.0);
+  // Identical prevalence: half the horizon at each AP.
+  EXPECT_DOUBLE_EQ(ma.prevalence[0], 0.5);
+  EXPECT_DOUBLE_EQ(mb.prevalence[0], 0.5);
+  // Alternating: 12 runs of 5 min; blocked: 2 runs of 30 min.
+  EXPECT_EQ(ma.persistence_min.size(), 12u);
+  EXPECT_DOUBLE_EQ(ma.persistence_min[0], 5.0);
+  EXPECT_EQ(mb.persistence_min.size(), 2u);
+  EXPECT_DOUBLE_EQ(mb.persistence_min[0], 30.0);
+}
+
+TEST(Mobility, PersVsPrevPerSession) {
+  std::vector<ClientSample> samples;
+  for (std::uint32_t b = 0; b < 10; ++b) samples.push_back(sample(1, 0, b));
+  const auto m = analyze_mobility(trace_of(std::move(samples)), 5.0);
+  ASSERT_EQ(m.pers_vs_prev.size(), 1u);
+  EXPECT_DOUBLE_EQ(m.pers_vs_prev[0].first, 50.0);   // median persistence
+  EXPECT_DOUBLE_EQ(m.pers_vs_prev[0].second, 1.0);   // max prevalence
+}
+
+TEST(Mobility, ApsVisitedCountsDistinct) {
+  std::vector<ClientSample> samples = {sample(1, 0, 0), sample(1, 1, 1),
+                                       sample(1, 0, 2), sample(1, 2, 3)};
+  const auto m = analyze_mobility(trace_of(std::move(samples)), 5.0);
+  ASSERT_EQ(m.aps_visited.size(), 1u);
+  EXPECT_EQ(m.aps_visited[0], 3);
+}
+
+TEST(Mobility, GapCreatesTwoVirtualClients) {
+  std::vector<ClientSample> samples = {sample(1, 0, 0), sample(1, 0, 1),
+                                       sample(1, 1, 6), sample(1, 1, 7)};
+  const auto m = analyze_mobility(trace_of(std::move(samples)), 5.0);
+  EXPECT_EQ(m.aps_visited.size(), 2u);
+  EXPECT_EQ(m.connection_length_min.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.connection_length_min[0], 10.0);
+  EXPECT_DOUBLE_EQ(m.connection_length_min[1], 10.0);
+}
+
+TEST(Mobility, ByEnvFiltersTraces) {
+  Dataset ds;
+  ds.networks.push_back(trace_of({sample(1, 0, 0)}, Environment::kIndoor));
+  ds.networks.push_back(trace_of({sample(1, 0, 0), sample(1, 0, 1)},
+                                 Environment::kOutdoor));
+  ds.networks.push_back(trace_of({sample(1, 0, 0)}, Environment::kMixed));
+  const auto indoor = analyze_mobility_by_env(ds, Environment::kIndoor);
+  const auto outdoor = analyze_mobility_by_env(ds, Environment::kOutdoor);
+  EXPECT_EQ(indoor.aps_visited.size(), 1u);
+  EXPECT_EQ(outdoor.aps_visited.size(), 1u);
+  EXPECT_DOUBLE_EQ(outdoor.connection_length_min[0], 10.0);
+}
+
+TEST(Mobility, MergeConcatenates) {
+  MobilityStats a, b;
+  a.prevalence = {0.1};
+  a.persistence_min = {5.0};
+  b.prevalence = {0.2, 0.3};
+  b.persistence_min = {10.0};
+  merge_mobility(a, std::move(b));
+  EXPECT_EQ(a.prevalence.size(), 3u);
+  EXPECT_EQ(a.persistence_min.size(), 2u);
+}
+
+TEST(Mobility, PrevalenceSumsToSessionShareOfHorizon) {
+  // A session covering k of H buckets contributes prevalences summing k/H.
+  std::vector<ClientSample> samples;
+  for (std::uint32_t b = 2; b < 8; ++b) {
+    samples.push_back(sample(1, b % 3, b));
+  }
+  samples.push_back(sample(2, 0, 11));  // horizon = 12 buckets
+  const auto m = analyze_mobility(trace_of(std::move(samples)), 5.0);
+  double sum = 0.0;
+  for (double p : m.prevalence) sum += p;
+  // Client 1: 6 buckets of 12 -> .5; client 2: 1 bucket -> 1/12.
+  EXPECT_NEAR(sum, 0.5 + 1.0 / 12.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace wmesh

@@ -1,0 +1,152 @@
+// Unit tests for clients/mobility_sim.h.
+#include "clients/mobility_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "mesh/topology.h"
+
+namespace wmesh {
+namespace {
+
+MeshNetwork grid_net(std::size_t n, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  auto aps = make_grid_topology(n, indoor_topology_params(), rng);
+  NetworkInfo info;
+  info.id = 9;
+  return MeshNetwork(info, aps);
+}
+
+MobilityParams quick_params() {
+  MobilityParams p;
+  p.duration_s = 2 * 3600.0;
+  return p;
+}
+
+TEST(MobilitySim, SamplesSortedByClientThenBucket) {
+  Rng rng(1);
+  const auto samples = simulate_clients(grid_net(8), quick_params(), rng);
+  ASSERT_FALSE(samples.empty());
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    const auto& a = samples[i - 1];
+    const auto& b = samples[i];
+    EXPECT_TRUE(a.client < b.client ||
+                (a.client == b.client && a.bucket < b.bucket));
+  }
+}
+
+TEST(MobilitySim, BucketsWithinHorizon) {
+  Rng rng(2);
+  const MobilityParams p = quick_params();
+  const auto samples = simulate_clients(grid_net(8), p, rng);
+  const auto max_bucket =
+      static_cast<std::uint32_t>(p.duration_s / p.bucket_s) - 1;
+  for (const auto& s : samples) {
+    EXPECT_LE(s.bucket, max_bucket);
+  }
+}
+
+TEST(MobilitySim, ApIdsValid) {
+  Rng rng(3);
+  const auto net = grid_net(6);
+  const auto samples = simulate_clients(net, quick_params(), rng);
+  for (const auto& s : samples) {
+    EXPECT_LT(s.ap, net.size());
+  }
+}
+
+TEST(MobilitySim, ClientCountScalesWithNetwork) {
+  Rng a(4), b(4);
+  MobilityParams p = quick_params();
+  p.clients_per_ap = 2.0;
+  auto count_clients = [](const std::vector<ClientSample>& samples) {
+    std::set<std::uint32_t> ids;
+    for (const auto& s : samples) ids.insert(s.client);
+    return ids.size();
+  };
+  const auto small = simulate_clients(grid_net(5, 10), p, a);
+  const auto large = simulate_clients(grid_net(20, 11), p, b);
+  EXPECT_GT(count_clients(large), count_clients(small));
+  EXPECT_LE(count_clients(small), 10u);
+}
+
+TEST(MobilitySim, AssocRequestOnEverySwitch) {
+  Rng rng(5);
+  const auto samples = simulate_clients(grid_net(9), quick_params(), rng);
+  // Group per client and verify assoc_requests flags AP changes.
+  std::map<std::uint32_t, std::vector<const ClientSample*>> per_client;
+  for (const auto& s : samples) per_client[s.client].push_back(&s);
+  for (const auto& [id, seq] : per_client) {
+    (void)id;
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      const bool contiguous =
+          i > 0 && seq[i]->bucket == seq[i - 1]->bucket + 1;
+      if (!contiguous) {
+        EXPECT_EQ(seq[i]->assoc_requests, 1) << "session start must assoc";
+      } else if (seq[i]->ap != seq[i - 1]->ap) {
+        EXPECT_EQ(seq[i]->assoc_requests, 1) << "AP switch must assoc";
+      } else {
+        EXPECT_EQ(seq[i]->assoc_requests, 0);
+      }
+    }
+  }
+}
+
+TEST(MobilitySim, Deterministic) {
+  Rng a(6), b(6);
+  const auto sa = simulate_clients(grid_net(7), quick_params(), a);
+  const auto sb = simulate_clients(grid_net(7), quick_params(), b);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].client, sb[i].client);
+    EXPECT_EQ(sa[i].ap, sb[i].ap);
+    EXPECT_EQ(sa[i].bucket, sb[i].bucket);
+  }
+}
+
+TEST(MobilitySim, SingleApNetworkNeverSwitches) {
+  Rng rng(7);
+  std::vector<Ap> aps = {{0, 0.0, 0.0}};
+  MeshNetwork net({}, aps);
+  const auto samples = simulate_clients(net, quick_params(), rng);
+  for (const auto& s : samples) EXPECT_EQ(s.ap, 0);
+}
+
+TEST(MobilitySim, OutdoorSwitchesLessThanIndoor) {
+  // Count AP switches per connected bucket under each parameter set on the
+  // same network.
+  auto switch_rate = [](const MobilityParams& p, std::uint64_t seed) {
+    Rng rng(seed);
+    MobilityParams params = p;
+    params.duration_s = 6 * 3600.0;
+    const auto net = grid_net(12, 20);
+    const auto samples = simulate_clients(net, params, rng);
+    std::size_t switches = 0, total = 0;
+    const ClientSample* prev = nullptr;
+    for (const auto& s : samples) {
+      if (prev != nullptr && prev->client == s.client &&
+          s.bucket == prev->bucket + 1) {
+        ++total;
+        switches += (s.ap != prev->ap) ? 1 : 0;
+      }
+      prev = &s;
+    }
+    return static_cast<double>(switches) / static_cast<double>(total);
+  };
+  EXPECT_GT(switch_rate(indoor_mobility_params(), 30),
+            1.5 * switch_rate(outdoor_mobility_params(), 30));
+}
+
+TEST(MobilitySim, ParamsForEnvironment) {
+  EXPECT_EQ(mobility_params_for(Environment::kOutdoor).w_flapper,
+            outdoor_mobility_params().w_flapper);
+  EXPECT_EQ(mobility_params_for(Environment::kIndoor).w_flapper,
+            indoor_mobility_params().w_flapper);
+  EXPECT_EQ(mobility_params_for(Environment::kMixed).w_flapper,
+            indoor_mobility_params().w_flapper);
+}
+
+}  // namespace
+}  // namespace wmesh

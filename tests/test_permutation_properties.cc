@@ -1,0 +1,140 @@
+// Relabeling-invariance property tests.
+//
+// Every §5/§6 analysis operates on a success matrix whose AP ids are
+// arbitrary labels; permuting the labels must permute -- not change -- the
+// results.  These tests catch indexing bugs (row/column swaps, from/to
+// confusion) that unit tests with symmetric fixtures can miss.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+
+#include "core/diversity.h"
+#include "core/exor.h"
+#include "core/hidden.h"
+
+namespace wmesh {
+namespace {
+
+SuccessMatrix random_matrix(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  SuccessMatrix m(n);
+  for (ApId a = 0; a < n; ++a) {
+    for (ApId b = 0; b < n; ++b) {
+      if (a == b) continue;
+      // Asymmetric, with dead links.
+      const double p = u(gen) < 0.35 ? 0.0 : u(gen);
+      m.set(a, b, p);
+    }
+  }
+  return m;
+}
+
+SuccessMatrix permute(const SuccessMatrix& m, const std::vector<ApId>& perm) {
+  SuccessMatrix out(m.ap_count());
+  for (ApId a = 0; a < m.ap_count(); ++a) {
+    for (ApId b = 0; b < m.ap_count(); ++b) {
+      if (a != b) out.set(perm[a], perm[b], m.at(a, b));
+    }
+  }
+  return out;
+}
+
+std::vector<ApId> random_perm(std::size_t n, std::uint64_t seed) {
+  std::vector<ApId> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<ApId>(i);
+  std::mt19937_64 gen(seed);
+  std::shuffle(perm.begin(), perm.end(), gen);
+  return perm;
+}
+
+class PermutationInvariance : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static constexpr std::size_t kN = 7;
+  SuccessMatrix original_ = random_matrix(kN, GetParam());
+  std::vector<ApId> perm_ = random_perm(kN, GetParam() * 31 + 7);
+  SuccessMatrix permuted_ = permute(original_, perm_);
+};
+
+TEST_P(PermutationInvariance, TripleCountsInvariant) {
+  const HearingGraph ga(original_, 0.10);
+  const HearingGraph gb(permuted_, 0.10);
+  const auto ca = count_triples(ga);
+  const auto cb = count_triples(gb);
+  EXPECT_EQ(ca.relevant, cb.relevant);
+  EXPECT_EQ(ca.hidden, cb.hidden);
+  EXPECT_EQ(ga.range_pairs(), gb.range_pairs());
+}
+
+TEST_P(PermutationInvariance, PathLengthMultisetInvariant) {
+  auto la = path_lengths(original_, 0.0);
+  auto lb = path_lengths(permuted_, 0.0);
+  std::sort(la.begin(), la.end());
+  std::sort(lb.begin(), lb.end());
+  EXPECT_EQ(la, lb);
+}
+
+TEST_P(PermutationInvariance, ImprovementMultisetInvariant) {
+  auto collect = [](const SuccessMatrix& m) {
+    std::vector<double> out;
+    for (const auto& g : opportunistic_gains(m, EtxVariant::kEtx1, 0.0)) {
+      out.push_back(g.improvement());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  const auto ia = collect(original_);
+  const auto ib = collect(permuted_);
+  ASSERT_EQ(ia.size(), ib.size());
+  for (std::size_t i = 0; i < ia.size(); ++i) {
+    EXPECT_NEAR(ia[i], ib[i], 1e-9);
+  }
+}
+
+TEST_P(PermutationInvariance, PairwiseGainsMapThroughPermutation) {
+  // Stronger than the multiset check: the gain of (src, dst) must equal the
+  // gain of (perm[src], perm[dst]).
+  auto index = [](const std::vector<PairGain>& gains) {
+    std::map<std::pair<ApId, ApId>, double> out;
+    for (const auto& g : gains) out[{g.src, g.dst}] = g.exor_cost;
+    return out;
+  };
+  const auto ga = index(opportunistic_gains(original_, EtxVariant::kEtx1, 0.0));
+  const auto gb = index(opportunistic_gains(permuted_, EtxVariant::kEtx1, 0.0));
+  ASSERT_EQ(ga.size(), gb.size());
+  for (const auto& [pair, cost] : ga) {
+    const auto it = gb.find({perm_[pair.first], perm_[pair.second]});
+    ASSERT_NE(it, gb.end());
+    EXPECT_NEAR(it->second, cost, 1e-9);
+  }
+}
+
+TEST_P(PermutationInvariance, DisjointPathsMapThroughPermutation) {
+  for (ApId s = 0; s < kN; ++s) {
+    for (ApId d = 0; d < kN; ++d) {
+      if (s == d) continue;
+      EXPECT_EQ(disjoint_paths(original_, s, d),
+                disjoint_paths(permuted_, perm_[s], perm_[d]))
+          << int(s) << "->" << int(d);
+    }
+  }
+}
+
+TEST_P(PermutationInvariance, AsymmetryMultisetInvariant) {
+  auto la = link_asymmetries(original_);
+  auto lb = link_asymmetries(permuted_);
+  std::sort(la.begin(), la.end());
+  std::sort(lb.begin(), lb.end());
+  ASSERT_EQ(la.size(), lb.size());
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    EXPECT_NEAR(la[i], lb[i], 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PermutationInvariance,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace wmesh

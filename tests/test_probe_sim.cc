@@ -1,0 +1,204 @@
+// Unit tests for sim/probe_sim.h: the Meraki measurement pipeline.
+#include "sim/probe_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "mesh/topology.h"
+
+namespace wmesh {
+namespace {
+
+MeshNetwork small_net(std::size_t n = 4, double spacing = 45.0) {
+  std::vector<Ap> aps;
+  for (std::size_t i = 0; i < n; ++i) {
+    aps.push_back({static_cast<ApId>(i),
+                   spacing * static_cast<double>(i % 2),
+                   spacing * static_cast<double>(i / 2)});
+  }
+  NetworkInfo info;
+  info.id = 3;
+  return MeshNetwork(info, aps);
+}
+
+ProbeSimParams quick_params() {
+  ProbeSimParams p;
+  p.duration_s = 1800.0;
+  return p;
+}
+
+TEST(ProbeSim, ReportTimesAreMultiplesOfInterval) {
+  Rng rng(1);
+  const auto sets = simulate_probes(small_net(), Standard::kBg,
+                                    indoor_channel_params(), quick_params(),
+                                    rng);
+  ASSERT_FALSE(sets.empty());
+  for (const auto& s : sets) {
+    EXPECT_EQ(s.time_s % 300, 0u) << s.time_s;
+    EXPECT_GE(s.time_s, 300u);
+    EXPECT_LE(s.time_s, 1800u);
+  }
+}
+
+TEST(ProbeSim, SortedByTimeThenLink) {
+  Rng rng(2);
+  const auto sets = simulate_probes(small_net(), Standard::kBg,
+                                    indoor_channel_params(), quick_params(),
+                                    rng);
+  for (std::size_t i = 1; i < sets.size(); ++i) {
+    EXPECT_LE(sets[i - 1].time_s, sets[i].time_s);
+  }
+}
+
+TEST(ProbeSim, EntriesCoverEveryProbedRate) {
+  Rng rng(3);
+  const auto sets = simulate_probes(small_net(), Standard::kBg,
+                                    indoor_channel_params(), quick_params(),
+                                    rng);
+  for (const auto& s : sets) {
+    ASSERT_EQ(s.entries.size(), rate_count(Standard::kBg));
+    for (std::size_t r = 0; r < s.entries.size(); ++r) {
+      EXPECT_EQ(s.entries[r].rate, static_cast<RateIndex>(r));
+      EXPECT_GE(s.entries[r].loss, 0.0f);
+      EXPECT_LE(s.entries[r].loss, 1.0f);
+    }
+  }
+}
+
+TEST(ProbeSim, NEntriesCoverSixteenRates) {
+  Rng rng(4);
+  const auto sets = simulate_probes(small_net(), Standard::kN,
+                                    indoor_channel_params(), quick_params(),
+                                    rng);
+  ASSERT_FALSE(sets.empty());
+  EXPECT_EQ(sets.front().entries.size(), 16u);
+}
+
+TEST(ProbeSim, SetSnrIsMedianOfEntrySnrs) {
+  Rng rng(5);
+  const auto sets = simulate_probes(small_net(), Standard::kBg,
+                                    indoor_channel_params(), quick_params(),
+                                    rng);
+  for (const auto& s : sets) {
+    std::vector<float> snrs;
+    for (const auto& e : s.entries) {
+      if (!std::isnan(e.snr_db)) snrs.push_back(e.snr_db);
+    }
+    ASSERT_FALSE(snrs.empty());
+    std::sort(snrs.begin(), snrs.end());
+    const std::size_t n = snrs.size();
+    const float expected = (n % 2 == 1)
+                               ? snrs[n / 2]
+                               : 0.5f * (snrs[n / 2 - 1] + snrs[n / 2]);
+    EXPECT_FLOAT_EQ(s.snr_db, expected);
+  }
+}
+
+TEST(ProbeSim, LostRatesHaveNoSnr) {
+  Rng rng(6);
+  const auto sets = simulate_probes(small_net(), Standard::kBg,
+                                    indoor_channel_params(), quick_params(),
+                                    rng);
+  for (const auto& s : sets) {
+    for (const auto& e : s.entries) {
+      if (e.loss >= 1.0f) {
+        EXPECT_TRUE(std::isnan(e.snr_db));
+      } else {
+        EXPECT_FALSE(std::isnan(e.snr_db));
+      }
+    }
+  }
+}
+
+TEST(ProbeSim, StrongLinksSeeLowLossAtOneMbit) {
+  // Adjacent APs 45 m apart are deep inside 1 Mbit/s range; their reported
+  // loss at rate 0 should be small on average.
+  Rng rng(7);
+  ChannelParams chan = indoor_channel_params();
+  chan.shadow_sigma_db = 0.0;
+  chan.link_offset_sigma_db = 0.0;
+  const auto sets = simulate_probes(small_net(4, 45.0), Standard::kBg, chan,
+                                    quick_params(), rng);
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& s : sets) {
+    sum += s.entries[0].loss;
+    ++n;
+  }
+  ASSERT_GT(n, 0u);
+  EXPECT_LT(sum / static_cast<double>(n), 0.2);
+}
+
+TEST(ProbeSim, Deterministic) {
+  Rng a(8), b(8);
+  const auto sa = simulate_probes(small_net(), Standard::kBg,
+                                  indoor_channel_params(), quick_params(), a);
+  const auto sb = simulate_probes(small_net(), Standard::kBg,
+                                  indoor_channel_params(), quick_params(), b);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].from, sb[i].from);
+    EXPECT_EQ(sa[i].to, sb[i].to);
+    EXPECT_EQ(sa[i].time_s, sb[i].time_s);
+    EXPECT_FLOAT_EQ(sa[i].snr_db, sb[i].snr_db);
+    for (std::size_t e = 0; e < sa[i].entries.size(); ++e) {
+      EXPECT_FLOAT_EQ(sa[i].entries[e].loss, sb[i].entries[e].loss);
+    }
+  }
+}
+
+TEST(ProbeSim, LossQuantizedToWindowGranularity) {
+  // With a 20-probe window, losses are multiples of 1/20 (or computed over
+  // fewer probes early in the trace).
+  Rng rng(9);
+  const auto sets = simulate_probes(small_net(), Standard::kBg,
+                                    indoor_channel_params(), quick_params(),
+                                    rng);
+  for (const auto& s : sets) {
+    if (s.time_s < 800) continue;  // window not yet full
+    for (const auto& e : s.entries) {
+      const double scaled = static_cast<double>(e.loss) * 20.0;
+      EXPECT_NEAR(scaled, std::round(scaled), 1e-4);
+    }
+  }
+}
+
+TEST(ProbeSim, SilentNetworkEmitsNothing) {
+  // Two APs 5 km apart: no audible links, no probe sets.
+  std::vector<Ap> aps = {{0, 0.0, 0.0}, {1, 5000.0, 0.0}};
+  NetworkInfo info;
+  MeshNetwork net(info, aps);
+  Rng rng(10);
+  const auto sets = simulate_probes(net, Standard::kBg,
+                                    indoor_channel_params(), quick_params(),
+                                    rng);
+  EXPECT_TRUE(sets.empty());
+}
+
+TEST(ProbeSim, ProbeSetEntryLookup) {
+  ProbeSet set;
+  set.entries.push_back({2, 0.5f, 10.0f});
+  set.entries.push_back({4, 0.25f, 12.0f});
+  ASSERT_NE(set.entry(2), nullptr);
+  EXPECT_FLOAT_EQ(set.entry(2)->loss, 0.5f);
+  EXPECT_EQ(set.entry(3), nullptr);
+  EXPECT_TRUE(set.entry(2)->received_any());
+}
+
+TEST(ProbeSim, LongerTraceYieldsMoreSets) {
+  Rng a(11), b(11);
+  ProbeSimParams short_p = quick_params();
+  ProbeSimParams long_p = quick_params();
+  long_p.duration_s = 3600.0;
+  const auto sa = simulate_probes(small_net(), Standard::kBg,
+                                  indoor_channel_params(), short_p, a);
+  const auto sb = simulate_probes(small_net(), Standard::kBg,
+                                  indoor_channel_params(), long_p, b);
+  EXPECT_GT(sb.size(), sa.size());
+}
+
+}  // namespace
+}  // namespace wmesh

@@ -1,0 +1,164 @@
+// Unit tests for core/rate_selection.h and core/dataset_ops.h.
+#include "core/rate_selection.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dataset_ops.h"
+
+namespace wmesh {
+namespace {
+
+ProbeSet make_set(std::initializer_list<std::pair<RateIndex, float>> losses,
+                  float snr = 20.0f) {
+  ProbeSet s;
+  s.snr_db = snr;
+  for (const auto& [rate, loss] : losses) {
+    s.entries.push_back({rate, loss, loss < 1.0f ? snr : kNoSnr});
+  }
+  return s;
+}
+
+TEST(SnrKey, RoundsToNearestInteger) {
+  EXPECT_EQ(snr_key(10.4f), 10);
+  EXPECT_EQ(snr_key(10.6f), 11);
+  EXPECT_EQ(snr_key(-3.5f), -4);  // lround rounds away from zero: -4
+  EXPECT_EQ(snr_key(0.0f), 0);
+}
+
+TEST(OptimalRate, PicksHighestThroughput) {
+  // b/g rates: index 0 = 1M, 4 = 24M, 6 = 48M.
+  // 24M at loss .1 -> 21.6; 48M at loss .6 -> 19.2; 1M at 0 -> 1.0.
+  const auto set = make_set({{0, 0.0f}, {4, 0.1f}, {6, 0.6f}});
+  const auto opt = optimal_rate(set, Standard::kBg);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_EQ(*opt, 4);
+  EXPECT_NEAR(optimal_throughput_mbps(set, Standard::kBg), 21.6, 1e-6);
+}
+
+TEST(OptimalRate, TieBreaksTowardRobustRate) {
+  // 12M at loss 0 -> 12.0; 24M at loss .5 -> 12.0: tie, keep 12M (index 3).
+  const auto set = make_set({{3, 0.0f}, {4, 0.5f}});
+  const auto opt = optimal_rate(set, Standard::kBg);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_EQ(*opt, 3);
+}
+
+TEST(OptimalRate, EmptyWhenNothingReceived) {
+  const auto set = make_set({{0, 1.0f}, {4, 1.0f}});
+  EXPECT_FALSE(optimal_rate(set, Standard::kBg).has_value());
+  EXPECT_DOUBLE_EQ(optimal_throughput_mbps(set, Standard::kBg), 0.0);
+}
+
+TEST(OptimalRate, IgnoresOutOfRangeIndices) {
+  ProbeSet s;
+  s.entries.push_back({99, 0.0f, 10.0f});  // invalid rate index
+  EXPECT_FALSE(optimal_rate(s, Standard::kBg).has_value());
+}
+
+TEST(ProbeSetThroughput, MissingRateIsZero) {
+  const auto set = make_set({{0, 0.0f}});
+  EXPECT_DOUBLE_EQ(probe_set_throughput_mbps(set, Standard::kBg, 4), 0.0);
+  EXPECT_DOUBLE_EQ(probe_set_throughput_mbps(set, Standard::kBg, 0), 1.0);
+}
+
+Dataset hand_dataset() {
+  Dataset ds;
+  NetworkTrace nt;
+  nt.info.id = 0;
+  nt.info.standard = Standard::kBg;
+  nt.ap_count = 2;
+  auto add = [&nt](float snr, std::initializer_list<std::pair<RateIndex, float>>
+                                 losses) {
+    ProbeSet s;
+    s.from = 0;
+    s.to = 1;
+    s.time_s = static_cast<std::uint32_t>(nt.probe_sets.size() + 1) * 300;
+    s.snr_db = snr;
+    for (const auto& [rate, loss] : losses) {
+      s.entries.push_back({rate, loss, loss < 1.0f ? snr : kNoSnr});
+    }
+    nt.probe_sets.push_back(std::move(s));
+  };
+  add(10.0f, {{0, 0.0f}, {2, 0.5f}});   // 1M=1.0 vs 11M=5.5 -> 11M (idx 2)
+  add(10.0f, {{0, 0.0f}, {2, 0.95f}});  // 1M=1.0 vs 11M=0.55 -> 1M (idx 0)
+  add(30.0f, {{6, 0.0f}});              // 48M wins trivially
+  ds.networks.push_back(std::move(nt));
+  return ds;
+}
+
+TEST(EverOptimal, RecordsAllOptimaPerSnr) {
+  const auto ds = hand_dataset();
+  const auto ever = ever_optimal_rates(ds, Standard::kBg);
+  const auto row10 = ever.table[static_cast<std::size_t>(10 - ever.snr_min)];
+  EXPECT_TRUE(row10[0]);   // 1M was optimal once at 10 dB
+  EXPECT_TRUE(row10[2]);   // 11M was optimal once at 10 dB
+  EXPECT_FALSE(row10[6]);  // 48M never at 10 dB
+  const auto row30 = ever.table[static_cast<std::size_t>(30 - ever.snr_min)];
+  EXPECT_TRUE(row30[6]);
+}
+
+TEST(EverOptimal, WrongStandardSeesNothing) {
+  const auto ds = hand_dataset();
+  const auto ever = ever_optimal_rates(ds, Standard::kN);
+  for (const auto& row : ever.table) {
+    for (bool b : row) EXPECT_FALSE(b);
+  }
+}
+
+TEST(SnrThroughputSamples, GroupsByRateAndSnr) {
+  const auto ds = hand_dataset();
+  const auto samples = snr_throughput_samples(ds, Standard::kBg);
+  const auto& at10_rate0 =
+      samples.samples[0][static_cast<std::size_t>(10 - samples.snr_min)];
+  ASSERT_EQ(at10_rate0.size(), 2u);  // two sets at 10 dB probed 1M
+  EXPECT_DOUBLE_EQ(at10_rate0[0], 1.0);
+  const auto& at30_rate6 =
+      samples.samples[6][static_cast<std::size_t>(30 - samples.snr_min)];
+  ASSERT_EQ(at30_rate6.size(), 1u);
+  EXPECT_DOUBLE_EQ(at30_rate6[0], 48.0);
+}
+
+TEST(SuccessMatrix, AveragesOverProbeSets) {
+  const auto ds = hand_dataset();
+  const auto m = mean_success_matrix(ds.networks[0], 2);  // 11M
+  // Two sets probed 11M: success .5 and .05 -> mean .275.
+  EXPECT_NEAR(m.at(0, 1), 0.275, 1e-6);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 0.0);  // never probed
+  EXPECT_EQ(m.ap_count(), 2u);
+  EXPECT_EQ(m.live_links(), 1u);
+}
+
+TEST(SuccessMatrix, AllMatricesMatchSingleRateBuilds) {
+  const auto ds = hand_dataset();
+  const auto all = all_success_matrices(ds.networks[0]);
+  ASSERT_EQ(all.size(), rate_count(Standard::kBg));
+  for (RateIndex r = 0; r < all.size(); ++r) {
+    const auto single = mean_success_matrix(ds.networks[0], r);
+    for (ApId f = 0; f < 2; ++f) {
+      for (ApId t = 0; t < 2; ++t) {
+        EXPECT_NEAR(all[r].at(f, t), single.at(f, t), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(ForEachProbeSet, FiltersByStandard) {
+  auto ds = hand_dataset();
+  NetworkTrace n_trace;
+  n_trace.info.id = 1;
+  n_trace.info.standard = Standard::kN;
+  n_trace.ap_count = 2;
+  ds.networks.push_back(n_trace);
+  std::size_t count = 0;
+  for_each_probe_set(ds, Standard::kBg,
+                     [&](const NetworkTrace& nt, const ProbeSet&) {
+                       EXPECT_EQ(nt.info.standard, Standard::kBg);
+                       ++count;
+                     });
+  EXPECT_EQ(count, 3u);
+}
+
+}  // namespace
+}  // namespace wmesh

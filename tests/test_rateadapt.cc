@@ -1,0 +1,191 @@
+// Unit and behavioural tests for rateadapt/ (policies + arena).
+#include "rateadapt/arena.h"
+#include "rateadapt/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wmesh {
+namespace {
+
+TEST(FixedRate, AlwaysSameRate) {
+  auto p = make_fixed_rate_policy(Standard::kBg, 4);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(p->choose_rate(20.0), 4);
+    p->on_result(4, i % 2 == 0, 20.0);
+  }
+  EXPECT_EQ(p->name(), "fixed-24M");
+}
+
+TEST(SnrThreshold, MonotoneInSnr) {
+  auto p = make_snr_threshold_policy(Standard::kBg, 2.0);
+  RateIndex prev = 0;
+  for (double snr = -5.0; snr <= 40.0; snr += 1.0) {
+    const RateIndex r = p->choose_rate(snr);
+    // Rates are indexed in increasing nominal speed except 6M/11M ordering;
+    // check nominal throughput monotonicity instead.
+    EXPECT_GE(rate_mbps(Standard::kBg, r) + 6.0,
+              rate_mbps(Standard::kBg, prev))
+        << "snr " << snr;
+    prev = r;
+  }
+}
+
+TEST(SnrThreshold, RespectsMargin) {
+  auto tight = make_snr_threshold_policy(Standard::kBg, 0.0);
+  auto loose = make_snr_threshold_policy(Standard::kBg, 8.0);
+  for (double snr : {10.0, 15.0, 20.0, 25.0}) {
+    EXPECT_GE(rate_mbps(Standard::kBg, tight->choose_rate(snr)),
+              rate_mbps(Standard::kBg, loose->choose_rate(snr)));
+  }
+}
+
+TEST(SnrThreshold, NanFallsBackToRobustRate) {
+  auto p = make_snr_threshold_policy(Standard::kBg);
+  EXPECT_EQ(p->choose_rate(std::nan("")), 0);
+}
+
+TEST(SampleRate, ConvergesToReliableFastRate) {
+  // Feed deterministic feedback: 24M (idx 4) always succeeds, everything
+  // faster always fails, slower rates succeed.  SampleRate must settle on
+  // 24M for its non-probe frames.
+  auto p = make_sample_rate_policy(Standard::kBg, {.ewma_alpha = 0.3,
+                                                   .probe_fraction = 0.1});
+  for (int i = 0; i < 300; ++i) {
+    const RateIndex r = p->choose_rate(20.0);
+    p->on_result(r, r <= 4, 20.0);
+  }
+  int picks_24 = 0, frames = 0;
+  for (int i = 0; i < 100; ++i) {
+    const RateIndex r = p->choose_rate(20.0);
+    p->on_result(r, r <= 4, 20.0);
+    ++frames;
+    picks_24 += (r == 4) ? 1 : 0;
+  }
+  EXPECT_GE(picks_24, 80);  // all but the probing frames
+}
+
+TEST(SampleRate, ProbesEveryRateEventually) {
+  auto p = make_sample_rate_policy(Standard::kBg, {.ewma_alpha = 0.1,
+                                                   .probe_fraction = 0.2});
+  std::vector<bool> seen(rate_count(Standard::kBg), false);
+  for (int i = 0; i < 200; ++i) {
+    const RateIndex r = p->choose_rate(15.0);
+    seen[r] = true;
+    p->on_result(r, true, 15.0);
+  }
+  for (std::size_t r = 0; r < seen.size(); ++r) {
+    EXPECT_TRUE(seen[r]) << "rate " << r << " never tried";
+  }
+}
+
+TEST(TrainedTable, BootstrapsFromThresholdsOnFreshSnr) {
+  auto table = make_trained_table_policy(Standard::kBg);
+  auto thresh = make_snr_threshold_policy(Standard::kBg, 2.0);
+  for (double snr : {5.0, 12.0, 25.0}) {
+    EXPECT_EQ(table->choose_rate(snr), thresh->choose_rate(snr))
+        << "snr " << snr;
+    // Note: no on_result yet, so the cell stays unseen.
+  }
+}
+
+TEST(TrainedTable, LearnsPerSnrBest) {
+  auto p = make_trained_table_policy(Standard::kBg, {.k_best = 2,
+                                                     .probe_fraction = 0.1,
+                                                     .ewma_alpha = 0.3});
+  // At 18 dB, pretend only 11M (idx 2) ever succeeds.
+  for (int i = 0; i < 200; ++i) {
+    const RateIndex r = p->choose_rate(18.0);
+    p->on_result(r, r == 2, 18.0);
+  }
+  int picks_11 = 0;
+  for (int i = 0; i < 100; ++i) {
+    const RateIndex r = p->choose_rate(18.0);
+    p->on_result(r, r == 2, 18.0);
+    picks_11 += (r == 2) ? 1 : 0;
+  }
+  EXPECT_GE(picks_11, 75);
+}
+
+TEST(TrainedTable, CellsAreIndependentPerSnr) {
+  auto p = make_trained_table_policy(Standard::kBg, {.k_best = 2,
+                                                     .probe_fraction = 0.0,
+                                                     .ewma_alpha = 0.5});
+  // Train 10 dB -> 1M works; 30 dB -> 48M works.
+  for (int i = 0; i < 100; ++i) {
+    RateIndex r = p->choose_rate(10.0);
+    p->on_result(r, r == 0, 10.0);
+    r = p->choose_rate(30.0);
+    p->on_result(r, r == 6, 30.0);
+  }
+  EXPECT_EQ(p->choose_rate(10.0), 0);
+  EXPECT_EQ(p->choose_rate(30.0), 6);
+}
+
+TEST(Arena, PoliciesFaceIdenticalOracle) {
+  ArenaParams params;
+  params.duration_s = 600.0;
+  params.seed = 11;
+  auto a = make_fixed_rate_policy(Standard::kBg, 0);
+  auto b = make_snr_threshold_policy(Standard::kBg);
+  const auto ra = run_arena(*a, params);
+  const auto rb = run_arena(*b, params);
+  EXPECT_EQ(ra.frames, rb.frames);
+  EXPECT_DOUBLE_EQ(ra.oracle_throughput_mbps, rb.oracle_throughput_mbps);
+}
+
+TEST(Arena, OracleBoundsEveryPolicy) {
+  ArenaParams params;
+  params.duration_s = 1200.0;
+  params.seed = 5;
+  std::vector<std::unique_ptr<RatePolicy>> policies;
+  policies.push_back(make_fixed_rate_policy(Standard::kBg, 2));
+  policies.push_back(make_snr_threshold_policy(Standard::kBg));
+  policies.push_back(make_sample_rate_policy(Standard::kBg));
+  policies.push_back(make_trained_table_policy(Standard::kBg));
+  for (const auto& res : run_arena_all(policies, params)) {
+    EXPECT_GT(res.frames, 0u) << res.policy;
+    EXPECT_LE(res.mean_throughput_mbps, res.oracle_throughput_mbps + 1e-9)
+        << res.policy;
+    EXPECT_GE(res.fraction_of_oracle, 0.0);
+    EXPECT_LE(res.fraction_of_oracle, 1.0 + 1e-9);
+  }
+}
+
+TEST(Arena, AdaptationBeatsWorstFixedRate) {
+  // On a mid-SNR link, a learning policy must beat pinning the link to
+  // 48M (which mostly fails) over a long run.
+  ArenaParams params;
+  params.duration_s = 3 * 3600.0;
+  params.link_distance_m = 55.0;
+  params.seed = 21;
+  auto fixed48 = make_fixed_rate_policy(Standard::kBg, 6);
+  auto learner = make_trained_table_policy(Standard::kBg);
+  const auto rf = run_arena(*fixed48, params);
+  const auto rl = run_arena(*learner, params);
+  EXPECT_GT(rl.mean_throughput_mbps, rf.mean_throughput_mbps);
+}
+
+TEST(Arena, SilentLinkYieldsEmptyResult) {
+  ArenaParams params;
+  params.link_distance_m = 5000.0;
+  auto p = make_snr_threshold_policy(Standard::kBg);
+  const auto r = run_arena(*p, params);
+  EXPECT_EQ(r.frames, 0u);
+}
+
+TEST(Arena, DeterministicAcrossRuns) {
+  ArenaParams params;
+  params.duration_s = 900.0;
+  params.seed = 33;
+  auto p1 = make_sample_rate_policy(Standard::kBg);
+  auto p2 = make_sample_rate_policy(Standard::kBg);
+  const auto r1 = run_arena(*p1, params);
+  const auto r2 = run_arena(*p2, params);
+  EXPECT_DOUBLE_EQ(r1.mean_throughput_mbps, r2.mean_throughput_mbps);
+  EXPECT_EQ(r1.delivered, r2.delivered);
+}
+
+}  // namespace
+}  // namespace wmesh

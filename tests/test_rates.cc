@@ -1,0 +1,140 @@
+// Unit tests for phy/rates.h: table invariants that the analyses depend on.
+#include "phy/rates.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace wmesh {
+namespace {
+
+TEST(Rates, ProbedCountsMatchPaper) {
+  // b/g probes 7 rates (1,6,11,12,24,36,48); n probes the 16 20MHz MCS.
+  EXPECT_EQ(probed_rates(Standard::kBg).size(), 7u);
+  EXPECT_EQ(probed_rates(Standard::kN).size(), 16u);
+  EXPECT_EQ(rate_count(Standard::kBg), 7u);
+  EXPECT_EQ(rate_count(Standard::kN), 16u);
+}
+
+TEST(Rates, BgProbedSetIsThePapers) {
+  const int expected[] = {1000, 6000, 11000, 12000, 24000, 36000, 48000};
+  const auto rates = probed_rates(Standard::kBg);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    EXPECT_EQ(rates[i].kbps, expected[i]);
+    EXPECT_EQ(rates[i].mcs, -1);
+  }
+}
+
+TEST(Rates, NamesAreUniquePerStandard) {
+  for (const Standard s : {Standard::kBg, Standard::kN}) {
+    std::set<std::string> names;
+    for (const auto& r : probed_rates(s)) {
+      EXPECT_TRUE(names.insert(std::string(r.name)).second)
+          << "duplicate name " << r.name;
+    }
+  }
+}
+
+TEST(Rates, NMcsIndicesAreDense) {
+  const auto rates = probed_rates(Standard::kN);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    EXPECT_EQ(rates[i].mcs, static_cast<int>(i));
+    EXPECT_EQ(rates[i].mod, Modulation::kHtOfdm);
+  }
+}
+
+TEST(Rates, ThresholdsIncreaseWithRateWithinModulationFamily) {
+  // Within OFDM, a faster rate must need more SNR; same within DSSS/CCK and
+  // within each 802.11n stream group.
+  const auto bg = probed_rates(Standard::kBg);
+  double last_ofdm = -100.0, last_ss = -100.0;
+  for (const auto& r : bg) {
+    if (r.mod == Modulation::kOfdm) {
+      EXPECT_GT(r.thr50_db, last_ofdm) << r.name;
+      last_ofdm = r.thr50_db;
+    } else {
+      EXPECT_GT(r.thr50_db, last_ss) << r.name;
+      last_ss = r.thr50_db;
+    }
+  }
+  const auto n = probed_rates(Standard::kN);
+  for (int stream = 0; stream < 2; ++stream) {
+    double last = -100.0;
+    for (int m = stream * 8; m < (stream + 1) * 8; ++m) {
+      EXPECT_GT(n[static_cast<std::size_t>(m)].thr50_db, last);
+      last = n[static_cast<std::size_t>(m)].thr50_db;
+    }
+  }
+}
+
+TEST(Rates, DsssCckOutRangesMidOfdm) {
+  // The calibration that reproduces the paper's §6.1 exception: 11 Mbit/s
+  // CCK must be receivable at lower SNR than 6 Mbit/s OFDM.
+  const auto bg = probed_rates(Standard::kBg);
+  const int i11 = find_rate(Standard::kBg, 11'000);
+  const int i6 = find_rate(Standard::kBg, 6'000);
+  ASSERT_GE(i11, 0);
+  ASSERT_GE(i6, 0);
+  EXPECT_LT(bg[static_cast<std::size_t>(i11)].thr50_db,
+            bg[static_cast<std::size_t>(i6)].thr50_db);
+  EXPECT_EQ(bg[static_cast<std::size_t>(i11)].mod, Modulation::kCck);
+  EXPECT_EQ(bg[static_cast<std::size_t>(i6)].mod, Modulation::kOfdm);
+}
+
+TEST(Rates, OneMbitIsTheMostRobust) {
+  const auto bg = probed_rates(Standard::kBg);
+  for (std::size_t i = 1; i < bg.size(); ++i) {
+    EXPECT_LT(bg[0].thr50_db, bg[i].thr50_db);
+  }
+  EXPECT_EQ(bg[0].mod, Modulation::kDsss);
+}
+
+TEST(Rates, FindRateByKbps) {
+  EXPECT_EQ(find_rate(Standard::kBg, 24'000), 4);
+  EXPECT_EQ(find_rate(Standard::kBg, 54'000), -1);  // not probed
+  EXPECT_EQ(find_rate(Standard::kBg, 999), -1);
+}
+
+TEST(Rates, FindRateDisambiguatesNByMcs) {
+  // 13 Mbit/s exists as both MCS1 and MCS8.
+  EXPECT_EQ(find_rate(Standard::kN, 13'000, 1), 1);
+  EXPECT_EQ(find_rate(Standard::kN, 13'000, 8), 8);
+  // Without mcs, the first match wins.
+  EXPECT_EQ(find_rate(Standard::kN, 13'000), 1);
+}
+
+TEST(Rates, FullBgTableSupersetOfProbed) {
+  const auto all = bg_all_rates();
+  EXPECT_EQ(all.size(), 12u);
+  for (const auto& probed : probed_rates(Standard::kBg)) {
+    bool found = false;
+    for (const auto& r : all) found = found || r.kbps == probed.kbps;
+    EXPECT_TRUE(found) << probed.name;
+  }
+}
+
+TEST(Rates, Names) {
+  EXPECT_EQ(rate_name(Standard::kBg, 0), "1M");
+  EXPECT_EQ(rate_name(Standard::kBg, 6), "48M");
+  EXPECT_EQ(rate_name(Standard::kN, 15), "MCS15");
+  EXPECT_EQ(rate_name(Standard::kBg, 99), "?");
+}
+
+TEST(Rates, MbpsHelper) {
+  EXPECT_DOUBLE_EQ(rate_mbps(Standard::kBg, 0), 1.0);
+  EXPECT_DOUBLE_EQ(rate_mbps(Standard::kN, 15), 130.0);
+  EXPECT_DOUBLE_EQ(rate_mbps(Standard::kBg, 99), 0.0);
+}
+
+TEST(Rates, ToStringCoverage) {
+  EXPECT_EQ(to_string(Standard::kBg), "802.11b/g");
+  EXPECT_EQ(to_string(Standard::kN), "802.11n");
+  EXPECT_EQ(to_string(Modulation::kDsss), "DSSS");
+  EXPECT_EQ(to_string(Modulation::kCck), "CCK");
+  EXPECT_EQ(to_string(Modulation::kOfdm), "OFDM");
+  EXPECT_EQ(to_string(Modulation::kHtOfdm), "HT-OFDM");
+}
+
+}  // namespace
+}  // namespace wmesh

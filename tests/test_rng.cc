@@ -1,0 +1,126 @@
+// Unit tests for util/rng.h: determinism, forking, distribution sanity.
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace wmesh {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.next_u64() == b.next_u64()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  // The fork's stream must be reproducible from the parent's state at fork
+  // time, and advancing the child must not affect the parent.
+  Rng parent1(99);
+  Rng child1 = parent1.fork();
+  const auto p_next = parent1.next_u64();
+
+  Rng parent2(99);
+  Rng child2 = parent2.fork();
+  for (int i = 0; i < 10; ++i) (void)child2.next_u64();
+  EXPECT_EQ(parent2.next_u64(), p_next);
+  EXPECT_EQ(child1.next_u64(), Rng(99).fork().next_u64());
+  (void)child2;
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(6);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit over 1000 draws
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(7);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(8);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.exponential(0.5));
+  EXPECT_NEAR(s.mean(), 2.0, 0.1);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(10);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BinomialEdgesAndMean) {
+  Rng rng(11);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0);
+  EXPECT_EQ(rng.binomial(10, 0.0), 0);
+  EXPECT_EQ(rng.binomial(10, 1.0), 10);
+  RunningStats s;
+  for (int i = 0; i < 5000; ++i) s.add(rng.binomial(20, 0.25));
+  EXPECT_NEAR(s.mean(), 5.0, 0.15);
+}
+
+TEST(Rng, PickWeightedRespectsWeights) {
+  Rng rng(12);
+  const double w[3] = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.pick_weighted(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.35);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(13);
+  std::vector<double> v;
+  for (int i = 0; i < 20000; ++i) v.push_back(rng.lognormal(1.0, 0.5));
+  EXPECT_NEAR(median(v), std::exp(1.0), 0.08);
+}
+
+}  // namespace
+}  // namespace wmesh

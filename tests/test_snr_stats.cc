@@ -1,0 +1,84 @@
+// Unit tests for core/snr_stats.h (Fig 3.1 machinery).
+#include "core/snr_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace wmesh {
+namespace {
+
+ProbeSet set_with_snrs(ApId from, ApId to, std::uint32_t t,
+                       std::initializer_list<float> snrs) {
+  ProbeSet s;
+  s.from = from;
+  s.to = to;
+  s.time_s = t;
+  RateIndex r = 0;
+  float sum = 0.0f;
+  for (float snr : snrs) {
+    s.entries.push_back({r++, 0.1f, snr});
+    sum += snr;
+  }
+  s.snr_db = sum / static_cast<float>(snrs.size());  // mean as stand-in
+  return s;
+}
+
+TEST(SnrStats, PerProbeSetDeviation) {
+  Dataset ds;
+  NetworkTrace nt;
+  nt.info.standard = Standard::kBg;
+  nt.ap_count = 2;
+  nt.probe_sets.push_back(set_with_snrs(0, 1, 300, {10.0f, 12.0f, 14.0f}));
+  ds.networks.push_back(std::move(nt));
+  const auto dev = snr_deviations(ds, Standard::kBg);
+  ASSERT_EQ(dev.per_probe_set.size(), 1u);
+  // Population stddev of {10,12,14} = sqrt(8/3).
+  EXPECT_NEAR(dev.per_probe_set[0], std::sqrt(8.0 / 3.0), 1e-6);
+}
+
+TEST(SnrStats, SingleEntrySetsContributeNothing) {
+  Dataset ds;
+  NetworkTrace nt;
+  nt.info.standard = Standard::kBg;
+  nt.ap_count = 2;
+  nt.probe_sets.push_back(set_with_snrs(0, 1, 300, {10.0f}));
+  ds.networks.push_back(std::move(nt));
+  const auto dev = snr_deviations(ds, Standard::kBg);
+  EXPECT_TRUE(dev.per_probe_set.empty());
+  EXPECT_TRUE(dev.per_link.empty());  // only one set on the link
+}
+
+TEST(SnrStats, PerLinkAndPerNetworkDeviations) {
+  Dataset ds;
+  NetworkTrace nt;
+  nt.info.standard = Standard::kBg;
+  nt.ap_count = 3;
+  // Link (0,1): set SNRs 10 and 14; link (0,2): set SNRs 30 and 30.
+  nt.probe_sets.push_back(set_with_snrs(0, 1, 300, {10.0f, 10.0f}));
+  nt.probe_sets.push_back(set_with_snrs(0, 2, 300, {30.0f, 30.0f}));
+  nt.probe_sets.push_back(set_with_snrs(0, 1, 600, {14.0f, 14.0f}));
+  nt.probe_sets.push_back(set_with_snrs(0, 2, 600, {30.0f, 30.0f}));
+  ds.networks.push_back(std::move(nt));
+  const auto dev = snr_deviations(ds, Standard::kBg);
+  ASSERT_EQ(dev.per_link.size(), 2u);
+  // Link (0,1): stddev of {10, 14} = 2; link (0,2): 0.
+  EXPECT_NEAR(dev.per_link[0], 2.0, 1e-6);
+  EXPECT_NEAR(dev.per_link[1], 0.0, 1e-6);
+  ASSERT_EQ(dev.per_network.size(), 1u);
+  // Network-wide set SNRs {10, 30, 14, 30}: stddev ~ 8.72 -- much larger
+  // than any link's, the Fig 3.1 ordering.
+  EXPECT_GT(dev.per_network[0], dev.per_link[0]);
+}
+
+TEST(SnrStats, FiltersStandard) {
+  Dataset ds;
+  NetworkTrace nt;
+  nt.info.standard = Standard::kN;
+  nt.ap_count = 2;
+  nt.probe_sets.push_back(set_with_snrs(0, 1, 300, {10.0f, 12.0f}));
+  ds.networks.push_back(std::move(nt));
+  EXPECT_TRUE(snr_deviations(ds, Standard::kBg).per_probe_set.empty());
+  EXPECT_EQ(snr_deviations(ds, Standard::kN).per_probe_set.size(), 1u);
+}
+
+}  // namespace
+}  // namespace wmesh

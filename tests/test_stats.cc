@@ -1,0 +1,242 @@
+// Unit tests for util/stats.h: moments, quantiles, CDFs, histograms.
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace wmesh {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(42.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.5);
+  EXPECT_DOUBLE_EQ(s.max(), 42.5);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook sample
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SampleVarianceUsesNMinusOne) {
+  RunningStats s;
+  for (double v : {1.0, 2.0, 3.0}) s.add(v);
+  EXPECT_NEAR(s.sample_variance(), 1.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  std::mt19937_64 gen(7);
+  std::normal_distribution<double> d(3.0, 2.0);
+  RunningStats a, b, all;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = d(gen);
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // copy
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Quantile, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(quantile_sorted({}, 0.5), 0.0);
+  const std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(one, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(one, 1.0), 7.0);
+}
+
+TEST(Quantile, LinearInterpolation) {
+  const std::vector<double> v = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0 / 3.0), 20.0);
+}
+
+TEST(Quantile, ClampsOutOfRange) {
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.5), 2.0);
+}
+
+TEST(Quantile, UnsortedWrapperSorts) {
+  const std::vector<double> v = {30.0, 10.0, 20.0};
+  EXPECT_DOUBLE_EQ(median(v), 20.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 10.0);
+}
+
+TEST(MeanStddev, Simple) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_NEAR(stddev(v), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Summarize, FiveNumber) {
+  std::vector<double> v;
+  for (int i = 1; i <= 101; ++i) v.push_back(static_cast<double>(i));
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 101u);
+  EXPECT_DOUBLE_EQ(s.median, 51.0);
+  EXPECT_DOUBLE_EQ(s.p25, 26.0);
+  EXPECT_DOUBLE_EQ(s.p75, 76.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 101.0);
+  EXPECT_DOUBLE_EQ(s.mean, 51.0);
+}
+
+TEST(Summarize, Empty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+}
+
+TEST(Cdf, FractionAtOrBelow) {
+  Cdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(99.0), 1.0);
+}
+
+TEST(Cdf, SortsInput) {
+  Cdf cdf({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(cdf.median(), 2.5);
+  EXPECT_TRUE(std::is_sorted(cdf.sorted_values().begin(),
+                             cdf.sorted_values().end()));
+}
+
+TEST(Cdf, EmptyBehaves) {
+  Cdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.value_at(0.5), 0.0);
+  EXPECT_TRUE(cdf.curve().empty());
+}
+
+TEST(Cdf, CurveEndsAtOne) {
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(static_cast<double>(i % 37));
+  Cdf cdf(v);
+  const auto curve = cdf.curve(50);
+  ASSERT_FALSE(curve.empty());
+  EXPECT_LE(curve.size(), 60u);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().first, 36.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].first, curve[i].first);
+    EXPECT_LT(curve[i - 1].second, curve[i].second + 1e-12);
+  }
+}
+
+TEST(Cdf, InverseMatchesQuantile) {
+  std::vector<double> v = {5.0, 1.0, 9.0, 3.0, 7.0};
+  Cdf cdf(v);
+  EXPECT_DOUBLE_EQ(cdf.value_at(0.5), median(v));
+  EXPECT_DOUBLE_EQ(cdf.value_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.value_at(1.0), 9.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.99);  // bin 4
+  h.add(-3.0);  // clamped to bin 0
+  h.add(25.0);  // clamped to bin 4
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+}
+
+TEST(Histogram, ZeroBinsDegradesToOne) {
+  Histogram h(0.0, 1.0, 0);
+  h.add(0.5);
+  EXPECT_EQ(h.bins(), 1u);
+  EXPECT_EQ(h.total(), 1u);
+}
+
+// Property: quantile_sorted at k/(n-1) returns exactly the k-th sorted value.
+class QuantileExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantileExactness, HitsSamplePoints) {
+  const int n = GetParam();
+  std::mt19937_64 gen(static_cast<std::uint64_t>(n));
+  std::uniform_real_distribution<double> d(-100.0, 100.0);
+  std::vector<double> v;
+  for (int i = 0; i < n; ++i) v.push_back(d(gen));
+  std::sort(v.begin(), v.end());
+  for (int k = 0; k < n; ++k) {
+    const double q = static_cast<double>(k) / static_cast<double>(n - 1);
+    EXPECT_NEAR(quantile_sorted(v, q), v[static_cast<std::size_t>(k)], 1e-9)
+        << "n=" << n << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QuantileExactness,
+                         ::testing::Values(2, 3, 5, 17, 101));
+
+// Property: CDF and quantile are inverse-consistent for random samples.
+class CdfRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CdfRoundTrip, QuantileOfFractionBrackets) {
+  std::mt19937_64 gen(GetParam());
+  std::normal_distribution<double> d(0.0, 5.0);
+  std::vector<double> v;
+  for (int i = 0; i < 500; ++i) v.push_back(d(gen));
+  Cdf cdf(v);
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double x = cdf.value_at(q);
+    // The fraction at the quantile must bracket q within one sample step.
+    const double f = cdf.fraction_at_or_below(x);
+    EXPECT_GE(f, q - 2.0 / 500.0);
+    EXPECT_LE(f - q, 2.0 / 500.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdfRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace wmesh

@@ -1,0 +1,161 @@
+// Unit tests for core/strategies.h: online table-building policies.
+#include "core/strategies.h"
+
+#include <gtest/gtest.h>
+
+namespace wmesh {
+namespace {
+
+// Builds a trace with one link whose optimal rate at SNR 18 changes over
+// time: first `first_phase` sets favour rate A, then rate B forever.
+Dataset drift_dataset(RateIndex rate_a, RateIndex rate_b,
+                      std::size_t first_phase, std::size_t total) {
+  Dataset ds;
+  NetworkTrace nt;
+  nt.info.id = 0;
+  nt.info.standard = Standard::kBg;
+  nt.ap_count = 2;
+  for (std::size_t i = 0; i < total; ++i) {
+    ProbeSet s;
+    s.from = 0;
+    s.to = 1;
+    s.time_s = static_cast<std::uint32_t>(i + 1) * 300;
+    s.snr_db = 18.0f;
+    const RateIndex good = (i < first_phase) ? rate_a : rate_b;
+    for (RateIndex r = 0; r < rate_count(Standard::kBg); ++r) {
+      s.entries.push_back({r, r == good ? 0.0f : 0.99f, 18.0f});
+    }
+    nt.probe_sets.push_back(std::move(s));
+  }
+  ds.networks.push_back(std::move(nt));
+  return ds;
+}
+
+StrategyResult run(const Dataset& ds, UpdateStrategy s, unsigned k = 4) {
+  StrategyParams p;
+  p.strategy = s;
+  p.subsample_k = k;
+  return run_strategy(ds, Standard::kBg, p);
+}
+
+TEST(Strategies, FirstNeverAdapts) {
+  // Rate 2 for 5 sets, then rate 4 for 15: "first" keeps predicting rate 2.
+  const auto ds = drift_dataset(2, 4, 5, 20);
+  const auto res = run(ds, UpdateStrategy::kFirst);
+  // Predictions start at the 2nd set: 4 correct (sets 2-5), 15 wrong.
+  EXPECT_EQ(res.probe_sets, 20u);
+  EXPECT_NEAR(res.overall_accuracy, 4.0 / 19.0, 1e-9);
+  EXPECT_EQ(res.updates, 1u);
+  EXPECT_EQ(res.memory_points, 1u);
+}
+
+TEST(Strategies, MostRecentAdaptsWithOneSetLag) {
+  const auto ds = drift_dataset(2, 4, 5, 20);
+  const auto res = run(ds, UpdateStrategy::kMostRecent);
+  // Wrong only on the first prediction after the drift (set 6).
+  EXPECT_NEAR(res.overall_accuracy, 18.0 / 19.0, 1e-9);
+  EXPECT_EQ(res.updates, 20u);
+  EXPECT_EQ(res.memory_points, 1u);  // one resident point per SNR
+}
+
+TEST(Strategies, AllConvergesAfterMajorityFlips) {
+  // 5 sets of rate 2 then 15 of rate 4: "all" predicts 2 until rate 4's
+  // count exceeds it (ties keep the lower rate), i.e. it is wrong for the
+  // first 6 post-drift sets and correct afterwards.
+  const auto ds = drift_dataset(2, 4, 5, 20);
+  const auto res = run(ds, UpdateStrategy::kAll);
+  // Correct: sets 2..5 (4), sets 12..20 (9) -> 13 of 19.
+  EXPECT_NEAR(res.overall_accuracy, 13.0 / 19.0, 1e-9);
+  EXPECT_EQ(res.updates, 20u);
+  EXPECT_EQ(res.memory_points, 20u);
+}
+
+TEST(Strategies, SubsampledRecordsFirstThenEveryKth) {
+  const auto ds = drift_dataset(2, 2, 20, 20);  // stable optimum
+  const auto res = run(ds, UpdateStrategy::kSubsampled, 4);
+  // Records: set 1 (first at this SNR) + sets 4, 8, 12, 16, 20 -> 6 updates.
+  EXPECT_EQ(res.updates, 6u);
+  EXPECT_EQ(res.memory_points, 6u);
+  EXPECT_DOUBLE_EQ(res.overall_accuracy, 1.0);
+}
+
+TEST(Strategies, StableLinkIsPerfectForAllStrategies) {
+  const auto ds = drift_dataset(3, 3, 10, 10);
+  for (const auto s : {UpdateStrategy::kFirst, UpdateStrategy::kMostRecent,
+                       UpdateStrategy::kSubsampled, UpdateStrategy::kAll}) {
+    const auto res = run(ds, s);
+    EXPECT_DOUBLE_EQ(res.overall_accuracy, 1.0) << to_string(s);
+  }
+}
+
+TEST(Strategies, AccuracyByRoundBookkeeping) {
+  const auto ds = drift_dataset(2, 2, 8, 8);
+  const auto res = run(ds, UpdateStrategy::kAll);
+  // Rounds 1..7 each saw exactly one prediction, all correct.
+  for (std::size_t round = 1; round <= 7; ++round) {
+    EXPECT_EQ(res.predictions[round], 1u) << round;
+    EXPECT_DOUBLE_EQ(res.accuracy[round], 1.0) << round;
+  }
+  EXPECT_EQ(res.predictions[0], 0u);
+}
+
+TEST(Strategies, NoPredictionWithoutDataForSnr) {
+  // Alternating SNRs: each SNR value is fresh the first time it appears, so
+  // no prediction is attempted then.
+  Dataset ds;
+  NetworkTrace nt;
+  nt.info.standard = Standard::kBg;
+  nt.ap_count = 2;
+  for (int i = 0; i < 4; ++i) {
+    ProbeSet s;
+    s.from = 0;
+    s.to = 1;
+    s.time_s = static_cast<std::uint32_t>(i + 1) * 300;
+    s.snr_db = static_cast<float>(10 + i);  // all distinct
+    for (RateIndex r = 0; r < rate_count(Standard::kBg); ++r) {
+      s.entries.push_back({r, r == 0 ? 0.0f : 0.99f, s.snr_db});
+    }
+    nt.probe_sets.push_back(std::move(s));
+  }
+  ds.networks.push_back(std::move(nt));
+  const auto res = run(ds, UpdateStrategy::kAll);
+  std::size_t predictions = 0;
+  for (auto p : res.predictions) predictions += p;
+  EXPECT_EQ(predictions, 0u);
+  EXPECT_DOUBLE_EQ(res.overall_accuracy, 0.0);
+}
+
+TEST(Strategies, LinksAreIndependent) {
+  // Two links with different stable optima must not pollute each other.
+  Dataset ds;
+  NetworkTrace nt;
+  nt.info.standard = Standard::kBg;
+  nt.ap_count = 2;
+  for (int i = 0; i < 6; ++i) {
+    for (int dir = 0; dir < 2; ++dir) {
+      ProbeSet s;
+      s.from = static_cast<ApId>(dir);
+      s.to = static_cast<ApId>(1 - dir);
+      s.time_s = static_cast<std::uint32_t>(i + 1) * 300;
+      s.snr_db = 18.0f;
+      const RateIndex good = dir == 0 ? 1 : 5;
+      for (RateIndex r = 0; r < rate_count(Standard::kBg); ++r) {
+        s.entries.push_back({r, r == good ? 0.0f : 0.99f, 18.0f});
+      }
+      nt.probe_sets.push_back(std::move(s));
+    }
+  }
+  ds.networks.push_back(std::move(nt));
+  const auto res = run(ds, UpdateStrategy::kMostRecent);
+  EXPECT_DOUBLE_EQ(res.overall_accuracy, 1.0);
+}
+
+TEST(Strategies, ToStringCoverage) {
+  EXPECT_STREQ(to_string(UpdateStrategy::kFirst), "first");
+  EXPECT_STREQ(to_string(UpdateStrategy::kMostRecent), "most-recent");
+  EXPECT_STREQ(to_string(UpdateStrategy::kSubsampled), "subsampled");
+  EXPECT_STREQ(to_string(UpdateStrategy::kAll), "all");
+}
+
+}  // namespace
+}  // namespace wmesh

@@ -1,0 +1,73 @@
+// Unit tests for util/text_table.h rendering helpers.
+#include "util/text_table.h"
+
+#include <gtest/gtest.h>
+
+namespace wmesh {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.header({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.render();
+  // Header row, underline, two data rows.
+  EXPECT_NE(out.find("name    value"), std::string::npos);
+  EXPECT_NE(out.find("x       1"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TextTable, NoHeaderNoUnderline) {
+  TextTable t;
+  t.add_row({"a", "b"});
+  const std::string out = t.render();
+  EXPECT_EQ(out.find('-'), std::string::npos);
+  EXPECT_NE(out.find("a  b"), std::string::npos);
+}
+
+TEST(TextTable, RaggedRowsDontCrash) {
+  TextTable t;
+  t.header({"one"});
+  t.add_row({"a", "b", "c"});
+  t.add_row({});
+  EXPECT_FALSE(t.render().empty());
+}
+
+TEST(Fmt, Digits) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(1.0, 0), "1");
+  EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+}
+
+TEST(AsciiPlot, EmptyInputs) {
+  EXPECT_EQ(ascii_plot({}), "(no data)\n");
+  std::vector<Series> s = {{"empty", {}}};
+  EXPECT_EQ(ascii_plot(s), "(no data)\n");
+}
+
+TEST(AsciiPlot, RendersPointsAndLegend) {
+  std::vector<Series> s = {
+      {"up", {{0.0, 0.0}, {1.0, 1.0}}},
+      {"down", {{0.0, 1.0}, {1.0, 0.0}}},
+  };
+  const std::string out = ascii_plot(s, 40, 10, "x", "y");
+  EXPECT_NE(out.find("legend: *=up +=down"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+  EXPECT_NE(out.find('x'), std::string::npos);  // axis label
+}
+
+TEST(AsciiPlot, DegenerateRangeHandled) {
+  std::vector<Series> s = {{"flat", {{2.0, 5.0}, {2.0, 5.0}}}};
+  EXPECT_FALSE(ascii_plot(s).empty());
+}
+
+TEST(AsciiPlot, TooSmallGrid) {
+  std::vector<Series> s = {{"a", {{0.0, 0.0}}}};
+  EXPECT_EQ(ascii_plot(s, 2, 2), "(no data)\n");
+}
+
+}  // namespace
+}  // namespace wmesh

@@ -1,0 +1,267 @@
+// Unit tests for mesh/network.h and mesh/topology.h.
+#include "mesh/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace wmesh {
+namespace {
+
+TEST(Network, DistanceIsEuclidean) {
+  std::vector<Ap> aps = {{0, 0.0, 0.0}, {1, 3.0, 4.0}};
+  MeshNetwork net({}, aps);
+  EXPECT_DOUBLE_EQ(net.distance_m(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(net.distance_m(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(net.distance_m(0, 0), 0.0);
+}
+
+TEST(LinkId, KeyPacksBothEnds) {
+  EXPECT_NE(link_key({1, 2}), link_key({2, 1}));
+  EXPECT_EQ(link_key({0, 0}), 0u);
+  EXPECT_EQ(link_key({1, 0}), 0x10000u);
+  EXPECT_EQ(link_key({0, 1}), 1u);
+}
+
+TEST(Environment, ToString) {
+  EXPECT_EQ(to_string(Environment::kIndoor), "indoor");
+  EXPECT_EQ(to_string(Environment::kOutdoor), "outdoor");
+  EXPECT_EQ(to_string(Environment::kMixed), "mixed");
+}
+
+TEST(GridTopology, SizeAndIds) {
+  Rng rng(1);
+  const auto aps = make_grid_topology(10, indoor_topology_params(), rng);
+  ASSERT_EQ(aps.size(), 10u);
+  for (std::size_t i = 0; i < aps.size(); ++i) {
+    EXPECT_EQ(aps[i].id, static_cast<ApId>(i));
+  }
+}
+
+TEST(GridTopology, Deterministic) {
+  Rng a(42), b(42);
+  const auto ta = make_grid_topology(9, indoor_topology_params(), a);
+  const auto tb = make_grid_topology(9, indoor_topology_params(), b);
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ta[i].x_m, tb[i].x_m);
+    EXPECT_DOUBLE_EQ(ta[i].y_m, tb[i].y_m);
+  }
+}
+
+TEST(GridTopology, OutdoorIsSparser) {
+  Rng a(3), b(3);
+  const auto indoor = make_grid_topology(16, indoor_topology_params(), a);
+  const auto outdoor = make_grid_topology(16, outdoor_topology_params(), b);
+  auto mean_nn = [](const std::vector<Ap>& aps) {
+    MeshNetwork net({}, aps);
+    RunningStats s;
+    for (std::size_t i = 0; i < aps.size(); ++i) {
+      double best = 1e18;
+      for (std::size_t j = 0; j < aps.size(); ++j) {
+        if (i == j) continue;
+        best = std::min(best, net.distance_m(static_cast<ApId>(i),
+                                             static_cast<ApId>(j)));
+      }
+      s.add(best);
+    }
+    return s.mean();
+  };
+  EXPECT_GT(mean_nn(outdoor), 1.8 * mean_nn(indoor));
+}
+
+TEST(Fleet, PopulationMatchesPaper) {
+  Rng rng(7);
+  FleetParams params;
+  const auto fleet = make_fleet(params, rng);
+  ASSERT_EQ(fleet.size(), 110u);
+
+  std::size_t bg_only = 0, n_only = 0, both = 0;
+  std::size_t indoor = 0, outdoor = 0, mixed = 0;
+  std::size_t min_size = 1000, max_size = 0;
+  std::vector<double> sizes;
+  for (const auto& fn : fleet) {
+    if (fn.has_bg && fn.has_n) {
+      ++both;
+    } else if (fn.has_bg) {
+      ++bg_only;
+    } else {
+      ++n_only;
+    }
+    switch (fn.network.info().env) {
+      case Environment::kIndoor: ++indoor; break;
+      case Environment::kOutdoor: ++outdoor; break;
+      case Environment::kMixed: ++mixed; break;
+    }
+    min_size = std::min(min_size, fn.network.size());
+    max_size = std::max(max_size, fn.network.size());
+    sizes.push_back(static_cast<double>(fn.network.size()));
+  }
+  EXPECT_EQ(bg_only, 77u);
+  EXPECT_EQ(n_only, 31u);
+  EXPECT_EQ(both, 2u);
+  EXPECT_EQ(indoor, 72u);
+  EXPECT_EQ(outdoor, 17u);
+  EXPECT_EQ(mixed, 21u);
+  EXPECT_GE(min_size, 3u);
+  EXPECT_EQ(max_size, 203u);  // forced 203-AP network
+  // Median size near the paper's 7, mean near its 13 (tolerant bands).
+  EXPECT_GE(median(sizes), 5.0);
+  EXPECT_LE(median(sizes), 10.0);
+  EXPECT_GE(mean(sizes), 8.0);
+  EXPECT_LE(mean(sizes), 18.0);
+}
+
+TEST(Fleet, DeterministicGivenSeed) {
+  Rng a(9), b(9);
+  const auto fa = make_fleet(FleetParams{}, a);
+  const auto fb = make_fleet(FleetParams{}, b);
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    ASSERT_EQ(fa[i].network.size(), fb[i].network.size());
+    for (std::size_t j = 0; j < fa[i].network.size(); ++j) {
+      EXPECT_DOUBLE_EQ(fa[i].network.aps()[j].x_m, fb[i].network.aps()[j].x_m);
+    }
+  }
+}
+
+TEST(Fleet, NetworkIdsAreDenseAndNamed) {
+  Rng rng(11);
+  const auto fleet = make_fleet(FleetParams{}, rng);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    EXPECT_EQ(fleet[i].network.info().id, i);
+    EXPECT_FALSE(fleet[i].network.info().name.empty());
+  }
+}
+
+TEST(Fleet, TestFleetHelper) {
+  Rng rng(5);
+  const auto fleet = make_test_fleet(3, 6, rng);
+  ASSERT_EQ(fleet.size(), 3u);
+  for (const auto& fn : fleet) {
+    EXPECT_EQ(fn.network.size(), 6u);
+    EXPECT_TRUE(fn.has_bg);
+    EXPECT_FALSE(fn.has_n);
+  }
+}
+
+TEST(ClusteredTopology, SizeAndIds) {
+  Rng rng(13);
+  const auto aps = make_clustered_topology(40, indoor_topology_params(), rng);
+  ASSERT_EQ(aps.size(), 40u);
+  for (std::size_t i = 0; i < aps.size(); ++i) {
+    EXPECT_EQ(aps[i].id, static_cast<ApId>(i));
+  }
+}
+
+TEST(ClusteredTopology, FormsSeparatedClusters) {
+  Rng rng(14);
+  const auto params = indoor_topology_params();
+  const auto aps = make_clustered_topology(48, params, rng);
+  MeshNetwork net({}, aps);
+  // Nearest-neighbour distances should be cluster-internal (small); the
+  // maximum pairwise distance should span several cluster gaps (large).
+  double max_pair = 0.0;
+  RunningStats nn;
+  for (std::size_t i = 0; i < aps.size(); ++i) {
+    double best = 1e18;
+    for (std::size_t j = 0; j < aps.size(); ++j) {
+      if (i == j) continue;
+      const double d = net.distance_m(static_cast<ApId>(i),
+                                      static_cast<ApId>(j));
+      best = std::min(best, d);
+      max_pair = std::max(max_pair, d);
+    }
+    nn.add(best);
+  }
+  EXPECT_LT(nn.mean(), params.spacing_max_m);
+  EXPECT_GT(max_pair, params.spacing_max_m * params.cluster_gap_factor * 0.8);
+}
+
+TEST(ClusteredTopology, ClusterSizesWithinBounds) {
+  // Reconstruct clusters by proximity: APs within 3 spacings of each other
+  // share a cluster.  Every cluster must respect the configured size range
+  // (the carve logic may merge a trailing runt into the previous cluster).
+  Rng rng(15);
+  TopologyParams params = indoor_topology_params();
+  const std::size_t n = 100;
+  const auto aps = make_clustered_topology(n, params, rng);
+  MeshNetwork net({}, aps);
+  std::vector<int> cluster(n, -1);
+  int next = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cluster[i] >= 0) continue;
+    cluster[i] = next++;
+    // flood fill
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t a = 0; a < n; ++a) {
+        if (cluster[a] < 0) continue;
+        for (std::size_t b = 0; b < n; ++b) {
+          if (cluster[b] >= 0) continue;
+          if (net.distance_m(static_cast<ApId>(a), static_cast<ApId>(b)) <
+              3.0 * params.spacing_max_m * params.cluster_spacing_factor) {
+            cluster[b] = cluster[a];
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  std::map<int, std::size_t> sizes;
+  for (int c : cluster) ++sizes[c];
+  for (const auto& [c, size] : sizes) {
+    EXPECT_GE(size, params.cluster_size_min) << "cluster " << c;
+    EXPECT_LE(size, params.cluster_size_max + params.cluster_size_min)
+        << "cluster " << c;
+  }
+}
+
+TEST(Fleet, LargeNetworksAreClustered) {
+  Rng rng(16);
+  FleetParams p;
+  p.min_size = 50;
+  p.max_size = 50;
+  p.force_max_network = false;
+  const auto fleet = make_fleet(p, rng);
+  // Every network is above the cluster threshold: max pairwise distance
+  // must exceed what a single 50-AP grid would span.
+  for (const auto& fn : fleet) {
+    if (fn.network.info().env == Environment::kOutdoor) continue;
+    double max_pair = 0.0;
+    for (std::size_t i = 0; i < fn.network.size(); ++i) {
+      for (std::size_t j = i + 1; j < fn.network.size(); ++j) {
+        max_pair = std::max(max_pair,
+                            fn.network.distance_m(static_cast<ApId>(i),
+                                                  static_cast<ApId>(j)));
+      }
+    }
+    EXPECT_GT(max_pair, 400.0);
+    break;  // one indoor network suffices
+  }
+}
+
+// Property: every fleet size distribution respects its clamps.
+class FleetSizes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FleetSizes, WithinClamps) {
+  Rng rng(GetParam());
+  FleetParams p;
+  p.min_size = 4;
+  p.max_size = 50;
+  p.force_max_network = false;
+  for (const auto& fn : make_fleet(p, rng)) {
+    EXPECT_GE(fn.network.size(), 4u);
+    EXPECT_LE(fn.network.size(), 50u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FleetSizes,
+                         ::testing::Values(1u, 22u, 333u, 4444u));
+
+}  // namespace
+}  // namespace wmesh

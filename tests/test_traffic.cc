@@ -1,0 +1,75 @@
+// Unit tests for core/traffic.h.
+#include "core/traffic.h"
+
+#include <gtest/gtest.h>
+
+namespace wmesh {
+namespace {
+
+ClientSample sample(std::uint32_t client, ApId ap, std::uint32_t bucket,
+                    std::uint32_t packets, std::uint16_t assocs = 0) {
+  ClientSample s;
+  s.client = client;
+  s.ap = ap;
+  s.bucket = bucket;
+  s.data_packets = packets;
+  s.assoc_requests = assocs;
+  return s;
+}
+
+TEST(Traffic, EmptyTrace) {
+  NetworkTrace nt;
+  const auto t = analyze_traffic(nt);
+  EXPECT_TRUE(t.packets_per_client.empty());
+  EXPECT_DOUBLE_EQ(t.total_packets, 0.0);
+  EXPECT_DOUBLE_EQ(t.top_decile_ap_share, 0.0);
+}
+
+TEST(Traffic, SumsPerClientAndAp) {
+  NetworkTrace nt;
+  nt.client_samples = {
+      sample(1, 0, 0, 100, 1),
+      sample(1, 0, 1, 50),
+      sample(1, 1, 2, 25, 1),
+      sample(2, 1, 0, 10, 1),
+  };
+  const auto t = analyze_traffic(nt);
+  ASSERT_EQ(t.packets_per_client.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.packets_per_client[0], 175.0);  // client 1
+  EXPECT_DOUBLE_EQ(t.packets_per_client[1], 10.0);   // client 2
+  ASSERT_EQ(t.packets_per_ap.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.packets_per_ap[0], 150.0);  // AP 0
+  EXPECT_DOUBLE_EQ(t.packets_per_ap[1], 35.0);   // AP 1
+  EXPECT_DOUBLE_EQ(t.total_packets, 185.0);
+  ASSERT_EQ(t.assocs_per_client.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.assocs_per_client[0], 2.0);
+}
+
+TEST(Traffic, TopDecileShare) {
+  NetworkTrace nt;
+  // 10 APs: AP 0 carries 910 packets, the other nine carry 10 each.
+  for (ApId ap = 0; ap < 10; ++ap) {
+    nt.client_samples.push_back(
+        sample(ap, ap, 0, ap == 0 ? 910 : 10));
+  }
+  const auto t = analyze_traffic(nt);
+  EXPECT_NEAR(t.top_decile_ap_share, 0.91, 1e-9);
+}
+
+TEST(Traffic, DatasetAggregationKeepsNetworksDistinct) {
+  Dataset ds;
+  NetworkTrace a, b;
+  a.info.id = 1;
+  b.info.id = 2;
+  // Same client id 7 in both networks: must count as two clients.
+  a.client_samples = {sample(7, 0, 0, 5)};
+  b.client_samples = {sample(7, 0, 0, 9)};
+  ds.networks.push_back(a);
+  ds.networks.push_back(b);
+  const auto t = analyze_traffic(ds);
+  EXPECT_EQ(t.packets_per_client.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.total_packets, 14.0);
+}
+
+}  // namespace
+}  // namespace wmesh

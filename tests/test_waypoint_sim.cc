@@ -1,0 +1,171 @@
+// Tests for clients/waypoint_sim.h: the physical mobility model.
+#include "clients/waypoint_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/mobility.h"
+#include "mesh/topology.h"
+#include "util/stats.h"
+
+namespace wmesh {
+namespace {
+
+MeshNetwork grid_net(std::size_t n, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  auto aps = make_grid_topology(n, indoor_topology_params(), rng);
+  NetworkInfo info;
+  info.id = 4;
+  return MeshNetwork(info, aps);
+}
+
+WaypointParams quick(double hours = 3.0) {
+  WaypointParams p;
+  p.duration_s = hours * 3600.0;
+  return p;
+}
+
+TEST(Waypoint, SchemaIsSortedAndValid) {
+  Rng rng(1);
+  const auto net = grid_net(9);
+  const auto samples =
+      simulate_waypoint_clients(net, indoor_channel_params(), quick(), rng);
+  ASSERT_FALSE(samples.empty());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_LT(samples[i].ap, net.size());
+    if (i == 0) continue;
+    const auto& a = samples[i - 1];
+    const auto& b = samples[i];
+    EXPECT_TRUE(a.client < b.client ||
+                (a.client == b.client && a.bucket < b.bucket));
+  }
+}
+
+TEST(Waypoint, Deterministic) {
+  Rng a(2), b(2);
+  const auto net = grid_net(9);
+  const auto sa =
+      simulate_waypoint_clients(net, indoor_channel_params(), quick(), a);
+  const auto sb =
+      simulate_waypoint_clients(net, indoor_channel_params(), quick(), b);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].ap, sb[i].ap);
+    EXPECT_EQ(sa[i].bucket, sb[i].bucket);
+  }
+}
+
+TEST(Waypoint, AllStaticClientsNeverSwitch) {
+  Rng rng(3);
+  WaypointParams p = quick();
+  p.static_fraction = 1.0;
+  p.transient_fraction = 0.0;
+  const auto net = grid_net(9);
+  const auto samples =
+      simulate_waypoint_clients(net, indoor_channel_params(), p, rng);
+  std::map<std::uint32_t, std::set<ApId>> aps;
+  for (const auto& s : samples) aps[s.client].insert(s.ap);
+  ASSERT_FALSE(aps.empty());
+  for (const auto& [client, set] : aps) {
+    EXPECT_EQ(set.size(), 1u) << "client " << client;
+  }
+}
+
+TEST(Waypoint, HysteresisReducesSwitching) {
+  const auto net = grid_net(12, 7);
+  auto switches = [&](double hysteresis_db, std::uint64_t seed) {
+    Rng rng(seed);
+    WaypointParams p = quick(6.0);
+    p.static_fraction = 0.0;
+    p.transient_fraction = 0.0;
+    p.hysteresis_db = hysteresis_db;
+    const auto samples =
+        simulate_waypoint_clients(net, indoor_channel_params(), p, rng);
+    std::size_t sw = 0;
+    const ClientSample* prev = nullptr;
+    for (const auto& s : samples) {
+      if (prev != nullptr && prev->client == s.client &&
+          s.bucket == prev->bucket + 1 && s.ap != prev->ap) {
+        ++sw;
+      }
+      prev = &s;
+    }
+    return sw;
+  };
+  EXPECT_LT(switches(8.0, 5), switches(0.0, 5));
+}
+
+TEST(Waypoint, TransientsAreShorterSessions) {
+  Rng rng(6);
+  WaypointParams p = quick(6.0);
+  p.transient_fraction = 1.0;
+  p.transient_median_s = 30 * 60.0;
+  const auto net = grid_net(9);
+  const auto samples =
+      simulate_waypoint_clients(net, indoor_channel_params(), p, rng);
+  NetworkTrace nt;
+  nt.client_samples = samples;
+  const auto m = analyze_mobility(nt);
+  ASSERT_FALSE(m.connection_length_min.empty());
+  // Median session well below the 6-hour trace.
+  EXPECT_LT(median(m.connection_length_min), 4.0 * 60.0);
+}
+
+TEST(Waypoint, ReproducesIndoorOutdoorOrdering) {
+  // The §7 ordering must emerge from physics alone: the same walker
+  // population in an outdoor (sparser, gentler path loss) deployment
+  // switches APs less often per connected interval.
+  auto switch_rate = [](Environment env, std::uint64_t seed) {
+    Rng rng(seed);
+    const TopologyParams topo = env == Environment::kOutdoor
+                                    ? outdoor_topology_params()
+                                    : indoor_topology_params();
+    Rng topo_rng(seed + 1);
+    auto aps = make_grid_topology(12, topo, topo_rng);
+    NetworkInfo info;
+    info.env = env;
+    MeshNetwork net(info, aps);
+    WaypointParams p;
+    p.duration_s = 8 * 3600.0;
+    p.static_fraction = 0.2;
+    p.transient_fraction = 0.0;
+    const auto samples = simulate_waypoint_clients(
+        net, channel_params_for(env), p, rng);
+    std::size_t switches = 0, pairs = 0;
+    const ClientSample* prev = nullptr;
+    for (const auto& s : samples) {
+      if (prev != nullptr && prev->client == s.client &&
+          s.bucket == prev->bucket + 1) {
+        ++pairs;
+        switches += (s.ap != prev->ap) ? 1 : 0;
+      }
+      prev = &s;
+    }
+    return static_cast<double>(switches) / static_cast<double>(pairs);
+  };
+  EXPECT_GT(switch_rate(Environment::kIndoor, 11),
+            switch_rate(Environment::kOutdoor, 11));
+}
+
+TEST(Waypoint, AssocRequestFlagsSwitches) {
+  Rng rng(8);
+  const auto net = grid_net(9);
+  const auto samples =
+      simulate_waypoint_clients(net, indoor_channel_params(), quick(), rng);
+  const ClientSample* prev = nullptr;
+  for (const auto& s : samples) {
+    const bool contiguous = prev != nullptr && prev->client == s.client &&
+                            s.bucket == prev->bucket + 1;
+    if (!contiguous || s.ap != prev->ap) {
+      EXPECT_EQ(s.assoc_requests, 1);
+    } else {
+      EXPECT_EQ(s.assoc_requests, 0);
+    }
+    prev = &s;
+  }
+}
+
+}  // namespace
+}  // namespace wmesh

@@ -1,0 +1,156 @@
+// wmesh_analyze: run one of the paper's analyses on a saved snapshot.
+//
+// Usage: wmesh_analyze <prefix> <analysis>
+//   snr       Fig 3.1 SNR dispersion summary
+//   lookup    Fig 4.4 look-up table accuracy by scope (both standards)
+//   routing   Fig 5.1 opportunistic-routing gains at 1 Mbit/s
+//   hidden    Fig 6.1 hidden-triple medians per rate
+//   mobility  Fig 7.3/7.4 prevalence & persistence by environment
+//   traffic   §3.2 client/AP load summary
+//
+// This is the entry point for running the toolkit over real traces: write
+// them in the trace/io.h CSV schema and point this tool (or the bench
+// binaries via WMESH_SNAPSHOT) at the prefix.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/exor.h"
+#include "core/hidden.h"
+#include "core/lookup_table.h"
+#include "core/mobility.h"
+#include "core/snr_stats.h"
+#include "core/traffic.h"
+#include "trace/io.h"
+#include "util/stats.h"
+#include "util/text_table.h"
+
+using namespace wmesh;
+
+namespace {
+
+int run_snr(const Dataset& ds) {
+  for (const Standard std : {Standard::kBg, Standard::kN}) {
+    const auto dev = snr_deviations(ds, std);
+    if (dev.per_probe_set.empty()) continue;
+    const Cdf sets(dev.per_probe_set);
+    std::printf("%s: probe-set sigma median %.2f dB (<5 dB: %.1f%%), link "
+                "median %.2f, network median %.2f\n",
+                std::string(to_string(std)).c_str(), sets.median(),
+                100.0 * sets.fraction_at_or_below(5.0),
+                median(dev.per_link), median(dev.per_network));
+  }
+  return 0;
+}
+
+int run_lookup(const Dataset& ds) {
+  TextTable t;
+  t.header({"standard", "scope", "exact", "mean loss (Mbit/s)"});
+  for (const Standard std : {Standard::kBg, Standard::kN}) {
+    for (const TableScope scope :
+         {TableScope::kGlobal, TableScope::kNetwork, TableScope::kAp,
+          TableScope::kLink}) {
+      const auto err = lookup_table_errors(ds, std, scope);
+      if (err.throughput_diff_mbps.empty()) continue;
+      t.add_row({std::string(to_string(std)), to_string(scope),
+                 fmt(100.0 * err.exact_fraction, 1) + "%",
+                 fmt(mean(err.throughput_diff_mbps), 3)});
+    }
+  }
+  std::fputs(t.render().c_str(), stdout);
+  return 0;
+}
+
+int run_routing(const Dataset& ds) {
+  for (const EtxVariant v : {EtxVariant::kEtx1, EtxVariant::kEtx2}) {
+    std::vector<double> imps;
+    std::size_t none = 0;
+    for (const auto& nt : ds.networks) {
+      if (nt.info.standard != Standard::kBg || nt.ap_count < 5) continue;
+      for (const auto& g :
+           opportunistic_gains(mean_success_matrix(nt, 0), v)) {
+        imps.push_back(g.improvement());
+        none += g.improvement() < 1e-9 ? 1 : 0;
+      }
+    }
+    if (imps.empty()) continue;
+    std::printf("%s @1M: mean %.3f median %.3f zero-gain %.1f%% over %zu "
+                "pairs\n",
+                to_string(v), mean(imps), median(imps),
+                100.0 * static_cast<double>(none) /
+                    static_cast<double>(imps.size()),
+                imps.size());
+  }
+  return 0;
+}
+
+int run_hidden(const Dataset& ds) {
+  TextTable t;
+  t.header({"rate", "networks", "median hidden fraction"});
+  const auto rates = probed_rates(Standard::kBg);
+  for (RateIndex r = 0; r < rates.size(); ++r) {
+    const auto stats = hidden_triples_per_network(ds, Standard::kBg, r, 0.10);
+    if (stats.fractions.empty()) continue;
+    t.add_row({std::string(rates[r].name),
+               std::to_string(stats.fractions.size()),
+               fmt(median(stats.fractions), 3)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  return 0;
+}
+
+int run_mobility(const Dataset& ds) {
+  for (const Environment env : {Environment::kIndoor, Environment::kOutdoor}) {
+    const auto m = analyze_mobility_by_env(ds, env);
+    if (m.prevalence.empty()) continue;
+    std::printf("%s: prevalence mean/med %.3f/%.3f, persistence mean/med "
+                "%.1f/%.1f min, %zu sessions\n",
+                to_string(env).c_str(), mean(m.prevalence),
+                median(m.prevalence), mean(m.persistence_min),
+                median(m.persistence_min), m.aps_visited.size());
+  }
+  return 0;
+}
+
+int run_traffic(const Dataset& ds) {
+  const auto t = analyze_traffic(ds);
+  if (t.packets_per_client.empty()) {
+    std::printf("no client data in snapshot\n");
+    return 0;
+  }
+  std::printf("clients: %zu, APs with traffic: %zu, total packets: %.0f\n",
+              t.packets_per_client.size(), t.packets_per_ap.size(),
+              t.total_packets);
+  std::printf("median packets/client: %.0f (p90 %.0f); busiest 10%% of APs "
+              "carry %.0f%% of traffic\n",
+              median(t.packets_per_client),
+              quantile(t.packets_per_client, 0.9),
+              100.0 * t.top_decile_ap_share);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr,
+                 "usage: %s <prefix> "
+                 "<snr|lookup|routing|hidden|mobility|traffic>\n",
+                 argv[0]);
+    return 2;
+  }
+  Dataset ds;
+  if (!load_dataset(argv[1], &ds)) {
+    std::fprintf(stderr, "error: cannot load %s.probes.csv\n", argv[1]);
+    return 1;
+  }
+  const std::string what = argv[2];
+  if (what == "snr") return run_snr(ds);
+  if (what == "lookup") return run_lookup(ds);
+  if (what == "routing") return run_routing(ds);
+  if (what == "hidden") return run_hidden(ds);
+  if (what == "mobility") return run_mobility(ds);
+  if (what == "traffic") return run_traffic(ds);
+  std::fprintf(stderr, "unknown analysis '%s'\n", what.c_str());
+  return 2;
+}

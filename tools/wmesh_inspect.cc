@@ -1,0 +1,64 @@
+// wmesh_inspect: summarize a saved snapshot.
+//
+// Usage: wmesh_inspect <prefix>
+//
+// Prints the fleet composition, per-standard probe-set counts, the SNR
+// occupancy histogram, and the client-sample volume -- the sanity pass one
+// runs before pointing the benches at a snapshot.
+#include <cstdio>
+#include <map>
+
+#include "trace/io.h"
+#include "util/stats.h"
+#include "util/text_table.h"
+
+using namespace wmesh;
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <prefix>\n", argv[0]);
+    return 2;
+  }
+  Dataset ds;
+  if (!load_dataset(argv[1], &ds)) {
+    std::fprintf(stderr, "error: cannot load %s.probes.csv\n", argv[1]);
+    return 1;
+  }
+
+  std::map<std::string, std::size_t> traces, sets;
+  std::size_t clients = 0;
+  Histogram snr_hist(-10.0, 60.0, 14);
+  for (const auto& nt : ds.networks) {
+    const std::string key = std::string(to_string(nt.info.standard)) + " / " +
+                            to_string(nt.info.env);
+    ++traces[key];
+    sets[key] += nt.probe_sets.size();
+    clients += nt.client_samples.size();
+    for (const auto& set : nt.probe_sets) {
+      if (!std::isnan(set.snr_db)) snr_hist.add(set.snr_db);
+    }
+  }
+
+  std::printf("snapshot %s: %zu traces, %zu APs, %zu probe sets, %zu client "
+              "samples\n\n",
+              argv[1], ds.networks.size(), ds.total_aps(),
+              ds.total_probe_sets(), clients);
+  TextTable t;
+  t.header({"standard / environment", "traces", "probe sets"});
+  for (const auto& [key, count] : traces) {
+    t.add_row({key, std::to_string(count), std::to_string(sets[key])});
+  }
+  std::fputs(t.render().c_str(), stdout);
+
+  std::printf("\nprobe-set SNR occupancy:\n");
+  for (std::size_t b = 0; b < snr_hist.bins(); ++b) {
+    const double frac = snr_hist.total() > 0
+                            ? static_cast<double>(snr_hist.bin_count(b)) /
+                                  static_cast<double>(snr_hist.total())
+                            : 0.0;
+    std::printf("  %5.0f dB %6.1f%% %s\n", snr_hist.bin_center(b),
+                100.0 * frac,
+                std::string(static_cast<std::size_t>(frac * 200), '#').c_str());
+  }
+  return 0;
+}
