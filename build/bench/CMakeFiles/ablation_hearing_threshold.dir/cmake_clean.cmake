@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hearing_threshold.dir/ablation_hearing_threshold.cc.o"
+  "CMakeFiles/ablation_hearing_threshold.dir/ablation_hearing_threshold.cc.o.d"
+  "ablation_hearing_threshold"
+  "ablation_hearing_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hearing_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_hearing_threshold.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_link_offset.dir/ablation_link_offset.cc.o"
+  "CMakeFiles/ablation_link_offset.dir/ablation_link_offset.cc.o.d"
+  "ablation_link_offset"
+  "ablation_link_offset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_link_offset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mobility_model.dir/ablation_mobility_model.cc.o"
+  "CMakeFiles/ablation_mobility_model.dir/ablation_mobility_model.cc.o.d"
+  "ablation_mobility_model"
+  "ablation_mobility_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mobility_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

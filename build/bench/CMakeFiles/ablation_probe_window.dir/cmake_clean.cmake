@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_probe_window.dir/ablation_probe_window.cc.o"
+  "CMakeFiles/ablation_probe_window.dir/ablation_probe_window.cc.o.d"
+  "ablation_probe_window"
+  "ablation_probe_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_probe_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_exor_validation.dir/ext_exor_validation.cc.o"
+  "CMakeFiles/ext_exor_validation.dir/ext_exor_validation.cc.o.d"
+  "ext_exor_validation"
+  "ext_exor_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_exor_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hidden_terminal_impact.dir/ext_hidden_terminal_impact.cc.o"
+  "CMakeFiles/ext_hidden_terminal_impact.dir/ext_hidden_terminal_impact.cc.o.d"
+  "ext_hidden_terminal_impact"
+  "ext_hidden_terminal_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hidden_terminal_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

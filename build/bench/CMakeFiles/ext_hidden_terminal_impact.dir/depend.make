@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_hidden_terminal_impact.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_rate_adaptation.dir/ext_rate_adaptation.cc.o"
+  "CMakeFiles/ext_rate_adaptation.dir/ext_rate_adaptation.cc.o.d"
+  "ext_rate_adaptation"
+  "ext_rate_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_rate_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_routing_convergence.dir/ext_routing_convergence.cc.o"
+  "CMakeFiles/ext_routing_convergence.dir/ext_routing_convergence.cc.o.d"
+  "ext_routing_convergence"
+  "ext_routing_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_routing_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_1_snr_stddev.dir/fig3_1_snr_stddev.cc.o"
+  "CMakeFiles/fig3_1_snr_stddev.dir/fig3_1_snr_stddev.cc.o.d"
+  "fig3_1_snr_stddev"
+  "fig3_1_snr_stddev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_1_snr_stddev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_1_optimal_rates.dir/fig4_1_optimal_rates.cc.o"
+  "CMakeFiles/fig4_1_optimal_rates.dir/fig4_1_optimal_rates.cc.o.d"
+  "fig4_1_optimal_rates"
+  "fig4_1_optimal_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_1_optimal_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

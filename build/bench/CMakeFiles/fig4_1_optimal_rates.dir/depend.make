@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_1_optimal_rates.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_2_lookup_bg.dir/fig4_2_lookup_bg.cc.o"
+  "CMakeFiles/fig4_2_lookup_bg.dir/fig4_2_lookup_bg.cc.o.d"
+  "fig4_2_lookup_bg"
+  "fig4_2_lookup_bg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_2_lookup_bg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_2_lookup_bg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_3_lookup_n.dir/fig4_3_lookup_n.cc.o"
+  "CMakeFiles/fig4_3_lookup_n.dir/fig4_3_lookup_n.cc.o.d"
+  "fig4_3_lookup_n"
+  "fig4_3_lookup_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_3_lookup_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_4_lookup_errors.dir/fig4_4_lookup_errors.cc.o"
+  "CMakeFiles/fig4_4_lookup_errors.dir/fig4_4_lookup_errors.cc.o.d"
+  "fig4_4_lookup_errors"
+  "fig4_4_lookup_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_4_lookup_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

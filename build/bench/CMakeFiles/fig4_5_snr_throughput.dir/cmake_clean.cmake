@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_5_snr_throughput.dir/fig4_5_snr_throughput.cc.o"
+  "CMakeFiles/fig4_5_snr_throughput.dir/fig4_5_snr_throughput.cc.o.d"
+  "fig4_5_snr_throughput"
+  "fig4_5_snr_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_5_snr_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_5_snr_throughput.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_6_strategy_accuracy.dir/fig4_6_strategy_accuracy.cc.o"
+  "CMakeFiles/fig4_6_strategy_accuracy.dir/fig4_6_strategy_accuracy.cc.o.d"
+  "fig4_6_strategy_accuracy"
+  "fig4_6_strategy_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_6_strategy_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

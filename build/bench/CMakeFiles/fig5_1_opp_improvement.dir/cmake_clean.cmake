@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_1_opp_improvement.dir/fig5_1_opp_improvement.cc.o"
+  "CMakeFiles/fig5_1_opp_improvement.dir/fig5_1_opp_improvement.cc.o.d"
+  "fig5_1_opp_improvement"
+  "fig5_1_opp_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_1_opp_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_2_link_asymmetry.dir/fig5_2_link_asymmetry.cc.o"
+  "CMakeFiles/fig5_2_link_asymmetry.dir/fig5_2_link_asymmetry.cc.o.d"
+  "fig5_2_link_asymmetry"
+  "fig5_2_link_asymmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_2_link_asymmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_3_path_lengths.dir/fig5_3_path_lengths.cc.o"
+  "CMakeFiles/fig5_3_path_lengths.dir/fig5_3_path_lengths.cc.o.d"
+  "fig5_3_path_lengths"
+  "fig5_3_path_lengths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_3_path_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_3_path_lengths.
+# This may be replaced when dependencies are built.

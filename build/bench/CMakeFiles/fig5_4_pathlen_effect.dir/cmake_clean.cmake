@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_4_pathlen_effect.dir/fig5_4_pathlen_effect.cc.o"
+  "CMakeFiles/fig5_4_pathlen_effect.dir/fig5_4_pathlen_effect.cc.o.d"
+  "fig5_4_pathlen_effect"
+  "fig5_4_pathlen_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_4_pathlen_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_4_pathlen_effect.
+# This may be replaced when dependencies are built.

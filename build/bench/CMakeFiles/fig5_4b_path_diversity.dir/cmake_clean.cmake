@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_4b_path_diversity.dir/fig5_4b_path_diversity.cc.o"
+  "CMakeFiles/fig5_4b_path_diversity.dir/fig5_4b_path_diversity.cc.o.d"
+  "fig5_4b_path_diversity"
+  "fig5_4b_path_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_4b_path_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_4b_path_diversity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_5_network_size.dir/fig5_5_network_size.cc.o"
+  "CMakeFiles/fig5_5_network_size.dir/fig5_5_network_size.cc.o.d"
+  "fig5_5_network_size"
+  "fig5_5_network_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_5_network_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

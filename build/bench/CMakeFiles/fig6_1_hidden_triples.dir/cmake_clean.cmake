@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_1_hidden_triples.dir/fig6_1_hidden_triples.cc.o"
+  "CMakeFiles/fig6_1_hidden_triples.dir/fig6_1_hidden_triples.cc.o.d"
+  "fig6_1_hidden_triples"
+  "fig6_1_hidden_triples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_1_hidden_triples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_1_hidden_triples.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_1_hidden_triples.
+# This may be replaced when dependencies are built.

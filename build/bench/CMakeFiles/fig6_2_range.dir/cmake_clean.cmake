@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_2_range.dir/fig6_2_range.cc.o"
+  "CMakeFiles/fig6_2_range.dir/fig6_2_range.cc.o.d"
+  "fig6_2_range"
+  "fig6_2_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_2_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

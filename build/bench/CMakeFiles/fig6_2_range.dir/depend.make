@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_2_range.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_3_environment.dir/fig6_3_environment.cc.o"
+  "CMakeFiles/fig6_3_environment.dir/fig6_3_environment.cc.o.d"
+  "fig6_3_environment"
+  "fig6_3_environment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_3_environment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

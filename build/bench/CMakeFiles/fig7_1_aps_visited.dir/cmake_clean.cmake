@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_1_aps_visited.dir/fig7_1_aps_visited.cc.o"
+  "CMakeFiles/fig7_1_aps_visited.dir/fig7_1_aps_visited.cc.o.d"
+  "fig7_1_aps_visited"
+  "fig7_1_aps_visited.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_1_aps_visited.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_2_connection_length.dir/fig7_2_connection_length.cc.o"
+  "CMakeFiles/fig7_2_connection_length.dir/fig7_2_connection_length.cc.o.d"
+  "fig7_2_connection_length"
+  "fig7_2_connection_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_2_connection_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_3_prevalence.dir/fig7_3_prevalence.cc.o"
+  "CMakeFiles/fig7_3_prevalence.dir/fig7_3_prevalence.cc.o.d"
+  "fig7_3_prevalence"
+  "fig7_3_prevalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_3_prevalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

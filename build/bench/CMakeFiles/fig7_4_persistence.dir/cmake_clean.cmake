@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_4_persistence.dir/fig7_4_persistence.cc.o"
+  "CMakeFiles/fig7_4_persistence.dir/fig7_4_persistence.cc.o.d"
+  "fig7_4_persistence"
+  "fig7_4_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_4_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_5_prev_vs_pers.dir/fig7_5_prev_vs_pers.cc.o"
+  "CMakeFiles/fig7_5_prev_vs_pers.dir/fig7_5_prev_vs_pers.cc.o.d"
+  "fig7_5_prev_vs_pers"
+  "fig7_5_prev_vs_pers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_5_prev_vs_pers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

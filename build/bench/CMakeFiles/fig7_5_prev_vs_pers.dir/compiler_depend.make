@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_5_prev_vs_pers.
+# This may be replaced when dependencies are built.

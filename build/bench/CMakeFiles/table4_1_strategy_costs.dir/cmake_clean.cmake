@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_1_strategy_costs.dir/table4_1_strategy_costs.cc.o"
+  "CMakeFiles/table4_1_strategy_costs.dir/table4_1_strategy_costs.cc.o.d"
+  "table4_1_strategy_costs"
+  "table4_1_strategy_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_1_strategy_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

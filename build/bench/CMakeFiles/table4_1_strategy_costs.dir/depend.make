@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_1_strategy_costs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmesh_bench_common.dir/common.cc.o"
+  "CMakeFiles/wmesh_bench_common.dir/common.cc.o.d"
+  "libwmesh_bench_common.a"
+  "libwmesh_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmesh_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_report.dir/fleet_report.cpp.o"
+  "CMakeFiles/fleet_report.dir/fleet_report.cpp.o.d"
+  "fleet_report"
+  "fleet_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_report.dir/mobility_report.cpp.o"
+  "CMakeFiles/mobility_report.dir/mobility_report.cpp.o.d"
+  "mobility_report"
+  "mobility_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rate_adaptation_demo.dir/rate_adaptation_demo.cpp.o"
+  "CMakeFiles/rate_adaptation_demo.dir/rate_adaptation_demo.cpp.o.d"
+  "rate_adaptation_demo"
+  "rate_adaptation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_adaptation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_survey.dir/site_survey.cpp.o"
+  "CMakeFiles/site_survey.dir/site_survey.cpp.o.d"
+  "site_survey"
+  "site_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

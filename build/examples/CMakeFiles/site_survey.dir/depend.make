@@ -1,0 +1,2 @@
+# Empty dependencies file for site_survey.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clients/mobility_sim.cc" "src/CMakeFiles/wmesh.dir/clients/mobility_sim.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/clients/mobility_sim.cc.o.d"
+  "/root/repo/src/clients/waypoint_sim.cc" "src/CMakeFiles/wmesh.dir/clients/waypoint_sim.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/clients/waypoint_sim.cc.o.d"
+  "/root/repo/src/core/dataset_ops.cc" "src/CMakeFiles/wmesh.dir/core/dataset_ops.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/core/dataset_ops.cc.o.d"
+  "/root/repo/src/core/diversity.cc" "src/CMakeFiles/wmesh.dir/core/diversity.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/core/diversity.cc.o.d"
+  "/root/repo/src/core/etx.cc" "src/CMakeFiles/wmesh.dir/core/etx.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/core/etx.cc.o.d"
+  "/root/repo/src/core/exor.cc" "src/CMakeFiles/wmesh.dir/core/exor.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/core/exor.cc.o.d"
+  "/root/repo/src/core/exor_sim.cc" "src/CMakeFiles/wmesh.dir/core/exor_sim.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/core/exor_sim.cc.o.d"
+  "/root/repo/src/core/hidden.cc" "src/CMakeFiles/wmesh.dir/core/hidden.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/core/hidden.cc.o.d"
+  "/root/repo/src/core/lookup_table.cc" "src/CMakeFiles/wmesh.dir/core/lookup_table.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/core/lookup_table.cc.o.d"
+  "/root/repo/src/core/mobility.cc" "src/CMakeFiles/wmesh.dir/core/mobility.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/core/mobility.cc.o.d"
+  "/root/repo/src/core/rate_selection.cc" "src/CMakeFiles/wmesh.dir/core/rate_selection.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/core/rate_selection.cc.o.d"
+  "/root/repo/src/core/snr_stats.cc" "src/CMakeFiles/wmesh.dir/core/snr_stats.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/core/snr_stats.cc.o.d"
+  "/root/repo/src/core/strategies.cc" "src/CMakeFiles/wmesh.dir/core/strategies.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/core/strategies.cc.o.d"
+  "/root/repo/src/core/traffic.cc" "src/CMakeFiles/wmesh.dir/core/traffic.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/core/traffic.cc.o.d"
+  "/root/repo/src/mac/csma.cc" "src/CMakeFiles/wmesh.dir/mac/csma.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/mac/csma.cc.o.d"
+  "/root/repo/src/mesh/topology.cc" "src/CMakeFiles/wmesh.dir/mesh/topology.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/mesh/topology.cc.o.d"
+  "/root/repo/src/phy/error_model.cc" "src/CMakeFiles/wmesh.dir/phy/error_model.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/phy/error_model.cc.o.d"
+  "/root/repo/src/phy/rates.cc" "src/CMakeFiles/wmesh.dir/phy/rates.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/phy/rates.cc.o.d"
+  "/root/repo/src/rateadapt/arena.cc" "src/CMakeFiles/wmesh.dir/rateadapt/arena.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/rateadapt/arena.cc.o.d"
+  "/root/repo/src/rateadapt/protocol.cc" "src/CMakeFiles/wmesh.dir/rateadapt/protocol.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/rateadapt/protocol.cc.o.d"
+  "/root/repo/src/routing/dsdv.cc" "src/CMakeFiles/wmesh.dir/routing/dsdv.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/routing/dsdv.cc.o.d"
+  "/root/repo/src/sim/channel.cc" "src/CMakeFiles/wmesh.dir/sim/channel.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/sim/channel.cc.o.d"
+  "/root/repo/src/sim/generator.cc" "src/CMakeFiles/wmesh.dir/sim/generator.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/sim/generator.cc.o.d"
+  "/root/repo/src/sim/probe_sim.cc" "src/CMakeFiles/wmesh.dir/sim/probe_sim.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/sim/probe_sim.cc.o.d"
+  "/root/repo/src/trace/io.cc" "src/CMakeFiles/wmesh.dir/trace/io.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/trace/io.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/wmesh.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/wmesh.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/text_table.cc" "src/CMakeFiles/wmesh.dir/util/text_table.cc.o" "gcc" "src/CMakeFiles/wmesh.dir/util/text_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

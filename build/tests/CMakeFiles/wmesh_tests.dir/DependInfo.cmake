@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_channel.cc" "tests/CMakeFiles/wmesh_tests.dir/test_channel.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_channel.cc.o.d"
+  "/root/repo/tests/test_csv.cc" "tests/CMakeFiles/wmesh_tests.dir/test_csv.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_csv.cc.o.d"
+  "/root/repo/tests/test_diversity.cc" "tests/CMakeFiles/wmesh_tests.dir/test_diversity.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_diversity.cc.o.d"
+  "/root/repo/tests/test_dsdv.cc" "tests/CMakeFiles/wmesh_tests.dir/test_dsdv.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_dsdv.cc.o.d"
+  "/root/repo/tests/test_error_model.cc" "tests/CMakeFiles/wmesh_tests.dir/test_error_model.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_error_model.cc.o.d"
+  "/root/repo/tests/test_etx.cc" "tests/CMakeFiles/wmesh_tests.dir/test_etx.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_etx.cc.o.d"
+  "/root/repo/tests/test_exor.cc" "tests/CMakeFiles/wmesh_tests.dir/test_exor.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_exor.cc.o.d"
+  "/root/repo/tests/test_exor_sim.cc" "tests/CMakeFiles/wmesh_tests.dir/test_exor_sim.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_exor_sim.cc.o.d"
+  "/root/repo/tests/test_generator.cc" "tests/CMakeFiles/wmesh_tests.dir/test_generator.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_generator.cc.o.d"
+  "/root/repo/tests/test_hidden.cc" "tests/CMakeFiles/wmesh_tests.dir/test_hidden.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_hidden.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/wmesh_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_io_robustness.cc" "tests/CMakeFiles/wmesh_tests.dir/test_io_robustness.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_io_robustness.cc.o.d"
+  "/root/repo/tests/test_lookup_table.cc" "tests/CMakeFiles/wmesh_tests.dir/test_lookup_table.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_lookup_table.cc.o.d"
+  "/root/repo/tests/test_mac.cc" "tests/CMakeFiles/wmesh_tests.dir/test_mac.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_mac.cc.o.d"
+  "/root/repo/tests/test_mobility.cc" "tests/CMakeFiles/wmesh_tests.dir/test_mobility.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_mobility.cc.o.d"
+  "/root/repo/tests/test_mobility_sim.cc" "tests/CMakeFiles/wmesh_tests.dir/test_mobility_sim.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_mobility_sim.cc.o.d"
+  "/root/repo/tests/test_permutation_properties.cc" "tests/CMakeFiles/wmesh_tests.dir/test_permutation_properties.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_permutation_properties.cc.o.d"
+  "/root/repo/tests/test_probe_sim.cc" "tests/CMakeFiles/wmesh_tests.dir/test_probe_sim.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_probe_sim.cc.o.d"
+  "/root/repo/tests/test_rate_selection.cc" "tests/CMakeFiles/wmesh_tests.dir/test_rate_selection.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_rate_selection.cc.o.d"
+  "/root/repo/tests/test_rateadapt.cc" "tests/CMakeFiles/wmesh_tests.dir/test_rateadapt.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_rateadapt.cc.o.d"
+  "/root/repo/tests/test_rates.cc" "tests/CMakeFiles/wmesh_tests.dir/test_rates.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_rates.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/wmesh_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_snr_stats.cc" "tests/CMakeFiles/wmesh_tests.dir/test_snr_stats.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_snr_stats.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/wmesh_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_strategies.cc" "tests/CMakeFiles/wmesh_tests.dir/test_strategies.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_strategies.cc.o.d"
+  "/root/repo/tests/test_text_table.cc" "tests/CMakeFiles/wmesh_tests.dir/test_text_table.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_text_table.cc.o.d"
+  "/root/repo/tests/test_topology.cc" "tests/CMakeFiles/wmesh_tests.dir/test_topology.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_topology.cc.o.d"
+  "/root/repo/tests/test_trace_io.cc" "tests/CMakeFiles/wmesh_tests.dir/test_trace_io.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_trace_io.cc.o.d"
+  "/root/repo/tests/test_traffic.cc" "tests/CMakeFiles/wmesh_tests.dir/test_traffic.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_traffic.cc.o.d"
+  "/root/repo/tests/test_waypoint_sim.cc" "tests/CMakeFiles/wmesh_tests.dir/test_waypoint_sim.cc.o" "gcc" "tests/CMakeFiles/wmesh_tests.dir/test_waypoint_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wmesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmesh_analyze.dir/wmesh_analyze.cc.o"
+  "CMakeFiles/wmesh_analyze.dir/wmesh_analyze.cc.o.d"
+  "wmesh_analyze"
+  "wmesh_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmesh_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmesh_gen.dir/wmesh_gen.cc.o"
+  "CMakeFiles/wmesh_gen.dir/wmesh_gen.cc.o.d"
+  "wmesh_gen"
+  "wmesh_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmesh_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmesh_inspect.dir/wmesh_inspect.cc.o"
+  "CMakeFiles/wmesh_inspect.dir/wmesh_inspect.cc.o.d"
+  "wmesh_inspect"
+  "wmesh_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmesh_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
