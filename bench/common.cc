@@ -5,24 +5,28 @@
 #include <filesystem>
 #include <mutex>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "trace/io.h"
+#include "util/env.h"
 
 namespace wmesh::bench {
 namespace {
 
 GeneratorConfig bench_config(bool clients_only) {
   GeneratorConfig c = default_config();
-  if (const char* seed = std::getenv("WMESH_BENCH_SEED")) {
-    c.seed = std::strtoull(seed, nullptr, 10);
-  }
-  if (const char* hours = std::getenv("WMESH_BENCH_HOURS")) {
-    c.probes.duration_s = std::strtod(hours, nullptr) * 3600.0;
-  }
+  // Strict env parsing: garbage values are rejected loudly (util/env.h)
+  // instead of silently becoming 0.
+  c.seed = env::u64_or("WMESH_BENCH_SEED", c.seed);
+  c.probes.duration_s =
+      env::double_or("WMESH_BENCH_HOURS", c.probes.duration_s / 3600.0) *
+      3600.0;
   if (clients_only) c.probes.duration_s = 0.0;
   return c;
 }
 
 Dataset make_snapshot(bool clients_only) {
+  WMESH_SPAN("bench.snapshot");
   if (const char* prefix = std::getenv("WMESH_SNAPSHOT")) {
     Dataset ds;
     if (load_dataset(prefix, &ds)) {
@@ -101,11 +105,38 @@ void emit_cdfs(const std::string& figure, const std::vector<NamedCdf>& cdfs,
   std::printf("(csv: %s/%s.csv)\n", out_dir().c_str(), figure.c_str());
 }
 
+namespace {
+
+// Per-stage attribution alongside the Google-Benchmark numbers: the span
+// histograms and stage counters accumulated while computing the figure.
+void report_observability(const char* argv0) {
+  const auto snap = obs::Registry::instance().snapshot();
+  if (snap.empty()) return;  // built with WMESH_OBS_DISABLED
+  section("observability");
+  std::fputs(snap.render_table().c_str(), stdout);
+
+  const std::string name = std::filesystem::path(argv0).filename().string();
+  try {
+    CsvWriter csv(out_dir() + "/" + name + ".metrics.csv");
+    csv.comment("wmesh metrics snapshot: " + name);
+    csv.raw_line(snap.to_csv());
+    std::printf("(metrics csv: %s/%s.metrics.csv)\n", out_dir().c_str(),
+                name.c_str());
+  } catch (...) {
+    // bench_out may be unwritable; the stdout table already has the data.
+  }
+}
+
+}  // namespace
+
 int run_benchmarks(int argc, char** argv) {
+  const char* argv0 = argc > 0 ? argv[0] : "bench";
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  report_observability(argv0);
+  obs::flush_trace();
   return 0;
 }
 

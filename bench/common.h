@@ -10,10 +10,17 @@
 //   4. write the series to bench_out/<figure>.csv for plotting;
 //   5. run google-benchmark timings of the underlying analysis kernels.
 //
-// Environment knobs:
+// Environment knobs (parsed strictly via util/env.h; garbage is rejected
+// with an error log, not silently coerced):
 //   WMESH_SNAPSHOT      load this CSV prefix instead of generating
 //   WMESH_BENCH_SEED    generation seed        (default: library default)
 //   WMESH_BENCH_HOURS   probe-trace length     (default: 4 h)
+//
+// Each binary also prints the observability registry snapshot (stage
+// counters + span timing histograms, see obs/metrics.h) after the
+// google-benchmark run and writes it to bench_out/<name>.metrics.csv, so
+// the perf numbers come with per-stage attribution.  WMESH_LOG_LEVEL /
+// WMESH_LOG_FILE / WMESH_TRACE_OUT work here like in the tools.
 #pragma once
 
 #include <benchmark/benchmark.h>

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace wmesh {
 
 MobilityParams indoor_mobility_params() { return MobilityParams{}; }
@@ -144,6 +148,7 @@ AssocSeq simulate_one_client(ClientArchetype kind, const MeshNetwork& net,
 std::vector<ClientSample> simulate_clients(const MeshNetwork& net,
                                            const MobilityParams& params,
                                            Rng& rng) {
+  WMESH_SPAN("clients.simulate");
   const auto buckets = static_cast<std::size_t>(
       std::max(1.0, std::round(params.duration_s / params.bucket_s)));
   const auto n_clients = static_cast<std::size_t>(std::max(
@@ -151,6 +156,7 @@ std::vector<ClientSample> simulate_clients(const MeshNetwork& net,
   const auto neigh = nearest_neighbours(net, params.neighbours);
 
   std::vector<ClientSample> samples;
+  std::uint64_t assoc_events = 0;
   for (std::size_t c = 0; c < n_clients; ++c) {
     Rng crng = rng.fork();
     const auto kind = draw_archetype(params, crng);
@@ -167,12 +173,18 @@ std::vector<ClientSample> simulate_clients(const MeshNetwork& net,
       s.ap = static_cast<ApId>(seq[b]);
       s.bucket = static_cast<std::uint32_t>(b);
       s.assoc_requests = (seq[b] != prev_ap) ? 1 : 0;
+      assoc_events += s.assoc_requests;
       s.data_packets = static_cast<std::uint32_t>(
           crng.exponential(1.0 / params.packets_per_bucket));
       samples.push_back(s);
       prev_ap = seq[b];
     }
   }
+  WMESH_COUNTER_ADD("clients.samples", samples.size());
+  WMESH_COUNTER_ADD("clients.assoc_events", assoc_events);
+  WMESH_LOG_DEBUG("clients", kv("clients", n_clients), kv("buckets", buckets),
+                  kv("samples", samples.size()),
+                  kv("assoc_events", assoc_events));
   return samples;
 }
 

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace wmesh {
 namespace {
 
@@ -95,6 +98,7 @@ class Walker {
 std::vector<ClientSample> simulate_waypoint_clients(
     const MeshNetwork& net, const ChannelParams& channel,
     const WaypointParams& params, Rng& rng) {
+  WMESH_SPAN("clients.waypoint_simulate");
   const auto buckets = static_cast<std::size_t>(
       std::max(1.0, std::round(params.duration_s / params.bucket_s)));
   const auto n_clients = static_cast<std::size_t>(std::max(
@@ -175,6 +179,7 @@ std::vector<ClientSample> simulate_waypoint_clients(
       prev_emitted = current;
     }
   }
+  WMESH_COUNTER_ADD("clients.waypoint_samples", samples.size());
   return samples;
 }
 

@@ -2,6 +2,9 @@
 
 #include <queue>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace wmesh {
 
 const char* to_string(EtxVariant v) {
@@ -28,16 +31,20 @@ EtxGraph::EtxGraph(const SuccessMatrix& success, EtxVariant variant,
           min_delivery);
     }
   }
+  WMESH_COUNTER_INC("etx.graphs_built");
 }
 
 std::vector<double> EtxGraph::dijkstra(ApId origin, bool reversed,
                                        std::vector<int>* parent) const {
+  WMESH_SPAN("etx.dijkstra");
   std::vector<double> dist(n_, kInfCost);
   if (parent != nullptr) parent->assign(n_, -1);
   using Item = std::pair<double, std::size_t>;
   std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
   dist[origin] = 0.0;
   pq.emplace(0.0, origin);
+  // Relaxations accumulate locally; one shared-counter update per run.
+  std::uint64_t relaxations = 0;
   while (!pq.empty()) {
     const auto [d, u] = pq.top();
     pq.pop();
@@ -51,9 +58,12 @@ std::vector<double> EtxGraph::dijkstra(ApId origin, bool reversed,
         dist[v] = nd;
         if (parent != nullptr) (*parent)[v] = static_cast<int>(u);
         pq.emplace(nd, v);
+        ++relaxations;
       }
     }
   }
+  WMESH_COUNTER_INC("etx.dijkstra_runs");
+  WMESH_COUNTER_ADD("etx.relaxations", relaxations);
   return dist;
 }
 

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace wmesh {
 
 std::vector<double> exor_costs_to(const SuccessMatrix& success,
                                   const std::vector<double>& etx_to_dst) {
+  WMESH_SPAN("exor.costs");
   const std::size_t n = success.ap_count();
   std::vector<double> exor(n, kInfCost);
 
@@ -25,13 +29,19 @@ std::vector<double> exor_costs_to(const SuccessMatrix& success,
   };
   std::vector<Candidate> cands;
 
+  // The cost recursion visits each node once; candidate scans dominate.
+  std::uint64_t iterations = 0;
+  std::uint64_t candidate_evals = 0;
+
   for (const std::size_t s : order) {
+    ++iterations;
     if (etx_to_dst[s] == kInfCost) break;  // rest are unreachable too
     if (etx_to_dst[s] == 0.0) {
       exor[s] = 0.0;  // the destination
       continue;
     }
     cands.clear();
+    candidate_evals += n - 1;
     for (std::size_t v = 0; v < n; ++v) {
       if (v == s) continue;
       if (etx_to_dst[v] >= etx_to_dst[s]) continue;
@@ -59,12 +69,15 @@ std::vector<double> exor_costs_to(const SuccessMatrix& success,
       exor[s] = (1.0 + weighted) / (1.0 - none);
     }
   }
+  WMESH_COUNTER_ADD("exor.cost_iterations", iterations);
+  WMESH_COUNTER_ADD("exor.candidate_evals", candidate_evals);
   return exor;
 }
 
 std::vector<PairGain> opportunistic_gains(const SuccessMatrix& success,
                                           EtxVariant variant,
                                           double min_delivery) {
+  WMESH_SPAN("exor.gains");
   const std::size_t n = success.ap_count();
   EtxGraph graph(success, variant, min_delivery);
   std::vector<PairGain> out;
@@ -97,6 +110,7 @@ std::vector<PairGain> opportunistic_gains(const SuccessMatrix& success,
   for (PairGain& g : out) {
     g.hops = EtxGraph::hops(parents[g.src], g.src, g.dst);
   }
+  WMESH_COUNTER_ADD("exor.pairs", out.size());
   return out;
 }
 
@@ -117,6 +131,7 @@ std::vector<double> link_asymmetries(const SuccessMatrix& success) {
 
 std::vector<int> path_lengths(const SuccessMatrix& success,
                               double min_delivery) {
+  WMESH_SPAN("etx.path_lengths");
   const std::size_t n = success.ap_count();
   EtxGraph graph(success, EtxVariant::kEtx1, min_delivery);
   std::vector<int> out;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace wmesh {
 namespace {
 
@@ -62,6 +64,9 @@ PacketSimResult simulate_etx_path(const SuccessMatrix& success,
     }
   }
   finalize(out, tx_sum);
+  WMESH_COUNTER_ADD("exor_sim.etx_packets", out.packets);
+  WMESH_COUNTER_ADD("exor_sim.etx_delivered", out.delivered);
+  WMESH_COUNTER_ADD("exor_sim.transmissions", tx_sum);
   return out;
 }
 
@@ -116,6 +121,9 @@ PacketSimResult simulate_exor(const SuccessMatrix& success,
     }
   }
   finalize(out, tx_sum);
+  WMESH_COUNTER_ADD("exor_sim.exor_packets", out.packets);
+  WMESH_COUNTER_ADD("exor_sim.exor_delivered", out.delivered);
+  WMESH_COUNTER_ADD("exor_sim.transmissions", tx_sum);
   return out;
 }
 

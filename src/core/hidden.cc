@@ -1,5 +1,8 @@
 #include "core/hidden.h"
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace wmesh {
 
 HearingGraph::HearingGraph(const SuccessMatrix& success, double threshold)
@@ -13,6 +16,7 @@ HearingGraph::HearingGraph(const SuccessMatrix& success, double threshold)
       hear_[b * n_ + a] = heard ? 1 : 0;
     }
   }
+  WMESH_COUNTER_INC("hidden.graphs_built");
 }
 
 std::size_t HearingGraph::range_pairs() const noexcept {
@@ -26,6 +30,7 @@ std::size_t HearingGraph::range_pairs() const noexcept {
 }
 
 TripleCounts count_triples(const HearingGraph& graph) {
+  WMESH_SPAN("hidden.count_triples");
   const std::size_t n = graph.ap_count();
   TripleCounts out;
   std::vector<ApId> hearers;
@@ -44,6 +49,8 @@ TripleCounts count_triples(const HearingGraph& graph) {
       }
     }
   }
+  WMESH_COUNTER_ADD("hidden.triples_relevant", out.relevant);
+  WMESH_COUNTER_ADD("hidden.triples_hidden", out.hidden);
   return out;
 }
 

@@ -5,6 +5,9 @@
 
 #include "core/dataset_ops.h"
 #include "core/rate_selection.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace wmesh {
 
@@ -23,6 +26,7 @@ const char* to_string(TableScope scope) {
 }
 
 void SnrLookupTable::observe(std::uint64_t key, int snr, RateIndex rate) {
+  WMESH_COUNTER_INC("lookup.observations");
   Counts& c = cells_[{key, snr}];
   if (c.empty()) c.assign(n_rates_, 0);
   if (rate < n_rates_) ++c[rate];
@@ -30,7 +34,11 @@ void SnrLookupTable::observe(std::uint64_t key, int snr, RateIndex rate) {
 
 int SnrLookupTable::choose(std::uint64_t key, int snr) const {
   const auto it = cells_.find({key, snr});
-  if (it == cells_.end()) return -1;
+  if (it == cells_.end()) {
+    WMESH_COUNTER_INC("lookup.misses");
+    return -1;
+  }
+  WMESH_COUNTER_INC("lookup.hits");
   const Counts& c = it->second;
   // Highest count wins; ties break toward the lower (more robust) rate.
   std::size_t best = 0;
@@ -99,6 +107,8 @@ std::uint64_t SnrLookupTable::scope_key(TableScope scope,
 
 SnrLookupTable build_lookup_table(const Dataset& ds, Standard standard,
                                   TableScope scope) {
+  WMESH_SPAN("lookup.build");
+  WMESH_COUNTER_INC("lookup.builds");
   SnrLookupTable table(standard, scope);
   for_each_probe_set(
       ds, standard, [&](const NetworkTrace& nt, const ProbeSet& set) {
@@ -137,6 +147,7 @@ RatesNeededCurve rates_needed_curve(const SnrLookupTable& table,
 
 TableErrorResult lookup_table_errors(const Dataset& ds, Standard standard,
                                      TableScope scope) {
+  WMESH_SPAN("lookup.errors");
   const SnrLookupTable table = build_lookup_table(ds, standard, scope);
   TableErrorResult out;
   std::size_t exact = 0;
@@ -159,6 +170,9 @@ TableErrorResult lookup_table_errors(const Dataset& ds, Standard standard,
     out.exact_fraction = static_cast<double>(exact) /
                          static_cast<double>(out.throughput_diff_mbps.size());
   }
+  WMESH_LOG_DEBUG("lookup", kv("scope", to_string(scope)),
+                  kv("predictions", out.throughput_diff_mbps.size()),
+                  kv("exact_fraction", out.exact_fraction));
   return out;
 }
 

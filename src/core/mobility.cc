@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/stats.h"
 
 namespace wmesh {
@@ -27,8 +29,11 @@ std::vector<ClientSession> reconstruct_sessions(
 
 MobilityStats analyze_mobility(const NetworkTrace& trace,
                                double bucket_minutes) {
+  WMESH_SPAN("mobility.analyze");
   MobilityStats out;
   const auto sessions = reconstruct_sessions(trace.client_samples);
+  WMESH_COUNTER_ADD("mobility.sessions", sessions.size());
+  WMESH_COUNTER_ADD("mobility.samples", trace.client_samples.size());
 
   // Prevalence is a fraction of the observation window (the 11-hour trace),
   // so short visits yield small values even for single-AP clients -- this is

@@ -6,6 +6,9 @@
 
 #include "core/dataset_ops.h"
 #include "core/rate_selection.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace wmesh {
 
@@ -67,6 +70,7 @@ struct LinkTable {
 
 StrategyResult run_strategy(const Dataset& ds, Standard standard,
                             const StrategyParams& params) {
+  WMESH_SPAN("strategy.run");
   const std::size_t n_rates = rate_count(standard);
   StrategyResult out;
   out.accuracy.assign(params.max_rounds + 1, 0.0);
@@ -142,6 +146,14 @@ StrategyResult run_strategy(const Dataset& ds, Standard standard,
     out.overall_accuracy = static_cast<double>(total_correct) /
                            static_cast<double>(total_predictions);
   }
+  WMESH_COUNTER_ADD("strategy.predictions", total_predictions);
+  WMESH_COUNTER_ADD("strategy.correct", total_correct);
+  WMESH_COUNTER_ADD("strategy.updates", out.updates);
+  WMESH_COUNTER_ADD("strategy.memory_points", out.memory_points);
+  WMESH_LOG_DEBUG("strategy", kv("kind", to_string(params.strategy)),
+                  kv("predictions", total_predictions),
+                  kv("accuracy", out.overall_accuracy),
+                  kv("updates", out.updates));
   return out;
 }
 

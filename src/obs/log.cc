@@ -1,0 +1,174 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "util/text_table.h"
+
+namespace wmesh::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point process_start() {
+  static const Clock::time_point t0 = Clock::now();
+  return t0;
+}
+
+struct LogState {
+  std::mutex mu;
+  std::FILE* sink = stderr;
+  bool owns_sink = false;
+
+  LogState() { reopen_from_env_unlocked(); }
+
+  void reopen_from_env_unlocked() {
+    if (owns_sink && sink != nullptr) std::fclose(sink);
+    sink = stderr;
+    owns_sink = false;
+    if (const char* path = std::getenv("WMESH_LOG_FILE")) {
+      if (std::FILE* f = std::fopen(path, "a")) {
+        sink = f;
+        owns_sink = true;
+      } else {
+        std::fprintf(stderr,
+                     "wmesh: cannot open WMESH_LOG_FILE='%s'; using stderr\n",
+                     path);
+      }
+    }
+  }
+};
+
+LogState& state() {
+  static LogState* s = new LogState();  // leaked: usable during atexit
+  return *s;
+}
+
+std::atomic<int> g_level{-1};  // -1: not yet initialized from env
+
+int init_level_from_env() {
+  int level = static_cast<int>(LogLevel::kWarn);
+  if (const char* raw = std::getenv("WMESH_LOG_LEVEL")) {
+    if (const auto parsed = parse_log_level(raw)) {
+      level = static_cast<int>(*parsed);
+    } else {
+      std::fprintf(stderr,
+                   "wmesh: WMESH_LOG_LEVEL='%s' is not one of "
+                   "trace|debug|info|warn|error|off; using warn\n",
+                   raw);
+    }
+  }
+  return level;
+}
+
+// A value needs quoting when it contains whitespace, '=' or '"'.
+bool needs_quoting(const std::string& v) {
+  for (char c : v) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '=' || c == '"') {
+      return true;
+    }
+  }
+  return v.empty();
+}
+
+void append_value(std::string& line, const std::string& v) {
+  if (!needs_quoting(v)) {
+    line += v;
+    return;
+  }
+  line += '"';
+  for (char c : v) {
+    if (c == '"' || c == '\\') line += '\\';
+    if (c == '\n') {
+      line += "\\n";
+      continue;
+    }
+    line += c;
+  }
+  line += '"';
+}
+
+}  // namespace
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "trace";
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view s) noexcept {
+  if (s == "trace") return LogLevel::kTrace;
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  if (s == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+LogField kv(std::string_view key, double value) {
+  return {std::string(key), fmt(value, 3)};
+}
+
+LogLevel log_level() noexcept {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level < 0) {
+    level = init_level_from_env();
+    g_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(level);
+}
+
+bool log_enabled(LogLevel level) noexcept { return level >= log_level(); }
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log(LogLevel level, std::string_view component,
+         std::initializer_list<LogField> fields) {
+  const double ts_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - process_start())
+          .count();
+  std::string line = "ts_ms=" + fmt(ts_ms, 3);
+  line += " level=";
+  line += to_string(level);
+  line += " comp=";
+  line += component;
+  for (const LogField& f : fields) {
+    line += ' ';
+    line += f.key;
+    line += '=';
+    append_value(line, f.value);
+  }
+  line += '\n';
+
+  LogState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::fputs(line.c_str(), s.sink);
+  std::fflush(s.sink);
+}
+
+void reinit_logging_from_env() {
+  g_level.store(init_level_from_env(), std::memory_order_relaxed);
+  LogState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.reopen_from_env_unlocked();
+}
+
+}  // namespace wmesh::obs

@@ -1,0 +1,195 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/text_table.h"
+
+namespace wmesh::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+void Histogram::record(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const double target = q * static_cast<double>(n);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t c = bucket(i);
+    if (c == 0) continue;
+    cum += c;
+    if (static_cast<double>(cum) + 1e-9 >= target) {
+      // Report the bucket's upper bound; the overflow bucket has none, so
+      // fall back to the last finite bound.
+      return i < bounds_.size() ? bounds_[i] : bounds_.back();
+    }
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> span_time_bounds_us() {
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 17e6; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+Registry& Registry::instance() {
+  static Registry* r = new Registry();  // leaked: outlives atexit users
+  return *r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.try_emplace(std::string(name), std::move(bounds)).first;
+  }
+  return it->second;
+}
+
+Histogram& Registry::span_histogram(std::string_view name) {
+  return histogram("span." + std::string(name), span_time_bounds_us());
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot s;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    s.counters.push_back({name, c.value()});
+  }
+  for (const auto& [name, g] : gauges_) {
+    s.gauges.push_back({name, g.value()});
+  }
+  for (const auto& [name, h] : histograms_) {
+    s.histograms.push_back({name, h.count(), h.sum(), h.quantile(0.50),
+                            h.quantile(0.90), h.quantile(0.99)});
+  }
+  return s;  // std::map iteration is already name-sorted
+}
+
+void Registry::reset_for_test() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+std::string Snapshot::render_table() const {
+  std::string out;
+  if (!counters.empty() || !gauges.empty()) {
+    TextTable t;
+    t.header({"metric", "value"});
+    for (const auto& c : counters) {
+      t.add_row({c.name, std::to_string(c.value)});
+    }
+    for (const auto& g : gauges) t.add_row({g.name, fmt(g.value, 3)});
+    out += t.render();
+  }
+  if (!histograms.empty()) {
+    TextTable t;
+    t.header({"histogram", "count", "sum", "p50", "p90", "p99"});
+    for (const auto& h : histograms) {
+      t.add_row({h.name, std::to_string(h.count), fmt(h.sum, 1),
+                 fmt(h.p50, 1), fmt(h.p90, 1), fmt(h.p99, 1)});
+    }
+    if (!out.empty()) out += '\n';
+    out += t.render();
+  }
+  return out;
+}
+
+std::string Snapshot::to_csv() const {
+  std::string out = "kind,name,value,count,sum,p50,p90,p99\n";
+  for (const auto& c : counters) {
+    out += "counter," + c.name + ',' + std::to_string(c.value) + ",,,,,\n";
+  }
+  for (const auto& g : gauges) {
+    out += "gauge," + g.name + ',' + fmt(g.value, 6) + ",,,,,\n";
+  }
+  for (const auto& h : histograms) {
+    out += "histogram," + h.name + ",," + std::to_string(h.count) + ',' +
+           fmt(h.sum, 3) + ',' + fmt(h.p50, 3) + ',' + fmt(h.p90, 3) + ',' +
+           fmt(h.p99, 3) + '\n';
+  }
+  return out;
+}
+
+namespace {
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  // Trim trailing zeros for readability.
+  std::string s = fmt(v, 6);
+  const std::size_t dot = s.find('.');
+  if (dot != std::string::npos) {
+    std::size_t last = s.find_last_not_of('0');
+    if (last == dot) --last;
+    s.erase(last + 1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string Snapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out += (i ? ",\n    \"" : "\n    \"") + counters[i].name +
+           "\": " + std::to_string(counters[i].value);
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out += (i ? ",\n    \"" : "\n    \"") + gauges[i].name +
+           "\": " + json_number(gauges[i].value);
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const auto& h = histograms[i];
+    out += (i ? ",\n    \"" : "\n    \"") + h.name + "\": {\"count\": " +
+           std::to_string(h.count) + ", \"sum\": " + json_number(h.sum) +
+           ", \"p50\": " + json_number(h.p50) +
+           ", \"p90\": " + json_number(h.p90) +
+           ", \"p99\": " + json_number(h.p99) + "}";
+  }
+  out += histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace wmesh::obs

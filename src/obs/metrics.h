@@ -1,0 +1,195 @@
+// Process-global metrics registry: counters, gauges and fixed-bucket
+// histograms, registered by name.
+//
+// Every analysis stage (generation, trace I/O, ETX/ExOR, look-up tables,
+// hidden triples, mobility, DSDV) reports counters through the WMESH_*
+// macros below.  The macros cache the registry lookup in a function-local
+// static, so the steady-state cost of an increment is one relaxed atomic
+// add; compiling with -DWMESH_OBS_DISABLED turns every macro into a no-op
+// so the library can be built with zero observability overhead.
+//
+// `Registry::instance().snapshot()` returns a deterministic (name-sorted)
+// view that renders to a util::text_table, to CSV and to JSON -- the same
+// snapshot backs the tools' `--metrics[=path]` flag and the bench report
+// footers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wmesh::obs {
+
+// Monotonic event count.  Thread-safe; increments are relaxed atomics.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram.  `bounds` are ascending inclusive upper bounds;
+// one implicit overflow bucket catches everything above the last bound.
+// Thread-safe: bucket counts, count and sum are relaxed atomics.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void record(double v) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  std::size_t bucket_count() const noexcept { return buckets_.size(); }
+  std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  // Bucket-interpolated quantile (q in [0, 1]); 0 when empty.  Values in
+  // the overflow bucket report the last finite bound.
+  double quantile(double q) const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Default bounds for span wall-time histograms: exponential microsecond
+// buckets from 1 us to ~17 s.
+std::vector<double> span_time_bounds_us();
+
+// Deterministic, name-sorted view of the registry at one instant.
+struct Snapshot {
+  struct CounterRow {
+    std::string name;
+    std::uint64_t value;
+  };
+  struct GaugeRow {
+    std::string name;
+    double value;
+  };
+  struct HistogramRow {
+    std::string name;
+    std::uint64_t count;
+    double sum;
+    double p50;
+    double p90;
+    double p99;
+  };
+
+  std::vector<CounterRow> counters;
+  std::vector<GaugeRow> gauges;
+  std::vector<HistogramRow> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  // Human-readable rendition via util::text_table.
+  std::string render_table() const;
+  // Long-form CSV: kind,name,value,count,sum,p50,p90,p99 (one header row).
+  std::string to_csv() const;
+  // {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  std::string to_json() const;
+};
+
+// The process-global registry.  Metric objects are created on first use and
+// live for the process lifetime; returned references stay valid forever
+// (reset_for_test zeroes values but never removes registrations, so the
+// references cached by the macros below cannot dangle).
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  // `bounds` is used only when the histogram does not exist yet.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+  // Histogram named "span.<name>" with span_time_bounds_us().
+  Histogram& span_histogram(std::string_view name);
+
+  Snapshot snapshot() const;
+  // Zeroes every registered metric (registrations remain).
+  void reset_for_test();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace wmesh::obs
+
+#if defined(WMESH_OBS_DISABLED)
+
+#define WMESH_COUNTER_ADD(name, n) \
+  do {                             \
+    (void)sizeof(n);               \
+  } while (0)
+#define WMESH_COUNTER_INC(name) static_cast<void>(0)
+#define WMESH_GAUGE_SET(name, v) \
+  do {                           \
+    (void)sizeof(v);             \
+  } while (0)
+#define WMESH_HISTOGRAM_RECORD(name, v) \
+  do {                                  \
+    (void)sizeof(v);                    \
+  } while (0)
+
+#else
+
+// `name` must be a string literal (one registry lookup per call site).
+#define WMESH_COUNTER_ADD(name, n)                          \
+  do {                                                      \
+    static ::wmesh::obs::Counter& wmesh_obs_counter_ =      \
+        ::wmesh::obs::Registry::instance().counter(name);   \
+    wmesh_obs_counter_.add(static_cast<std::uint64_t>(n));  \
+  } while (0)
+#define WMESH_COUNTER_INC(name) WMESH_COUNTER_ADD(name, 1)
+#define WMESH_GAUGE_SET(name, v)                        \
+  do {                                                  \
+    static ::wmesh::obs::Gauge& wmesh_obs_gauge_ =      \
+        ::wmesh::obs::Registry::instance().gauge(name); \
+    wmesh_obs_gauge_.set(static_cast<double>(v));       \
+  } while (0)
+// Records into a histogram with span-time bounds under the literal name.
+#define WMESH_HISTOGRAM_RECORD(name, v)                       \
+  do {                                                        \
+    static ::wmesh::obs::Histogram& wmesh_obs_hist_ =         \
+        ::wmesh::obs::Registry::instance().histogram(         \
+            name, ::wmesh::obs::span_time_bounds_us());       \
+    wmesh_obs_hist_.record(static_cast<double>(v));           \
+  } while (0)
+
+#endif  // WMESH_OBS_DISABLED

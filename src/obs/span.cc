@@ -1,0 +1,194 @@
+#include "obs/span.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace wmesh::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point trace_epoch() {
+  static const Clock::time_point t0 = Clock::now();
+  return t0;
+}
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            trace_epoch())
+          .count());
+}
+
+struct TraceEvent {
+  const char* name;
+  std::uint64_t ts_us;
+  std::uint64_t dur_us;
+  std::uint32_t tid;
+};
+
+// Cap the buffer so a long run with tracing enabled cannot grow without
+// bound; dropped events are counted and reported at flush time.
+constexpr std::size_t kMaxTraceEvents = 1u << 20;
+
+// Mirror of TraceState::enabled readable without the mutex: the span
+// destructor checks it on every span, which must stay lock-free.
+std::atomic<bool> g_trace_enabled{false};
+
+struct TraceState {
+  std::mutex mu;
+  std::string path;
+  bool enabled = false;
+  bool flushed = false;
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+
+  TraceState() { reinit_unlocked(); }
+
+  void reinit_unlocked() {
+    enabled = false;
+    flushed = false;
+    events.clear();
+    dropped = 0;
+    if (const char* p = std::getenv("WMESH_TRACE_OUT")) {
+      path = p;
+      enabled = !path.empty();
+    } else {
+      path.clear();
+    }
+    g_trace_enabled.store(enabled, std::memory_order_relaxed);
+  }
+};
+
+TraceState& trace_state() {
+  static TraceState* s = []() {
+    auto* state = new TraceState();  // leaked: written during atexit
+    std::atexit([] { flush_trace(); });
+    return state;
+  }();
+  return *s;
+}
+
+// Force TraceState construction (env read + atexit flush registration) at
+// startup: the span destructor only reads g_trace_enabled and must not pay
+// for the magic-static check.
+[[maybe_unused]] const bool g_trace_init = (trace_state(), true);
+
+std::uint32_t thread_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t tid = next.fetch_add(1);
+  return tid;
+}
+
+// [[maybe_unused]]: the only caller is compiled out under WMESH_OBS_DISABLED.
+[[maybe_unused]] void record_trace_event(const char* name,
+                                         std::uint64_t start_us,
+                                         std::uint64_t dur_us) {
+  TraceState& s = trace_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.enabled) return;
+  if (s.events.size() >= kMaxTraceEvents) {
+    ++s.dropped;
+    return;
+  }
+  s.events.push_back({name, start_us, dur_us, thread_tid()});
+}
+
+void append_json_events(std::string& out,
+                        const std::vector<TraceEvent>& events) {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i != 0) out += ",\n";
+    out += "    {\"name\": \"";
+    out += e.name;  // span names are identifier-style literals
+    out += "\", \"cat\": \"wmesh\", \"ph\": \"X\", \"ts\": ";
+    out += std::to_string(e.ts_us);
+    out += ", \"dur\": ";
+    out += std::to_string(e.dur_us);
+    out += ", \"pid\": 1, \"tid\": ";
+    out += std::to_string(e.tid);
+    out += "}";
+  }
+}
+
+}  // namespace
+
+ScopedSpan::ScopedSpan(const char* name) noexcept
+    : hist_(&Registry::instance().span_histogram(name)),
+      name_(name),
+      start_us_(now_us()) {}
+
+ScopedSpan::ScopedSpan(Histogram& hist, const char* name) noexcept
+    : hist_(&hist), name_(name), start_us_(now_us()) {}
+
+ScopedSpan::~ScopedSpan() {
+#if !defined(WMESH_OBS_DISABLED)
+  const std::uint64_t end_us = now_us();
+  const std::uint64_t dur_us = end_us - start_us_;
+  hist_->record(static_cast<double>(dur_us));
+  if (g_trace_enabled.load(std::memory_order_relaxed)) {
+    record_trace_event(name_, start_us_, dur_us);
+  }
+#endif
+}
+
+bool trace_enabled() noexcept {
+  // Ensure lazy init has happened before reading the mirror flag.
+  trace_state();
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+std::string render_trace_json() {
+  TraceState& s = trace_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::string out = "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  append_json_events(out, s.events);
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+void flush_trace() {
+  TraceState& s = trace_state();
+  std::string path;
+  std::string json;
+  std::uint64_t dropped = 0;
+  std::size_t count = 0;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (!s.enabled || s.flushed) return;
+    s.flushed = true;
+    path = s.path;
+    count = s.events.size();
+    dropped = s.dropped;
+    json = "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+    append_json_events(json, s.events);
+    json += "\n  ]\n}\n";
+    s.events.clear();
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    WMESH_LOG_ERROR("obs.trace", kv("error", "cannot open trace output"),
+                    kv("path", path));
+    return;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  WMESH_LOG_INFO("obs.trace", kv("path", path), kv("events", count),
+                 kv("dropped", dropped));
+}
+
+void reinit_tracing_from_env() {
+  TraceState& s = trace_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.reinit_unlocked();
+}
+
+}  // namespace wmesh::obs

@@ -1,0 +1,77 @@
+// Scoped wall-time spans: per-span histograms plus optional Chrome
+// trace_event output.
+//
+//   void EtxGraph::dijkstra(...) {
+//     WMESH_SPAN("etx.dijkstra");
+//     ...
+//   }
+//
+// Every span records its duration (microseconds) into the registry
+// histogram "span.<name>", so `--metrics` output carries per-stage timing
+// percentiles.  When WMESH_TRACE_OUT=<path> is set, each span additionally
+// appends a complete ("ph":"X") event to an in-memory buffer that is
+// written as Chrome trace_event JSON at process exit (or on flush_trace()).
+// Open the file in chrome://tracing or https://ui.perfetto.dev to get a
+// flamegraph of the analysis pipeline.
+//
+// With -DWMESH_OBS_DISABLED the WMESH_SPAN macro compiles to nothing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace wmesh::obs {
+
+// RAII span; must outlive nothing (stack only).  `name` must be a literal
+// or otherwise outlive the tracing buffer.  The two-argument form takes the
+// span histogram up front so the destructor skips the registry lookup; the
+// WMESH_SPAN macro caches it in a call-site static, making a span cost two
+// clock reads plus a handful of relaxed atomics.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) noexcept;
+  ScopedSpan(Histogram& hist, const char* name) noexcept;
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Histogram* hist_;
+  const char* name_;
+  std::uint64_t start_us_;  // microseconds since process start
+};
+
+// True when WMESH_TRACE_OUT was set at first use (or after reinit).
+bool trace_enabled() noexcept;
+
+// Writes the buffered events to WMESH_TRACE_OUT as Chrome trace JSON and
+// clears the buffer.  Idempotent; also runs automatically at exit.
+void flush_trace();
+
+// Renders the current buffer as trace JSON without touching any file.
+std::string render_trace_json();
+
+// Re-reads WMESH_TRACE_OUT (tests / tools that mutate the environment).
+void reinit_tracing_from_env();
+
+}  // namespace wmesh::obs
+
+#if defined(WMESH_OBS_DISABLED)
+#define WMESH_SPAN(name) static_cast<void>(0)
+#else
+#define WMESH_SPAN_CONCAT2(a, b) a##b
+#define WMESH_SPAN_CONCAT(a, b) WMESH_SPAN_CONCAT2(a, b)
+// The immediately-invoked lambda gives each call site a static reference to
+// its span histogram: one registry lookup ever, not one per execution.
+#define WMESH_SPAN(name)                                                \
+  ::wmesh::obs::ScopedSpan WMESH_SPAN_CONCAT(wmesh_span_, __COUNTER__)( \
+      []() -> ::wmesh::obs::Histogram& {                                \
+        static ::wmesh::obs::Histogram& wmesh_span_hist_ =              \
+            ::wmesh::obs::Registry::instance().span_histogram(name);    \
+        return wmesh_span_hist_;                                        \
+      }(),                                                              \
+      name)
+#endif

@@ -2,6 +2,10 @@
 
 #include <cmath>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace wmesh {
 
 DsdvMesh::DsdvMesh(const SuccessMatrix& success, const DsdvParams& params)
@@ -31,6 +35,7 @@ DsdvMesh::DsdvMesh(const SuccessMatrix& success, const DsdvParams& params)
 }
 
 std::size_t DsdvMesh::step(Rng& rng) {
+  WMESH_SPAN("dsdv.step");
   std::size_t changes = 0;
 
   // Age all foreign routes; expire the stale ones.
@@ -95,11 +100,14 @@ std::size_t DsdvMesh::step(Rng& rng) {
       }
     }
   }
+  WMESH_COUNTER_INC("dsdv.rounds");
+  WMESH_COUNTER_ADD("dsdv.route_updates", changes);
   return changes;
 }
 
 std::size_t DsdvMesh::run_until_stable(Rng& rng, std::size_t stable_rounds,
                                        std::size_t max_rounds) {
+  WMESH_SPAN("dsdv.converge");
   std::size_t quiet = 0;
   std::size_t rounds = 0;
   while (rounds < max_rounds && quiet < stable_rounds) {
@@ -107,6 +115,8 @@ std::size_t DsdvMesh::run_until_stable(Rng& rng, std::size_t stable_rounds,
     ++rounds;
     quiet = (changes == 0) ? quiet + 1 : 0;
   }
+  WMESH_LOG_DEBUG("dsdv", kv("aps", n_), kv("rounds", rounds),
+                  kv("stable", quiet >= stable_rounds));
   return rounds;
 }
 

@@ -1,5 +1,9 @@
 #include "sim/generator.h"
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace wmesh {
 
 GeneratorConfig default_config() { return GeneratorConfig{}; }
@@ -28,6 +32,7 @@ GeneratorConfig small_config() {
 NetworkTrace generate_network_trace(const MeshNetwork& net, Standard standard,
                                     const GeneratorConfig& config, Rng& rng,
                                     bool with_clients) {
+  WMESH_SPAN("gen.network_trace");
   NetworkTrace trace;
   trace.info = net.info();
   trace.info.standard = standard;
@@ -47,10 +52,13 @@ NetworkTrace generate_network_trace(const MeshNetwork& net, Standard standard,
     Rng client_rng = rng.fork();
     trace.client_samples = simulate_clients(net, mob, client_rng);
   }
+  WMESH_COUNTER_ADD("gen.probe_sets", trace.probe_sets.size());
+  WMESH_COUNTER_ADD("gen.client_samples", trace.client_samples.size());
   return trace;
 }
 
 Dataset generate_dataset(const GeneratorConfig& config) {
+  WMESH_SPAN("gen.dataset");
   Rng master(config.seed);
   Rng fleet_rng = master.fork();
   const auto fleet = make_fleet(config.fleet, fleet_rng);
@@ -72,6 +80,11 @@ Dataset generate_dataset(const GeneratorConfig& config) {
                                                    !clients_done));
     }
   }
+  WMESH_COUNTER_ADD("gen.networks", ds.networks.size());
+  WMESH_LOG_INFO("gen", kv("seed", config.seed),
+                 kv("networks", ds.networks.size()),
+                 kv("aps", ds.total_aps()),
+                 kv("probe_sets", ds.total_probe_sets()));
   return ds;
 }
 

@@ -4,6 +4,10 @@
 #include <cmath>
 #include <cstdint>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace wmesh {
 namespace {
 
@@ -60,6 +64,7 @@ std::vector<ProbeSet> simulate_probes(const MeshNetwork& net,
                                       Standard standard,
                                       const ChannelParams& channel_params,
                                       const ProbeSimParams& params, Rng& rng) {
+  WMESH_SPAN("sim.probes");
   ChannelModel channel(net, standard, channel_params, params.duration_s, rng);
   const auto rates = probed_rates(standard);
   const std::size_t n_rates = rates.size();
@@ -80,6 +85,10 @@ std::vector<ProbeSet> simulate_probes(const MeshNetwork& net,
   std::vector<float> median_buf;
   median_buf.reserve(n_rates);
 
+  // Channel samples are counted locally and flushed once: the inner loop is
+  // the hottest path in generation and must not touch shared atomics.
+  std::uint64_t channel_samples = 0;
+
   for (double t = params.probe_interval_s; t <= params.duration_s;
        t += params.probe_interval_s) {
     channel.advance_slow_fading(t - prev_t, rng);
@@ -94,6 +103,7 @@ std::vector<ProbeSet> simulate_probes(const MeshNetwork& net,
         if (outcome.delivered) last_snr[slot] = outcome.reported_snr_db;
       }
     }
+    channel_samples += n_links * n_rates;
 
     // Emit reports that are due.  Probe rounds are much finer than report
     // intervals, so checking after each round is exact enough (reports land
@@ -126,6 +136,11 @@ std::vector<ProbeSet> simulate_probes(const MeshNetwork& net,
     }
   }
 
+  WMESH_COUNTER_ADD("sim.channel_samples", channel_samples);
+  WMESH_COUNTER_ADD("sim.probe_sets", out.size());
+  WMESH_LOG_DEBUG("sim.probes", kv("links", n_links), kv("rates", n_rates),
+                  kv("channel_samples", channel_samples),
+                  kv("probe_sets", out.size()));
   return out;
 }
 

@@ -3,8 +3,12 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <map>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/csv.h"
 
 namespace wmesh {
@@ -50,10 +54,18 @@ std::string num(double v, int digits = 3) {
   return buf;
 }
 
+std::uint64_t file_bytes(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<std::uint64_t>(size);
+}
+
 }  // namespace
 
 bool save_dataset(const Dataset& ds, const std::string& prefix) {
+  WMESH_SPAN("trace.save");
   try {
+    std::uint64_t rows_written = 0;
     CsvWriter probes(prefix + ".probes.csv");
     probes.comment("wmesh probe snapshot; one row per (probe set, rate)");
     probes.row({"network", "env", "standard", "ap_count", "time_s", "from",
@@ -71,6 +83,7 @@ bool save_dataset(const Dataset& ds, const std::string& prefix) {
         for (const auto& e : set.entries) {
           probes.raw_line(common + ',' + std::to_string(e.rate) + ',' +
                           num(e.loss, 4) + ',' + num(e.snr_db, 2));
+          ++rows_written;
         }
       }
     }
@@ -89,26 +102,46 @@ bool save_dataset(const Dataset& ds, const std::string& prefix) {
                          std::to_string(s.bucket) + ',' +
                          std::to_string(s.assoc_requests) + ',' +
                          std::to_string(s.data_packets));
+        ++rows_written;
       }
     }
+    WMESH_COUNTER_ADD("trace.rows_written", rows_written);
+    WMESH_LOG_INFO("trace.io", kv("op", "save"), kv("prefix", prefix),
+                   kv("rows", rows_written), kv("ok", clients.ok()));
     return clients.ok();
   } catch (...) {
+    WMESH_LOG_ERROR("trace.io", kv("op", "save"), kv("prefix", prefix),
+                    kv("error", "write failed"));
     return false;
   }
 }
 
 bool load_dataset(const std::string& prefix, Dataset* out) {
+  WMESH_SPAN("trace.load");
   out->networks.clear();
   CsvReader probes;
-  if (!probes.load(prefix + ".probes.csv")) return false;
+  if (!probes.load(prefix + ".probes.csv")) {
+    WMESH_LOG_ERROR("trace.io", kv("op", "load"), kv("prefix", prefix),
+                    kv("error", "cannot open probes csv"));
+    return false;
+  }
+  WMESH_COUNTER_ADD("trace.bytes_read", file_bytes(prefix + ".probes.csv"));
 
   // (network id, standard) -> index in out->networks.
   std::map<std::pair<long, std::string>, std::size_t> index;
 
   NetworkTrace* nt = nullptr;
   ProbeSet* cur = nullptr;
+  std::uint64_t rows_parsed = 0;
   for (const auto& r : probes.rows()) {
-    if (r.size() != 11) return false;
+    if (r.size() != 11) {
+      WMESH_COUNTER_INC("trace.parse_errors");
+      WMESH_LOG_ERROR("trace.io", kv("op", "load"), kv("prefix", prefix),
+                      kv("error", "bad probe row"), kv("columns", r.size()),
+                      kv("row", rows_parsed));
+      return false;
+    }
+    ++rows_parsed;
     const long net_id = to_long(r[0]);
     const std::string& std_s = r[2];
     const auto key = std::make_pair(net_id, std_s);
@@ -149,8 +182,17 @@ bool load_dataset(const std::string& prefix, Dataset* out) {
 
   CsvReader clients;
   if (clients.load(prefix + ".clients.csv")) {
+    WMESH_COUNTER_ADD("trace.bytes_read",
+                      file_bytes(prefix + ".clients.csv"));
     for (const auto& r : clients.rows()) {
-      if (r.size() != 7) return false;
+      if (r.size() != 7) {
+        WMESH_COUNTER_INC("trace.parse_errors");
+        WMESH_LOG_ERROR("trace.io", kv("op", "load"), kv("prefix", prefix),
+                        kv("error", "bad client row"),
+                        kv("columns", r.size()), kv("row", rows_parsed));
+        return false;
+      }
+      ++rows_parsed;
       const long net_id = to_long(r[0]);
       // Client samples attach to the first trace of the network.
       NetworkTrace* target = nullptr;
@@ -170,6 +212,9 @@ bool load_dataset(const std::string& prefix, Dataset* out) {
       target->client_samples.push_back(s);
     }
   }
+  WMESH_COUNTER_ADD("trace.rows_parsed", rows_parsed);
+  WMESH_LOG_INFO("trace.io", kv("op", "load"), kv("prefix", prefix),
+                 kv("rows", rows_parsed), kv("networks", out->networks.size()));
   return true;
 }
 

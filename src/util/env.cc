@@ -1,0 +1,82 @@
+#include "util/env.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
+
+#include "obs/log.h"
+
+namespace wmesh::env {
+namespace {
+
+void reject(const char* name, const std::string& value,
+            const std::string& fallback) {
+  WMESH_LOG_ERROR("env", kv("var", name), kv("rejected", value),
+                  kv("using", fallback));
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) noexcept {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_double(std::string_view s) noexcept {
+  if (s.empty()) return std::nullopt;
+  if (s.front() == ' ' || s.front() == '\t') return std::nullopt;
+  // strtod needs a NUL-terminated buffer; values are short, copy locally.
+  const std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<bool> parse_bool(std::string_view s) noexcept {
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  return std::nullopt;
+}
+
+std::optional<std::string> raw(const char* name) {
+  if (const char* v = std::getenv(name)) return std::string(v);
+  return std::nullopt;
+}
+
+bool is_set(const char* name) { return std::getenv(name) != nullptr; }
+
+std::uint64_t u64_or(const char* name, std::uint64_t fallback) {
+  const auto r = raw(name);
+  if (!r) return fallback;
+  if (const auto v = parse_u64(*r)) return *v;
+  reject(name, *r, std::to_string(fallback));
+  return fallback;
+}
+
+double double_or(const char* name, double fallback) {
+  const auto r = raw(name);
+  if (!r) return fallback;
+  if (const auto v = parse_double(*r)) return *v;
+  reject(name, *r, std::to_string(fallback));
+  return fallback;
+}
+
+bool bool_or(const char* name, bool fallback) {
+  const auto r = raw(name);
+  if (!r) return fallback;
+  if (const auto v = parse_bool(*r)) return *v;
+  reject(name, *r, fallback ? "true" : "false");
+  return fallback;
+}
+
+std::string string_or(const char* name, std::string_view fallback) {
+  const auto r = raw(name);
+  return r ? *r : std::string(fallback);
+}
+
+}  // namespace wmesh::env

@@ -1,0 +1,36 @@
+// Strict environment-variable parsing shared by bench/common and the
+// WMESH_* observability knobs.
+//
+// The old pattern (`strtoull(getenv(...))`) silently turned garbage like
+// WMESH_BENCH_SEED=banana into 0.  These helpers parse strictly: the whole
+// value must be a well-formed number/bool.  A malformed value is *rejected*
+// -- an error is logged through the obs logger naming the variable, the
+// offending value and the fallback actually used -- instead of being
+// silently coerced.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace wmesh::env {
+
+// Strict parsers; the entire string must be consumed.  Exposed for tests.
+std::optional<std::uint64_t> parse_u64(std::string_view s) noexcept;
+std::optional<double> parse_double(std::string_view s) noexcept;
+// Accepts 1/0/true/false/yes/no/on/off (lower-case).
+std::optional<bool> parse_bool(std::string_view s) noexcept;
+
+// Raw value, or nullopt when unset.
+std::optional<std::string> raw(const char* name);
+bool is_set(const char* name);
+
+// Typed accessors: `fallback` when unset; when set but malformed, log an
+// error and return `fallback` (the garbage value is rejected, loudly).
+std::uint64_t u64_or(const char* name, std::uint64_t fallback);
+double double_or(const char* name, double fallback);
+bool bool_or(const char* name, bool fallback);
+std::string string_or(const char* name, std::string_view fallback);
+
+}  // namespace wmesh::env

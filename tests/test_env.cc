@@ -1,0 +1,83 @@
+#include "util/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace wmesh {
+namespace {
+
+TEST(EnvParse, U64Valid) {
+  EXPECT_EQ(env::parse_u64("0"), 0u);
+  EXPECT_EQ(env::parse_u64("42"), 42u);
+  EXPECT_EQ(env::parse_u64("18446744073709551615"),
+            18446744073709551615ull);
+}
+
+TEST(EnvParse, U64Garbage) {
+  EXPECT_FALSE(env::parse_u64(""));
+  EXPECT_FALSE(env::parse_u64("banana"));
+  EXPECT_FALSE(env::parse_u64("12x"));
+  EXPECT_FALSE(env::parse_u64("-3"));
+  EXPECT_FALSE(env::parse_u64("4.5"));
+  EXPECT_FALSE(env::parse_u64(" 7"));
+  EXPECT_FALSE(env::parse_u64("7 "));
+  // Overflow must not wrap silently.
+  EXPECT_FALSE(env::parse_u64("99999999999999999999999"));
+}
+
+TEST(EnvParse, DoubleValid) {
+  EXPECT_DOUBLE_EQ(*env::parse_double("4"), 4.0);
+  EXPECT_DOUBLE_EQ(*env::parse_double("0.5"), 0.5);
+  EXPECT_DOUBLE_EQ(*env::parse_double("-2.25"), -2.25);
+  EXPECT_DOUBLE_EQ(*env::parse_double("1e3"), 1000.0);
+}
+
+TEST(EnvParse, DoubleGarbage) {
+  EXPECT_FALSE(env::parse_double(""));
+  EXPECT_FALSE(env::parse_double("four"));
+  EXPECT_FALSE(env::parse_double("4h"));
+  EXPECT_FALSE(env::parse_double("4.5.6"));
+  EXPECT_FALSE(env::parse_double(" 4"));
+}
+
+TEST(EnvParse, Bool) {
+  EXPECT_EQ(env::parse_bool("1"), true);
+  EXPECT_EQ(env::parse_bool("true"), true);
+  EXPECT_EQ(env::parse_bool("on"), true);
+  EXPECT_EQ(env::parse_bool("0"), false);
+  EXPECT_EQ(env::parse_bool("no"), false);
+  EXPECT_FALSE(env::parse_bool(""));
+  EXPECT_FALSE(env::parse_bool("TRUE"));
+  EXPECT_FALSE(env::parse_bool("2"));
+}
+
+TEST(EnvAccessors, UnsetUsesFallback) {
+  ::unsetenv("WMESH_TEST_ENV_VAR");
+  EXPECT_EQ(env::u64_or("WMESH_TEST_ENV_VAR", 7), 7u);
+  EXPECT_DOUBLE_EQ(env::double_or("WMESH_TEST_ENV_VAR", 1.5), 1.5);
+  EXPECT_EQ(env::bool_or("WMESH_TEST_ENV_VAR", true), true);
+  EXPECT_EQ(env::string_or("WMESH_TEST_ENV_VAR", "dflt"), "dflt");
+  EXPECT_FALSE(env::is_set("WMESH_TEST_ENV_VAR"));
+}
+
+TEST(EnvAccessors, ValidValueParsed) {
+  ::setenv("WMESH_TEST_ENV_VAR", "123", 1);
+  EXPECT_EQ(env::u64_or("WMESH_TEST_ENV_VAR", 7), 123u);
+  EXPECT_DOUBLE_EQ(env::double_or("WMESH_TEST_ENV_VAR", 1.5), 123.0);
+  EXPECT_TRUE(env::is_set("WMESH_TEST_ENV_VAR"));
+  ::unsetenv("WMESH_TEST_ENV_VAR");
+}
+
+TEST(EnvAccessors, GarbageRejectedToFallback) {
+  ::setenv("WMESH_TEST_ENV_VAR", "banana", 1);
+  EXPECT_EQ(env::u64_or("WMESH_TEST_ENV_VAR", 7), 7u);
+  EXPECT_DOUBLE_EQ(env::double_or("WMESH_TEST_ENV_VAR", 1.5), 1.5);
+  EXPECT_EQ(env::bool_or("WMESH_TEST_ENV_VAR", false), false);
+  // string_or has no parse step; raw value passes through.
+  EXPECT_EQ(env::string_or("WMESH_TEST_ENV_VAR", "dflt"), "banana");
+  ::unsetenv("WMESH_TEST_ENV_VAR");
+}
+
+}  // namespace
+}  // namespace wmesh

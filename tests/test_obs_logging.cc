@@ -1,0 +1,199 @@
+#include "obs/log.h"
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace wmesh::obs {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string temp_path(const char* leaf) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + leaf;
+}
+
+// Restores the previous log configuration when a test finishes so suites do
+// not leak state into each other.
+class LogEnvGuard {
+ public:
+  LogEnvGuard() : level_(log_level()) {}
+  ~LogEnvGuard() {
+    ::unsetenv("WMESH_LOG_FILE");
+    ::unsetenv("WMESH_LOG_LEVEL");
+    reinit_logging_from_env();
+    set_log_level(level_);
+  }
+
+ private:
+  LogLevel level_;
+};
+
+TEST(ObsLogLevel, ParseStrict) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_FALSE(parse_log_level(""));
+  EXPECT_FALSE(parse_log_level("INFO"));
+  EXPECT_FALSE(parse_log_level("warning"));
+  EXPECT_FALSE(parse_log_level("3"));
+}
+
+TEST(ObsLogLevel, EnabledRespectsThreshold) {
+  LogEnvGuard guard;
+  set_log_level(LogLevel::kWarn);
+  EXPECT_FALSE(log_enabled(LogLevel::kTrace));
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+
+  set_log_level(LogLevel::kOff);
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+
+  set_log_level(LogLevel::kTrace);
+  EXPECT_TRUE(log_enabled(LogLevel::kTrace));
+}
+
+TEST(ObsLog, FileSinkAndLevelFiltering) {
+  LogEnvGuard guard;
+  const std::string path = temp_path("wmesh_test_log.txt");
+  std::remove(path.c_str());
+
+  ::setenv("WMESH_LOG_FILE", path.c_str(), 1);
+  ::setenv("WMESH_LOG_LEVEL", "info", 1);
+  reinit_logging_from_env();
+
+  WMESH_LOG_DEBUG("test", kv("dropped", "yes"));  // below threshold
+  WMESH_LOG_INFO("test", kv("answer", 42), kv("ratio", 0.5),
+                 kv("label", "has spaces"), kv("flag", true));
+  WMESH_LOG_ERROR("test", kv("code", -1));
+
+  // Point the sink back at stderr so the file is closed before reading.
+  ::unsetenv("WMESH_LOG_FILE");
+  reinit_logging_from_env();
+
+  const std::string contents = read_file(path);
+  EXPECT_EQ(contents.find("dropped"), std::string::npos);
+  EXPECT_NE(contents.find("level=info comp=test answer=42"),
+            std::string::npos);
+  EXPECT_NE(contents.find("flag=true"), std::string::npos);
+  // Values containing spaces are quoted.
+  EXPECT_NE(contents.find("label=\"has spaces\""), std::string::npos);
+  EXPECT_NE(contents.find("level=error comp=test code=-1"),
+            std::string::npos);
+  // Every line starts with a timestamp field.
+  std::istringstream lines(contents);
+  std::string line;
+  int n_lines = 0;
+  while (std::getline(lines, line)) {
+    ++n_lines;
+    EXPECT_EQ(line.rfind("ts_ms=", 0), 0u) << line;
+  }
+  EXPECT_EQ(n_lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST(ObsLog, KvFormatting) {
+  EXPECT_EQ(kv("k", "v").value, "v");
+  EXPECT_EQ(kv("k", 7).value, "7");
+  EXPECT_EQ(kv("k", static_cast<std::uint64_t>(1) << 40).value,
+            "1099511627776");
+  EXPECT_EQ(kv("k", true).value, "true");
+  EXPECT_EQ(kv("k", false).value, "false");
+  // Doubles use a compact fixed format.
+  EXPECT_EQ(kv("k", 0.5).value.rfind("0.5", 0), 0u);
+}
+
+#if !defined(WMESH_OBS_DISABLED)
+TEST(ObsSpan, TraceJsonWellFormed) {
+  const std::string path = temp_path("wmesh_test_trace.json");
+  std::remove(path.c_str());
+  ::setenv("WMESH_TRACE_OUT", path.c_str(), 1);
+  reinit_tracing_from_env();
+  ASSERT_TRUE(trace_enabled());
+
+  {
+    WMESH_SPAN("test.outer");
+    WMESH_SPAN("test.inner");
+  }
+  { WMESH_SPAN("test.outer"); }
+
+  const std::string json = render_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"test.outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"test.inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+
+  flush_trace();
+  const std::string file_json = read_file(path);
+  EXPECT_FALSE(file_json.empty());
+
+  // Structural validation: balanced braces/brackets outside strings, no
+  // trailing comma before a closer.
+  int depth = 0;
+  bool in_string = false;
+  char prev_structural = '\0';
+  for (char ch : file_json) {
+    if (in_string) {
+      if (ch == '"') in_string = false;
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        ++depth;
+        break;
+      case '}':
+      case ']':
+        EXPECT_NE(prev_structural, ',') << "trailing comma before closer";
+        --depth;
+        break;
+      default:
+        break;
+    }
+    ASSERT_GE(depth, 0);
+    if (!std::isspace(static_cast<unsigned char>(ch))) prev_structural = ch;
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+
+  // flush_trace is idempotent: a second call must not rewrite the file.
+  std::remove(path.c_str());
+  flush_trace();
+  EXPECT_TRUE(read_file(path).empty());
+
+  ::unsetenv("WMESH_TRACE_OUT");
+  reinit_tracing_from_env();
+}
+
+TEST(ObsSpan, DisabledTracingBuffersNothing) {
+  ::unsetenv("WMESH_TRACE_OUT");
+  reinit_tracing_from_env();
+  EXPECT_FALSE(trace_enabled());
+  { WMESH_SPAN("test.untraced"); }
+  const std::string json = render_trace_json();
+  EXPECT_EQ(json.find("test.untraced"), std::string::npos);
+}
+#endif  // !WMESH_OBS_DISABLED
+
+}  // namespace
+}  // namespace wmesh::obs

@@ -1,0 +1,189 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace wmesh::obs {
+namespace {
+
+// Tests use unique metric names: the registry is process-global and other
+// suites (generator, etx, ...) populate it too.
+
+TEST(ObsCounter, AddAndValue) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsGauge, SetAndValue) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.set(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(ObsHistogram, BucketSemantics) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.record(0.5);    // bucket 0 (<= 1)
+  h.record(1.0);    // bucket 0 (inclusive upper bound)
+  h.record(5.0);    // bucket 1
+  h.record(100.0);  // bucket 2
+  h.record(1e6);    // overflow bucket
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 5.0 + 100.0 + 1e6);
+  ASSERT_EQ(h.bucket_count(), 4u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST(ObsHistogram, QuantilesMonotone) {
+  Histogram h(span_time_bounds_us());
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  const double p50 = h.quantile(0.50);
+  const double p90 = h.quantile(0.90);
+  const double p99 = h.quantile(0.99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // p50 of 1..1000 lands in the bucket whose bound covers 500.
+  EXPECT_GE(p50, 500.0);
+  EXPECT_LE(p50, 1024.0);
+}
+
+TEST(ObsHistogram, EmptyQuantileIsZero) {
+  Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(ObsRegistry, SameNameSameObject) {
+  Counter& a = Registry::instance().counter("test.registry.same");
+  Counter& b = Registry::instance().counter("test.registry.same");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(ObsRegistry, ConcurrentIncrements) {
+  Counter& c = Registry::instance().counter("test.registry.concurrent");
+  Histogram& h = Registry::instance().histogram(
+      "test.registry.concurrent_hist", {10.0, 1000.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        if (i % 1000 == 0) h.record(static_cast<double>(i % 20));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * 100);
+}
+
+TEST(ObsRegistry, MacroCountsThroughRegistry) {
+  for (int i = 0; i < 5; ++i) {
+    WMESH_COUNTER_INC("test.registry.macro");
+  }
+  WMESH_COUNTER_ADD("test.registry.macro", 10);
+#if defined(WMESH_OBS_DISABLED)
+  EXPECT_EQ(Registry::instance().counter("test.registry.macro").value(), 0u);
+#else
+  EXPECT_EQ(Registry::instance().counter("test.registry.macro").value(), 15u);
+#endif
+}
+
+TEST(ObsSnapshot, DeterministicAndSorted) {
+  Registry::instance().counter("test.snap.b").add(2);
+  Registry::instance().counter("test.snap.a").add(1);
+  Registry::instance().gauge("test.snap.g").set(3.5);
+  Registry::instance()
+      .histogram("test.snap.h", {1.0, 2.0})
+      .record(1.5);
+
+  const Snapshot s1 = Registry::instance().snapshot();
+  const Snapshot s2 = Registry::instance().snapshot();
+
+  // Same state -> identical snapshots.
+  ASSERT_EQ(s1.counters.size(), s2.counters.size());
+  for (std::size_t i = 0; i < s1.counters.size(); ++i) {
+    EXPECT_EQ(s1.counters[i].name, s2.counters[i].name);
+    EXPECT_EQ(s1.counters[i].value, s2.counters[i].value);
+  }
+
+  // Names are sorted.
+  for (std::size_t i = 1; i < s1.counters.size(); ++i) {
+    EXPECT_LT(s1.counters[i - 1].name, s1.counters[i].name);
+  }
+
+  // "test.snap.a" precedes "test.snap.b" and both are present.
+  std::size_t ia = s1.counters.size(), ib = s1.counters.size();
+  for (std::size_t i = 0; i < s1.counters.size(); ++i) {
+    if (s1.counters[i].name == "test.snap.a") ia = i;
+    if (s1.counters[i].name == "test.snap.b") ib = i;
+  }
+  ASSERT_LT(ia, s1.counters.size());
+  ASSERT_LT(ib, s1.counters.size());
+  EXPECT_LT(ia, ib);
+}
+
+TEST(ObsSnapshot, Renderings) {
+  Registry::instance().counter("test.render.count").add(7);
+  Registry::instance().span_histogram("test.render.span").record(123.0);
+  const Snapshot s = Registry::instance().snapshot();
+
+  const std::string table = s.render_table();
+  EXPECT_NE(table.find("test.render.count"), std::string::npos);
+  EXPECT_NE(table.find("span.test.render.span"), std::string::npos);
+
+  const std::string csv = s.to_csv();
+  EXPECT_EQ(csv.rfind("kind,name,value,count,sum,p50,p90,p99\n", 0), 0u);
+  EXPECT_NE(csv.find("counter,test.render.count,7"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,span.test.render.span"), std::string::npos);
+
+  const std::string json = s.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.render.count\": 7"), std::string::npos);
+  // Balanced braces/brackets (structural well-formedness).
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char ch = json[i];
+    if (in_string) {
+      if (ch == '\\') {
+        ++i;
+      } else if (ch == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(ObsRegistry, ResetForTestZeroesButKeepsRegistrations) {
+  Counter& c = Registry::instance().counter("test.reset.counter");
+  c.add(5);
+  Registry::instance().reset_for_test();
+  EXPECT_EQ(c.value(), 0u);
+  // The same object is still registered under the name.
+  EXPECT_EQ(&Registry::instance().counter("test.reset.counter"), &c);
+}
+
+}  // namespace
+}  // namespace wmesh::obs

@@ -1,18 +1,31 @@
 // wmesh_analyze: run one of the paper's analyses on a saved snapshot.
 //
-// Usage: wmesh_analyze <prefix> <analysis>
+// Usage: wmesh_analyze <prefix> <analysis> [--metrics[=path]]
 //   snr       Fig 3.1 SNR dispersion summary
 //   lookup    Fig 4.4 look-up table accuracy by scope (both standards)
 //   routing   Fig 5.1 opportunistic-routing gains at 1 Mbit/s
 //   hidden    Fig 6.1 hidden-triple medians per rate
 //   mobility  Fig 7.3/7.4 prevalence & persistence by environment
 //   traffic   §3.2 client/AP load summary
+//   etx       full pipeline anchored on the ETX base rate: runs the routing
+//             study in detail (gains + path lengths) plus every analysis
+//             above, exercising all instrumented stages in one invocation
+//   all       alias for etx
+//
+// Flags:
+//   --metrics        print the observability registry snapshot on exit
+//   --metrics=PATH   also write it to PATH (.json -> JSON, else CSV)
+//   --help           this text
+//
+// Observability env vars (see DESIGN.md "Observability"): WMESH_LOG_LEVEL,
+// WMESH_LOG_FILE, WMESH_TRACE_OUT.
 //
 // This is the entry point for running the toolkit over real traces: write
 // them in the trace/io.h CSV schema and point this tool (or the bench
 // binaries via WMESH_SNAPSHOT) at the prefix.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "core/exor.h"
@@ -21,6 +34,9 @@
 #include "core/mobility.h"
 #include "core/snr_stats.h"
 #include "core/traffic.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "trace/io.h"
 #include "util/stats.h"
 #include "util/text_table.h"
@@ -28,6 +44,40 @@
 using namespace wmesh;
 
 namespace {
+
+const char* const kUsage =
+    "usage: wmesh_analyze <prefix> "
+    "<snr|lookup|routing|hidden|mobility|traffic|etx|all> [--metrics[=path]]\n"
+    "       wmesh_analyze --help\n";
+
+void print_help() {
+  std::printf(
+      "%s\n"
+      "analyses:\n"
+      "  snr       SNR dispersion summary (Fig 3.1)\n"
+      "  lookup    look-up table accuracy by scope (Fig 4.4)\n"
+      "  routing   opportunistic-routing gains at 1 Mbit/s (Fig 5.1)\n"
+      "  hidden    hidden-triple medians per rate (Fig 6.1)\n"
+      "  mobility  prevalence & persistence by environment (Fig 7.3/7.4)\n"
+      "  traffic   client/AP load summary (SS3.2)\n"
+      "  etx|all   full pipeline at the ETX base rate: routing detail plus\n"
+      "            every analysis above in one pass\n"
+      "\n"
+      "flags:\n"
+      "  --metrics        print the metrics registry snapshot on exit\n"
+      "  --metrics=PATH   also write it to PATH (.json -> JSON, else CSV)\n"
+      "  --help           this text\n"
+      "\n"
+      "env: WMESH_LOG_LEVEL=trace|debug|info|warn|error|off,\n"
+      "     WMESH_LOG_FILE=<path>, WMESH_TRACE_OUT=<chrome-trace.json>\n",
+      kUsage);
+}
+
+[[nodiscard]] int usage_error(const std::string& reason) {
+  WMESH_LOG_ERROR("cli", kv("tool", "wmesh_analyze"), kv("error", reason));
+  std::fputs(kUsage, stderr);
+  return 2;
+}
 
 int run_snr(const Dataset& ds) {
   for (const Standard std : {Standard::kBg, Standard::kN}) {
@@ -84,6 +134,25 @@ int run_routing(const Dataset& ds) {
   return 0;
 }
 
+int run_path_lengths(const Dataset& ds) {
+  std::vector<double> lengths;
+  for (const auto& nt : ds.networks) {
+    if (nt.info.standard != Standard::kBg || nt.ap_count < 5) continue;
+    for (const int h : path_lengths(mean_success_matrix(nt, 0))) {
+      lengths.push_back(static_cast<double>(h));
+    }
+  }
+  if (lengths.empty()) {
+    std::printf("no connected >=5-AP b/g networks for path lengths\n");
+    return 0;
+  }
+  std::printf("ETX1 @1M paths: %zu pairs, mean %.2f hops, median %.0f, p90 "
+              "%.0f\n",
+              lengths.size(), mean(lengths), median(lengths),
+              quantile(lengths, 0.9));
+  return 0;
+}
+
 int run_hidden(const Dataset& ds) {
   TextTable t;
   t.header({"rate", "networks", "median hidden fraction"});
@@ -129,28 +198,109 @@ int run_traffic(const Dataset& ds) {
   return 0;
 }
 
+// The full pipeline at the ETX base rate: every analysis family in one
+// invocation, with the routing study (the paper's ETX/ExOR core) expanded.
+int run_etx(const Dataset& ds) {
+  WMESH_SPAN("analyze.etx_pipeline");
+  int rc = 0;
+  std::printf("== snr ==\n");
+  rc |= run_snr(ds);
+  std::printf("\n== lookup ==\n");
+  rc |= run_lookup(ds);
+  std::printf("\n== etx/exor routing ==\n");
+  rc |= run_routing(ds);
+  rc |= run_path_lengths(ds);
+  std::printf("\n== hidden ==\n");
+  rc |= run_hidden(ds);
+  std::printf("\n== mobility ==\n");
+  rc |= run_mobility(ds);
+  std::printf("\n== traffic ==\n");
+  rc |= run_traffic(ds);
+  return rc;
+}
+
+void emit_metrics(const std::string& path) {
+  const auto snap = obs::Registry::instance().snapshot();
+  if (snap.empty()) {
+    std::printf("\n== metrics ==\n(observability disabled: library built "
+                "with WMESH_OBS_DISABLED)\n");
+    return;
+  }
+  std::printf("\n== metrics ==\n%s", snap.render_table().c_str());
+  if (path.empty()) return;
+  const bool json = path.size() >= 5 &&
+                    path.compare(path.size() - 5, 5, ".json") == 0;
+  std::ofstream out(path);
+  if (!out) {
+    WMESH_LOG_ERROR("cli", kv("tool", "wmesh_analyze"),
+                    kv("error", "cannot write metrics file"),
+                    kv("path", path));
+    return;
+  }
+  out << (json ? snap.to_json() : snap.to_csv());
+  std::printf("(metrics written to %s)\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) {
-    std::fprintf(stderr,
-                 "usage: %s <prefix> "
-                 "<snr|lookup|routing|hidden|mobility|traffic>\n",
-                 argv[0]);
-    return 2;
+  std::string prefix, what;
+  bool want_metrics = false;
+  std::string metrics_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      return 0;
+    }
+    if (arg == "--metrics") {
+      want_metrics = true;
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      want_metrics = true;
+      metrics_path = arg.substr(std::strlen("--metrics="));
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage_error("unknown flag '" + arg + "'");
+    } else if (prefix.empty()) {
+      prefix = arg;
+    } else if (what.empty()) {
+      what = arg;
+    } else {
+      return usage_error("unexpected argument '" + arg + "'");
+    }
   }
+  if (prefix.empty() || what.empty()) {
+    return usage_error("missing <prefix> or <analysis>");
+  }
+
   Dataset ds;
-  if (!load_dataset(argv[1], &ds)) {
-    std::fprintf(stderr, "error: cannot load %s.probes.csv\n", argv[1]);
+  if (!load_dataset(prefix, &ds)) {
+    WMESH_LOG_ERROR("cli", kv("tool", "wmesh_analyze"),
+                    kv("error", "cannot load snapshot"), kv("prefix", prefix));
+    std::fprintf(stderr, "error: cannot load %s.probes.csv\n", prefix.c_str());
     return 1;
   }
-  const std::string what = argv[2];
-  if (what == "snr") return run_snr(ds);
-  if (what == "lookup") return run_lookup(ds);
-  if (what == "routing") return run_routing(ds);
-  if (what == "hidden") return run_hidden(ds);
-  if (what == "mobility") return run_mobility(ds);
-  if (what == "traffic") return run_traffic(ds);
-  std::fprintf(stderr, "unknown analysis '%s'\n", what.c_str());
-  return 2;
+
+  int rc;
+  if (what == "snr") {
+    rc = run_snr(ds);
+  } else if (what == "lookup") {
+    rc = run_lookup(ds);
+  } else if (what == "routing") {
+    rc = run_routing(ds);
+  } else if (what == "hidden") {
+    rc = run_hidden(ds);
+  } else if (what == "mobility") {
+    rc = run_mobility(ds);
+  } else if (what == "traffic") {
+    rc = run_traffic(ds);
+  } else if (what == "etx" || what == "all") {
+    rc = run_etx(ds);
+  } else {
+    return usage_error("unknown analysis '" + what + "'");
+  }
+
+  if (want_metrics) emit_metrics(metrics_path);
+  obs::flush_trace();
+  return rc;
 }

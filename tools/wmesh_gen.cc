@@ -5,54 +5,119 @@
 // the toolkit.
 //
 // Usage: wmesh_gen <prefix> [--seed N] [--hours H] [--networks N]
-//                  [--paper-scale] [--no-clients]
+//                  [--paper-scale] [--no-clients] [--metrics[=path]]
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "sim/generator.h"
 #include "trace/io.h"
+#include "util/env.h"
 
 using namespace wmesh;
 
 namespace {
 
-void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s <prefix> [--seed N] [--hours H] [--networks N] "
-               "[--paper-scale] [--no-clients]\n"
-               "writes <prefix>.probes.csv and <prefix>.clients.csv\n",
-               argv0);
+const char* const kUsage =
+    "usage: wmesh_gen <prefix> [--seed N] [--hours H] [--networks N] "
+    "[--paper-scale] [--no-clients] [--metrics[=path]]\n"
+    "       wmesh_gen --help\n";
+
+void print_help() {
+  std::printf(
+      "%s\n"
+      "writes <prefix>.probes.csv and <prefix>.clients.csv\n"
+      "\n"
+      "flags:\n"
+      "  --seed N         generation seed (unsigned integer)\n"
+      "  --hours H        probe-trace length in hours\n"
+      "  --networks N     fleet size (population classes scale with it)\n"
+      "  --paper-scale    paper-scale probe parameters\n"
+      "  --no-clients     skip client mobility simulation\n"
+      "  --metrics        print the metrics registry snapshot on exit\n"
+      "  --metrics=PATH   also write it to PATH (.json -> JSON, else CSV)\n"
+      "  --help           this text\n"
+      "\n"
+      "env: WMESH_LOG_LEVEL=trace|debug|info|warn|error|off,\n"
+      "     WMESH_LOG_FILE=<path>, WMESH_TRACE_OUT=<chrome-trace.json>\n",
+      kUsage);
+}
+
+[[nodiscard]] int usage_error(const std::string& reason) {
+  WMESH_LOG_ERROR("cli", kv("tool", "wmesh_gen"), kv("error", reason));
+  std::fputs(kUsage, stderr);
+  return 2;
+}
+
+void emit_metrics(const std::string& path) {
+  const auto snap = obs::Registry::instance().snapshot();
+  if (snap.empty()) {
+    std::printf("\n== metrics ==\n(observability disabled: library built "
+                "with WMESH_OBS_DISABLED)\n");
+    return;
+  }
+  std::printf("\n== metrics ==\n%s", snap.render_table().c_str());
+  if (path.empty()) return;
+  const bool json = path.size() >= 5 &&
+                    path.compare(path.size() - 5, 5, ".json") == 0;
+  std::ofstream out(path);
+  if (!out) {
+    WMESH_LOG_ERROR("cli", kv("tool", "wmesh_gen"),
+                    kv("error", "cannot write metrics file"), kv("path", path));
+    return;
+  }
+  out << (json ? snap.to_json() : snap.to_csv());
+  std::printf("(metrics written to %s)\n", path.c_str());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    usage(argv[0]);
-    return 2;
-  }
-  const std::string prefix = argv[1];
+  std::string prefix;
   GeneratorConfig config = default_config();
-  for (int i = 2; i < argc; ++i) {
+  bool want_metrics = false;
+  std::string metrics_path;
+
+  for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
+    auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
-        usage(argv[0]);
-        std::exit(2);
+        std::exit(usage_error(std::string(flag) + " needs a value"));
       }
       return argv[++i];
     };
-    if (arg == "--seed") {
-      config.seed = std::strtoull(next(), nullptr, 10);
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      return 0;
+    } else if (arg == "--seed") {
+      const char* v = next("--seed");
+      const auto seed = env::parse_u64(v);
+      if (!seed) return usage_error("--seed: not an unsigned integer: '" +
+                                    std::string(v) + "'");
+      config.seed = *seed;
     } else if (arg == "--hours") {
-      config.probes.duration_s = std::strtod(next(), nullptr) * 3600.0;
+      const char* v = next("--hours");
+      const auto hours = env::parse_double(v);
+      if (!hours || *hours < 0.0) {
+        return usage_error("--hours: not a non-negative number: '" +
+                           std::string(v) + "'");
+      }
+      config.probes.duration_s = *hours * 3600.0;
     } else if (arg == "--networks") {
-      const auto n = std::strtoul(next(), nullptr, 10);
+      const char* v = next("--networks");
+      const auto parsed = env::parse_u64(v);
+      if (!parsed || *parsed == 0) {
+        return usage_error("--networks: not a positive integer: '" +
+                           std::string(v) + "'");
+      }
+      const auto n = static_cast<std::size_t>(*parsed);
       // Scale the population classes proportionally.
-      const double f =
-          static_cast<double>(n) / static_cast<double>(config.fleet.network_count);
+      const double f = static_cast<double>(n) /
+                       static_cast<double>(config.fleet.network_count);
       config.fleet.network_count = n;
       config.fleet.bg_only = static_cast<std::size_t>(77 * f);
       config.fleet.n_only = static_cast<std::size_t>(31 * f);
@@ -65,10 +130,21 @@ int main(int argc, char** argv) {
       config.probes = paper_scale_probe_params();
     } else if (arg == "--no-clients") {
       config.generate_clients = false;
+    } else if (arg == "--metrics") {
+      want_metrics = true;
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      want_metrics = true;
+      metrics_path = arg.substr(std::strlen("--metrics="));
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage_error("unknown flag '" + arg + "'");
+    } else if (prefix.empty()) {
+      prefix = arg;
     } else {
-      usage(argv[0]);
-      return 2;
+      return usage_error("unexpected argument '" + arg + "'");
     }
+  }
+  if (prefix.empty()) {
+    return usage_error("missing <prefix>");
   }
 
   std::printf("generating: seed %llu, %zu networks, %.1f h probes...\n",
@@ -78,10 +154,14 @@ int main(int argc, char** argv) {
   std::printf("generated %zu traces, %zu APs, %zu probe sets\n",
               ds.networks.size(), ds.total_aps(), ds.total_probe_sets());
   if (!save_dataset(ds, prefix)) {
+    WMESH_LOG_ERROR("cli", kv("tool", "wmesh_gen"),
+                    kv("error", "cannot write snapshot"), kv("prefix", prefix));
     std::fprintf(stderr, "error: cannot write %s.*.csv\n", prefix.c_str());
     return 1;
   }
   std::printf("wrote %s.probes.csv and %s.clients.csv\n", prefix.c_str(),
               prefix.c_str());
+  if (want_metrics) emit_metrics(metrics_path);
+  obs::flush_trace();
   return 0;
 }

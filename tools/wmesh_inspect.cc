@@ -6,21 +6,46 @@
 // occupancy histogram, and the client-sample volume -- the sanity pass one
 // runs before pointing the benches at a snapshot.
 #include <cstdio>
+#include <cstring>
 #include <map>
 
+#include "obs/log.h"
 #include "trace/io.h"
 #include "util/stats.h"
 #include "util/text_table.h"
 
 using namespace wmesh;
 
+namespace {
+
+const char* const kUsage =
+    "usage: wmesh_inspect <prefix>\n"
+    "       wmesh_inspect --help\n";
+
+[[nodiscard]] int usage_error(const std::string& reason) {
+  WMESH_LOG_ERROR("cli", kv("tool", "wmesh_inspect"), kv("error", reason));
+  std::fputs(kUsage, stderr);
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  if (argc == 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                    std::strcmp(argv[1], "-h") == 0)) {
+    std::printf("%s\nprints fleet composition, per-standard probe-set "
+                "counts, the SNR occupancy histogram and client-sample "
+                "volume for a saved snapshot\n",
+                kUsage);
+    return 0;
+  }
   if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <prefix>\n", argv[0]);
-    return 2;
+    return usage_error(argc < 2 ? "missing <prefix>" : "too many arguments");
   }
   Dataset ds;
   if (!load_dataset(argv[1], &ds)) {
+    WMESH_LOG_ERROR("cli", kv("tool", "wmesh_inspect"),
+                    kv("error", "cannot load snapshot"), kv("prefix", argv[1]));
     std::fprintf(stderr, "error: cannot load %s.probes.csv\n", argv[1]);
     return 1;
   }
