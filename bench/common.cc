@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "par/thread_pool.h"
 #include "trace/io.h"
 #include "util/env.h"
 
@@ -131,6 +132,12 @@ void report_observability(const char* argv0) {
 
 int run_benchmarks(int argc, char** argv) {
   const char* argv0 = argc > 0 ? argv[0] : "bench";
+  // Spin up the analysis pool before timing starts so WMESH_THREADS is
+  // honored, pool construction is not attributed to the first benchmark,
+  // and the par.pool.threads gauge lands in bench_out/*.metrics.csv.
+  std::printf("# threads: %zu (WMESH_THREADS=%s)\n",
+              par::default_pool().thread_count(),
+              env::string_or("WMESH_THREADS", "unset").c_str());
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "par/thread_pool.h"
 
 namespace wmesh {
 
@@ -22,15 +23,21 @@ double etx_link_cost(double p_fwd, double p_rev, EtxVariant variant,
 EtxGraph::EtxGraph(const SuccessMatrix& success, EtxVariant variant,
                    double min_delivery)
     : n_(success.ap_count()), variant_(variant), cost_(n_ * n_, kInfCost) {
-  for (std::size_t f = 0; f < n_; ++f) {
-    for (std::size_t t = 0; t < n_; ++t) {
-      if (f == t) continue;
-      cost_[f * n_ + t] = etx_link_cost(
-          success.at(static_cast<ApId>(f), static_cast<ApId>(t)),
-          success.at(static_cast<ApId>(t), static_cast<ApId>(f)), variant,
-          min_delivery);
-    }
-  }
+  // Each iteration fills one disjoint row of the cost matrix; grain keeps
+  // shard dispatch amortized over several rows on the big (200+ AP)
+  // networks while staying deterministic (boundaries depend on n_ only).
+  par::parallel_for(
+      n_,
+      [&](std::size_t f) {
+        for (std::size_t t = 0; t < n_; ++t) {
+          if (f == t) continue;
+          cost_[f * n_ + t] = etx_link_cost(
+              success.at(static_cast<ApId>(f), static_cast<ApId>(t)),
+              success.at(static_cast<ApId>(t), static_cast<ApId>(f)), variant,
+              min_delivery);
+        }
+      },
+      /*grain=*/16);
   WMESH_COUNTER_INC("etx.graphs_built");
 }
 

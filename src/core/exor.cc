@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "par/thread_pool.h"
 
 namespace wmesh {
 
@@ -80,33 +81,42 @@ std::vector<PairGain> opportunistic_gains(const SuccessMatrix& success,
   WMESH_SPAN("exor.gains");
   const std::size_t n = success.ap_count();
   EtxGraph graph(success, variant, min_delivery);
-  std::vector<PairGain> out;
 
-  for (std::size_t dst = 0; dst < n; ++dst) {
-    const auto etx_to = graph.shortest_to(static_cast<ApId>(dst));
-    const auto exor_to = exor_costs_to(success, etx_to);
-    // Hop counts come from the forward shortest-path tree of each source;
-    // compute them from the reverse tree instead: run one forward Dijkstra
-    // per destination is O(n^2 log n) overall -- fine at our sizes.
-    for (std::size_t src = 0; src < n; ++src) {
-      if (src == dst) continue;
-      if (etx_to[src] == kInfCost || exor_to[src] == kInfCost) continue;
-      PairGain g;
-      g.src = static_cast<ApId>(src);
-      g.dst = static_cast<ApId>(dst);
-      g.etx_cost = etx_to[src];
-      g.exor_cost = exor_to[src];
-      out.push_back(g);
-    }
-  }
+  // One reverse Dijkstra + ExOR recursion per destination, independent
+  // across destinations; shard results concatenate in dst order, matching
+  // the serial dst-major pair order byte-for-byte.
+  std::vector<PairGain> out = par::parallel_map_reduce(
+      n, std::vector<PairGain>{},
+      [&](std::size_t dst) {
+        std::vector<PairGain> pairs;
+        const auto etx_to = graph.shortest_to(static_cast<ApId>(dst));
+        const auto exor_to = exor_costs_to(success, etx_to);
+        // Hop counts come from the forward shortest-path tree of each
+        // source; compute them from the reverse tree instead: run one
+        // forward Dijkstra per destination is O(n^2 log n) overall -- fine
+        // at our sizes.
+        for (std::size_t src = 0; src < n; ++src) {
+          if (src == dst) continue;
+          if (etx_to[src] == kInfCost || exor_to[src] == kInfCost) continue;
+          PairGain g;
+          g.src = static_cast<ApId>(src);
+          g.dst = static_cast<ApId>(dst);
+          g.etx_cost = etx_to[src];
+          g.exor_cost = exor_to[src];
+          pairs.push_back(g);
+        }
+        return pairs;
+      },
+      [](std::vector<PairGain>& acc, std::vector<PairGain>&& v) {
+        acc.insert(acc.end(), v.begin(), v.end());
+      });
 
-  // Fill hop counts with one forward Dijkstra per source.
+  // Fill hop counts with one forward Dijkstra per source; each iteration
+  // writes only its own slot.
   std::vector<std::vector<int>> parents(n);
-  std::vector<int> parent;
-  for (std::size_t src = 0; src < n; ++src) {
-    graph.shortest_from(static_cast<ApId>(src), &parent);
-    parents[src] = parent;
-  }
+  par::parallel_for(n, [&](std::size_t src) {
+    graph.shortest_from(static_cast<ApId>(src), &parents[src]);
+  });
   for (PairGain& g : out) {
     g.hops = EtxGraph::hops(parents[g.src], g.src, g.dst);
   }
@@ -134,18 +144,25 @@ std::vector<int> path_lengths(const SuccessMatrix& success,
   WMESH_SPAN("etx.path_lengths");
   const std::size_t n = success.ap_count();
   EtxGraph graph(success, EtxVariant::kEtx1, min_delivery);
-  std::vector<int> out;
-  std::vector<int> parent;
-  for (std::size_t src = 0; src < n; ++src) {
-    const auto dist = graph.shortest_from(static_cast<ApId>(src), &parent);
-    for (std::size_t dst = 0; dst < n; ++dst) {
-      if (dst == src || dist[dst] == kInfCost) continue;
-      const int h = EtxGraph::hops(parent, static_cast<ApId>(src),
-                                   static_cast<ApId>(dst));
-      if (h > 0) out.push_back(h);
-    }
-  }
-  return out;
+  // One forward Dijkstra per source; per-source hop lists concatenate in
+  // src order, identical to the serial src-major emission order.
+  return par::parallel_map_reduce(
+      n, std::vector<int>{},
+      [&](std::size_t src) {
+        std::vector<int> hops_out;
+        std::vector<int> parent;
+        const auto dist = graph.shortest_from(static_cast<ApId>(src), &parent);
+        for (std::size_t dst = 0; dst < n; ++dst) {
+          if (dst == src || dist[dst] == kInfCost) continue;
+          const int h = EtxGraph::hops(parent, static_cast<ApId>(src),
+                                       static_cast<ApId>(dst));
+          if (h > 0) hops_out.push_back(h);
+        }
+        return hops_out;
+      },
+      [](std::vector<int>& acc, std::vector<int>&& v) {
+        acc.insert(acc.end(), v.begin(), v.end());
+      });
 }
 
 }  // namespace wmesh

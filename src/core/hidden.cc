@@ -2,6 +2,7 @@
 
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "par/thread_pool.h"
 
 namespace wmesh {
 
@@ -58,18 +59,28 @@ HiddenTripleStats hidden_triples_per_network(const Dataset& ds,
                                              Standard standard,
                                              RateIndex rate, double threshold,
                                              std::size_t min_aps) {
-  HiddenTripleStats out;
-  for (const auto& nt : ds.networks) {
-    if (nt.info.standard != standard) continue;
-    if (nt.ap_count < min_aps) continue;
-    const auto success = mean_success_matrix(nt, rate);
-    const HearingGraph graph(success, threshold);
-    const auto counts = count_triples(graph);
-    if (counts.relevant == 0) continue;
-    ++out.networks_with_triples;
-    out.fractions.push_back(counts.hidden_fraction());
-  }
-  return out;
+  // One network per task; per-network fractions concatenate in network
+  // order, identical to the serial loop.
+  return par::parallel_map_reduce(
+      ds.networks.size(), HiddenTripleStats{},
+      [&](std::size_t i) {
+        HiddenTripleStats s;
+        const auto& nt = ds.networks[i];
+        if (nt.info.standard != standard) return s;
+        if (nt.ap_count < min_aps) return s;
+        const auto success = mean_success_matrix(nt, rate);
+        const HearingGraph graph(success, threshold);
+        const auto counts = count_triples(graph);
+        if (counts.relevant == 0) return s;
+        ++s.networks_with_triples;
+        s.fractions.push_back(counts.hidden_fraction());
+        return s;
+      },
+      [](HiddenTripleStats& acc, HiddenTripleStats&& v) {
+        acc.networks_with_triples += v.networks_with_triples;
+        acc.fractions.insert(acc.fractions.end(), v.fractions.begin(),
+                             v.fractions.end());
+      });
 }
 
 std::vector<std::vector<double>> range_ratios(const Dataset& ds,
@@ -77,34 +88,52 @@ std::vector<std::vector<double>> range_ratios(const Dataset& ds,
                                               double threshold,
                                               RateIndex base_rate) {
   const std::size_t n_rates = rate_count(standard);
-  std::vector<std::vector<double>> out(n_rates);
-  for (const auto& nt : ds.networks) {
-    if (nt.info.standard != standard) continue;
-    const auto matrices = all_success_matrices(nt);
-    const HearingGraph base(matrices[base_rate], threshold);
-    const double base_pairs = static_cast<double>(base.range_pairs());
-    if (base_pairs <= 0.0) continue;
-    for (std::size_t r = 0; r < n_rates; ++r) {
-      const HearingGraph g(matrices[r], threshold);
-      out[r].push_back(static_cast<double>(g.range_pairs()) / base_pairs);
-    }
-  }
-  return out;
+  // One network per task producing its per-rate ratio row (or nothing);
+  // rows append per rate in network order, identical to the serial loop.
+  return par::parallel_map_reduce(
+      ds.networks.size(), std::vector<std::vector<double>>(n_rates),
+      [&](std::size_t i) {
+        std::vector<std::vector<double>> rows(n_rates);
+        const auto& nt = ds.networks[i];
+        if (nt.info.standard != standard) return rows;
+        const auto matrices = all_success_matrices(nt);
+        const HearingGraph base(matrices[base_rate], threshold);
+        const double base_pairs = static_cast<double>(base.range_pairs());
+        if (base_pairs <= 0.0) return rows;
+        for (std::size_t r = 0; r < n_rates; ++r) {
+          const HearingGraph g(matrices[r], threshold);
+          rows[r].push_back(static_cast<double>(g.range_pairs()) / base_pairs);
+        }
+        return rows;
+      },
+      [](std::vector<std::vector<double>>& acc,
+         std::vector<std::vector<double>>&& v) {
+        for (std::size_t r = 0; r < acc.size(); ++r) {
+          acc[r].insert(acc[r].end(), v[r].begin(), v[r].end());
+        }
+      });
 }
 
 std::vector<double> normalized_range(const Dataset& ds, Standard standard,
                                      RateIndex rate, double threshold,
                                      Environment env) {
-  std::vector<double> out;
-  for (const auto& nt : ds.networks) {
-    if (nt.info.standard != standard || nt.info.env != env) continue;
-    if (nt.ap_count < 2) continue;
-    const auto success = mean_success_matrix(nt, rate);
-    const HearingGraph g(success, threshold);
-    const double size = static_cast<double>(nt.ap_count);
-    out.push_back(static_cast<double>(g.range_pairs()) / (size * size));
-  }
-  return out;
+  // One network per task; values concatenate in network order.
+  return par::parallel_map_reduce(
+      ds.networks.size(), std::vector<double>{},
+      [&](std::size_t i) {
+        std::vector<double> vals;
+        const auto& nt = ds.networks[i];
+        if (nt.info.standard != standard || nt.info.env != env) return vals;
+        if (nt.ap_count < 2) return vals;
+        const auto success = mean_success_matrix(nt, rate);
+        const HearingGraph g(success, threshold);
+        const double size = static_cast<double>(nt.ap_count);
+        vals.push_back(static_cast<double>(g.range_pairs()) / (size * size));
+        return vals;
+      },
+      [](std::vector<double>& acc, std::vector<double>&& v) {
+        acc.insert(acc.end(), v.begin(), v.end());
+      });
 }
 
 }  // namespace wmesh

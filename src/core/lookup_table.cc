@@ -8,6 +8,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "par/thread_pool.h"
 
 namespace wmesh {
 
@@ -88,6 +89,15 @@ std::vector<SnrLookupTable::Cell> SnrLookupTable::cells() const {
   return out;
 }
 
+void SnrLookupTable::merge(const SnrLookupTable& other) {
+  for (const auto& [key, counts] : other.cells_) {
+    Counts& mine = cells_[key];
+    if (mine.empty()) mine.assign(n_rates_, 0);
+    const std::size_t n = std::min(mine.size(), counts.size());
+    for (std::size_t r = 0; r < n; ++r) mine[r] += counts[r];
+  }
+}
+
 std::uint64_t SnrLookupTable::scope_key(TableScope scope,
                                         std::uint32_t network_id, ApId from,
                                         ApId to) noexcept {
@@ -109,17 +119,26 @@ SnrLookupTable build_lookup_table(const Dataset& ds, Standard standard,
                                   TableScope scope) {
   WMESH_SPAN("lookup.build");
   WMESH_COUNTER_INC("lookup.builds");
-  SnrLookupTable table(standard, scope);
-  for_each_probe_set(
-      ds, standard, [&](const NetworkTrace& nt, const ProbeSet& set) {
-        if (std::isnan(set.snr_db)) return;
-        const auto opt = optimal_rate(set, standard);
-        if (!opt) return;
-        table.observe(
-            SnrLookupTable::scope_key(scope, nt.info.id, set.from, set.to),
-            snr_key(set.snr_db), *opt);
-      });
-  return table;
+  // One partial table per network, merged in network order.  Cell counts
+  // are integer sums, so the merged table is identical to the serial build
+  // for any thread count.
+  return par::parallel_map_reduce(
+      ds.networks.size(), SnrLookupTable(standard, scope),
+      [&](std::size_t i) {
+        SnrLookupTable partial(standard, scope);
+        const auto& nt = ds.networks[i];
+        if (nt.info.standard != standard) return partial;
+        for (const auto& set : nt.probe_sets) {
+          if (std::isnan(set.snr_db)) continue;
+          const auto opt = optimal_rate(set, standard);
+          if (!opt) continue;
+          partial.observe(
+              SnrLookupTable::scope_key(scope, nt.info.id, set.from, set.to),
+              snr_key(set.snr_db), *opt);
+        }
+        return partial;
+      },
+      [](SnrLookupTable& acc, SnrLookupTable&& v) { acc.merge(v); });
 }
 
 RatesNeededCurve rates_needed_curve(const SnrLookupTable& table,
@@ -149,26 +168,44 @@ TableErrorResult lookup_table_errors(const Dataset& ds, Standard standard,
                                      TableScope scope) {
   WMESH_SPAN("lookup.errors");
   const SnrLookupTable table = build_lookup_table(ds, standard, scope);
-  TableErrorResult out;
-  std::size_t exact = 0;
-  for_each_probe_set(
-      ds, standard, [&](const NetworkTrace& nt, const ProbeSet& set) {
-        if (std::isnan(set.snr_db)) return;
-        const auto opt = optimal_rate(set, standard);
-        if (!opt) return;
-        const int choice = table.choose(
-            SnrLookupTable::scope_key(scope, nt.info.id, set.from, set.to),
-            snr_key(set.snr_db));
-        if (choice < 0) return;  // paper: no prediction without data
-        const double best = probe_set_throughput_mbps(set, standard, *opt);
-        const double got = probe_set_throughput_mbps(
-            set, standard, static_cast<RateIndex>(choice));
-        out.throughput_diff_mbps.push_back(best - got);
-        if (choice == static_cast<int>(*opt)) ++exact;
+  // Evaluation reads the finished table; one network per task, per-network
+  // diffs concatenated in network order (the for_each_probe_set order).
+  struct Partial {
+    std::vector<double> diffs;
+    std::size_t exact = 0;
+  };
+  Partial all = par::parallel_map_reduce(
+      ds.networks.size(), Partial{},
+      [&](std::size_t i) {
+        Partial p;
+        const auto& nt = ds.networks[i];
+        if (nt.info.standard != standard) return p;
+        for (const auto& set : nt.probe_sets) {
+          if (std::isnan(set.snr_db)) continue;
+          const auto opt = optimal_rate(set, standard);
+          if (!opt) continue;
+          const int choice = table.choose(
+              SnrLookupTable::scope_key(scope, nt.info.id, set.from, set.to),
+              snr_key(set.snr_db));
+          if (choice < 0) continue;  // paper: no prediction without data
+          const double best = probe_set_throughput_mbps(set, standard, *opt);
+          const double got = probe_set_throughput_mbps(
+              set, standard, static_cast<RateIndex>(choice));
+          p.diffs.push_back(best - got);
+          if (choice == static_cast<int>(*opt)) ++p.exact;
+        }
+        return p;
+      },
+      [](Partial& acc, Partial&& v) {
+        acc.diffs.insert(acc.diffs.end(), v.diffs.begin(), v.diffs.end());
+        acc.exact += v.exact;
       });
+  TableErrorResult out;
+  out.throughput_diff_mbps = std::move(all.diffs);
   if (!out.throughput_diff_mbps.empty()) {
-    out.exact_fraction = static_cast<double>(exact) /
-                         static_cast<double>(out.throughput_diff_mbps.size());
+    out.exact_fraction =
+        static_cast<double>(all.exact) /
+        static_cast<double>(out.throughput_diff_mbps.size());
   }
   WMESH_LOG_DEBUG("lookup", kv("scope", to_string(scope)),
                   kv("predictions", out.throughput_diff_mbps.size()),

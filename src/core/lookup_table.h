@@ -55,6 +55,12 @@ class SnrLookupTable {
   };
   std::vector<Cell> cells() const;
 
+  // Adds every cell of `other` (same standard and scope) into this table,
+  // summing per-rate counts.  Cell contents are integer sums, so a table
+  // merged from per-network partials is identical regardless of merge
+  // order -- this is what makes the parallel build deterministic.
+  void merge(const SnrLookupTable& other);
+
   // The scope key of a probe set under this table's scope.
   static std::uint64_t scope_key(TableScope scope, std::uint32_t network_id,
                                  ApId from, ApId to) noexcept;

@@ -1,0 +1,217 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "core/exor.h"
+#include "core/hidden.h"
+#include "core/lookup_table.h"
+#include "core/mobility.h"
+#include "core/snr_stats.h"
+#include "core/traffic.h"
+#include "obs/span.h"
+#include "par/thread_pool.h"
+#include "util/stats.h"
+#include "util/text_table.h"
+
+namespace wmesh {
+namespace {
+
+// printf-append; every report line was born as a printf call in
+// wmesh_analyze and keeps its exact format string here.
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void appendf(std::string& out, const char* fmt_str, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt_str);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt_str, args);
+  va_end(args);
+  if (n > 0) out.append(buf, std::min(static_cast<std::size_t>(n),
+                                      sizeof(buf) - 1));
+}
+
+}  // namespace
+
+std::string report_snr(const Dataset& ds) {
+  std::string out;
+  for (const Standard std : {Standard::kBg, Standard::kN}) {
+    const auto dev = snr_deviations(ds, std);
+    if (dev.per_probe_set.empty()) continue;
+    const Cdf sets(dev.per_probe_set);
+    appendf(out,
+            "%s: probe-set sigma median %.2f dB (<5 dB: %.1f%%), link "
+            "median %.2f, network median %.2f\n",
+            std::string(to_string(std)).c_str(), sets.median(),
+            100.0 * sets.fraction_at_or_below(5.0), median(dev.per_link),
+            median(dev.per_network));
+  }
+  return out;
+}
+
+std::string report_lookup(const Dataset& ds) {
+  TextTable t;
+  t.header({"standard", "scope", "exact", "mean loss (Mbit/s)"});
+  for (const Standard std : {Standard::kBg, Standard::kN}) {
+    for (const TableScope scope :
+         {TableScope::kGlobal, TableScope::kNetwork, TableScope::kAp,
+          TableScope::kLink}) {
+      const auto err = lookup_table_errors(ds, std, scope);
+      if (err.throughput_diff_mbps.empty()) continue;
+      t.add_row({std::string(to_string(std)), to_string(scope),
+                 fmt(100.0 * err.exact_fraction, 1) + "%",
+                 fmt(mean(err.throughput_diff_mbps), 3)});
+    }
+  }
+  return t.render();
+}
+
+std::string report_routing(const Dataset& ds) {
+  std::string out;
+  for (const EtxVariant v : {EtxVariant::kEtx1, EtxVariant::kEtx2}) {
+    // One network per task (the paper's 110-network study is embarrassingly
+    // parallel); per-network gains concatenate in network order, so the
+    // summary below is byte-identical for any thread count.
+    struct Gains {
+      std::vector<double> imps;
+      std::size_t none = 0;
+    };
+    const Gains all = par::parallel_map_reduce(
+        ds.networks.size(), Gains{},
+        [&](std::size_t i) {
+          Gains g;
+          const auto& nt = ds.networks[i];
+          if (nt.info.standard != Standard::kBg || nt.ap_count < 5) return g;
+          for (const auto& pg :
+               opportunistic_gains(mean_success_matrix(nt, 0), v)) {
+            g.imps.push_back(pg.improvement());
+            g.none += pg.improvement() < 1e-9 ? 1 : 0;
+          }
+          return g;
+        },
+        [](Gains& acc, Gains&& v2) {
+          acc.imps.insert(acc.imps.end(), v2.imps.begin(), v2.imps.end());
+          acc.none += v2.none;
+        });
+    if (all.imps.empty()) continue;
+    appendf(out,
+            "%s @1M: mean %.3f median %.3f zero-gain %.1f%% over %zu "
+            "pairs\n",
+            to_string(v), mean(all.imps), median(all.imps),
+            100.0 * static_cast<double>(all.none) /
+                static_cast<double>(all.imps.size()),
+            all.imps.size());
+  }
+  return out;
+}
+
+std::string report_path_lengths(const Dataset& ds) {
+  // One network per task; per-network hop lists concatenate in network
+  // order.
+  const std::vector<double> lengths = par::parallel_map_reduce(
+      ds.networks.size(), std::vector<double>{},
+      [&](std::size_t i) {
+        std::vector<double> l;
+        const auto& nt = ds.networks[i];
+        if (nt.info.standard != Standard::kBg || nt.ap_count < 5) return l;
+        for (const int h : path_lengths(mean_success_matrix(nt, 0))) {
+          l.push_back(static_cast<double>(h));
+        }
+        return l;
+      },
+      [](std::vector<double>& acc, std::vector<double>&& v) {
+        acc.insert(acc.end(), v.begin(), v.end());
+      });
+  std::string out;
+  if (lengths.empty()) {
+    out = "no connected >=5-AP b/g networks for path lengths\n";
+    return out;
+  }
+  appendf(out,
+          "ETX1 @1M paths: %zu pairs, mean %.2f hops, median %.0f, p90 "
+          "%.0f\n",
+          lengths.size(), mean(lengths), median(lengths),
+          quantile(lengths, 0.9));
+  return out;
+}
+
+std::string report_hidden(const Dataset& ds) {
+  TextTable t;
+  t.header({"rate", "networks", "median hidden fraction"});
+  const auto rates = probed_rates(Standard::kBg);
+  for (RateIndex r = 0; r < rates.size(); ++r) {
+    const auto stats = hidden_triples_per_network(ds, Standard::kBg, r, 0.10);
+    if (stats.fractions.empty()) continue;
+    t.add_row({std::string(rates[r].name),
+               std::to_string(stats.fractions.size()),
+               fmt(median(stats.fractions), 3)});
+  }
+  return t.render();
+}
+
+std::string report_mobility(const Dataset& ds) {
+  std::string out;
+  for (const Environment env : {Environment::kIndoor, Environment::kOutdoor}) {
+    const auto m = analyze_mobility_by_env(ds, env);
+    if (m.prevalence.empty()) continue;
+    appendf(out,
+            "%s: prevalence mean/med %.3f/%.3f, persistence mean/med "
+            "%.1f/%.1f min, %zu sessions\n",
+            to_string(env).c_str(), mean(m.prevalence), median(m.prevalence),
+            mean(m.persistence_min), median(m.persistence_min),
+            m.aps_visited.size());
+  }
+  return out;
+}
+
+std::string report_traffic(const Dataset& ds) {
+  const auto t = analyze_traffic(ds);
+  std::string out;
+  if (t.packets_per_client.empty()) {
+    out = "no client data in snapshot\n";
+    return out;
+  }
+  appendf(out, "clients: %zu, APs with traffic: %zu, total packets: %.0f\n",
+          t.packets_per_client.size(), t.packets_per_ap.size(),
+          t.total_packets);
+  appendf(out,
+          "median packets/client: %.0f (p90 %.0f); busiest 10%% of APs "
+          "carry %.0f%% of traffic\n",
+          median(t.packets_per_client), quantile(t.packets_per_client, 0.9),
+          100.0 * t.top_decile_ap_share);
+  return out;
+}
+
+std::string report_etx(const Dataset& ds) {
+  WMESH_SPAN("analyze.etx_pipeline");
+  std::string out;
+  out += "== snr ==\n";
+  out += report_snr(ds);
+  out += "\n== lookup ==\n";
+  out += report_lookup(ds);
+  out += "\n== etx/exor routing ==\n";
+  out += report_routing(ds);
+  out += report_path_lengths(ds);
+  out += "\n== hidden ==\n";
+  out += report_hidden(ds);
+  out += "\n== mobility ==\n";
+  out += report_mobility(ds);
+  out += "\n== traffic ==\n";
+  out += report_traffic(ds);
+  return out;
+}
+
+std::string run_report(const Dataset& ds, std::string_view what) {
+  if (what == "snr") return report_snr(ds);
+  if (what == "lookup") return report_lookup(ds);
+  if (what == "routing") return report_routing(ds);
+  if (what == "hidden") return report_hidden(ds);
+  if (what == "mobility") return report_mobility(ds);
+  if (what == "traffic") return report_traffic(ds);
+  if (what == "etx" || what == "all") return report_etx(ds);
+  return std::string();
+}
+
+}  // namespace wmesh

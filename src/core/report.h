@@ -1,0 +1,56 @@
+// Text reports of the paper's analyses -- the rendering layer behind
+// `wmesh_analyze`.
+//
+// Each function runs one analysis family over the snapshot and returns the
+// exact text the tool prints.  Pulling the rendering into the library (out
+// of tools/wmesh_analyze.cc) serves three consumers:
+//   * the CLI, which just fputs() the string,
+//   * the golden regression tests (tests/test_golden_analyze.cc), which
+//     diff these strings against checked-in expected output so refactors
+//     cannot silently change paper numbers, and
+//   * the parallel determinism tests, which assert the strings are
+//     byte-identical across thread counts.
+//
+// The heavy lifting underneath (ETX/ExOR, look-up tables, hidden triples,
+// dataset generation) runs on the wmesh::par default pool; the rendering
+// itself is serial and deterministic.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "trace/records.h"
+
+namespace wmesh {
+
+// Fig 3.1: SNR dispersion summary per standard.
+std::string report_snr(const Dataset& ds);
+
+// Fig 4.4: look-up table accuracy by scope, both standards.
+std::string report_lookup(const Dataset& ds);
+
+// Fig 5.1: opportunistic-routing gains at the 1 Mbit/s base rate.
+std::string report_routing(const Dataset& ds);
+
+// Fig 5.3: ETX1 shortest-path hop count summary.
+std::string report_path_lengths(const Dataset& ds);
+
+// Fig 6.1: hidden-triple medians per rate.
+std::string report_hidden(const Dataset& ds);
+
+// Fig 7.3/7.4: prevalence & persistence by environment.
+std::string report_mobility(const Dataset& ds);
+
+// §3.2: client/AP load summary.
+std::string report_traffic(const Dataset& ds);
+
+// The full pipeline at the ETX base rate: every analysis family above in
+// one pass, with the routing study (the paper's ETX/ExOR core) expanded.
+std::string report_etx(const Dataset& ds);
+
+// Dispatch by analysis name as accepted by wmesh_analyze
+// (snr|lookup|routing|hidden|mobility|traffic|etx|all); returns an empty
+// string for an unknown name.
+std::string run_report(const Dataset& ds, std::string_view what);
+
+}  // namespace wmesh

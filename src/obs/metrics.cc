@@ -7,6 +7,42 @@
 
 namespace wmesh::obs {
 
+namespace {
+thread_local CounterBatch* t_counter_batch = nullptr;
+}  // namespace
+
+CounterBatch::CounterBatch() noexcept : prev_(t_counter_batch) {
+  t_counter_batch = this;
+}
+
+CounterBatch::~CounterBatch() {
+  flush();
+  t_counter_batch = prev_;
+}
+
+void CounterBatch::flush() noexcept {
+  for (auto& [counter, n] : pending_) {
+    counter->value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  pending_.clear();
+}
+
+void CounterBatch::buffer(Counter* c, std::uint64_t n) noexcept {
+  for (auto& [counter, pending] : pending_) {
+    if (counter == c) {
+      pending += n;
+      return;
+    }
+  }
+  try {
+    pending_.emplace_back(c, n);
+  } catch (...) {
+    c->value_.fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+CounterBatch* CounterBatch::active() noexcept { return t_counter_batch; }
+
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
 

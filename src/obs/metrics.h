@@ -24,10 +24,48 @@
 
 namespace wmesh::obs {
 
-// Monotonic event count.  Thread-safe; increments are relaxed atomics.
+class Counter;
+
+// Thread-local write buffer for counters: while a CounterBatch is active on
+// a thread, every Counter::add on that thread accumulates into the batch
+// and the shared atomics are touched exactly once, at flush (or scope
+// exit).  The wmesh::par pool installs one batch per shard, so analysis
+// code inside parallel regions never contends on counter cache lines.
+// Batches nest (the inner one wins until it flushes); a registry snapshot
+// taken while a batch is active misses its pending deltas.
+class CounterBatch {
+ public:
+  CounterBatch() noexcept;
+  ~CounterBatch();
+
+  CounterBatch(const CounterBatch&) = delete;
+  CounterBatch& operator=(const CounterBatch&) = delete;
+
+  // Adds every pending delta to its counter and clears the buffer.
+  void flush() noexcept;
+
+  // Buffers one increment for `c`; on allocation failure falls back to a
+  // direct atomic add.  Called by Counter::add when a batch is active.
+  void buffer(Counter* c, std::uint64_t n) noexcept;
+
+  // The innermost batch active on this thread, or nullptr.
+  static CounterBatch* active() noexcept;
+
+ private:
+  CounterBatch* prev_;
+  // Few distinct counters per shard: a small vector beats a hash map.
+  std::vector<std::pair<Counter*, std::uint64_t>> pending_;
+};
+
+// Monotonic event count.  Thread-safe; increments are relaxed atomics,
+// routed through the thread's CounterBatch when one is active.
 class Counter {
  public:
   void add(std::uint64_t n = 1) noexcept {
+    if (CounterBatch* batch = CounterBatch::active()) {
+      batch->buffer(this, n);
+      return;
+    }
     value_.fetch_add(n, std::memory_order_relaxed);
   }
   std::uint64_t value() const noexcept {
@@ -36,6 +74,7 @@ class Counter {
   void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
 
  private:
+  friend class CounterBatch;  // flush adds pending deltas directly
   std::atomic<std::uint64_t> value_{0};
 };
 

@@ -1,0 +1,219 @@
+#include "par/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/env.h"
+
+namespace wmesh::par {
+namespace {
+
+// True while this thread is executing a shard; nested regions run inline.
+thread_local bool t_in_region = false;
+
+void execute_shard(const std::function<void(std::size_t)>& fn, std::size_t s,
+                   std::vector<std::exception_ptr>& exceptions) {
+  WMESH_SPAN("par.shard");
+#if !defined(WMESH_OBS_DISABLED)
+  // Analysis counters incremented inside the shard accumulate in this
+  // thread-local batch and hit the shared atomics once, at scope exit.
+  obs::CounterBatch batch;
+#endif
+  WMESH_COUNTER_INC("par.tasks");
+  try {
+    fn(s);
+  } catch (...) {
+    exceptions[s] = std::current_exception();
+  }
+}
+
+// One parallel region.  `fn` and `exceptions` point into the frame of the
+// run_shards caller, which stays alive until every shard completed; a shard
+// can only be claimed (next < shard_count) while that holds, so stale
+// workers holding an exhausted Job never dereference them.
+struct Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t shard_count = 0;
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr>* exceptions = nullptr;
+
+  // Claims and executes shards until none remain; returns how many ran.
+  std::size_t drain() {
+    t_in_region = true;
+    std::size_t ran = 0;
+    for (;;) {
+      const std::size_t s = next.fetch_add(1, std::memory_order_relaxed);
+      if (s >= shard_count) break;
+      execute_shard(*fn, s, *exceptions);
+      ++ran;
+    }
+    t_in_region = false;
+    return ran;
+  }
+};
+
+}  // namespace
+
+std::size_t hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+struct ThreadPool::Impl {
+  std::size_t thread_count = 1;
+  std::vector<std::thread> workers;
+
+  // Serializes whole parallel regions: a second thread calling run_shards
+  // waits until the first region retired (workers are shared state).
+  std::mutex region_mu;
+
+  std::mutex mu;
+  std::condition_variable cv_work;  // workers: "a new job was published"
+  std::condition_variable cv_done;  // caller: "all shards completed"
+  std::uint64_t job_id = 0;         // bumped per published job; guarded by mu
+  bool stop = false;
+  std::shared_ptr<Job> job;         // null when idle; guarded by mu
+  std::size_t completed = 0;        // shards finished in current job
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lk(mu);
+    std::uint64_t seen = 0;
+    for (;;) {
+      cv_work.wait(lk, [&] { return stop || job_id != seen; });
+      if (stop) return;
+      seen = job_id;
+      std::shared_ptr<Job> j = job;
+      if (!j) continue;  // woke after the job already retired
+      lk.unlock();
+      const std::size_t ran = j->drain();
+      lk.lock();
+      completed += ran;
+      if (completed == j->shard_count) cv_done.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(std::make_unique<Impl>()) {
+  if (threads == 0) threads = hardware_threads();
+  threads = std::min(threads, kMaxThreads);
+  impl_->thread_count = threads;
+  impl_->workers.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    impl_->workers.emplace_back([im = impl_.get()] { im->worker_loop(); });
+  }
+  WMESH_GAUGE_SET("par.pool.threads", threads);
+  WMESH_LOG_DEBUG("par", kv("event", "pool_start"), kv("threads", threads));
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv_work.notify_all();
+  for (auto& w : impl_->workers) w.join();
+}
+
+std::size_t ThreadPool::thread_count() const noexcept {
+  return impl_->thread_count;
+}
+
+void ThreadPool::run_shards(std::size_t shard_count,
+                            const std::function<void(std::size_t)>& fn) {
+  if (shard_count == 0) return;
+  std::vector<std::exception_ptr> exceptions(shard_count);
+
+  if (t_in_region || impl_->workers.empty() || shard_count == 1) {
+    // Serial path: nested region, single-thread pool, or nothing to share.
+    // Runs every shard in index order -- the reference execution the
+    // parallel path must match byte-for-byte.
+    const bool was_in_region = t_in_region;
+    t_in_region = true;
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      execute_shard(fn, s, exceptions);
+    }
+    t_in_region = was_in_region;
+  } else {
+    Impl& im = *impl_;
+    std::lock_guard<std::mutex> region(im.region_mu);
+    WMESH_GAUGE_SET("par.pool.queue_depth", shard_count);
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->shard_count = shard_count;
+    job->exceptions = &exceptions;
+    {
+      std::lock_guard<std::mutex> lk(im.mu);
+      im.job = job;
+      im.completed = 0;
+      ++im.job_id;
+    }
+    im.cv_work.notify_all();
+    const std::size_t ran = job->drain();
+    {
+      std::unique_lock<std::mutex> lk(im.mu);
+      im.completed += ran;
+      im.cv_done.wait(lk, [&] { return im.completed == shard_count; });
+      im.job.reset();
+    }
+    WMESH_GAUGE_SET("par.pool.queue_depth", 0);
+  }
+
+  // Identical to serial in-order semantics: the lowest-index throwing shard
+  // wins, no matter which thread ran it or when.
+  for (auto& e : exceptions) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+namespace {
+
+std::mutex g_default_mu;
+std::unique_ptr<ThreadPool> g_default_pool;
+std::size_t g_thread_override = 0;  // 0 = no --threads override
+
+std::size_t resolve_default_threads_locked() {
+  if (g_thread_override > 0) {
+    return std::min(g_thread_override, ThreadPool::kMaxThreads);
+  }
+  const std::uint64_t from_env = env::u64_or("WMESH_THREADS", 0);
+  if (from_env > 0) {
+    return std::min<std::size_t>(static_cast<std::size_t>(from_env),
+                                 ThreadPool::kMaxThreads);
+  }
+  return hardware_threads();
+}
+
+}  // namespace
+
+ThreadPool& default_pool() {
+  std::lock_guard<std::mutex> lk(g_default_mu);
+  if (!g_default_pool) {
+    g_default_pool =
+        std::make_unique<ThreadPool>(resolve_default_threads_locked());
+  }
+  return *g_default_pool;
+}
+
+void set_default_threads(std::size_t n) {
+  std::lock_guard<std::mutex> lk(g_default_mu);
+  g_thread_override = n;
+  const std::size_t want = resolve_default_threads_locked();
+  if (g_default_pool && g_default_pool->thread_count() != want) {
+    g_default_pool.reset();  // joined here; recreated lazily at `want`
+  }
+}
+
+std::size_t default_thread_count() {
+  std::lock_guard<std::mutex> lk(g_default_mu);
+  if (g_default_pool) return g_default_pool->thread_count();
+  return resolve_default_threads_locked();
+}
+
+}  // namespace wmesh::par

@@ -1,0 +1,146 @@
+// Fixed-size thread pool with deterministic sharded parallel primitives.
+//
+// Design rules (see DESIGN.md "Parallel execution"):
+//   * No work stealing, no futures, no task graph: one parallel region at a
+//     time, sharded by index range, executed by a fixed set of workers plus
+//     the calling thread.
+//   * Shard boundaries depend only on (item count, grain) -- never on the
+//     thread count -- and `parallel_map_reduce` folds shard results in
+//     ascending shard order on the calling thread.  Together these make the
+//     output of every parallel region bit-identical to a serial
+//     (`threads=1`) run, for any thread count.
+//   * Nested regions run inline on the calling thread (a worker that calls
+//     `parallel_for` from inside a shard executes serially), so callers can
+//     parallelize at whatever level they like without deadlock.
+//   * Exceptions: every shard runs to completion even if another shard
+//     throws; afterwards the exception of the *lowest-index* throwing shard
+//     is rethrown -- again identical to serial in-order execution.
+//
+// Observability: the pool exports gauges `par.pool.threads` and
+// `par.pool.queue_depth`, counts every executed shard in `par.tasks`, wraps
+// each shard in a `par.shard` span (so WMESH_TRACE_OUT shows the parallel
+// timeline per worker tid), and installs an obs::CounterBatch around each
+// shard so WMESH_COUNTER_* writes inside analysis code accumulate
+// thread-locally and hit the shared atomics once per shard.
+//
+// The default pool is process-global and sized by, in decreasing precedence,
+// `set_default_threads()` (the tools' --threads=N flag), the WMESH_THREADS
+// environment variable (strict parsing via util/env), and
+// `hardware_threads()`.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace wmesh::par {
+
+// max(1, std::thread::hardware_concurrency()).
+std::size_t hardware_threads() noexcept;
+
+class ThreadPool {
+ public:
+  // `threads` is the total worker count including the calling thread; the
+  // pool spawns `threads - 1` OS threads.  0 means hardware_threads().
+  // Counts are clamped to [1, kMaxThreads].
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  static constexpr std::size_t kMaxThreads = 256;
+
+  std::size_t thread_count() const noexcept;
+
+  // Core primitive: runs `fn(shard)` for every shard in [0, shard_count),
+  // distributed over the workers and the calling thread; blocks until all
+  // shards finished.  See the header comment for the exception contract.
+  void run_shards(std::size_t shard_count,
+                  const std::function<void(std::size_t)>& fn);
+
+  // Runs `fn(i)` for i in [0, n).  Iterations are grouped into shards of
+  // `grain` consecutive indices; within a shard they run in index order.
+  template <typename Fn>
+  void parallel_for(std::size_t n, Fn&& fn, std::size_t grain = 1) {
+    if (n == 0) return;
+    if (grain == 0) grain = 1;
+    const std::size_t shards = (n + grain - 1) / grain;
+    run_shards(shards, [&](std::size_t s) {
+      const std::size_t begin = s * grain;
+      const std::size_t end = std::min(n, begin + grain);
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+
+  // Deterministic map/reduce over [0, n): `map(i)` produces a T per index;
+  // each shard folds its indices in order via `reduce(acc, value)`; shard
+  // partials are then folded into `init` in ascending shard order on the
+  // calling thread.  Because shard boundaries depend only on (n, grain),
+  // the result is bit-identical for every thread count.
+  template <typename T, typename Map, typename Reduce>
+  T parallel_map_reduce(std::size_t n, T init, Map&& map, Reduce&& reduce,
+                        std::size_t grain = 1) {
+    if (n == 0) return init;
+    if (grain == 0) grain = 1;
+    const std::size_t shards = (n + grain - 1) / grain;
+    std::vector<std::optional<T>> partials(shards);
+    run_shards(shards, [&](std::size_t s) {
+      const std::size_t begin = s * grain;
+      const std::size_t end = std::min(n, begin + grain);
+      std::optional<T> acc;
+      for (std::size_t i = begin; i < end; ++i) {
+        T v = map(i);
+        if (!acc) {
+          acc.emplace(std::move(v));
+        } else {
+          reduce(*acc, std::move(v));
+        }
+      }
+      partials[s] = std::move(acc);
+    });
+    for (auto& p : partials) {
+      if (p) reduce(init, std::move(*p));
+    }
+    return init;
+  }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// The process-global pool, created on first use with the resolved default
+// thread count.  References stay valid until set_default_threads() is
+// called; do not reconfigure while a parallel region is running.
+ThreadPool& default_pool();
+
+// Overrides the default pool size (tools' --threads=N flag).  n == 0 drops
+// the override and re-resolves WMESH_THREADS / hardware_threads().  Any
+// existing default pool is torn down (its workers joined) and lazily
+// recreated at the new size on next use.
+void set_default_threads(std::size_t n);
+
+// The thread count the default pool has (or would be created with):
+// set_default_threads() override > WMESH_THREADS > hardware_threads().
+std::size_t default_thread_count();
+
+// Conveniences over default_pool().
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn, std::size_t grain = 1) {
+  default_pool().parallel_for(n, std::forward<Fn>(fn), grain);
+}
+
+template <typename T, typename Map, typename Reduce>
+T parallel_map_reduce(std::size_t n, T init, Map&& map, Reduce&& reduce,
+                      std::size_t grain = 1) {
+  return default_pool().parallel_map_reduce(n, std::move(init),
+                                            std::forward<Map>(map),
+                                            std::forward<Reduce>(reduce), grain);
+}
+
+}  // namespace wmesh::par

@@ -1,8 +1,11 @@
 #include "sim/generator.h"
 
+#include <iterator>
+
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "par/thread_pool.h"
 
 namespace wmesh {
 
@@ -63,23 +66,44 @@ Dataset generate_dataset(const GeneratorConfig& config) {
   Rng fleet_rng = master.fork();
   const auto fleet = make_fleet(config.fleet, fleet_rng);
 
-  Dataset ds;
-  for (const FleetNetwork& fn : fleet) {
-    Rng net_rng = master.fork();
-    bool clients_done = false;
-    if (fn.has_bg) {
-      ds.networks.push_back(generate_network_trace(
-          fn.network, Standard::kBg, config, net_rng, /*with_clients=*/true));
-      clients_done = true;
-    }
-    if (fn.has_n) {
-      // Dual-radio networks: client data is attached to the first trace
-      // only, so mobility analyses count each physical network once.
-      ds.networks.push_back(generate_network_trace(fn.network, Standard::kN,
-                                                   config, net_rng,
-                                                   !clients_done));
-    }
+  // Fork one child stream per fleet network up front, in fleet order --
+  // exactly the sequence the serial loop drew -- then simulate the networks
+  // in parallel, one network per task, each on its own pre-forked stream.
+  // Traces concatenate in fleet order, so the dataset is bit-identical to a
+  // serial run for any thread count.
+  std::vector<Rng> net_rngs;
+  net_rngs.reserve(fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    net_rngs.push_back(master.fork());
   }
+
+  Dataset ds;
+  ds.networks = par::parallel_map_reduce(
+      fleet.size(), std::vector<NetworkTrace>{},
+      [&](std::size_t i) {
+        const FleetNetwork& fn = fleet[i];
+        Rng& net_rng = net_rngs[i];  // task-exclusive: one task per index
+        std::vector<NetworkTrace> traces;
+        bool clients_done = false;
+        if (fn.has_bg) {
+          traces.push_back(generate_network_trace(fn.network, Standard::kBg,
+                                                  config, net_rng,
+                                                  /*with_clients=*/true));
+          clients_done = true;
+        }
+        if (fn.has_n) {
+          // Dual-radio networks: client data is attached to the first trace
+          // only, so mobility analyses count each physical network once.
+          traces.push_back(generate_network_trace(fn.network, Standard::kN,
+                                                  config, net_rng,
+                                                  !clients_done));
+        }
+        return traces;
+      },
+      [](std::vector<NetworkTrace>& acc, std::vector<NetworkTrace>&& v) {
+        acc.insert(acc.end(), std::make_move_iterator(v.begin()),
+                   std::make_move_iterator(v.end()));
+      });
   WMESH_COUNTER_ADD("gen.networks", ds.networks.size());
   WMESH_LOG_INFO("gen", kv("seed", config.seed),
                  kv("networks", ds.networks.size()),

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <iterator>
 
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "par/thread_pool.h"
 
 namespace wmesh {
 namespace {
@@ -82,12 +84,38 @@ std::vector<ProbeSet> simulate_probes(const MeshNetwork& net,
   double next_report = params.report_interval_s;
   double prev_t = 0.0;
 
-  std::vector<float> median_buf;
-  median_buf.reserve(n_rates);
-
   // Channel samples are counted locally and flushed once: the inner loop is
   // the hottest path in generation and must not touch shared atomics.
   std::uint64_t channel_samples = 0;
+
+  // Builds the report for one link from its (read-only) window state, or an
+  // empty set when no rate received anything inside the window.  Used by
+  // the parallel emission below; per-link sets concatenate in link order,
+  // identical to the serial emission loop.
+  const auto build_report = [&](std::size_t li, double report_t) {
+    ProbeSet set;
+    set.from = channel.links()[li].from;
+    set.to = channel.links()[li].to;
+    set.time_s = static_cast<std::uint32_t>(std::lround(report_t));
+    bool any_received = false;
+    std::vector<float> median_buf;
+    median_buf.reserve(n_rates);
+    for (std::size_t ri = 0; ri < n_rates; ++ri) {
+      const std::size_t slot = li * n_rates + ri;
+      ProbeEntry e;
+      e.rate = static_cast<RateIndex>(ri);
+      e.loss = static_cast<float>(windows[slot].loss());
+      if (windows[slot].received() > 0) {
+        e.snr_db = last_snr[slot];
+        median_buf.push_back(e.snr_db);
+        any_received = true;
+      }
+      set.entries.push_back(e);
+    }
+    if (!any_received) set.entries.clear();  // link absent from the logs
+    if (any_received) set.snr_db = median_snr(median_buf);
+    return set;
+  };
 
   for (double t = params.probe_interval_s; t <= params.duration_s;
        t += params.probe_interval_s) {
@@ -107,31 +135,26 @@ std::vector<ProbeSet> simulate_probes(const MeshNetwork& net,
 
     // Emit reports that are due.  Probe rounds are much finer than report
     // intervals, so checking after each round is exact enough (reports land
-    // on the first probe round at/after their nominal time).
+    // on the first probe round at/after their nominal time).  Window state
+    // is stable between rounds, so links report in parallel; RNG-driven
+    // sampling above stays serial (one stream per network, by design).
     while (next_report <= t + 1e-9) {
-      for (std::size_t li = 0; li < n_links; ++li) {
-        ProbeSet set;
-        set.from = channel.links()[li].from;
-        set.to = channel.links()[li].to;
-        set.time_s = static_cast<std::uint32_t>(std::lround(next_report));
-        bool any_received = false;
-        median_buf.clear();
-        for (std::size_t ri = 0; ri < n_rates; ++ri) {
-          const std::size_t slot = li * n_rates + ri;
-          ProbeEntry e;
-          e.rate = static_cast<RateIndex>(ri);
-          e.loss = static_cast<float>(windows[slot].loss());
-          if (windows[slot].received() > 0) {
-            e.snr_db = last_snr[slot];
-            median_buf.push_back(e.snr_db);
-            any_received = true;
-          }
-          set.entries.push_back(e);
-        }
-        if (!any_received) continue;  // link absent from the logs
-        set.snr_db = median_snr(median_buf);
-        out.push_back(std::move(set));
-      }
+      const double report_t = next_report;
+      std::vector<ProbeSet> sets = par::parallel_map_reduce(
+          n_links, std::vector<ProbeSet>{},
+          [&](std::size_t li) {
+            std::vector<ProbeSet> one;
+            ProbeSet set = build_report(li, report_t);
+            if (!set.entries.empty()) one.push_back(std::move(set));
+            return one;
+          },
+          [](std::vector<ProbeSet>& acc, std::vector<ProbeSet>&& v) {
+            acc.insert(acc.end(), std::make_move_iterator(v.begin()),
+                       std::make_move_iterator(v.end()));
+          },
+          /*grain=*/64);
+      out.insert(out.end(), std::make_move_iterator(sets.begin()),
+                 std::make_move_iterator(sets.end()));
       next_report += params.report_interval_s;
     }
   }

@@ -1,0 +1,88 @@
+// Golden regression tests for the analysis reports.
+//
+// tests/golden/ holds a checked-in snapshot (golden.probes.csv /
+// golden.clients.csv) plus the exact text every wmesh_analyze analysis
+// prints for it (expected_<name>.txt).  The snapshot was produced with
+//
+//     wmesh_gen tests/golden/golden --small --seed 7
+//
+// and the expected files with `wmesh_analyze tests/golden/golden <name>`.
+// Regenerate them the same way after an *intentional* output change; an
+// unintentional diff here means a refactor silently changed paper numbers.
+//
+// The first test also regenerates the snapshot from the generator config
+// and byte-compares it against the checked-in CSVs, pinning the full
+// generation pipeline (fleet synthesis, channel model, probe simulator,
+// RNG fork order) to the golden bytes.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/report.h"
+#include "sim/generator.h"
+#include "trace/io.h"
+
+#ifndef WMESH_TEST_DATA_DIR
+#error "WMESH_TEST_DATA_DIR must point at tests/golden (set by CMake)"
+#endif
+
+namespace wmesh {
+namespace {
+
+std::string data_dir() { return WMESH_TEST_DATA_DIR; }
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing golden file: " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+const Dataset& golden_dataset() {
+  static const Dataset ds = [] {
+    Dataset d;
+    const bool ok = load_dataset(data_dir() + "/golden", &d);
+    EXPECT_TRUE(ok) << "cannot load " << data_dir() << "/golden.probes.csv";
+    return d;
+  }();
+  return ds;
+}
+
+TEST(GoldenAnalyze, SnapshotRegeneratesByteIdentically) {
+  GeneratorConfig c = small_config();
+  c.seed = 7;  // the documented `wmesh_gen --small --seed 7` invocation
+  const Dataset ds = generate_dataset(c);
+
+  const std::string prefix = ::testing::TempDir() + "/golden_regen";
+  ASSERT_TRUE(save_dataset(ds, prefix));
+  EXPECT_EQ(slurp(prefix + ".probes.csv"),
+            slurp(data_dir() + "/golden.probes.csv"))
+      << "generator output drifted from the checked-in golden snapshot";
+  EXPECT_EQ(slurp(prefix + ".clients.csv"),
+            slurp(data_dir() + "/golden.clients.csv"));
+}
+
+class GoldenReport : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GoldenReport, MatchesCheckedInText) {
+  const std::string name = GetParam();
+  const std::string got = run_report(golden_dataset(), name);
+  ASSERT_FALSE(got.empty()) << "report '" << name << "' produced no output";
+  EXPECT_EQ(got, slurp(data_dir() + "/expected_" + name + ".txt"))
+      << "analysis '" << name << "' no longer matches tests/golden/expected_"
+      << name << ".txt; regenerate it if the change is intentional";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAnalyses, GoldenReport,
+                         ::testing::Values("snr", "lookup", "routing",
+                                           "hidden", "mobility", "traffic",
+                                           "etx"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace wmesh

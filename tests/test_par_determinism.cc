@@ -1,0 +1,304 @@
+// Test wall for wmesh::par: the thread pool's execution contract (coverage,
+// exceptions, nesting, counter batching) and the repo-wide determinism
+// guarantee -- every parallelized stage produces byte-identical output for
+// any thread count.
+//
+// This file is its own test binary (wmesh_par_tests) so the san_smoke ctest
+// case can rebuild just it under ThreadSanitizer and race-check the pool
+// without paying for the full suite.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "obs/metrics.h"
+#include "par/thread_pool.h"
+#include "sim/generator.h"
+#include "trace/io.h"
+
+namespace wmesh {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool execution contract
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, EmptyRangeRunsNothingAndReturnsInit) {
+  par::ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+
+  const int out = pool.parallel_map_reduce(
+      0, 17, [](std::size_t i) { return static_cast<int>(i); },
+      [](int& acc, int&& v) { acc += v; });
+  EXPECT_EQ(out, 17);
+}
+
+TEST(ThreadPool, SingleItemRunsExactlyOnce) {
+  par::ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  std::size_t seen = 999;
+  pool.parallel_for(1, [&](std::size_t i) {
+    ++calls;
+    seen = i;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen, 0u);
+}
+
+TEST(ThreadPool, MoreThreadsThanItemsCoversEveryIndexOnce) {
+  par::ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, GrainedParallelForCoversEveryIndexOnce) {
+  par::ThreadPool pool(4);
+  for (const std::size_t grain : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{7}, std::size_t{100}}) {
+    std::vector<std::atomic<int>> hits(23);
+    pool.parallel_for(23, [&](std::size_t i) { ++hits[i]; }, grain);
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i], 1) << "grain " << grain << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, LowestShardExceptionWinsAndEveryShardStillRuns) {
+  par::ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  const std::function<void(std::size_t)> shard = [&](std::size_t s) {
+    ++ran;
+    if (s == 2 || s == 6) {
+      throw std::runtime_error("shard-" + std::to_string(s));
+    }
+  };
+  try {
+    pool.run_shards(8, shard);
+    FAIL() << "expected run_shards to rethrow";
+  } catch (const std::runtime_error& e) {
+    // Serial in-order semantics: shard 2 throws first no matter which
+    // thread ran shard 6 or in what order the shards finished.
+    EXPECT_STREQ(e.what(), "shard-2");
+  }
+  EXPECT_EQ(ran, 8);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromSerialPathToo) {
+  par::ThreadPool pool(1);
+  EXPECT_THROW(pool.run_shards(3,
+                               [](std::size_t s) {
+                                 if (s == 1) throw std::logic_error("boom");
+                               }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, NestedRegionsRunInlineWithoutDeadlock) {
+  par::ThreadPool pool(4);
+  std::vector<int> out(100, -1);
+  pool.parallel_for(10, [&](std::size_t i) {
+    pool.parallel_for(10,
+                      [&](std::size_t j) {
+                        out[i * 10 + j] = static_cast<int>(i * 10 + j);
+                      });
+  });
+  for (int k = 0; k < 100; ++k) EXPECT_EQ(out[k], k);
+}
+
+std::string concat_indices(par::ThreadPool& pool, std::size_t n,
+                           std::size_t grain) {
+  return pool.parallel_map_reduce(
+      n, std::string(),
+      [](std::size_t i) { return std::to_string(i) + ","; },
+      [](std::string& acc, std::string&& v) { acc += v; }, grain);
+}
+
+TEST(ThreadPool, NonCommutativeReduceIsIndexOrderedForAnyThreadCountAndGrain) {
+  // String concatenation is order-sensitive: any scheduling leak would
+  // scramble it.  The expected value is the serial index order.
+  std::string want;
+  for (std::size_t i = 0; i < 23; ++i) want += std::to_string(i) + ",";
+
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{5}, std::size_t{8}}) {
+    par::ThreadPool pool(threads);
+    for (const std::size_t grain : {std::size_t{1}, std::size_t{3},
+                                    std::size_t{7}, std::size_t{64}}) {
+      for (int rep = 0; rep < 10; ++rep) {
+        EXPECT_EQ(concat_indices(pool, 23, grain), want)
+            << "threads " << threads << " grain " << grain << " rep " << rep;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, MapReduceSumMatchesSerial) {
+  par::ThreadPool pool(8);
+  const std::uint64_t got = pool.parallel_map_reduce(
+      1000, std::uint64_t{0},
+      [](std::size_t i) { return static_cast<std::uint64_t>(i * i); },
+      [](std::uint64_t& acc, std::uint64_t&& v) { acc += v; },
+      /*grain=*/13);
+  std::uint64_t want = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) want += i * i;
+  EXPECT_EQ(got, want);
+}
+
+TEST(ThreadPool, ManySmallRegionsBackToBack) {
+  // Exercises job publication/retirement churn: a stale worker waking into
+  // the next region must never execute the previous region's function.
+  par::ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(5, [&](std::size_t i) {
+      sum += static_cast<int>(i) + round;
+    });
+    EXPECT_EQ(sum, 10 + 5 * round) << "round " << round;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// obs::CounterBatch (the pool installs one per shard)
+// ---------------------------------------------------------------------------
+
+TEST(CounterBatch, BuffersUntilFlushAndFlushesOnScopeExit) {
+  auto& c = obs::Registry::instance().counter("test.par.batch");
+  c.reset();
+  {
+    obs::CounterBatch batch;
+    c.add(5);
+    c.add(2);
+    EXPECT_EQ(c.value(), 0u);  // still buffered
+    batch.flush();
+    EXPECT_EQ(c.value(), 7u);
+    c.add(1);  // buffers again after an explicit flush
+    EXPECT_EQ(c.value(), 7u);
+  }
+  EXPECT_EQ(c.value(), 8u);  // destructor flushed the remainder
+}
+
+TEST(CounterBatch, NestedBatchesRestoreTheOuterOne) {
+  auto& c = obs::Registry::instance().counter("test.par.batch_nested");
+  c.reset();
+  {
+    obs::CounterBatch outer;
+    c.add(1);
+    {
+      obs::CounterBatch inner;
+      c.add(10);
+      EXPECT_EQ(c.value(), 0u);
+    }
+    // Inner flushed its own 10 straight to the counter; outer still holds 1.
+    EXPECT_EQ(c.value(), 10u);
+    c.add(2);  // goes to outer again
+    EXPECT_EQ(c.value(), 10u);
+  }
+  EXPECT_EQ(c.value(), 13u);
+}
+
+TEST(ThreadPool, CountersInsideShardsAccumulateToTheExactTotal) {
+  auto& c = obs::Registry::instance().counter("test.par.pool_total");
+  c.reset();
+  par::ThreadPool pool(4);
+  pool.parallel_for(100, [&](std::size_t i) {
+    c.add(static_cast<std::uint64_t>(i));
+  });
+  EXPECT_EQ(c.value(), 4950u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism: generation and every parallelized analysis are
+// byte-identical at threads {1, 2, 8}
+// ---------------------------------------------------------------------------
+
+class ParDeterminism : public ::testing::Test {
+ protected:
+  static GeneratorConfig test_config() {
+    GeneratorConfig c = small_config();
+    c.probes.duration_s = 1800.0;  // 6 report rounds: enough for every table
+    c.seed = 20100811;
+    return c;
+  }
+
+  void TearDown() override { par::set_default_threads(0); }
+
+  static std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  // The snapshot's full serialized form: both CSV files, concatenated.
+  static std::string dataset_bytes(const Dataset& ds,
+                                   const std::string& prefix) {
+    if (!save_dataset(ds, prefix)) return std::string();
+    return slurp(prefix + ".probes.csv") + "\n--\n" +
+           slurp(prefix + ".clients.csv");
+  }
+};
+
+TEST_F(ParDeterminism, GenerateDatasetIsByteIdenticalAcrossThreadCounts) {
+  const std::string tmp = ::testing::TempDir();
+  constexpr std::array<std::size_t, 3> kThreads{1, 2, 8};
+  std::array<std::string, kThreads.size()> bytes;
+  for (std::size_t k = 0; k < kThreads.size(); ++k) {
+    par::set_default_threads(kThreads[k]);
+    const Dataset ds = generate_dataset(test_config());
+    bytes[k] = dataset_bytes(
+        ds, tmp + "/par_det_" + std::to_string(kThreads[k]));
+    ASSERT_FALSE(bytes[k].empty());
+  }
+  EXPECT_EQ(bytes[0], bytes[1]);
+  EXPECT_EQ(bytes[0], bytes[2]);
+}
+
+TEST_F(ParDeterminism, EveryReportIsByteIdenticalAcrossThreadCounts) {
+  par::set_default_threads(1);
+  const Dataset ds = generate_dataset(test_config());
+
+  // Serial reference for the full pipeline and each analysis family.
+  const std::string etx_want = report_etx(ds);
+  ASSERT_FALSE(etx_want.empty());
+  const std::string paths_want = report_path_lengths(ds);
+  const std::array<const char*, 6> kNames{"snr",    "lookup",   "routing",
+                                          "hidden", "mobility", "traffic"};
+  std::map<std::string, std::string> want;
+  for (const char* name : kNames) {
+    want[name] = run_report(ds, name);
+    ASSERT_FALSE(want[name].empty()) << name;
+  }
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    par::set_default_threads(threads);
+    EXPECT_EQ(report_etx(ds), etx_want) << "threads " << threads;
+    EXPECT_EQ(report_path_lengths(ds), paths_want) << "threads " << threads;
+    for (const char* name : kNames) {
+      EXPECT_EQ(run_report(ds, name), want[name])
+          << "analysis " << name << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParDefaults, SetDefaultThreadsControlsTheDefaultPool) {
+  par::set_default_threads(3);
+  EXPECT_EQ(par::default_thread_count(), 3u);
+  EXPECT_EQ(par::default_pool().thread_count(), 3u);
+  par::set_default_threads(0);  // back to WMESH_THREADS / hardware
+  EXPECT_GE(par::default_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace wmesh

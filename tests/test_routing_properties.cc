@@ -1,0 +1,161 @@
+// Property tests for the routing and hidden-terminal analyses: invariants
+// that hold for *every* success matrix by construction of the metrics, so
+// they are checked over a full generated fleet rather than hand-picked
+// fixtures.
+//
+//   * ETX path cost >= hop count (every usable link costs >= 1 transmission)
+//   * ExOR cost <= ETX cost of the same pair (opportunistic receptions can
+//     only help an idealized, overhead-free ExOR) and >= 1
+//   * ETX2 path cost >= ETX1 path cost (the lossy ACK channel can only add
+//     transmissions), and ETX2 reachability is a subset of ETX1's
+//   * shrinking the hearing relation (the constructed analogue of moving to
+//     a faster, shorter-range bit rate) shrinks the range and the relevant
+//     triple count monotonically
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dataset_ops.h"
+#include "core/etx.h"
+#include "core/exor.h"
+#include "core/hidden.h"
+#include "sim/generator.h"
+
+namespace wmesh {
+namespace {
+
+const Dataset& test_dataset() {
+  static const Dataset ds = [] {
+    GeneratorConfig c = small_config();
+    c.probes.duration_s = 1800.0;
+    c.seed = 4242;
+    return generate_dataset(c);
+  }();
+  return ds;
+}
+
+// The networks the routing study covers: b/g traces with >= 5 APs.
+std::vector<SuccessMatrix> routing_matrices() {
+  std::vector<SuccessMatrix> out;
+  for (const auto& nt : test_dataset().networks) {
+    if (nt.info.standard != Standard::kBg || nt.ap_count < 5) continue;
+    out.push_back(mean_success_matrix(nt, 0));
+  }
+  return out;
+}
+
+TEST(RoutingProperties, EtxPathCostIsAtLeastHopCount) {
+  std::size_t pairs = 0;
+  for (const auto& m : routing_matrices()) {
+    for (const EtxVariant v : {EtxVariant::kEtx1, EtxVariant::kEtx2}) {
+      for (const PairGain& pg : opportunistic_gains(m, v)) {
+        ++pairs;
+        EXPECT_GE(pg.hops, 1);
+        // Every usable link delivers with probability <= 1, so its ETX cost
+        // is >= 1 transmission; a path of h hops therefore costs >= h.
+        EXPECT_GE(pg.etx_cost, static_cast<double>(pg.hops) - 1e-9)
+            << to_string(v) << " " << int(pg.src) << "->" << int(pg.dst);
+      }
+    }
+  }
+  ASSERT_GT(pairs, 0u) << "generated fleet produced no routable pairs";
+}
+
+TEST(RoutingProperties, ExorNeverCostsMoreThanEtx) {
+  std::size_t pairs = 0;
+  for (const auto& m : routing_matrices()) {
+    for (const EtxVariant v : {EtxVariant::kEtx1, EtxVariant::kEtx2}) {
+      for (const PairGain& pg : opportunistic_gains(m, v)) {
+        ++pairs;
+        // The idealized ExOR always has the ETX shortest path available as
+        // one strategy, so extra opportunistic receptions can only help.
+        EXPECT_LE(pg.exor_cost, pg.etx_cost + 1e-9)
+            << to_string(v) << " " << int(pg.src) << "->" << int(pg.dst);
+        // ...but delivering a packet still takes at least one broadcast.
+        EXPECT_GE(pg.exor_cost, 1.0 - 1e-9);
+        const double imp = pg.improvement();
+        EXPECT_GE(imp, -1e-9);
+        EXPECT_LT(imp, 1.0);
+      }
+    }
+  }
+  ASSERT_GT(pairs, 0u);
+}
+
+TEST(RoutingProperties, Etx2PathCostDominatesEtx1) {
+  std::size_t reachable = 0;
+  for (const auto& m : routing_matrices()) {
+    const EtxGraph g1(m, EtxVariant::kEtx1, kEtxMinDelivery);
+    const EtxGraph g2(m, EtxVariant::kEtx2, kEtxMinDelivery);
+    const std::size_t n = m.ap_count();
+    for (ApId src = 0; src < static_cast<ApId>(n); ++src) {
+      const auto d1 = g1.shortest_from(src);
+      const auto d2 = g2.shortest_from(src);
+      for (std::size_t dst = 0; dst < n; ++dst) {
+        if (d2[dst] == kInfCost) continue;  // ETX2-unreachable
+        ++reachable;
+        // Per link cost2 = 1/(p_fwd*p_rev) >= 1/p_fwd = cost1, so the
+        // shortest ETX2 path dominates the shortest ETX1 path, and ETX2
+        // reachability is a subset of ETX1 reachability.
+        EXPECT_NE(d1[dst], kInfCost);
+        EXPECT_GE(d2[dst] + 1e-9, d1[dst]);
+      }
+    }
+  }
+  ASSERT_GT(reachable, 0u);
+}
+
+// Scales every success rate by `f`, the constructed analogue of probing at
+// a faster rate: the same topology heard less well everywhere.
+SuccessMatrix scaled(const SuccessMatrix& m, double f) {
+  SuccessMatrix out(m.ap_count());
+  for (ApId a = 0; a < static_cast<ApId>(m.ap_count()); ++a) {
+    for (ApId b = 0; b < static_cast<ApId>(m.ap_count()); ++b) {
+      out.set(a, b, f * m.at(a, b));
+    }
+  }
+  return out;
+}
+
+TEST(HiddenProperties, ShrinkingHearingShrinksRangeAndRelevantTriples) {
+  // Uniformly scaling the success matrix down can only remove hearing
+  // edges (threshold fixed), so the range and the relevant-triple count
+  // must fall monotonically.  This is the §6 claim ("higher rates have
+  // shorter range") as a hard guarantee of the counting code.
+  bool checked_any = false;
+  for (const auto& m : routing_matrices()) {
+    std::size_t prev_range = 0;
+    std::size_t prev_relevant = 0;
+    bool first = true;
+    for (const double f : {1.0, 0.8, 0.6, 0.4, 0.2, 0.05}) {
+      const HearingGraph h(scaled(m, f), 0.10);
+      const std::size_t range = h.range_pairs();
+      const TripleCounts t = count_triples(h);
+      EXPECT_LE(t.hidden, t.relevant);
+      if (!first) {
+        EXPECT_LE(range, prev_range) << "factor " << f;
+        EXPECT_LE(t.relevant, prev_relevant) << "factor " << f;
+      }
+      if (first && range > 0) checked_any = true;
+      prev_range = range;
+      prev_relevant = t.relevant;
+      first = false;
+    }
+  }
+  ASSERT_TRUE(checked_any) << "no network had any hearing pairs at full power";
+}
+
+TEST(HiddenProperties, HearingGraphIsSymmetric) {
+  for (const auto& m : routing_matrices()) {
+    const HearingGraph h(m, 0.10);
+    for (ApId a = 0; a < static_cast<ApId>(h.ap_count()); ++a) {
+      for (ApId b = 0; b < static_cast<ApId>(h.ap_count()); ++b) {
+        EXPECT_EQ(h.hears(a, b), h.hears(b, a));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wmesh

@@ -1,6 +1,6 @@
 // wmesh_analyze: run one of the paper's analyses on a saved snapshot.
 //
-// Usage: wmesh_analyze <prefix> <analysis> [--metrics[=path]]
+// Usage: wmesh_analyze <prefix> <analysis> [--threads=N] [--metrics[=path]]
 //   snr       Fig 3.1 SNR dispersion summary
 //   lookup    Fig 4.4 look-up table accuracy by scope (both standards)
 //   routing   Fig 5.1 opportunistic-routing gains at 1 Mbit/s
@@ -13,12 +13,16 @@
 //   all       alias for etx
 //
 // Flags:
+//   --threads=N      size of the wmesh::par analysis pool (overrides
+//                    WMESH_THREADS; default: hardware concurrency).
+//                    Output is byte-identical for every N.
 //   --metrics        print the observability registry snapshot on exit
 //   --metrics=PATH   also write it to PATH (.json -> JSON, else CSV)
 //   --help           this text
 //
 // Observability env vars (see DESIGN.md "Observability"): WMESH_LOG_LEVEL,
-// WMESH_LOG_FILE, WMESH_TRACE_OUT.
+// WMESH_LOG_FILE, WMESH_TRACE_OUT.  WMESH_TRACE_OUT with --threads>1 shows
+// the parallel shard timeline (one track per pool thread).
 //
 // This is the entry point for running the toolkit over real traces: write
 // them in the trace/io.h CSV schema and point this tool (or the bench
@@ -28,18 +32,13 @@
 #include <fstream>
 #include <string>
 
-#include "core/exor.h"
-#include "core/hidden.h"
-#include "core/lookup_table.h"
-#include "core/mobility.h"
-#include "core/snr_stats.h"
-#include "core/traffic.h"
+#include "core/report.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "par/thread_pool.h"
 #include "trace/io.h"
-#include "util/stats.h"
-#include "util/text_table.h"
+#include "util/env.h"
 
 using namespace wmesh;
 
@@ -47,7 +46,8 @@ namespace {
 
 const char* const kUsage =
     "usage: wmesh_analyze <prefix> "
-    "<snr|lookup|routing|hidden|mobility|traffic|etx|all> [--metrics[=path]]\n"
+    "<snr|lookup|routing|hidden|mobility|traffic|etx|all> [--threads=N] "
+    "[--metrics[=path]]\n"
     "       wmesh_analyze --help\n";
 
 void print_help() {
@@ -64,11 +64,13 @@ void print_help() {
       "            every analysis above in one pass\n"
       "\n"
       "flags:\n"
+      "  --threads=N      analysis thread count (flag > WMESH_THREADS >\n"
+      "                   hardware); output is byte-identical for every N\n"
       "  --metrics        print the metrics registry snapshot on exit\n"
       "  --metrics=PATH   also write it to PATH (.json -> JSON, else CSV)\n"
       "  --help           this text\n"
       "\n"
-      "env: WMESH_LOG_LEVEL=trace|debug|info|warn|error|off,\n"
+      "env: WMESH_THREADS=N, WMESH_LOG_LEVEL=trace|debug|info|warn|error|off,\n"
       "     WMESH_LOG_FILE=<path>, WMESH_TRACE_OUT=<chrome-trace.json>\n",
       kUsage);
 }
@@ -77,146 +79,6 @@ void print_help() {
   WMESH_LOG_ERROR("cli", kv("tool", "wmesh_analyze"), kv("error", reason));
   std::fputs(kUsage, stderr);
   return 2;
-}
-
-int run_snr(const Dataset& ds) {
-  for (const Standard std : {Standard::kBg, Standard::kN}) {
-    const auto dev = snr_deviations(ds, std);
-    if (dev.per_probe_set.empty()) continue;
-    const Cdf sets(dev.per_probe_set);
-    std::printf("%s: probe-set sigma median %.2f dB (<5 dB: %.1f%%), link "
-                "median %.2f, network median %.2f\n",
-                std::string(to_string(std)).c_str(), sets.median(),
-                100.0 * sets.fraction_at_or_below(5.0),
-                median(dev.per_link), median(dev.per_network));
-  }
-  return 0;
-}
-
-int run_lookup(const Dataset& ds) {
-  TextTable t;
-  t.header({"standard", "scope", "exact", "mean loss (Mbit/s)"});
-  for (const Standard std : {Standard::kBg, Standard::kN}) {
-    for (const TableScope scope :
-         {TableScope::kGlobal, TableScope::kNetwork, TableScope::kAp,
-          TableScope::kLink}) {
-      const auto err = lookup_table_errors(ds, std, scope);
-      if (err.throughput_diff_mbps.empty()) continue;
-      t.add_row({std::string(to_string(std)), to_string(scope),
-                 fmt(100.0 * err.exact_fraction, 1) + "%",
-                 fmt(mean(err.throughput_diff_mbps), 3)});
-    }
-  }
-  std::fputs(t.render().c_str(), stdout);
-  return 0;
-}
-
-int run_routing(const Dataset& ds) {
-  for (const EtxVariant v : {EtxVariant::kEtx1, EtxVariant::kEtx2}) {
-    std::vector<double> imps;
-    std::size_t none = 0;
-    for (const auto& nt : ds.networks) {
-      if (nt.info.standard != Standard::kBg || nt.ap_count < 5) continue;
-      for (const auto& g :
-           opportunistic_gains(mean_success_matrix(nt, 0), v)) {
-        imps.push_back(g.improvement());
-        none += g.improvement() < 1e-9 ? 1 : 0;
-      }
-    }
-    if (imps.empty()) continue;
-    std::printf("%s @1M: mean %.3f median %.3f zero-gain %.1f%% over %zu "
-                "pairs\n",
-                to_string(v), mean(imps), median(imps),
-                100.0 * static_cast<double>(none) /
-                    static_cast<double>(imps.size()),
-                imps.size());
-  }
-  return 0;
-}
-
-int run_path_lengths(const Dataset& ds) {
-  std::vector<double> lengths;
-  for (const auto& nt : ds.networks) {
-    if (nt.info.standard != Standard::kBg || nt.ap_count < 5) continue;
-    for (const int h : path_lengths(mean_success_matrix(nt, 0))) {
-      lengths.push_back(static_cast<double>(h));
-    }
-  }
-  if (lengths.empty()) {
-    std::printf("no connected >=5-AP b/g networks for path lengths\n");
-    return 0;
-  }
-  std::printf("ETX1 @1M paths: %zu pairs, mean %.2f hops, median %.0f, p90 "
-              "%.0f\n",
-              lengths.size(), mean(lengths), median(lengths),
-              quantile(lengths, 0.9));
-  return 0;
-}
-
-int run_hidden(const Dataset& ds) {
-  TextTable t;
-  t.header({"rate", "networks", "median hidden fraction"});
-  const auto rates = probed_rates(Standard::kBg);
-  for (RateIndex r = 0; r < rates.size(); ++r) {
-    const auto stats = hidden_triples_per_network(ds, Standard::kBg, r, 0.10);
-    if (stats.fractions.empty()) continue;
-    t.add_row({std::string(rates[r].name),
-               std::to_string(stats.fractions.size()),
-               fmt(median(stats.fractions), 3)});
-  }
-  std::fputs(t.render().c_str(), stdout);
-  return 0;
-}
-
-int run_mobility(const Dataset& ds) {
-  for (const Environment env : {Environment::kIndoor, Environment::kOutdoor}) {
-    const auto m = analyze_mobility_by_env(ds, env);
-    if (m.prevalence.empty()) continue;
-    std::printf("%s: prevalence mean/med %.3f/%.3f, persistence mean/med "
-                "%.1f/%.1f min, %zu sessions\n",
-                to_string(env).c_str(), mean(m.prevalence),
-                median(m.prevalence), mean(m.persistence_min),
-                median(m.persistence_min), m.aps_visited.size());
-  }
-  return 0;
-}
-
-int run_traffic(const Dataset& ds) {
-  const auto t = analyze_traffic(ds);
-  if (t.packets_per_client.empty()) {
-    std::printf("no client data in snapshot\n");
-    return 0;
-  }
-  std::printf("clients: %zu, APs with traffic: %zu, total packets: %.0f\n",
-              t.packets_per_client.size(), t.packets_per_ap.size(),
-              t.total_packets);
-  std::printf("median packets/client: %.0f (p90 %.0f); busiest 10%% of APs "
-              "carry %.0f%% of traffic\n",
-              median(t.packets_per_client),
-              quantile(t.packets_per_client, 0.9),
-              100.0 * t.top_decile_ap_share);
-  return 0;
-}
-
-// The full pipeline at the ETX base rate: every analysis family in one
-// invocation, with the routing study (the paper's ETX/ExOR core) expanded.
-int run_etx(const Dataset& ds) {
-  WMESH_SPAN("analyze.etx_pipeline");
-  int rc = 0;
-  std::printf("== snr ==\n");
-  rc |= run_snr(ds);
-  std::printf("\n== lookup ==\n");
-  rc |= run_lookup(ds);
-  std::printf("\n== etx/exor routing ==\n");
-  rc |= run_routing(ds);
-  rc |= run_path_lengths(ds);
-  std::printf("\n== hidden ==\n");
-  rc |= run_hidden(ds);
-  std::printf("\n== mobility ==\n");
-  rc |= run_mobility(ds);
-  std::printf("\n== traffic ==\n");
-  rc |= run_traffic(ds);
-  return rc;
 }
 
 void emit_metrics(const std::string& path) {
@@ -259,6 +121,13 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--metrics=", 0) == 0) {
       want_metrics = true;
       metrics_path = arg.substr(std::strlen("--metrics="));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      const std::string v = arg.substr(std::strlen("--threads="));
+      const auto n = env::parse_u64(v);
+      if (!n || *n == 0) {
+        return usage_error("--threads: not a positive integer: '" + v + "'");
+      }
+      par::set_default_threads(static_cast<std::size_t>(*n));
     } else if (arg.rfind("--", 0) == 0) {
       return usage_error("unknown flag '" + arg + "'");
     } else if (prefix.empty()) {
@@ -272,6 +141,11 @@ int main(int argc, char** argv) {
   if (prefix.empty() || what.empty()) {
     return usage_error("missing <prefix> or <analysis>");
   }
+  if (what != "snr" && what != "lookup" && what != "routing" &&
+      what != "hidden" && what != "mobility" && what != "traffic" &&
+      what != "etx" && what != "all") {
+    return usage_error("unknown analysis '" + what + "'");
+  }
 
   Dataset ds;
   if (!load_dataset(prefix, &ds)) {
@@ -281,26 +155,11 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  int rc;
-  if (what == "snr") {
-    rc = run_snr(ds);
-  } else if (what == "lookup") {
-    rc = run_lookup(ds);
-  } else if (what == "routing") {
-    rc = run_routing(ds);
-  } else if (what == "hidden") {
-    rc = run_hidden(ds);
-  } else if (what == "mobility") {
-    rc = run_mobility(ds);
-  } else if (what == "traffic") {
-    rc = run_traffic(ds);
-  } else if (what == "etx" || what == "all") {
-    rc = run_etx(ds);
-  } else {
-    return usage_error("unknown analysis '" + what + "'");
-  }
+  WMESH_LOG_INFO("cli", kv("tool", "wmesh_analyze"), kv("analysis", what),
+                 kv("threads", par::default_thread_count()));
+  std::fputs(run_report(ds, what).c_str(), stdout);
 
   if (want_metrics) emit_metrics(metrics_path);
   obs::flush_trace();
-  return rc;
+  return 0;
 }

@@ -5,7 +5,11 @@
 // the toolkit.
 //
 // Usage: wmesh_gen <prefix> [--seed N] [--hours H] [--networks N]
-//                  [--paper-scale] [--no-clients] [--metrics[=path]]
+//                  [--small] [--paper-scale] [--no-clients] [--threads=N]
+//                  [--metrics[=path]]
+//
+// Generation runs one network per wmesh::par task on pre-forked RNG
+// streams; the snapshot is byte-identical for any --threads value.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -14,6 +18,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "par/thread_pool.h"
 #include "sim/generator.h"
 #include "trace/io.h"
 #include "util/env.h"
@@ -24,7 +29,8 @@ namespace {
 
 const char* const kUsage =
     "usage: wmesh_gen <prefix> [--seed N] [--hours H] [--networks N] "
-    "[--paper-scale] [--no-clients] [--metrics[=path]]\n"
+    "[--small] [--paper-scale] [--no-clients] [--threads=N] "
+    "[--metrics[=path]]\n"
     "       wmesh_gen --help\n";
 
 void print_help() {
@@ -36,13 +42,16 @@ void print_help() {
       "  --seed N         generation seed (unsigned integer)\n"
       "  --hours H        probe-trace length in hours\n"
       "  --networks N     fleet size (population classes scale with it)\n"
+      "  --small          tiny 6-network, 1-hour fleet (golden test data)\n"
       "  --paper-scale    paper-scale probe parameters\n"
       "  --no-clients     skip client mobility simulation\n"
+      "  --threads=N      generation thread count (flag > WMESH_THREADS >\n"
+      "                   hardware); snapshot is byte-identical for every N\n"
       "  --metrics        print the metrics registry snapshot on exit\n"
       "  --metrics=PATH   also write it to PATH (.json -> JSON, else CSV)\n"
       "  --help           this text\n"
       "\n"
-      "env: WMESH_LOG_LEVEL=trace|debug|info|warn|error|off,\n"
+      "env: WMESH_THREADS=N, WMESH_LOG_LEVEL=trace|debug|info|warn|error|off,\n"
       "     WMESH_LOG_FILE=<path>, WMESH_TRACE_OUT=<chrome-trace.json>\n",
       kUsage);
 }
@@ -126,10 +135,21 @@ int main(int argc, char** argv) {
       config.fleet.indoor = static_cast<std::size_t>(72 * f);
       config.fleet.outdoor = static_cast<std::size_t>(17 * f);
       config.fleet.force_max_network = n >= 50;
+    } else if (arg == "--small") {
+      const std::uint64_t seed = config.seed;
+      config = small_config();
+      config.seed = seed;  // --seed composes with --small in either order
     } else if (arg == "--paper-scale") {
       config.probes = paper_scale_probe_params();
     } else if (arg == "--no-clients") {
       config.generate_clients = false;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      const std::string v = arg.substr(std::strlen("--threads="));
+      const auto n = env::parse_u64(v);
+      if (!n || *n == 0) {
+        return usage_error("--threads: not a positive integer: '" + v + "'");
+      }
+      par::set_default_threads(static_cast<std::size_t>(*n));
     } else if (arg == "--metrics") {
       want_metrics = true;
     } else if (arg.rfind("--metrics=", 0) == 0) {
