@@ -1,0 +1,183 @@
+// Snapshot I/O throughput: CSV vs WSNAP.
+//
+// Saves the bench snapshot in both formats, then times save and load for
+// each at 1/2/8 threads (CSV is serial, so its numbers are flat across the
+// sweep -- that is the point of the comparison; WSNAP encodes/decodes on
+// the wmesh::par pool).  Reports MB/s against on-disk bytes and rows/s
+// against the flat row count (probe-entry rows + client rows, i.e. the CSV
+// line count), and the WSNAP-over-CSV load speedup the format exists for.
+//
+// Output: bench_out/io_load_throughput.csv
+//         (format,op,threads,bytes,rows,seconds,mb_per_s,rows_per_s)
+// plus the usual bench_out/io_load_throughput.metrics.csv with the
+// store.load/store.save span histograms and byte counters.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "par/thread_pool.h"
+#include "trace/io.h"
+
+using namespace wmesh;
+
+namespace {
+
+constexpr std::size_t kThreadSweep[] = {1, 2, 8};
+constexpr int kReps = 3;  // per cell; min is reported (steady-state cost)
+
+std::uint64_t file_bytes(const std::string& path) {
+  std::error_code ec;
+  const auto n = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<std::uint64_t>(n);
+}
+
+std::uint64_t on_disk_bytes(const std::string& prefix, SnapshotFormat f) {
+  if (f == SnapshotFormat::kWsnap) return file_bytes(wsnap_path(prefix));
+  return file_bytes(prefix + ".probes.csv") +
+         file_bytes(prefix + ".clients.csv");
+}
+
+// Flat row count: what the CSV writes one line per.
+std::uint64_t flat_rows(const Dataset& ds) {
+  std::uint64_t rows = 0;
+  for (const auto& nt : ds.networks) {
+    for (const auto& set : nt.probe_sets) rows += set.entries.size();
+    rows += nt.client_samples.size();
+  }
+  return rows;
+}
+
+template <typename Fn>
+double time_min_s(Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < kReps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    if (r == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+struct Cell {
+  std::string format, op;
+  std::size_t threads;
+  std::uint64_t bytes, rows;
+  double seconds;
+  double mb_per_s() const {
+    return static_cast<double>(bytes) / (1e6 * seconds);
+  }
+  double rows_per_s() const {
+    return static_cast<double>(rows) / seconds;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Dataset& ds = bench::snapshot();
+  const std::uint64_t rows = flat_rows(ds);
+
+  const std::string csv_prefix = bench::out_dir() + "/io_snapshot";
+  const std::string ws_prefix = bench::out_dir() + "/io_snapshot.wsnap";
+  if (!save_dataset(ds, csv_prefix, SnapshotFormat::kCsv) ||
+      !save_dataset(ds, ws_prefix, SnapshotFormat::kWsnap)) {
+    std::fprintf(stderr, "error: cannot write snapshot under %s\n",
+                 bench::out_dir().c_str());
+    return 1;
+  }
+  const std::uint64_t csv_bytes = on_disk_bytes(csv_prefix, SnapshotFormat::kCsv);
+  const std::uint64_t ws_bytes = on_disk_bytes(ws_prefix, SnapshotFormat::kWsnap);
+
+  bench::section("snapshot I/O throughput: CSV vs WSNAP");
+  std::printf("%llu flat rows; on disk: csv %.2f MB, wsnap %.2f MB (%.2fx)\n",
+              static_cast<unsigned long long>(rows), csv_bytes / 1e6,
+              ws_bytes / 1e6,
+              static_cast<double>(csv_bytes) / static_cast<double>(ws_bytes));
+
+  std::vector<Cell> cells;
+  for (const std::size_t threads : kThreadSweep) {
+    par::set_default_threads(threads);
+    Dataset tmp;
+    cells.push_back({"csv", "save", threads, csv_bytes, rows, time_min_s([&] {
+                       save_dataset(ds, csv_prefix, SnapshotFormat::kCsv);
+                     })});
+    cells.push_back({"csv", "load", threads, csv_bytes, rows, time_min_s([&] {
+                       load_dataset(csv_prefix, &tmp, SnapshotFormat::kCsv);
+                     })});
+    cells.push_back({"wsnap", "save", threads, ws_bytes, rows, time_min_s([&] {
+                       save_dataset(ds, ws_prefix, SnapshotFormat::kWsnap);
+                     })});
+    cells.push_back({"wsnap", "load", threads, ws_bytes, rows, time_min_s([&] {
+                       load_dataset(ws_prefix, &tmp, SnapshotFormat::kWsnap);
+                     })});
+  }
+
+  TextTable t;
+  t.header({"format", "op", "threads", "MB/s", "Mrows/s", "ms"});
+  CsvWriter csv = bench::open_csv("io_load_throughput");
+  csv.row({"format", "op", "threads", "bytes", "rows", "seconds", "mb_per_s",
+           "rows_per_s"});
+  for (const auto& c : cells) {
+    t.add_row({c.format, c.op, std::to_string(c.threads), fmt(c.mb_per_s(), 1),
+               fmt(c.rows_per_s() / 1e6, 2), fmt(1e3 * c.seconds, 2)});
+    csv.raw_line(c.format + ',' + c.op + ',' + std::to_string(c.threads) +
+                 ',' + std::to_string(c.bytes) + ',' + std::to_string(c.rows) +
+                 ',' + fmt(c.seconds, 6) + ',' + fmt(c.mb_per_s(), 3) + ',' +
+                 fmt(c.rows_per_s(), 1));
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("(csv: %s/io_load_throughput.csv)\n", bench::out_dir().c_str());
+
+  std::printf("\nload speedup (wsnap rows/s over csv rows/s):\n");
+  for (const std::size_t threads : kThreadSweep) {
+    double csv_s = 0.0, ws_s = 0.0;
+    for (const auto& c : cells) {
+      if (c.op != "load" || c.threads != threads) continue;
+      (c.format == "csv" ? csv_s : ws_s) = c.seconds;
+    }
+    std::printf("  %zu thread%s: %.1fx\n", threads, threads == 1 ? "" : "s",
+                csv_s / ws_s);
+  }
+
+  // Google-benchmark timings of the same operations (1 thread here; the
+  // sweep above covers scaling).
+  par::set_default_threads(1);
+  benchmark::RegisterBenchmark("load/csv", [&](benchmark::State& st) {
+    Dataset tmp;
+    for (auto _ : st) {
+      load_dataset(csv_prefix, &tmp, SnapshotFormat::kCsv);
+      benchmark::DoNotOptimize(tmp);
+    }
+    st.SetBytesProcessed(static_cast<std::int64_t>(csv_bytes) *
+                         st.iterations());
+  });
+  benchmark::RegisterBenchmark("load/wsnap", [&](benchmark::State& st) {
+    Dataset tmp;
+    for (auto _ : st) {
+      load_dataset(ws_prefix, &tmp, SnapshotFormat::kWsnap);
+      benchmark::DoNotOptimize(tmp);
+    }
+    st.SetBytesProcessed(static_cast<std::int64_t>(ws_bytes) *
+                         st.iterations());
+  });
+  benchmark::RegisterBenchmark("save/csv", [&](benchmark::State& st) {
+    for (auto _ : st) {
+      save_dataset(ds, csv_prefix, SnapshotFormat::kCsv);
+    }
+    st.SetBytesProcessed(static_cast<std::int64_t>(csv_bytes) *
+                         st.iterations());
+  });
+  benchmark::RegisterBenchmark("save/wsnap", [&](benchmark::State& st) {
+    for (auto _ : st) {
+      save_dataset(ds, ws_prefix, SnapshotFormat::kWsnap);
+    }
+    st.SetBytesProcessed(static_cast<std::int64_t>(ws_bytes) *
+                         st.iterations());
+  });
+  return bench::run_benchmarks(argc, argv);
+}

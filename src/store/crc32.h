@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for WSNAP block checksums.
+//
+// Self-contained slice-by-eight implementation so the store layer carries
+// no zlib dependency; ~3 GB/s per core, far above snapshot I/O rates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wmesh::store {
+
+// CRC of `len` bytes starting at `data`, seeded with `seed` (0 for a fresh
+// checksum).  Feeding a buffer in pieces via the previous return value gives
+// the same result as one call over the whole buffer.
+std::uint32_t crc32(const void* data, std::size_t len,
+                    std::uint32_t seed = 0) noexcept;
+
+}  // namespace wmesh::store

@@ -1,0 +1,87 @@
+#include "store/mmap_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace wmesh::store {
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+    opened_ = std::exchange(other.opened_, false);
+    fallback_ = std::move(other.fallback_);
+    error_ = std::move(other.error_);
+    if (!mapped_ && !fallback_.empty()) data_ = fallback_.data();
+  }
+  return *this;
+}
+
+bool MmapFile::open(const std::string& path) {
+  close();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    error_ = path + ": " + std::strerror(errno);
+    return false;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    error_ = path + ": not a regular file";
+    ::close(fd);
+    return false;
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) {
+    ::close(fd);
+    opened_ = true;
+    return true;
+  }
+  void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (p != MAP_FAILED) {
+    data_ = static_cast<const std::uint8_t*>(p);
+    mapped_ = true;
+  } else {
+    // Fallback: slurp.  Keeps the reader working on filesystems without
+    // mmap support (some tmpfs/9p setups).
+    fallback_.resize(size_);
+    std::size_t off = 0;
+    while (off < size_) {
+      const ssize_t n = ::pread(fd, fallback_.data() + off,
+                                size_ - off, static_cast<off_t>(off));
+      if (n <= 0) {
+        error_ = path + ": read failed: " + std::strerror(errno);
+        fallback_.clear();
+        size_ = 0;
+        ::close(fd);
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    data_ = fallback_.data();
+  }
+  ::close(fd);
+  opened_ = true;
+  return true;
+}
+
+void MmapFile::close() noexcept {
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  opened_ = false;
+  fallback_.clear();
+  error_.clear();
+}
+
+}  // namespace wmesh::store

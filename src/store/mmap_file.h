@@ -1,0 +1,45 @@
+// Read-only memory-mapped file for the WSNAP zero-copy read path.
+//
+// On POSIX the file is mmap(2)'d; when mapping fails (or the file is empty)
+// the bytes are read into an owned buffer instead, so callers always see a
+// contiguous span and never need a platform branch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wmesh::store {
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile() { close(); }
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+
+  // Maps `path` read-only.  Returns false (with `error()` set) when the
+  // file cannot be opened or stat'd; an empty file maps to an empty span.
+  bool open(const std::string& path);
+  void close() noexcept;
+
+  bool is_open() const noexcept { return opened_; }
+  const std::uint8_t* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool mapped() const noexcept { return mapped_; }
+  const std::string& error() const noexcept { return error_; }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;        // true: munmap on close; false: fallback_ owns
+  bool opened_ = false;
+  std::vector<std::uint8_t> fallback_;
+  std::string error_;
+};
+
+}  // namespace wmesh::store

@@ -1,0 +1,819 @@
+#include "store/wsnap.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <type_traits>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "par/thread_pool.h"
+#include "store/crc32.h"
+#include "store/mmap_file.h"
+
+namespace wmesh::store {
+namespace {
+
+constexpr std::size_t kSectionCount = 4;
+constexpr std::size_t kMaxColumns = 6;
+
+// Known columns per section in WSNAP v1 (ids 0..count-1 are all defined).
+constexpr std::size_t kKnownColumns[kSectionCount] = {6, 5, 3, 5};
+
+const char* section_name(std::uint16_t s) {
+  switch (static_cast<Section>(s)) {
+    case Section::kNetworks:
+      return "networks";
+    case Section::kProbeSets:
+      return "probe_sets";
+    case Section::kProbeEntries:
+      return "probe_entries";
+    case Section::kClientSamples:
+      return "client_samples";
+  }
+  return "unknown";
+}
+
+const char* column_name(std::uint16_t s, std::uint16_t c) {
+  static constexpr const char* kNames[kSectionCount][kMaxColumns] = {
+      {"id", "env", "standard", "ap_count", "set_count", "client_count"},
+      {"from", "to", "time_s", "snr", "entry_count", nullptr},
+      {"rate", "loss", "snr", nullptr, nullptr, nullptr},
+      {"client", "ap", "bucket", "assoc", "packets", nullptr},
+  };
+  if (s < kSectionCount && c < kKnownColumns[s]) return kNames[s][c];
+  return "unknown";
+}
+
+// On-disk element width of a known column; 0 for unknown ids.
+std::uint32_t elem_width(std::uint16_t s, std::uint16_t c) {
+  static constexpr std::uint32_t kWidths[kSectionCount][kMaxColumns] = {
+      {4, 1, 1, 2, 8, 8},
+      {2, 2, 4, 4, 4, 0},
+      {1, 4, 4, 0, 0, 0},
+      {4, 2, 4, 2, 4, 0},
+  };
+  if (s < kSectionCount && c < kKnownColumns[s]) return kWidths[s][c];
+  return 0;
+}
+
+std::string hex32(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08x", v);
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+// One column block of a chunk, staged for CRC + write.
+struct BlockSpec {
+  std::uint16_t section = 0;
+  std::uint16_t column = 0;
+  const void* data = nullptr;
+  std::uint64_t bytes = 0;
+  std::uint64_t rows = 0;
+  std::uint32_t crc = 0;
+};
+
+template <typename T>
+BlockSpec spec(Section s, std::uint16_t col, const std::vector<T>& v) {
+  return {static_cast<std::uint16_t>(s), col, v.data(),
+          v.size() * sizeof(T), v.size(), 0};
+}
+
+}  // namespace
+
+struct WsnapWriter::Impl {
+  std::string path;
+  Options opts;
+  std::ofstream out;
+  std::uint64_t offset = 0;
+  std::uint64_t payload_bytes = 0;
+  std::vector<BlockDesc> blocks;
+  std::string error;
+  bool failed = false;
+  bool finished = false;
+
+  // networks section: one row per network, kept whole-file (tiny).
+  std::vector<std::uint32_t> net_id;
+  std::vector<std::uint8_t> net_env, net_std;
+  std::vector<std::uint16_t> net_ap;
+  std::vector<std::uint64_t> net_sets, net_clients;
+
+  // pending probe chunk (sets + their entries flush together).
+  std::uint32_t probe_chunk = 0;
+  std::vector<std::uint16_t> set_from, set_to;
+  std::vector<std::uint32_t> set_time, set_entries;
+  std::vector<float> set_snr;
+  std::vector<std::uint8_t> ent_rate;
+  std::vector<float> ent_loss, ent_snr;
+
+  // pending client chunk.
+  std::uint32_t client_chunk = 0;
+  std::vector<std::uint32_t> cli_client, cli_bucket, cli_packets;
+  std::vector<std::uint16_t> cli_ap, cli_assoc;
+
+  bool fail(std::string msg) {
+    if (!failed) {
+      failed = true;
+      error = "wsnap: " + path + ": " + std::move(msg);
+      WMESH_LOG_ERROR("store", kv("op", "save"), kv("path", path),
+                      kv("error", error));
+    }
+    return false;
+  }
+
+  bool write_bytes(const void* p, std::size_t n) {
+    out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+    if (!out) return fail("write failed");
+    offset += n;
+    return true;
+  }
+
+  bool pad_to_alignment() {
+    static constexpr char kZeros[kBlockAlign] = {};
+    const std::uint64_t aligned = align_up(offset, kBlockAlign);
+    if (aligned == offset) return true;
+    return write_bytes(kZeros, static_cast<std::size_t>(aligned - offset));
+  }
+
+  // CRCs the chunk's blocks in parallel (byte-identical to serial: the
+  // payload is already built, only checksums are computed concurrently),
+  // then appends them to the file in spec order.
+  bool flush_blocks(std::uint32_t chunk, std::vector<BlockSpec> specs) {
+    if (failed) return false;
+    {
+      WMESH_SPAN("store.crc");
+      par::parallel_for(specs.size(), [&](std::size_t i) {
+        specs[i].crc = crc32(specs[i].data, specs[i].bytes);
+      });
+    }
+    for (const BlockSpec& s : specs) {
+      if (!pad_to_alignment()) return false;
+      BlockDesc d;
+      d.section = s.section;
+      d.column = s.column;
+      d.chunk = chunk;
+      d.offset = offset;
+      d.bytes = s.bytes;
+      d.rows = s.rows;
+      d.crc = s.crc;
+      if (s.bytes > 0 && !write_bytes(s.data, s.bytes)) return false;
+      blocks.push_back(d);
+      payload_bytes += s.bytes;
+    }
+    return true;
+  }
+
+  bool flush_probe_chunk() {
+    if (set_from.empty()) return !failed;
+    std::vector<BlockSpec> specs = {
+        spec(Section::kProbeSets, col::kSetFrom, set_from),
+        spec(Section::kProbeSets, col::kSetTo, set_to),
+        spec(Section::kProbeSets, col::kSetTime, set_time),
+        spec(Section::kProbeSets, col::kSetSnr, set_snr),
+        spec(Section::kProbeSets, col::kSetEntryCount, set_entries),
+        spec(Section::kProbeEntries, col::kEntRate, ent_rate),
+        spec(Section::kProbeEntries, col::kEntLoss, ent_loss),
+        spec(Section::kProbeEntries, col::kEntSnr, ent_snr),
+    };
+    if (!flush_blocks(probe_chunk, std::move(specs))) return false;
+    ++probe_chunk;
+    set_from.clear();
+    set_to.clear();
+    set_time.clear();
+    set_snr.clear();
+    set_entries.clear();
+    ent_rate.clear();
+    ent_loss.clear();
+    ent_snr.clear();
+    return true;
+  }
+
+  bool flush_client_chunk() {
+    if (cli_client.empty()) return !failed;
+    std::vector<BlockSpec> specs = {
+        spec(Section::kClientSamples, col::kCliClient, cli_client),
+        spec(Section::kClientSamples, col::kCliAp, cli_ap),
+        spec(Section::kClientSamples, col::kCliBucket, cli_bucket),
+        spec(Section::kClientSamples, col::kCliAssoc, cli_assoc),
+        spec(Section::kClientSamples, col::kCliPackets, cli_packets),
+    };
+    if (!flush_blocks(client_chunk, std::move(specs))) return false;
+    ++client_chunk;
+    cli_client.clear();
+    cli_ap.clear();
+    cli_bucket.clear();
+    cli_assoc.clear();
+    cli_packets.clear();
+    return true;
+  }
+};
+
+WsnapWriter::WsnapWriter(const std::string& path, Options opts)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->path = path;
+  impl_->opts = opts;
+  if (impl_->opts.chunk_rows == 0) impl_->opts.chunk_rows = kDefaultChunkRows;
+  impl_->out.open(path, std::ios::binary | std::ios::trunc);
+  if (!impl_->out) {
+    impl_->fail("cannot open for writing");
+    return;
+  }
+  FileHeader h;
+  impl_->write_bytes(&h, sizeof(h));
+}
+
+WsnapWriter::~WsnapWriter() = default;
+
+bool WsnapWriter::ok() const noexcept { return !impl_->failed; }
+const std::string& WsnapWriter::error() const noexcept {
+  return impl_->error;
+}
+
+bool WsnapWriter::begin_network(const NetworkInfo& info,
+                                std::uint16_t ap_count) {
+  Impl& w = *impl_;
+  if (w.failed) return false;
+  if (w.finished) return w.fail("begin_network after finish");
+  w.net_id.push_back(info.id);
+  w.net_env.push_back(static_cast<std::uint8_t>(info.env));
+  w.net_std.push_back(static_cast<std::uint8_t>(info.standard));
+  w.net_ap.push_back(ap_count);
+  w.net_sets.push_back(0);
+  w.net_clients.push_back(0);
+  return true;
+}
+
+bool WsnapWriter::add_probe_set(const ProbeSet& set) {
+  Impl& w = *impl_;
+  if (w.failed) return false;
+  if (w.finished) return w.fail("add_probe_set after finish");
+  if (w.net_id.empty()) return w.fail("add_probe_set before begin_network");
+  if (set.entries.size() > std::numeric_limits<std::uint32_t>::max()) {
+    return w.fail("probe set with more than 2^32 entries");
+  }
+  w.set_from.push_back(set.from);
+  w.set_to.push_back(set.to);
+  w.set_time.push_back(set.time_s);
+  w.set_snr.push_back(set.snr_db);
+  w.set_entries.push_back(static_cast<std::uint32_t>(set.entries.size()));
+  for (const ProbeEntry& e : set.entries) {
+    w.ent_rate.push_back(e.rate);
+    w.ent_loss.push_back(e.loss);
+    w.ent_snr.push_back(e.snr_db);
+  }
+  ++w.net_sets.back();
+  // Flush at probe-set granularity; the threshold depends only on the data
+  // stream, so the chunk structure is independent of thread count.
+  if (w.set_from.size() >= w.opts.chunk_rows ||
+      w.ent_rate.size() >= w.opts.chunk_rows) {
+    return w.flush_probe_chunk();
+  }
+  return true;
+}
+
+bool WsnapWriter::add_client_sample(const ClientSample& sample) {
+  Impl& w = *impl_;
+  if (w.failed) return false;
+  if (w.finished) return w.fail("add_client_sample after finish");
+  if (w.net_id.empty()) {
+    return w.fail("add_client_sample before begin_network");
+  }
+  w.cli_client.push_back(sample.client);
+  w.cli_ap.push_back(sample.ap);
+  w.cli_bucket.push_back(sample.bucket);
+  w.cli_assoc.push_back(sample.assoc_requests);
+  w.cli_packets.push_back(sample.data_packets);
+  ++w.net_clients.back();
+  if (w.cli_client.size() >= w.opts.chunk_rows) {
+    return w.flush_client_chunk();
+  }
+  return true;
+}
+
+bool WsnapWriter::finish() {
+  WMESH_SPAN("store.finish");
+  Impl& w = *impl_;
+  if (w.failed) return false;
+  if (w.finished) return w.fail("finish called twice");
+  w.finished = true;
+  if (!w.flush_probe_chunk()) return false;
+  if (!w.flush_client_chunk()) return false;
+  // The networks section is always present (even empty): readers anchor
+  // per-network row attribution on it.
+  std::vector<BlockSpec> nets = {
+      spec(Section::kNetworks, col::kNetId, w.net_id),
+      spec(Section::kNetworks, col::kNetEnv, w.net_env),
+      spec(Section::kNetworks, col::kNetStandard, w.net_std),
+      spec(Section::kNetworks, col::kNetApCount, w.net_ap),
+      spec(Section::kNetworks, col::kNetSetCount, w.net_sets),
+      spec(Section::kNetworks, col::kNetClientCount, w.net_clients),
+  };
+  if (!w.flush_blocks(0, std::move(nets))) return false;
+
+  if (!w.pad_to_alignment()) return false;
+  const std::uint64_t footer_offset = w.offset;
+  std::vector<std::uint8_t> footer(w.blocks.size() * kBlockDescBytes);
+  for (std::size_t i = 0; i < w.blocks.size(); ++i) {
+    write_pod(footer.data() + i * kBlockDescBytes, w.blocks[i]);
+  }
+  if (!footer.empty() && !w.write_bytes(footer.data(), footer.size())) {
+    return false;
+  }
+  Trailer t;
+  t.footer_offset = footer_offset;
+  t.block_count = static_cast<std::uint32_t>(w.blocks.size());
+  t.footer_crc = crc32(footer.data(), footer.size());
+  t.payload_bytes = w.payload_bytes;
+  if (!w.write_bytes(&t, sizeof(t))) return false;
+  w.out.flush();
+  if (!w.out) return w.fail("flush failed");
+  WMESH_COUNTER_ADD("store.bytes_written", w.offset);
+  WMESH_COUNTER_ADD("store.blocks_written", w.blocks.size());
+  WMESH_LOG_INFO("store", kv("op", "save"), kv("path", w.path),
+                 kv("bytes", w.offset), kv("blocks", w.blocks.size()),
+                 kv("networks", w.net_id.size()));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+namespace {
+
+// One contiguous slice of a logical column (= one block), in chunk order.
+struct Run {
+  std::uint64_t begin = 0;  // first logical row of this run
+  std::uint64_t rows = 0;
+  const std::uint8_t* data = nullptr;
+};
+
+struct Column {
+  std::vector<Run> runs;
+  std::uint64_t total = 0;
+};
+
+// Typed zero-copy view over a column's runs.
+template <typename T>
+class View {
+ public:
+  explicit View(const Column* c = nullptr) : c_(c) {}
+
+  std::uint64_t total() const { return c_ ? c_->total : 0; }
+
+  // Calls fn(ptr, count, row_begin) for each contiguous piece of
+  // [begin, end), in row order.
+  template <typename Fn>
+  void for_range(std::uint64_t begin, std::uint64_t end, Fn&& fn) const {
+    if (c_ == nullptr || begin >= end) return;
+    const auto& runs = c_->runs;
+    std::size_t lo = 0, hi = runs.size();
+    while (lo < hi) {  // first run whose end is past `begin`
+      const std::size_t mid = (lo + hi) / 2;
+      if (runs[mid].begin + runs[mid].rows <= begin) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    for (std::size_t r = lo; r < runs.size() && runs[r].begin < end; ++r) {
+      const Run& run = runs[r];
+      const std::uint64_t b = std::max(begin, run.begin);
+      const std::uint64_t e = std::min(end, run.begin + run.rows);
+      fn(reinterpret_cast<const T*>(run.data) + (b - run.begin),
+         static_cast<std::size_t>(e - b), b);
+    }
+  }
+
+  T at(std::uint64_t row) const {
+    T v{};
+    for_range(row, row + 1,
+              [&](const T* p, std::size_t, std::uint64_t) { v = *p; });
+    return v;
+  }
+
+ private:
+  const Column* c_;
+};
+
+enum class OpenLevel { kInspect, kFull };
+
+}  // namespace
+
+struct WsnapReader::Impl {
+  MmapFile map;
+  std::string path;
+  std::string error;
+  WsnapInfo info;
+  bool opened = false;
+
+  Column cols[kSectionCount][kMaxColumns];
+  // Positional attribution, built once at open: network i owns probe-set
+  // rows [set_start[i], set_start[i+1]) and client rows
+  // [client_start[i], client_start[i+1]); probe set j owns entry rows
+  // [entry_start[j], entry_start[j+1]).
+  std::vector<std::uint64_t> set_start, client_start, entry_start;
+
+  bool fail(std::string msg) {
+    error = "wsnap: " + path + ": " + std::move(msg);
+    WMESH_COUNTER_INC("store.load_errors");
+    WMESH_LOG_ERROR("store", kv("op", "load"), kv("path", path),
+                    kv("error", error));
+    return false;
+  }
+
+  template <typename T>
+  View<T> view(Section s, std::uint16_t c) const {
+    return View<T>(&cols[static_cast<std::uint16_t>(s)][c]);
+  }
+
+  bool open(const std::string& p, OpenLevel level);
+  bool decode_index();
+};
+
+bool WsnapReader::Impl::open(const std::string& p, OpenLevel level) {
+  WMESH_SPAN("store.open");
+  path = p;
+  if (!map.open(p)) return fail("cannot open: " + map.error());
+  const std::uint8_t* base = map.data();
+  const std::uint64_t size = map.size();
+  if (size < kHeaderBytes + kTrailerBytes) {
+    return fail("truncated file (" + std::to_string(size) + " bytes < " +
+                std::to_string(kHeaderBytes + kTrailerBytes) +
+                "-byte minimum)");
+  }
+
+  FileHeader h;
+  read_pod(&h, base);
+  if (h.magic != kMagic) {
+    return fail("bad magic " + hex32(h.magic) + " (want " + hex32(kMagic) +
+                " 'WSNP')");
+  }
+  if (h.version == 0 || h.version > kVersion) {
+    return fail("unsupported version " + std::to_string(h.version) +
+                " (this build reads 1.." + std::to_string(kVersion) + ")");
+  }
+  if (h.flags != 0) {
+    return fail("unsupported flags " + hex32(h.flags));
+  }
+
+  Trailer t;
+  read_pod(&t, base + size - kTrailerBytes);
+  if (t.end_magic != kEndMagic) {
+    return fail("bad trailer magic " + hex32(t.end_magic) +
+                " (truncated or not a WSNAP file)");
+  }
+  const std::uint64_t footer_bytes =
+      static_cast<std::uint64_t>(t.block_count) * kBlockDescBytes;
+  if (t.footer_offset < kHeaderBytes ||
+      t.footer_offset + footer_bytes != size - kTrailerBytes) {
+    return fail("footer index does not match file size (corrupt trailer)");
+  }
+  const std::uint8_t* footer = base + t.footer_offset;
+  if (const std::uint32_t crc = crc32(footer, footer_bytes);
+      crc != t.footer_crc) {
+    return fail("footer checksum mismatch (stored " + hex32(t.footer_crc) +
+                ", computed " + hex32(crc) + ")");
+  }
+
+  // Parse + validate descriptors.  Unknown sections/columns are checksummed
+  // but otherwise ignored (forward compatibility within a version).
+  std::vector<BlockDesc> descs(t.block_count);
+  for (std::uint32_t i = 0; i < t.block_count; ++i) {
+    read_pod(&descs[i], footer + i * kBlockDescBytes);
+    const BlockDesc& d = descs[i];
+    if (d.offset % kBlockAlign != 0 || d.offset < kHeaderBytes ||
+        d.offset > t.footer_offset || d.bytes > t.footer_offset - d.offset) {
+      return fail("block " + std::to_string(i) + " (" +
+                  section_name(d.section) + "." +
+                  column_name(d.section, d.column) +
+                  ") lies outside the data region (corrupt descriptor)");
+    }
+    if (const std::uint32_t w = elem_width(d.section, d.column); w != 0) {
+      if (d.rows * w != d.bytes) {
+        return fail("block " + std::to_string(i) + " (" +
+                    section_name(d.section) + "." +
+                    column_name(d.section, d.column) + ") has " +
+                    std::to_string(d.bytes) + " bytes for " +
+                    std::to_string(d.rows) + " rows of width " +
+                    std::to_string(w));
+      }
+    }
+  }
+
+  if (level == OpenLevel::kFull) {
+    // Verify every block checksum, in parallel; report the lowest failing
+    // block (deterministic for any thread count).
+    WMESH_SPAN("store.crc");
+    const std::size_t bad = par::parallel_map_reduce<std::size_t>(
+        descs.size(), descs.size(),
+        [&](std::size_t i) {
+          const BlockDesc& d = descs[i];
+          return crc32(base + d.offset, d.bytes) == d.crc ? descs.size() : i;
+        },
+        [](std::size_t& acc, std::size_t v) { acc = std::min(acc, v); });
+    if (bad != descs.size()) {
+      const BlockDesc& d = descs[bad];
+      WMESH_COUNTER_INC("store.checksum_failures");
+      return fail("block " + std::to_string(bad) + " (" +
+                  section_name(d.section) + "." +
+                  column_name(d.section, d.column) + ", chunk " +
+                  std::to_string(d.chunk) + ") checksum mismatch (stored " +
+                  hex32(d.crc) + ", computed " +
+                  hex32(crc32(base + d.offset, d.bytes)) + ")");
+    }
+  }
+
+  // Group known blocks into columns, ordered by chunk.
+  struct ChunkShape {
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> chunks;  // id, rows
+  };
+  ChunkShape shapes[kSectionCount][kMaxColumns];
+  std::vector<std::size_t> order(descs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return descs[a].chunk < descs[b].chunk;
+                   });
+  std::uint32_t max_chunks = 0;
+  for (const std::size_t i : order) {
+    const BlockDesc& d = descs[i];
+    if (elem_width(d.section, d.column) == 0) continue;  // unknown: ignore
+    Column& c = cols[d.section][d.column];
+    auto& shape = shapes[d.section][d.column].chunks;
+    if (!shape.empty() && shape.back().first == d.chunk) {
+      return fail("duplicate block for " + std::string(section_name(d.section)) +
+                  "." + column_name(d.section, d.column) + " chunk " +
+                  std::to_string(d.chunk));
+    }
+    shape.emplace_back(d.chunk, d.rows);
+    c.runs.push_back({c.total, d.rows, base + d.offset});
+    c.total += d.rows;
+    max_chunks = std::max(max_chunks,
+                          static_cast<std::uint32_t>(c.runs.size()));
+  }
+
+  // All columns of one section must agree on the chunk structure, and a
+  // section with any data must carry all of its columns.
+  for (std::uint16_t s = 0; s < kSectionCount; ++s) {
+    const ChunkShape* ref = nullptr;
+    for (std::uint16_t c = 0; c < kKnownColumns[s]; ++c) {
+      if (!shapes[s][c].chunks.empty()) {
+        ref = &shapes[s][c];
+        break;
+      }
+    }
+    if (ref == nullptr) continue;  // section absent: zero rows
+    for (std::uint16_t c = 0; c < kKnownColumns[s]; ++c) {
+      if (shapes[s][c].chunks != ref->chunks) {
+        return fail(std::string("column ") + section_name(s) + "." +
+                    column_name(s, c) +
+                    " disagrees with its section's chunk layout");
+      }
+    }
+  }
+  if (shapes[0][col::kNetId].chunks.empty()) {
+    return fail("missing networks section");
+  }
+
+  info.version = h.version;
+  info.flags = h.flags;
+  info.file_bytes = size;
+  info.payload_bytes = t.payload_bytes;
+  info.block_count = t.block_count;
+  info.chunk_count = max_chunks;
+  info.networks = cols[0][col::kNetId].total;
+  info.probe_sets = cols[1][col::kSetFrom].total;
+  info.probe_entries = cols[2][col::kEntRate].total;
+  info.client_samples = cols[3][col::kCliClient].total;
+
+  if (level == OpenLevel::kFull) {
+    if (!decode_index()) return false;
+    WMESH_COUNTER_ADD("store.bytes_read", size);
+    WMESH_COUNTER_ADD("store.blocks_read", t.block_count);
+  }
+  opened = true;
+  return true;
+}
+
+// Builds the positional index (prefix sums) and cross-checks every
+// section's row totals, so corrupt counts can never address out of bounds.
+bool WsnapReader::Impl::decode_index() {
+  const std::uint64_t n = info.networks;
+  set_start.assign(1, 0);
+  client_start.assign(1, 0);
+  set_start.reserve(n + 1);
+  client_start.reserve(n + 1);
+  bool bad_enum = false;
+  view<std::uint8_t>(Section::kNetworks, col::kNetEnv)
+      .for_range(0, n, [&](const std::uint8_t* p, std::size_t cnt,
+                           std::uint64_t) {
+        for (std::size_t k = 0; k < cnt; ++k) {
+          if (p[k] > static_cast<std::uint8_t>(Environment::kMixed)) {
+            bad_enum = true;
+          }
+        }
+      });
+  view<std::uint8_t>(Section::kNetworks, col::kNetStandard)
+      .for_range(0, n, [&](const std::uint8_t* p, std::size_t cnt,
+                           std::uint64_t) {
+        for (std::size_t k = 0; k < cnt; ++k) {
+          if (p[k] > static_cast<std::uint8_t>(Standard::kN)) bad_enum = true;
+        }
+      });
+  if (bad_enum) {
+    return fail("invalid environment/standard code in networks section");
+  }
+  view<std::uint64_t>(Section::kNetworks, col::kNetSetCount)
+      .for_range(0, n, [&](const std::uint64_t* p, std::size_t cnt,
+                           std::uint64_t) {
+        for (std::size_t k = 0; k < cnt; ++k) {
+          set_start.push_back(set_start.back() + p[k]);
+        }
+      });
+  view<std::uint64_t>(Section::kNetworks, col::kNetClientCount)
+      .for_range(0, n, [&](const std::uint64_t* p, std::size_t cnt,
+                           std::uint64_t) {
+        for (std::size_t k = 0; k < cnt; ++k) {
+          client_start.push_back(client_start.back() + p[k]);
+        }
+      });
+  if (set_start.back() != info.probe_sets) {
+    return fail("probe-set count mismatch (networks claim " +
+                std::to_string(set_start.back()) + ", file has " +
+                std::to_string(info.probe_sets) + " rows)");
+  }
+  if (client_start.back() != info.client_samples) {
+    return fail("client-sample count mismatch (networks claim " +
+                std::to_string(client_start.back()) + ", file has " +
+                std::to_string(info.client_samples) + " rows)");
+  }
+  entry_start.assign(1, 0);
+  entry_start.reserve(info.probe_sets + 1);
+  view<std::uint32_t>(Section::kProbeSets, col::kSetEntryCount)
+      .for_range(0, info.probe_sets,
+                 [&](const std::uint32_t* p, std::size_t cnt, std::uint64_t) {
+                   for (std::size_t k = 0; k < cnt; ++k) {
+                     entry_start.push_back(entry_start.back() + p[k]);
+                   }
+                 });
+  if (entry_start.back() != info.probe_entries) {
+    return fail("probe-entry count mismatch (sets claim " +
+                std::to_string(entry_start.back()) + ", file has " +
+                std::to_string(info.probe_entries) + " rows)");
+  }
+  return true;
+}
+
+WsnapReader::WsnapReader() : impl_(std::make_unique<Impl>()) {}
+WsnapReader::~WsnapReader() = default;
+
+bool WsnapReader::open(const std::string& path) {
+  return impl_->open(path, OpenLevel::kFull);
+}
+
+const WsnapInfo& WsnapReader::info() const noexcept { return impl_->info; }
+
+std::size_t WsnapReader::network_count() const noexcept {
+  return static_cast<std::size_t>(impl_->info.networks);
+}
+
+const std::string& WsnapReader::error() const noexcept {
+  return impl_->error;
+}
+
+bool WsnapReader::read_network(std::size_t i, NetworkTrace* out) const {
+  const Impl& r = *impl_;
+  if (!r.opened || i >= r.info.networks) return false;
+  out->info.id = r.view<std::uint32_t>(Section::kNetworks, col::kNetId).at(i);
+  out->info.env = static_cast<Environment>(
+      r.view<std::uint8_t>(Section::kNetworks, col::kNetEnv).at(i));
+  out->info.standard = static_cast<Standard>(
+      r.view<std::uint8_t>(Section::kNetworks, col::kNetStandard).at(i));
+  out->info.name.clear();
+  out->ap_count =
+      r.view<std::uint16_t>(Section::kNetworks, col::kNetApCount).at(i);
+
+  const std::uint64_t sb = r.set_start[i], se = r.set_start[i + 1];
+  out->probe_sets.assign(static_cast<std::size_t>(se - sb), ProbeSet{});
+  auto fill = [&](auto view, auto member) {
+    view.for_range(sb, se, [&](const auto* p, std::size_t cnt,
+                               std::uint64_t row) {
+      for (std::size_t k = 0; k < cnt; ++k) {
+        out->probe_sets[row - sb + k].*member =
+            static_cast<std::decay_t<decltype(ProbeSet{}.*member)>>(p[k]);
+      }
+    });
+  };
+  fill(r.view<std::uint16_t>(Section::kProbeSets, col::kSetFrom),
+       &ProbeSet::from);
+  fill(r.view<std::uint16_t>(Section::kProbeSets, col::kSetTo), &ProbeSet::to);
+  fill(r.view<std::uint32_t>(Section::kProbeSets, col::kSetTime),
+       &ProbeSet::time_s);
+  fill(r.view<float>(Section::kProbeSets, col::kSetSnr), &ProbeSet::snr_db);
+
+  const auto rate = r.view<std::uint8_t>(Section::kProbeEntries, col::kEntRate);
+  const auto loss = r.view<float>(Section::kProbeEntries, col::kEntLoss);
+  const auto snr = r.view<float>(Section::kProbeEntries, col::kEntSnr);
+  for (std::uint64_t s = sb; s < se; ++s) {
+    ProbeSet& ps = out->probe_sets[static_cast<std::size_t>(s - sb)];
+    const std::uint64_t eb = r.entry_start[s], ee = r.entry_start[s + 1];
+    ps.entries.resize(static_cast<std::size_t>(ee - eb));
+    rate.for_range(eb, ee, [&](const std::uint8_t* p, std::size_t cnt,
+                               std::uint64_t row) {
+      for (std::size_t k = 0; k < cnt; ++k) ps.entries[row - eb + k].rate = p[k];
+    });
+    loss.for_range(eb, ee, [&](const float* p, std::size_t cnt,
+                               std::uint64_t row) {
+      for (std::size_t k = 0; k < cnt; ++k) ps.entries[row - eb + k].loss = p[k];
+    });
+    snr.for_range(eb, ee, [&](const float* p, std::size_t cnt,
+                              std::uint64_t row) {
+      for (std::size_t k = 0; k < cnt; ++k) {
+        ps.entries[row - eb + k].snr_db = p[k];
+      }
+    });
+  }
+
+  const std::uint64_t cb = r.client_start[i], ce = r.client_start[i + 1];
+  out->client_samples.assign(static_cast<std::size_t>(ce - cb),
+                             ClientSample{});
+  auto cfill = [&](auto view, auto member) {
+    view.for_range(cb, ce, [&](const auto* p, std::size_t cnt,
+                               std::uint64_t row) {
+      for (std::size_t k = 0; k < cnt; ++k) {
+        out->client_samples[row - cb + k].*member =
+            static_cast<std::decay_t<decltype(ClientSample{}.*member)>>(p[k]);
+      }
+    });
+  };
+  cfill(r.view<std::uint32_t>(Section::kClientSamples, col::kCliClient),
+        &ClientSample::client);
+  cfill(r.view<std::uint16_t>(Section::kClientSamples, col::kCliAp),
+        &ClientSample::ap);
+  cfill(r.view<std::uint32_t>(Section::kClientSamples, col::kCliBucket),
+        &ClientSample::bucket);
+  cfill(r.view<std::uint16_t>(Section::kClientSamples, col::kCliAssoc),
+        &ClientSample::assoc_requests);
+  cfill(r.view<std::uint32_t>(Section::kClientSamples, col::kCliPackets),
+        &ClientSample::data_packets);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Whole-dataset wrappers
+
+bool save_wsnap(const Dataset& ds, const std::string& path,
+                std::string* error) {
+  WMESH_SPAN("store.save");
+  WsnapWriter w(path);
+  for (const NetworkTrace& nt : ds.networks) {
+    w.begin_network(nt.info, nt.ap_count);
+    for (const ProbeSet& set : nt.probe_sets) w.add_probe_set(set);
+    for (const ClientSample& s : nt.client_samples) w.add_client_sample(s);
+  }
+  if (!w.finish()) {
+    if (error != nullptr) *error = w.error();
+    return false;
+  }
+  return true;
+}
+
+bool load_wsnap(const std::string& path, Dataset* out, std::string* error) {
+  WMESH_SPAN("store.load");
+  WsnapReader r;
+  if (!r.open(path)) {
+    if (error != nullptr) *error = r.error();
+    return false;
+  }
+  const std::size_t n = r.network_count();
+  out->networks.assign(n, NetworkTrace{});
+  // Networks decode independently into disjoint slots: parallel-safe, and
+  // the result is identical to serial for any thread count.
+  par::parallel_for(n, [&](std::size_t i) {
+    r.read_network(i, &out->networks[i]);
+  });
+  WMESH_LOG_INFO("store", kv("op", "load"), kv("path", path),
+                 kv("networks", n), kv("probe_sets", r.info().probe_sets),
+                 kv("bytes", r.info().file_bytes));
+  return true;
+}
+
+bool inspect_wsnap(const std::string& path, WsnapInfo* out,
+                   std::string* error) {
+  WsnapReader::Impl impl;
+  if (!impl.open(path, OpenLevel::kInspect)) {
+    if (error != nullptr) *error = impl.error;
+    return false;
+  }
+  *out = impl.info;
+  return true;
+}
+
+}  // namespace wmesh::store

@@ -1,0 +1,133 @@
+// wmesh::store -- WSNAP, the binary columnar snapshot format.
+//
+// WSNAP amortizes CSV parse cost into a one-time conversion: every analysis
+// re-run then loads the snapshot at memcpy speed.  The file is columnar
+// (see store/wsnap_format.h for the exact layout), CRC-checked per block,
+// and indexed from a footer so readers mmap it and materialize columns
+// zero-copy without a forward scan.
+//
+// Three tiers of API, lowest first:
+//   * WsnapWriter / WsnapReader -- streaming, bounded memory.  The writer
+//     buffers at most one chunk (default 64k rows) per section and is fed
+//     network-by-network, probe-set-by-probe-set: the shape a future live
+//     ingest daemon needs.  The reader verifies the whole file up front
+//     (header, footer CRC, every block CRC -- in parallel on wmesh::par)
+//     and then materializes one NetworkTrace at a time from the mapping.
+//   * save_wsnap / load_wsnap -- whole-Dataset convenience on top.  Loading
+//     decodes networks in parallel; both paths are byte-/bit-identical to a
+//     single-threaded run for any thread count (par shard contract).
+//   * inspect_wsnap -- header/footer metadata without decoding rows, for
+//     wmesh_inspect.
+//
+// Corruption policy: every failure mode -- missing file, bad magic,
+// unsupported version or flags, truncation anywhere, descriptor out of
+// bounds, block checksum mismatch, inter-section row-count mismatch --
+// fails *closed*: the call returns false with a one-line diagnostic naming
+// the file and the precise defect, never a partially-loaded Dataset.
+//
+// Observability: spans store.save/store.load/store.open/store.crc;
+// counters store.bytes_written, store.bytes_read, store.blocks_written,
+// store.blocks_read, store.checksum_failures, store.load_errors.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "store/wsnap_format.h"
+#include "trace/records.h"
+
+namespace wmesh::store {
+
+// Canonical file extension (including the dot).
+inline constexpr const char* kExtension = ".wsnap";
+
+// Metadata read from the header/footer alone (no row decode).
+struct WsnapInfo {
+  std::uint16_t version = 0;
+  std::uint16_t flags = 0;
+  std::uint64_t file_bytes = 0;     // on-disk size
+  std::uint64_t payload_bytes = 0;  // column data, excluding framing
+  std::uint32_t block_count = 0;
+  std::uint32_t chunk_count = 0;    // max chunk count over sections
+  std::uint64_t networks = 0;
+  std::uint64_t probe_sets = 0;
+  std::uint64_t probe_entries = 0;
+  std::uint64_t client_samples = 0;
+};
+
+// Streaming chunked writer.  Feed begin_network / add_probe_set /
+// add_client_sample in dataset order, then finish().  On any I/O error the
+// writer goes sticky-bad (`ok()` false, `error()` set); finish() returns
+// false and leaves the partial file behind, exactly like save_dataset.
+class WsnapWriter {
+ public:
+  struct Options {
+    // Rows buffered per section before a chunk is flushed to disk.
+    std::size_t chunk_rows = kDefaultChunkRows;
+  };
+
+  explicit WsnapWriter(const std::string& path)
+      : WsnapWriter(path, Options()) {}
+  WsnapWriter(const std::string& path, Options opts);
+  ~WsnapWriter();
+
+  WsnapWriter(const WsnapWriter&) = delete;
+  WsnapWriter& operator=(const WsnapWriter&) = delete;
+
+  bool begin_network(const NetworkInfo& info, std::uint16_t ap_count);
+  bool add_probe_set(const ProbeSet& set);
+  bool add_client_sample(const ClientSample& sample);
+
+  // Flushes pending chunks, writes the networks section, footer and
+  // trailer.  Must be called exactly once; no adds may follow.
+  bool finish();
+
+  bool ok() const noexcept;
+  const std::string& error() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Streaming reader over a verified mapping: open() validates the whole
+// file (fail-closed, see header comment), after which read_network()
+// materializes single networks with bounded memory.  Thread-safe for
+// concurrent read_network calls after open().
+class WsnapReader {
+ public:
+  WsnapReader();
+  ~WsnapReader();
+
+  WsnapReader(const WsnapReader&) = delete;
+  WsnapReader& operator=(const WsnapReader&) = delete;
+
+  bool open(const std::string& path);
+  const WsnapInfo& info() const noexcept;
+  std::size_t network_count() const noexcept;
+  // Fills `out` with network `i` (info, probe sets, client samples).
+  // Returns false on index out of range.
+  bool read_network(std::size_t i, NetworkTrace* out) const;
+  const std::string& error() const noexcept;
+
+ private:
+  friend bool inspect_wsnap(const std::string&, WsnapInfo*, std::string*);
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Whole-dataset convenience wrappers.  On failure they return false and,
+// when `error` is non-null, store the diagnostic there.
+bool save_wsnap(const Dataset& ds, const std::string& path,
+                std::string* error = nullptr);
+bool load_wsnap(const std::string& path, Dataset* out,
+                std::string* error = nullptr);
+
+// Header/footer metadata only; validates framing (magic, version, trailer,
+// footer CRC) but does not CRC or decode the column blocks.
+bool inspect_wsnap(const std::string& path, WsnapInfo* out,
+                   std::string* error = nullptr);
+
+}  // namespace wmesh::store

@@ -1,0 +1,148 @@
+// WSNAP v1 on-disk layout: the binary columnar snapshot format.
+//
+//   +--------------------+  offset 0
+//   | FileHeader (16 B)  |  magic "WSNP", version, flags
+//   +--------------------+
+//   | column blocks      |  raw little-endian column data, each block
+//   | (8-byte aligned)   |  padded to an 8-byte boundary
+//   +--------------------+
+//   | footer             |  one BlockDesc (40 B) per block, write order
+//   +--------------------+
+//   | Trailer (32 B)     |  footer offset/count/CRC, payload bytes, magic
+//   +--------------------+  offset = file size - 32
+//
+// Readers locate everything from the back: read the trailer, verify the end
+// magic and the footer CRC, then mmap-resolve each block from its
+// descriptor.  Every block carries a CRC-32 of its payload, so corruption
+// anywhere is detected before a single value is materialized.
+//
+// Columnar sections (row counts tie the sections together):
+//   networks       one row per NetworkTrace: id, env, standard, ap_count,
+//                  probe-set count, client-sample count
+//   probe_sets     one row per ProbeSet in dataset order: from, to, time_s,
+//                  set SNR, entry count
+//   probe_entries  one row per ProbeEntry: rate, loss, snr
+//   client_samples one row per ClientSample: client, ap, bucket, assoc,
+//                  packets
+// Ownership is positional: network i owns the next set_count[i] probe-set
+// rows, probe set j owns the next entry_count[j] entry rows.
+//
+// Large sections are split into chunks (the streaming writer flushes a
+// chunk when its buffered rows reach the chunk size), so a writer never
+// holds more than one chunk in memory.  A (section, column) pair then
+// contributes one block per chunk, with ascending chunk numbers; readers
+// concatenate them in chunk order.
+//
+// Compatibility rules (also in DESIGN.md "Storage & ingest"):
+//   * the magic never changes; a version bump marks any layout change;
+//   * readers reject versions and flag bits they do not know;
+//   * writers zero all reserved fields, readers ignore their values;
+//   * new columns may be appended to a section within a version -- readers
+//     look columns up by (section, column) id and ignore unknown ids.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+static_assert(std::endian::native == std::endian::little,
+              "WSNAP writes native little-endian column data");
+
+namespace wmesh::store {
+
+inline constexpr std::uint32_t kMagic = 0x504E5357u;     // "WSNP" in file
+inline constexpr std::uint32_t kEndMagic = 0x57534E50u;  // "PNSW" in file
+inline constexpr std::uint16_t kVersion = 1;
+inline constexpr std::uint32_t kHeaderBytes = 16;
+inline constexpr std::uint32_t kTrailerBytes = 32;
+inline constexpr std::uint32_t kBlockDescBytes = 40;
+inline constexpr std::uint32_t kBlockAlign = 8;
+
+// Default rows per chunk for the streaming writer (per section).  Chosen so
+// one pending chunk stays around a few MB; tests shrink it to force
+// multi-chunk files.
+inline constexpr std::size_t kDefaultChunkRows = 1u << 16;
+
+enum class Section : std::uint16_t {
+  kNetworks = 0,
+  kProbeSets = 1,
+  kProbeEntries = 2,
+  kClientSamples = 3,
+};
+
+// Column ids within each section, with on-disk element width in bytes.
+// Order here is the on-disk block write order within a chunk.
+namespace col {
+// networks
+inline constexpr std::uint16_t kNetId = 0;         // u32
+inline constexpr std::uint16_t kNetEnv = 1;        // u8
+inline constexpr std::uint16_t kNetStandard = 2;   // u8
+inline constexpr std::uint16_t kNetApCount = 3;    // u16
+inline constexpr std::uint16_t kNetSetCount = 4;   // u64
+inline constexpr std::uint16_t kNetClientCount = 5;  // u64
+// probe_sets
+inline constexpr std::uint16_t kSetFrom = 0;       // u16
+inline constexpr std::uint16_t kSetTo = 1;         // u16
+inline constexpr std::uint16_t kSetTime = 2;       // u32
+inline constexpr std::uint16_t kSetSnr = 3;        // f32
+inline constexpr std::uint16_t kSetEntryCount = 4;  // u32
+// probe_entries
+inline constexpr std::uint16_t kEntRate = 0;       // u8
+inline constexpr std::uint16_t kEntLoss = 1;       // f32
+inline constexpr std::uint16_t kEntSnr = 2;        // f32
+// client_samples
+inline constexpr std::uint16_t kCliClient = 0;     // u32
+inline constexpr std::uint16_t kCliAp = 1;         // u16
+inline constexpr std::uint16_t kCliBucket = 2;     // u32
+inline constexpr std::uint16_t kCliAssoc = 3;      // u16
+inline constexpr std::uint16_t kCliPackets = 4;    // u32
+}  // namespace col
+
+struct FileHeader {
+  std::uint32_t magic = kMagic;
+  std::uint16_t version = kVersion;
+  std::uint16_t flags = 0;
+  std::uint64_t reserved = 0;
+};
+static_assert(sizeof(FileHeader) == kHeaderBytes);
+
+// One column block of one chunk.  Lives in the footer.
+struct BlockDesc {
+  std::uint16_t section = 0;
+  std::uint16_t column = 0;
+  std::uint32_t chunk = 0;
+  std::uint64_t offset = 0;  // from file start; 8-byte aligned
+  std::uint64_t bytes = 0;   // payload bytes (excluding alignment padding)
+  std::uint64_t rows = 0;
+  std::uint32_t crc = 0;     // CRC-32 of the payload bytes
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(BlockDesc) == kBlockDescBytes);
+
+struct Trailer {
+  std::uint64_t footer_offset = 0;
+  std::uint32_t block_count = 0;
+  std::uint32_t footer_crc = 0;      // CRC-32 of the footer bytes
+  std::uint64_t payload_bytes = 0;   // sum of BlockDesc::bytes, for inspect
+  std::uint32_t reserved = 0;
+  std::uint32_t end_magic = kEndMagic;
+};
+static_assert(sizeof(Trailer) == kTrailerBytes);
+
+// The structs above are packed-layout PODs on every ABI we target
+// (explicit-width members, no padding by construction); memcpy is the
+// (de)serializer.
+template <typename T>
+inline void read_pod(T* out, const std::uint8_t* p) {
+  std::memcpy(out, p, sizeof(T));
+}
+template <typename T>
+inline void write_pod(std::uint8_t* p, const T& v) {
+  std::memcpy(p, &v, sizeof(T));
+}
+
+inline std::uint64_t align_up(std::uint64_t n, std::uint64_t a) {
+  return (n + a - 1) / a * a;
+}
+
+}  // namespace wmesh::store

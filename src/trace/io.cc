@@ -1,6 +1,5 @@
 #include "trace/io.h"
 
-#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -9,7 +8,9 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "store/wsnap.h"
 #include "util/csv.h"
+#include "util/env.h"
 
 namespace wmesh {
 namespace {
@@ -26,26 +27,22 @@ std::string env_code(Environment e) {
   return "?";
 }
 
-Environment env_from_code(const std::string& s) {
+std::optional<Environment> env_from_code(const std::string& s) {
+  if (s == "I") return Environment::kIndoor;
   if (s == "O") return Environment::kOutdoor;
   if (s == "M") return Environment::kMixed;
-  return Environment::kIndoor;
+  return std::nullopt;
 }
 
 std::string std_code(Standard s) {
   return s == Standard::kN ? "n" : "bg";
 }
 
-Standard std_from_code(const std::string& s) {
-  return s == "n" ? Standard::kN : Standard::kBg;
+std::optional<Standard> std_from_code(const std::string& s) {
+  if (s == "bg") return Standard::kBg;
+  if (s == "n") return Standard::kN;
+  return std::nullopt;
 }
-
-double to_double(const std::string& s) {
-  if (s == "nan") return std::nan("");
-  return std::strtod(s.c_str(), nullptr);
-}
-
-long to_long(const std::string& s) { return std::strtol(s.c_str(), nullptr, 10); }
 
 std::string num(double v, int digits = 3) {
   if (std::isnan(v)) return "nan";
@@ -60,10 +57,35 @@ std::uint64_t file_bytes(const std::string& path) {
   return ec ? 0 : static_cast<std::uint64_t>(size);
 }
 
-}  // namespace
+// One malformed CSV row: count it, name the exact file:line and field, and
+// make the load fail (the caller returns false).  Never silently skipped.
+bool bad_row(const std::string& file, std::uint32_t line,
+             std::string_view field, const std::string& value,
+             std::string_view why) {
+  WMESH_COUNTER_INC("trace.csv.bad_rows");
+  WMESH_COUNTER_INC("trace.parse_errors");
+  WMESH_LOG_ERROR("trace.io", kv("op", "load"), kv("file", file),
+                  kv("line", line), kv("field", field), kv("value", value),
+                  kv("error", why));
+  return false;
+}
 
-bool save_dataset(const Dataset& ds, const std::string& prefix) {
-  WMESH_SPAN("trace.save");
+// Strict unsigned field: whole string must parse and fit in `max`.
+std::optional<std::uint64_t> parse_uint_field(const std::string& s,
+                                              std::uint64_t max) {
+  const auto v = env::parse_u64(s);
+  if (!v || *v > max) return std::nullopt;
+  return v;
+}
+
+// SNR fields: "nan" (no probe received) or a parseable number.
+std::optional<float> parse_snr_field(const std::string& s) {
+  const auto v = env::parse_double(s);
+  if (!v) return std::nullopt;
+  return static_cast<float>(*v);
+}
+
+bool save_csv(const Dataset& ds, const std::string& prefix) {
   try {
     std::uint64_t rows_written = 0;
     CsvWriter probes(prefix + ".probes.csv");
@@ -116,99 +138,172 @@ bool save_dataset(const Dataset& ds, const std::string& prefix) {
   }
 }
 
-bool load_dataset(const std::string& prefix, Dataset* out) {
-  WMESH_SPAN("trace.load");
+bool load_csv(const std::string& prefix, Dataset* out) {
   out->networks.clear();
+  const std::string probes_path = prefix + ".probes.csv";
   CsvReader probes;
-  if (!probes.load(prefix + ".probes.csv")) {
+  if (!probes.load(probes_path)) {
     WMESH_LOG_ERROR("trace.io", kv("op", "load"), kv("prefix", prefix),
                     kv("error", "cannot open probes csv"));
     return false;
   }
-  WMESH_COUNTER_ADD("trace.bytes_read", file_bytes(prefix + ".probes.csv"));
+  WMESH_COUNTER_ADD("trace.bytes_read", file_bytes(probes_path));
 
   // (network id, standard) -> index in out->networks.
-  std::map<std::pair<long, std::string>, std::size_t> index;
+  std::map<std::pair<std::uint64_t, std::string>, std::size_t> index;
 
   NetworkTrace* nt = nullptr;
   ProbeSet* cur = nullptr;
   std::uint64_t rows_parsed = 0;
-  for (const auto& r : probes.rows()) {
+  for (std::size_t ri = 0; ri < probes.rows().size(); ++ri) {
+    const auto& r = probes.rows()[ri];
+    const std::uint32_t line = probes.line(ri);
     if (r.size() != 11) {
-      WMESH_COUNTER_INC("trace.parse_errors");
-      WMESH_LOG_ERROR("trace.io", kv("op", "load"), kv("prefix", prefix),
-                      kv("error", "bad probe row"), kv("columns", r.size()),
-                      kv("row", rows_parsed));
-      return false;
+      return bad_row(probes_path, line, "row", std::to_string(r.size()),
+                     "expected 11 columns");
+    }
+    const auto net_id = parse_uint_field(r[0], 0xFFFFFFFFu);
+    if (!net_id) {
+      return bad_row(probes_path, line, "network", r[0],
+                     "not an unsigned 32-bit integer");
+    }
+    const auto env = env_from_code(r[1]);
+    if (!env) {
+      return bad_row(probes_path, line, "env", r[1], "want I, O or M");
+    }
+    const auto standard = std_from_code(r[2]);
+    if (!standard) {
+      return bad_row(probes_path, line, "standard", r[2], "want bg or n");
+    }
+    const auto ap_count = parse_uint_field(r[3], 0xFFFFu);
+    if (!ap_count) {
+      return bad_row(probes_path, line, "ap_count", r[3],
+                     "not an unsigned 16-bit integer");
+    }
+    const auto time_s = parse_uint_field(r[4], 0xFFFFFFFFu);
+    if (!time_s) {
+      return bad_row(probes_path, line, "time_s", r[4],
+                     "not an unsigned 32-bit integer");
+    }
+    const auto from = parse_uint_field(r[5], 0xFFFFu);
+    const auto to = parse_uint_field(r[6], 0xFFFFu);
+    if (!from || !to) {
+      return bad_row(probes_path, line, !from ? "from" : "to",
+                     !from ? r[5] : r[6], "not a valid AP id");
+    }
+    const auto set_snr = parse_snr_field(r[7]);
+    if (!set_snr) {
+      return bad_row(probes_path, line, "set_snr", r[7],
+                     "not a number or nan");
+    }
+    const auto rate = parse_uint_field(r[8], 0xFFu);
+    if (!rate) {
+      return bad_row(probes_path, line, "rate", r[8],
+                     "not a valid rate index");
+    }
+    const auto loss = env::parse_double(r[9]);
+    if (!loss || std::isnan(*loss) || *loss < 0.0 || *loss > 1.0) {
+      return bad_row(probes_path, line, "loss", r[9],
+                     "not a loss rate in [0, 1]");
+    }
+    const auto snr = parse_snr_field(r[10]);
+    if (!snr) {
+      return bad_row(probes_path, line, "snr", r[10],
+                     "not a number or nan");
     }
     ++rows_parsed;
-    const long net_id = to_long(r[0]);
-    const std::string& std_s = r[2];
-    const auto key = std::make_pair(net_id, std_s);
+
+    const auto key = std::make_pair(*net_id, r[2]);
     auto it = index.find(key);
     if (it == index.end()) {
       it = index.emplace(key, out->networks.size()).first;
       out->networks.emplace_back();
       NetworkTrace& fresh = out->networks.back();
-      fresh.info.id = static_cast<std::uint32_t>(net_id);
-      fresh.info.env = env_from_code(r[1]);
-      fresh.info.standard = std_from_code(std_s);
-      fresh.ap_count = static_cast<std::uint16_t>(to_long(r[3]));
+      fresh.info.id = static_cast<std::uint32_t>(*net_id);
+      fresh.info.env = *env;
+      fresh.info.standard = *standard;
+      fresh.ap_count = static_cast<std::uint16_t>(*ap_count);
       nt = &fresh;
       cur = nullptr;
     } else {
       nt = &out->networks[it->second];
     }
 
-    const auto time_s = static_cast<std::uint32_t>(to_long(r[4]));
-    const auto from = static_cast<ApId>(to_long(r[5]));
-    const auto to = static_cast<ApId>(to_long(r[6]));
     if (cur == nullptr || nt->probe_sets.empty() ||
-        &nt->probe_sets.back() != cur || cur->time_s != time_s ||
-        cur->from != from || cur->to != to) {
+        &nt->probe_sets.back() != cur ||
+        cur->time_s != static_cast<std::uint32_t>(*time_s) ||
+        cur->from != static_cast<ApId>(*from) ||
+        cur->to != static_cast<ApId>(*to)) {
       nt->probe_sets.emplace_back();
       cur = &nt->probe_sets.back();
-      cur->from = from;
-      cur->to = to;
-      cur->time_s = time_s;
-      cur->snr_db = static_cast<float>(to_double(r[7]));
+      cur->from = static_cast<ApId>(*from);
+      cur->to = static_cast<ApId>(*to);
+      cur->time_s = static_cast<std::uint32_t>(*time_s);
+      cur->snr_db = *set_snr;
     }
     ProbeEntry e;
-    e.rate = static_cast<RateIndex>(to_long(r[8]));
-    e.loss = static_cast<float>(to_double(r[9]));
-    e.snr_db = static_cast<float>(to_double(r[10]));
+    e.rate = static_cast<RateIndex>(*rate);
+    e.loss = static_cast<float>(*loss);
+    e.snr_db = *snr;
     cur->entries.push_back(e);
   }
 
+  const std::string clients_path = prefix + ".clients.csv";
   CsvReader clients;
-  if (clients.load(prefix + ".clients.csv")) {
-    WMESH_COUNTER_ADD("trace.bytes_read",
-                      file_bytes(prefix + ".clients.csv"));
-    for (const auto& r : clients.rows()) {
+  if (clients.load(clients_path)) {
+    WMESH_COUNTER_ADD("trace.bytes_read", file_bytes(clients_path));
+    for (std::size_t ri = 0; ri < clients.rows().size(); ++ri) {
+      const auto& r = clients.rows()[ri];
+      const std::uint32_t line = clients.line(ri);
       if (r.size() != 7) {
-        WMESH_COUNTER_INC("trace.parse_errors");
-        WMESH_LOG_ERROR("trace.io", kv("op", "load"), kv("prefix", prefix),
-                        kv("error", "bad client row"),
-                        kv("columns", r.size()), kv("row", rows_parsed));
-        return false;
+        return bad_row(clients_path, line, "row", std::to_string(r.size()),
+                       "expected 7 columns");
+      }
+      const auto net_id = parse_uint_field(r[0], 0xFFFFFFFFu);
+      if (!net_id) {
+        return bad_row(clients_path, line, "network", r[0],
+                       "not an unsigned 32-bit integer");
+      }
+      if (!env_from_code(r[1])) {
+        return bad_row(clients_path, line, "env", r[1], "want I, O or M");
+      }
+      const auto client = parse_uint_field(r[2], 0xFFFFFFFFu);
+      const auto ap = parse_uint_field(r[3], 0xFFFFu);
+      const auto bucket = parse_uint_field(r[4], 0xFFFFFFFFu);
+      const auto assoc = parse_uint_field(r[5], 0xFFFFu);
+      const auto packets = parse_uint_field(r[6], 0xFFFFFFFFu);
+      if (!client || !ap || !bucket || !assoc || !packets) {
+        const char* field = !client  ? "client"
+                            : !ap    ? "ap"
+                            : !bucket ? "bucket"
+                            : !assoc ? "assoc"
+                                     : "packets";
+        const std::string& value = !client  ? r[2]
+                                   : !ap    ? r[3]
+                                   : !bucket ? r[4]
+                                   : !assoc ? r[5]
+                                            : r[6];
+        return bad_row(clients_path, line, field, value,
+                       "not an unsigned integer in range");
       }
       ++rows_parsed;
-      const long net_id = to_long(r[0]);
-      // Client samples attach to the first trace of the network.
+      // Client samples attach to the first trace of the network; samples
+      // for networks without probe data are tolerated and dropped (real
+      // traces may carry client data for fleets we hold no probes for).
       NetworkTrace* target = nullptr;
       for (auto& cand : out->networks) {
-        if (cand.info.id == static_cast<std::uint32_t>(net_id)) {
+        if (cand.info.id == static_cast<std::uint32_t>(*net_id)) {
           target = &cand;
           break;
         }
       }
       if (target == nullptr) continue;
       ClientSample s;
-      s.client = static_cast<std::uint32_t>(to_long(r[2]));
-      s.ap = static_cast<ApId>(to_long(r[3]));
-      s.bucket = static_cast<std::uint32_t>(to_long(r[4]));
-      s.assoc_requests = static_cast<std::uint16_t>(to_long(r[5]));
-      s.data_packets = static_cast<std::uint32_t>(to_long(r[6]));
+      s.client = static_cast<std::uint32_t>(*client);
+      s.ap = static_cast<ApId>(*ap);
+      s.bucket = static_cast<std::uint32_t>(*bucket);
+      s.assoc_requests = static_cast<std::uint16_t>(*assoc);
+      s.data_packets = static_cast<std::uint32_t>(*packets);
       target->client_samples.push_back(s);
     }
   }
@@ -216,6 +311,77 @@ bool load_dataset(const std::string& prefix, Dataset* out) {
   WMESH_LOG_INFO("trace.io", kv("op", "load"), kv("prefix", prefix),
                  kv("rows", rows_parsed), kv("networks", out->networks.size()));
   return true;
+}
+
+bool has_wsnap_extension(const std::string& prefix) {
+  const std::string_view ext = store::kExtension;
+  return prefix.size() >= ext.size() &&
+         prefix.compare(prefix.size() - ext.size(), ext.size(), ext) == 0;
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+}  // namespace
+
+std::optional<SnapshotFormat> parse_snapshot_format(std::string_view s) {
+  if (s == "auto") return SnapshotFormat::kAuto;
+  if (s == "csv") return SnapshotFormat::kCsv;
+  if (s == "wsnap") return SnapshotFormat::kWsnap;
+  return std::nullopt;
+}
+
+std::string_view to_string(SnapshotFormat f) {
+  switch (f) {
+    case SnapshotFormat::kAuto:
+      return "auto";
+    case SnapshotFormat::kCsv:
+      return "csv";
+    case SnapshotFormat::kWsnap:
+      return "wsnap";
+  }
+  return "?";
+}
+
+SnapshotFormat resolve_snapshot_format(const std::string& prefix,
+                                       SnapshotFormat requested,
+                                       bool for_load) {
+  if (requested != SnapshotFormat::kAuto) return requested;
+  if (has_wsnap_extension(prefix)) return SnapshotFormat::kWsnap;
+  if (for_load) {
+    if (file_exists(prefix + ".probes.csv")) return SnapshotFormat::kCsv;
+    if (file_exists(wsnap_path(prefix))) return SnapshotFormat::kWsnap;
+  }
+  return SnapshotFormat::kCsv;
+}
+
+std::string wsnap_path(const std::string& prefix) {
+  return has_wsnap_extension(prefix) ? prefix : prefix + store::kExtension;
+}
+
+bool save_dataset(const Dataset& ds, const std::string& prefix,
+                  SnapshotFormat format) {
+  WMESH_SPAN("trace.save");
+  const SnapshotFormat f =
+      resolve_snapshot_format(prefix, format, /*for_load=*/false);
+  if (f == SnapshotFormat::kWsnap) {
+    return store::save_wsnap(ds, wsnap_path(prefix));
+  }
+  return save_csv(ds, prefix);
+}
+
+bool load_dataset(const std::string& prefix, Dataset* out,
+                  SnapshotFormat format) {
+  WMESH_SPAN("trace.load");
+  const SnapshotFormat f =
+      resolve_snapshot_format(prefix, format, /*for_load=*/true);
+  if (f == SnapshotFormat::kWsnap) {
+    out->networks.clear();
+    return store::load_wsnap(wsnap_path(prefix), out);
+  }
+  return load_csv(prefix, out);
 }
 
 }  // namespace wmesh

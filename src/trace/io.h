@@ -1,27 +1,58 @@
-// Trace persistence: CSV round-tripping of the snapshot.
+// Trace persistence: snapshot round-tripping in two formats.
 //
-// A snapshot is stored as two files:
+// CSV (the original interchange format; flat and greppable):
 //   <prefix>.probes.csv   network,env,standard,ap_count,time_s,from,to,
 //                         set_snr,rate,loss,snr     (one row per ProbeEntry)
 //   <prefix>.clients.csv  network,env,client,ap,bucket,assoc,packets
-//
 // Rows for entries with no received probe carry "nan" in the snr column.
-// The format is intentionally flat and greppable -- it doubles as the
-// interchange format for running this toolkit over real traces with the
-// same schema.
+// The CSV loader is strict: a malformed or short row, or a field outside
+// its domain, fails the load with a file:line diagnostic (and bumps the
+// trace.csv.bad_rows counter) -- it is never silently skipped.
+//
+// WSNAP (binary columnar, store/wsnap.h): <prefix>.wsnap, a single
+// CRC-checked file that loads via mmap an order of magnitude faster.  The
+// two formats are losslessly interconvertible (tools/wmesh_convert.cc);
+// float fields survive CSV round-trips because the CSV digits are the
+// canonical precision.
+//
+// Format selection: every tool takes --format=csv|wsnap; kAuto resolves by
+// extension (a prefix ending in ".wsnap" is WSNAP), then for loads by
+// probing which files exist, preferring CSV when both do.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "trace/records.h"
 
 namespace wmesh {
 
-// Writes both files.  Returns false (and leaves partial files) on I/O error.
-bool save_dataset(const Dataset& ds, const std::string& prefix);
+enum class SnapshotFormat { kAuto, kCsv, kWsnap };
 
-// Loads both files; returns an empty optional-like flag via bool.  Probe
-// entries are regrouped into ProbeSets in file order.
-bool load_dataset(const std::string& prefix, Dataset* out);
+// Parses "auto" | "csv" | "wsnap" (exact, lower-case).
+std::optional<SnapshotFormat> parse_snapshot_format(std::string_view s);
+std::string_view to_string(SnapshotFormat f);
+
+// Resolves kAuto against `prefix` as documented above.  `for_load` enables
+// the file-existence probe; resolution for saves uses the extension only
+// (default kCsv).  Never returns kAuto.
+SnapshotFormat resolve_snapshot_format(const std::string& prefix,
+                                       SnapshotFormat requested,
+                                       bool for_load);
+
+// The WSNAP file path for a prefix: `prefix` itself when it already ends in
+// ".wsnap", else prefix + ".wsnap".
+std::string wsnap_path(const std::string& prefix);
+
+// Writes the snapshot.  Returns false (and leaves partial files) on I/O
+// error.
+bool save_dataset(const Dataset& ds, const std::string& prefix,
+                  SnapshotFormat format = SnapshotFormat::kAuto);
+
+// Loads the snapshot; probe entries are regrouped into ProbeSets in file
+// order.  Fails closed on any structural error in either format.
+bool load_dataset(const std::string& prefix, Dataset* out,
+                  SnapshotFormat format = SnapshotFormat::kAuto);
 
 }  // namespace wmesh

@@ -34,11 +34,14 @@ void CsvWriter::comment(std::string_view text) { out_ << "# " << text << '\n'; }
 bool CsvReader::load(const std::string& path) {
   header_.clear();
   rows_.clear();
+  lines_.clear();
   std::ifstream in(path);
   if (!in) return false;
   std::string line;
   bool saw_header = false;
+  std::uint32_t line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty() || line.front() == '#') continue;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     auto fields = split_csv_line(line);
@@ -47,6 +50,7 @@ bool CsvReader::load(const std::string& path) {
       saw_header = true;
     } else {
       rows_.push_back(std::move(fields));
+      lines_.push_back(line_no);
     }
   }
   return saw_header;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <fstream>
 #include <initializer_list>
 #include <span>
@@ -48,12 +49,17 @@ class CsvReader {
   const std::vector<std::string>& header() const { return header_; }
   const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
+  // 1-based line number of rows()[i] in the source file (comment and blank
+  // lines count), for file:line diagnostics.
+  std::uint32_t line(std::size_t i) const { return lines_[i]; }
+
   // Index of a header column, or -1 when absent.
   int column(std::string_view name) const;
 
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
+  std::vector<std::uint32_t> lines_;
 };
 
 // Splits `line` at commas.  Exposed for tests.

@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <string>
 
+#include "obs/metrics.h"
 #include "trace/io.h"
 
 namespace wmesh {
@@ -85,6 +87,72 @@ TEST(IoRobustness, ClientRowsForUnknownNetworkAreSkipped) {
   Dataset ds;
   ASSERT_TRUE(load_dataset(prefix, &ds));
   EXPECT_EQ(ds.networks[0].client_samples.size(), 1u);
+  cleanup(prefix);
+}
+
+std::uint64_t bad_rows_counter() {
+  for (const auto& c : obs::Registry::instance().snapshot().counters) {
+    if (c.name == "trace.csv.bad_rows") return c.value;
+  }
+  return 0;
+}
+
+// Every malformed-field class must fail the load (strict schema: a bad row
+// is a structural error, never silently coerced or skipped).
+TEST(IoRobustness, MalformedFieldsFailLoad) {
+  const struct {
+    const char* tag;
+    const char* row;
+  } cases[] = {
+      {"garbage network id", "xyz,I,bg,2,300,0,1,10.00,0,0.1000,10.00\n"},
+      {"network id overflow", "4294967296,I,bg,2,300,0,1,10.00,0,0.1,10.0\n"},
+      {"unknown env code", "0,Q,bg,2,300,0,1,10.00,0,0.1000,10.00\n"},
+      {"unknown standard", "0,I,ac,2,300,0,1,10.00,0,0.1000,10.00\n"},
+      {"ap_count overflow", "0,I,bg,65536,300,0,1,10.00,0,0.1000,10.00\n"},
+      {"negative time", "0,I,bg,2,-300,0,1,10.00,0,0.1000,10.00\n"},
+      {"ap id overflow", "0,I,bg,2,300,65536,1,10.00,0,0.1000,10.00\n"},
+      {"rate overflow", "0,I,bg,2,300,0,1,10.00,256,0.1000,10.00\n"},
+      {"garbage loss", "0,I,bg,2,300,0,1,10.00,0,oops,10.00\n"},
+      {"loss above 1", "0,I,bg,2,300,0,1,10.00,0,1.5000,10.00\n"},
+      {"negative loss", "0,I,bg,2,300,0,1,10.00,0,-0.1000,10.00\n"},
+      {"nan loss", "0,I,bg,2,300,0,1,10.00,0,nan,10.00\n"},
+      {"garbage snr", "0,I,bg,2,300,0,1,10.00,0,0.1000,low\n"},
+      {"garbage set_snr", "0,I,bg,2,300,0,1,high,0,0.1000,10.00\n"},
+  };
+  for (const auto& c : cases) {
+    const auto prefix = temp_prefix("wmesh_iorob_field");
+    write_probes(prefix, c.row);
+    Dataset ds;
+    EXPECT_FALSE(load_dataset(prefix, &ds)) << c.tag;
+    cleanup(prefix);
+  }
+}
+
+TEST(IoRobustness, MalformedClientRowFailsLoad) {
+  const auto prefix = temp_prefix("wmesh_iorob_badclient");
+  write_probes(prefix, "0,I,bg,2,300,0,1,10.00,0,0.1000,10.00\n");
+  {
+    std::ofstream out(prefix + ".clients.csv");
+    out << "network,env,client,ap,bucket,assoc,packets\n";
+    out << "0,I,1,not_an_ap,0,1,100\n";
+  }
+  Dataset ds;
+  EXPECT_FALSE(load_dataset(prefix, &ds));
+  cleanup(prefix);
+}
+
+TEST(IoRobustness, BadRowBumpsCounter) {
+  const auto prefix = temp_prefix("wmesh_iorob_counter");
+  write_probes(prefix, "0,I,bg,2,300,0,1,10.00,0,2.0000,10.00\n");
+  const std::uint64_t before = bad_rows_counter();
+  Dataset ds;
+  EXPECT_FALSE(load_dataset(prefix, &ds));
+#if !defined(WMESH_OBS_DISABLED)
+  EXPECT_GT(bad_rows_counter(), before)
+      << "a rejected row must bump trace.csv.bad_rows";
+#else
+  (void)before;
+#endif
   cleanup(prefix);
 }
 

@@ -46,8 +46,8 @@ namespace {
 
 const char* const kUsage =
     "usage: wmesh_analyze <prefix> "
-    "<snr|lookup|routing|hidden|mobility|traffic|etx|all> [--threads=N] "
-    "[--metrics[=path]]\n"
+    "<snr|lookup|routing|hidden|mobility|traffic|etx|all> "
+    "[--format=csv|wsnap|auto] [--threads=N] [--metrics[=path]]\n"
     "       wmesh_analyze --help\n";
 
 void print_help() {
@@ -64,6 +64,8 @@ void print_help() {
       "            every analysis above in one pass\n"
       "\n"
       "flags:\n"
+      "  --format=F       snapshot format: csv, wsnap, or auto (default;\n"
+      "                   picks by extension, then by which files exist)\n"
       "  --threads=N      analysis thread count (flag > WMESH_THREADS >\n"
       "                   hardware); output is byte-identical for every N\n"
       "  --metrics        print the metrics registry snapshot on exit\n"
@@ -109,6 +111,7 @@ int main(int argc, char** argv) {
   std::string prefix, what;
   bool want_metrics = false;
   std::string metrics_path;
+  SnapshotFormat format = SnapshotFormat::kAuto;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -121,6 +124,14 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--metrics=", 0) == 0) {
       want_metrics = true;
       metrics_path = arg.substr(std::strlen("--metrics="));
+    } else if (arg.rfind("--format=", 0) == 0) {
+      const std::string v = arg.substr(std::strlen("--format="));
+      const auto f = parse_snapshot_format(v);
+      if (!f) {
+        return usage_error("--format: want csv, wsnap or auto, got '" + v +
+                           "'");
+      }
+      format = *f;
     } else if (arg.rfind("--threads=", 0) == 0) {
       const std::string v = arg.substr(std::strlen("--threads="));
       const auto n = env::parse_u64(v);
@@ -148,10 +159,10 @@ int main(int argc, char** argv) {
   }
 
   Dataset ds;
-  if (!load_dataset(prefix, &ds)) {
+  if (!load_dataset(prefix, &ds, format)) {
     WMESH_LOG_ERROR("cli", kv("tool", "wmesh_analyze"),
                     kv("error", "cannot load snapshot"), kv("prefix", prefix));
-    std::fprintf(stderr, "error: cannot load %s.probes.csv\n", prefix.c_str());
+    std::fprintf(stderr, "error: cannot load snapshot %s\n", prefix.c_str());
     return 1;
   }
 

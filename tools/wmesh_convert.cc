@@ -1,0 +1,177 @@
+// wmesh_convert: lossless snapshot conversion between CSV and WSNAP.
+//
+// Usage: wmesh_convert <input-prefix> <output-prefix>
+//                      [--in=csv|wsnap|auto] [--out=csv|wsnap|auto]
+//                      [--threads=N] [--metrics[=path]]
+//
+// Formats resolve like everywhere else: a prefix ending in ".wsnap" is
+// WSNAP; otherwise the input probes which files exist and the output
+// defaults to CSV.  Converting CSV -> WSNAP -> CSV reproduces the original
+// CSV byte-for-byte (the CSV digits are the canonical float precision and
+// WSNAP stores raw bits), so the conversion is safe to apply to archives.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "par/thread_pool.h"
+#include "trace/io.h"
+#include "util/env.h"
+
+using namespace wmesh;
+
+namespace {
+
+const char* const kUsage =
+    "usage: wmesh_convert <input-prefix> <output-prefix> "
+    "[--in=csv|wsnap|auto] [--out=csv|wsnap|auto] [--threads=N] "
+    "[--metrics[=path]]\n"
+    "       wmesh_convert --help\n";
+
+void print_help() {
+  std::printf(
+      "%s\n"
+      "losslessly converts a snapshot between the flat CSV pair\n"
+      "(<prefix>.probes.csv + <prefix>.clients.csv) and the binary columnar\n"
+      "WSNAP file (<prefix>.wsnap); csv->wsnap->csv round-trips\n"
+      "byte-identically\n"
+      "\n"
+      "flags:\n"
+      "  --in=F           input format (default auto: by extension, then by\n"
+      "                   which files exist)\n"
+      "  --out=F          output format (default auto: wsnap when the\n"
+      "                   output prefix ends in .wsnap, else csv)\n"
+      "  --threads=N      thread count for WSNAP encode/decode (flag >\n"
+      "                   WMESH_THREADS > hardware); output is\n"
+      "                   byte-identical for every N\n"
+      "  --metrics        print the metrics registry snapshot on exit\n"
+      "  --metrics=PATH   also write it to PATH (.json -> JSON, else CSV)\n"
+      "  --help           this text\n"
+      "\n"
+      "env: WMESH_THREADS=N, WMESH_LOG_LEVEL=trace|debug|info|warn|error|off,\n"
+      "     WMESH_LOG_FILE=<path>, WMESH_TRACE_OUT=<chrome-trace.json>\n",
+      kUsage);
+}
+
+[[nodiscard]] int usage_error(const std::string& reason) {
+  WMESH_LOG_ERROR("cli", kv("tool", "wmesh_convert"), kv("error", reason));
+  std::fputs(kUsage, stderr);
+  return 2;
+}
+
+void emit_metrics(const std::string& path) {
+  const auto snap = obs::Registry::instance().snapshot();
+  if (snap.empty()) {
+    std::printf("\n== metrics ==\n(observability disabled: library built "
+                "with WMESH_OBS_DISABLED)\n");
+    return;
+  }
+  std::printf("\n== metrics ==\n%s", snap.render_table().c_str());
+  if (path.empty()) return;
+  const bool json = path.size() >= 5 &&
+                    path.compare(path.size() - 5, 5, ".json") == 0;
+  std::ofstream out(path);
+  if (!out) {
+    WMESH_LOG_ERROR("cli", kv("tool", "wmesh_convert"),
+                    kv("error", "cannot write metrics file"),
+                    kv("path", path));
+    return;
+  }
+  out << (json ? snap.to_json() : snap.to_csv());
+  std::printf("(metrics written to %s)\n", path.c_str());
+}
+
+std::string files_of(const std::string& prefix, SnapshotFormat f) {
+  if (f == SnapshotFormat::kWsnap) return wsnap_path(prefix);
+  return prefix + ".probes.csv + " + prefix + ".clients.csv";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string in_prefix, out_prefix;
+  SnapshotFormat in_format = SnapshotFormat::kAuto;
+  SnapshotFormat out_format = SnapshotFormat::kAuto;
+  bool want_metrics = false;
+  std::string metrics_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      return 0;
+    }
+    auto parse_fmt = [&](const char* flag, SnapshotFormat* dst) -> bool {
+      const std::string v = arg.substr(std::strlen(flag));
+      const auto f = parse_snapshot_format(v);
+      if (!f) return false;
+      *dst = *f;
+      return true;
+    };
+    if (arg.rfind("--in=", 0) == 0) {
+      if (!parse_fmt("--in=", &in_format)) {
+        return usage_error("--in: want csv, wsnap or auto, got '" +
+                           arg.substr(5) + "'");
+      }
+    } else if (arg.rfind("--out=", 0) == 0) {
+      if (!parse_fmt("--out=", &out_format)) {
+        return usage_error("--out: want csv, wsnap or auto, got '" +
+                           arg.substr(6) + "'");
+      }
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      const std::string v = arg.substr(std::strlen("--threads="));
+      const auto n = env::parse_u64(v);
+      if (!n || *n == 0) {
+        return usage_error("--threads: not a positive integer: '" + v + "'");
+      }
+      par::set_default_threads(static_cast<std::size_t>(*n));
+    } else if (arg == "--metrics") {
+      want_metrics = true;
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      want_metrics = true;
+      metrics_path = arg.substr(std::strlen("--metrics="));
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage_error("unknown flag '" + arg + "'");
+    } else if (in_prefix.empty()) {
+      in_prefix = arg;
+    } else if (out_prefix.empty()) {
+      out_prefix = arg;
+    } else {
+      return usage_error("unexpected argument '" + arg + "'");
+    }
+  }
+  if (in_prefix.empty() || out_prefix.empty()) {
+    return usage_error("missing <input-prefix> or <output-prefix>");
+  }
+
+  const SnapshotFormat in_resolved =
+      resolve_snapshot_format(in_prefix, in_format, /*for_load=*/true);
+  const SnapshotFormat out_resolved =
+      resolve_snapshot_format(out_prefix, out_format, /*for_load=*/false);
+
+  WMESH_SPAN("convert");
+  Dataset ds;
+  if (!load_dataset(in_prefix, &ds, in_resolved)) {
+    std::fprintf(stderr, "error: cannot load snapshot %s (format %s)\n",
+                 in_prefix.c_str(),
+                 std::string(to_string(in_resolved)).c_str());
+    return 1;
+  }
+  std::printf("loaded %s (%s): %zu traces, %zu probe sets\n",
+              in_prefix.c_str(), std::string(to_string(in_resolved)).c_str(),
+              ds.networks.size(), ds.total_probe_sets());
+  if (!save_dataset(ds, out_prefix, out_resolved)) {
+    std::fprintf(stderr, "error: cannot write snapshot %s (format %s)\n",
+                 out_prefix.c_str(),
+                 std::string(to_string(out_resolved)).c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", files_of(out_prefix, out_resolved).c_str());
+
+  if (want_metrics) emit_metrics(metrics_path);
+  obs::flush_trace();
+  return 0;
+}

@@ -1,15 +1,21 @@
 // wmesh_inspect: summarize a saved snapshot.
 //
-// Usage: wmesh_inspect <prefix>
+// Usage: wmesh_inspect <prefix> [--format=csv|wsnap|auto]
 //
-// Prints the fleet composition, per-standard probe-set counts, the SNR
-// occupancy histogram, and the client-sample volume -- the sanity pass one
-// runs before pointing the benches at a snapshot.
+// Prints the snapshot format (for WSNAP: header version/flags, block and
+// chunk counts, per-section row counts), on-disk vs in-memory footprint,
+// the fleet composition, per-standard probe-set counts, the SNR occupancy
+// histogram, and the client-sample volume -- the sanity pass one runs
+// before pointing the benches at a snapshot.
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
+#include <string>
 
 #include "obs/log.h"
+#include "store/wsnap.h"
 #include "trace/io.h"
 #include "util/stats.h"
 #include "util/text_table.h"
@@ -19,8 +25,26 @@ using namespace wmesh;
 namespace {
 
 const char* const kUsage =
-    "usage: wmesh_inspect <prefix>\n"
+    "usage: wmesh_inspect <prefix> [--format=csv|wsnap|auto]\n"
     "       wmesh_inspect --help\n";
+
+void print_help() {
+  std::printf(
+      "%s\n"
+      "prints the snapshot format (WSNAP header/version, block and chunk\n"
+      "counts, per-section rows), on-disk vs in-memory bytes, fleet\n"
+      "composition, per-standard probe-set counts, the SNR occupancy\n"
+      "histogram and client-sample volume for a saved snapshot\n"
+      "\n"
+      "flags:\n"
+      "  --format=F       snapshot format: csv, wsnap, or auto (default;\n"
+      "                   picks by extension, then by which files exist)\n"
+      "  --help           this text\n"
+      "\n"
+      "env: WMESH_LOG_LEVEL=trace|debug|info|warn|error|off,\n"
+      "     WMESH_LOG_FILE=<path>, WMESH_TRACE_OUT=<chrome-trace.json>\n",
+      kUsage);
+}
 
 [[nodiscard]] int usage_error(const std::string& reason) {
   WMESH_LOG_ERROR("cli", kv("tool", "wmesh_inspect"), kv("error", reason));
@@ -28,30 +52,78 @@ const char* const kUsage =
   return 2;
 }
 
+std::uint64_t disk_bytes(const std::string& path) {
+  std::error_code ec;
+  const auto n = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<std::uint64_t>(n);
+}
+
+// Logical in-memory footprint of the loaded Dataset (structs + vector
+// payloads; excludes allocator slack).
+std::uint64_t in_memory_bytes(const Dataset& ds) {
+  std::uint64_t n = sizeof(Dataset);
+  for (const auto& nt : ds.networks) {
+    n += sizeof(NetworkTrace);
+    n += nt.probe_sets.size() * sizeof(ProbeSet);
+    for (const auto& set : nt.probe_sets) {
+      n += set.entries.size() * sizeof(ProbeEntry);
+    }
+    n += nt.client_samples.size() * sizeof(ClientSample);
+  }
+  return n;
+}
+
+std::string mib(std::uint64_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f MiB",
+                static_cast<double>(bytes) / (1024.0 * 1024.0));
+  return buf;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc == 2 && (std::strcmp(argv[1], "--help") == 0 ||
-                    std::strcmp(argv[1], "-h") == 0)) {
-    std::printf("%s\nprints fleet composition, per-standard probe-set "
-                "counts, the SNR occupancy histogram and client-sample "
-                "volume for a saved snapshot\n",
-                kUsage);
-    return 0;
+  std::string prefix;
+  SnapshotFormat format = SnapshotFormat::kAuto;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      return 0;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      const std::string v = arg.substr(std::strlen("--format="));
+      const auto f = parse_snapshot_format(v);
+      if (!f) {
+        return usage_error("--format: want csv, wsnap or auto, got '" + v +
+                           "'");
+      }
+      format = *f;
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage_error("unknown flag '" + arg + "'");
+    } else if (prefix.empty()) {
+      prefix = arg;
+    } else {
+      return usage_error("unexpected argument '" + arg + "'");
+    }
   }
-  if (argc != 2) {
-    return usage_error(argc < 2 ? "missing <prefix>" : "too many arguments");
+  if (prefix.empty()) {
+    return usage_error("missing <prefix>");
   }
+
+  const SnapshotFormat resolved =
+      resolve_snapshot_format(prefix, format, /*for_load=*/true);
   Dataset ds;
-  if (!load_dataset(argv[1], &ds)) {
+  if (!load_dataset(prefix, &ds, resolved)) {
     WMESH_LOG_ERROR("cli", kv("tool", "wmesh_inspect"),
-                    kv("error", "cannot load snapshot"), kv("prefix", argv[1]));
-    std::fprintf(stderr, "error: cannot load %s.probes.csv\n", argv[1]);
+                    kv("error", "cannot load snapshot"), kv("prefix", prefix));
+    std::fprintf(stderr, "error: cannot load snapshot %s (format %s)\n",
+                 prefix.c_str(),
+                 std::string(to_string(resolved)).c_str());
     return 1;
   }
 
   std::map<std::string, std::size_t> traces, sets;
-  std::size_t clients = 0;
+  std::size_t clients = 0, entries = 0;
   Histogram snr_hist(-10.0, 60.0, 14);
   for (const auto& nt : ds.networks) {
     const std::string key = std::string(to_string(nt.info.standard)) + " / " +
@@ -60,14 +132,46 @@ int main(int argc, char** argv) {
     sets[key] += nt.probe_sets.size();
     clients += nt.client_samples.size();
     for (const auto& set : nt.probe_sets) {
+      entries += set.entries.size();
       if (!std::isnan(set.snr_db)) snr_hist.add(set.snr_db);
     }
   }
 
   std::printf("snapshot %s: %zu traces, %zu APs, %zu probe sets, %zu client "
-              "samples\n\n",
-              argv[1], ds.networks.size(), ds.total_aps(),
+              "samples\n",
+              prefix.c_str(), ds.networks.size(), ds.total_aps(),
               ds.total_probe_sets(), clients);
+
+  std::uint64_t on_disk = 0;
+  if (resolved == SnapshotFormat::kWsnap) {
+    store::WsnapInfo info;
+    std::string err;
+    if (!store::inspect_wsnap(wsnap_path(prefix), &info, &err)) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      return 1;
+    }
+    on_disk = info.file_bytes;
+    std::printf("format: wsnap v%u (flags 0x%04x), %u blocks in %u chunk%s, "
+                "%s payload\n",
+                info.version, info.flags, info.block_count, info.chunk_count,
+                info.chunk_count == 1 ? "" : "s",
+                mib(info.payload_bytes).c_str());
+    TextTable sec;
+    sec.header({"section", "rows"});
+    sec.add_row({"networks", std::to_string(info.networks)});
+    sec.add_row({"probe_sets", std::to_string(info.probe_sets)});
+    sec.add_row({"probe_entries", std::to_string(info.probe_entries)});
+    sec.add_row({"client_samples", std::to_string(info.client_samples)});
+    std::fputs(sec.render().c_str(), stdout);
+  } else {
+    on_disk = disk_bytes(prefix + ".probes.csv") +
+              disk_bytes(prefix + ".clients.csv");
+    std::printf("format: csv (%zu probe-entry rows, %zu client rows)\n",
+                entries, clients);
+  }
+  std::printf("bytes: %s on disk, %s in memory\n\n", mib(on_disk).c_str(),
+              mib(in_memory_bytes(ds)).c_str());
+
   TextTable t;
   t.header({"standard / environment", "traces", "probe sets"});
   for (const auto& [key, count] : traces) {
