@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "obs/span.h"
 #include "par/thread_pool.h"
 #include "trace/io.h"
@@ -111,7 +112,10 @@ namespace {
 // Per-stage attribution alongside the Google-Benchmark numbers: the span
 // histograms and stage counters accumulated while computing the figure.
 void report_observability(const char* argv0) {
-  const auto snap = obs::Registry::instance().snapshot();
+  // kActiveBatches: google-benchmark worker threads may still hold
+  // CounterBatches; drain their pending deltas into the footer snapshot.
+  const auto snap =
+      obs::Registry::instance().snapshot(obs::SnapshotFlush::kActiveBatches);
   if (snap.empty()) return;  // built with WMESH_OBS_DISABLED
   section("observability");
   std::fputs(snap.render_table().c_str(), stdout);
@@ -132,6 +136,8 @@ void report_observability(const char* argv0) {
 
 int run_benchmarks(int argc, char** argv) {
   const char* argv0 = argc > 0 ? argv[0] : "bench";
+  const std::string name = std::filesystem::path(argv0).filename().string();
+  obs::RunReport report(name, argc, argv);
   // Spin up the analysis pool before timing starts so WMESH_THREADS is
   // honored, pool construction is not attributed to the first benchmark,
   // and the par.pool.threads gauge lands in bench_out/*.metrics.csv.
@@ -142,7 +148,13 @@ int run_benchmarks(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  report.set_threads(par::default_pool().thread_count());
+  report.finish();  // freeze wall time + RSS before the footer snapshot
   report_observability(argv0);
+  const std::string report_path = out_dir() + "/" + name + ".report.json";
+  if (report.write(report_path)) {
+    std::printf("(run report: %s)\n", report_path.c_str());
+  }
   obs::flush_trace();
   return 0;
 }

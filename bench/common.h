@@ -17,10 +17,13 @@
 //   WMESH_BENCH_HOURS   probe-trace length     (default: 4 h)
 //
 // Each binary also prints the observability registry snapshot (stage
-// counters + span timing histograms, see obs/metrics.h) after the
-// google-benchmark run and writes it to bench_out/<name>.metrics.csv, so
-// the perf numbers come with per-stage attribution.  WMESH_LOG_LEVEL /
-// WMESH_LOG_FILE / WMESH_TRACE_OUT work here like in the tools.
+// counters, span aggregates + timing histograms, see obs/metrics.h) after
+// the google-benchmark run, writes it to bench_out/<name>.metrics.csv, and
+// emits a full run report (wmesh.run_report/1 schema: argv, build info,
+// wall time, peak RSS, metrics) to bench_out/<name>.report.json, so the
+// perf numbers come with per-stage attribution and provenance.
+// WMESH_LOG_LEVEL / WMESH_LOG_FILE / WMESH_TRACE_OUT work here like in the
+// tools.  For the stage-level regression gate see tools/wmesh_bench.
 #pragma once
 
 #include <benchmark/benchmark.h>

@@ -1,0 +1,239 @@
+#include "obs/bench.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/span.h"
+#include "util/env.h"
+#include "util/json.h"
+#include "util/text_table.h"
+
+namespace wmesh::obs {
+namespace {
+
+std::string us_string(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+const BenchStageResult* BenchResult::find(
+    std::string_view name) const noexcept {
+  for (const auto& s : stages) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+double bench_quantile(std::vector<double> runs, double q) noexcept {
+  if (runs.empty()) return 0.0;
+  std::sort(runs.begin(), runs.end());
+  const double pos = q * static_cast<double>(runs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, runs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return runs[lo] + (runs[hi] - runs[lo]) * frac;
+}
+
+BenchResult run_bench_suite(const std::string& suite,
+                            const std::vector<BenchStage>& stages, int repeat,
+                            std::size_t threads) {
+  using Clock = std::chrono::steady_clock;
+  const std::uint64_t sleep_us = env::u64_or("WMESH_BENCH_SLEEP_US", 0);
+
+  BenchResult result;
+  result.suite = suite;
+  result.repeat = repeat;
+  result.threads = threads;
+  for (const BenchStage& stage : stages) {
+    WMESH_SPAN("bench.stage");
+    BenchStageResult r;
+    r.name = stage.name;
+    for (int i = 0; i < repeat; ++i) {
+      const Clock::time_point t0 = Clock::now();
+      stage.fn();
+      if (sleep_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+      }
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          Clock::now() - t0)
+                          .count();
+      r.runs_us.push_back(static_cast<double>(us));
+      WMESH_COUNTER_INC("bench.runs");
+    }
+    r.median_us = bench_quantile(r.runs_us, 0.50);
+    r.p10_us = bench_quantile(r.runs_us, 0.10);
+    r.p90_us = bench_quantile(r.runs_us, 0.90);
+    WMESH_LOG_DEBUG("bench", kv("stage", r.name), kv("median_us", r.median_us),
+                    kv("runs", r.runs_us.size()));
+    result.stages.push_back(std::move(r));
+  }
+  return result;
+}
+
+std::string bench_to_json(const BenchResult& result) {
+  std::string out = "{\n";
+  out += "  \"schema\": \"" + std::string(kBenchSchema) + "\",\n";
+  out += "  \"suite\": \"" + json_escape(result.suite) + "\",\n";
+  out += "  \"repeat\": " + std::to_string(result.repeat) + ",\n";
+  out += "  \"threads\": " + std::to_string(result.threads) + ",\n";
+  out += "  \"build\": " + BuildInfo::current().to_json(2) + ",\n";
+  out += "  \"stages\": [";
+  for (std::size_t i = 0; i < result.stages.size(); ++i) {
+    const BenchStageResult& s = result.stages[i];
+    out += i ? ",\n    {" : "\n    {";
+    out += "\"name\": \"" + json_escape(s.name) + "\", \"runs_us\": [";
+    for (std::size_t j = 0; j < s.runs_us.size(); ++j) {
+      out += (j ? ", " : "") + us_string(s.runs_us[j]);
+    }
+    out += "], \"median_us\": " + us_string(s.median_us);
+    out += ", \"p10_us\": " + us_string(s.p10_us);
+    out += ", \"p90_us\": " + us_string(s.p90_us);
+    out += "}";
+  }
+  out += result.stages.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+bool schema_error(std::string* err, const std::string& what) {
+  if (err != nullptr) *err = "bench json: " + what;
+  return false;
+}
+
+bool read_number(const json::Value& obj, std::string_view key, double* out,
+                 std::string* err) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) {
+    return schema_error(err, "missing numeric \"" + std::string(key) + "\"");
+  }
+  *out = v->number;
+  return true;
+}
+
+}  // namespace
+
+bool parse_bench_json(const std::string& text, BenchResult* out,
+                      std::string* err) {
+  std::string parse_err;
+  const auto doc = json::parse(text, &parse_err);
+  if (!doc) return schema_error(err, parse_err);
+  if (!doc->is_object()) return schema_error(err, "document is not an object");
+
+  const json::Value* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    return schema_error(err, "missing \"schema\"");
+  }
+  if (schema->string != kBenchSchema) {
+    return schema_error(err, "unsupported schema \"" + schema->string +
+                                 "\" (want \"" + std::string(kBenchSchema) +
+                                 "\")");
+  }
+  const json::Value* suite = doc->find("suite");
+  if (suite == nullptr || !suite->is_string()) {
+    return schema_error(err, "missing \"suite\"");
+  }
+  double repeat = 0, threads = 0;
+  if (!read_number(*doc, "repeat", &repeat, err)) return false;
+  if (!read_number(*doc, "threads", &threads, err)) return false;
+  const json::Value* build = doc->find("build");
+  if (build == nullptr || !build->is_object()) {
+    return schema_error(err, "missing \"build\" object");
+  }
+  const json::Value* stages = doc->find("stages");
+  if (stages == nullptr || !stages->is_array()) {
+    return schema_error(err, "missing \"stages\" array");
+  }
+
+  BenchResult r;
+  r.suite = suite->string;
+  r.repeat = static_cast<int>(repeat);
+  r.threads = static_cast<std::size_t>(threads);
+  for (const json::Value& stage : stages->array) {
+    if (!stage.is_object()) return schema_error(err, "stage is not an object");
+    const json::Value* name = stage.find("name");
+    if (name == nullptr || !name->is_string() || name->string.empty()) {
+      return schema_error(err, "stage missing \"name\"");
+    }
+    BenchStageResult s;
+    s.name = name->string;
+    const json::Value* runs = stage.find("runs_us");
+    if (runs == nullptr || !runs->is_array() || runs->array.empty()) {
+      return schema_error(err,
+                          "stage \"" + s.name + "\" missing \"runs_us\"");
+    }
+    for (const json::Value& run : runs->array) {
+      if (!run.is_number() || run.number < 0.0) {
+        return schema_error(err, "stage \"" + s.name + "\" has a bad run");
+      }
+      s.runs_us.push_back(run.number);
+    }
+    if (!read_number(stage, "median_us", &s.median_us, err) ||
+        !read_number(stage, "p10_us", &s.p10_us, err) ||
+        !read_number(stage, "p90_us", &s.p90_us, err)) {
+      return false;
+    }
+    r.stages.push_back(std::move(s));
+  }
+  *out = std::move(r);
+  return true;
+}
+
+RegressionCheck check_bench_regression(const BenchResult& baseline,
+                                       const BenchResult& current,
+                                       double tolerance_pct) {
+  RegressionCheck check;
+  for (const BenchStageResult& base : baseline.stages) {
+    const BenchStageResult* cur = current.find(base.name);
+    if (cur == nullptr) {
+      check.missing.push_back(base.name);
+      check.ok = false;
+      continue;
+    }
+    RegressionCheck::Row row;
+    row.name = base.name;
+    row.baseline_median_us = base.median_us;
+    row.current_median_us = cur->median_us;
+    row.delta_pct =
+        base.median_us > 0.0
+            ? 100.0 * (cur->median_us - base.median_us) / base.median_us
+            : 0.0;
+    row.regressed = row.delta_pct > tolerance_pct;
+    if (row.regressed) check.ok = false;
+    check.rows.push_back(std::move(row));
+  }
+  return check;
+}
+
+std::string RegressionCheck::render(double tolerance_pct) const {
+  TextTable t;
+  t.header({"stage", "baseline_us", "current_us", "delta", "verdict"});
+  for (const Row& r : rows) {
+    char delta[32];
+    std::snprintf(delta, sizeof(delta), "%+.1f%%", r.delta_pct);
+    t.add_row({r.name, us_string(r.baseline_median_us),
+               us_string(r.current_median_us), delta,
+               r.regressed ? "REGRESSED" : "ok"});
+  }
+  std::string out = t.render();
+  for (const std::string& name : missing) {
+    out += "missing stage (in baseline, not in current run): " + name + "\n";
+  }
+  char verdict[96];
+  std::snprintf(verdict, sizeof(verdict), "%s (tolerance %.1f%%)\n",
+                ok ? "PASS" : "FAIL", tolerance_pct);
+  out += verdict;
+  return out;
+}
+
+}  // namespace wmesh::obs

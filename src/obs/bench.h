@@ -1,0 +1,96 @@
+// Perf-regression bench harness core: the timing loop, the BENCH_*.json
+// schema, and the baseline comparison that gates CI.
+//
+// tools/wmesh_bench registers one BenchStage per pipeline stage (gen, CSV
+// and WSNAP load, ETX, ExOR, look-up tables, hidden triples, mobility),
+// `run_bench_suite` times each stage `repeat` times and reduces the runs
+// to median/p10/p90, and `bench_to_json` emits the versioned
+// "wmesh.bench/1" document (stable key order, build block from
+// obs/report.h).  `parse_bench_json` reads such a document back
+// (util/json.h) and `check_bench_regression` compares current medians
+// against a baseline with a percentage tolerance -- the `--baseline
+// --check` gate that future perf PRs and CI run.
+//
+// Self-test knob: WMESH_BENCH_SLEEP_US=<n> (strict util/env parsing) adds
+// an artificial n-microsecond sleep inside every timed run, which is how
+// the regression gate demonstrates a detectable slowdown in tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace wmesh::obs {
+
+inline constexpr std::string_view kBenchSchema = "wmesh.bench/1";
+
+struct BenchStage {
+  std::string name;
+  std::function<void()> fn;
+};
+
+struct BenchStageResult {
+  std::string name;
+  std::vector<double> runs_us;  // in execution order
+  double median_us = 0.0;
+  double p10_us = 0.0;
+  double p90_us = 0.0;
+};
+
+struct BenchResult {
+  std::string suite;
+  int repeat = 0;
+  std::size_t threads = 0;
+  std::vector<BenchStageResult> stages;
+
+  const BenchStageResult* find(std::string_view name) const noexcept;
+};
+
+// Nearest-rank quantile with linear interpolation over a copy of `runs`;
+// deterministic for a given input.  Exposed for tests.
+double bench_quantile(std::vector<double> runs, double q) noexcept;
+
+// Times every stage `repeat` times (in registration order, all runs of a
+// stage back to back) and fills the reduced stats.  A stage that throws
+// aborts the suite by rethrowing -- a bench that cannot run must not emit
+// a half-filled report.  Honors WMESH_BENCH_SLEEP_US (see above).
+BenchResult run_bench_suite(const std::string& suite,
+                            const std::vector<BenchStage>& stages, int repeat,
+                            std::size_t threads);
+
+// The versioned JSON document, keys in fixed order.
+std::string bench_to_json(const BenchResult& result);
+
+// Strict parse + schema validation (schema string, required keys, stage
+// shape).  On failure returns false with a one-line diagnostic in *err.
+bool parse_bench_json(const std::string& text, BenchResult* out,
+                      std::string* err);
+
+// Baseline comparison: a stage regresses when its current median exceeds
+// the baseline median by more than tolerance_pct percent.  Stages missing
+// from `current` fail the check too (a bench that silently stops covering
+// a stage must not pass); stages only in `current` are ignored, and so are
+// stages whose baseline median is zero (no percentage exists -- real suite
+// stages run long enough that a zero median never happens).
+struct RegressionCheck {
+  struct Row {
+    std::string name;
+    double baseline_median_us = 0.0;
+    double current_median_us = 0.0;
+    double delta_pct = 0.0;  // +x% slower, -x% faster
+    bool regressed = false;
+  };
+  std::vector<Row> rows;
+  std::vector<std::string> missing;  // in baseline, absent from current
+  bool ok = true;
+
+  // Aligned text table of the comparison plus a PASS/FAIL verdict line.
+  std::string render(double tolerance_pct) const;
+};
+
+RegressionCheck check_bench_regression(const BenchResult& baseline,
+                                       const BenchResult& current,
+                                       double tolerance_pct);
+
+}  // namespace wmesh::obs

@@ -8,33 +8,67 @@
 namespace wmesh::obs {
 
 namespace {
+
 thread_local CounterBatch* t_counter_batch = nullptr;
+
+// All batches currently alive on any thread, so snapshot(kActiveBatches)
+// can drain them.  flush_all_active holds this mutex for the whole walk;
+// a batch destructor unregisters under the same mutex, so a batch can
+// never be destroyed while a remote flusher is touching it.
+std::mutex& batch_list_mu() {
+  static std::mutex mu;
+  return mu;
+}
+std::vector<CounterBatch*>& batch_list() {
+  static std::vector<CounterBatch*>* l = new std::vector<CounterBatch*>();
+  return *l;
+}
+
 }  // namespace
 
 CounterBatch::CounterBatch() noexcept : prev_(t_counter_batch) {
   t_counter_batch = this;
+  try {
+    std::lock_guard<std::mutex> lock(batch_list_mu());
+    batch_list().push_back(this);
+  } catch (...) {
+    // Unregistered batch: buffer() still works, only flush_all_active
+    // cannot see it.  The destructor's erase is a no-op for this batch.
+  }
 }
 
 CounterBatch::~CounterBatch() {
+  {
+    std::lock_guard<std::mutex> lock(batch_list_mu());
+    auto& l = batch_list();
+    l.erase(std::remove(l.begin(), l.end(), this), l.end());
+  }
   flush();
   t_counter_batch = prev_;
 }
 
 void CounterBatch::flush() noexcept {
-  for (auto& [counter, n] : pending_) {
-    counter->value_.fetch_add(n, std::memory_order_relaxed);
+  // Entries are only appended, never removed, and a deque never relocates
+  // its elements; holding mu_ pins the entry count against a concurrent
+  // append by the owning thread.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : pending_) {
+    const std::uint64_t n = e.pending.exchange(0, std::memory_order_relaxed);
+    if (n != 0) e.counter->value_.fetch_add(n, std::memory_order_relaxed);
   }
-  pending_.clear();
 }
 
 void CounterBatch::buffer(Counter* c, std::uint64_t n) noexcept {
-  for (auto& [counter, pending] : pending_) {
-    if (counter == c) {
-      pending += n;
+  // Owner-only fast path: nobody else appends, so scanning the deque
+  // without mu_ is safe, and the per-entry atomic add is uncontended.
+  for (Entry& e : pending_) {
+    if (e.counter == c) {
+      e.pending.fetch_add(n, std::memory_order_relaxed);
       return;
     }
   }
   try {
+    std::lock_guard<std::mutex> lock(mu_);
     pending_.emplace_back(c, n);
   } catch (...) {
     c->value_.fetch_add(n, std::memory_order_relaxed);
@@ -42,6 +76,11 @@ void CounterBatch::buffer(Counter* c, std::uint64_t n) noexcept {
 }
 
 CounterBatch* CounterBatch::active() noexcept { return t_counter_batch; }
+
+void CounterBatch::flush_all_active() noexcept {
+  std::lock_guard<std::mutex> lock(batch_list_mu());
+  for (CounterBatch* b : batch_list()) b->flush();
+}
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
@@ -76,6 +115,47 @@ void Histogram::reset() noexcept {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+}
+
+namespace {
+
+// Relaxed CAS loops; fine for min/max because the combining function is
+// idempotent and order-independent.
+void atomic_min(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+void atomic_max(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void SpanAggregate::record(double us) noexcept {
+  hist_.record(us);
+  atomic_min(min_, us);
+  atomic_max(max_, us);
+}
+
+double SpanAggregate::min() const noexcept {
+  const double v = min_.load(std::memory_order_relaxed);
+  return v >= kUnset ? 0.0 : v;
+}
+
+double SpanAggregate::max() const noexcept {
+  const double v = max_.load(std::memory_order_relaxed);
+  return v <= -kUnset ? 0.0 : v;
+}
+
+void SpanAggregate::reset() noexcept {
+  // The wrapped histogram is reset by the registry (it owns it).
+  min_.store(kUnset, std::memory_order_relaxed);
+  max_.store(-kUnset, std::memory_order_relaxed);
 }
 
 std::vector<double> span_time_bounds_us() {
@@ -121,7 +201,22 @@ Histogram& Registry::span_histogram(std::string_view name) {
   return histogram("span." + std::string(name), span_time_bounds_us());
 }
 
-Snapshot Registry::snapshot() const {
+SpanAggregate& Registry::span_aggregate(std::string_view name) {
+  // Take the histogram first: both calls lock mu_, and map references are
+  // stable, so the aggregate can hold the reference forever.
+  Histogram& hist = span_histogram(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = spans_.find(name);
+  if (it == spans_.end()) {
+    it = spans_.try_emplace(std::string(name), hist).first;
+  }
+  return it->second;
+}
+
+Snapshot Registry::snapshot(SnapshotFlush flush) const {
+  if (flush == SnapshotFlush::kActiveBatches) {
+    CounterBatch::flush_all_active();
+  }
   Snapshot s;
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, c] : counters_) {
@@ -134,6 +229,11 @@ Snapshot Registry::snapshot() const {
     s.histograms.push_back({name, h.count(), h.sum(), h.quantile(0.50),
                             h.quantile(0.90), h.quantile(0.99)});
   }
+  for (const auto& [name, a] : spans_) {
+    const Histogram& h = a.histogram();
+    s.spans.push_back({name, a.count(), a.total(), a.min(), a.max(),
+                       h.quantile(0.50), h.quantile(0.90), h.quantile(0.99)});
+  }
   return s;  // std::map iteration is already name-sorted
 }
 
@@ -142,6 +242,7 @@ void Registry::reset_for_test() {
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, g] : gauges_) g.reset();
   for (auto& [name, h] : histograms_) h.reset();
+  for (auto& [name, a] : spans_) a.reset();
 }
 
 std::string Snapshot::render_table() const {
@@ -165,21 +266,39 @@ std::string Snapshot::render_table() const {
     if (!out.empty()) out += '\n';
     out += t.render();
   }
+  if (!spans.empty()) {
+    TextTable t;
+    t.header({"span (us)", "count", "total", "min", "max", "p50", "p90",
+              "p99"});
+    for (const auto& sp : spans) {
+      t.add_row({sp.name, std::to_string(sp.count), fmt(sp.total_us, 1),
+                 fmt(sp.min_us, 1), fmt(sp.max_us, 1), fmt(sp.p50_us, 1),
+                 fmt(sp.p90_us, 1), fmt(sp.p99_us, 1)});
+    }
+    if (!out.empty()) out += '\n';
+    out += t.render();
+  }
   return out;
 }
 
 std::string Snapshot::to_csv() const {
-  std::string out = "kind,name,value,count,sum,p50,p90,p99\n";
+  std::string out = "kind,name,value,count,sum,p50,p90,p99,min,max\n";
   for (const auto& c : counters) {
-    out += "counter," + c.name + ',' + std::to_string(c.value) + ",,,,,\n";
+    out += "counter," + c.name + ',' + std::to_string(c.value) + ",,,,,,,\n";
   }
   for (const auto& g : gauges) {
-    out += "gauge," + g.name + ',' + fmt(g.value, 6) + ",,,,,\n";
+    out += "gauge," + g.name + ',' + fmt(g.value, 6) + ",,,,,,,\n";
   }
   for (const auto& h : histograms) {
     out += "histogram," + h.name + ",," + std::to_string(h.count) + ',' +
            fmt(h.sum, 3) + ',' + fmt(h.p50, 3) + ',' + fmt(h.p90, 3) + ',' +
-           fmt(h.p99, 3) + '\n';
+           fmt(h.p99, 3) + ",,\n";
+  }
+  for (const auto& sp : spans) {
+    out += "span," + sp.name + ",," + std::to_string(sp.count) + ',' +
+           fmt(sp.total_us, 3) + ',' + fmt(sp.p50_us, 3) + ',' +
+           fmt(sp.p90_us, 3) + ',' + fmt(sp.p99_us, 3) + ',' +
+           fmt(sp.min_us, 3) + ',' + fmt(sp.max_us, 3) + '\n';
   }
   return out;
 }
@@ -223,7 +342,20 @@ std::string Snapshot::to_json() const {
            ", \"p90\": " + json_number(h.p90) +
            ", \"p99\": " + json_number(h.p99) + "}";
   }
-  out += histograms.empty() ? "}\n" : "\n  }\n";
+  out += histograms.empty() ? "},\n" : "\n  },\n";
+  out += "  \"spans\": {";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const auto& sp = spans[i];
+    out += (i ? ",\n    \"" : "\n    \"") + sp.name + "\": {\"count\": " +
+           std::to_string(sp.count) +
+           ", \"total_us\": " + json_number(sp.total_us) +
+           ", \"min_us\": " + json_number(sp.min_us) +
+           ", \"max_us\": " + json_number(sp.max_us) +
+           ", \"p50_us\": " + json_number(sp.p50_us) +
+           ", \"p90_us\": " + json_number(sp.p90_us) +
+           ", \"p99_us\": " + json_number(sp.p99_us) + "}";
+  }
+  out += spans.empty() ? "}\n" : "\n  }\n";
   out += "}\n";
   return out;
 }

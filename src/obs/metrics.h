@@ -1,5 +1,5 @@
-// Process-global metrics registry: counters, gauges and fixed-bucket
-// histograms, registered by name.
+// Process-global metrics registry: counters, gauges, fixed-bucket
+// histograms and span aggregates, registered by name.
 //
 // Every analysis stage (generation, trace I/O, ETX/ExOR, look-up tables,
 // hidden triples, mobility, DSDV) reports counters through the WMESH_*
@@ -10,12 +10,13 @@
 //
 // `Registry::instance().snapshot()` returns a deterministic (name-sorted)
 // view that renders to a util::text_table, to CSV and to JSON -- the same
-// snapshot backs the tools' `--metrics[=path]` flag and the bench report
-// footers.
+// snapshot backs the tools' `--metrics[=path]` flag, the `--report` run
+// reports (obs/report.h) and the bench report footers.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <string>
@@ -31,8 +32,16 @@ class Counter;
 // and the shared atomics are touched exactly once, at flush (or scope
 // exit).  The wmesh::par pool installs one batch per shard, so analysis
 // code inside parallel regions never contends on counter cache lines.
-// Batches nest (the inner one wins until it flushes); a registry snapshot
-// taken while a batch is active misses its pending deltas.
+// Batches nest (the inner one wins until it flushes).
+//
+// Active batches register themselves in a process-global list, and pending
+// deltas are stored as relaxed atomics, so
+// `Registry::snapshot(SnapshotFlush::kActiveBatches)` can drain every
+// in-flight batch from any thread: a snapshot taken mid-region (a run
+// report, a concurrent --metrics dump) never under-counts.  The owning
+// thread's fast path is unchanged -- an uncontended relaxed fetch_add on a
+// thread-local cache line; the batch mutex is only taken when a *new*
+// counter is first buffered or when a remote flusher walks the entries.
 class CounterBatch {
  public:
   CounterBatch() noexcept;
@@ -41,7 +50,8 @@ class CounterBatch {
   CounterBatch(const CounterBatch&) = delete;
   CounterBatch& operator=(const CounterBatch&) = delete;
 
-  // Adds every pending delta to its counter and clears the buffer.
+  // Adds every pending delta to its counter and zeroes the buffer.  Safe
+  // to call from any thread; deltas are counted exactly once.
   void flush() noexcept;
 
   // Buffers one increment for `c`; on allocation failure falls back to a
@@ -51,10 +61,23 @@ class CounterBatch {
   // The innermost batch active on this thread, or nullptr.
   static CounterBatch* active() noexcept;
 
+  // Flushes every batch currently active on any thread (snapshot
+  // kActiveBatches path).  Batches stay active; only pending deltas move.
+  static void flush_all_active() noexcept;
+
  private:
+  struct Entry {
+    Counter* counter;
+    std::atomic<std::uint64_t> pending;
+    explicit Entry(Counter* c, std::uint64_t n) : counter(c), pending(n) {}
+  };
+
   CounterBatch* prev_;
-  // Few distinct counters per shard: a small vector beats a hash map.
-  std::vector<std::pair<Counter*, std::uint64_t>> pending_;
+  // Appends and remote walks take mu_; the owner's scan-and-add path does
+  // not (only the owner appends, and a deque never moves its elements).
+  std::mutex mu_;
+  // Few distinct counters per shard: a scanned deque beats a hash map.
+  std::deque<Entry> pending_;
 };
 
 // Monotonic event count.  Thread-safe; increments are relaxed atomics,
@@ -121,6 +144,36 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+// Per-span-name aggregate: exact count/total plus true min/max on top of
+// the fixed-bucket latency histogram (which supplies p50/p90/p99).  Every
+// WMESH_SPAN records here; the histogram member is also registered under
+// "span.<name>" so the classic histogram renderings keep working.
+// Thread-safe: count/total/min/max are relaxed atomics (min/max via CAS
+// loops), so spans closing concurrently on wmesh::par workers never lock.
+// Counts are exact and -- because shard boundaries depend only on the work
+// size -- deterministic across thread counts; durations of course are not.
+class SpanAggregate {
+ public:
+  explicit SpanAggregate(Histogram& hist) noexcept : hist_(hist) {}
+
+  void record(double us) noexcept;
+
+  std::uint64_t count() const noexcept { return hist_.count(); }
+  double total() const noexcept { return hist_.sum(); }
+  // 0 when empty, so an unused span renders as zeros rather than +/-inf.
+  double min() const noexcept;
+  double max() const noexcept;
+  const Histogram& histogram() const noexcept { return hist_; }
+
+  void reset() noexcept;
+
+ private:
+  Histogram& hist_;  // the registry-owned "span.<name>" histogram
+  std::atomic<double> min_{kUnset};
+  std::atomic<double> max_{-kUnset};
+  static constexpr double kUnset = 1e300;
+};
+
 // Default bounds for span wall-time histograms: exponential microsecond
 // buckets from 1 us to ~17 s.
 std::vector<double> span_time_bounds_us();
@@ -143,22 +196,41 @@ struct Snapshot {
     double p90;
     double p99;
   };
+  struct SpanRow {
+    std::string name;  // bare span name ("etx.dijkstra", "par.shard")
+    std::uint64_t count;
+    double total_us;
+    double min_us;
+    double max_us;
+    double p50_us;
+    double p90_us;
+    double p99_us;
+  };
 
   std::vector<CounterRow> counters;
   std::vector<GaugeRow> gauges;
   std::vector<HistogramRow> histograms;
+  std::vector<SpanRow> spans;
 
   bool empty() const {
-    return counters.empty() && gauges.empty() && histograms.empty();
+    return counters.empty() && gauges.empty() && histograms.empty() &&
+           spans.empty();
   }
 
   // Human-readable rendition via util::text_table.
   std::string render_table() const;
-  // Long-form CSV: kind,name,value,count,sum,p50,p90,p99 (one header row).
+  // Long-form CSV: kind,name,value,count,sum,p50,p90,p99,min,max (one
+  // header row; span rows fill min/max, the other kinds leave them empty).
   std::string to_csv() const;
-  // {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  // {"counters": {...}, "gauges": {...}, "histograms": {...},
+  //  "spans": {...}} with name-sorted stable key order.
   std::string to_json() const;
 };
+
+// Whether Registry::snapshot first drains in-flight CounterBatches.  The
+// tools' --metrics and --report paths use kActiveBatches so a snapshot can
+// never under-count work still buffered on other threads.
+enum class SnapshotFlush { kNone, kActiveBatches };
 
 // The process-global registry.  Metric objects are created on first use and
 // live for the process lifetime; returned references stay valid forever
@@ -174,8 +246,10 @@ class Registry {
   Histogram& histogram(std::string_view name, std::vector<double> bounds);
   // Histogram named "span.<name>" with span_time_bounds_us().
   Histogram& span_histogram(std::string_view name);
+  // Aggregate keyed by the bare span name, wrapping span_histogram(name).
+  SpanAggregate& span_aggregate(std::string_view name);
 
-  Snapshot snapshot() const;
+  Snapshot snapshot(SnapshotFlush flush = SnapshotFlush::kNone) const;
   // Zeroes every registered metric (registrations remain).
   void reset_for_test();
 
@@ -186,6 +260,7 @@ class Registry {
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;
+  std::map<std::string, SpanAggregate, std::less<>> spans_;
 };
 
 }  // namespace wmesh::obs

@@ -1,0 +1,194 @@
+#include "obs/report.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/build_info_gen.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/resource.h"
+
+namespace wmesh::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t mono_us() {
+  static const Clock::time_point t0 = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0)
+          .count());
+}
+
+std::string fixed6(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+// Re-indents a rendered JSON sub-document by two extra spaces per line so
+// it nests cleanly inside the report object.
+std::string indent_block(std::string block) {
+  while (!block.empty() && block.back() == '\n') block.pop_back();
+  std::string out;
+  out.reserve(block.size() + block.size() / 8);
+  for (const char c : block) {
+    out += c;
+    if (c == '\n') out += "  ";
+  }
+  return out;
+}
+
+}  // namespace
+
+const BuildInfo& BuildInfo::current() noexcept {
+  static const BuildInfo* info = [] {
+    auto* b = new BuildInfo();
+    b->git = WMESH_BUILD_GIT_DESCRIBE;
+    b->compiler = WMESH_BUILD_COMPILER;
+    b->build_type = WMESH_BUILD_TYPE;
+#if WMESH_BUILD_TSAN
+    b->sanitizer = "tsan";
+#elif WMESH_BUILD_ASAN
+    b->sanitizer = "asan,ubsan";
+#else
+    b->sanitizer = "none";
+#endif
+#if defined(WMESH_OBS_DISABLED)
+    b->obs_disabled = true;
+#else
+    b->obs_disabled = false;
+#endif
+    return b;
+  }();
+  return *info;
+}
+
+std::string BuildInfo::version_line(std::string_view tool) const {
+  std::string out(tool);
+  out += ' ';
+  out += git;
+  out += " (";
+  out += build_type;
+  out += ", ";
+  out += compiler;
+  out += ", sanitizer ";
+  out += sanitizer;
+  out += obs_disabled ? ", obs off)" : ", obs on)";
+  return out;
+}
+
+std::string BuildInfo::to_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::string out = "{\n";
+  out += pad + "  \"git\": \"" + json_escape(git) + "\",\n";
+  out += pad + "  \"compiler\": \"" + json_escape(compiler) + "\",\n";
+  out += pad + "  \"build_type\": \"" + json_escape(build_type) + "\",\n";
+  out += pad + "  \"sanitizer\": \"" + json_escape(sanitizer) + "\",\n";
+  out += pad + "  \"obs_disabled\": ";
+  out += obs_disabled ? "true" : "false";
+  out += "\n" + pad + "}";
+  return out;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct RunReport::SamplerState {
+  ResourceSampler sampler;
+  ResourceUsage final_usage;
+};
+
+RunReport::RunReport(std::string tool, int argc, const char* const* argv)
+    : tool_(std::move(tool)), start_us_(mono_us()) {
+  for (int i = 0; i < argc; ++i) {
+    argv_.emplace_back(argv[i] != nullptr ? argv[i] : "");
+  }
+#if !defined(WMESH_OBS_DISABLED)
+  try {
+    sampler_ = std::make_unique<SamplerState>();
+  } catch (...) {
+    // Thread creation failed: the report falls back to one-shot sampling.
+  }
+#endif
+}
+
+RunReport::~RunReport() { finish(); }
+
+void RunReport::finish() {
+  if (finished_) return;
+  finished_ = true;
+  wall_us_ = mono_us() - start_us_;
+  if (sampler_) {
+    sampler_->sampler.stop();
+    sampler_->final_usage = sampler_->sampler.usage();
+  }
+}
+
+std::string RunReport::to_json() {
+  finish();
+  std::string out = "{\n";
+  out += "  \"schema\": \"" + std::string(kRunReportSchema) + "\",\n";
+  out += "  \"tool\": \"" + json_escape(tool_) + "\",\n";
+  out += "  \"argv\": [";
+  for (std::size_t i = 0; i < argv_.size(); ++i) {
+    out += (i ? ", \"" : "\"") + json_escape(argv_[i]) + "\"";
+  }
+  out += "],\n";
+  out += "  \"seed\": ";
+  out += seed_ ? std::to_string(*seed_) : "null";
+  out += ",\n";
+  out += "  \"threads\": " + std::to_string(threads_) + ",\n";
+  out += "  \"wall_time_s\": " + fixed6(static_cast<double>(wall_us_) * 1e-6) +
+         ",\n";
+  out += "  \"build\": " + BuildInfo::current().to_json(2);
+#if !defined(WMESH_OBS_DISABLED)
+  const ResourceUsage u =
+      sampler_ ? sampler_->final_usage : sample_resources();
+  out += ",\n  \"resources\": {\n";
+  out += "    \"peak_rss_bytes\": " + std::to_string(u.peak_rss_bytes) + ",\n";
+  out += "    \"user_cpu_s\": " + fixed6(u.user_cpu_s) + ",\n";
+  out += "    \"sys_cpu_s\": " + fixed6(u.sys_cpu_s) + ",\n";
+  out += "    \"samples\": " + std::to_string(u.samples) + "\n  }";
+  const Snapshot snap =
+      Registry::instance().snapshot(SnapshotFlush::kActiveBatches);
+  out += ",\n  \"metrics\": " + indent_block(snap.to_json());
+#endif
+  out += "\n}\n";
+  return out;
+}
+
+bool RunReport::write(const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) {
+    WMESH_LOG_ERROR("obs.report", kv("error", "cannot write run report"),
+                    kv("path", path));
+    return false;
+  }
+  f << to_json();
+  return static_cast<bool>(f);
+}
+
+}  // namespace wmesh::obs

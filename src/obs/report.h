@@ -1,0 +1,89 @@
+// Run reports: one versioned JSON document describing a whole tool run --
+// what ran (tool, argv, seed, thread count), on what build (git describe,
+// compiler, build type, sanitizers, WMESH_OBS_DISABLED), what it cost
+// (wall time, peak RSS and user/sys CPU from obs/resource.h) and what it
+// did (the full metrics snapshot including per-span aggregates).
+//
+// Every tool exposes it as `--report[=path.json]`; wmesh_bench embeds the
+// same build block in BENCH_*.json so a regression check knows it is
+// comparing like with like.  Keys are emitted in a fixed order and the
+// schema carries a version string ("wmesh.run_report/1"), so reports can
+// be diffed byte-wise and parsed by dumb tooling.
+//
+// In a -DWMESH_OBS_DISABLED build the report still works but shrinks to
+// run identity + build info + wall time: no resource sampler is started
+// and the metrics/resources sections are omitted.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wmesh::obs {
+
+inline constexpr std::string_view kRunReportSchema = "wmesh.run_report/1";
+
+// Configure-time build identity (src/obs/build_info.h.in).  The same
+// struct backs the tools' --version flag and every report's "build" block.
+struct BuildInfo {
+  std::string git;         // `git describe --always --dirty` at configure
+  std::string compiler;    // "GNU 13.2.0"
+  std::string build_type;  // CMAKE_BUILD_TYPE
+  std::string sanitizer;   // "none", "tsan" or "asan,ubsan"
+  bool obs_disabled = false;
+
+  static const BuildInfo& current() noexcept;
+
+  // One-line --version text: "<tool> <git> (<type>, <compiler>, ...)".
+  std::string version_line(std::string_view tool) const;
+  // JSON object with stable key order, indented by `indent` spaces.
+  std::string to_json(int indent) const;
+};
+
+// Escapes a string for embedding in a JSON document (quotes, backslashes,
+// control characters).  Shared by the report and bench JSON emitters.
+std::string json_escape(std::string_view s);
+
+// Collects one run's report.  Construct early in main (wall time starts
+// here; a low-rate resource sampler thread starts unless the build is
+// obs-disabled), then finish() + write()/to_json() at exit.
+class RunReport {
+ public:
+  RunReport(std::string tool, int argc, const char* const* argv);
+  ~RunReport();
+
+  RunReport(const RunReport&) = delete;
+  RunReport& operator=(const RunReport&) = delete;
+
+  void set_seed(std::uint64_t seed) { seed_ = seed; }
+  void set_threads(std::size_t threads) { threads_ = threads; }
+
+  // Stops the resource sampler and freezes the wall time; idempotent.
+  // Call before taking any other registry snapshot that should match the
+  // report's metrics section byte-for-byte.
+  void finish();
+
+  // Renders the report (finishing first if needed).  The metrics section
+  // is the registry snapshot at this instant with active counter batches
+  // flushed, so it equals a --metrics dump taken next to it.
+  std::string to_json();
+
+  // to_json() to `path`; false (with an error log) when unwritable.
+  bool write(const std::string& path);
+
+ private:
+  std::string tool_;
+  std::vector<std::string> argv_;
+  std::optional<std::uint64_t> seed_;
+  std::size_t threads_ = 0;
+  std::uint64_t start_us_;
+  std::uint64_t wall_us_ = 0;
+  bool finished_ = false;
+  struct SamplerState;  // hides obs/resource.h from every tool include
+  std::unique_ptr<SamplerState> sampler_;
+};
+
+}  // namespace wmesh::obs

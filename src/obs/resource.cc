@@ -1,0 +1,99 @@
+#include "obs/resource.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "obs/metrics.h"
+
+namespace wmesh::obs {
+namespace {
+
+// Reads "VmRSS:   1234 kB"-style lines from /proc/self/status.  Returns 0
+// for a missing field or an unreadable file (non-Linux, /proc unmounted).
+void read_proc_status(std::uint64_t* rss_bytes,
+                      std::uint64_t* hwm_bytes) noexcept {
+  *rss_bytes = 0;
+  *hwm_bytes = 0;
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    unsigned long long kb = 0;
+    if (std::sscanf(line, "VmRSS: %llu kB", &kb) == 1) {
+      *rss_bytes = static_cast<std::uint64_t>(kb) * 1024;
+    } else if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1) {
+      *hwm_bytes = static_cast<std::uint64_t>(kb) * 1024;
+    }
+  }
+  std::fclose(f);
+}
+
+}  // namespace
+
+ResourceUsage sample_resources() noexcept {
+  ResourceUsage u;
+  std::uint64_t rss = 0, hwm = 0;
+  read_proc_status(&rss, &hwm);
+  u.current_rss_bytes = rss;
+  u.peak_rss_bytes = std::max(rss, hwm);
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  std::memset(&ru, 0, sizeof(ru));
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    u.user_cpu_s = static_cast<double>(ru.ru_utime.tv_sec) +
+                   static_cast<double>(ru.ru_utime.tv_usec) * 1e-6;
+    u.sys_cpu_s = static_cast<double>(ru.ru_stime.tv_sec) +
+                  static_cast<double>(ru.ru_stime.tv_usec) * 1e-6;
+    // ru_maxrss is KiB on Linux; the /proc numbers win when available.
+    u.peak_rss_bytes = std::max(
+        u.peak_rss_bytes, static_cast<std::uint64_t>(ru.ru_maxrss) * 1024);
+  }
+#endif
+  return u;
+}
+
+ResourceSampler::ResourceSampler(std::chrono::milliseconds period) {
+  thread_ = std::thread([this, period] { loop(period); });
+}
+
+ResourceSampler::~ResourceSampler() { stop(); }
+
+void ResourceSampler::stop() noexcept {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ResourceSampler::loop(std::chrono::milliseconds period) noexcept {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, period, [this] { return stop_requested_; })) {
+      return;
+    }
+    lock.unlock();
+    const ResourceUsage u = sample_resources();
+    WMESH_GAUGE_SET("proc.rss_bytes", u.current_rss_bytes);
+    WMESH_GAUGE_SET("proc.peak_rss_bytes", u.peak_rss_bytes);
+    lock.lock();
+    ++samples_;
+    sampled_peak_rss_ = std::max(sampled_peak_rss_, u.peak_rss_bytes);
+  }
+}
+
+ResourceUsage ResourceSampler::usage() const noexcept {
+  ResourceUsage u = sample_resources();
+  std::lock_guard<std::mutex> lock(mu_);
+  u.samples = samples_;
+  u.peak_rss_bytes = std::max(u.peak_rss_bytes, sampled_peak_rss_);
+  return u;
+}
+
+}  // namespace wmesh::obs

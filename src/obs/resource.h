@@ -1,0 +1,63 @@
+// Process resource accounting for run reports: peak RSS and user/sys CPU.
+//
+// `sample_resources()` is a one-shot read of /proc/self/status (VmRSS /
+// VmHWM) plus getrusage(2).  `ResourceSampler` is the low-rate background
+// companion the run report starts: a thread that wakes every `period`
+// (default 100 ms), re-reads /proc/self, tracks the observed RSS peak and
+// exports the live gauges `proc.rss_bytes` / `proc.peak_rss_bytes`, so
+// long runs show memory growth in `--metrics` output, not just a final
+// number.  The kernel's VmHWM high-water mark is folded in at every read,
+// so the reported peak is exact even if the sampler never catches the
+// maximum between wakeups.
+//
+// Everything degrades gracefully off-Linux (or with /proc unmounted):
+// getrusage supplies CPU and max RSS, and a zero sample count tells the
+// report the background sampler never ran.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace wmesh::obs {
+
+struct ResourceUsage {
+  std::uint64_t peak_rss_bytes = 0;     // max(VmHWM, ru_maxrss, samples)
+  std::uint64_t current_rss_bytes = 0;  // VmRSS at the last read
+  double user_cpu_s = 0.0;              // ru_utime
+  double sys_cpu_s = 0.0;               // ru_stime
+  std::uint64_t samples = 0;            // background wakeups (sampler only)
+};
+
+// One-shot read; never throws, missing sources read as zero.
+ResourceUsage sample_resources() noexcept;
+
+class ResourceSampler {
+ public:
+  explicit ResourceSampler(
+      std::chrono::milliseconds period = std::chrono::milliseconds(100));
+  ~ResourceSampler();
+
+  ResourceSampler(const ResourceSampler&) = delete;
+  ResourceSampler& operator=(const ResourceSampler&) = delete;
+
+  // Joins the background thread; idempotent.  usage() stays callable.
+  void stop() noexcept;
+
+  // Current usage: a fresh one-shot sample folded with the sampled peak.
+  ResourceUsage usage() const noexcept;
+
+ private:
+  void loop(std::chrono::milliseconds period) noexcept;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::uint64_t samples_ = 0;
+  std::uint64_t sampled_peak_rss_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace wmesh::obs

@@ -122,18 +122,18 @@ void append_json_events(std::string& out,
 }  // namespace
 
 ScopedSpan::ScopedSpan(const char* name) noexcept
-    : hist_(&Registry::instance().span_histogram(name)),
+    : agg_(&Registry::instance().span_aggregate(name)),
       name_(name),
       start_us_(now_us()) {}
 
-ScopedSpan::ScopedSpan(Histogram& hist, const char* name) noexcept
-    : hist_(&hist), name_(name), start_us_(now_us()) {}
+ScopedSpan::ScopedSpan(SpanAggregate& agg, const char* name) noexcept
+    : agg_(&agg), name_(name), start_us_(now_us()) {}
 
 ScopedSpan::~ScopedSpan() {
 #if !defined(WMESH_OBS_DISABLED)
   const std::uint64_t end_us = now_us();
   const std::uint64_t dur_us = end_us - start_us_;
-  hist_->record(static_cast<double>(dur_us));
+  agg_->record(static_cast<double>(dur_us));
   if (g_trace_enabled.load(std::memory_order_relaxed)) {
     record_trace_event(name_, start_us_, dur_us);
   }

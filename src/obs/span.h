@@ -1,4 +1,4 @@
-// Scoped wall-time spans: per-span histograms plus optional Chrome
+// Scoped wall-time spans: per-span aggregates plus optional Chrome
 // trace_event output.
 //
 //   void EtxGraph::dijkstra(...) {
@@ -6,13 +6,17 @@
 //     ...
 //   }
 //
-// Every span records its duration (microseconds) into the registry
-// histogram "span.<name>", so `--metrics` output carries per-stage timing
-// percentiles.  When WMESH_TRACE_OUT=<path> is set, each span additionally
-// appends a complete ("ph":"X") event to an in-memory buffer that is
-// written as Chrome trace_event JSON at process exit (or on flush_trace()).
-// Open the file in chrome://tracing or https://ui.perfetto.dev to get a
-// flamegraph of the analysis pipeline.
+// Every span records its duration (microseconds) into the registry's
+// per-name SpanAggregate -- count, total, true min/max, and the
+// fixed-bucket latency histogram "span.<name>" behind p50/p90/p99 -- so
+// `--metrics` output and the `--report` run reports carry per-stage timing.
+// Counts are exact and deterministic across thread counts (wmesh::par
+// shard boundaries depend only on the work size); durations are wall time.
+// When WMESH_TRACE_OUT=<path> is set, each span additionally appends a
+// complete ("ph":"X") event to an in-memory buffer that is written as
+// Chrome trace_event JSON at process exit (or on flush_trace()).  Open the
+// file in chrome://tracing or https://ui.perfetto.dev to get a flamegraph
+// of the analysis pipeline.
 //
 // With -DWMESH_OBS_DISABLED the WMESH_SPAN macro compiles to nothing.
 #pragma once
@@ -26,20 +30,20 @@ namespace wmesh::obs {
 
 // RAII span; must outlive nothing (stack only).  `name` must be a literal
 // or otherwise outlive the tracing buffer.  The two-argument form takes the
-// span histogram up front so the destructor skips the registry lookup; the
+// span aggregate up front so the destructor skips the registry lookup; the
 // WMESH_SPAN macro caches it in a call-site static, making a span cost two
 // clock reads plus a handful of relaxed atomics.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name) noexcept;
-  ScopedSpan(Histogram& hist, const char* name) noexcept;
+  ScopedSpan(SpanAggregate& agg, const char* name) noexcept;
   ~ScopedSpan();
 
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
  private:
-  Histogram* hist_;
+  SpanAggregate* agg_;
   const char* name_;
   std::uint64_t start_us_;  // microseconds since process start
 };
@@ -65,13 +69,13 @@ void reinit_tracing_from_env();
 #define WMESH_SPAN_CONCAT2(a, b) a##b
 #define WMESH_SPAN_CONCAT(a, b) WMESH_SPAN_CONCAT2(a, b)
 // The immediately-invoked lambda gives each call site a static reference to
-// its span histogram: one registry lookup ever, not one per execution.
+// its span aggregate: one registry lookup ever, not one per execution.
 #define WMESH_SPAN(name)                                                \
   ::wmesh::obs::ScopedSpan WMESH_SPAN_CONCAT(wmesh_span_, __COUNTER__)( \
-      []() -> ::wmesh::obs::Histogram& {                                \
-        static ::wmesh::obs::Histogram& wmesh_span_hist_ =              \
-            ::wmesh::obs::Registry::instance().span_histogram(name);    \
-        return wmesh_span_hist_;                                        \
+      []() -> ::wmesh::obs::SpanAggregate& {                            \
+        static ::wmesh::obs::SpanAggregate& wmesh_span_agg_ =           \
+            ::wmesh::obs::Registry::instance().span_aggregate(name);    \
+        return wmesh_span_agg_;                                         \
       }(),                                                              \
       name)
 #endif

@@ -164,6 +164,13 @@ void ThreadPool::run_shards(std::size_t shard_count,
     }
     WMESH_GAUGE_SET("par.pool.queue_depth", 0);
   }
+  // Shard-scoped CounterBatches flushed when each shard retired, so a
+  // snapshot taken after this point sees every delta; a snapshot taken
+  // concurrently from another thread uses SnapshotFlush::kActiveBatches to
+  // drain in-flight shards.  par.regions counts completed regions on both
+  // the serial and the pooled path, keeping the metric name set identical
+  // across thread counts.
+  WMESH_COUNTER_INC("par.regions");
 
   // Identical to serial in-order semantics: the lowest-index throwing shard
   // wins, no matter which thread ran it or when.

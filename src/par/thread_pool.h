@@ -17,7 +17,9 @@
 //     is rethrown -- again identical to serial in-order execution.
 //
 // Observability: the pool exports gauges `par.pool.threads` and
-// `par.pool.queue_depth`, counts every executed shard in `par.tasks`, wraps
+// `par.pool.queue_depth`, counts every executed shard in `par.tasks` and
+// every completed region in `par.regions` (on the serial path too, so the
+// registered metric names do not depend on the thread count), wraps
 // each shard in a `par.shard` span (so WMESH_TRACE_OUT shows the parallel
 // timeline per worker tid), and installs an obs::CounterBatch around each
 // shard so WMESH_COUNTER_* writes inside analysis code accumulate

@@ -1,0 +1,300 @@
+#include "util/json.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+namespace wmesh::json {
+namespace {
+
+// Recursive-descent parser over a string_view; positions are byte offsets
+// used in diagnostics.  Depth is capped so a pathological input cannot
+// overflow the stack.
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+  static constexpr int kMaxDepth = 128;
+
+  bool fail(const std::string& reason) {
+    if (error.empty()) {
+      error = "json:" + std::to_string(pos) + ": " + reason;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos >= text.size();
+  }
+
+  bool consume(char want, const char* what) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != want) {
+      return fail(std::string("expected ") + what);
+    }
+    ++pos;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (pos >= text.size() || text[pos] != '"') {
+      return fail("expected string");
+    }
+    ++pos;
+    out->clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos >= text.size()) return fail("dangling escape");
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) return fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point; surrogate pairs are not
+          // needed by any wmesh output and are rejected.
+          if (cp >= 0xD800 && cp <= 0xDFFF) {
+            return fail("surrogate \\u escape unsupported");
+          }
+          if (cp < 0x80) {
+            out->push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  // RFC 8259 number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+  // from_chars alone is laxer (accepts "01", "1.", ".5"), so the token is
+  // validated against the grammar first.
+  static bool is_json_number(std::string_view tok) {
+    std::size_t i = 0;
+    const auto digits = [&] {
+      const std::size_t before = i;
+      while (i < tok.size() &&
+             std::isdigit(static_cast<unsigned char>(tok[i]))) {
+        ++i;
+      }
+      return i > before;
+    };
+    if (i < tok.size() && tok[i] == '-') ++i;
+    if (i < tok.size() && tok[i] == '0') {
+      ++i;  // a leading zero must stand alone
+    } else if (!digits()) {
+      return false;
+    }
+    if (i < tok.size() && tok[i] == '.') {
+      ++i;
+      if (!digits()) return false;
+    }
+    if (i < tok.size() && (tok[i] == 'e' || tok[i] == 'E')) {
+      ++i;
+      if (i < tok.size() && (tok[i] == '+' || tok[i] == '-')) ++i;
+      if (!digits()) return false;
+    }
+    return i == tok.size();
+  }
+
+  bool parse_number(Value* out) {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-')) {
+      ++pos;
+    }
+    if (!is_json_number(text.substr(start, pos - start))) {
+      pos = start;
+      return fail("malformed number");
+    }
+    double v = 0.0;
+    const char* first = text.data() + start;
+    const char* last = text.data() + pos;
+    const auto [end, ec] = std::from_chars(first, last, v);
+    if (ec != std::errc() || end != last || start == pos) {
+      pos = start;
+      return fail("malformed number");
+    }
+    if (!std::isfinite(v)) {
+      pos = start;
+      return fail("non-finite number");
+    }
+    out->kind = Value::Kind::kNumber;
+    out->number = v;
+    return true;
+  }
+
+  bool parse_literal(std::string_view word, Value* out, Value::Kind kind,
+                     bool boolean) {
+    if (text.substr(pos, word.size()) != word) return fail("bad literal");
+    pos += word.size();
+    out->kind = kind;
+    out->boolean = boolean;
+    return true;
+  }
+
+  bool parse_value(Value* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    switch (text[pos]) {
+      case '{': {
+        ++pos;
+        out->kind = Value::Kind::kObject;
+        skip_ws();
+        if (pos < text.size() && text[pos] == '}') {
+          ++pos;
+          return true;
+        }
+        for (;;) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(&key)) return false;
+          if (!consume(':', "':'")) return false;
+          Value member;
+          if (!parse_value(&member, depth + 1)) return false;
+          out->object.emplace_back(std::move(key), std::move(member));
+          skip_ws();
+          if (pos < text.size() && text[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          return consume('}', "'}' or ','");
+        }
+      }
+      case '[': {
+        ++pos;
+        out->kind = Value::Kind::kArray;
+        skip_ws();
+        if (pos < text.size() && text[pos] == ']') {
+          ++pos;
+          return true;
+        }
+        for (;;) {
+          Value element;
+          if (!parse_value(&element, depth + 1)) return false;
+          out->array.push_back(std::move(element));
+          skip_ws();
+          if (pos < text.size() && text[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          return consume(']', "']' or ','");
+        }
+      }
+      case '"':
+        out->kind = Value::Kind::kString;
+        return parse_string(&out->string);
+      case 't':
+        return parse_literal("true", out, Value::Kind::kBool, true);
+      case 'f':
+        return parse_literal("false", out, Value::Kind::kBool, false);
+      case 'n':
+        return parse_literal("null", out, Value::Kind::kNull, false);
+      default:
+        return parse_number(out);
+    }
+  }
+};
+
+}  // namespace
+
+const Value* Value::find(std::string_view key) const noexcept {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool Value::equals(const Value& other) const noexcept {
+  if (kind != other.kind) return false;
+  switch (kind) {
+    case Kind::kNull:
+      return true;
+    case Kind::kBool:
+      return boolean == other.boolean;
+    case Kind::kNumber:
+      return number == other.number;
+    case Kind::kString:
+      return string == other.string;
+    case Kind::kArray:
+      if (array.size() != other.array.size()) return false;
+      for (std::size_t i = 0; i < array.size(); ++i) {
+        if (!array[i].equals(other.array[i])) return false;
+      }
+      return true;
+    case Kind::kObject: {
+      if (object.size() != other.object.size()) return false;
+      for (const auto& [k, v] : object) {
+        const Value* o = other.find(k);
+        if (o == nullptr || !v.equals(*o)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<Value> parse(std::string_view text, std::string* err) {
+  Parser p{text};
+  Value root;
+  if (!p.parse_value(&root, 0) || !p.at_end()) {
+    if (p.error.empty()) p.fail("trailing garbage after document");
+    if (err != nullptr) *err = p.error;
+    return std::nullopt;
+  }
+  return root;
+}
+
+}  // namespace wmesh::json

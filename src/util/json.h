@@ -1,0 +1,56 @@
+// Minimal strict JSON parser for the toolkit's own machine-readable
+// outputs: bench baselines (BENCH_*.json), run reports (--report) and
+// Chrome trace files are parsed back by wmesh_bench --baseline and by the
+// schema-validation tests.  This is deliberately not a general-purpose
+// JSON library -- no streaming, no SAX, documents are a few MiB at most --
+// but it is a complete RFC 8259 value parser: objects, arrays, strings
+// with escapes, numbers, booleans, null, arbitrary nesting.
+//
+// Parsing is strict and fail-closed like the rest of the ingest layer:
+// trailing garbage, unterminated strings, bad escapes or malformed numbers
+// return nullopt with a one-line "json:<offset>: <reason>" diagnostic,
+// never a partial tree.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wmesh::json {
+
+// One parsed JSON value.  Object member order is preserved as written,
+// which lets tests assert the stable key order the report schema promises.
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_null() const noexcept { return kind == Kind::kNull; }
+  bool is_bool() const noexcept { return kind == Kind::kBool; }
+  bool is_number() const noexcept { return kind == Kind::kNumber; }
+  bool is_string() const noexcept { return kind == Kind::kString; }
+  bool is_array() const noexcept { return kind == Kind::kArray; }
+  bool is_object() const noexcept { return kind == Kind::kObject; }
+
+  // First member with this key, or nullptr (objects; nullptr otherwise).
+  const Value* find(std::string_view key) const noexcept;
+
+  // Deep structural equality; numbers compare exactly (bit-for-bit after
+  // parsing), member order is ignored so re-serialized trees still match.
+  bool equals(const Value& other) const noexcept;
+};
+
+// Parses one JSON document; the entire input must be consumed (leading and
+// trailing whitespace allowed).  On failure returns nullopt and, when `err`
+// is non-null, stores a one-line diagnostic with the byte offset.
+std::optional<Value> parse(std::string_view text, std::string* err = nullptr);
+
+}  // namespace wmesh::json

@@ -1,0 +1,55 @@
+# End-to-end --report smoke: generate a small snapshot, analyze it with a
+# run report, and check the emitted JSON carries the schema marker, the
+# build block, and (in obs-enabled builds) a positive peak RSS.  Run via
+#   cmake -DWMESH_GEN=... -DWMESH_ANALYZE=... -DWORK_DIR=... -P report_smoke.cmake
+foreach(var WMESH_GEN WMESH_ANALYZE WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "report_smoke: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+execute_process(
+  COMMAND ${WMESH_GEN} ${WORK_DIR}/snap --small
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "report_smoke: wmesh_gen failed (rc ${rc})")
+endif()
+
+execute_process(
+  COMMAND ${WMESH_ANALYZE} ${WORK_DIR}/snap etx
+    --report=${WORK_DIR}/run.report.json
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "report_smoke: wmesh_analyze --report failed (rc ${rc})")
+endif()
+
+if(NOT EXISTS ${WORK_DIR}/run.report.json)
+  message(FATAL_ERROR "report_smoke: run.report.json was not written")
+endif()
+file(READ ${WORK_DIR}/run.report.json report)
+
+foreach(needle "\"schema\": \"wmesh.run_report/1\"" "\"tool\": \"wmesh_analyze\""
+        "\"build\"" "\"wall_time_s\"")
+  string(FIND "${report}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "report_smoke: report lacks ${needle}")
+  endif()
+endforeach()
+
+if(NOT OBS_DISABLED)
+  foreach(needle "\"peak_rss_bytes\"" "\"metrics\"" "\"spans\"")
+    string(FIND "${report}" "${needle}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR "report_smoke: report lacks ${needle}")
+    endif()
+  endforeach()
+  string(REGEX MATCH "\"peak_rss_bytes\": ([0-9]+)" _ "${report}")
+  if(NOT CMAKE_MATCH_1 OR CMAKE_MATCH_1 EQUAL 0)
+    message(FATAL_ERROR "report_smoke: peak_rss_bytes not positive")
+  endif()
+endif()
+
+message(STATUS "report_smoke: OK")

@@ -1,0 +1,89 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace wmesh::json {
+namespace {
+
+Value must_parse(const std::string& text) {
+  std::string err;
+  auto v = parse(text, &err);
+  EXPECT_TRUE(v.has_value()) << err;
+  return v ? *v : Value{};
+}
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(must_parse("null").is_null());
+  EXPECT_TRUE(must_parse("true").boolean);
+  EXPECT_FALSE(must_parse("false").boolean);
+  EXPECT_DOUBLE_EQ(must_parse("42").number, 42.0);
+  EXPECT_DOUBLE_EQ(must_parse("-3.25e2").number, -325.0);
+  EXPECT_EQ(must_parse("\"hi\"").string, "hi");
+  EXPECT_DOUBLE_EQ(must_parse("  7  ").number, 7.0);  // outer whitespace ok
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const Value v = must_parse(
+      R"({"a": [1, 2, {"b": true}], "c": {"d": null}, "e": "x"})");
+  ASSERT_TRUE(v.is_object());
+  const Value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[0].number, 1.0);
+  EXPECT_TRUE(a->array[2].find("b")->boolean);
+  EXPECT_TRUE(v.find("c")->find("d")->is_null());
+  EXPECT_EQ(v.find("nope"), nullptr);
+}
+
+TEST(Json, PreservesObjectMemberOrder) {
+  const Value v = must_parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(v.object.size(), 3u);
+  EXPECT_EQ(v.object[0].first, "z");
+  EXPECT_EQ(v.object[1].first, "a");
+  EXPECT_EQ(v.object[2].first, "m");
+}
+
+TEST(Json, DecodesStringEscapes) {
+  const Value v = must_parse(R"("a\"b\\c\/d\n\tA")");
+  EXPECT_EQ(v.string, "a\"b\\c/d\n\tA");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  std::string err;
+  EXPECT_FALSE(parse("", &err).has_value());
+  EXPECT_FALSE(parse("{", &err).has_value());
+  EXPECT_FALSE(parse("[1, 2,]", &err).has_value());
+  EXPECT_FALSE(parse("{\"a\": 1,}", &err).has_value());
+  EXPECT_FALSE(parse("\"unterminated", &err).has_value());
+  EXPECT_FALSE(parse("\"bad \\q escape\"", &err).has_value());
+  EXPECT_FALSE(parse("01", &err).has_value());   // leading zero
+  EXPECT_FALSE(parse("1.", &err).has_value());   // digits required
+  EXPECT_FALSE(parse("nul", &err).has_value());
+  EXPECT_FALSE(parse("1 2", &err).has_value());  // trailing garbage
+  EXPECT_FALSE(parse("{} []", &err).has_value());
+  // The diagnostic carries an offset prefix.
+  EXPECT_EQ(err.rfind("json:", 0), 0u);
+}
+
+TEST(Json, RejectsPathologicalNesting) {
+  std::string deep;
+  for (int i = 0; i < 400; ++i) deep += '[';
+  for (int i = 0; i < 400; ++i) deep += ']';
+  EXPECT_FALSE(parse(deep).has_value());
+}
+
+TEST(Json, EqualsIgnoresMemberOrderButNotValues) {
+  const Value a = must_parse(R"({"x": 1, "y": [true, "s"]})");
+  const Value b = must_parse(R"({"y": [true, "s"], "x": 1})");
+  const Value c = must_parse(R"({"x": 2, "y": [true, "s"]})");
+  EXPECT_TRUE(a.equals(b));
+  EXPECT_TRUE(b.equals(a));
+  EXPECT_FALSE(a.equals(c));
+  EXPECT_FALSE(must_parse("[1, 2]").equals(must_parse("[2, 1]")));
+}
+
+}  // namespace
+}  // namespace wmesh::json

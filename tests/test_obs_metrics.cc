@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -140,7 +142,7 @@ TEST(ObsSnapshot, DeterministicAndSorted) {
 
 TEST(ObsSnapshot, Renderings) {
   Registry::instance().counter("test.render.count").add(7);
-  Registry::instance().span_histogram("test.render.span").record(123.0);
+  Registry::instance().span_aggregate("test.render.span").record(123.0);
   const Snapshot s = Registry::instance().snapshot();
 
   const std::string table = s.render_table();
@@ -148,9 +150,11 @@ TEST(ObsSnapshot, Renderings) {
   EXPECT_NE(table.find("span.test.render.span"), std::string::npos);
 
   const std::string csv = s.to_csv();
-  EXPECT_EQ(csv.rfind("kind,name,value,count,sum,p50,p90,p99\n", 0), 0u);
+  EXPECT_EQ(csv.rfind("kind,name,value,count,sum,p50,p90,p99,min,max\n", 0),
+            0u);
   EXPECT_NE(csv.find("counter,test.render.count,7"), std::string::npos);
   EXPECT_NE(csv.find("histogram,span.test.render.span"), std::string::npos);
+  EXPECT_NE(csv.find("span,test.render.span"), std::string::npos);
 
   const std::string json = s.to_json();
   EXPECT_NE(json.find("\"counters\""), std::string::npos);
@@ -183,6 +187,151 @@ TEST(ObsRegistry, ResetForTestZeroesButKeepsRegistrations) {
   EXPECT_EQ(c.value(), 0u);
   // The same object is still registered under the name.
   EXPECT_EQ(&Registry::instance().counter("test.reset.counter"), &c);
+}
+
+// ---------------------------------------------------------------------------
+// Span aggregates (obs v2)
+// ---------------------------------------------------------------------------
+
+TEST(ObsSpanAggregate, TracksCountTotalAndExactMinMax) {
+  SpanAggregate& a = Registry::instance().span_aggregate("test.agg.basic");
+  a.reset();
+  Registry::instance().span_histogram("test.agg.basic").reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+
+  a.record(10.0);
+  a.record(2.0);
+  a.record(300.0);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.total(), 312.0);
+  // Exact extremes, not bucket approximations.
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 300.0);
+
+  // The same instance is registered under the name, and records also land
+  // in the backwards-compatible "span.<name>" histogram.
+  EXPECT_EQ(&Registry::instance().span_aggregate("test.agg.basic"), &a);
+  EXPECT_EQ(Registry::instance().span_histogram("test.agg.basic").count(), 3u);
+}
+
+TEST(ObsSpanAggregate, SnapshotCarriesSpanRows) {
+  SpanAggregate& a = Registry::instance().span_aggregate("test.agg.snap");
+  a.reset();
+  Registry::instance().span_histogram("test.agg.snap").reset();
+  a.record(50.0);
+  a.record(150.0);
+
+  const Snapshot s = Registry::instance().snapshot();
+  const Snapshot::SpanRow* row = nullptr;
+  for (const auto& r : s.spans) {
+    if (r.name == "test.agg.snap") row = &r;
+  }
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->count, 2u);
+  EXPECT_DOUBLE_EQ(row->total_us, 200.0);
+  EXPECT_DOUBLE_EQ(row->min_us, 50.0);
+  EXPECT_DOUBLE_EQ(row->max_us, 150.0);
+  EXPECT_GT(row->p50_us, 0.0);
+
+  const std::string json = s.to_json();
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.agg.snap\""), std::string::npos);
+}
+
+TEST(ObsSpanAggregate, ConcurrentRecordsKeepExactCountAndExtremes) {
+  SpanAggregate& a = Registry::instance().span_aggregate("test.agg.mt");
+  a.reset();
+  Registry::instance().span_histogram("test.agg.mt").reset();
+  constexpr int kThreads = 8, kPer = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&a, t] {
+      for (int i = 0; i < kPer; ++i) {
+        a.record(1.0 + t * kPer + i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(a.count(), static_cast<std::uint64_t>(kThreads * kPer));
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), static_cast<double>(kThreads * kPer));
+}
+
+// ---------------------------------------------------------------------------
+// CounterBatch snapshot gap (the documented obs-v1 limitation): a snapshot
+// taken while another thread holds an active batch must be able to see the
+// buffered deltas via SnapshotFlush::kActiveBatches.
+// ---------------------------------------------------------------------------
+
+TEST(CounterBatchFlush, SnapshotDrainsActiveBatchesOnOtherThreads) {
+  Counter& c = Registry::instance().counter("test.batch.active_flush");
+  c.reset();
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool buffered = false, release = false;
+
+  std::thread holder([&] {
+    CounterBatch batch;
+    c.add(41);
+    c.add(1);
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      buffered = true;
+    }
+    cv.notify_all();
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return release; });
+    // batch destructor flushes again on exit (a no-op here: the snapshot
+    // below already drained it).
+  });
+
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return buffered; });
+  }
+
+  // Plain snapshot: the deltas still sit in the holder's batch.
+  std::uint64_t plain = 0;
+  for (const auto& row : Registry::instance().snapshot().counters) {
+    if (row.name == "test.batch.active_flush") plain = row.value;
+  }
+  EXPECT_EQ(plain, 0u);
+
+  // Flushing snapshot: drains the active batch remotely.
+  std::uint64_t flushed = 0;
+  const Snapshot s =
+      Registry::instance().snapshot(SnapshotFlush::kActiveBatches);
+  for (const auto& row : s.counters) {
+    if (row.name == "test.batch.active_flush") flushed = row.value;
+  }
+  EXPECT_EQ(flushed, 42u);
+  EXPECT_EQ(c.value(), 42u);
+
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    release = true;
+  }
+  cv.notify_all();
+  holder.join();
+  EXPECT_EQ(c.value(), 42u);  // nothing double-counted by the dtor flush
+}
+
+TEST(CounterBatchFlush, OwnerKeepsBufferingAfterRemoteFlush) {
+  Counter& c = Registry::instance().counter("test.batch.after_remote");
+  c.reset();
+  CounterBatch batch;
+  c.add(3);
+  EXPECT_EQ(c.value(), 0u);
+  CounterBatch::flush_all_active();  // remote drain from this thread's view
+  EXPECT_EQ(c.value(), 3u);
+  c.add(4);  // owner fast path keeps working against the drained entry
+  EXPECT_EQ(c.value(), 3u);
+  batch.flush();
+  EXPECT_EQ(c.value(), 7u);
 }
 
 }  // namespace

@@ -1,0 +1,178 @@
+#include "obs/report.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/report.h"
+#include "obs/metrics.h"
+#include "par/thread_pool.h"
+#include "sim/generator.h"
+#include "util/json.h"
+
+namespace wmesh::obs {
+namespace {
+
+json::Value parse_report(RunReport& r) {
+  std::string err;
+  auto doc = json::parse(r.to_json(), &err);
+  EXPECT_TRUE(doc.has_value()) << err;
+  return doc ? *doc : json::Value{};
+}
+
+TEST(BuildInfo, VersionLineCarriesTheIdentity) {
+  const BuildInfo& b = BuildInfo::current();
+  EXPECT_FALSE(b.git.empty());
+  EXPECT_FALSE(b.compiler.empty());
+  const std::string line = b.version_line("some_tool");
+  EXPECT_EQ(line.rfind("some_tool ", 0), 0u);
+  EXPECT_NE(line.find(b.git), std::string::npos);
+#if defined(WMESH_OBS_DISABLED)
+  EXPECT_TRUE(b.obs_disabled);
+  EXPECT_NE(line.find("obs off"), std::string::npos);
+#else
+  EXPECT_FALSE(b.obs_disabled);
+  EXPECT_NE(line.find("obs on"), std::string::npos);
+#endif
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(RunReport, EmitsValidVersionedJsonWithStableLeadingKeys) {
+  const char* argv[] = {"tool_under_test", "--flag", "pos arg"};
+  RunReport r("tool_under_test", 3, argv);
+  r.set_seed(1234);
+  r.set_threads(2);
+  r.finish();
+
+  const json::Value doc = parse_report(r);
+  ASSERT_TRUE(doc.is_object());
+  // Fixed leading key order: schema, tool, argv, seed, threads, wall, build.
+  ASSERT_GE(doc.object.size(), 7u);
+  EXPECT_EQ(doc.object[0].first, "schema");
+  EXPECT_EQ(doc.object[1].first, "tool");
+  EXPECT_EQ(doc.object[2].first, "argv");
+  EXPECT_EQ(doc.object[3].first, "seed");
+  EXPECT_EQ(doc.object[4].first, "threads");
+  EXPECT_EQ(doc.object[5].first, "wall_time_s");
+  EXPECT_EQ(doc.object[6].first, "build");
+
+  EXPECT_EQ(doc.find("schema")->string, kRunReportSchema);
+  EXPECT_EQ(doc.find("tool")->string, "tool_under_test");
+  ASSERT_EQ(doc.find("argv")->array.size(), 3u);
+  EXPECT_EQ(doc.find("argv")->array[2].string, "pos arg");
+  EXPECT_DOUBLE_EQ(doc.find("seed")->number, 1234.0);
+  EXPECT_DOUBLE_EQ(doc.find("threads")->number, 2.0);
+  EXPECT_GE(doc.find("wall_time_s")->number, 0.0);
+
+  const json::Value* build = doc.find("build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_EQ(build->find("git")->string, BuildInfo::current().git);
+  ASSERT_NE(build->find("obs_disabled"), nullptr);
+
+#if defined(WMESH_OBS_DISABLED)
+  // Disabled builds shrink to identity + build + wall time.
+  EXPECT_TRUE(build->find("obs_disabled")->boolean);
+  EXPECT_EQ(doc.find("resources"), nullptr);
+  EXPECT_EQ(doc.find("metrics"), nullptr);
+#else
+  EXPECT_FALSE(build->find("obs_disabled")->boolean);
+  ASSERT_NE(doc.find("resources"), nullptr);
+  ASSERT_NE(doc.find("metrics"), nullptr);
+#endif
+
+  // A report without a seed serializes it as null.
+  RunReport r2("tool_under_test", 0, nullptr);
+  r2.finish();
+  EXPECT_TRUE(parse_report(r2).find("seed")->is_null());
+}
+
+#if !defined(WMESH_OBS_DISABLED)
+
+TEST(RunReport, SamplesNonZeroPeakRssAndCpu) {
+  RunReport r("rss_probe", 0, nullptr);
+  // Touch some memory so there is something to measure.
+  std::vector<double> ballast(1u << 16, 1.0);
+  double acc = 0.0;
+  for (double v : ballast) acc += v;
+  EXPECT_GT(acc, 0.0);
+  r.finish();
+  const json::Value doc = parse_report(r);
+  const json::Value* res = doc.find("resources");
+  ASSERT_NE(res, nullptr);
+  EXPECT_GT(res->find("peak_rss_bytes")->number, 0.0);
+  EXPECT_GE(res->find("user_cpu_s")->number, 0.0);
+  EXPECT_GE(res->find("sys_cpu_s")->number, 0.0);
+}
+
+TEST(RunReport, MetricsSectionEqualsAStandaloneSnapshot) {
+  Registry::instance().counter("test.report.metric").add(9);
+  RunReport r("metrics_probe", 0, nullptr);
+  r.finish();
+  const std::string report_text = r.to_json();
+  const std::string snap_text =
+      Registry::instance().snapshot(SnapshotFlush::kActiveBatches).to_json();
+
+  std::string err;
+  const auto report_doc = json::parse(report_text, &err);
+  ASSERT_TRUE(report_doc.has_value()) << err;
+  const auto snap_doc = json::parse(snap_text, &err);
+  ASSERT_TRUE(snap_doc.has_value()) << err;
+
+  const json::Value* metrics = report_doc->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_TRUE(metrics->equals(*snap_doc));
+  ASSERT_NE(metrics->find("counters"), nullptr);
+  ASSERT_NE(metrics->find("counters")->find("test.report.metric"), nullptr);
+  EXPECT_DOUBLE_EQ(
+      metrics->find("counters")->find("test.report.metric")->number, 9.0);
+}
+
+// The determinism acceptance check: the span-aggregate (name, count) list a
+// report carries must be identical no matter how many threads ran the
+// analysis, because wmesh::par shard boundaries depend only on the work.
+TEST(RunReport, SpanCountsAreIdenticalAcrossThreadCounts) {
+  GeneratorConfig config = small_config();
+  const Dataset ds = generate_dataset(config);
+
+  using SpanCounts = std::vector<std::pair<std::string, std::uint64_t>>;
+  const auto run_at = [&](std::size_t threads) {
+    par::set_default_threads(threads);
+    Registry::instance().reset_for_test();
+    (void)report_etx(ds);
+    SpanCounts out;
+    const Snapshot s =
+        Registry::instance().snapshot(SnapshotFlush::kActiveBatches);
+    for (const auto& row : s.spans) out.emplace_back(row.name, row.count);
+    return out;
+  };
+
+  const SpanCounts at1 = run_at(1);
+  const SpanCounts at2 = run_at(2);
+  const SpanCounts at8 = run_at(8);
+  par::set_default_threads(0);  // restore the env/hardware default
+
+  ASSERT_FALSE(at1.empty());
+  EXPECT_EQ(at1, at2);
+  EXPECT_EQ(at1, at8);
+
+  // The analysis actually exercised the parallel layer.
+  bool saw_shard = false;
+  for (const auto& [name, count] : at1) {
+    if (name == "par.shard" && count > 0) saw_shard = true;
+  }
+  EXPECT_TRUE(saw_shard);
+}
+
+#endif  // !WMESH_OBS_DISABLED
+
+}  // namespace
+}  // namespace wmesh::obs

@@ -1,0 +1,113 @@
+// Chrome-trace output coverage: WMESH_TRACE_OUT must yield parseable JSON
+// whose complete ("ph":"X") events agree with the span aggregates, at one
+// thread and at eight.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "core/report.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "par/thread_pool.h"
+#include "sim/generator.h"
+#include "util/json.h"
+
+namespace wmesh::obs {
+namespace {
+
+#if defined(WMESH_OBS_DISABLED)
+
+TEST(ObsTrace, DisabledBuildEmitsAnEmptyButValidDocument) {
+  ::setenv("WMESH_TRACE_OUT", "unused_trace.json", 1);
+  reinit_tracing_from_env();
+  { WMESH_SPAN("test.trace.noop"); }
+  const std::string text = render_trace_json();
+  ::unsetenv("WMESH_TRACE_OUT");
+  reinit_tracing_from_env();
+
+  std::string err;
+  const auto doc = json::parse(text, &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  const json::Value* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_TRUE(events->array.empty());
+}
+
+#else  // !WMESH_OBS_DISABLED
+
+// Runs the full etx analysis at `threads`, returns the per-name "X" event
+// counts parsed back out of the rendered trace JSON, and checks every
+// event is complete and well-formed.
+std::map<std::string, std::uint64_t> trace_counts_at(const Dataset& ds,
+                                                     std::size_t threads) {
+  par::set_default_threads(threads);
+  Registry::instance().reset_for_test();
+  // reinit clears the event buffer, so the rendered trace covers exactly
+  // the analysis below -- same window the span aggregates cover after
+  // reset_for_test().
+  ::setenv("WMESH_TRACE_OUT", "unused_trace.json", 1);
+  reinit_tracing_from_env();
+  EXPECT_TRUE(trace_enabled());
+
+  (void)report_etx(ds);
+
+  const std::string text = render_trace_json();
+  ::unsetenv("WMESH_TRACE_OUT");
+  reinit_tracing_from_env();
+
+  std::string err;
+  const auto doc = json::parse(text, &err);
+  EXPECT_TRUE(doc.has_value()) << err;
+  std::map<std::string, std::uint64_t> counts;
+  if (!doc) return counts;
+
+  const json::Value* events = doc->find("traceEvents");
+  EXPECT_NE(events, nullptr);
+  if (!events) return counts;
+  EXPECT_FALSE(events->array.empty());
+  for (const json::Value& e : events->array) {
+    EXPECT_TRUE(e.is_object());
+    const json::Value* ph = e.find("ph");
+    const json::Value* name = e.find("name");
+    const json::Value* ts = e.find("ts");
+    const json::Value* dur = e.find("dur");
+    const json::Value* tid = e.find("tid");
+    EXPECT_TRUE(ph && name && ts && dur && tid) << "incomplete event";
+    if (!ph || !name || !ts || !dur || !tid) continue;
+    EXPECT_EQ(ph->string, "X");  // complete events only
+    EXPECT_GE(dur->number, 0.0);
+    ++counts[name->string];
+  }
+
+  // Event counts match the span aggregates accumulated over the same run.
+  const Snapshot snap =
+      Registry::instance().snapshot(SnapshotFlush::kActiveBatches);
+  for (const auto& row : snap.spans) {
+    const auto it = counts.find(row.name);
+    const std::uint64_t traced = it == counts.end() ? 0 : it->second;
+    EXPECT_EQ(traced, row.count) << "span " << row.name;
+  }
+  return counts;
+}
+
+TEST(ObsTrace, EventsMatchSpanAggregatesAtOneAndEightThreads) {
+  GeneratorConfig config = small_config();
+  const Dataset ds = generate_dataset(config);
+
+  const auto at1 = trace_counts_at(ds, 1);
+  const auto at8 = trace_counts_at(ds, 8);
+  par::set_default_threads(0);  // restore the env/hardware default
+
+  ASSERT_FALSE(at1.empty());
+  EXPECT_EQ(at1, at8);  // deterministic span counts, any thread count
+  const auto shard = at1.find("par.shard");
+  ASSERT_NE(shard, at1.end());
+  EXPECT_GT(shard->second, 0u);
+}
+
+#endif  // WMESH_OBS_DISABLED
+
+}  // namespace
+}  // namespace wmesh::obs

@@ -1,0 +1,61 @@
+// Flag plumbing shared by every wmesh_* tool: --version, --metrics[=path]
+// and --report[=path.json] behave identically everywhere, so the glue
+// lives here instead of being copied per tool.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+
+namespace wmesh::cli {
+
+// --version: one line of build identity, exit 0.
+inline int print_version(const char* tool) {
+  std::printf("%s\n",
+              wmesh::obs::BuildInfo::current().version_line(tool).c_str());
+  return 0;
+}
+
+// --metrics[=path]: prints the registry snapshot (flushing any counter
+// batches still active on other threads) and optionally writes it to
+// `path` (.json -> JSON, anything else -> CSV).
+inline void emit_metrics(const char* tool, const std::string& path) {
+  const auto snap = wmesh::obs::Registry::instance().snapshot(
+      wmesh::obs::SnapshotFlush::kActiveBatches);
+  if (snap.empty()) {
+    std::printf("\n== metrics ==\n(observability disabled: library built "
+                "with WMESH_OBS_DISABLED)\n");
+    return;
+  }
+  std::printf("\n== metrics ==\n%s", snap.render_table().c_str());
+  if (path.empty()) return;
+  const bool json = path.size() >= 5 &&
+                    path.compare(path.size() - 5, 5, ".json") == 0;
+  std::ofstream out(path);
+  if (!out) {
+    WMESH_LOG_ERROR("cli", kv("tool", tool),
+                    kv("error", "cannot write metrics file"), kv("path", path));
+    return;
+  }
+  out << (json ? snap.to_json() : snap.to_csv());
+  std::printf("(metrics written to %s)\n", path.c_str());
+}
+
+// --report[=path.json]: writes the run report, defaulting the path to
+// <tool>.report.json in the working directory.  Returns 0 on success.
+inline int emit_run_report(wmesh::obs::RunReport& report, const char* tool,
+                           std::string path) {
+  if (path.empty()) path = std::string(tool) + ".report.json";
+  if (!report.write(path)) {
+    std::fprintf(stderr, "error: cannot write run report %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("(run report written to %s)\n", path.c_str());
+  return 0;
+}
+
+}  // namespace wmesh::cli

@@ -1,6 +1,7 @@
 // wmesh_analyze: run one of the paper's analyses on a saved snapshot.
 //
 // Usage: wmesh_analyze <prefix> <analysis> [--threads=N] [--metrics[=path]]
+//                       [--report[=path.json]] [--version]
 //   snr       Fig 3.1 SNR dispersion summary
 //   lookup    Fig 4.4 look-up table accuracy by scope (both standards)
 //   routing   Fig 5.1 opportunistic-routing gains at 1 Mbit/s
@@ -29,12 +30,14 @@
 // binaries via WMESH_SNAPSHOT) at the prefix.
 #include <cstdio>
 #include <cstring>
-#include <fstream>
+#include <optional>
 #include <string>
 
+#include "cli_common.h"
 #include "core/report.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "obs/span.h"
 #include "par/thread_pool.h"
 #include "trace/io.h"
@@ -47,7 +50,8 @@ namespace {
 const char* const kUsage =
     "usage: wmesh_analyze <prefix> "
     "<snr|lookup|routing|hidden|mobility|traffic|etx|all> "
-    "[--format=csv|wsnap|auto] [--threads=N] [--metrics[=path]]\n"
+    "[--format=csv|wsnap|auto] [--threads=N] [--metrics[=path]] "
+    "[--report[=path.json]] [--version]\n"
     "       wmesh_analyze --help\n";
 
 void print_help() {
@@ -70,6 +74,11 @@ void print_help() {
       "                   hardware); output is byte-identical for every N\n"
       "  --metrics        print the metrics registry snapshot on exit\n"
       "  --metrics=PATH   also write it to PATH (.json -> JSON, else CSV)\n"
+      "  --report         write the run report (tool, argv, build, wall\n"
+      "                   time, peak RSS, metrics + span aggregates) to\n"
+      "                   wmesh_analyze.report.json\n"
+      "  --report=PATH    write the run report to PATH instead\n"
+      "  --version        print build info (git, compiler, flags) and exit\n"
       "  --help           this text\n"
       "\n"
       "env: WMESH_THREADS=N, WMESH_LOG_LEVEL=trace|debug|info|warn|error|off,\n"
@@ -83,34 +92,14 @@ void print_help() {
   return 2;
 }
 
-void emit_metrics(const std::string& path) {
-  const auto snap = obs::Registry::instance().snapshot();
-  if (snap.empty()) {
-    std::printf("\n== metrics ==\n(observability disabled: library built "
-                "with WMESH_OBS_DISABLED)\n");
-    return;
-  }
-  std::printf("\n== metrics ==\n%s", snap.render_table().c_str());
-  if (path.empty()) return;
-  const bool json = path.size() >= 5 &&
-                    path.compare(path.size() - 5, 5, ".json") == 0;
-  std::ofstream out(path);
-  if (!out) {
-    WMESH_LOG_ERROR("cli", kv("tool", "wmesh_analyze"),
-                    kv("error", "cannot write metrics file"),
-                    kv("path", path));
-    return;
-  }
-  out << (json ? snap.to_json() : snap.to_csv());
-  std::printf("(metrics written to %s)\n", path.c_str());
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string prefix, what;
   bool want_metrics = false;
   std::string metrics_path;
+  bool want_report = false;
+  std::string report_path;
   SnapshotFormat format = SnapshotFormat::kAuto;
 
   for (int i = 1; i < argc; ++i) {
@@ -119,11 +108,19 @@ int main(int argc, char** argv) {
       print_help();
       return 0;
     }
+    if (arg == "--version") {
+      return cli::print_version("wmesh_analyze");
+    }
     if (arg == "--metrics") {
       want_metrics = true;
     } else if (arg.rfind("--metrics=", 0) == 0) {
       want_metrics = true;
       metrics_path = arg.substr(std::strlen("--metrics="));
+    } else if (arg == "--report") {
+      want_report = true;
+    } else if (arg.rfind("--report=", 0) == 0) {
+      want_report = true;
+      report_path = arg.substr(std::strlen("--report="));
     } else if (arg.rfind("--format=", 0) == 0) {
       const std::string v = arg.substr(std::strlen("--format="));
       const auto f = parse_snapshot_format(v);
@@ -158,6 +155,9 @@ int main(int argc, char** argv) {
     return usage_error("unknown analysis '" + what + "'");
   }
 
+  std::optional<obs::RunReport> report;
+  if (want_report) report.emplace("wmesh_analyze", argc, argv);
+
   Dataset ds;
   if (!load_dataset(prefix, &ds, format)) {
     WMESH_LOG_ERROR("cli", kv("tool", "wmesh_analyze"),
@@ -170,7 +170,15 @@ int main(int argc, char** argv) {
                  kv("threads", par::default_thread_count()));
   std::fputs(run_report(ds, what).c_str(), stdout);
 
-  if (want_metrics) emit_metrics(metrics_path);
+  int rc = 0;
+  if (report) {
+    report->set_threads(par::default_thread_count());
+    report->finish();  // freeze wall time + sampler before any snapshot
+  }
+  if (want_metrics) cli::emit_metrics("wmesh_analyze", metrics_path);
+  if (report) {
+    rc = cli::emit_run_report(*report, "wmesh_analyze", report_path);
+  }
   obs::flush_trace();
-  return 0;
+  return rc;
 }

@@ -1,0 +1,343 @@
+// wmesh_bench: perf-regression harness over the paper-pipeline stages.
+//
+// Usage: wmesh_bench [--suite=quick|full] [--quick] [--repeat=N]
+//                    [--out=BENCH.json] [--baseline=BENCH_prev.json]
+//                    [--check] [--tolerance=PCT] [--threads=N] [--list]
+//                    [--metrics[=path]] [--report[=path.json]] [--version]
+//
+// Runs a registered suite of stage micro-benchmarks -- dataset generation,
+// CSV and WSNAP save/load, ETX path selection, ExOR routing, look-up
+// tables, hidden triples, mobility -- `--repeat` times each and writes
+// BENCH_<suite>.json (schema wmesh.bench/1: per-stage raw runs plus
+// median/p10/p90).  With --baseline + --check it compares medians against a
+// previous BENCH_*.json and exits non-zero when any stage slowed by more
+// than --tolerance percent, which is what the bench_smoke / CI gate runs.
+//
+// Self-test knob: WMESH_BENCH_SLEEP_US=<n> adds an artificial sleep inside
+// every timed stage, used by the regression-detection test.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cli_common.h"
+#include "core/report.h"
+#include "obs/bench.h"
+#include "obs/log.h"
+#include "obs/report.h"
+#include "obs/span.h"
+#include "par/thread_pool.h"
+#include "sim/generator.h"
+#include "trace/io.h"
+#include "util/env.h"
+#include "util/text_table.h"
+
+using namespace wmesh;
+
+namespace {
+
+const char* const kUsage =
+    "usage: wmesh_bench [--suite=quick|full] [--quick] [--repeat=N] "
+    "[--out=BENCH.json]\n"
+    "                   [--baseline=BENCH_prev.json] [--check] "
+    "[--tolerance=PCT]\n"
+    "                   [--threads=N] [--list] [--metrics[=path]] "
+    "[--report[=path.json]] [--version]\n"
+    "       wmesh_bench --help\n";
+
+void print_help() {
+  std::printf(
+      "%s\n"
+      "stages: gen, csv_save, csv_load, wsnap_save, wsnap_load, etx, exor,\n"
+      "        lookup, hidden, mobility\n"
+      "\n"
+      "flags:\n"
+      "  --suite=S        quick (small dataset, default) or full (paper-\n"
+      "                   scale default_config dataset)\n"
+      "  --quick          alias for --suite=quick\n"
+      "  --repeat=N       timed runs per stage (default 3); the JSON keeps\n"
+      "                   every run plus median/p10/p90\n"
+      "  --out=PATH       result path (default BENCH_<suite>.json)\n"
+      "  --baseline=PATH  previous BENCH_*.json to compare medians against\n"
+      "  --check          with --baseline: exit 1 if any stage slowed by\n"
+      "                   more than --tolerance percent or disappeared\n"
+      "  --tolerance=PCT  allowed median slowdown percent (default 25)\n"
+      "  --threads=N      wmesh::par pool size (flag > WMESH_THREADS)\n"
+      "  --list           print the stage names of the suite and exit\n"
+      "  --metrics        print the metrics registry snapshot on exit\n"
+      "  --metrics=PATH   also write it to PATH (.json -> JSON, else CSV)\n"
+      "  --report         write the run report to wmesh_bench.report.json\n"
+      "  --report=PATH    write the run report to PATH instead\n"
+      "  --version        print build info (git, compiler, flags) and exit\n"
+      "  --help           this text\n"
+      "\n"
+      "env: WMESH_THREADS=N, WMESH_BENCH_SLEEP_US=N (self-test: artificial\n"
+      "     per-stage sleep), WMESH_LOG_LEVEL, WMESH_LOG_FILE,\n"
+      "     WMESH_TRACE_OUT\n",
+      kUsage);
+}
+
+[[nodiscard]] int usage_error(const std::string& reason) {
+  WMESH_LOG_ERROR("cli", kv("tool", "wmesh_bench"), kv("error", reason));
+  std::fputs(kUsage, stderr);
+  return 2;
+}
+
+// Scratch directory for the save/load stages; removed on exit.
+class ScratchDir {
+ public:
+  ScratchDir() {
+    std::error_code ec;
+    path_ = std::filesystem::temp_directory_path(ec);
+    if (ec) path_ = ".";
+    path_ /= "wmesh_bench." + std::to_string(
+        static_cast<unsigned long long>(::getpid()));
+    std::filesystem::create_directories(path_, ec);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  std::string prefix(const char* name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+// Builds the stage list.  Stages share `ds` (generated once, before the
+// timed loops, except for the `gen` stage which regenerates per run) and
+// the scratch dir for the I/O stages.  All lambdas capture by reference;
+// the caller keeps everything alive across run_bench_suite().
+std::vector<obs::BenchStage> make_stages(const GeneratorConfig& config,
+                                         Dataset& ds,
+                                         const ScratchDir& scratch) {
+  std::vector<obs::BenchStage> stages;
+  stages.push_back({"gen", [&config] {
+    Dataset tmp = generate_dataset(config);
+    if (tmp.networks.empty()) throw std::runtime_error("gen: empty dataset");
+  }});
+  stages.push_back({"csv_save", [&ds, &scratch] {
+    if (!save_dataset(ds, scratch.prefix("bench_csv"), SnapshotFormat::kCsv))
+      throw std::runtime_error("csv_save failed");
+  }});
+  stages.push_back({"csv_load", [&scratch] {
+    Dataset tmp;
+    if (!load_dataset(scratch.prefix("bench_csv"), &tmp, SnapshotFormat::kCsv))
+      throw std::runtime_error("csv_load failed");
+  }});
+  stages.push_back({"wsnap_save", [&ds, &scratch] {
+    if (!save_dataset(ds, scratch.prefix("bench_ws"), SnapshotFormat::kWsnap))
+      throw std::runtime_error("wsnap_save failed");
+  }});
+  stages.push_back({"wsnap_load", [&scratch] {
+    Dataset tmp;
+    if (!load_dataset(scratch.prefix("bench_ws"), &tmp,
+                      SnapshotFormat::kWsnap))
+      throw std::runtime_error("wsnap_load failed");
+  }});
+  stages.push_back({"etx", [&ds] { (void)report_path_lengths(ds); }});
+  stages.push_back({"exor", [&ds] { (void)report_routing(ds); }});
+  stages.push_back({"lookup", [&ds] { (void)report_lookup(ds); }});
+  stages.push_back({"hidden", [&ds] { (void)report_hidden(ds); }});
+  stages.push_back({"mobility", [&ds] { (void)report_mobility(ds); }});
+  return stages;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string suite = "quick";
+  std::string out_path, baseline_path, metrics_path, report_path;
+  bool want_check = false, want_list = false;
+  bool want_metrics = false, want_report = false;
+  std::uint64_t repeat = 3;
+  double tolerance_pct = 25.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      return 0;
+    } else if (arg == "--version") {
+      return cli::print_version("wmesh_bench");
+    } else if (arg == "--quick") {
+      suite = "quick";
+    } else if (arg.rfind("--suite=", 0) == 0) {
+      suite = arg.substr(std::strlen("--suite="));
+      if (suite != "quick" && suite != "full") {
+        return usage_error("--suite: want quick or full, got '" + suite + "'");
+      }
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      const std::string v = arg.substr(std::strlen("--repeat="));
+      const auto n = env::parse_u64(v);
+      if (!n || *n == 0) {
+        return usage_error("--repeat: not a positive integer: '" + v + "'");
+      }
+      repeat = *n;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(std::strlen("--out="));
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(std::strlen("--baseline="));
+    } else if (arg == "--check") {
+      want_check = true;
+    } else if (arg.rfind("--tolerance=", 0) == 0) {
+      const std::string v = arg.substr(std::strlen("--tolerance="));
+      char* end = nullptr;
+      tolerance_pct = std::strtod(v.c_str(), &end);
+      if (end == v.c_str() || *end != '\0' || tolerance_pct < 0.0) {
+        return usage_error("--tolerance: not a non-negative number: '" + v +
+                           "'");
+      }
+    } else if (arg == "--list") {
+      want_list = true;
+    } else if (arg == "--metrics") {
+      want_metrics = true;
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      want_metrics = true;
+      metrics_path = arg.substr(std::strlen("--metrics="));
+    } else if (arg == "--report") {
+      want_report = true;
+    } else if (arg.rfind("--report=", 0) == 0) {
+      want_report = true;
+      report_path = arg.substr(std::strlen("--report="));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      const std::string v = arg.substr(std::strlen("--threads="));
+      const auto n = env::parse_u64(v);
+      if (!n || *n == 0) {
+        return usage_error("--threads: not a positive integer: '" + v + "'");
+      }
+      par::set_default_threads(static_cast<std::size_t>(*n));
+    } else {
+      return usage_error("unknown argument '" + arg + "'");
+    }
+  }
+  if (want_check && baseline_path.empty()) {
+    return usage_error("--check requires --baseline=PATH");
+  }
+  if (out_path.empty()) out_path = "BENCH_" + suite + ".json";
+
+  const GeneratorConfig config =
+      suite == "quick" ? small_config() : default_config();
+
+  if (want_list) {
+    Dataset dummy;
+    ScratchDir scratch;
+    for (const auto& st : make_stages(config, dummy, scratch)) {
+      std::printf("%s\n", st.name.c_str());
+    }
+    return 0;
+  }
+
+  std::optional<obs::RunReport> report;
+  if (want_report) {
+    report.emplace("wmesh_bench", argc, argv);
+    report->set_seed(config.seed);
+  }
+
+  std::printf("suite %s: seed %llu, repeat %llu, %zu threads\n", suite.c_str(),
+              static_cast<unsigned long long>(config.seed),
+              static_cast<unsigned long long>(repeat),
+              par::default_thread_count());
+
+  ScratchDir scratch;
+  Dataset ds = generate_dataset(config);
+  const auto stages = make_stages(config, ds, scratch);
+
+  obs::BenchResult result;
+  try {
+    result = obs::run_bench_suite(suite, stages,
+                                  static_cast<std::size_t>(repeat),
+                                  par::default_thread_count());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: bench stage failed: %s\n", e.what());
+    return 1;
+  }
+
+  // Human-readable summary.
+  std::printf("%s", [&] {
+    TextTable t;
+    t.header({"stage", "median (us)", "p10", "p90"});
+    for (const auto& st : result.stages) {
+      char m[32], lo[32], hi[32];
+      std::snprintf(m, sizeof(m), "%.1f", st.median_us);
+      std::snprintf(lo, sizeof(lo), "%.1f", st.p10_us);
+      std::snprintf(hi, sizeof(hi), "%.1f", st.p90_us);
+      t.add_row({st.name, m, lo, hi});
+    }
+    return t.render();
+  }().c_str());
+
+  const std::string json = obs::bench_to_json(result);
+  {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out || !(out << json)) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  // Self-validate the emitted file round-trips through the strict parser --
+  // guarantees --baseline consumers (and the bench_smoke gate) can read it.
+  {
+    std::string back, err;
+    obs::BenchResult parsed;
+    if (!read_file(out_path, &back) ||
+        !obs::parse_bench_json(back, &parsed, &err)) {
+      std::fprintf(stderr, "error: emitted %s fails validation: %s\n",
+                   out_path.c_str(), err.c_str());
+      return 1;
+    }
+  }
+  std::printf("(results written to %s)\n", out_path.c_str());
+
+  int rc = 0;
+  if (!baseline_path.empty()) {
+    std::string text, err;
+    obs::BenchResult baseline;
+    if (!read_file(baseline_path, &text)) {
+      std::fprintf(stderr, "error: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    if (!obs::parse_bench_json(text, &baseline, &err)) {
+      std::fprintf(stderr, "error: invalid baseline %s: %s\n",
+                   baseline_path.c_str(), err.c_str());
+      return 1;
+    }
+    const auto check =
+        obs::check_bench_regression(baseline, result, tolerance_pct);
+    std::printf("\n== baseline %s ==\n%s", baseline_path.c_str(),
+                check.render(tolerance_pct).c_str());
+    if (want_check && !check.ok) rc = 1;
+  }
+
+  if (report) {
+    report->set_threads(par::default_thread_count());
+    report->finish();
+  }
+  if (want_metrics) cli::emit_metrics("wmesh_bench", metrics_path);
+  if (report) {
+    const int rrc = cli::emit_run_report(*report, "wmesh_bench", report_path);
+    if (rc == 0) rc = rrc;
+  }
+  obs::flush_trace();
+  return rc;
+}

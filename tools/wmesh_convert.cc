@@ -3,6 +3,7 @@
 // Usage: wmesh_convert <input-prefix> <output-prefix>
 //                      [--in=csv|wsnap|auto] [--out=csv|wsnap|auto]
 //                      [--threads=N] [--metrics[=path]]
+//                      [--report[=path.json]] [--version]
 //
 // Formats resolve like everywhere else: a prefix ending in ".wsnap" is
 // WSNAP; otherwise the input probes which files exist and the output
@@ -11,11 +12,13 @@
 // WSNAP stores raw bits), so the conversion is safe to apply to archives.
 #include <cstdio>
 #include <cstring>
-#include <fstream>
+#include <optional>
 #include <string>
 
+#include "cli_common.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "obs/span.h"
 #include "par/thread_pool.h"
 #include "trace/io.h"
@@ -28,7 +31,7 @@ namespace {
 const char* const kUsage =
     "usage: wmesh_convert <input-prefix> <output-prefix> "
     "[--in=csv|wsnap|auto] [--out=csv|wsnap|auto] [--threads=N] "
-    "[--metrics[=path]]\n"
+    "[--metrics[=path]] [--report[=path.json]] [--version]\n"
     "       wmesh_convert --help\n";
 
 void print_help() {
@@ -49,6 +52,11 @@ void print_help() {
       "                   byte-identical for every N\n"
       "  --metrics        print the metrics registry snapshot on exit\n"
       "  --metrics=PATH   also write it to PATH (.json -> JSON, else CSV)\n"
+      "  --report         write the run report (tool, argv, build, wall\n"
+      "                   time, peak RSS, metrics + span aggregates) to\n"
+      "                   wmesh_convert.report.json\n"
+      "  --report=PATH    write the run report to PATH instead\n"
+      "  --version        print build info (git, compiler, flags) and exit\n"
       "  --help           this text\n"
       "\n"
       "env: WMESH_THREADS=N, WMESH_LOG_LEVEL=trace|debug|info|warn|error|off,\n"
@@ -60,28 +68,6 @@ void print_help() {
   WMESH_LOG_ERROR("cli", kv("tool", "wmesh_convert"), kv("error", reason));
   std::fputs(kUsage, stderr);
   return 2;
-}
-
-void emit_metrics(const std::string& path) {
-  const auto snap = obs::Registry::instance().snapshot();
-  if (snap.empty()) {
-    std::printf("\n== metrics ==\n(observability disabled: library built "
-                "with WMESH_OBS_DISABLED)\n");
-    return;
-  }
-  std::printf("\n== metrics ==\n%s", snap.render_table().c_str());
-  if (path.empty()) return;
-  const bool json = path.size() >= 5 &&
-                    path.compare(path.size() - 5, 5, ".json") == 0;
-  std::ofstream out(path);
-  if (!out) {
-    WMESH_LOG_ERROR("cli", kv("tool", "wmesh_convert"),
-                    kv("error", "cannot write metrics file"),
-                    kv("path", path));
-    return;
-  }
-  out << (json ? snap.to_json() : snap.to_csv());
-  std::printf("(metrics written to %s)\n", path.c_str());
 }
 
 std::string files_of(const std::string& prefix, SnapshotFormat f) {
@@ -97,12 +83,17 @@ int main(int argc, char** argv) {
   SnapshotFormat out_format = SnapshotFormat::kAuto;
   bool want_metrics = false;
   std::string metrics_path;
+  bool want_report = false;
+  std::string report_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       print_help();
       return 0;
+    }
+    if (arg == "--version") {
+      return cli::print_version("wmesh_convert");
     }
     auto parse_fmt = [&](const char* flag, SnapshotFormat* dst) -> bool {
       const std::string v = arg.substr(std::strlen(flag));
@@ -133,6 +124,11 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--metrics=", 0) == 0) {
       want_metrics = true;
       metrics_path = arg.substr(std::strlen("--metrics="));
+    } else if (arg == "--report") {
+      want_report = true;
+    } else if (arg.rfind("--report=", 0) == 0) {
+      want_report = true;
+      report_path = arg.substr(std::strlen("--report="));
     } else if (arg.rfind("--", 0) == 0) {
       return usage_error("unknown flag '" + arg + "'");
     } else if (in_prefix.empty()) {
@@ -146,6 +142,9 @@ int main(int argc, char** argv) {
   if (in_prefix.empty() || out_prefix.empty()) {
     return usage_error("missing <input-prefix> or <output-prefix>");
   }
+
+  std::optional<obs::RunReport> report;
+  if (want_report) report.emplace("wmesh_convert", argc, argv);
 
   const SnapshotFormat in_resolved =
       resolve_snapshot_format(in_prefix, in_format, /*for_load=*/true);
@@ -171,7 +170,15 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %s\n", files_of(out_prefix, out_resolved).c_str());
 
-  if (want_metrics) emit_metrics(metrics_path);
+  int rc = 0;
+  if (report) {
+    report->set_threads(par::default_thread_count());
+    report->finish();
+  }
+  if (want_metrics) cli::emit_metrics("wmesh_convert", metrics_path);
+  if (report) {
+    rc = cli::emit_run_report(*report, "wmesh_convert", report_path);
+  }
   obs::flush_trace();
-  return 0;
+  return rc;
 }

@@ -6,17 +6,19 @@
 //
 // Usage: wmesh_gen <prefix> [--seed N] [--hours H] [--networks N]
 //                  [--small] [--paper-scale] [--no-clients] [--threads=N]
-//                  [--metrics[=path]]
+//                  [--metrics[=path]] [--report[=path.json]] [--version]
 //
 // Generation runs one network per wmesh::par task on pre-forked RNG
 // streams; the snapshot is byte-identical for any --threads value.
 #include <cstdio>
 #include <cstring>
-#include <fstream>
+#include <optional>
 #include <string>
 
+#include "cli_common.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "obs/span.h"
 #include "par/thread_pool.h"
 #include "sim/generator.h"
@@ -30,7 +32,7 @@ namespace {
 const char* const kUsage =
     "usage: wmesh_gen <prefix> [--seed N] [--hours H] [--networks N] "
     "[--small] [--paper-scale] [--no-clients] [--format=csv|wsnap] "
-    "[--threads=N] [--metrics[=path]]\n"
+    "[--threads=N] [--metrics[=path]] [--report[=path.json]] [--version]\n"
     "       wmesh_gen --help\n";
 
 void print_help() {
@@ -53,6 +55,11 @@ void print_help() {
       "                   hardware); snapshot is byte-identical for every N\n"
       "  --metrics        print the metrics registry snapshot on exit\n"
       "  --metrics=PATH   also write it to PATH (.json -> JSON, else CSV)\n"
+      "  --report         write the run report (tool, argv, seed, build,\n"
+      "                   wall time, peak RSS, metrics + span aggregates)\n"
+      "                   to wmesh_gen.report.json\n"
+      "  --report=PATH    write the run report to PATH instead\n"
+      "  --version        print build info (git, compiler, flags) and exit\n"
       "  --help           this text\n"
       "\n"
       "env: WMESH_THREADS=N, WMESH_LOG_LEVEL=trace|debug|info|warn|error|off,\n"
@@ -66,27 +73,6 @@ void print_help() {
   return 2;
 }
 
-void emit_metrics(const std::string& path) {
-  const auto snap = obs::Registry::instance().snapshot();
-  if (snap.empty()) {
-    std::printf("\n== metrics ==\n(observability disabled: library built "
-                "with WMESH_OBS_DISABLED)\n");
-    return;
-  }
-  std::printf("\n== metrics ==\n%s", snap.render_table().c_str());
-  if (path.empty()) return;
-  const bool json = path.size() >= 5 &&
-                    path.compare(path.size() - 5, 5, ".json") == 0;
-  std::ofstream out(path);
-  if (!out) {
-    WMESH_LOG_ERROR("cli", kv("tool", "wmesh_gen"),
-                    kv("error", "cannot write metrics file"), kv("path", path));
-    return;
-  }
-  out << (json ? snap.to_json() : snap.to_csv());
-  std::printf("(metrics written to %s)\n", path.c_str());
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -94,6 +80,8 @@ int main(int argc, char** argv) {
   GeneratorConfig config = default_config();
   bool want_metrics = false;
   std::string metrics_path;
+  bool want_report = false;
+  std::string report_path;
   SnapshotFormat format = SnapshotFormat::kAuto;
 
   for (int i = 1; i < argc; ++i) {
@@ -107,6 +95,8 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       print_help();
       return 0;
+    } else if (arg == "--version") {
+      return cli::print_version("wmesh_gen");
     } else if (arg == "--seed") {
       const char* v = next("--seed");
       const auto seed = env::parse_u64(v);
@@ -168,6 +158,11 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--metrics=", 0) == 0) {
       want_metrics = true;
       metrics_path = arg.substr(std::strlen("--metrics="));
+    } else if (arg == "--report") {
+      want_report = true;
+    } else if (arg.rfind("--report=", 0) == 0) {
+      want_report = true;
+      report_path = arg.substr(std::strlen("--report="));
     } else if (arg.rfind("--", 0) == 0) {
       return usage_error("unknown flag '" + arg + "'");
     } else if (prefix.empty()) {
@@ -178,6 +173,12 @@ int main(int argc, char** argv) {
   }
   if (prefix.empty()) {
     return usage_error("missing <prefix>");
+  }
+
+  std::optional<obs::RunReport> report;
+  if (want_report) {
+    report.emplace("wmesh_gen", argc, argv);
+    report->set_seed(config.seed);
   }
 
   std::printf("generating: seed %llu, %zu networks, %.1f h probes...\n",
@@ -200,7 +201,13 @@ int main(int argc, char** argv) {
     std::printf("wrote %s.probes.csv and %s.clients.csv\n", prefix.c_str(),
                 prefix.c_str());
   }
-  if (want_metrics) emit_metrics(metrics_path);
+  int rc = 0;
+  if (report) {
+    report->set_threads(par::default_thread_count());
+    report->finish();
+  }
+  if (want_metrics) cli::emit_metrics("wmesh_gen", metrics_path);
+  if (report) rc = cli::emit_run_report(*report, "wmesh_gen", report_path);
   obs::flush_trace();
-  return 0;
+  return rc;
 }

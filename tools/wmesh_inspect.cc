@@ -1,6 +1,7 @@
 // wmesh_inspect: summarize a saved snapshot.
 //
 // Usage: wmesh_inspect <prefix> [--format=csv|wsnap|auto]
+//                       [--report[=path.json]] [--version]
 //
 // Prints the snapshot format (for WSNAP: header version/flags, block and
 // chunk counts, per-section row counts), on-disk vs in-memory footprint,
@@ -12,9 +13,12 @@
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <optional>
 #include <string>
 
+#include "cli_common.h"
 #include "obs/log.h"
+#include "obs/report.h"
 #include "store/wsnap.h"
 #include "trace/io.h"
 #include "util/stats.h"
@@ -25,7 +29,8 @@ using namespace wmesh;
 namespace {
 
 const char* const kUsage =
-    "usage: wmesh_inspect <prefix> [--format=csv|wsnap|auto]\n"
+    "usage: wmesh_inspect <prefix> [--format=csv|wsnap|auto] "
+    "[--report[=path.json]] [--version]\n"
     "       wmesh_inspect --help\n";
 
 void print_help() {
@@ -39,6 +44,11 @@ void print_help() {
       "flags:\n"
       "  --format=F       snapshot format: csv, wsnap, or auto (default;\n"
       "                   picks by extension, then by which files exist)\n"
+      "  --report         write the run report (tool, argv, build, wall\n"
+      "                   time, peak RSS, metrics + span aggregates) to\n"
+      "                   wmesh_inspect.report.json\n"
+      "  --report=PATH    write the run report to PATH instead\n"
+      "  --version        print build info (git, compiler, flags) and exit\n"
       "  --help           this text\n"
       "\n"
       "env: WMESH_LOG_LEVEL=trace|debug|info|warn|error|off,\n"
@@ -85,11 +95,20 @@ std::string mib(std::uint64_t bytes) {
 int main(int argc, char** argv) {
   std::string prefix;
   SnapshotFormat format = SnapshotFormat::kAuto;
+  bool want_report = false;
+  std::string report_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       print_help();
       return 0;
+    } else if (arg == "--version") {
+      return cli::print_version("wmesh_inspect");
+    } else if (arg == "--report") {
+      want_report = true;
+    } else if (arg.rfind("--report=", 0) == 0) {
+      want_report = true;
+      report_path = arg.substr(std::strlen("--report="));
     } else if (arg.rfind("--format=", 0) == 0) {
       const std::string v = arg.substr(std::strlen("--format="));
       const auto f = parse_snapshot_format(v);
@@ -109,6 +128,9 @@ int main(int argc, char** argv) {
   if (prefix.empty()) {
     return usage_error("missing <prefix>");
   }
+
+  std::optional<obs::RunReport> report;
+  if (want_report) report.emplace("wmesh_inspect", argc, argv);
 
   const SnapshotFormat resolved =
       resolve_snapshot_format(prefix, format, /*for_load=*/true);
@@ -189,5 +211,11 @@ int main(int argc, char** argv) {
                 100.0 * frac,
                 std::string(static_cast<std::size_t>(frac * 200), '#').c_str());
   }
-  return 0;
+
+  int rc = 0;
+  if (report) {
+    report->finish();
+    rc = cli::emit_run_report(*report, "wmesh_inspect", report_path);
+  }
+  return rc;
 }
