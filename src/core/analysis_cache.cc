@@ -1,0 +1,114 @@
+#include "core/analysis_cache.h"
+
+#include "obs/metrics.h"
+
+namespace wmesh {
+
+template <typename Map, typename Key>
+std::shared_ptr<typename Map::mapped_type::element_type>
+AnalysisCache::slot_for(Map& map, const Key& key, bool* created) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map.find(key);
+  if (it != map.end()) {
+    *created = false;
+    return it->second;
+  }
+  auto slot = std::make_shared<typename Map::mapped_type::element_type>();
+  map.emplace(key, slot);
+  *created = true;
+  return slot;
+}
+
+void AnalysisCache::count_lookup(bool created) {
+  // Exactly one requester creates each slot, so hit/miss totals depend
+  // only on the request multiset -- deterministic for any thread count.
+  if (created) {
+    WMESH_COUNTER_INC("cache.misses");
+  } else {
+    WMESH_COUNTER_INC("cache.hits");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (created) {
+    ++stats_.misses;
+  } else {
+    ++stats_.hits;
+  }
+}
+
+void AnalysisCache::add_bytes(std::size_t bytes) {
+  std::size_t total_bytes, total_entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.bytes += bytes;
+    ++stats_.entries;
+    total_bytes = stats_.bytes;
+    total_entries = stats_.entries;
+  }
+  WMESH_GAUGE_SET("cache.bytes", total_bytes);
+  WMESH_GAUGE_SET("cache.entries", total_entries);
+}
+
+const SuccessMatrix& AnalysisCache::success(const NetworkTrace& nt,
+                                            RateIndex rate) {
+  bool created = false;
+  auto slot = slot_for(success_, SuccessKey{&nt, rate}, &created);
+  count_lookup(created);
+  std::call_once(slot->once, [&] {
+    auto value =
+        std::make_unique<const SuccessMatrix>(mean_success_matrix(nt, rate));
+    add_bytes(value->ap_count() * value->ap_count() * sizeof(double));
+    slot->value = std::move(value);
+  });
+  return *slot->value;
+}
+
+const std::vector<SuccessMatrix>& AnalysisCache::all_success(
+    const NetworkTrace& nt) {
+  bool created = false;
+  auto slot = slot_for(all_, &nt, &created);
+  count_lookup(created);
+  std::call_once(slot->once, [&] {
+    auto value = std::make_unique<const std::vector<SuccessMatrix>>(
+        all_success_matrices(nt));
+    std::size_t bytes = 0;
+    for (const SuccessMatrix& m : *value) {
+      bytes += m.ap_count() * m.ap_count() * sizeof(double);
+    }
+    add_bytes(bytes);
+    slot->value = std::move(value);
+  });
+  return *slot->value;
+}
+
+const EtxGraph& AnalysisCache::etx_graph(const NetworkTrace& nt,
+                                         RateIndex rate, EtxVariant variant,
+                                         double min_delivery) {
+  bool created = false;
+  auto slot = slot_for(
+      graphs_,
+      GraphKey{&nt, rate, static_cast<std::uint8_t>(variant), min_delivery},
+      &created);
+  count_lookup(created);
+  std::call_once(slot->once, [&] {
+    auto value = std::make_unique<const EtxGraph>(success(nt, rate), variant,
+                                                  min_delivery);
+    add_bytes(value->approx_bytes());
+    slot->value = std::move(value);
+  });
+  return *slot->value;
+}
+
+AnalysisCache::Stats AnalysisCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void AnalysisCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  success_.clear();
+  all_.clear();
+  graphs_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace wmesh

@@ -1,0 +1,99 @@
+// Per-network memoization of analysis intermediates.
+//
+// The paper pipeline recomputes the same intermediates from several
+// analyses: `report_routing` needs the rate-0 success matrix of every b/g
+// network once per ETX variant, `report_path_lengths` rebuilds it again
+// plus another ETX1 graph, and `report_hidden` rebuilds per-rate matrices
+// the range study also wants.  An AnalysisCache memoizes
+//   * mean_success_matrix(network, rate),
+//   * all_success_matrices(network), and
+//   * EtxGraph instances keyed by (network, rate, variant, min_delivery)
+// so each is computed exactly once per cache lifetime.
+//
+// Keying & invalidation: networks are keyed by NetworkTrace address, so a
+// cache is tied to one loaded Dataset -- create the cache after the
+// dataset, drop (or clear()) it before the dataset is mutated or freed.
+// Entries are immutable once computed and never evicted; returned
+// references stay valid until clear()/destruction.  Do not call clear()
+// concurrently with readers.
+//
+// Thread safety: safe for concurrent use from wmesh::par shards.  Each key
+// gets a slot under the cache mutex (first requester counts the miss,
+// everyone else a hit -- totals are deterministic for any thread count);
+// the compute itself runs outside the mutex under the slot's once_flag, so
+// distinct keys never serialize each other and a key is computed exactly
+// once.
+//
+// Observability: `cache.hits` / `cache.misses` counters, and
+// `cache.bytes` / `cache.entries` gauges tracking this cache's resident
+// payload (last-updated cache wins the gauge).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "core/etx.h"
+
+namespace wmesh {
+
+class AnalysisCache {
+ public:
+  AnalysisCache() = default;
+  AnalysisCache(const AnalysisCache&) = delete;
+  AnalysisCache& operator=(const AnalysisCache&) = delete;
+
+  // Memoized mean_success_matrix(nt, rate).
+  const SuccessMatrix& success(const NetworkTrace& nt, RateIndex rate);
+
+  // Memoized all_success_matrices(nt).
+  const std::vector<SuccessMatrix>& all_success(const NetworkTrace& nt);
+
+  // Memoized EtxGraph over success(nt, rate).
+  const EtxGraph& etx_graph(const NetworkTrace& nt, RateIndex rate,
+                            EtxVariant variant, double min_delivery);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t bytes = 0;    // approximate resident payload
+    std::size_t entries = 0;  // computed slots
+  };
+  Stats stats() const;
+
+  // Drops every entry (references die); stats reset to zero.
+  void clear();
+
+ private:
+  // A slot is created under mu_ on first request and filled exactly once,
+  // outside mu_, under its own once_flag.
+  template <typename T>
+  struct Slot {
+    std::once_flag once;
+    std::unique_ptr<const T> value;
+  };
+
+  // Returns the slot for `key`, creating it if needed; sets `created`.
+  template <typename Map, typename Key>
+  std::shared_ptr<typename Map::mapped_type::element_type> slot_for(
+      Map& map, const Key& key, bool* created);
+
+  void count_lookup(bool created);
+  void add_bytes(std::size_t bytes);
+
+  using SuccessKey = std::pair<const NetworkTrace*, RateIndex>;
+  using GraphKey =
+      std::tuple<const NetworkTrace*, RateIndex, std::uint8_t, double>;
+
+  mutable std::mutex mu_;
+  Stats stats_;
+  std::map<SuccessKey, std::shared_ptr<Slot<SuccessMatrix>>> success_;
+  std::map<const NetworkTrace*, std::shared_ptr<Slot<std::vector<SuccessMatrix>>>>
+      all_;
+  std::map<GraphKey, std::shared_ptr<Slot<EtxGraph>>> graphs_;
+};
+
+}  // namespace wmesh

@@ -1,12 +1,30 @@
 #include "core/etx.h"
 
-#include <queue>
+#include <algorithm>
+#include <functional>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "par/thread_pool.h"
 
 namespace wmesh {
+namespace {
+
+// Per-thread scratch arena for Dijkstra working storage.  The heap buffer
+// is reused across every run on the thread (wmesh::par workers live for
+// the process), so steady-state runs allocate nothing beyond what the
+// caller asked for.
+struct DijkstraScratch {
+  std::vector<std::pair<double, std::size_t>> heap;
+};
+
+DijkstraScratch& dijkstra_scratch() {
+  thread_local DijkstraScratch scratch;
+  return scratch;
+}
+
+}  // namespace
 
 const char* to_string(EtxVariant v) {
   return v == EtxVariant::kEtx1 ? "ETX1" : "ETX2";
@@ -38,23 +56,112 @@ EtxGraph::EtxGraph(const SuccessMatrix& success, EtxVariant variant,
         }
       },
       /*grain=*/16);
+  build_csr();
   WMESH_COUNTER_INC("etx.graphs_built");
+  WMESH_COUNTER_ADD("etx.csr_edges", fwd_to_.size());
 }
 
-std::vector<double> EtxGraph::dijkstra(ApId origin, bool reversed,
-                                       std::vector<int>* parent) const {
+void EtxGraph::build_csr() {
+  // Counting pass: out-degree into fwd_off_[f+1], in-degree into
+  // rev_off_[t+1], then prefix sums turn the counts into offsets.
+  fwd_off_.assign(n_ + 1, 0);
+  rev_off_.assign(n_ + 1, 0);
+  std::size_t edges = 0;
+  for (std::size_t f = 0; f < n_; ++f) {
+    for (std::size_t t = 0; t < n_; ++t) {
+      if (cost_[f * n_ + t] == kInfCost) continue;
+      ++fwd_off_[f + 1];
+      ++rev_off_[t + 1];
+      ++edges;
+    }
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    fwd_off_[i + 1] += fwd_off_[i];
+    rev_off_[i + 1] += rev_off_[i];
+  }
+  fwd_to_.resize(edges);
+  fwd_w_.resize(edges);
+  rev_to_.resize(edges);
+  rev_w_.resize(edges);
+  // Fill pass in (f, t) row-major order: forward rows come out in
+  // ascending t, reverse rows in ascending f -- the dense scan's
+  // relaxation order.
+  std::vector<std::uint32_t> fcur(fwd_off_.begin(), fwd_off_.end() - 1);
+  std::vector<std::uint32_t> rcur(rev_off_.begin(), rev_off_.end() - 1);
+  for (std::size_t f = 0; f < n_; ++f) {
+    for (std::size_t t = 0; t < n_; ++t) {
+      const double w = cost_[f * n_ + t];
+      if (w == kInfCost) continue;
+      fwd_to_[fcur[f]] = static_cast<std::uint32_t>(t);
+      fwd_w_[fcur[f]++] = w;
+      rev_to_[rcur[t]] = static_cast<std::uint32_t>(f);
+      rev_w_[rcur[t]++] = w;
+    }
+  }
+}
+
+std::size_t EtxGraph::approx_bytes() const noexcept {
+  return cost_.size() * sizeof(double) +
+         (fwd_off_.size() + rev_off_.size() + fwd_to_.size() +
+          rev_to_.size()) *
+             sizeof(std::uint32_t) +
+         (fwd_w_.size() + rev_w_.size()) * sizeof(double);
+}
+
+void EtxGraph::dijkstra_into(ApId origin, bool reversed,
+                             std::vector<double>* dist_out,
+                             std::vector<int>* parent) const {
   WMESH_SPAN("etx.dijkstra");
+  std::vector<double>& dist = *dist_out;
+  dist.assign(n_, kInfCost);
+  if (parent != nullptr) parent->assign(n_, -1);
+  const std::vector<std::uint32_t>& off = reversed ? rev_off_ : fwd_off_;
+  const std::vector<std::uint32_t>& to = reversed ? rev_to_ : fwd_to_;
+  const std::vector<double>& wt = reversed ? rev_w_ : fwd_w_;
+  // Manual binary heap on the scratch arena's buffer; (dist, vertex) pairs
+  // under std::greater<> pop in exactly the order the previous
+  // std::priority_queue did.
+  auto& heap = dijkstra_scratch().heap;
+  heap.clear();
+  dist[origin] = 0.0;
+  heap.emplace_back(0.0, static_cast<std::size_t>(origin));
+  // Relaxations accumulate locally; one shared-counter update per run.
+  std::uint64_t relaxations = 0;
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    const auto [d, u] = heap.back();
+    heap.pop_back();
+    if (d > dist[u]) continue;
+    const std::uint32_t row_end = off[u + 1];
+    for (std::uint32_t e = off[u]; e < row_end; ++e) {
+      const std::size_t v = to[e];
+      const double nd = d + wt[e];
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        if (parent != nullptr) (*parent)[v] = static_cast<int>(u);
+        heap.emplace_back(nd, v);
+        std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+        ++relaxations;
+      }
+    }
+  }
+  WMESH_COUNTER_INC("etx.dijkstra_runs");
+  WMESH_COUNTER_ADD("etx.relaxations", relaxations);
+}
+
+std::vector<double> EtxGraph::dijkstra_reference(
+    ApId origin, bool reversed, std::vector<int>* parent) const {
+  WMESH_SPAN("etx.dijkstra_dense");
   std::vector<double> dist(n_, kInfCost);
   if (parent != nullptr) parent->assign(n_, -1);
   using Item = std::pair<double, std::size_t>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  std::vector<Item> heap;
   dist[origin] = 0.0;
-  pq.emplace(0.0, origin);
-  // Relaxations accumulate locally; one shared-counter update per run.
-  std::uint64_t relaxations = 0;
-  while (!pq.empty()) {
-    const auto [d, u] = pq.top();
-    pq.pop();
+  heap.emplace_back(0.0, static_cast<std::size_t>(origin));
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    const auto [d, u] = heap.back();
+    heap.pop_back();
     if (d > dist[u]) continue;
     for (std::size_t v = 0; v < n_; ++v) {
       if (v == u) continue;
@@ -64,23 +171,43 @@ std::vector<double> EtxGraph::dijkstra(ApId origin, bool reversed,
       if (nd < dist[v]) {
         dist[v] = nd;
         if (parent != nullptr) (*parent)[v] = static_cast<int>(u);
-        pq.emplace(nd, v);
-        ++relaxations;
+        heap.emplace_back(nd, v);
+        std::push_heap(heap.begin(), heap.end(), std::greater<>{});
       }
     }
   }
-  WMESH_COUNTER_INC("etx.dijkstra_runs");
-  WMESH_COUNTER_ADD("etx.relaxations", relaxations);
   return dist;
 }
 
 std::vector<double> EtxGraph::shortest_from(ApId src,
                                             std::vector<int>* parent) const {
-  return dijkstra(src, /*reversed=*/false, parent);
+  std::vector<double> dist;
+  dijkstra_into(src, /*reversed=*/false, &dist, parent);
+  return dist;
 }
 
 std::vector<double> EtxGraph::shortest_to(ApId dst) const {
-  return dijkstra(dst, /*reversed=*/true, nullptr);
+  std::vector<double> dist;
+  dijkstra_into(dst, /*reversed=*/true, &dist, nullptr);
+  return dist;
+}
+
+void EtxGraph::shortest_from_into(ApId src, std::vector<double>* dist,
+                                  std::vector<int>* parent) const {
+  dijkstra_into(src, /*reversed=*/false, dist, parent);
+}
+
+void EtxGraph::shortest_to_into(ApId dst, std::vector<double>* dist) const {
+  dijkstra_into(dst, /*reversed=*/true, dist, nullptr);
+}
+
+std::vector<double> EtxGraph::shortest_from_reference(
+    ApId src, std::vector<int>* parent) const {
+  return dijkstra_reference(src, /*reversed=*/false, parent);
+}
+
+std::vector<double> EtxGraph::shortest_to_reference(ApId dst) const {
+  return dijkstra_reference(dst, /*reversed=*/true, nullptr);
 }
 
 int EtxGraph::hops(const std::vector<int>& parent, ApId src, ApId dst) {

@@ -8,6 +8,15 @@
 // Path costs are sums of link costs along the Dijkstra-shortest path.  The
 // paper argues ETX1 is what deployments should use; the gap between the two
 // is driven by link asymmetry (Fig 5.2).
+//
+// Real mesh hearing graphs are sparse -- most of a 1407-AP cost matrix is
+// kInfCost -- so alongside the dense matrix the graph keeps a CSR adjacency
+// (forward and reverse) built once at construction.  Dijkstra relaxes only
+// the finite edges of a popped node's CSR row instead of scanning all n
+// vertices per pop, and draws its dist/parent/heap working storage from a
+// reusable per-thread scratch arena.  The dense-scan kernel is retained as
+// `*_reference` for the kernel-equivalence test wall and the
+// dijkstra_dense bench stage; both produce bit-identical results.
 #pragma once
 
 #include <limits>
@@ -32,6 +41,13 @@ class EtxGraph {
   std::size_t ap_count() const noexcept { return n_; }
   EtxVariant variant() const noexcept { return variant_; }
 
+  // Number of finite directed edges (CSR entries per direction).
+  std::size_t edge_count() const noexcept { return fwd_to_.size(); }
+
+  // Approximate resident size (dense matrix + both CSR halves), for the
+  // AnalysisCache byte accounting.
+  std::size_t approx_bytes() const noexcept;
+
   // Cost of the directed link, kInfCost when unusable.
   double link_cost(ApId from, ApId to) const noexcept {
     return cost_[static_cast<std::size_t>(from) * n_ + to];
@@ -47,16 +63,44 @@ class EtxGraph {
   // reversed graph) -- the distance field opportunistic routing needs.
   std::vector<double> shortest_to(ApId dst) const;
 
+  // Allocation-free variants for hot loops: `dist` (and `parent`, when
+  // non-null) are assign()-reused, so a caller that keeps the vectors
+  // across calls pays no per-run allocation.  Values are identical to the
+  // returning overloads.
+  void shortest_from_into(ApId src, std::vector<double>* dist,
+                          std::vector<int>* parent = nullptr) const;
+  void shortest_to_into(ApId dst, std::vector<double>* dist) const;
+
+  // Dense-scan reference kernels (the pre-CSR implementation: every pop
+  // scans all n vertices).  Kept for the sparse-vs-dense equivalence wall
+  // in tests/test_kernels.cc and the dijkstra_dense bench stage; not for
+  // production use.
+  std::vector<double> shortest_from_reference(
+      ApId src, std::vector<int>* parent = nullptr) const;
+  std::vector<double> shortest_to_reference(ApId dst) const;
+
   // Hop count along the parent chain from src to dst; -1 when unreachable.
   static int hops(const std::vector<int>& parent, ApId src, ApId dst);
 
  private:
-  std::vector<double> dijkstra(ApId origin, bool reversed,
-                               std::vector<int>* parent) const;
+  void build_csr();
+  void dijkstra_into(ApId origin, bool reversed, std::vector<double>* dist,
+                     std::vector<int>* parent) const;
+  std::vector<double> dijkstra_reference(ApId origin, bool reversed,
+                                         std::vector<int>* parent) const;
 
   std::size_t n_ = 0;
   EtxVariant variant_;
   std::vector<double> cost_;
+
+  // CSR adjacency over the finite entries of `cost_`, built once at
+  // construction.  Row u of the forward half lists {v : cost(u->v) < inf}
+  // in ascending v; the reverse half lists in-edges the same way, so the
+  // reversed Dijkstra relaxes edges in exactly the order the dense scan
+  // did (bit-identical dist/parent output).
+  std::vector<std::uint32_t> fwd_off_, rev_off_;  // n_ + 1 offsets each
+  std::vector<std::uint32_t> fwd_to_, rev_to_;    // edge targets
+  std::vector<double> fwd_w_, rev_w_;             // edge weights
 };
 
 // Builds the ETX cost for one link from forward/reverse success rates.

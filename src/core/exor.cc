@@ -1,18 +1,36 @@
 #include "core/exor.h"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
 
+#include "core/analysis_cache.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "par/thread_pool.h"
 
 namespace wmesh {
 
+util::BitRows nonzero_links(const SuccessMatrix& success) {
+  const std::size_t n = success.ap_count();
+  util::BitRows rows(n, n);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v == s) continue;
+      if (success.at(static_cast<ApId>(s), static_cast<ApId>(v)) > 0.0) {
+        rows.set(s, v);
+      }
+    }
+  }
+  return rows;
+}
+
 std::vector<double> exor_costs_to(const SuccessMatrix& success,
-                                  const std::vector<double>& etx_to_dst) {
+                                  const std::vector<double>& etx_to_dst,
+                                  const util::BitRows& nonzero) {
   WMESH_SPAN("exor.costs");
   const std::size_t n = success.ap_count();
+  const std::size_t words = util::BitRows::word_count(n);
   std::vector<double> exor(n, kInfCost);
 
   // Evaluate nodes in increasing ETX distance so every candidate (strictly
@@ -30,30 +48,48 @@ std::vector<double> exor_costs_to(const SuccessMatrix& success,
   };
   std::vector<Candidate> cands;
 
+  // Nodes already swept whose ETX is strictly below the current node's and
+  // whose own ExOR cost is finite -- the only legal forwarders.  Candidates
+  // of node s are then (eligible AND nonzero-row(s)), iterated in
+  // ascending node order like the dense scan.
+  std::vector<std::uint64_t> eligible(words, 0);
+  std::size_t flushed = 0;
+
   // The cost recursion visits each node once; candidate scans dominate.
   std::uint64_t iterations = 0;
   std::uint64_t candidate_evals = 0;
 
-  for (const std::size_t s : order) {
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    const std::size_t s = order[idx];
     ++iterations;
     if (etx_to_dst[s] == kInfCost) break;  // rest are unreachable too
     if (etx_to_dst[s] == 0.0) {
       exor[s] = 0.0;  // the destination
       continue;
     }
+    // Fold into `eligible` every earlier node strictly closer than s;
+    // equal-ETX nodes are not candidates of each other, so ties wait.
+    while (flushed < idx) {
+      const std::size_t u = order[flushed];
+      if (!(etx_to_dst[u] < etx_to_dst[s])) break;
+      if (exor[u] != kInfCost) {
+        eligible[u >> 6] |= std::uint64_t{1} << (u & 63);
+      }
+      ++flushed;
+    }
     cands.clear();
-    candidate_evals += n - 1;
-    for (std::size_t v = 0; v < n; ++v) {
-      if (v == s) continue;
-      if (etx_to_dst[v] >= etx_to_dst[s]) continue;
-      const double p =
-          success.at(static_cast<ApId>(s), static_cast<ApId>(v));
-      if (p <= 0.0) continue;
-      // A node can be closer by ETX yet itself unable to progress (its own
-      // ExOR cost is infinite); a real protocol would never pick it as a
-      // forwarder, so it is not a candidate.
-      if (exor[v] == kInfCost) continue;
-      cands.push_back({v, etx_to_dst[v], p});
+    const std::uint64_t* nz = nonzero.row(s);
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t bits = eligible[w] & nz[w];
+      while (bits != 0) {
+        const std::size_t v =
+            w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        ++candidate_evals;
+        cands.push_back({v, etx_to_dst[v],
+                         success.at(static_cast<ApId>(s),
+                                    static_cast<ApId>(v))});
+      }
     }
     if (cands.empty()) continue;  // cannot progress; leave infinite
     std::sort(cands.begin(), cands.end(),
@@ -75,12 +111,69 @@ std::vector<double> exor_costs_to(const SuccessMatrix& success,
   return exor;
 }
 
-std::vector<PairGain> opportunistic_gains(const SuccessMatrix& success,
-                                          EtxVariant variant,
-                                          double min_delivery) {
+std::vector<double> exor_costs_to(const SuccessMatrix& success,
+                                  const std::vector<double>& etx_to_dst) {
+  return exor_costs_to(success, etx_to_dst, nonzero_links(success));
+}
+
+std::vector<double> exor_costs_to_reference(
+    const SuccessMatrix& success, const std::vector<double>& etx_to_dst) {
+  const std::size_t n = success.ap_count();
+  std::vector<double> exor(n, kInfCost);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return etx_to_dst[a] < etx_to_dst[b];
+  });
+  struct Candidate {
+    std::size_t node;
+    double dist;
+    double p;
+  };
+  std::vector<Candidate> cands;
+  for (const std::size_t s : order) {
+    if (etx_to_dst[s] == kInfCost) break;
+    if (etx_to_dst[s] == 0.0) {
+      exor[s] = 0.0;
+      continue;
+    }
+    cands.clear();
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v == s) continue;
+      if (etx_to_dst[v] >= etx_to_dst[s]) continue;
+      const double p = success.at(static_cast<ApId>(s), static_cast<ApId>(v));
+      if (p <= 0.0) continue;
+      // A node can be closer by ETX yet itself unable to progress (its own
+      // ExOR cost is infinite); a real protocol would never pick it as a
+      // forwarder, so it is not a candidate.
+      if (exor[v] == kInfCost) continue;
+      cands.push_back({v, etx_to_dst[v], p});
+    }
+    if (cands.empty()) continue;
+    std::sort(cands.begin(), cands.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.dist < b.dist;
+              });
+    double none = 1.0;
+    double weighted = 0.0;
+    for (const Candidate& c : cands) {
+      weighted += c.p * none * exor[c.node];
+      none *= (1.0 - c.p);
+    }
+    if (none < 1.0) {
+      exor[s] = (1.0 + weighted) / (1.0 - none);
+    }
+  }
+  return exor;
+}
+
+namespace {
+
+std::vector<PairGain> opportunistic_gains_impl(const SuccessMatrix& success,
+                                               const EtxGraph& graph) {
   WMESH_SPAN("exor.gains");
   const std::size_t n = success.ap_count();
-  EtxGraph graph(success, variant, min_delivery);
+  const util::BitRows nonzero = nonzero_links(success);
 
   // One reverse Dijkstra + ExOR recursion per destination, independent
   // across destinations; shard results concatenate in dst order, matching
@@ -89,8 +182,10 @@ std::vector<PairGain> opportunistic_gains(const SuccessMatrix& success,
       n, std::vector<PairGain>{},
       [&](std::size_t dst) {
         std::vector<PairGain> pairs;
-        const auto etx_to = graph.shortest_to(static_cast<ApId>(dst));
-        const auto exor_to = exor_costs_to(success, etx_to);
+        // Scratch reused across destinations on the same worker thread.
+        thread_local std::vector<double> etx_to;
+        graph.shortest_to_into(static_cast<ApId>(dst), &etx_to);
+        const auto exor_to = exor_costs_to(success, etx_to, nonzero);
         // Hop counts come from the forward shortest-path tree of each
         // source; compute them from the reverse tree instead: run one
         // forward Dijkstra per destination is O(n^2 log n) overall -- fine
@@ -115,7 +210,8 @@ std::vector<PairGain> opportunistic_gains(const SuccessMatrix& success,
   // writes only its own slot.
   std::vector<std::vector<int>> parents(n);
   par::parallel_for(n, [&](std::size_t src) {
-    graph.shortest_from(static_cast<ApId>(src), &parents[src]);
+    thread_local std::vector<double> dist;
+    graph.shortest_from_into(static_cast<ApId>(src), &dist, &parents[src]);
   });
   for (PairGain& g : out) {
     g.hops = EtxGraph::hops(parents[g.src], g.src, g.dst);
@@ -124,34 +220,19 @@ std::vector<PairGain> opportunistic_gains(const SuccessMatrix& success,
   return out;
 }
 
-std::vector<double> link_asymmetries(const SuccessMatrix& success) {
-  const std::size_t n = success.ap_count();
-  std::vector<double> out;
-  for (std::size_t a = 0; a < n; ++a) {
-    for (std::size_t b = 0; b < n; ++b) {
-      if (a == b) continue;
-      const double fwd = success.at(static_cast<ApId>(a), static_cast<ApId>(b));
-      const double rev = success.at(static_cast<ApId>(b), static_cast<ApId>(a));
-      if (fwd <= 0.0 || rev <= 0.0) continue;
-      out.push_back(fwd / rev);
-    }
-  }
-  return out;
-}
-
-std::vector<int> path_lengths(const SuccessMatrix& success,
-                              double min_delivery) {
+std::vector<int> path_lengths_impl(const EtxGraph& graph) {
   WMESH_SPAN("etx.path_lengths");
-  const std::size_t n = success.ap_count();
-  EtxGraph graph(success, EtxVariant::kEtx1, min_delivery);
+  const std::size_t n = graph.ap_count();
   // One forward Dijkstra per source; per-source hop lists concatenate in
   // src order, identical to the serial src-major emission order.
   return par::parallel_map_reduce(
       n, std::vector<int>{},
       [&](std::size_t src) {
         std::vector<int> hops_out;
-        std::vector<int> parent;
-        const auto dist = graph.shortest_from(static_cast<ApId>(src), &parent);
+        // Scratch reused across sources on the same worker thread.
+        thread_local std::vector<double> dist;
+        thread_local std::vector<int> parent;
+        graph.shortest_from_into(static_cast<ApId>(src), &dist, &parent);
         for (std::size_t dst = 0; dst < n; ++dst) {
           if (dst == src || dist[dst] == kInfCost) continue;
           const int h = EtxGraph::hops(parent, static_cast<ApId>(src),
@@ -163,6 +244,65 @@ std::vector<int> path_lengths(const SuccessMatrix& success,
       [](std::vector<int>& acc, std::vector<int>&& v) {
         acc.insert(acc.end(), v.begin(), v.end());
       });
+}
+
+}  // namespace
+
+std::vector<PairGain> opportunistic_gains(const SuccessMatrix& success,
+                                          EtxVariant variant,
+                                          double min_delivery) {
+  const EtxGraph graph(success, variant, min_delivery);
+  return opportunistic_gains_impl(success, graph);
+}
+
+std::vector<PairGain> opportunistic_gains(AnalysisCache& cache,
+                                          const NetworkTrace& nt,
+                                          RateIndex rate, EtxVariant variant,
+                                          double min_delivery) {
+  const SuccessMatrix& success = cache.success(nt, rate);
+  const EtxGraph& graph = cache.etx_graph(nt, rate, variant, min_delivery);
+  return opportunistic_gains_impl(success, graph);
+}
+
+std::vector<double> link_asymmetries(const SuccessMatrix& success) {
+  WMESH_SPAN("exor.asymmetry");
+  const std::size_t n = success.ap_count();
+  // One row per task; per-row samples concatenate in a-major order,
+  // identical to the serial double loop.
+  std::vector<double> out = par::parallel_map_reduce(
+      n, std::vector<double>{},
+      [&](std::size_t a) {
+        std::vector<double> row;
+        for (std::size_t b = 0; b < n; ++b) {
+          if (a == b) continue;
+          const double fwd =
+              success.at(static_cast<ApId>(a), static_cast<ApId>(b));
+          const double rev =
+              success.at(static_cast<ApId>(b), static_cast<ApId>(a));
+          if (fwd <= 0.0 || rev <= 0.0) continue;
+          row.push_back(fwd / rev);
+        }
+        return row;
+      },
+      [](std::vector<double>& acc, std::vector<double>&& v) {
+        acc.insert(acc.end(), v.begin(), v.end());
+      },
+      /*grain=*/16);
+  WMESH_COUNTER_ADD("exor.asymmetry_samples", out.size());
+  return out;
+}
+
+std::vector<int> path_lengths(const SuccessMatrix& success,
+                              double min_delivery) {
+  const EtxGraph graph(success, EtxVariant::kEtx1, min_delivery);
+  return path_lengths_impl(graph);
+}
+
+std::vector<int> path_lengths(AnalysisCache& cache, const NetworkTrace& nt,
+                              RateIndex rate, double min_delivery) {
+  const EtxGraph& graph =
+      cache.etx_graph(nt, rate, EtxVariant::kEtx1, min_delivery);
+  return path_lengths_impl(graph);
 }
 
 }  // namespace wmesh

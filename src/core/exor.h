@@ -15,6 +15,13 @@
 // leaves s.  Because candidates strictly decrease the ETX distance, the
 // recursion is evaluated bottom-up in one sweep per destination.
 //
+// The candidate scan is sparse: the non-zero-delivery links are packed
+// into bitset rows once per matrix, an "eligible" bitset accumulates the
+// already-finalized closer nodes as the sweep walks the ETX order, and
+// each node's candidates are the AND of the two -- visited in ascending
+// node order, exactly like the dense scan, so the recursion's float
+// arithmetic is bit-identical.
+//
 // The improvement of opportunistic routing over ETX routing for a pair is
 //     (ETX_cost - ExOR_cost) / ETX_cost,
 // i.e. an improvement of x means ETX needs (x*100)% more transmissions.
@@ -23,8 +30,11 @@
 #include <vector>
 
 #include "core/etx.h"
+#include "util/bitrows.h"
 
 namespace wmesh {
+
+class AnalysisCache;
 
 // Per source-destination pair result at one bit rate.
 struct PairGain {
@@ -40,11 +50,26 @@ struct PairGain {
   }
 };
 
+// Bitset rows of the strictly positive entries of `success` (diagonal
+// clear): row s bit v set iff p(s->v) > 0.  Built once per matrix and
+// shared by every per-destination ExOR sweep.
+util::BitRows nonzero_links(const SuccessMatrix& success);
+
 // ExOR costs to destination `dst` for every node, given the per-link
 // success matrix and the ETX-to-dst distance field of the same variant.
-// Entries are kInfCost where dst is unreachable.
+// Entries are kInfCost where dst is unreachable.  The three-argument form
+// takes the precomputed nonzero_links(success) so callers evaluating many
+// destinations build it once.
 std::vector<double> exor_costs_to(const SuccessMatrix& success,
                                   const std::vector<double>& etx_to_dst);
+std::vector<double> exor_costs_to(const SuccessMatrix& success,
+                                  const std::vector<double>& etx_to_dst,
+                                  const util::BitRows& nonzero);
+
+// Dense-scan reference (the pre-bitset candidate loop), kept for the
+// kernel-equivalence wall in tests/test_kernels.cc.
+std::vector<double> exor_costs_to_reference(
+    const SuccessMatrix& success, const std::vector<double>& etx_to_dst);
 
 // Links below this delivery rate are not usable by ETX routing (real ETX
 // implementations ignore links they barely hear; the paper's own neighbor
@@ -56,13 +81,23 @@ inline constexpr double kEtxMinDelivery = 0.10;
 std::vector<PairGain> opportunistic_gains(const SuccessMatrix& success,
                                           EtxVariant variant,
                                           double min_delivery = kEtxMinDelivery);
+// As above, with the success matrix and EtxGraph served from (and memoized
+// in) `cache` -- analyses over the same (network, rate, variant) share one
+// graph build instead of each constructing their own.
+std::vector<PairGain> opportunistic_gains(AnalysisCache& cache,
+                                          const NetworkTrace& nt,
+                                          RateIndex rate, EtxVariant variant,
+                                          double min_delivery = kEtxMinDelivery);
 
 // Fig 5.2: link asymmetry samples -- p(a->b)/p(b->a) for every ordered pair
-// with both directions alive.
+// with both directions alive, in a-major order.
 std::vector<double> link_asymmetries(const SuccessMatrix& success);
 
 // Fig 5.3: ETX1 shortest-path hop counts for all reachable pairs.
 std::vector<int> path_lengths(const SuccessMatrix& success,
+                              double min_delivery = kEtxMinDelivery);
+std::vector<int> path_lengths(AnalysisCache& cache, const NetworkTrace& nt,
+                              RateIndex rate,
                               double min_delivery = kEtxMinDelivery);
 
 }  // namespace wmesh

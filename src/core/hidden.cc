@@ -1,5 +1,6 @@
 #include "core/hidden.h"
 
+#include "core/analysis_cache.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "par/thread_pool.h"
@@ -7,24 +8,34 @@
 namespace wmesh {
 
 HearingGraph::HearingGraph(const SuccessMatrix& success, double threshold)
-    : n_(success.ap_count()), hear_(n_ * n_, 0) {
+    : n_(success.ap_count()), bits_(n_, n_) {
   for (std::size_t a = 0; a < n_; ++a) {
     for (std::size_t b = a + 1; b < n_; ++b) {
       const double fwd = success.at(static_cast<ApId>(a), static_cast<ApId>(b));
       const double rev = success.at(static_cast<ApId>(b), static_cast<ApId>(a));
-      const bool heard = 0.5 * (fwd + rev) > threshold;
-      hear_[a * n_ + b] = heard ? 1 : 0;
-      hear_[b * n_ + a] = heard ? 1 : 0;
+      if (0.5 * (fwd + rev) > threshold) {
+        bits_.set(a, b);
+        bits_.set(b, a);
+      }
     }
   }
   WMESH_COUNTER_INC("hidden.graphs_built");
 }
 
 std::size_t HearingGraph::range_pairs() const noexcept {
+  // Symmetric relation with an empty diagonal: every hearing pair sets two
+  // bits, so the whole-matrix popcount is exactly twice the pair count.
+  std::size_t bits = 0;
+  for (std::size_t a = 0; a < n_; ++a) bits += bits_.row_popcount(a);
+  return bits / 2;
+}
+
+std::size_t range_pairs_reference(const HearingGraph& graph) {
+  const std::size_t n = graph.ap_count();
   std::size_t pairs = 0;
-  for (std::size_t a = 0; a < n_; ++a) {
-    for (std::size_t b = a + 1; b < n_; ++b) {
-      pairs += hear_[a * n_ + b];
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      pairs += graph.hears(static_cast<ApId>(a), static_cast<ApId>(b)) ? 1 : 0;
     }
   }
   return pairs;
@@ -32,6 +43,30 @@ std::size_t HearingGraph::range_pairs() const noexcept {
 
 TripleCounts count_triples(const HearingGraph& graph) {
   WMESH_SPAN("hidden.count_triples");
+  const std::size_t n = graph.ap_count();
+  const std::size_t words = graph.words_per_row();
+  TripleCounts out;
+  for (std::size_t b = 0; b < n; ++b) {
+    const std::uint64_t* rb = graph.row(b);
+    const std::size_t hearers = util::BitRows::popcount(rb, words);
+    if (hearers < 2) continue;
+    out.relevant += hearers * (hearers - 1) / 2;
+    // Ordered hearer pairs (A, C) that also hear each other: for every
+    // hearer A of B, intersect A's row with B's hearer row.  B's own bit
+    // is clear in rb, so A-hears-B contributes nothing.  Halving gives the
+    // connected unordered pairs; the rest of the C(hearers, 2) are hidden.
+    std::size_t connected = 0;
+    util::BitRows::for_each_set(rb, words, [&](std::size_t a) {
+      connected += util::BitRows::and_popcount(graph.row(a), rb, words);
+    });
+    out.hidden += hearers * (hearers - 1) / 2 - connected / 2;
+  }
+  WMESH_COUNTER_ADD("hidden.triples_relevant", out.relevant);
+  WMESH_COUNTER_ADD("hidden.triples_hidden", out.hidden);
+  return out;
+}
+
+TripleCounts count_triples_reference(const HearingGraph& graph) {
   const std::size_t n = graph.ap_count();
   TripleCounts out;
   std::vector<ApId> hearers;
@@ -50,15 +85,18 @@ TripleCounts count_triples(const HearingGraph& graph) {
       }
     }
   }
-  WMESH_COUNTER_ADD("hidden.triples_relevant", out.relevant);
-  WMESH_COUNTER_ADD("hidden.triples_hidden", out.hidden);
   return out;
 }
 
-HiddenTripleStats hidden_triples_per_network(const Dataset& ds,
-                                             Standard standard,
-                                             RateIndex rate, double threshold,
-                                             std::size_t min_aps) {
+namespace {
+
+// Shared implementation over any per-(network, rate) matrix source, so the
+// cached and uncached entry points stay one code path.
+template <typename SuccessFn>
+HiddenTripleStats hidden_triples_impl(const Dataset& ds, Standard standard,
+                                      RateIndex rate, double threshold,
+                                      std::size_t min_aps,
+                                      SuccessFn&& success_of) {
   // One network per task; per-network fractions concatenate in network
   // order, identical to the serial loop.
   return par::parallel_map_reduce(
@@ -68,8 +106,7 @@ HiddenTripleStats hidden_triples_per_network(const Dataset& ds,
         const auto& nt = ds.networks[i];
         if (nt.info.standard != standard) return s;
         if (nt.ap_count < min_aps) return s;
-        const auto success = mean_success_matrix(nt, rate);
-        const HearingGraph graph(success, threshold);
+        const HearingGraph graph(success_of(nt, rate), threshold);
         const auto counts = count_triples(graph);
         if (counts.relevant == 0) return s;
         ++s.networks_with_triples;
@@ -83,10 +120,12 @@ HiddenTripleStats hidden_triples_per_network(const Dataset& ds,
       });
 }
 
-std::vector<std::vector<double>> range_ratios(const Dataset& ds,
-                                              Standard standard,
-                                              double threshold,
-                                              RateIndex base_rate) {
+template <typename MatricesFn>
+std::vector<std::vector<double>> range_ratios_impl(const Dataset& ds,
+                                                   Standard standard,
+                                                   double threshold,
+                                                   RateIndex base_rate,
+                                                   MatricesFn&& matrices_of) {
   const std::size_t n_rates = rate_count(standard);
   // One network per task producing its per-rate ratio row (or nothing);
   // rows append per rate in network order, identical to the serial loop.
@@ -96,7 +135,7 @@ std::vector<std::vector<double>> range_ratios(const Dataset& ds,
         std::vector<std::vector<double>> rows(n_rates);
         const auto& nt = ds.networks[i];
         if (nt.info.standard != standard) return rows;
-        const auto matrices = all_success_matrices(nt);
+        const std::vector<SuccessMatrix>& matrices = matrices_of(nt);
         const HearingGraph base(matrices[base_rate], threshold);
         const double base_pairs = static_cast<double>(base.range_pairs());
         if (base_pairs <= 0.0) return rows;
@@ -114,9 +153,11 @@ std::vector<std::vector<double>> range_ratios(const Dataset& ds,
       });
 }
 
-std::vector<double> normalized_range(const Dataset& ds, Standard standard,
-                                     RateIndex rate, double threshold,
-                                     Environment env) {
+template <typename SuccessFn>
+std::vector<double> normalized_range_impl(const Dataset& ds,
+                                          Standard standard, RateIndex rate,
+                                          double threshold, Environment env,
+                                          SuccessFn&& success_of) {
   // One network per task; values concatenate in network order.
   return par::parallel_map_reduce(
       ds.networks.size(), std::vector<double>{},
@@ -125,14 +166,79 @@ std::vector<double> normalized_range(const Dataset& ds, Standard standard,
         const auto& nt = ds.networks[i];
         if (nt.info.standard != standard || nt.info.env != env) return vals;
         if (nt.ap_count < 2) return vals;
-        const auto success = mean_success_matrix(nt, rate);
-        const HearingGraph g(success, threshold);
+        const HearingGraph g(success_of(nt, rate), threshold);
         const double size = static_cast<double>(nt.ap_count);
         vals.push_back(static_cast<double>(g.range_pairs()) / (size * size));
         return vals;
       },
       [](std::vector<double>& acc, std::vector<double>&& v) {
         acc.insert(acc.end(), v.begin(), v.end());
+      });
+}
+
+}  // namespace
+
+HiddenTripleStats hidden_triples_per_network(const Dataset& ds,
+                                             Standard standard,
+                                             RateIndex rate, double threshold,
+                                             std::size_t min_aps) {
+  return hidden_triples_impl(ds, standard, rate, threshold, min_aps,
+                             [](const NetworkTrace& nt, RateIndex r) {
+                               return mean_success_matrix(nt, r);
+                             });
+}
+
+HiddenTripleStats hidden_triples_per_network(AnalysisCache& cache,
+                                             const Dataset& ds,
+                                             Standard standard,
+                                             RateIndex rate, double threshold,
+                                             std::size_t min_aps) {
+  return hidden_triples_impl(
+      ds, standard, rate, threshold, min_aps,
+      [&cache](const NetworkTrace& nt, RateIndex r) -> const SuccessMatrix& {
+        return cache.success(nt, r);
+      });
+}
+
+std::vector<std::vector<double>> range_ratios(const Dataset& ds,
+                                              Standard standard,
+                                              double threshold,
+                                              RateIndex base_rate) {
+  return range_ratios_impl(ds, standard, threshold, base_rate,
+                           [](const NetworkTrace& nt) {
+                             return all_success_matrices(nt);
+                           });
+}
+
+std::vector<std::vector<double>> range_ratios(AnalysisCache& cache,
+                                              const Dataset& ds,
+                                              Standard standard,
+                                              double threshold,
+                                              RateIndex base_rate) {
+  return range_ratios_impl(
+      ds, standard, threshold, base_rate,
+      [&cache](const NetworkTrace& nt)
+          -> const std::vector<SuccessMatrix>& {
+        return cache.all_success(nt);
+      });
+}
+
+std::vector<double> normalized_range(const Dataset& ds, Standard standard,
+                                     RateIndex rate, double threshold,
+                                     Environment env) {
+  return normalized_range_impl(ds, standard, rate, threshold, env,
+                               [](const NetworkTrace& nt, RateIndex r) {
+                                 return mean_success_matrix(nt, r);
+                               });
+}
+
+std::vector<double> normalized_range(AnalysisCache& cache, const Dataset& ds,
+                                     Standard standard, RateIndex rate,
+                                     double threshold, Environment env) {
+  return normalized_range_impl(
+      ds, standard, rate, threshold, env,
+      [&cache](const NetworkTrace& nt, RateIndex r) -> const SuccessMatrix& {
+        return cache.success(nt, r);
       });
 }
 

@@ -10,14 +10,23 @@
 //     other -- the topology that can produce hidden terminals.
 //   * The *range* of a network at rate b is the number of node pairs that
 //     can hear each other at b; Fig 6.2 reports range(b) / range(1 Mbit/s).
+//
+// The hearing relation is stored as 64-bit bitset rows (util::BitRows), so
+// triple counting is a word-parallel AND + popcount over hearer rows and
+// range counting a popcount sweep.  The pre-bitset pairwise-scan kernels
+// are retained as `*_reference` for the kernel-equivalence test wall; the
+// counts are identical by construction (exact integer arithmetic).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "core/dataset_ops.h"
+#include "util/bitrows.h"
 
 namespace wmesh {
+
+class AnalysisCache;
 
 // Symmetric hearing relation of one network at one rate and threshold.
 class HearingGraph {
@@ -26,15 +35,26 @@ class HearingGraph {
 
   std::size_t ap_count() const noexcept { return n_; }
   bool hears(ApId a, ApId b) const noexcept {
-    return hear_[static_cast<std::size_t>(a) * n_ + b] != 0;
+    return bits_.test(static_cast<std::size_t>(a),
+                      static_cast<std::size_t>(b));
   }
 
-  // Number of unordered pairs that hear each other (the paper's "range").
+  // Bitset row of node `a`: bit b set iff a and b hear each other.  The
+  // diagonal is never set.  Rows are words_per_row() 64-bit words with the
+  // bits past ap_count() zero.
+  const std::uint64_t* row(std::size_t a) const noexcept {
+    return bits_.row(a);
+  }
+  std::size_t words_per_row() const noexcept { return bits_.words_per_row(); }
+
+  // Number of unordered pairs that hear each other (the paper's "range"):
+  // a popcount sweep over all rows, halved (the relation is symmetric and
+  // the diagonal is empty).
   std::size_t range_pairs() const noexcept;
 
  private:
   std::size_t n_ = 0;
-  std::vector<std::uint8_t> hear_;
+  util::BitRows bits_;
 };
 
 struct TripleCounts {
@@ -46,11 +66,20 @@ struct TripleCounts {
                ? 0.0
                : static_cast<double>(hidden) / static_cast<double>(relevant);
   }
+
+  bool operator==(const TripleCounts&) const = default;
 };
 
 // Counts relevant and hidden triples: for every centre B and unordered pair
-// {A, C} of B's hearers.
+// {A, C} of B's hearers.  Word-parallel: per centre, relevant pairs come
+// from the hearer-row popcount and connected pairs from AND + popcount of
+// each hearer's row against the centre's row.
 TripleCounts count_triples(const HearingGraph& graph);
+
+// Dense pairwise-scan reference kernels (the pre-bitset implementation),
+// kept for the sparse-vs-dense equivalence wall in tests/test_kernels.cc.
+TripleCounts count_triples_reference(const HearingGraph& graph);
+std::size_t range_pairs_reference(const HearingGraph& graph);
 
 // Per-network hidden-triple fractions at one rate/threshold, over the traces
 // of `standard` with at least `min_aps` APs.  One value per network that has
@@ -63,10 +92,22 @@ HiddenTripleStats hidden_triples_per_network(const Dataset& ds,
                                              Standard standard,
                                              RateIndex rate, double threshold,
                                              std::size_t min_aps = 3);
+// As above, with the per-network success matrices served from (and
+// memoized in) `cache`.
+HiddenTripleStats hidden_triples_per_network(AnalysisCache& cache,
+                                             const Dataset& ds,
+                                             Standard standard,
+                                             RateIndex rate, double threshold,
+                                             std::size_t min_aps = 3);
 
 // Fig 6.2: per network, range(rate) / range(rate 0) for every probed rate.
 // ratios[rate] holds one value per network whose base-rate range is > 0.
 std::vector<std::vector<double>> range_ratios(const Dataset& ds,
+                                              Standard standard,
+                                              double threshold,
+                                              RateIndex base_rate = 0);
+std::vector<std::vector<double>> range_ratios(AnalysisCache& cache,
+                                              const Dataset& ds,
                                               Standard standard,
                                               double threshold,
                                               RateIndex base_rate = 0);
@@ -75,5 +116,8 @@ std::vector<std::vector<double>> range_ratios(const Dataset& ds,
 std::vector<double> normalized_range(const Dataset& ds, Standard standard,
                                      RateIndex rate, double threshold,
                                      Environment env);
+std::vector<double> normalized_range(AnalysisCache& cache, const Dataset& ds,
+                                     Standard standard, RateIndex rate,
+                                     double threshold, Environment env);
 
 }  // namespace wmesh

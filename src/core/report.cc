@@ -4,6 +4,7 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "core/analysis_cache.h"
 #include "core/exor.h"
 #include "core/hidden.h"
 #include "core/lookup_table.h"
@@ -69,6 +70,11 @@ std::string report_lookup(const Dataset& ds) {
 }
 
 std::string report_routing(const Dataset& ds) {
+  AnalysisCache cache;
+  return report_routing(ds, cache);
+}
+
+std::string report_routing(const Dataset& ds, AnalysisCache& cache) {
   std::string out;
   for (const EtxVariant v : {EtxVariant::kEtx1, EtxVariant::kEtx2}) {
     // One network per task (the paper's 110-network study is embarrassingly
@@ -84,8 +90,7 @@ std::string report_routing(const Dataset& ds) {
           Gains g;
           const auto& nt = ds.networks[i];
           if (nt.info.standard != Standard::kBg || nt.ap_count < 5) return g;
-          for (const auto& pg :
-               opportunistic_gains(mean_success_matrix(nt, 0), v)) {
+          for (const auto& pg : opportunistic_gains(cache, nt, 0, v)) {
             g.imps.push_back(pg.improvement());
             g.none += pg.improvement() < 1e-9 ? 1 : 0;
           }
@@ -108,6 +113,11 @@ std::string report_routing(const Dataset& ds) {
 }
 
 std::string report_path_lengths(const Dataset& ds) {
+  AnalysisCache cache;
+  return report_path_lengths(ds, cache);
+}
+
+std::string report_path_lengths(const Dataset& ds, AnalysisCache& cache) {
   // One network per task; per-network hop lists concatenate in network
   // order.
   const std::vector<double> lengths = par::parallel_map_reduce(
@@ -116,7 +126,7 @@ std::string report_path_lengths(const Dataset& ds) {
         std::vector<double> l;
         const auto& nt = ds.networks[i];
         if (nt.info.standard != Standard::kBg || nt.ap_count < 5) return l;
-        for (const int h : path_lengths(mean_success_matrix(nt, 0))) {
+        for (const int h : path_lengths(cache, nt, 0)) {
           l.push_back(static_cast<double>(h));
         }
         return l;
@@ -138,11 +148,17 @@ std::string report_path_lengths(const Dataset& ds) {
 }
 
 std::string report_hidden(const Dataset& ds) {
+  AnalysisCache cache;
+  return report_hidden(ds, cache);
+}
+
+std::string report_hidden(const Dataset& ds, AnalysisCache& cache) {
   TextTable t;
   t.header({"rate", "networks", "median hidden fraction"});
   const auto rates = probed_rates(Standard::kBg);
   for (RateIndex r = 0; r < rates.size(); ++r) {
-    const auto stats = hidden_triples_per_network(ds, Standard::kBg, r, 0.10);
+    const auto stats =
+        hidden_triples_per_network(cache, ds, Standard::kBg, r, 0.10);
     if (stats.fractions.empty()) continue;
     t.add_row({std::string(rates[r].name),
                std::to_string(stats.fractions.size()),
@@ -186,16 +202,20 @@ std::string report_traffic(const Dataset& ds) {
 
 std::string report_etx(const Dataset& ds) {
   WMESH_SPAN("analyze.etx_pipeline");
+  // One cache across the sections: routing's rate-0 matrices and ETX1
+  // graphs are reused by the path-length report, hidden's per-rate
+  // matrices are computed once.
+  AnalysisCache cache;
   std::string out;
   out += "== snr ==\n";
   out += report_snr(ds);
   out += "\n== lookup ==\n";
   out += report_lookup(ds);
   out += "\n== etx/exor routing ==\n";
-  out += report_routing(ds);
-  out += report_path_lengths(ds);
+  out += report_routing(ds, cache);
+  out += report_path_lengths(ds, cache);
   out += "\n== hidden ==\n";
-  out += report_hidden(ds);
+  out += report_hidden(ds, cache);
   out += "\n== mobility ==\n";
   out += report_mobility(ds);
   out += "\n== traffic ==\n";

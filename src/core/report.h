@@ -23,6 +23,8 @@
 
 namespace wmesh {
 
+class AnalysisCache;
+
 // Fig 3.1: SNR dispersion summary per standard.
 std::string report_snr(const Dataset& ds);
 
@@ -30,13 +32,23 @@ std::string report_snr(const Dataset& ds);
 std::string report_lookup(const Dataset& ds);
 
 // Fig 5.1: opportunistic-routing gains at the 1 Mbit/s base rate.
+//
+// The routing, path-length and hidden reports each take an optional
+// AnalysisCache: success matrices and EtxGraphs are then memoized across
+// ETX variants, report sections, and repeated runs over the same dataset
+// (report_etx shares one cache across its sections).  The no-cache
+// overloads use a cache private to the call; output is identical either
+// way.
 std::string report_routing(const Dataset& ds);
+std::string report_routing(const Dataset& ds, AnalysisCache& cache);
 
 // Fig 5.3: ETX1 shortest-path hop count summary.
 std::string report_path_lengths(const Dataset& ds);
+std::string report_path_lengths(const Dataset& ds, AnalysisCache& cache);
 
 // Fig 6.1: hidden-triple medians per rate.
 std::string report_hidden(const Dataset& ds);
+std::string report_hidden(const Dataset& ds, AnalysisCache& cache);
 
 // Fig 7.3/7.4: prevalence & persistence by environment.
 std::string report_mobility(const Dataset& ds);

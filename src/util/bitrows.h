@@ -1,0 +1,91 @@
+// Fixed-size bit matrix stored as 64-bit words, row-major.
+//
+// The sparse analysis kernels (hidden-triple counting, the ExOR candidate
+// scan) operate on per-node *sets* of neighbours.  Packing each set into a
+// row of 64-bit words turns the inner loops into word-parallel AND +
+// popcount sweeps: intersecting two 1407-AP neighbour sets costs 22 word
+// operations instead of 1407 byte loads.  Bits past `cols` in the last
+// word of a row are always zero, so whole-row popcounts need no masking.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wmesh::util {
+
+class BitRows {
+ public:
+  BitRows() = default;
+  BitRows(std::size_t rows, std::size_t cols)
+      : rows_(rows),
+        cols_(cols),
+        words_(word_count(cols)),
+        bits_(rows * words_, 0) {}
+
+  static constexpr std::size_t word_count(std::size_t cols) noexcept {
+    return (cols + 63) / 64;
+  }
+
+  std::size_t row_count() const noexcept { return rows_; }
+  std::size_t col_count() const noexcept { return cols_; }
+  std::size_t words_per_row() const noexcept { return words_; }
+  std::size_t approx_bytes() const noexcept {
+    return bits_.size() * sizeof(std::uint64_t);
+  }
+
+  void set(std::size_t r, std::size_t c) noexcept {
+    bits_[r * words_ + (c >> 6)] |= std::uint64_t{1} << (c & 63);
+  }
+  bool test(std::size_t r, std::size_t c) const noexcept {
+    return (bits_[r * words_ + (c >> 6)] >> (c & 63)) & 1;
+  }
+
+  const std::uint64_t* row(std::size_t r) const noexcept {
+    return bits_.data() + r * words_;
+  }
+  std::uint64_t* row(std::size_t r) noexcept { return bits_.data() + r * words_; }
+
+  std::size_t row_popcount(std::size_t r) const noexcept {
+    return popcount(row(r), words_);
+  }
+
+  static std::size_t popcount(const std::uint64_t* words,
+                              std::size_t n) noexcept {
+    std::size_t bits = 0;
+    for (std::size_t w = 0; w < n; ++w) bits += std::popcount(words[w]);
+    return bits;
+  }
+
+  static std::size_t and_popcount(const std::uint64_t* a,
+                                  const std::uint64_t* b,
+                                  std::size_t n) noexcept {
+    std::size_t bits = 0;
+    for (std::size_t w = 0; w < n; ++w) bits += std::popcount(a[w] & b[w]);
+    return bits;
+  }
+
+  // Calls fn(col) for every set bit, in ascending column order -- the same
+  // order a dense `for (c = 0; c < n; ++c) if (test(r, c))` scan visits.
+  template <typename Fn>
+  static void for_each_set(const std::uint64_t* words, std::size_t n,
+                           Fn&& fn) {
+    for (std::size_t w = 0; w < n; ++w) {
+      std::uint64_t bits = words[w];
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        fn(w * 64 + static_cast<std::size_t>(b));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t words_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace wmesh::util

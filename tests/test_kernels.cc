@@ -1,0 +1,248 @@
+// Sparse-vs-dense kernel equivalence wall (PR 5).
+//
+// The CSR Dijkstra, bitset triple/range counting, and the bitset ExOR
+// candidate scan must be *byte-identical* to the dense reference kernels
+// they replaced -- the golden-report and determinism walls depend on it.
+// This suite drives both implementations over seeded random matrices of
+// varying size and density, plus the fully-disconnected and
+// fully-connected edge cases, and asserts exact equality of distances,
+// parents, triple counts, range pairs and ExOR costs.  It also pins the
+// AnalysisCache contract: hit/miss accounting, byte gauges, and
+// reference identity on repeated lookups.
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/analysis_cache.h"
+#include "core/exor.h"
+#include "core/hidden.h"
+#include "obs/metrics.h"
+#include "sim/generator.h"
+#include "util/rng.h"
+
+namespace wmesh {
+namespace {
+
+// Seeded random success matrix: each directed link is alive with
+// probability `density`, with a uniform success rate in (0, 1].
+SuccessMatrix random_matrix(std::uint64_t seed, std::size_t n,
+                            double density) {
+  Rng rng(seed);
+  SuccessMatrix m(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    for (std::size_t t = 0; t < n; ++t) {
+      if (f == t) continue;
+      if (rng.bernoulli(density)) {
+        m.set(static_cast<ApId>(f), static_cast<ApId>(t),
+              rng.uniform(0.05, 1.0));
+      }
+    }
+  }
+  return m;
+}
+
+SuccessMatrix full_matrix(std::size_t n, double p) {
+  SuccessMatrix m(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    for (std::size_t t = 0; t < n; ++t) {
+      if (f != t) m.set(static_cast<ApId>(f), static_cast<ApId>(t), p);
+    }
+  }
+  return m;
+}
+
+// Exact bitwise equality for double vectors (== would call NaN unequal to
+// itself; the kernels never produce NaN, but the wall's contract is bytes).
+void expect_bytes_equal(const std::vector<double>& a,
+                        const std::vector<double>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  if (!a.empty()) {
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(double)))
+        << what;
+  }
+}
+
+struct KernelCase {
+  std::uint64_t seed;
+  std::size_t n;
+  double density;
+};
+
+const KernelCase kCases[] = {
+    {1, 1, 0.5},   {2, 2, 0.5},    {3, 7, 0.3},   {4, 17, 0.15},
+    {5, 33, 0.4},  {6, 64, 0.1},   {7, 65, 0.25}, {8, 130, 0.05},
+    {9, 130, 0.6}, {10, 40, 0.02},
+};
+
+TEST(KernelEquivalence, DijkstraDistsAndParentsMatchDense) {
+  for (const auto& c : kCases) {
+    const SuccessMatrix m = random_matrix(c.seed, c.n, c.density);
+    for (const EtxVariant v : {EtxVariant::kEtx1, EtxVariant::kEtx2}) {
+      const EtxGraph g(m, v, /*min_delivery=*/0.10);
+      for (std::size_t src = 0; src < c.n; ++src) {
+        std::vector<int> parent, parent_ref;
+        const auto dist = g.shortest_from(static_cast<ApId>(src), &parent);
+        const auto dist_ref =
+            g.shortest_from_reference(static_cast<ApId>(src), &parent_ref);
+        expect_bytes_equal(dist, dist_ref, "forward dist");
+        EXPECT_EQ(parent, parent_ref) << "forward parents, src " << src;
+
+        const auto to = g.shortest_to(static_cast<ApId>(src));
+        const auto to_ref = g.shortest_to_reference(static_cast<ApId>(src));
+        expect_bytes_equal(to, to_ref, "reverse dist");
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, DijkstraEdgeCases) {
+  // Fully disconnected: every node unreachable from every other.
+  const EtxGraph none(SuccessMatrix(12), EtxVariant::kEtx1);
+  EXPECT_EQ(none.edge_count(), 0u);
+  // Fully connected at perfect delivery: everything one hop away.
+  const EtxGraph full(full_matrix(12, 1.0), EtxVariant::kEtx1);
+  EXPECT_EQ(full.edge_count(), 12u * 11u);
+  for (const EtxGraph* g : {&none, &full}) {
+    for (std::size_t src = 0; src < 12; ++src) {
+      std::vector<int> parent, parent_ref;
+      const auto dist = g->shortest_from(static_cast<ApId>(src), &parent);
+      const auto dist_ref =
+          g->shortest_from_reference(static_cast<ApId>(src), &parent_ref);
+      expect_bytes_equal(dist, dist_ref, "edge-case dist");
+      EXPECT_EQ(parent, parent_ref);
+    }
+  }
+}
+
+TEST(KernelEquivalence, TripleAndRangeCountsMatchDense) {
+  for (const auto& c : kCases) {
+    const SuccessMatrix m = random_matrix(c.seed, c.n, c.density);
+    for (const double threshold : {0.10, 0.50}) {
+      const HearingGraph g(m, threshold);
+      EXPECT_EQ(count_triples(g), count_triples_reference(g))
+          << "n=" << c.n << " density=" << c.density;
+      EXPECT_EQ(g.range_pairs(), range_pairs_reference(g));
+    }
+  }
+}
+
+TEST(KernelEquivalence, TripleCountEdgeCases) {
+  // Fully disconnected: no pairs, no triples.
+  const HearingGraph none(SuccessMatrix(9), 0.10);
+  EXPECT_EQ(none.range_pairs(), 0u);
+  EXPECT_EQ(count_triples(none), (TripleCounts{0, 0}));
+  EXPECT_EQ(count_triples(none), count_triples_reference(none));
+  // Fully connected: C(n,2) pairs, n*C(n-1,2) relevant triples, none
+  // hidden.  n = 130 also exercises the multi-word row path.
+  for (const std::size_t n : {9u, 130u}) {
+    const HearingGraph full(full_matrix(n, 1.0), 0.10);
+    EXPECT_EQ(full.range_pairs(), n * (n - 1) / 2);
+    EXPECT_EQ(full.range_pairs(), range_pairs_reference(full));
+    const auto counts = count_triples(full);
+    EXPECT_EQ(counts.relevant, n * (n - 1) * (n - 2) / 2);
+    EXPECT_EQ(counts.hidden, 0u);
+    EXPECT_EQ(counts, count_triples_reference(full));
+  }
+}
+
+TEST(KernelEquivalence, ExorCostsMatchDenseScan) {
+  for (const auto& c : kCases) {
+    const SuccessMatrix m = random_matrix(c.seed, c.n, c.density);
+    const EtxGraph g(m, EtxVariant::kEtx1, 0.10);
+    for (std::size_t dst = 0; dst < c.n; ++dst) {
+      const auto etx_to = g.shortest_to(static_cast<ApId>(dst));
+      expect_bytes_equal(exor_costs_to(m, etx_to),
+                         exor_costs_to_reference(m, etx_to), "exor costs");
+    }
+  }
+}
+
+TEST(AnalysisCacheWall, HitMissAccountingAndIdentity) {
+  const Dataset ds = generate_dataset(small_config());
+  ASSERT_FALSE(ds.networks.empty());
+  const NetworkTrace& nt = ds.networks.front();
+
+#if !defined(WMESH_OBS_DISABLED)
+  auto& hits = obs::Registry::instance().counter("cache.hits");
+  auto& misses = obs::Registry::instance().counter("cache.misses");
+  const auto hits0 = hits.value();
+  const auto misses0 = misses.value();
+#endif
+
+  AnalysisCache cache;
+  const SuccessMatrix& a = cache.success(nt, 0);
+  const SuccessMatrix& b = cache.success(nt, 0);
+  EXPECT_EQ(&a, &b);  // memoized: same object, not an equal copy
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  // Stats track regardless; the registry counters only when obs is on.
+#if !defined(WMESH_OBS_DISABLED)
+  EXPECT_EQ(hits.value() - hits0, 1u);
+  EXPECT_EQ(misses.value() - misses0, 1u);
+#endif
+
+  // A graph lookup is one graph miss plus one success *hit* (rate 0 is
+  // already cached); repeating it is a pure hit.
+  const EtxGraph& g1 = cache.etx_graph(nt, 0, EtxVariant::kEtx1, 0.10);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  const EtxGraph& g2 = cache.etx_graph(nt, 0, EtxVariant::kEtx1, 0.10);
+  EXPECT_EQ(&g1, &g2);
+  EXPECT_EQ(cache.stats().hits, 3u);
+  // Different variant, rate or min_delivery are distinct keys.
+  (void)cache.etx_graph(nt, 0, EtxVariant::kEtx2, 0.10);
+  (void)cache.etx_graph(nt, 0, EtxVariant::kEtx1, 0.0);
+  EXPECT_EQ(cache.stats().misses, 4u);
+
+  // Byte accounting: the success matrix plus three graphs, all non-empty.
+  const std::size_t n = nt.ap_count;
+  EXPECT_GE(cache.stats().bytes, n * n * sizeof(double));
+  EXPECT_EQ(cache.stats().entries, 4u);
+
+  // Cached values equal the uncached computations.
+  const SuccessMatrix direct = mean_success_matrix(nt, 0);
+  ASSERT_EQ(a.ap_count(), direct.ap_count());
+  for (std::size_t f = 0; f < n; ++f) {
+    for (std::size_t t = 0; t < n; ++t) {
+      EXPECT_EQ(a.at(static_cast<ApId>(f), static_cast<ApId>(t)),
+                direct.at(static_cast<ApId>(f), static_cast<ApId>(t)));
+    }
+  }
+
+  cache.clear();
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  // After clear, the same lookup is a miss again.
+  (void)cache.success(nt, 0);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(AnalysisCacheWall, CachedAnalysesMatchUncached) {
+  const Dataset ds = generate_dataset(small_config());
+  AnalysisCache cache;
+  for (const auto& nt : ds.networks) {
+    if (nt.info.standard != Standard::kBg || nt.ap_count < 5) continue;
+    const SuccessMatrix m = mean_success_matrix(nt, 0);
+    for (const EtxVariant v : {EtxVariant::kEtx1, EtxVariant::kEtx2}) {
+      const auto want = opportunistic_gains(m, v);
+      const auto got = opportunistic_gains(cache, nt, 0, v);
+      ASSERT_EQ(want.size(), got.size());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(want[i].src, got[i].src);
+        EXPECT_EQ(want[i].dst, got[i].dst);
+        EXPECT_EQ(want[i].etx_cost, got[i].etx_cost);
+        EXPECT_EQ(want[i].exor_cost, got[i].exor_cost);
+        EXPECT_EQ(want[i].hops, got[i].hops);
+      }
+    }
+    EXPECT_EQ(path_lengths(m), path_lengths(cache, nt, 0));
+  }
+  // The loop above re-requested every (network, rate-0) intermediate
+  // several times; everything after the first build must have been a hit.
+  EXPECT_GT(cache.stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace wmesh

@@ -29,6 +29,9 @@
 #include <vector>
 
 #include "cli_common.h"
+#include "core/analysis_cache.h"
+#include "core/etx.h"
+#include "core/exor.h"
 #include "core/report.h"
 #include "obs/bench.h"
 #include "obs/log.h"
@@ -38,6 +41,7 @@
 #include "sim/generator.h"
 #include "trace/io.h"
 #include "util/env.h"
+#include "util/rng.h"
 #include "util/text_table.h"
 
 using namespace wmesh;
@@ -57,7 +61,7 @@ void print_help() {
   std::printf(
       "%s\n"
       "stages: gen, csv_save, csv_load, wsnap_save, wsnap_load, etx, exor,\n"
-      "        lookup, hidden, mobility\n"
+      "        lookup, hidden, mobility, dijkstra_sparse, dijkstra_dense\n"
       "\n"
       "flags:\n"
       "  --suite=S        quick (small dataset, default) or full (paper-\n"
@@ -114,12 +118,40 @@ class ScratchDir {
   std::filesystem::path path_;
 };
 
+// Synthetic graph for the Dijkstra micro-stage pair.  The quick suite's
+// real networks are 4-12 APs -- too small for the sparse-vs-dense kernel
+// delta to rise above timer noise -- so the micro-stages run on one seeded
+// mesh-density matrix large enough to show it.
+struct KernelFixture {
+  SuccessMatrix success{0};
+  std::optional<EtxGraph> graph;
+
+  KernelFixture(std::size_t n, double density, std::uint64_t seed) {
+    Rng rng(seed);
+    SuccessMatrix m(n);
+    for (std::size_t f = 0; f < n; ++f) {
+      for (std::size_t t = 0; t < n; ++t) {
+        if (f != t && rng.bernoulli(density)) {
+          m.set(static_cast<ApId>(f), static_cast<ApId>(t),
+                rng.uniform(0.05, 1.0));
+        }
+      }
+    }
+    success = std::move(m);
+    graph.emplace(success, EtxVariant::kEtx1, kEtxMinDelivery);
+  }
+};
+
 // Builds the stage list.  Stages share `ds` (generated once, before the
-// timed loops, except for the `gen` stage which regenerates per run) and
-// the scratch dir for the I/O stages.  All lambdas capture by reference;
-// the caller keeps everything alive across run_bench_suite().
+// timed loops, except for the `gen` stage which regenerates per run), the
+// scratch dir for the I/O stages, the kernel fixture for the Dijkstra
+// micro-stages, and one AnalysisCache for the analysis stages (so repeat
+// runs exercise the warm-cache path report_etx uses in production).  All
+// lambdas capture by reference; the caller keeps everything alive across
+// run_bench_suite().
 std::vector<obs::BenchStage> make_stages(const GeneratorConfig& config,
-                                         Dataset& ds,
+                                         Dataset& ds, AnalysisCache& cache,
+                                         const KernelFixture& kernel,
                                          const ScratchDir& scratch) {
   std::vector<obs::BenchStage> stages;
   stages.push_back({"gen", [&config] {
@@ -145,11 +177,40 @@ std::vector<obs::BenchStage> make_stages(const GeneratorConfig& config,
                       SnapshotFormat::kWsnap))
       throw std::runtime_error("wsnap_load failed");
   }});
-  stages.push_back({"etx", [&ds] { (void)report_path_lengths(ds); }});
-  stages.push_back({"exor", [&ds] { (void)report_routing(ds); }});
+  stages.push_back({"etx", [&ds, &cache] {
+    (void)report_path_lengths(ds, cache);
+  }});
+  stages.push_back({"exor", [&ds, &cache] {
+    (void)report_routing(ds, cache);
+  }});
   stages.push_back({"lookup", [&ds] { (void)report_lookup(ds); }});
-  stages.push_back({"hidden", [&ds] { (void)report_hidden(ds); }});
+  stages.push_back({"hidden", [&ds, &cache] {
+    (void)report_hidden(ds, cache);
+  }});
   stages.push_back({"mobility", [&ds] { (void)report_mobility(ds); }});
+  // CSR vs dense-scan Dijkstra on the synthetic fixture: all-sources
+  // single-source shortest paths, serial, same graph -- the ratio of the
+  // two medians is the sparse kernel's speedup.
+  stages.push_back({"dijkstra_sparse", [&kernel] {
+    std::vector<double> dist;
+    std::vector<int> parent;
+    const std::size_t n = kernel.graph->ap_count();
+    for (std::size_t src = 0; src < n; ++src) {
+      kernel.graph->shortest_from_into(static_cast<ApId>(src), &dist,
+                                       &parent);
+    }
+    if (dist.size() != n) throw std::runtime_error("dijkstra_sparse: bad n");
+  }});
+  stages.push_back({"dijkstra_dense", [&kernel] {
+    std::vector<int> parent;
+    const std::size_t n = kernel.graph->ap_count();
+    std::vector<double> dist;
+    for (std::size_t src = 0; src < n; ++src) {
+      dist = kernel.graph->shortest_from_reference(static_cast<ApId>(src),
+                                                   &parent);
+    }
+    if (dist.size() != n) throw std::runtime_error("dijkstra_dense: bad n");
+  }});
   return stages;
 }
 
@@ -238,10 +299,20 @@ int main(int argc, char** argv) {
   const GeneratorConfig config =
       suite == "quick" ? small_config() : default_config();
 
+  // Micro-stage fixture: mesh-like density, sized so the quick suite stays
+  // sub-millisecond per stage while the full suite approaches the paper's
+  // largest (1407-AP) network.
+  const std::size_t kernel_n = suite == "quick" ? 192 : 1024;
+  const double kernel_density = 0.12;
+  const std::uint64_t kernel_seed = 0xd175eedULL;
+
   if (want_list) {
     Dataset dummy;
+    AnalysisCache dummy_cache;
+    const KernelFixture kernel(1, kernel_density, 1);
     ScratchDir scratch;
-    for (const auto& st : make_stages(config, dummy, scratch)) {
+    for (const auto& st :
+         make_stages(config, dummy, dummy_cache, kernel, scratch)) {
       std::printf("%s\n", st.name.c_str());
     }
     return 0;
@@ -260,7 +331,9 @@ int main(int argc, char** argv) {
 
   ScratchDir scratch;
   Dataset ds = generate_dataset(config);
-  const auto stages = make_stages(config, ds, scratch);
+  AnalysisCache cache;
+  const KernelFixture kernel(kernel_n, kernel_density, kernel_seed);
+  const auto stages = make_stages(config, ds, cache, kernel, scratch);
 
   obs::BenchResult result;
   try {
