@@ -1,0 +1,283 @@
+#include "obs/export_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/openmetrics.h"
+
+namespace wmesh::obs {
+namespace {
+
+struct ParsedAddress {
+  bool is_unix = false;
+  std::string unix_path;
+  std::string host;       // TCP only
+  std::uint16_t port = 0;  // TCP only
+};
+
+bool parse_address(const std::string& address, ParsedAddress* out,
+                   std::string* error) {
+  if (address.rfind("unix:", 0) == 0) {
+    out->is_unix = true;
+    out->unix_path = address.substr(5);
+    if (out->unix_path.empty()) {
+      *error = "empty unix socket path in '" + address + "'";
+      return false;
+    }
+    if (out->unix_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      *error = "unix socket path too long: " + out->unix_path;
+      return false;
+    }
+    return true;
+  }
+  const std::size_t colon = address.rfind(':');
+  if (colon == std::string::npos) {
+    *error = "address '" + address +
+             "' is not unix:<path> or <host>:<port>";
+    return false;
+  }
+  out->host = address.substr(0, colon);
+  if (out->host.empty()) out->host = "127.0.0.1";
+  const std::string port_str = address.substr(colon + 1);
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_str.c_str(), &end, 10);
+  if (end == port_str.c_str() || *end != '\0' || port > 65535) {
+    *error = "bad port in '" + address + "'";
+    return false;
+  }
+  out->port = static_cast<std::uint16_t>(port);
+  return true;
+}
+
+// Reads until the blank line ending the request head (we ignore the head
+// itself -- every request gets the metrics document).
+void drain_request_head(int fd) noexcept {
+  char buf[512];
+  std::string head;
+  for (int rounds = 0; rounds < 16; ++rounds) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return;
+    head.append(buf, static_cast<std::size_t>(n));
+    if (head.find("\r\n\r\n") != std::string::npos ||
+        head.find("\n\n") != std::string::npos) {
+      return;
+    }
+    if (head.size() > 8192) return;  // oversized head: answer anyway
+  }
+}
+
+void send_all(int fd, const char* data, std::size_t len) noexcept {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+struct ExportServer::Impl {
+  int listen_fd = -1;
+  bool is_unix = false;
+  std::string unix_path;
+  std::atomic<bool> stop{false};
+  std::thread thread;
+};
+
+std::unique_ptr<ExportServer> ExportServer::start(const std::string& address,
+                                                  std::string* error) {
+  ParsedAddress addr;
+  if (!parse_address(address, &addr, error)) return nullptr;
+
+  int fd = -1;
+  std::string bound;
+  if (addr.is_unix) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      *error = std::string("socket: ") + std::strerror(errno);
+      return nullptr;
+    }
+    ::unlink(addr.unix_path.c_str());  // stale socket from a previous run
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    std::strncpy(sa.sun_path, addr.unix_path.c_str(),
+                 sizeof(sa.sun_path) - 1);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      *error = "bind " + addr.unix_path + ": " + std::strerror(errno);
+      ::close(fd);
+      return nullptr;
+    }
+    bound = "unix:" + addr.unix_path;
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      *error = std::string("socket: ") + std::strerror(errno);
+      return nullptr;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(addr.port);
+    if (::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1) {
+      *error = "bad host '" + addr.host + "' (use a literal IPv4 address)";
+      ::close(fd);
+      return nullptr;
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      *error = "bind " + address + ": " + std::strerror(errno);
+      ::close(fd);
+      return nullptr;
+    }
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len);
+    char host[INET_ADDRSTRLEN] = {0};
+    ::inet_ntop(AF_INET, &actual.sin_addr, host, sizeof(host));
+    bound = std::string(host) + ':' + std::to_string(ntohs(actual.sin_port));
+  }
+  if (::listen(fd, 16) != 0) {
+    *error = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    if (addr.is_unix) ::unlink(addr.unix_path.c_str());
+    return nullptr;
+  }
+
+  auto server = std::unique_ptr<ExportServer>(new ExportServer());
+  server->impl_ = std::make_unique<Impl>();
+  server->impl_->listen_fd = fd;
+  server->impl_->is_unix = addr.is_unix;
+  server->impl_->unix_path = addr.unix_path;
+  server->bound_ = bound;
+  ExportServer* raw = server.get();
+  server->impl_->thread = std::thread([raw] { raw->serve_loop(); });
+  WMESH_LOG_INFO("obs.export", kv("event", "listening"), kv("addr", bound));
+  return server;
+}
+
+ExportServer::~ExportServer() { stop(); }
+
+void ExportServer::stop() noexcept {
+  if (!impl_ || impl_->stop.exchange(true)) return;
+  if (impl_->thread.joinable()) impl_->thread.join();
+  if (impl_->listen_fd >= 0) {
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+  }
+  if (impl_->is_unix) ::unlink(impl_->unix_path.c_str());
+}
+
+void ExportServer::serve_loop() noexcept {
+  Impl& im = *impl_;
+  while (!im.stop.load(std::memory_order_relaxed)) {
+    pollfd pfd{im.listen_fd, POLLIN, 0};
+    // Short poll timeout bounds stop() latency without a wakeup pipe.
+    const int pr = ::poll(&pfd, 1, 100);
+    if (pr <= 0) continue;
+    const int client = ::accept(im.listen_fd, nullptr, nullptr);
+    if (client < 0) continue;
+    drain_request_head(client);
+    // kActiveBatches: counters buffered inside running shards are flushed,
+    // so a mid-flight scrape never under-counts.
+    const std::string body = render_openmetrics(
+        Registry::instance().snapshot(SnapshotFlush::kActiveBatches));
+    std::string resp =
+        "HTTP/1.0 200 OK\r\n"
+        "Content-Type: application/openmetrics-text; version=1.0.0; "
+        "charset=utf-8\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+    send_all(client, resp.data(), resp.size());
+    ::close(client);
+    WMESH_COUNTER_INC("export.scrapes");
+  }
+}
+
+bool scrape_openmetrics_once(const std::string& address, std::string* body,
+                             std::string* error) {
+  ParsedAddress addr;
+  if (!parse_address(address, &addr, error)) return false;
+
+  int fd = -1;
+  if (addr.is_unix) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      *error = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    std::strncpy(sa.sun_path, addr.unix_path.c_str(),
+                 sizeof(sa.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      *error = "connect " + addr.unix_path + ": " + std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      *error = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(addr.port);
+    if (::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1) {
+      *error = "bad host '" + addr.host + "'";
+      ::close(fd);
+      return false;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      *error = "connect " + address + ": " + std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+  }
+
+  const char req[] = "GET /metrics HTTP/1.0\r\nConnection: close\r\n\r\n";
+  send_all(fd, req, sizeof(req) - 1);
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  std::size_t head_end = resp.find("\r\n\r\n");
+  std::size_t body_off = head_end + 4;
+  if (head_end == std::string::npos) {
+    head_end = resp.find("\n\n");
+    body_off = head_end + 2;
+  }
+  if (head_end == std::string::npos) {
+    *error = "malformed HTTP response (" + std::to_string(resp.size()) +
+             " bytes, no header terminator)";
+    return false;
+  }
+  if (resp.rfind("HTTP/1.0 200", 0) != 0 &&
+      resp.rfind("HTTP/1.1 200", 0) != 0) {
+    *error = "non-200 response: " + resp.substr(0, resp.find('\n'));
+    return false;
+  }
+  *body = resp.substr(body_off);
+  return true;
+}
+
+}  // namespace wmesh::obs

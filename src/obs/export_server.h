@@ -1,0 +1,67 @@
+// Live metrics export endpoint: a minimal blocking HTTP/1.0 server that
+// answers every request with the current registry snapshot rendered as
+// OpenMetrics text (obs/openmetrics.h).
+//
+// All five tools (and wmesh_bench) expose it behind `--listen=<addr>`, so a
+// long analyze run can be scraped mid-flight by Prometheus, curl, or the
+// wmesh_top dashboard:
+//
+//   wmesh_analyze --in=big.wsnap --all --listen=127.0.0.1:9137 &
+//   wmesh_top 127.0.0.1:9137
+//
+// Address forms:
+//   "unix:<path>"   -- unix domain socket (path unlinked on bind and stop)
+//   "<host>:<port>" -- localhost TCP; host defaults to 127.0.0.1 when
+//                      empty (":0" binds an ephemeral port, reported by
+//                      bound_address())
+//
+// The server is deliberately localhost-only: it binds 127.0.0.1 (or a unix
+// socket), never a routable interface.  One accept thread handles requests
+// serially -- a scrape is a registry snapshot plus a few kB of rendering,
+// and monitoring clients poll at human rates.  Snapshots use
+// SnapshotFlush::kActiveBatches, so counters buffered in running shards are
+// visible to a mid-flight scrape.  The serving thread creates no spans
+// (span ids stay deterministic for the analysis work itself); it counts
+// scrapes in `export.scrapes`.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace wmesh::obs {
+
+class ExportServer {
+ public:
+  // Binds `address` and starts the accept thread.  Returns nullptr with
+  // *error set when the address cannot be parsed or bound.
+  static std::unique_ptr<ExportServer> start(const std::string& address,
+                                             std::string* error);
+
+  ~ExportServer();  // stops and joins
+
+  ExportServer(const ExportServer&) = delete;
+  ExportServer& operator=(const ExportServer&) = delete;
+
+  // The concrete bound address, e.g. "127.0.0.1:40913" after binding ":0",
+  // or "unix:/tmp/x.sock".  Suitable for scrape_openmetrics_once.
+  const std::string& bound_address() const noexcept { return bound_; }
+
+  // Stops accepting and joins the thread; idempotent.
+  void stop() noexcept;
+
+ private:
+  ExportServer() = default;
+  void serve_loop() noexcept;
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::string bound_;
+};
+
+// One-shot scrape client (wmesh_top, tests): connects to `address` (same
+// forms as ExportServer), issues `GET /metrics`, and returns the response
+// body.  False with *error set on connect/read failure.
+bool scrape_openmetrics_once(const std::string& address, std::string* body,
+                             std::string* error);
+
+}  // namespace wmesh::obs

@@ -1,0 +1,374 @@
+#include "obs/flight.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/log.h"
+
+namespace wmesh::obs::flight {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point flight_epoch() {
+  static const Clock::time_point t0 = Clock::now();
+  return t0;
+}
+
+std::uint64_t now_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            flight_epoch())
+          .count());
+}
+
+// Every field is a relaxed atomic: the owning thread writes without locks
+// and any reader (drain, the signal handler) loads without tearing UB.  A
+// slot mid-overwrite during a concurrent dump decodes as one inconsistent
+// event -- acceptable for a post-mortem aid, and race-free for TSan.
+struct Slot {
+  std::atomic<std::uint64_t> ts{0};
+  std::atomic<std::uint64_t> a{0};
+  std::atomic<std::uint64_t> b{0};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::uint8_t> kind{0};
+};
+
+struct Ring {
+  std::uint32_t tid = 0;
+  std::atomic<std::uint64_t> head{0};  // events ever written to this ring
+  Slot slots[kDepth];
+};
+
+// Lock-free ring directory so the signal handler can walk it: slots are
+// claimed with fetch_add and published with a release store; readers load
+// each entry with acquire and skip nulls (claimed but not yet published).
+std::atomic<Ring*> g_rings[kMaxRings] = {};
+std::atomic<std::uint32_t> g_ring_count{0};
+std::atomic<std::uint32_t> g_next_tid{1};
+
+thread_local Ring* t_ring = nullptr;
+// Threads beyond kMaxRings record nowhere; remember the refusal per thread
+// so the hot path stays one branch.
+thread_local bool t_ring_refused = false;
+
+// Armed state: the output path is captured into a fixed buffer at
+// reinit time so the signal handler never calls getenv or allocates.
+char g_out_path[1024] = {0};
+std::atomic<bool> g_handlers_installed{false};
+
+Ring* ring_for_thread() noexcept {
+  if (t_ring != nullptr) return t_ring;
+  if (t_ring_refused) return nullptr;
+  const std::uint32_t idx = g_ring_count.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  if (idx >= kMaxRings) {
+    t_ring_refused = true;
+    return nullptr;
+  }
+  auto* ring = new (std::nothrow) Ring();  // leaked: dumps outlive threads
+  if (ring == nullptr) {
+    t_ring_refused = true;
+    return nullptr;
+  }
+  ring->tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  g_rings[idx].store(ring, std::memory_order_release);
+  t_ring = ring;
+  return ring;
+}
+
+// --- async-signal-safe formatting helpers --------------------------------
+
+std::size_t fmt_u64(char* buf, std::uint64_t v) noexcept {
+  char tmp[24];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = tmp[n - 1 - i];
+  return n;
+}
+
+std::size_t fmt_hex(char* buf, std::uint64_t v) noexcept {
+  buf[0] = '0';
+  buf[1] = 'x';
+  char tmp[16];
+  std::size_t n = 0;
+  do {
+    const unsigned d = static_cast<unsigned>(v & 0xf);
+    tmp[n++] = static_cast<char>(d < 10 ? '0' + d : 'a' + (d - 10));
+    v >>= 4;
+  } while (v != 0);
+  for (std::size_t i = 0; i < n; ++i) buf[2 + i] = tmp[n - 1 - i];
+  return 2 + n;
+}
+
+// Small buffered writer over write(2); fixed stack storage only.
+struct FdWriter {
+  int fd;
+  char buf[4096];
+  std::size_t len = 0;
+
+  explicit FdWriter(int f) noexcept : fd(f) {}
+  void flush() noexcept {
+    std::size_t off = 0;
+    while (off < len) {
+      const ssize_t w = ::write(fd, buf + off, len - off);
+      if (w <= 0) break;  // best effort: a full disk must not loop forever
+      off += static_cast<std::size_t>(w);
+    }
+    len = 0;
+  }
+  void raw(const char* s, std::size_t n) noexcept {
+    if (n >= sizeof(buf)) n = sizeof(buf) - 1;  // names are short in practice
+    if (len + n > sizeof(buf)) flush();
+    std::memcpy(buf + len, s, n);
+    len += n;
+  }
+  void str(const char* s) noexcept { raw(s, std::strlen(s)); }
+  void u64(std::uint64_t v) noexcept {
+    char tmp[24];
+    raw(tmp, fmt_u64(tmp, v));
+  }
+  void hex(std::uint64_t v) noexcept {
+    char tmp[20];
+    raw(tmp, fmt_hex(tmp, v));
+  }
+};
+
+struct DecodedSlot {
+  std::uint64_t ts, a, b;
+  const char* name;
+  std::uint8_t kind;
+};
+
+DecodedSlot load_slot(const Slot& s) noexcept {
+  return {s.ts.load(std::memory_order_relaxed),
+          s.a.load(std::memory_order_relaxed),
+          s.b.load(std::memory_order_relaxed),
+          s.name.load(std::memory_order_relaxed),
+          s.kind.load(std::memory_order_relaxed)};
+}
+
+void write_event(FdWriter& w, std::uint32_t tid, const DecodedSlot& d)
+    noexcept {
+  w.str("ts_us=");
+  w.u64(d.ts);
+  w.str(" tid=");
+  w.u64(tid);
+  w.str(" kind=");
+  w.str(to_string(static_cast<EventKind>(d.kind)));
+  w.str(" name=");
+  w.str(d.name != nullptr ? d.name : "?");
+  w.str(" a=");
+  w.hex(d.a);
+  w.str(" b=");
+  w.hex(d.b);
+  w.str("\n");
+}
+
+// Per-ring cursor for the k-way timestamp merge.  No allocation: bounded by
+// kMaxRings, lives on the dumping frame's stack.
+struct Cursor {
+  const Ring* ring;
+  std::uint64_t next;  // logical index of the next unread event
+  std::uint64_t end;   // head snapshot
+};
+
+void fatal_signal_handler(int sig) {
+  if (g_out_path[0] != '\0') {
+    const int fd = ::open(g_out_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      dump_fd(fd);
+      ::close(fd);
+    }
+  }
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+void install_signal_handlers() noexcept {
+  bool expected = false;
+  if (!g_handlers_installed.compare_exchange_strong(expected, true)) return;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = fatal_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  // SA_NODEFER unset: a second fault inside the handler falls through to
+  // the re-raised default disposition instead of recursing.
+  for (const int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE}) {
+    ::sigaction(sig, &sa, nullptr);
+  }
+}
+
+}  // namespace
+
+std::atomic<bool> g_flight_enabled{false};
+
+const char* to_string(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kSpanBegin: return "span_begin";
+    case EventKind::kSpanEnd: return "span_end";
+    case EventKind::kLog: return "log";
+    case EventKind::kCounter: return "counter";
+    case EventKind::kNone: break;
+  }
+  return "none";
+}
+
+void record(EventKind kind, const char* name, std::uint64_t a,
+            std::uint64_t b) noexcept {
+  Ring* ring = ring_for_thread();
+  if (ring == nullptr) return;
+  const std::uint64_t idx =
+      ring->head.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = ring->slots[idx % kDepth];
+  s.ts.store(now_us(), std::memory_order_relaxed);
+  s.a.store(a, std::memory_order_relaxed);
+  s.b.store(b, std::memory_order_relaxed);
+  s.name.store(name, std::memory_order_relaxed);
+  s.kind.store(static_cast<std::uint8_t>(kind), std::memory_order_relaxed);
+}
+
+std::size_t dump_fd(int fd) noexcept {
+  Cursor cursors[kMaxRings];
+  std::size_t ring_count = 0;
+  std::uint64_t dropped = 0;
+  const std::uint32_t n = g_ring_count.load(std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < n && i < kMaxRings; ++i) {
+    const Ring* ring = g_rings[i].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+    const std::uint64_t begin = head > kDepth ? head - kDepth : 0;
+    dropped += begin;
+    cursors[ring_count++] = {ring, begin, head};
+  }
+
+  FdWriter w(fd);
+  w.str("# wmesh.flight/1 rings=");
+  w.u64(ring_count);
+  w.str(" depth=");
+  w.u64(kDepth);
+  w.str("\n");
+
+  std::size_t events = 0;
+  for (;;) {
+    // Select the cursor with the smallest next timestamp; rings are
+    // individually time-ordered, so this is a k-way merge.
+    std::size_t best = ring_count;
+    std::uint64_t best_ts = 0;
+    DecodedSlot best_slot{};
+    for (std::size_t i = 0; i < ring_count; ++i) {
+      if (cursors[i].next >= cursors[i].end) continue;
+      const DecodedSlot d =
+          load_slot(cursors[i].ring->slots[cursors[i].next % kDepth]);
+      if (best == ring_count || d.ts < best_ts) {
+        best = i;
+        best_ts = d.ts;
+        best_slot = d;
+      }
+    }
+    if (best == ring_count) break;
+    ++cursors[best].next;
+    write_event(w, cursors[best].ring->tid, best_slot);
+    ++events;
+  }
+
+  w.str("# EOF events=");
+  w.u64(events);
+  w.str(" dropped=");
+  w.u64(dropped);
+  w.str("\n");
+  w.flush();
+  return events;
+}
+
+std::vector<Event> drain(std::uint64_t* dropped_out) {
+  std::vector<Event> out;
+  std::uint64_t dropped = 0;
+  struct Snap {
+    const Ring* ring;
+    std::uint64_t next, end;
+  };
+  std::vector<Snap> snaps;
+  const std::uint32_t n = g_ring_count.load(std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < n && i < kMaxRings; ++i) {
+    const Ring* ring = g_rings[i].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+    const std::uint64_t begin = head > kDepth ? head - kDepth : 0;
+    dropped += begin;
+    snaps.push_back({ring, begin, head});
+  }
+  for (;;) {
+    Snap* best = nullptr;
+    DecodedSlot best_slot{};
+    for (auto& s : snaps) {
+      if (s.next >= s.end) continue;
+      const DecodedSlot d = load_slot(s.ring->slots[s.next % kDepth]);
+      if (best == nullptr || d.ts < best_slot.ts) {
+        best = &s;
+        best_slot = d;
+      }
+    }
+    if (best == nullptr) break;
+    ++best->next;
+    out.push_back({best_slot.ts, best->ring->tid,
+                   static_cast<EventKind>(best_slot.kind), best_slot.name,
+                   best_slot.a, best_slot.b});
+  }
+  if (dropped_out != nullptr) *dropped_out = dropped;
+  return out;
+}
+
+bool dump(const std::string& path) {
+  if (path.empty()) return dump_to_env_path();
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    WMESH_LOG_ERROR("obs.flight", kv("error", "cannot open flight output"),
+                    kv("path", path));
+    return false;
+  }
+  const std::size_t events = dump_fd(fd);
+  ::close(fd);
+  WMESH_LOG_INFO("obs.flight", kv("path", path), kv("events", events));
+  return true;
+}
+
+bool dump_to_env_path() {
+  if (g_out_path[0] == '\0') return false;
+  return dump(g_out_path);
+}
+
+void reinit_from_env() {
+  const char* p = std::getenv("WMESH_FLIGHT_OUT");
+  if (p != nullptr && p[0] != '\0') {
+    std::strncpy(g_out_path, p, sizeof(g_out_path) - 1);
+    g_out_path[sizeof(g_out_path) - 1] = '\0';
+    install_signal_handlers();
+    g_flight_enabled.store(true, std::memory_order_relaxed);
+  } else {
+    g_out_path[0] = '\0';
+    g_flight_enabled.store(false, std::memory_order_relaxed);
+  }
+  // Reset every ring so tests (and re-armed runs) start from a clean
+  // window; events recorded concurrently are simply part of the new window.
+  const std::uint32_t n = g_ring_count.load(std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < n && i < kMaxRings; ++i) {
+    Ring* ring = g_rings[i].load(std::memory_order_acquire);
+    if (ring != nullptr) ring->head.store(0, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+// Arm from the environment at startup so tools need no explicit call.
+[[maybe_unused]] const bool g_flight_init = (reinit_from_env(), true);
+}  // namespace
+
+}  // namespace wmesh::obs::flight

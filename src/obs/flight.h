@@ -1,0 +1,98 @@
+// Crash-safe flight recorder: a fixed-size lock-free per-thread ring buffer
+// of the last N observability events (span begin/end, log lines, counter
+// flushes) with monotonic timestamps.
+//
+// Recording is armed by setting WMESH_FLIGHT_OUT=<path>.  Each thread owns
+// one ring (created on first event, leaked so dumps survive thread exit);
+// every slot field is a relaxed atomic, so writers never lock and a reader
+// -- including the fatal-signal handler -- can walk the rings from any
+// thread at any time.  A concurrent dump is best-effort (a slot being
+// overwritten mid-read yields one garbled event, never a crash or a lock).
+//
+// On SIGSEGV / SIGABRT / SIGBUS / SIGFPE (installed when WMESH_FLIGHT_OUT
+// is armed), an async-signal-safe writer k-way-merges the rings by
+// timestamp and emits them to the configured path using only write(2) and
+// stack formatting, then re-raises the signal with the default handler --
+// so crashes and hangs become diagnosable post-mortem.  The same dump is
+// available on demand via dump_flight() / Registry::dump_flight().
+//
+// Dump format (text, one event per line, schema wmesh.flight/1):
+//
+//   # wmesh.flight/1 rings=3 depth=2048
+//   ts_us=1234 tid=2 kind=span_begin name=etx.dijkstra a=0x9f3c b=0x11
+//   ...
+//   # EOF events=412 dropped=0
+//
+// `a`/`b` are kind-specific: span_begin (span id, parent id), span_end
+// (span id, duration us), log (level, 0), counter (delta, 0).
+//
+// Event names must outlive the process (span names and registry counter
+// names do; log components are literals at every call site).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wmesh::obs::flight {
+
+enum class EventKind : std::uint8_t {
+  kNone = 0,
+  kSpanBegin = 1,
+  kSpanEnd = 2,
+  kLog = 3,
+  kCounter = 4,
+};
+
+const char* to_string(EventKind k) noexcept;
+
+// Events per thread ring; the recorder keeps the last kDepth events.
+inline constexpr std::size_t kDepth = 2048;
+// Rings (threads) the recorder can register before dropping new threads.
+inline constexpr std::size_t kMaxRings = 256;
+
+// Hot-path gate, mirrored into an atomic so instrumentation costs one
+// relaxed load when the recorder is disarmed.
+extern std::atomic<bool> g_flight_enabled;
+inline bool enabled() noexcept {
+  return g_flight_enabled.load(std::memory_order_relaxed);
+}
+
+// Appends one event to the calling thread's ring.  Lock-free; callers
+// should gate on enabled() first.  `name` must outlive the process.
+void record(EventKind kind, const char* name, std::uint64_t a,
+            std::uint64_t b) noexcept;
+
+// One decoded event, merged across rings in timestamp order.
+struct Event {
+  std::uint64_t ts_us = 0;
+  std::uint32_t tid = 0;
+  EventKind kind = EventKind::kNone;
+  const char* name = nullptr;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+// Drains a merged snapshot of every ring (oldest surviving event first).
+// Returns the total number of events ever recorded minus those overwritten
+// ("dropped") via *dropped when non-null.  Not signal-safe (allocates).
+std::vector<Event> drain(std::uint64_t* dropped = nullptr);
+
+// Async-signal-safe core: merges the rings into `fd` in wmesh.flight/1
+// format.  Returns the number of events written.
+std::size_t dump_fd(int fd) noexcept;
+
+// Dumps to `path` (truncating).  Returns false when the file cannot be
+// opened or WMESH_FLIGHT_OUT is unset and `path` is empty.
+bool dump(const std::string& path);
+
+// Dumps to the WMESH_FLIGHT_OUT path.  False when disarmed or unwritable.
+bool dump_to_env_path();
+
+// Re-reads WMESH_FLIGHT_OUT: arms/disarms recording, clears every ring and
+// (first time armed) installs the fatal-signal handlers.
+void reinit_from_env();
+
+}  // namespace wmesh::obs::flight

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "obs/flight.h"
 #include "util/text_table.h"
 
 namespace wmesh::obs {
@@ -142,6 +143,12 @@ void set_log_level(LogLevel level) noexcept {
 
 void log(LogLevel level, std::string_view component,
          std::initializer_list<LogField> fields) {
+  if (flight::enabled()) {
+    // Components are string literals at every call site, so the pointer is
+    // stable for the flight ring; the ring carries no field payload.
+    flight::record(flight::EventKind::kLog, component.data(),
+                   static_cast<std::uint64_t>(level), 0);
+  }
   const double ts_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - process_start())
           .count();

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "obs/flight.h"
+#include "util/csv.h"
 #include "util/text_table.h"
 
 namespace wmesh::obs {
@@ -52,9 +55,16 @@ void CounterBatch::flush() noexcept {
   // its elements; holding mu_ pins the entry count against a concurrent
   // append by the owning thread.
   std::lock_guard<std::mutex> lock(mu_);
+  const bool flight = flight::enabled();
   for (Entry& e : pending_) {
     const std::uint64_t n = e.pending.exchange(0, std::memory_order_relaxed);
-    if (n != 0) e.counter->value_.fetch_add(n, std::memory_order_relaxed);
+    if (n != 0) {
+      e.counter->value_.fetch_add(n, std::memory_order_relaxed);
+      if (flight && e.counter->bound_name() != nullptr) {
+        flight::record(flight::EventKind::kCounter, e.counter->bound_name(),
+                       n, 0);
+      }
+    }
   }
 }
 
@@ -136,10 +146,49 @@ void atomic_max(std::atomic<double>& a, double v) noexcept {
 
 }  // namespace
 
-void SpanAggregate::record(double us) noexcept {
+void SpanAggregate::record(double us, double self_us,
+                           const char* parent_name) noexcept {
   hist_.record(us);
   atomic_min(min_, us);
   atomic_max(max_, us);
+  self_total_.fetch_add(self_us, std::memory_order_relaxed);
+  record_parent(parent_name != nullptr ? parent_name : "(root)");
+}
+
+void SpanAggregate::record_parent(const char* name) noexcept {
+  for (std::size_t i = 0; i < kMaxParents; ++i) {
+    const char* key = parents_[i].key.load(std::memory_order_acquire);
+    if (key == nullptr) {
+      // Claim the empty slot; a lost race leaves `key` pointing at the
+      // winner's name, which may still be ours by content.
+      if (parents_[i].key.compare_exchange_strong(key, name,
+                                                  std::memory_order_acq_rel)) {
+        parents_[i].count.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    if (key == name || std::strcmp(key, name) == 0) {
+      parents_[i].count.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  parent_other_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+SpanAggregate::parent_counts() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (std::size_t i = 0; i < kMaxParents; ++i) {
+    const char* key = parents_[i].key.load(std::memory_order_acquire);
+    if (key == nullptr) continue;
+    const std::uint64_t n = parents_[i].count.load(std::memory_order_relaxed);
+    if (n != 0) out.emplace_back(key, n);
+  }
+  const std::uint64_t other =
+      parent_other_.load(std::memory_order_relaxed);
+  if (other != 0) out.emplace_back("(other)", other);
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 double SpanAggregate::min() const noexcept {
@@ -156,6 +205,12 @@ void SpanAggregate::reset() noexcept {
   // The wrapped histogram is reset by the registry (it owns it).
   min_.store(kUnset, std::memory_order_relaxed);
   max_.store(-kUnset, std::memory_order_relaxed);
+  self_total_.store(0.0, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kMaxParents; ++i) {
+    parents_[i].key.store(nullptr, std::memory_order_relaxed);
+    parents_[i].count.store(0, std::memory_order_relaxed);
+  }
+  parent_other_.store(0, std::memory_order_relaxed);
 }
 
 std::vector<double> span_time_bounds_us() {
@@ -174,6 +229,8 @@ Counter& Registry::counter(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.try_emplace(std::string(name)).first;
+    // Map keys never move; the bound name feeds flight-recorder events.
+    it->second.bind_name(it->first.c_str());
   }
   return it->second;
 }
@@ -226,16 +283,34 @@ Snapshot Registry::snapshot(SnapshotFlush flush) const {
     s.gauges.push_back({name, g.value()});
   }
   for (const auto& [name, h] : histograms_) {
-    s.histograms.push_back({name, h.count(), h.sum(), h.quantile(0.50),
-                            h.quantile(0.90), h.quantile(0.99)});
+    Snapshot::HistogramRow row{name,
+                               h.count(),
+                               h.sum(),
+                               h.quantile(0.50),
+                               h.quantile(0.90),
+                               h.quantile(0.99),
+                               h.bounds(),
+                               {}};
+    row.cumulative.reserve(row.bounds.size());
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < row.bounds.size(); ++i) {
+      cum += h.bucket(i);
+      // Clamp: a record() racing this snapshot can land in a bucket after
+      // count() was read; the exposition must stay cumulative-consistent.
+      row.cumulative.push_back(std::min(cum, row.count));
+    }
+    s.histograms.push_back(std::move(row));
   }
   for (const auto& [name, a] : spans_) {
     const Histogram& h = a.histogram();
-    s.spans.push_back({name, a.count(), a.total(), a.min(), a.max(),
-                       h.quantile(0.50), h.quantile(0.90), h.quantile(0.99)});
+    s.spans.push_back({name, a.count(), a.total(), a.self_total(), a.min(),
+                       a.max(), h.quantile(0.50), h.quantile(0.90),
+                       h.quantile(0.99), a.parent_counts()});
   }
   return s;  // std::map iteration is already name-sorted
 }
+
+bool Registry::dump_flight() { return flight::dump_to_env_path(); }
 
 void Registry::reset_for_test() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -268,12 +343,12 @@ std::string Snapshot::render_table() const {
   }
   if (!spans.empty()) {
     TextTable t;
-    t.header({"span (us)", "count", "total", "min", "max", "p50", "p90",
-              "p99"});
+    t.header({"span (us)", "count", "total", "self", "min", "max", "p50",
+              "p90", "p99"});
     for (const auto& sp : spans) {
       t.add_row({sp.name, std::to_string(sp.count), fmt(sp.total_us, 1),
-                 fmt(sp.min_us, 1), fmt(sp.max_us, 1), fmt(sp.p50_us, 1),
-                 fmt(sp.p90_us, 1), fmt(sp.p99_us, 1)});
+                 fmt(sp.self_us, 1), fmt(sp.min_us, 1), fmt(sp.max_us, 1),
+                 fmt(sp.p50_us, 1), fmt(sp.p90_us, 1), fmt(sp.p99_us, 1)});
     }
     if (!out.empty()) out += '\n';
     out += t.render();
@@ -282,23 +357,33 @@ std::string Snapshot::render_table() const {
 }
 
 std::string Snapshot::to_csv() const {
-  std::string out = "kind,name,value,count,sum,p50,p90,p99,min,max\n";
+  std::string out = "kind,name,value,count,sum,p50,p90,p99,min,max,self,parents\n";
   for (const auto& c : counters) {
-    out += "counter," + c.name + ',' + std::to_string(c.value) + ",,,,,,,\n";
+    out += "counter," + csv_escape_field(c.name) + ',' +
+           std::to_string(c.value) + ",,,,,,,,,\n";
   }
   for (const auto& g : gauges) {
-    out += "gauge," + g.name + ',' + fmt(g.value, 6) + ",,,,,,,\n";
+    out += "gauge," + csv_escape_field(g.name) + ',' + fmt(g.value, 6) +
+           ",,,,,,,,,\n";
   }
   for (const auto& h : histograms) {
-    out += "histogram," + h.name + ",," + std::to_string(h.count) + ',' +
-           fmt(h.sum, 3) + ',' + fmt(h.p50, 3) + ',' + fmt(h.p90, 3) + ',' +
-           fmt(h.p99, 3) + ",,\n";
+    out += "histogram," + csv_escape_field(h.name) + ",," +
+           std::to_string(h.count) + ',' + fmt(h.sum, 3) + ',' +
+           fmt(h.p50, 3) + ',' + fmt(h.p90, 3) + ',' + fmt(h.p99, 3) +
+           ",,,,\n";
   }
   for (const auto& sp : spans) {
-    out += "span," + sp.name + ",," + std::to_string(sp.count) + ',' +
-           fmt(sp.total_us, 3) + ',' + fmt(sp.p50_us, 3) + ',' +
-           fmt(sp.p90_us, 3) + ',' + fmt(sp.p99_us, 3) + ',' +
-           fmt(sp.min_us, 3) + ',' + fmt(sp.max_us, 3) + '\n';
+    std::string parents;
+    for (const auto& [pname, pcount] : sp.parents) {
+      if (!parents.empty()) parents += ';';
+      parents += pname + ':' + std::to_string(pcount);
+    }
+    out += "span," + csv_escape_field(sp.name) + ",," +
+           std::to_string(sp.count) + ',' + fmt(sp.total_us, 3) + ',' +
+           fmt(sp.p50_us, 3) + ',' + fmt(sp.p90_us, 3) + ',' +
+           fmt(sp.p99_us, 3) + ',' + fmt(sp.min_us, 3) + ',' +
+           fmt(sp.max_us, 3) + ',' + fmt(sp.self_us, 3) + ',' +
+           csv_escape_field(parents) + '\n';
   }
   return out;
 }
@@ -349,11 +434,18 @@ std::string Snapshot::to_json() const {
     out += (i ? ",\n    \"" : "\n    \"") + sp.name + "\": {\"count\": " +
            std::to_string(sp.count) +
            ", \"total_us\": " + json_number(sp.total_us) +
+           ", \"self_us\": " + json_number(sp.self_us) +
            ", \"min_us\": " + json_number(sp.min_us) +
            ", \"max_us\": " + json_number(sp.max_us) +
            ", \"p50_us\": " + json_number(sp.p50_us) +
            ", \"p90_us\": " + json_number(sp.p90_us) +
-           ", \"p99_us\": " + json_number(sp.p99_us) + "}";
+           ", \"p99_us\": " + json_number(sp.p99_us) + ", \"parents\": {";
+    for (std::size_t j = 0; j < sp.parents.size(); ++j) {
+      if (j != 0) out += ", ";
+      out += '"' + sp.parents[j].first +
+             "\": " + std::to_string(sp.parents[j].second);
+    }
+    out += "}}";
   }
   out += spans.empty() ? "}\n" : "\n  }\n";
   out += "}\n";

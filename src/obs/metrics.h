@@ -21,7 +21,10 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include "obs/flight.h"
 
 namespace wmesh::obs {
 
@@ -81,7 +84,9 @@ class CounterBatch {
 };
 
 // Monotonic event count.  Thread-safe; increments are relaxed atomics,
-// routed through the thread's CounterBatch when one is active.
+// routed through the thread's CounterBatch when one is active.  Registry-
+// owned counters know their name (bind_name) so the flight recorder can
+// attribute direct increments and batch flushes.
 class Counter {
  public:
   void add(std::uint64_t n = 1) noexcept {
@@ -90,15 +95,23 @@ class Counter {
       return;
     }
     value_.fetch_add(n, std::memory_order_relaxed);
+    if (flight::enabled() && name_ != nullptr) {
+      flight::record(flight::EventKind::kCounter, name_, n, 0);
+    }
   }
   std::uint64_t value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
   void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
 
+  // Registry internal: points at the registry's stable map-key c_str().
+  void bind_name(const char* name) noexcept { name_ = name; }
+  const char* bound_name() const noexcept { return name_; }
+
  private:
   friend class CounterBatch;  // flush adds pending deltas directly
   std::atomic<std::uint64_t> value_{0};
+  const char* name_ = nullptr;
 };
 
 // Last-write-wins instantaneous value.
@@ -144,33 +157,61 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
-// Per-span-name aggregate: exact count/total plus true min/max on top of
-// the fixed-bucket latency histogram (which supplies p50/p90/p99).  Every
-// WMESH_SPAN records here; the histogram member is also registered under
-// "span.<name>" so the classic histogram renderings keep working.
-// Thread-safe: count/total/min/max are relaxed atomics (min/max via CAS
-// loops), so spans closing concurrently on wmesh::par workers never lock.
-// Counts are exact and -- because shard boundaries depend only on the work
-// size -- deterministic across thread counts; durations of course are not.
+// Per-span-name aggregate: exact count/total plus true min/max and self-
+// time (duration exclusive of direct children) on top of the fixed-bucket
+// latency histogram (which supplies p50/p90/p99).  Every WMESH_SPAN records
+// here; the histogram member is also registered under "span.<name>" so the
+// classic histogram renderings keep working.  The aggregate also counts
+// which span names parented this one (a small lock-free slot array), so
+// snapshots carry the causal structure, not just the flat timings.
+// Thread-safe: everything is relaxed atomics (min/max via CAS loops, parent
+// slots via CAS-claimed keys), so spans closing concurrently on wmesh::par
+// workers never lock.  Counts are exact and -- because shard boundaries and
+// span ids depend only on the work size -- deterministic across thread
+// counts; durations of course are not.
 class SpanAggregate {
  public:
+  // Distinct parent names tracked per span; the surplus lands in "(other)".
+  static constexpr std::size_t kMaxParents = 8;
+
   explicit SpanAggregate(Histogram& hist) noexcept : hist_(hist) {}
 
-  void record(double us) noexcept;
+  // `parent_name` is the name of the enclosing span, or nullptr for a
+  // root; it must outlive the aggregate (span names are literals).
+  void record(double us, double self_us, const char* parent_name) noexcept;
+  // Leaf convenience (tests, ad-hoc timings): self == total, root parent.
+  void record(double us) noexcept { record(us, us, nullptr); }
 
   std::uint64_t count() const noexcept { return hist_.count(); }
   double total() const noexcept { return hist_.sum(); }
+  double self_total() const noexcept {
+    return self_total_.load(std::memory_order_relaxed);
+  }
   // 0 when empty, so an unused span renders as zeros rather than +/-inf.
   double min() const noexcept;
   double max() const noexcept;
   const Histogram& histogram() const noexcept { return hist_; }
 
+  // Name-sorted (parent name, spans recorded under it) pairs; roots appear
+  // as "(root)", overflow past the slot capacity as "(other)".
+  std::vector<std::pair<std::string, std::uint64_t>> parent_counts() const;
+
   void reset() noexcept;
 
  private:
+  void record_parent(const char* name) noexcept;
+
+  struct ParentSlot {
+    std::atomic<const char*> key{nullptr};
+    std::atomic<std::uint64_t> count{0};
+  };
+
   Histogram& hist_;  // the registry-owned "span.<name>" histogram
   std::atomic<double> min_{kUnset};
   std::atomic<double> max_{-kUnset};
+  std::atomic<double> self_total_{0.0};
+  ParentSlot parents_[kMaxParents];
+  std::atomic<std::uint64_t> parent_other_{0};
   static constexpr double kUnset = 1e300;
 };
 
@@ -195,16 +236,24 @@ struct Snapshot {
     double p50;
     double p90;
     double p99;
+    // Bucket detail for the OpenMetrics exposition: ascending inclusive
+    // upper bounds and *cumulative* counts per bound (the implicit +Inf
+    // bucket is `count`).  Not rendered by table/CSV/JSON.
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> cumulative;
   };
   struct SpanRow {
     std::string name;  // bare span name ("etx.dijkstra", "par.shard")
     std::uint64_t count;
     double total_us;
+    double self_us;  // exclusive of direct children (clamped at 0)
     double min_us;
     double max_us;
     double p50_us;
     double p90_us;
     double p99_us;
+    // Parent-name attribution, e.g. {("etx.gains", 64), ("(root)", 1)}.
+    std::vector<std::pair<std::string, std::uint64_t>> parents;
   };
 
   std::vector<CounterRow> counters;
@@ -219,8 +268,11 @@ struct Snapshot {
 
   // Human-readable rendition via util::text_table.
   std::string render_table() const;
-  // Long-form CSV: kind,name,value,count,sum,p50,p90,p99,min,max (one
-  // header row; span rows fill min/max, the other kinds leave them empty).
+  // Long-form CSV: kind,name,value,count,sum,p50,p90,p99,min,max,self,
+  // parents (one header row; span rows fill min/max/self/parents, the
+  // other kinds leave them empty).  Name and parents fields are RFC-4180
+  // quoted when they contain commas, quotes or newlines, so the document
+  // round-trips through util::parse_csv_text.
   std::string to_csv() const;
   // {"counters": {...}, "gauges": {...}, "histograms": {...},
   //  "spans": {...}} with name-sorted stable key order.
@@ -252,6 +304,10 @@ class Registry {
   Snapshot snapshot(SnapshotFlush flush = SnapshotFlush::kNone) const;
   // Zeroes every registered metric (registrations remain).
   void reset_for_test();
+
+  // Emits the flight recorder's merged ring to WMESH_FLIGHT_OUT (see
+  // obs/flight.h).  False when the recorder is disarmed or unwritable.
+  bool dump_flight();
 
  private:
   Registry() = default;

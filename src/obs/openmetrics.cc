@@ -1,0 +1,385 @@
+#include "obs/openmetrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace wmesh::obs {
+namespace {
+
+// Family names: wmesh_ prefix, dots (and any other non-metric character)
+// become underscores.
+std::string family_name(std::string_view raw) {
+  std::string out = "wmesh_";
+  for (char c : raw) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+// Shortest round-trip-ish rendering; exposition values are doubles.
+std::string fmt_value(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer a shorter form when it parses back exactly.
+  char shorter[64];
+  std::snprintf(shorter, sizeof(shorter), "%g", v);
+  if (std::strtod(shorter, nullptr) == v) return shorter;
+  return buf;
+}
+
+void append_label_value(std::string& out, std::string_view v) {
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+}
+
+void append_span_gauge(std::string& out, const char* family,
+                       const std::vector<Snapshot::SpanRow>& spans,
+                       double Snapshot::SpanRow::* field) {
+  out += "# TYPE ";
+  out += family;
+  out += " gauge\n";
+  for (const auto& sp : spans) {
+    out += family;
+    out += "{span=\"";
+    append_label_value(out, sp.name);
+    out += "\"} ";
+    out += fmt_value(sp.*field);
+    out += '\n';
+  }
+}
+
+}  // namespace
+
+std::string render_openmetrics(const Snapshot& s) {
+  std::string out;
+  for (const auto& c : s.counters) {
+    const std::string f = family_name(c.name);
+    out += "# TYPE " + f + " counter\n";
+    out += f + "_total " + std::to_string(c.value) + '\n';
+  }
+  for (const auto& g : s.gauges) {
+    const std::string f = family_name(g.name);
+    out += "# TYPE " + f + " gauge\n";
+    out += f + ' ' + fmt_value(g.value) + '\n';
+  }
+  for (const auto& h : s.histograms) {
+    const std::string f = family_name(h.name);
+    out += "# TYPE " + f + " histogram\n";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      out += f + "_bucket{le=\"" + fmt_value(h.bounds[i]) + "\"} " +
+             std::to_string(h.cumulative[i]) + '\n';
+    }
+    out += f + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + '\n';
+    out += f + "_sum " + fmt_value(h.sum) + '\n';
+    out += f + "_count " + std::to_string(h.count) + '\n';
+  }
+  if (!s.spans.empty()) {
+    // Shared span families, labeled by span name: exact counts and totals
+    // as counters, the distribution summaries as gauges, and the causal
+    // parent edges as a two-label counter family.
+    out += "# TYPE wmesh_span_count counter\n";
+    for (const auto& sp : s.spans) {
+      out += "wmesh_span_count_total{span=\"";
+      append_label_value(out, sp.name);
+      out += "\"} " + std::to_string(sp.count) + '\n';
+    }
+    out += "# TYPE wmesh_span_us counter\n";
+    for (const auto& sp : s.spans) {
+      out += "wmesh_span_us_total{span=\"";
+      append_label_value(out, sp.name);
+      out += "\"} " + fmt_value(sp.total_us) + '\n';
+    }
+    out += "# TYPE wmesh_span_self_us counter\n";
+    for (const auto& sp : s.spans) {
+      out += "wmesh_span_self_us_total{span=\"";
+      append_label_value(out, sp.name);
+      out += "\"} " + fmt_value(sp.self_us) + '\n';
+    }
+    out += "# TYPE wmesh_span_parent counter\n";
+    for (const auto& sp : s.spans) {
+      for (const auto& [pname, pcount] : sp.parents) {
+        out += "wmesh_span_parent_total{span=\"";
+        append_label_value(out, sp.name);
+        out += "\",parent=\"";
+        append_label_value(out, pname);
+        out += "\"} " + std::to_string(pcount) + '\n';
+      }
+    }
+    append_span_gauge(out, "wmesh_span_min_us", s.spans,
+                      &Snapshot::SpanRow::min_us);
+    append_span_gauge(out, "wmesh_span_max_us", s.spans,
+                      &Snapshot::SpanRow::max_us);
+    append_span_gauge(out, "wmesh_span_p50_us", s.spans,
+                      &Snapshot::SpanRow::p50_us);
+    append_span_gauge(out, "wmesh_span_p90_us", s.spans,
+                      &Snapshot::SpanRow::p90_us);
+    append_span_gauge(out, "wmesh_span_p99_us", s.spans,
+                      &Snapshot::SpanRow::p99_us);
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+std::string OmSample::label(std::string_view key) const {
+  for (const auto& [k, v] : labels) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+const OmSample* OmDocument::find(
+    std::string_view name,
+    const std::vector<std::pair<std::string, std::string>>& want) const {
+  for (const OmSample& s : samples) {
+    if (s.name != name) continue;
+    bool ok = true;
+    for (const auto& [k, v] : want) {
+      if (s.label(k) != v) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return &s;
+  }
+  return nullptr;
+}
+
+namespace {
+
+bool fail(std::string* error, std::string msg) {
+  if (error != nullptr) *error = std::move(msg);
+  return false;
+}
+
+// Parses `{k="v",...}` starting at text[i] == '{'.  Advances i past '}'.
+bool parse_labels(std::string_view line, std::size_t& i, OmSample* s,
+                  std::string* error) {
+  ++i;  // '{'
+  while (i < line.size() && line[i] != '}') {
+    std::string key;
+    while (i < line.size() && line[i] != '=') key += line[i++];
+    if (i >= line.size() || line[i] != '=' || i + 1 >= line.size() ||
+        line[i + 1] != '"') {
+      return fail(error, "malformed label in: " + std::string(line));
+    }
+    i += 2;  // = and opening quote
+    std::string value;
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        ++i;
+        value += line[i] == 'n' ? '\n' : line[i];
+      } else {
+        value += line[i];
+      }
+      ++i;
+    }
+    if (i >= line.size()) {
+      return fail(error, "unterminated label value in: " + std::string(line));
+    }
+    ++i;  // closing quote
+    s->labels.emplace_back(std::move(key), std::move(value));
+    if (i < line.size() && line[i] == ',') ++i;
+  }
+  if (i >= line.size()) {
+    return fail(error, "unterminated label set in: " + std::string(line));
+  }
+  ++i;  // '}'
+  return true;
+}
+
+}  // namespace
+
+bool parse_openmetrics(std::string_view text, OmDocument* out,
+                       std::string* error) {
+  *out = OmDocument{};
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) nl = text.size();
+    const std::string_view line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    if (out->saw_eof) {
+      return fail(error, "content after # EOF: " + std::string(line));
+    }
+    if (line[0] == '#') {
+      if (line == "# EOF") {
+        out->saw_eof = true;
+        continue;
+      }
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::string_view rest = line.substr(7);
+        const std::size_t sp = rest.find(' ');
+        if (sp == std::string_view::npos) {
+          return fail(error, "malformed TYPE line: " + std::string(line));
+        }
+        const std::string name(rest.substr(0, sp));
+        const std::string type(rest.substr(sp + 1));
+        if (type != "counter" && type != "gauge" && type != "histogram") {
+          return fail(error, "unsupported metric type: " + std::string(line));
+        }
+        if (!out->types.emplace(name, type).second) {
+          return fail(error, "duplicate TYPE for family: " + name);
+        }
+        continue;
+      }
+      if (line.rfind("# HELP ", 0) == 0) continue;  // tolerated, not emitted
+      return fail(error, "unrecognized comment line: " + std::string(line));
+    }
+    OmSample s;
+    std::size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') {
+      s.name += line[i++];
+    }
+    if (s.name.empty()) {
+      return fail(error, "missing sample name in: " + std::string(line));
+    }
+    if (i < line.size() && line[i] == '{') {
+      if (!parse_labels(line, i, &s, error)) return false;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      return fail(error, "missing value in: " + std::string(line));
+    }
+    ++i;
+    const std::string value_str(line.substr(i));
+    char* end = nullptr;
+    s.value = std::strtod(value_str.c_str(), &end);
+    if (end == value_str.c_str() || *end != '\0') {
+      return fail(error, "malformed value in: " + std::string(line));
+    }
+    out->samples.push_back(std::move(s));
+  }
+  if (!out->saw_eof) return fail(error, "missing # EOF terminator");
+  return true;
+}
+
+namespace {
+
+// Family a sample belongs to: strips the recognized suffix, if any.
+std::string family_of(const OmDocument& doc, const std::string& sample_name) {
+  if (doc.types.count(sample_name) != 0) return sample_name;
+  for (const char* suffix : {"_total", "_bucket", "_sum", "_count"}) {
+    const std::size_t n = std::string_view(suffix).size();
+    if (sample_name.size() > n &&
+        sample_name.compare(sample_name.size() - n, n, suffix) == 0) {
+      const std::string base = sample_name.substr(0, sample_name.size() - n);
+      if (doc.types.count(base) != 0) return base;
+    }
+  }
+  return {};
+}
+
+double parse_le(const std::string& le) {
+  if (le == "+Inf") return std::numeric_limits<double>::infinity();
+  return std::strtod(le.c_str(), nullptr);
+}
+
+}  // namespace
+
+bool lint_openmetrics(const OmDocument& doc, std::string* error) {
+  if (!doc.saw_eof) return fail(error, "missing # EOF terminator");
+  // Histogram bucket state, keyed by family: buckets must appear in
+  // ascending `le` order with non-decreasing cumulative counts.
+  struct HistState {
+    double last_le = -std::numeric_limits<double>::infinity();
+    double last_cum = 0.0;
+    bool saw_inf = false;
+    double inf_value = 0.0;
+    bool saw_count = false;
+    double count_value = 0.0;
+  };
+  std::map<std::string, HistState> hists;
+
+  for (const OmSample& s : doc.samples) {
+    const std::string family = family_of(doc, s.name);
+    if (family.empty()) {
+      return fail(error, "sample without TYPE declaration: " + s.name);
+    }
+    const std::string& type = doc.types.at(family);
+    if (!std::isfinite(s.value)) {
+      return fail(error, "non-finite value for: " + s.name);
+    }
+    if (type == "counter") {
+      if (s.name != family + "_total") {
+        return fail(error, "counter sample must use _total: " + s.name);
+      }
+      if (s.value < 0) {
+        return fail(error, "negative counter: " + s.name);
+      }
+    } else if (type == "gauge") {
+      if (s.name != family) {
+        return fail(error, "gauge sample has unexpected suffix: " + s.name);
+      }
+    } else if (type == "histogram") {
+      HistState& h = hists[family];
+      if (s.name == family + "_bucket") {
+        const std::string le = s.label("le");
+        if (le.empty()) {
+          return fail(error, "bucket without le label: " + family);
+        }
+        const double bound = parse_le(le);
+        if (bound <= h.last_le) {
+          return fail(error, "bucket bounds not ascending: " + family);
+        }
+        if (s.value + 1e-9 < h.last_cum) {
+          return fail(error, "bucket counts not cumulative: " + family);
+        }
+        h.last_le = bound;
+        h.last_cum = s.value;
+        if (std::isinf(bound)) {
+          h.saw_inf = true;
+          h.inf_value = s.value;
+        }
+      } else if (s.name == family + "_count") {
+        h.saw_count = true;
+        h.count_value = s.value;
+      } else if (s.name != family + "_sum") {
+        return fail(error, "unexpected histogram sample: " + s.name);
+      }
+    }
+  }
+  for (const auto& [family, h] : hists) {
+    if (!h.saw_inf) {
+      return fail(error, "histogram missing +Inf bucket: " + family);
+    }
+    if (!h.saw_count) {
+      return fail(error, "histogram missing _count: " + family);
+    }
+    if (h.inf_value != h.count_value) {
+      return fail(error, "+Inf bucket != _count for: " + family);
+    }
+  }
+  return true;
+}
+
+bool check_counters_monotone(const OmDocument& earlier,
+                             const OmDocument& later, std::string* error) {
+  for (const OmSample& s : earlier.samples) {
+    const std::string family = family_of(earlier, s.name);
+    if (family.empty() || earlier.types.at(family) != "counter") continue;
+    const OmSample* after = later.find(s.name, s.labels);
+    if (after == nullptr) {
+      return fail(error, "counter disappeared between scrapes: " + s.name);
+    }
+    if (after->value + 1e-9 < s.value) {
+      return fail(error, "counter went backwards: " + s.name);
+    }
+  }
+  return true;
+}
+
+}  // namespace wmesh::obs

@@ -1,0 +1,83 @@
+// OpenMetrics text exposition of the metrics registry, plus a strict
+// parser/linter used by wmesh_top, the openmetrics_lint ctest and the
+// export-server tests.
+//
+// `render_openmetrics(snapshot)` maps the registry onto the OpenMetrics
+// text format (the Prometheus exposition dialect):
+//
+//   - every family is prefixed `wmesh_` and dots become underscores
+//     ("etx.relax_rounds" -> wmesh_etx_relax_rounds);
+//   - counters render as `# TYPE f counter` + `f_total <v>`;
+//   - gauges render as `# TYPE f gauge` + `f <v>`;
+//   - histograms render with cumulative `f_bucket{le="<bound>"}` series,
+//     an explicit `le="+Inf"` bucket, and `f_sum` / `f_count`;
+//   - span aggregates render as shared families labeled by span name --
+//     wmesh_span_count_total{span="etx.dijkstra"}, wmesh_span_us_total,
+//     wmesh_span_self_us_total and the causal edge counts
+//     wmesh_span_parent_total{span="...",parent="..."};
+//   - the document ends with `# EOF`.
+//
+// The parser is intentionally strict about what the renderer emits (it is a
+// lint, not a general scraper): unknown lines, samples without a TYPE,
+// non-cumulative buckets or counter decreases between two scrapes are
+// errors.  Keeping render and lint in one translation unit means the ctest
+// exercises the real exposition end-to-end over a live socket.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace wmesh::obs {
+
+// Renders `s` in OpenMetrics text format (terminated by "# EOF\n").
+std::string render_openmetrics(const Snapshot& s);
+
+// One parsed sample line: `name{labels} value`.
+struct OmSample {
+  std::string name;  // full sample name including _total/_bucket suffix
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;
+
+  // Label value or "" when absent.
+  std::string label(std::string_view key) const;
+};
+
+// A parsed exposition document.
+struct OmDocument {
+  // family name -> declared type ("counter", "gauge", "histogram").
+  std::map<std::string, std::string> types;
+  std::vector<OmSample> samples;
+  bool saw_eof = false;
+
+  // First sample with this exact name and (subset-matched) labels, or
+  // nullptr.  Pass {} to match the first sample of the name.
+  const OmSample* find(
+      std::string_view name,
+      const std::vector<std::pair<std::string, std::string>>& labels = {})
+      const;
+};
+
+// Parses an exposition document.  Returns false (with *error set) on any
+// malformed line, duplicate TYPE, or missing `# EOF` terminator.
+bool parse_openmetrics(std::string_view text, OmDocument* out,
+                       std::string* error);
+
+// Structural lint over one document: every sample maps to a declared
+// family; counter samples use the _total suffix and are finite and
+// non-negative; histogram buckets have ascending `le` bounds, cumulative
+// non-decreasing counts, and an `le="+Inf"` bucket equal to `_count`.
+bool lint_openmetrics(const OmDocument& doc, std::string* error);
+
+// Cross-scrape lint: every counter-family sample present in `earlier` must
+// exist in `later` with a value >= the earlier one (counters are monotone
+// within a process).
+bool check_counters_monotone(const OmDocument& earlier,
+                             const OmDocument& later, std::string* error);
+
+}  // namespace wmesh::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -13,14 +14,19 @@
 namespace wmesh::obs {
 namespace {
 
-// Reads "VmRSS:   1234 kB"-style lines from /proc/self/status.  Returns 0
-// for a missing field or an unreadable file (non-Linux, /proc unmounted).
-void read_proc_status(std::uint64_t* rss_bytes,
+// Reads "VmRSS:   1234 kB"-style lines from /proc/self/status (or the
+// WMESH_PROC_STATUS_PATH override, which tests point at fixtures).  Returns
+// false -- with both fields zeroed -- when the file cannot be opened
+// (non-Linux, /proc unmounted), so callers can count the failure instead of
+// silently reporting garbage.
+bool read_proc_status(std::uint64_t* rss_bytes,
                       std::uint64_t* hwm_bytes) noexcept {
   *rss_bytes = 0;
   *hwm_bytes = 0;
-  std::FILE* f = std::fopen("/proc/self/status", "r");
-  if (f == nullptr) return;
+  const char* path = std::getenv("WMESH_PROC_STATUS_PATH");
+  if (path == nullptr) path = "/proc/self/status";
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return false;
   char line[256];
   while (std::fgets(line, sizeof(line), f) != nullptr) {
     unsigned long long kb = 0;
@@ -31,6 +37,7 @@ void read_proc_status(std::uint64_t* rss_bytes,
     }
   }
   std::fclose(f);
+  return true;
 }
 
 }  // namespace
@@ -38,7 +45,11 @@ void read_proc_status(std::uint64_t* rss_bytes,
 ResourceUsage sample_resources() noexcept {
   ResourceUsage u;
   std::uint64_t rss = 0, hwm = 0;
-  read_proc_status(&rss, &hwm);
+  if (!read_proc_status(&rss, &hwm)) {
+    // Degrade to zeroed proc fields; getrusage below still supplies CPU
+    // and max RSS.  The counter makes the degradation observable.
+    WMESH_COUNTER_INC("resource.sampler_errors");
+  }
   u.current_rss_bytes = rss;
   u.peak_rss_bytes = std::max(rss, hwm);
 #if defined(__unix__) || defined(__APPLE__)

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 
@@ -32,6 +33,8 @@ struct TraceEvent {
   const char* name;
   std::uint64_t ts_us;
   std::uint64_t dur_us;
+  std::uint64_t span_id;
+  std::uint64_t parent_id;
   std::uint32_t tid;
 };
 
@@ -91,7 +94,9 @@ std::uint32_t thread_tid() {
 // [[maybe_unused]]: the only caller is compiled out under WMESH_OBS_DISABLED.
 [[maybe_unused]] void record_trace_event(const char* name,
                                          std::uint64_t start_us,
-                                         std::uint64_t dur_us) {
+                                         std::uint64_t dur_us,
+                                         std::uint64_t span_id,
+                                         std::uint64_t parent_id) {
   TraceState& s = trace_state();
   std::lock_guard<std::mutex> lock(s.mu);
   if (!s.enabled) return;
@@ -99,7 +104,15 @@ std::uint32_t thread_tid() {
     ++s.dropped;
     return;
   }
-  s.events.push_back({name, start_us, dur_us, thread_tid()});
+  s.events.push_back({name, start_us, dur_us, span_id, parent_id,
+                      thread_tid()});
+}
+
+std::string hex_id(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(v));
+  return buf;
 }
 
 void append_json_events(std::string& out,
@@ -115,28 +128,139 @@ void append_json_events(std::string& out,
     out += std::to_string(e.dur_us);
     out += ", \"pid\": 1, \"tid\": ";
     out += std::to_string(e.tid);
-    out += "}";
+    out += ", \"args\": {\"span\": \"";
+    out += hex_id(e.span_id);
+    out += "\", \"parent\": \"";
+    out += hex_id(e.parent_id);
+    out += "\"}}";
   }
+}
+
+// Process sequence feeding root spans and root task groups.  Bumped only on
+// threads with no open span -- in practice the main thread, in program
+// order -- so root ids are deterministic too.
+std::atomic<std::uint64_t> g_root_seq{0};
+
+thread_local SpanContext* t_active_span = nullptr;
+
+}  // namespace
+
+std::uint64_t derive_span_id(std::uint64_t parent_id,
+                             std::uint64_t seq) noexcept {
+  // splitmix64 finalizer over the combined inputs; any fixed bijective
+  // mixer works, it only has to spread (parent, seq) pairs over 64 bits.
+  std::uint64_t x = parent_id + 0x9e3779b97f4a7c15ULL * (seq + 1);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;
+}
+
+SpanContext* current_span_context() noexcept { return t_active_span; }
+
+TaskGroup claim_task_group() noexcept {
+  TaskGroup g;
+  if (SpanContext* cur = t_active_span) {
+    g.parent_id = cur->id;
+    g.parent_name = cur->name;
+    g.group_seq = ++cur->child_seq;
+    g.parent_child_us = &cur->child_us;
+  } else {
+    g.group_seq = g_root_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  return g;
+}
+
+void reset_span_ids_for_test() noexcept {
+  g_root_seq.store(0, std::memory_order_relaxed);
+}
+
+void ScopedSpan::open(std::uint64_t id, std::uint64_t parent_id,
+                      const char* parent_name,
+                      std::atomic<std::uint64_t>* parent_accum) noexcept {
+  parent_id_ = parent_id;
+  parent_name_ = parent_name;
+  parent_accum_ = parent_accum;
+  ctx_.id = id;
+  ctx_.name = name_;
+  ctx_.parent = t_active_span;
+  saved_active_ = t_active_span;
+  t_active_span = &ctx_;
+  if (flight::enabled()) {
+    flight::record(flight::EventKind::kSpanBegin, name_, id, parent_id);
+  }
+  start_us_ = now_us();
+}
+
+namespace {
+
+// Shared by both public constructors: derive the id from the innermost
+// open span on this thread (or the root sequence).
+struct DerivedLink {
+  std::uint64_t id, parent_id;
+  const char* parent_name;
+  std::atomic<std::uint64_t>* accum;
+};
+
+DerivedLink derive_from_active() noexcept {
+  if (SpanContext* cur = t_active_span) {
+    return {derive_span_id(cur->id, ++cur->child_seq), cur->id, cur->name,
+            &cur->child_us};
+  }
+  const std::uint64_t seq =
+      g_root_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  return {derive_span_id(0, seq), 0, nullptr, nullptr};
 }
 
 }  // namespace
 
 ScopedSpan::ScopedSpan(const char* name) noexcept
-    : agg_(&Registry::instance().span_aggregate(name)),
-      name_(name),
-      start_us_(now_us()) {}
+    : agg_(&Registry::instance().span_aggregate(name)), name_(name) {
+  const DerivedLink l = derive_from_active();
+  open(l.id, l.parent_id, l.parent_name, l.accum);
+}
 
 ScopedSpan::ScopedSpan(SpanAggregate& agg, const char* name) noexcept
-    : agg_(&agg), name_(name), start_us_(now_us()) {}
+    : agg_(&agg), name_(name) {
+  const DerivedLink l = derive_from_active();
+  open(l.id, l.parent_id, l.parent_name, l.accum);
+}
+
+ScopedSpan::ScopedSpan(SpanAggregate& agg, const char* name,
+                       const TaskGroup& group, std::size_t index) noexcept
+    : agg_(&agg), name_(name) {
+  // Two-level derivation: a virtual group node under the enqueuing span,
+  // then one child per shard.  group_seq comes from the same per-parent
+  // ordinal counter as serial children, so the virtual node cannot collide
+  // with them; shard ids depend only on (parent id, group seq, index).
+  const std::uint64_t group_id =
+      derive_span_id(group.parent_id, group.group_seq);
+  open(derive_span_id(group_id, static_cast<std::uint64_t>(index) + 1),
+       group.parent_id, group.parent_name, group.parent_child_us);
+}
 
 ScopedSpan::~ScopedSpan() {
 #if !defined(WMESH_OBS_DISABLED)
   const std::uint64_t end_us = now_us();
   const std::uint64_t dur_us = end_us - start_us_;
-  agg_->record(static_cast<double>(dur_us));
-  if (g_trace_enabled.load(std::memory_order_relaxed)) {
-    record_trace_event(name_, start_us_, dur_us);
+  const std::uint64_t child_us = ctx_.child_us.load(std::memory_order_relaxed);
+  // Self-time clamps at zero: a span whose children ran in parallel can be
+  // fully covered by them.
+  const std::uint64_t self_us = dur_us > child_us ? dur_us - child_us : 0;
+  agg_->record(static_cast<double>(dur_us), static_cast<double>(self_us),
+               parent_name_);
+  if (parent_accum_ != nullptr) {
+    parent_accum_->fetch_add(dur_us, std::memory_order_relaxed);
   }
+  t_active_span = saved_active_;
+  if (flight::enabled()) {
+    flight::record(flight::EventKind::kSpanEnd, name_, ctx_.id, dur_us);
+  }
+  if (g_trace_enabled.load(std::memory_order_relaxed)) {
+    record_trace_event(name_, start_us_, dur_us, ctx_.id, parent_id_);
+  }
+#else
+  t_active_span = saved_active_;
 #endif
 }
 

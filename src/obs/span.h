@@ -1,5 +1,5 @@
-// Scoped wall-time spans: per-span aggregates plus optional Chrome
-// trace_event output.
+// Scoped wall-time spans with causal trace context: per-span aggregates,
+// 64-bit span/parent ids, and optional Chrome trace_event output.
 //
 //   void EtxGraph::dijkstra(...) {
 //     WMESH_SPAN("etx.dijkstra");
@@ -7,26 +7,77 @@
 //   }
 //
 // Every span records its duration (microseconds) into the registry's
-// per-name SpanAggregate -- count, total, true min/max, and the
-// fixed-bucket latency histogram "span.<name>" behind p50/p90/p99 -- so
-// `--metrics` output and the `--report` run reports carry per-stage timing.
-// Counts are exact and deterministic across thread counts (wmesh::par
-// shard boundaries depend only on the work size); durations are wall time.
+// per-name SpanAggregate -- count, total, self-time (exclusive of direct
+// children), true min/max, parent-name counts, and the fixed-bucket latency
+// histogram "span.<name>" behind p50/p90/p99 -- so `--metrics` output, the
+// `--report` run reports and the OpenMetrics endpoint carry per-stage
+// timing.  Counts are exact and deterministic across thread counts
+// (wmesh::par shard boundaries depend only on the work size); durations are
+// wall time.
+//
+// Trace context (obs v3): every span carries a 64-bit id derived
+// deterministically from its parent's id and its ordinal among the parent's
+// children (splitmix-style hash; roots draw from a process sequence).  The
+// active context propagates through wmesh::par task capture: run_shards
+// claims one child slot (a TaskGroup) on the enqueuing span, and each
+// par.shard span derives its id from (parent id, group seq, shard index) --
+// so the (name, span id, parent id) set of a trace is byte-identical at any
+// thread count.  Children closing add their duration to the parent's
+// child-time accumulator, which is how self-time stays exact even when the
+// children ran on pool workers.
+//
 // When WMESH_TRACE_OUT=<path> is set, each span additionally appends a
-// complete ("ph":"X") event to an in-memory buffer that is written as
-// Chrome trace_event JSON at process exit (or on flush_trace()).  Open the
-// file in chrome://tracing or https://ui.perfetto.dev to get a flamegraph
-// of the analysis pipeline.
+// complete ("ph":"X") event -- with "args": {"span", "parent"} -- to an
+// in-memory buffer written as Chrome trace_event JSON at process exit (or
+// on flush_trace()).  Open it in chrome://tracing or ui.perfetto.dev.
 //
 // With -DWMESH_OBS_DISABLED the WMESH_SPAN macro compiles to nothing.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 #include "obs/metrics.h"
 
 namespace wmesh::obs {
+
+// Mixes (parent id, child ordinal) into a child span id; never returns 0
+// (0 means "no span").  Exposed so tests can predict ids.
+std::uint64_t derive_span_id(std::uint64_t parent_id,
+                             std::uint64_t seq) noexcept;
+
+// Live context of one open span; stack-allocated inside ScopedSpan.
+struct SpanContext {
+  std::uint64_t id = 0;
+  const char* name = nullptr;
+  std::uint64_t child_seq = 0;              // ordinals handed to children
+  std::atomic<std::uint64_t> child_us{0};   // direct children's wall time
+  SpanContext* parent = nullptr;
+};
+
+// The innermost open span on this thread, or nullptr at top level.
+SpanContext* current_span_context() noexcept;
+
+// One claimed child slot on the enqueuing span, carried by value into a
+// wmesh::par job so shard spans on any worker become deterministic children
+// of the span that launched the region.  parent_child_us points into the
+// enqueuing span's frame, which outlives the region (run_shards blocks).
+struct TaskGroup {
+  std::uint64_t parent_id = 0;              // 0 when no span was open
+  const char* parent_name = nullptr;
+  std::uint64_t group_seq = 0;
+  std::atomic<std::uint64_t>* parent_child_us = nullptr;
+};
+
+// Claims the next child ordinal from the current span (or the process root
+// sequence) for a parallel region.  Deterministic: called on the enqueuing
+// thread, in program order.
+TaskGroup claim_task_group() noexcept;
+
+// Resets the process root-span sequence so id-determinism tests can compare
+// runs.  Not for production use.
+void reset_span_ids_for_test() noexcept;
 
 // RAII span; must outlive nothing (stack only).  `name` must be a literal
 // or otherwise outlive the tracing buffer.  The two-argument form takes the
@@ -37,15 +88,33 @@ class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name) noexcept;
   ScopedSpan(SpanAggregate& agg, const char* name) noexcept;
+  // Shard-span form used by wmesh::par: the span becomes child `index` of
+  // `group`, with an id derived from (parent id, group seq, index) -- the
+  // same id no matter which worker executes the shard.
+  ScopedSpan(SpanAggregate& agg, const char* name, const TaskGroup& group,
+             std::size_t index) noexcept;
   ~ScopedSpan();
 
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
+  std::uint64_t span_id() const noexcept { return ctx_.id; }
+  std::uint64_t parent_id() const noexcept { return parent_id_; }
+
  private:
+  void open(std::uint64_t id, std::uint64_t parent_id,
+            const char* parent_name,
+            std::atomic<std::uint64_t>* parent_accum) noexcept;
+
   SpanAggregate* agg_;
   const char* name_;
   std::uint64_t start_us_;  // microseconds since process start
+  std::uint64_t parent_id_ = 0;
+  const char* parent_name_ = nullptr;
+  // Parent's child-time accumulator (or the TaskGroup's); null for roots.
+  std::atomic<std::uint64_t>* parent_accum_ = nullptr;
+  SpanContext ctx_;
+  SpanContext* saved_active_ = nullptr;
 };
 
 // True when WMESH_TRACE_OUT was set at first use (or after reinit).

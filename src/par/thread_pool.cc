@@ -19,9 +19,17 @@ namespace {
 thread_local bool t_in_region = false;
 
 void execute_shard(const std::function<void(std::size_t)>& fn, std::size_t s,
+                   [[maybe_unused]] const obs::TaskGroup& group,
                    std::vector<std::exception_ptr>& exceptions) {
-  WMESH_SPAN("par.shard");
 #if !defined(WMESH_OBS_DISABLED)
+  // The shard span is a deterministic child of the span that called
+  // run_shards: its id depends only on (parent id, group seq, shard index),
+  // never on which worker ran it -- traces are byte-identical across thread
+  // counts.  Closing, it adds its duration to the enqueuing span's
+  // child-time accumulator so parent self-time stays exact.
+  static obs::SpanAggregate& shard_agg =
+      obs::Registry::instance().span_aggregate("par.shard");
+  obs::ScopedSpan span(shard_agg, "par.shard", group, s);
   // Analysis counters incremented inside the shard accumulate in this
   // thread-local batch and hit the shared atomics once, at scope exit.
   obs::CounterBatch batch;
@@ -43,6 +51,10 @@ struct Job {
   std::size_t shard_count = 0;
   std::atomic<std::size_t> next{0};
   std::vector<std::exception_ptr>* exceptions = nullptr;
+  // Claimed on the enqueuing thread, in program order, so shard span ids
+  // are deterministic; carried by value because workers outlive nothing of
+  // the enqueuer except the run_shards frame (which blocks).
+  obs::TaskGroup group;
 
   // Claims and executes shards until none remain; returns how many ran.
   std::size_t drain() {
@@ -51,7 +63,7 @@ struct Job {
     for (;;) {
       const std::size_t s = next.fetch_add(1, std::memory_order_relaxed);
       if (s >= shard_count) break;
-      execute_shard(*fn, s, *exceptions);
+      execute_shard(*fn, s, group, *exceptions);
       ++ran;
     }
     t_in_region = false;
@@ -129,6 +141,10 @@ void ThreadPool::run_shards(std::size_t shard_count,
                             const std::function<void(std::size_t)>& fn) {
   if (shard_count == 0) return;
   std::vector<std::exception_ptr> exceptions(shard_count);
+  // Claimed before any shard runs, on the calling thread: both paths hand
+  // out the same (parent id, group seq), so shard span ids match the serial
+  // reference execution exactly.
+  const obs::TaskGroup group = obs::claim_task_group();
 
   if (t_in_region || impl_->workers.empty() || shard_count == 1) {
     // Serial path: nested region, single-thread pool, or nothing to share.
@@ -137,7 +153,7 @@ void ThreadPool::run_shards(std::size_t shard_count,
     const bool was_in_region = t_in_region;
     t_in_region = true;
     for (std::size_t s = 0; s < shard_count; ++s) {
-      execute_shard(fn, s, exceptions);
+      execute_shard(fn, s, group, exceptions);
     }
     t_in_region = was_in_region;
   } else {
@@ -148,6 +164,7 @@ void ThreadPool::run_shards(std::size_t shard_count,
     job->fn = &fn;
     job->shard_count = shard_count;
     job->exceptions = &exceptions;
+    job->group = group;
     {
       std::lock_guard<std::mutex> lk(im.mu);
       im.job = job;

@@ -78,4 +78,74 @@ std::vector<std::string> split_csv_line(std::string_view line) {
   return out;
 }
 
+std::string csv_escape_field(std::string_view field) {
+  if (field.find_first_of(",\"\r\n") == std::string_view::npos) {
+    return std::string(field);
+  }
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::vector<std::vector<std::string>> parse_csv_text(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;  // distinguishes trailing newline from ""
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        row.push_back(std::move(field));
+        field.clear();
+        field_started = true;  // a comma implies a field follows
+        break;
+      case '\r':
+        break;  // swallowed; the '\n' ends the row
+      case '\n':
+        if (field_started || !field.empty() || !row.empty()) {
+          row.push_back(std::move(field));
+          field.clear();
+          rows.push_back(std::move(row));
+          row.clear();
+          field_started = false;
+        }
+        break;
+      default:
+        field += c;
+        field_started = true;
+        break;
+    }
+  }
+  if (field_started || !field.empty() || !row.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
 }  // namespace wmesh

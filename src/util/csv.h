@@ -65,4 +65,16 @@ class CsvReader {
 // Splits `line` at commas.  Exposed for tests.
 std::vector<std::string> split_csv_line(std::string_view line);
 
+// RFC-4180 quoting for one field: returns `field` unchanged unless it
+// contains a comma, double quote, CR or LF, in which case it is wrapped in
+// double quotes with embedded quotes doubled.  The trace dialect above never
+// needs this; metrics CSV output (span parent lists, future label values)
+// does.
+std::string csv_escape_field(std::string_view field);
+
+// Parses a full RFC-4180 document (quoted fields may span lines) into rows
+// of fields.  Inverse of rows joined with csv_escape_field.  A trailing
+// newline does not produce an empty row.
+std::vector<std::vector<std::string>> parse_csv_text(std::string_view text);
+
 }  // namespace wmesh

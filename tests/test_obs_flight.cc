@@ -1,0 +1,156 @@
+// Flight-recorder coverage: ring drain and overflow accounting, the
+// wmesh.flight/1 dump format, and the fatal-signal path (a crash must
+// leave a parseable dump behind).
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/flight.h"
+#include "obs/metrics.h"
+
+namespace wmesh::obs::flight {
+namespace {
+
+std::string test_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+void arm(const std::string& path) {
+  ::setenv("WMESH_FLIGHT_OUT", path.c_str(), 1);
+  reinit_from_env();
+  ASSERT_TRUE(enabled());
+}
+
+void disarm() {
+  ::unsetenv("WMESH_FLIGHT_OUT");
+  reinit_from_env();
+  ASSERT_FALSE(enabled());
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(ObsFlight, DisarmedByDefaultAndDumpRefuses) {
+  disarm();
+  EXPECT_FALSE(dump_to_env_path());
+  EXPECT_FALSE(Registry::instance().dump_flight());
+}
+
+TEST(ObsFlight, DrainReturnsEventsInOrder) {
+  arm(test_path("flight_drain.txt"));
+  record(EventKind::kSpanBegin, "test.flight.a", 0x11, 0x0);
+  record(EventKind::kCounter, "test.flight.count", 3, 0);
+  record(EventKind::kLog, "test.flight.comp", 2, 0);
+  record(EventKind::kSpanEnd, "test.flight.a", 0x11, 1234);
+
+  std::uint64_t dropped = 99;
+  const std::vector<Event> events = drain(&dropped);
+  disarm();
+
+  EXPECT_EQ(dropped, 0u);
+  ASSERT_GE(events.size(), 4u);
+  // Find our four events in order (other tests' threads may interleave).
+  std::vector<const Event*> mine;
+  for (const Event& e : events) {
+    if (std::string(e.name ? e.name : "").rfind("test.flight", 0) == 0) {
+      mine.push_back(&e);
+    }
+  }
+  ASSERT_EQ(mine.size(), 4u);
+  EXPECT_EQ(mine[0]->kind, EventKind::kSpanBegin);
+  EXPECT_EQ(mine[0]->a, 0x11u);
+  EXPECT_EQ(mine[1]->kind, EventKind::kCounter);
+  EXPECT_EQ(mine[1]->a, 3u);
+  EXPECT_EQ(mine[2]->kind, EventKind::kLog);
+  EXPECT_EQ(mine[3]->kind, EventKind::kSpanEnd);
+  EXPECT_EQ(mine[3]->b, 1234u);
+  // Merged output is timestamp-ordered.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts_us, events[i - 1].ts_us);
+  }
+}
+
+TEST(ObsFlight, OverflowKeepsTheLastDepthEventsAndCountsDrops) {
+  arm(test_path("flight_overflow.txt"));
+  const std::size_t total = kDepth + 500;
+  for (std::size_t i = 0; i < total; ++i) {
+    record(EventKind::kCounter, "test.flight.overflow",
+           static_cast<std::uint64_t>(i), 0);
+  }
+  std::uint64_t dropped = 0;
+  const std::vector<Event> events = drain(&dropped);
+  disarm();
+
+  EXPECT_EQ(dropped, 500u);
+  // Only our events: the ring was cleared by arm(), and this test records
+  // on the only live thread, so the window is exactly the last kDepth.
+  std::vector<std::uint64_t> seqs;
+  for (const Event& e : events) {
+    if (e.name != nullptr &&
+        std::string(e.name) == "test.flight.overflow") {
+      seqs.push_back(e.a);
+    }
+  }
+  ASSERT_EQ(seqs.size(), kDepth);
+  EXPECT_EQ(seqs.front(), 500u);               // oldest survivor
+  EXPECT_EQ(seqs.back(), total - 1);           // newest event
+  for (std::size_t i = 1; i < seqs.size(); ++i) {
+    EXPECT_EQ(seqs[i], seqs[i - 1] + 1);       // contiguous window
+  }
+}
+
+TEST(ObsFlight, DumpEmitsParseableSchema) {
+  const std::string path = test_path("flight_dump.txt");
+  arm(path);
+  record(EventKind::kSpanBegin, "test.flight.dump", 0xabc, 0x0);
+  record(EventKind::kSpanEnd, "test.flight.dump", 0xabc, 42);
+  ASSERT_TRUE(Registry::instance().dump_flight());
+  disarm();
+
+  const std::string text = slurp(path);
+  EXPECT_EQ(text.rfind("# wmesh.flight/1 rings=", 0), 0u) << text;
+  EXPECT_NE(text.find("kind=span_begin name=test.flight.dump a=0xabc b=0x0"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("kind=span_end name=test.flight.dump a=0xabc b=0x2a"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# EOF events="), std::string::npos) << text;
+  EXPECT_NE(text.find("dropped=0"), std::string::npos) << text;
+}
+
+TEST(ObsFlightDeathTest, FatalSignalWritesTheDumpAndDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path = test_path("flight_crash.txt");
+  std::remove(path.c_str());
+  EXPECT_EXIT(
+      {
+        ::setenv("WMESH_FLIGHT_OUT", path.c_str(), 1);
+        reinit_from_env();
+        record(EventKind::kSpanBegin, "test.flight.crash", 0x1, 0x0);
+        record(EventKind::kLog, "test.flight.before_abort", 4, 0);
+        std::abort();
+      },
+      ::testing::KilledBySignal(SIGABRT), "");
+
+  const std::string text = slurp(path);
+  ASSERT_FALSE(text.empty()) << "signal handler left no dump at " << path;
+  EXPECT_EQ(text.rfind("# wmesh.flight/1", 0), 0u) << text;
+  EXPECT_NE(text.find("name=test.flight.crash"), std::string::npos) << text;
+  EXPECT_NE(text.find("name=test.flight.before_abort"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# EOF"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace wmesh::obs::flight

@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <condition_variable>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/resource.h"
+#include "util/csv.h"
 
 namespace wmesh::obs {
 namespace {
@@ -150,7 +154,9 @@ TEST(ObsSnapshot, Renderings) {
   EXPECT_NE(table.find("span.test.render.span"), std::string::npos);
 
   const std::string csv = s.to_csv();
-  EXPECT_EQ(csv.rfind("kind,name,value,count,sum,p50,p90,p99,min,max\n", 0),
+  EXPECT_EQ(csv.rfind(
+                "kind,name,value,count,sum,p50,p90,p99,min,max,self,parents\n",
+                0),
             0u);
   EXPECT_NE(csv.find("counter,test.render.count,7"), std::string::npos);
   EXPECT_NE(csv.find("histogram,span.test.render.span"), std::string::npos);
@@ -332,6 +338,130 @@ TEST(CounterBatchFlush, OwnerKeepsBufferingAfterRemoteFlush) {
   EXPECT_EQ(c.value(), 3u);
   batch.flush();
   EXPECT_EQ(c.value(), 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Self-time and causal parent attribution (obs v3)
+// ---------------------------------------------------------------------------
+
+TEST(ObsSpanAggregate, SelfTimeAndParentAttribution) {
+  SpanAggregate& a = Registry::instance().span_aggregate("test.agg.parents");
+  a.reset();
+  Registry::instance().span_histogram("test.agg.parents").reset();
+
+  a.record(100.0, 60.0, "test.agg.caller_a");
+  a.record(50.0, 50.0, "test.agg.caller_a");
+  a.record(30.0, 10.0, "test.agg.caller_b");
+  a.record(20.0, 20.0, nullptr);  // root span
+
+  EXPECT_DOUBLE_EQ(a.total(), 200.0);
+  EXPECT_DOUBLE_EQ(a.self_total(), 140.0);
+
+  const auto parents = a.parent_counts();
+  std::uint64_t from_a = 0, from_b = 0, from_root = 0;
+  for (const auto& [name, count] : parents) {
+    if (name == "test.agg.caller_a") from_a = count;
+    if (name == "test.agg.caller_b") from_b = count;
+    if (name == "(root)") from_root = count;
+  }
+  EXPECT_EQ(from_a, 2u);
+  EXPECT_EQ(from_b, 1u);
+  EXPECT_EQ(from_root, 1u);
+}
+
+TEST(ObsSpanAggregate, ParentSlotsOverflowIntoOther) {
+  SpanAggregate& a = Registry::instance().span_aggregate("test.agg.overflow");
+  a.reset();
+  Registry::instance().span_histogram("test.agg.overflow").reset();
+  // More distinct parents than the fixed slot array holds: the surplus is
+  // attributed to the "(other)" sentinel instead of being lost.
+  static const char* const kParents[] = {"p0", "p1", "p2", "p3", "p4",
+                                         "p5", "p6", "p7", "p8", "p9"};
+  for (const char* p : kParents) a.record(1.0, 1.0, p);
+
+  std::uint64_t named = 0, other = 0;
+  for (const auto& [name, count] : a.parent_counts()) {
+    if (name == "(other)") {
+      other += count;
+    } else {
+      named += count;
+    }
+  }
+  EXPECT_EQ(named, SpanAggregate::kMaxParents);
+  EXPECT_EQ(named + other, 10u);
+}
+
+// ---------------------------------------------------------------------------
+// CSV escaping: --metrics output must survive names and parent lists that
+// contain commas or quotes, and parse back cell-exact.
+// ---------------------------------------------------------------------------
+
+TEST(ObsSnapshot, CsvEscapesAwkwardNamesAndRoundTrips) {
+  Registry::instance().reset_for_test();
+  static const char* const kWeird = "test.csv.\"quoted\",comma";
+  Registry::instance().counter(kWeird).add(9);
+  // A span with two parents: the parents cell itself contains ';' and ':'
+  // plus the quoted-comma parent name, so it must be quoted as a whole.
+  SpanAggregate& a = Registry::instance().span_aggregate("test.csv.span");
+  a.record(10.0, 10.0, kWeird);
+  a.record(20.0, 20.0, "test.csv.plain");
+
+  const std::string csv =
+      Registry::instance().snapshot(SnapshotFlush::kActiveBatches).to_csv();
+  const auto rows = parse_csv_text(csv);
+  ASSERT_GE(rows.size(), 3u);
+  ASSERT_EQ(rows[0].size(), 12u);
+  EXPECT_EQ(rows[0][1], "name");
+  EXPECT_EQ(rows[0][10], "self");
+  EXPECT_EQ(rows[0][11], "parents");
+
+  const std::vector<std::string>* counter_row = nullptr;
+  const std::vector<std::string>* span_row = nullptr;
+  for (const auto& row : rows) {
+    if (row.size() == 12 && row[0] == "counter" && row[1] == kWeird) {
+      counter_row = &row;
+    }
+    if (row.size() == 12 && row[0] == "span" && row[1] == "test.csv.span") {
+      span_row = &row;
+    }
+  }
+  ASSERT_NE(counter_row, nullptr) << csv;
+  EXPECT_EQ((*counter_row)[2], "9");  // name round-tripped cell-exact
+
+  ASSERT_NE(span_row, nullptr) << csv;
+  EXPECT_EQ((*span_row)[3], "2");  // count
+  // The parents cell decodes to the raw name:count list -- including the
+  // comma and quotes inside the weird parent name.
+  const std::string& parents = (*span_row)[11];
+  EXPECT_NE(parents.find(std::string(kWeird) + ":1"), std::string::npos)
+      << parents;
+  EXPECT_NE(parents.find("test.csv.plain:1"), std::string::npos) << parents;
+}
+
+// ---------------------------------------------------------------------------
+// Resource sampling degrades gracefully without /proc/self/status.
+// ---------------------------------------------------------------------------
+
+TEST(ObsResource, MissingProcStatusZeroesFieldsAndCountsTheError) {
+  Counter& errors = Registry::instance().counter("resource.sampler_errors");
+  errors.reset();
+  ::setenv("WMESH_PROC_STATUS_PATH", "/nonexistent/wmesh/proc_status", 1);
+  const ResourceUsage broken = sample_resources();
+  ::unsetenv("WMESH_PROC_STATUS_PATH");
+
+  EXPECT_EQ(broken.current_rss_bytes, 0u);
+#if !defined(WMESH_OBS_DISABLED)
+  EXPECT_EQ(errors.value(), 1u);
+#endif
+  // getrusage still supplies CPU time and a max-RSS floor.
+  EXPECT_GE(broken.user_cpu_s + broken.sys_cpu_s, 0.0);
+
+  // With the override gone the real /proc works again, error-free.
+  const std::uint64_t errors_before = errors.value();
+  const ResourceUsage ok = sample_resources();
+  EXPECT_EQ(errors.value(), errors_before);
+  EXPECT_GT(ok.current_rss_bytes, 0u);
+  EXPECT_GE(ok.peak_rss_bytes, ok.current_rss_bytes);
 }
 
 }  // namespace

@@ -1,11 +1,16 @@
 // Chrome-trace output coverage: WMESH_TRACE_OUT must yield parseable JSON
 // whose complete ("ph":"X") events agree with the span aggregates, at one
-// thread and at eight.
+// thread and at eight -- and whose causal context (span id, parent id) is
+// byte-identical at any thread count.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <map>
+#include <set>
 #include <string>
+#include <tuple>
+#include <vector>
 
 #include "core/report.h"
 #include "obs/metrics.h"
@@ -105,6 +110,138 @@ TEST(ObsTrace, EventsMatchSpanAggregatesAtOneAndEightThreads) {
   const auto shard = at1.find("par.shard");
   ASSERT_NE(shard, at1.end());
   EXPECT_GT(shard->second, 0u);
+}
+
+// (name, span id, parent id) for every traced event, sorted.  Durations and
+// timestamps are excluded: ids must be identical across thread counts, the
+// timings of course are not.
+using IdTriple = std::tuple<std::string, std::string, std::string>;
+
+std::vector<IdTriple> trace_ids_at(const Dataset& ds, std::size_t threads) {
+  par::set_default_threads(threads);
+  Registry::instance().reset_for_test();
+  reset_span_ids_for_test();
+  ::setenv("WMESH_TRACE_OUT", "unused_trace.json", 1);
+  reinit_tracing_from_env();
+
+  (void)report_etx(ds);
+
+  const std::string text = render_trace_json();
+  ::unsetenv("WMESH_TRACE_OUT");
+  reinit_tracing_from_env();
+
+  std::string err;
+  const auto doc = json::parse(text, &err);
+  EXPECT_TRUE(doc.has_value()) << err;
+  std::vector<IdTriple> out;
+  if (!doc) return out;
+  const json::Value* events = doc->find("traceEvents");
+  EXPECT_NE(events, nullptr);
+  if (!events) return out;
+  for (const json::Value& e : events->array) {
+    const json::Value* name = e.find("name");
+    const json::Value* args = e.find("args");
+    EXPECT_TRUE(name && args) << "event without name/args";
+    if (!name || !args) continue;
+    const json::Value* span = args->find("span");
+    const json::Value* parent = args->find("parent");
+    EXPECT_TRUE(span && parent) << "event without span/parent ids";
+    if (!span || !parent) continue;
+    EXPECT_NE(span->string, "0x0");  // 0 means "no span", never a real id
+    out.emplace_back(name->string, span->string, parent->string);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(ObsTraceIds, ByteIdenticalAtOneTwoAndEightThreads) {
+  GeneratorConfig config = small_config();
+  const Dataset ds = generate_dataset(config);
+
+  const auto at1 = trace_ids_at(ds, 1);
+  const auto at2 = trace_ids_at(ds, 2);
+  const auto at8 = trace_ids_at(ds, 8);
+  par::set_default_threads(0);
+
+  ASSERT_FALSE(at1.empty());
+  EXPECT_EQ(at1, at2);
+  EXPECT_EQ(at1, at8);
+
+  // Every span id is unique within the run.
+  std::set<std::string> ids;
+  for (const auto& [name, span, parent] : at1) ids.insert(span);
+  EXPECT_EQ(ids.size(), at1.size());
+
+  // Every non-root parent id refers to a traced span: the causal graph is
+  // closed over the trace window.
+  std::size_t linked = 0;
+  for (const auto& [name, span, parent] : at1) {
+    if (parent == "0x0") continue;
+    EXPECT_TRUE(ids.count(parent) != 0)
+        << name << " has dangling parent " << parent;
+    ++linked;
+  }
+  EXPECT_GT(linked, 0u);
+
+  // Shard spans are children of real spans, not roots: the task-group
+  // context crossed the pool boundary.
+  for (const auto& [name, span, parent] : at1) {
+    if (name == "par.shard") EXPECT_NE(parent, "0x0");
+  }
+}
+
+TEST(ObsTraceIds, DeriveSpanIdIsDeterministicAndNeverZero) {
+  EXPECT_EQ(derive_span_id(42, 7), derive_span_id(42, 7));
+  EXPECT_NE(derive_span_id(42, 7), derive_span_id(42, 8));
+  EXPECT_NE(derive_span_id(42, 7), derive_span_id(43, 7));
+  for (std::uint64_t seq = 0; seq < 64; ++seq) {
+    EXPECT_NE(derive_span_id(0, seq), 0u);
+  }
+}
+
+TEST(ObsTraceIds, NestedSpansLinkParentAndAttributeSelfTime) {
+  Registry::instance().reset_for_test();
+  reset_span_ids_for_test();
+
+  SpanAggregate& outer_agg =
+      Registry::instance().span_aggregate("test.ids.outer");
+  SpanAggregate& inner_agg =
+      Registry::instance().span_aggregate("test.ids.inner");
+  std::uint64_t outer_id = 0;
+  {
+    ScopedSpan outer(outer_agg, "test.ids.outer");
+    outer_id = outer.span_id();
+    EXPECT_EQ(outer.parent_id(), 0u);
+    EXPECT_EQ(current_span_context()->id, outer_id);
+    {
+      ScopedSpan inner(inner_agg, "test.ids.inner");
+      EXPECT_EQ(inner.parent_id(), outer_id);
+      EXPECT_EQ(inner.span_id(), derive_span_id(outer_id, 1));
+    }
+  }
+  EXPECT_EQ(current_span_context(), nullptr);
+
+  const Snapshot snap = Registry::instance().snapshot();
+  const Snapshot::SpanRow* outer_row = nullptr;
+  const Snapshot::SpanRow* inner_row = nullptr;
+  for (const auto& row : snap.spans) {
+    if (row.name == "test.ids.outer") outer_row = &row;
+    if (row.name == "test.ids.inner") inner_row = &row;
+  }
+  ASSERT_NE(outer_row, nullptr);
+  ASSERT_NE(inner_row, nullptr);
+
+  // Parent attribution: inner under outer, outer at root.
+  ASSERT_EQ(inner_row->parents.size(), 1u);
+  EXPECT_EQ(inner_row->parents[0].first, "test.ids.outer");
+  EXPECT_EQ(inner_row->parents[0].second, 1u);
+  ASSERT_EQ(outer_row->parents.size(), 1u);
+  EXPECT_EQ(outer_row->parents[0].first, "(root)");
+
+  // Self-time: the inner (leaf) span owns all its time; the outer span's
+  // self-time excludes the inner child's duration.
+  EXPECT_DOUBLE_EQ(inner_row->self_us, inner_row->total_us);
+  EXPECT_LE(outer_row->self_us, outer_row->total_us);
 }
 
 #endif  // WMESH_OBS_DISABLED

@@ -11,14 +11,18 @@
 #include <array>
 #include <atomic>
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/report.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "par/thread_pool.h"
 #include "sim/generator.h"
@@ -298,6 +302,57 @@ TEST(ParDefaults, SetDefaultThreadsControlsTheDefaultPool) {
   EXPECT_EQ(par::default_pool().thread_count(), 3u);
   par::set_default_threads(0);  // back to WMESH_THREADS / hardware
   EXPECT_GE(par::default_thread_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder under pool concurrency.  This lives in the par test wall
+// on purpose: san_smoke rebuilds this binary under ThreadSanitizer, so many
+// workers hammering the per-thread rings while the main thread drains them
+// proves the recorder's relaxed-atomic slots are race-free -- the same
+// property the fatal-signal dump path depends on.
+// ---------------------------------------------------------------------------
+
+TEST(ParFlightRecorder, PoolWorkersRecordConcurrentlyAndDrainIsClean) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "wmesh_par_flight.txt";
+  ::setenv("WMESH_FLIGHT_OUT", path.c_str(), 1);
+  obs::flight::reinit_from_env();
+  ASSERT_TRUE(obs::flight::enabled());
+
+  par::set_default_threads(8);
+  GeneratorConfig config = small_config();
+  const Dataset ds = generate_dataset(config);
+  // Instrumented analysis: every shard span, counter flush and log line
+  // lands in a worker's ring while this runs.
+  ASSERT_FALSE(report_etx(ds).empty());
+  // Drain concurrently with more recording to exercise reader/writer overlap.
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::uint64_t dropped = 0;
+      (void)obs::flight::drain(&dropped);
+    }
+  });
+  ASSERT_FALSE(report_etx(ds).empty());
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  par::set_default_threads(0);
+
+  // The on-demand dump works and carries events from multiple threads.
+  ASSERT_TRUE(obs::Registry::instance().dump_flight());
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  EXPECT_EQ(text.rfind("# wmesh.flight/1", 0), 0u);
+  EXPECT_NE(text.find("# EOF events="), std::string::npos);
+#if !defined(WMESH_OBS_DISABLED)
+  EXPECT_NE(text.find("kind=span_begin name=par.shard"), std::string::npos);
+#endif
+
+  ::unsetenv("WMESH_FLIGHT_OUT");
+  obs::flight::reinit_from_env();
+  std::remove(path.c_str());
 }
 
 }  // namespace

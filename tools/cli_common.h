@@ -1,12 +1,14 @@
-// Flag plumbing shared by every wmesh_* tool: --version, --metrics[=path]
-// and --report[=path.json] behave identically everywhere, so the glue
-// lives here instead of being copied per tool.
+// Flag plumbing shared by every wmesh_* tool: --version, --metrics[=path],
+// --report[=path.json] and --listen=<addr> behave identically everywhere,
+// so the glue lives here instead of being copied per tool.
 #pragma once
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 
+#include "obs/export_server.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -56,6 +58,30 @@ inline int emit_run_report(wmesh::obs::RunReport& report, const char* tool,
   }
   std::printf("(run report written to %s)\n", path.c_str());
   return 0;
+}
+
+// --listen=<addr>: starts the OpenMetrics export endpoint for the life of
+// the run ("unix:<path>" or "<host>:<port>"; ":0" binds an ephemeral port).
+// Prints the concrete bound address so scripts can scrape ephemeral ports.
+// Returns nullptr (after printing the error) when the bind fails; callers
+// treat that as a fatal flag error.  An empty address is not an error --
+// the flag simply was not given -- and also returns nullptr.
+inline std::unique_ptr<wmesh::obs::ExportServer> start_export_server(
+    const char* tool, const std::string& address, bool* failed) {
+  *failed = false;
+  if (address.empty()) return nullptr;
+  std::string error;
+  auto server = wmesh::obs::ExportServer::start(address, &error);
+  if (server == nullptr) {
+    std::fprintf(stderr, "%s: --listen=%s: %s\n", tool, address.c_str(),
+                 error.c_str());
+    *failed = true;
+    return nullptr;
+  }
+  std::printf("(metrics endpoint listening on %s)\n",
+              server->bound_address().c_str());
+  std::fflush(stdout);
+  return server;
 }
 
 }  // namespace wmesh::cli

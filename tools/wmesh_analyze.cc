@@ -74,6 +74,8 @@ void print_help() {
       "                   hardware); output is byte-identical for every N\n"
       "  --metrics        print the metrics registry snapshot on exit\n"
       "  --metrics=PATH   also write it to PATH (.json -> JSON, else CSV)\n"
+      "  --listen=ADDR    serve live OpenMetrics at ADDR for the whole run\n"
+      "                   (unix:<path> or <host>:<port>; ':0' = any port)\n"
       "  --report         write the run report (tool, argv, build, wall\n"
       "                   time, peak RSS, metrics + span aggregates) to\n"
       "                   wmesh_analyze.report.json\n"
@@ -100,6 +102,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   bool want_report = false;
   std::string report_path;
+  std::string listen_address;
   SnapshotFormat format = SnapshotFormat::kAuto;
 
   for (int i = 1; i < argc; ++i) {
@@ -121,6 +124,8 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--report=", 0) == 0) {
       want_report = true;
       report_path = arg.substr(std::strlen("--report="));
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      listen_address = arg.substr(std::strlen("--listen="));
     } else if (arg.rfind("--format=", 0) == 0) {
       const std::string v = arg.substr(std::strlen("--format="));
       const auto f = parse_snapshot_format(v);
@@ -154,6 +159,11 @@ int main(int argc, char** argv) {
       what != "etx" && what != "all") {
     return usage_error("unknown analysis '" + what + "'");
   }
+
+  bool listen_failed = false;
+  const auto export_server =
+      cli::start_export_server("wmesh_analyze", listen_address, &listen_failed);
+  if (listen_failed) return 1;
 
   std::optional<obs::RunReport> report;
   if (want_report) report.emplace("wmesh_analyze", argc, argv);

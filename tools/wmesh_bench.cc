@@ -78,6 +78,8 @@ void print_help() {
       "  --list           print the stage names of the suite and exit\n"
       "  --metrics        print the metrics registry snapshot on exit\n"
       "  --metrics=PATH   also write it to PATH (.json -> JSON, else CSV)\n"
+      "  --listen=ADDR    serve live OpenMetrics at ADDR for the whole run\n"
+      "                   (unix:<path> or <host>:<port>; ':0' = any port)\n"
       "  --report         write the run report to wmesh_bench.report.json\n"
       "  --report=PATH    write the run report to PATH instead\n"
       "  --version        print build info (git, compiler, flags) and exit\n"
@@ -228,6 +230,7 @@ bool read_file(const std::string& path, std::string* out) {
 int main(int argc, char** argv) {
   std::string suite = "quick";
   std::string out_path, baseline_path, metrics_path, report_path;
+  std::string listen_address;
   bool want_check = false, want_list = false;
   bool want_metrics = false, want_report = false;
   std::uint64_t repeat = 3;
@@ -280,6 +283,8 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--report=", 0) == 0) {
       want_report = true;
       report_path = arg.substr(std::strlen("--report="));
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      listen_address = arg.substr(std::strlen("--listen="));
     } else if (arg.rfind("--threads=", 0) == 0) {
       const std::string v = arg.substr(std::strlen("--threads="));
       const auto n = env::parse_u64(v);
@@ -317,6 +322,11 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
+
+  bool listen_failed = false;
+  const auto export_server =
+      cli::start_export_server("wmesh_bench", listen_address, &listen_failed);
+  if (listen_failed) return 1;
 
   std::optional<obs::RunReport> report;
   if (want_report) {

@@ -55,6 +55,8 @@ void print_help() {
       "                   hardware); snapshot is byte-identical for every N\n"
       "  --metrics        print the metrics registry snapshot on exit\n"
       "  --metrics=PATH   also write it to PATH (.json -> JSON, else CSV)\n"
+      "  --listen=ADDR    serve live OpenMetrics at ADDR for the whole run\n"
+      "                   (unix:<path> or <host>:<port>; ':0' = any port)\n"
       "  --report         write the run report (tool, argv, seed, build,\n"
       "                   wall time, peak RSS, metrics + span aggregates)\n"
       "                   to wmesh_gen.report.json\n"
@@ -82,6 +84,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   bool want_report = false;
   std::string report_path;
+  std::string listen_address;
   SnapshotFormat format = SnapshotFormat::kAuto;
 
   for (int i = 1; i < argc; ++i) {
@@ -163,6 +166,8 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--report=", 0) == 0) {
       want_report = true;
       report_path = arg.substr(std::strlen("--report="));
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      listen_address = arg.substr(std::strlen("--listen="));
     } else if (arg.rfind("--", 0) == 0) {
       return usage_error("unknown flag '" + arg + "'");
     } else if (prefix.empty()) {
@@ -174,6 +179,11 @@ int main(int argc, char** argv) {
   if (prefix.empty()) {
     return usage_error("missing <prefix>");
   }
+
+  bool listen_failed = false;
+  const auto export_server =
+      cli::start_export_server("wmesh_gen", listen_address, &listen_failed);
+  if (listen_failed) return 1;
 
   std::optional<obs::RunReport> report;
   if (want_report) {

@@ -44,6 +44,8 @@ void print_help() {
       "flags:\n"
       "  --format=F       snapshot format: csv, wsnap, or auto (default;\n"
       "                   picks by extension, then by which files exist)\n"
+      "  --listen=ADDR    serve live OpenMetrics at ADDR for the whole run\n"
+      "                   (unix:<path> or <host>:<port>; ':0' = any port)\n"
       "  --report         write the run report (tool, argv, build, wall\n"
       "                   time, peak RSS, metrics + span aggregates) to\n"
       "                   wmesh_inspect.report.json\n"
@@ -97,6 +99,7 @@ int main(int argc, char** argv) {
   SnapshotFormat format = SnapshotFormat::kAuto;
   bool want_report = false;
   std::string report_path;
+  std::string listen_address;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -109,6 +112,8 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--report=", 0) == 0) {
       want_report = true;
       report_path = arg.substr(std::strlen("--report="));
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      listen_address = arg.substr(std::strlen("--listen="));
     } else if (arg.rfind("--format=", 0) == 0) {
       const std::string v = arg.substr(std::strlen("--format="));
       const auto f = parse_snapshot_format(v);
@@ -128,6 +133,11 @@ int main(int argc, char** argv) {
   if (prefix.empty()) {
     return usage_error("missing <prefix>");
   }
+
+  bool listen_failed = false;
+  const auto export_server =
+      cli::start_export_server("wmesh_inspect", listen_address, &listen_failed);
+  if (listen_failed) return 1;
 
   std::optional<obs::RunReport> report;
   if (want_report) report.emplace("wmesh_inspect", argc, argv);

@@ -1,0 +1,260 @@
+// wmesh_top: a refreshing terminal dashboard over a live wmesh metrics
+// endpoint (any tool run with --listen=<addr>).
+//
+// Usage: wmesh_top <addr> [--interval=ms] [--iterations=N] [--once]
+//
+// Polls the OpenMetrics endpoint, parses the exposition with the same
+// strict parser the tests lint with, and renders:
+//
+//   - the top spans by self-time (exclusive of children), with counts,
+//     totals and the dominant parent span -- the causal hot list;
+//   - cache hit rates (every "*.cache.{hits,misses}" counter pair);
+//   - thread-pool occupancy (threads, regions, tasks, queue depth);
+//   - process RSS (live and peak) from the resource sampler gauges.
+//
+// Counter-backed rates are per-second deltas between polls.  --once prints
+// a single snapshot without clearing the screen (scripts, tests); with
+// --iterations=N the dashboard exits after N polls (0 = run until killed
+// or the endpoint goes away).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/export_server.h"
+#include "obs/openmetrics.h"
+#include "util/env.h"
+#include "util/text_table.h"
+
+using namespace wmesh;
+using obs::OmDocument;
+using obs::OmSample;
+
+namespace {
+
+const char* const kUsage =
+    "usage: wmesh_top <addr> [--interval=ms] [--iterations=N] [--once]\n"
+    "       wmesh_top --help\n";
+
+void print_help() {
+  std::printf(
+      "%s\n"
+      "refreshing terminal dashboard over a live wmesh metrics endpoint\n"
+      "(start any tool with --listen=<addr> and point wmesh_top at it)\n"
+      "\n"
+      "  <addr>           unix:<path> or <host>:<port>\n"
+      "  --interval=MS    poll period in milliseconds (default 1000)\n"
+      "  --iterations=N   exit after N polls (default 0 = run forever)\n"
+      "  --once           one poll, plain output, no screen clearing\n"
+      "  --help           this text\n",
+      kUsage);
+}
+
+struct SpanView {
+  std::string name;
+  double count = 0;
+  double total_us = 0;
+  double self_us = 0;
+  double p99_us = 0;
+  std::string top_parent;
+};
+
+// Pulls the span-family samples out of one parsed scrape.
+std::vector<SpanView> collect_spans(const OmDocument& doc) {
+  std::map<std::string, SpanView> by_name;
+  std::map<std::string, std::pair<std::string, double>> best_parent;
+  for (const OmSample& s : doc.samples) {
+    const std::string span = s.label("span");
+    if (span.empty()) continue;
+    SpanView& v = by_name[span];
+    v.name = span;
+    if (s.name == "wmesh_span_count_total") v.count = s.value;
+    if (s.name == "wmesh_span_us_total") v.total_us = s.value;
+    if (s.name == "wmesh_span_self_us_total") v.self_us = s.value;
+    if (s.name == "wmesh_span_p99_us") v.p99_us = s.value;
+    if (s.name == "wmesh_span_parent_total") {
+      auto& best = best_parent[span];
+      if (s.value > best.second) best = {s.label("parent"), s.value};
+    }
+  }
+  std::vector<SpanView> out;
+  for (auto& [name, v] : by_name) {
+    const auto it = best_parent.find(name);
+    if (it != best_parent.end()) v.top_parent = it->second.first;
+    out.push_back(std::move(v));
+  }
+  std::sort(out.begin(), out.end(), [](const SpanView& a, const SpanView& b) {
+    return a.self_us > b.self_us;
+  });
+  return out;
+}
+
+double sample_or(const OmDocument& doc, const char* name, double fallback) {
+  const OmSample* s = doc.find(name);
+  return s != nullptr ? s->value : fallback;
+}
+
+std::string fmt_ms(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", us / 1000.0);
+  return buf;
+}
+
+std::string fmt_mib(double bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f MiB", bytes / (1024.0 * 1024.0));
+  return buf;
+}
+
+// One rendered frame.  `prev` (when non-null) supplies counter deltas for
+// per-second rates over `dt_s`.
+void render(const OmDocument& doc, const OmDocument* prev, double dt_s) {
+  const std::vector<SpanView> spans = collect_spans(doc);
+  TextTable t;
+  t.header({"span", "count", "total ms", "self ms", "p99 ms", "top parent"});
+  std::size_t shown = 0;
+  for (const SpanView& v : spans) {
+    if (++shown > 12) break;  // top spans by self-time
+    t.add_row({v.name, fmt(v.count, 0), fmt_ms(v.total_us),
+               fmt_ms(v.self_us), fmt_ms(v.p99_us), v.top_parent});
+  }
+  if (shown != 0) {
+    std::printf("-- top spans by self-time --\n%s", t.render().c_str());
+  } else {
+    std::printf("(no spans recorded yet)\n");
+  }
+
+  // Cache families: pair every *_cache_hits_total with its misses sibling.
+  TextTable caches;
+  caches.header({"cache", "hits", "misses", "hit rate"});
+  std::size_t cache_rows = 0;
+  for (const OmSample& s : doc.samples) {
+    const std::string_view name = s.name;
+    const std::string_view suffix = "_hits_total";
+    if (name.size() <= suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    const std::string base(name.substr(0, name.size() - suffix.size()));
+    const OmSample* miss = doc.find(base + "_misses_total");
+    if (miss == nullptr) continue;
+    const double total = s.value + miss->value;
+    const double rate = total > 0 ? 100.0 * s.value / total : 0.0;
+    caches.add_row({base, fmt(s.value, 0), fmt(miss->value, 0),
+                    fmt(rate, 1) + "%"});
+    ++cache_rows;
+  }
+  if (cache_rows != 0) {
+    std::printf("\n-- caches --\n%s", caches.render().c_str());
+  }
+
+  const double threads = sample_or(doc, "wmesh_par_pool_threads", 0);
+  const double depth = sample_or(doc, "wmesh_par_pool_queue_depth", 0);
+  const double tasks = sample_or(doc, "wmesh_par_tasks_total", 0);
+  const double regions = sample_or(doc, "wmesh_par_regions_total", 0);
+  double task_rate = 0;
+  if (prev != nullptr && dt_s > 0) {
+    const OmSample* before = prev->find("wmesh_par_tasks_total");
+    if (before != nullptr) task_rate = (tasks - before->value) / dt_s;
+  }
+  std::printf(
+      "\npool: %.0f threads, %.0f regions, %.0f tasks (%.0f/s), "
+      "queue depth %.0f\n",
+      threads, regions, tasks, task_rate, depth);
+
+  const double rss = sample_or(doc, "wmesh_proc_rss_bytes", 0);
+  const double peak = sample_or(doc, "wmesh_proc_peak_rss_bytes", 0);
+  const double scrapes = sample_or(doc, "wmesh_export_scrapes_total", 0);
+  std::printf("rss: %s (peak %s), scrapes: %.0f\n", fmt_mib(rss).c_str(),
+              fmt_mib(peak).c_str(), scrapes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string address;
+  std::uint64_t interval_ms = 1000;
+  std::uint64_t iterations = 0;
+  bool once = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      return 0;
+    } else if (arg.rfind("--interval=", 0) == 0) {
+      const std::string v = arg.substr(std::strlen("--interval="));
+      const auto n = env::parse_u64(v);
+      if (!n || *n == 0) {
+        std::fprintf(stderr, "--interval: not a positive integer: '%s'\n%s",
+                     v.c_str(), kUsage);
+        return 2;
+      }
+      interval_ms = *n;
+    } else if (arg.rfind("--iterations=", 0) == 0) {
+      const std::string v = arg.substr(std::strlen("--iterations="));
+      const auto n = env::parse_u64(v);
+      if (!n) {
+        std::fprintf(stderr, "--iterations: not an integer: '%s'\n%s",
+                     v.c_str(), kUsage);
+        return 2;
+      }
+      iterations = *n;
+    } else if (arg == "--once") {
+      once = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag '%s'\n%s", arg.c_str(), kUsage);
+      return 2;
+    } else if (address.empty()) {
+      address = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument '%s'\n%s", arg.c_str(),
+                   kUsage);
+      return 2;
+    }
+  }
+  if (address.empty()) {
+    std::fprintf(stderr, "missing <addr>\n%s", kUsage);
+    return 2;
+  }
+  if (once) iterations = 1;
+
+  OmDocument prev;
+  bool have_prev = false;
+  auto prev_time = std::chrono::steady_clock::now();
+  for (std::uint64_t n = 0; iterations == 0 || n < iterations; ++n) {
+    if (n != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    std::string body, error;
+    if (!obs::scrape_openmetrics_once(address, &body, &error)) {
+      std::fprintf(stderr, "wmesh_top: %s\n", error.c_str());
+      return 1;
+    }
+    OmDocument doc;
+    if (!obs::parse_openmetrics(body, &doc, &error)) {
+      std::fprintf(stderr, "wmesh_top: bad exposition: %s\n", error.c_str());
+      return 1;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    const double dt_s =
+        std::chrono::duration<double>(now - prev_time).count();
+    if (!once) {
+      std::printf("\x1b[2J\x1b[H");  // clear + home
+      std::printf("wmesh_top  %s  (interval %llums)\n\n", address.c_str(),
+                  static_cast<unsigned long long>(interval_ms));
+    }
+    render(doc, have_prev ? &prev : nullptr, dt_s);
+    std::fflush(stdout);
+    prev = std::move(doc);
+    have_prev = true;
+    prev_time = now;
+  }
+  return 0;
+}
