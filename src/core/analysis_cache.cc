@@ -56,7 +56,8 @@ const SuccessMatrix& AnalysisCache::success(const NetworkTrace& nt,
   std::call_once(slot->once, [&] {
     auto value =
         std::make_unique<const SuccessMatrix>(mean_success_matrix(nt, rate));
-    add_bytes(value->ap_count() * value->ap_count() * sizeof(double));
+    slot->bytes = value->ap_count() * value->ap_count() * sizeof(double);
+    add_bytes(slot->bytes);
     slot->value = std::move(value);
   });
   return *slot->value;
@@ -74,6 +75,7 @@ const std::vector<SuccessMatrix>& AnalysisCache::all_success(
     for (const SuccessMatrix& m : *value) {
       bytes += m.ap_count() * m.ap_count() * sizeof(double);
     }
+    slot->bytes = bytes;
     add_bytes(bytes);
     slot->value = std::move(value);
   });
@@ -92,10 +94,44 @@ const EtxGraph& AnalysisCache::etx_graph(const NetworkTrace& nt,
   std::call_once(slot->once, [&] {
     auto value = std::make_unique<const EtxGraph>(success(nt, rate), variant,
                                                   min_delivery);
-    add_bytes(value->approx_bytes());
+    slot->bytes = value->approx_bytes();
+    add_bytes(slot->bytes);
     slot->value = std::move(value);
   });
   return *slot->value;
+}
+
+std::size_t AnalysisCache::invalidate(const NetworkTrace* nt) {
+  std::size_t dropped = 0;
+  std::size_t total_bytes, total_entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto drop = [&](auto& map, auto key_matches) {
+      for (auto it = map.begin(); it != map.end();) {
+        if (key_matches(it->first)) {
+          ++dropped;
+          // Uncomputed slots (created, call_once pending) were never
+          // counted by add_bytes; only refund what was charged.
+          if (it->second->value) {
+            stats_.bytes -= it->second->bytes;
+            --stats_.entries;
+          }
+          it = map.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    };
+    drop(success_, [nt](const SuccessKey& k) { return k.first == nt; });
+    drop(all_, [nt](const NetworkTrace* k) { return k == nt; });
+    drop(graphs_, [nt](const GraphKey& k) { return std::get<0>(k) == nt; });
+    total_bytes = stats_.bytes;
+    total_entries = stats_.entries;
+  }
+  WMESH_GAUGE_SET("cache.bytes", total_bytes);
+  WMESH_GAUGE_SET("cache.entries", total_entries);
+  if (dropped > 0) WMESH_COUNTER_ADD("cache.invalidations", dropped);
+  return dropped;
 }
 
 AnalysisCache::Stats AnalysisCache::stats() const {

@@ -64,6 +64,15 @@ class AnalysisCache {
   };
   Stats stats() const;
 
+  // Drops every entry keyed by `nt` (success matrices, all-rate vectors and
+  // ETX graphs alike) and returns how many slots died; byte/entry stats and
+  // the cache.* gauges shrink accordingly.  This is the streaming hook: when
+  // a live window advances for one network, wmesh_serve invalidates just
+  // that network and every other network's entries stay warm.  Like clear(),
+  // must not race readers of the invalidated network -- callers serialize
+  // window advances against queries.
+  std::size_t invalidate(const NetworkTrace* nt);
+
   // Drops every entry (references die); stats reset to zero.
   void clear();
 
@@ -74,6 +83,7 @@ class AnalysisCache {
   struct Slot {
     std::once_flag once;
     std::unique_ptr<const T> value;
+    std::size_t bytes = 0;  // payload estimate, refunded on invalidate()
   };
 
   // Returns the slot for `key`, creating it if needed; sets `created`.

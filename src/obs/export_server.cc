@@ -1,65 +1,22 @@
 #include "obs/export_server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
-#include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <thread>
 
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/openmetrics.h"
+#include "obs/socket_util.h"
 
 namespace wmesh::obs {
 namespace {
-
-struct ParsedAddress {
-  bool is_unix = false;
-  std::string unix_path;
-  std::string host;       // TCP only
-  std::uint16_t port = 0;  // TCP only
-};
-
-bool parse_address(const std::string& address, ParsedAddress* out,
-                   std::string* error) {
-  if (address.rfind("unix:", 0) == 0) {
-    out->is_unix = true;
-    out->unix_path = address.substr(5);
-    if (out->unix_path.empty()) {
-      *error = "empty unix socket path in '" + address + "'";
-      return false;
-    }
-    if (out->unix_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
-      *error = "unix socket path too long: " + out->unix_path;
-      return false;
-    }
-    return true;
-  }
-  const std::size_t colon = address.rfind(':');
-  if (colon == std::string::npos) {
-    *error = "address '" + address +
-             "' is not unix:<path> or <host>:<port>";
-    return false;
-  }
-  out->host = address.substr(0, colon);
-  if (out->host.empty()) out->host = "127.0.0.1";
-  const std::string port_str = address.substr(colon + 1);
-  char* end = nullptr;
-  const unsigned long port = std::strtoul(port_str.c_str(), &end, 10);
-  if (end == port_str.c_str() || *end != '\0' || port > 65535) {
-    *error = "bad port in '" + address + "'";
-    return false;
-  }
-  out->port = static_cast<std::uint16_t>(port);
-  return true;
-}
 
 // Reads until the blank line ending the request head (we ignore the head
 // itself -- every request gets the metrics document).
@@ -78,90 +35,38 @@ void drain_request_head(int fd) noexcept {
   }
 }
 
-void send_all(int fd, const char* data, std::size_t len) noexcept {
-  std::size_t off = 0;
-  while (off < len) {
-    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
-    if (n <= 0) return;
-    off += static_cast<std::size_t>(n);
-  }
-}
-
 }  // namespace
 
 struct ExportServer::Impl {
   int listen_fd = -1;
-  bool is_unix = false;
-  std::string unix_path;
+  std::string unix_path;  // empty for TCP
   std::atomic<bool> stop{false};
+  WakePipe wake;
   std::thread thread;
+  // Serializes stop(): the first caller wakes + joins the serving thread;
+  // a concurrent second caller (say, stop() racing the destructor) blocks
+  // here until the join finished instead of returning while the thread is
+  // still live -- the old exchange-only guard let it race the teardown.
+  std::mutex stop_mu;
 };
 
 std::unique_ptr<ExportServer> ExportServer::start(const std::string& address,
                                                   std::string* error) {
-  ParsedAddress addr;
-  if (!parse_address(address, &addr, error)) return nullptr;
-
-  int fd = -1;
-  std::string bound;
-  if (addr.is_unix) {
-    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0) {
-      *error = std::string("socket: ") + std::strerror(errno);
-      return nullptr;
-    }
-    ::unlink(addr.unix_path.c_str());  // stale socket from a previous run
-    sockaddr_un sa{};
-    sa.sun_family = AF_UNIX;
-    std::strncpy(sa.sun_path, addr.unix_path.c_str(),
-                 sizeof(sa.sun_path) - 1);
-    if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
-      *error = "bind " + addr.unix_path + ": " + std::strerror(errno);
-      ::close(fd);
-      return nullptr;
-    }
-    bound = "unix:" + addr.unix_path;
-  } else {
-    fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) {
-      *error = std::string("socket: ") + std::strerror(errno);
-      return nullptr;
-    }
-    const int one = 1;
-    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    sockaddr_in sa{};
-    sa.sin_family = AF_INET;
-    sa.sin_port = htons(addr.port);
-    if (::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1) {
-      *error = "bad host '" + addr.host + "' (use a literal IPv4 address)";
-      ::close(fd);
-      return nullptr;
-    }
-    if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
-      *error = "bind " + address + ": " + std::strerror(errno);
-      ::close(fd);
-      return nullptr;
-    }
-    sockaddr_in actual{};
-    socklen_t len = sizeof(actual);
-    ::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len);
-    char host[INET_ADDRSTRLEN] = {0};
-    ::inet_ntop(AF_INET, &actual.sin_addr, host, sizeof(host));
-    bound = std::string(host) + ':' + std::to_string(ntohs(actual.sin_port));
-  }
-  if (::listen(fd, 16) != 0) {
-    *error = std::string("listen: ") + std::strerror(errno);
-    ::close(fd);
-    if (addr.is_unix) ::unlink(addr.unix_path.c_str());
-    return nullptr;
-  }
+  std::string bound, unix_path;
+  const int fd = bind_listen_socket(address, &bound, &unix_path, error);
+  if (fd < 0) return nullptr;
 
   auto server = std::unique_ptr<ExportServer>(new ExportServer());
   server->impl_ = std::make_unique<Impl>();
   server->impl_->listen_fd = fd;
-  server->impl_->is_unix = addr.is_unix;
-  server->impl_->unix_path = addr.unix_path;
+  server->impl_->unix_path = unix_path;
   server->bound_ = bound;
+  if (!server->impl_->wake.ok()) {
+    *error = "cannot create shutdown wakeup pipe";
+    ::close(fd);
+    if (!unix_path.empty()) ::unlink(unix_path.c_str());
+    return nullptr;
+  }
   ExportServer* raw = server.get();
   server->impl_->thread = std::thread([raw] { raw->serve_loop(); });
   WMESH_LOG_INFO("obs.export", kv("event", "listening"), kv("addr", bound));
@@ -171,22 +76,31 @@ std::unique_ptr<ExportServer> ExportServer::start(const std::string& address,
 ExportServer::~ExportServer() { stop(); }
 
 void ExportServer::stop() noexcept {
-  if (!impl_ || impl_->stop.exchange(true)) return;
+  if (!impl_) return;
+  std::lock_guard<std::mutex> lock(impl_->stop_mu);
+  if (impl_->stop.exchange(true)) return;  // joined by the caller before us
+  impl_->wake.wake();
   if (impl_->thread.joinable()) impl_->thread.join();
   if (impl_->listen_fd >= 0) {
     ::close(impl_->listen_fd);
     impl_->listen_fd = -1;
   }
-  if (impl_->is_unix) ::unlink(impl_->unix_path.c_str());
+  if (!impl_->unix_path.empty()) ::unlink(impl_->unix_path.c_str());
 }
 
 void ExportServer::serve_loop() noexcept {
   Impl& im = *impl_;
-  while (!im.stop.load(std::memory_order_relaxed)) {
-    pollfd pfd{im.listen_fd, POLLIN, 0};
-    // Short poll timeout bounds stop() latency without a wakeup pipe.
-    const int pr = ::poll(&pfd, 1, 100);
+  while (!im.stop.load(std::memory_order_acquire)) {
+    pollfd pfds[2] = {{im.listen_fd, POLLIN, 0},
+                      {im.wake.read_fd(), POLLIN, 0}};
+    // No timeout: stop() wakes the pipe, so the join is deterministic
+    // instead of waiting out a poll interval.
+    const int pr = ::poll(pfds, 2, -1);
     if (pr <= 0) continue;
+    if (im.stop.load(std::memory_order_acquire)) break;
+    if ((pfds[0].revents & POLLIN) == 0) continue;
+    // The listen fd is non-blocking: readiness can evaporate (aborted
+    // connection), and a blocking accept here would hang shutdown.
     const int client = ::accept(im.listen_fd, nullptr, nullptr);
     if (client < 0) continue;
     drain_request_head(client);
@@ -208,45 +122,8 @@ void ExportServer::serve_loop() noexcept {
 
 bool scrape_openmetrics_once(const std::string& address, std::string* body,
                              std::string* error) {
-  ParsedAddress addr;
-  if (!parse_address(address, &addr, error)) return false;
-
-  int fd = -1;
-  if (addr.is_unix) {
-    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0) {
-      *error = std::string("socket: ") + std::strerror(errno);
-      return false;
-    }
-    sockaddr_un sa{};
-    sa.sun_family = AF_UNIX;
-    std::strncpy(sa.sun_path, addr.unix_path.c_str(),
-                 sizeof(sa.sun_path) - 1);
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
-      *error = "connect " + addr.unix_path + ": " + std::strerror(errno);
-      ::close(fd);
-      return false;
-    }
-  } else {
-    fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) {
-      *error = std::string("socket: ") + std::strerror(errno);
-      return false;
-    }
-    sockaddr_in sa{};
-    sa.sin_family = AF_INET;
-    sa.sin_port = htons(addr.port);
-    if (::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1) {
-      *error = "bad host '" + addr.host + "'";
-      ::close(fd);
-      return false;
-    }
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
-      *error = "connect " + address + ": " + std::strerror(errno);
-      ::close(fd);
-      return false;
-    }
-  }
+  const int fd = connect_socket(address, error);
+  if (fd < 0) return false;
 
   const char req[] = "GET /metrics HTTP/1.0\r\nConnection: close\r\n\r\n";
   send_all(fd, req, sizeof(req) - 1);

@@ -1,0 +1,204 @@
+#include "obs/socket_util.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace wmesh::obs {
+namespace {
+
+void set_nonblocking(int fd) noexcept {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+bool parse_socket_address(const std::string& address, ParsedAddress* out,
+                          std::string* error) {
+  if (address.rfind("unix:", 0) == 0) {
+    out->is_unix = true;
+    out->unix_path = address.substr(5);
+    if (out->unix_path.empty()) {
+      *error = "empty unix socket path in '" + address + "'";
+      return false;
+    }
+    if (out->unix_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      *error = "unix socket path too long: " + out->unix_path;
+      return false;
+    }
+    return true;
+  }
+  const std::size_t colon = address.rfind(':');
+  if (colon == std::string::npos) {
+    *error = "address '" + address + "' is not unix:<path> or <host>:<port>";
+    return false;
+  }
+  out->host = address.substr(0, colon);
+  if (out->host.empty()) out->host = "127.0.0.1";
+  const std::string port_str = address.substr(colon + 1);
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_str.c_str(), &end, 10);
+  if (end == port_str.c_str() || *end != '\0' || port > 65535) {
+    *error = "bad port in '" + address + "'";
+    return false;
+  }
+  out->port = static_cast<std::uint16_t>(port);
+  return true;
+}
+
+int bind_listen_socket(const std::string& address, std::string* bound,
+                       std::string* unix_path, std::string* error) {
+  ParsedAddress addr;
+  if (!parse_socket_address(address, &addr, error)) return -1;
+  unix_path->clear();
+
+  int fd = -1;
+  if (addr.is_unix) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      *error = std::string("socket: ") + std::strerror(errno);
+      return -1;
+    }
+    ::unlink(addr.unix_path.c_str());  // stale socket from a previous run
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    std::strncpy(sa.sun_path, addr.unix_path.c_str(), sizeof(sa.sun_path) - 1);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      *error = "bind " + addr.unix_path + ": " + std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+    *bound = "unix:" + addr.unix_path;
+    *unix_path = addr.unix_path;
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      *error = std::string("socket: ") + std::strerror(errno);
+      return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(addr.port);
+    if (::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1) {
+      *error = "bad host '" + addr.host + "' (use a literal IPv4 address)";
+      ::close(fd);
+      return -1;
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      *error = "bind " + address + ": " + std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len);
+    char host[INET_ADDRSTRLEN] = {0};
+    ::inet_ntop(AF_INET, &actual.sin_addr, host, sizeof(host));
+    *bound = std::string(host) + ':' + std::to_string(ntohs(actual.sin_port));
+  }
+  if (::listen(fd, 16) != 0) {
+    *error = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    if (addr.is_unix) ::unlink(addr.unix_path.c_str());
+    return -1;
+  }
+  // Non-blocking accept: poll() readiness on a listen socket is not a
+  // guarantee (the pending connection can be reset before accept runs), and
+  // a blocking accept after a spurious wakeup would hang shutdown forever.
+  set_nonblocking(fd);
+  return fd;
+}
+
+int connect_socket(const std::string& address, std::string* error) {
+  ParsedAddress addr;
+  if (!parse_socket_address(address, &addr, error)) return -1;
+
+  int fd = -1;
+  if (addr.is_unix) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      *error = std::string("socket: ") + std::strerror(errno);
+      return -1;
+    }
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    std::strncpy(sa.sun_path, addr.unix_path.c_str(), sizeof(sa.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      *error = "connect " + addr.unix_path + ": " + std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      *error = std::string("socket: ") + std::strerror(errno);
+      return -1;
+    }
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(addr.port);
+    if (::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1) {
+      *error = "bad host '" + addr.host + "'";
+      ::close(fd);
+      return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      *error = "connect " + address + ": " + std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+  }
+  return fd;
+}
+
+bool send_all(int fd, const char* data, std::size_t len) noexcept {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+WakePipe::WakePipe() {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) == 0) {
+    read_fd_ = fds[0];
+    write_fd_ = fds[1];
+    set_nonblocking(read_fd_);
+    set_nonblocking(write_fd_);
+  }
+}
+
+WakePipe::~WakePipe() {
+  if (read_fd_ >= 0) ::close(read_fd_);
+  if (write_fd_ >= 0) ::close(write_fd_);
+}
+
+void WakePipe::wake() noexcept {
+  if (write_fd_ < 0) return;
+  const char b = 'w';
+  // Non-blocking: a full pipe already holds a pending wakeup.
+  (void)!::write(write_fd_, &b, 1);
+}
+
+void WakePipe::drain() noexcept {
+  if (read_fd_ < 0) return;
+  char buf[64];
+  while (::read(read_fd_, buf, sizeof(buf)) > 0) {
+  }
+}
+
+}  // namespace wmesh::obs

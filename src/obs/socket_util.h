@@ -1,0 +1,68 @@
+// Shared localhost socket plumbing behind every `--listen=<addr>` flag.
+//
+// Address forms (identical everywhere a tool takes an address):
+//   "unix:<path>"   -- unix domain socket (path unlinked on bind)
+//   "<host>:<port>" -- localhost TCP; host defaults to 127.0.0.1 when
+//                      empty (":0" binds an ephemeral port)
+//
+// Both the OpenMetrics export endpoint (obs/export_server.h) and the
+// wmesh_serve query protocol (serve/query_server.h) are accept-loop servers
+// over these helpers, so parsing, binding and the deterministic-shutdown
+// wakeup pipe behave identically for every listener in the tree.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace wmesh::obs {
+
+struct ParsedAddress {
+  bool is_unix = false;
+  std::string unix_path;
+  std::string host;        // TCP only
+  std::uint16_t port = 0;  // TCP only
+};
+
+// Parses "unix:<path>" or "<host>:<port>".  False with *error set when the
+// address has neither shape (or the unix path is empty/too long).
+bool parse_socket_address(const std::string& address, ParsedAddress* out,
+                          std::string* error);
+
+// Binds + listens on `address` and returns the (non-blocking) listen fd, or
+// -1 with *error set.  *bound receives the concrete address -- e.g.
+// "127.0.0.1:40913" after binding ":0", or "unix:/tmp/x.sock" -- suitable
+// for connect_socket().  *unix_path receives the path to unlink after close
+// (empty for TCP).
+int bind_listen_socket(const std::string& address, std::string* bound,
+                       std::string* unix_path, std::string* error);
+
+// Connects a blocking client socket to `address` (same forms as above).
+// Returns the fd, or -1 with *error set.
+int connect_socket(const std::string& address, std::string* error);
+
+// Writes the whole buffer (MSG_NOSIGNAL, EINTR-retried).  False when the
+// peer went away mid-write; the caller owns closing the fd either way.
+bool send_all(int fd, const char* data, std::size_t len) noexcept;
+
+// A self-pipe used to interrupt poll() deterministically: servers poll on
+// {listen_fd, pipe.read_fd()} and stop() writes one byte, so a shutdown
+// never waits out a poll timeout and the serving thread joins immediately.
+class WakePipe {
+ public:
+  WakePipe();   // fds are -1 on failure (callers treat that as fatal)
+  ~WakePipe();
+  WakePipe(const WakePipe&) = delete;
+  WakePipe& operator=(const WakePipe&) = delete;
+
+  bool ok() const noexcept { return read_fd_ >= 0 && write_fd_ >= 0; }
+  int read_fd() const noexcept { return read_fd_; }
+  void wake() noexcept;   // writes one byte (non-blocking, idempotent-ish)
+  void drain() noexcept;  // reads pending wake bytes
+
+ private:
+  int read_fd_ = -1;
+  int write_fd_ = -1;
+};
+
+}  // namespace wmesh::obs

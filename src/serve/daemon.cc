@@ -1,0 +1,69 @@
+#include "serve/daemon.h"
+
+#include <chrono>
+#include <thread>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace wmesh::serve {
+
+std::unique_ptr<ServeDaemon> ServeDaemon::start(const DaemonOptions& options,
+                                                std::string* error) {
+  auto daemon = std::unique_ptr<ServeDaemon>(new ServeDaemon());
+  daemon->options_ = options;
+  daemon->service_ = std::make_unique<MeshService>(options.service);
+  MeshService* svc = daemon->service_.get();
+  daemon->server_ = QueryServer::start(
+      options.listen,
+      [svc](const std::string& line) -> QueryServer::Response {
+        if (line == "shutdown") return {true, "bye\n", true, true};
+        if (line == "quit") return {true, "bye\n", true, false};
+        QueryResult r = svc->query(line);
+        return {r.ok, std::move(r.body), false, false};
+      },
+      error);
+  if (daemon->server_ == nullptr) return nullptr;
+  return daemon;
+}
+
+ServeDaemon::~ServeDaemon() {
+  if (server_) server_->stop();
+}
+
+std::uint64_t ServeDaemon::run() {
+  WMESH_LOG_INFO("serve", kv("event", "ingest_start"),
+                 kv("max_rounds", options_.max_rounds));
+  std::uint64_t ingested = 0;
+  bool draining = true;
+  while (!stop_.load(std::memory_order_acquire) &&
+         !server_->shutdown_requested()) {
+    if (draining &&
+        (options_.max_rounds == 0 || ingested < options_.max_rounds)) {
+      if (service_->tick()) {
+        ++ingested;
+        if (options_.tick_sleep_ms > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(options_.tick_sleep_ms));
+        }
+        continue;
+      }
+      draining = false;
+      WMESH_LOG_INFO("serve", kv("event", "stream_drained"),
+                     kv("rounds", ingested),
+                     kv("virtual_time_s", service_->time_s()));
+    } else if (draining) {
+      draining = false;  // max_rounds reached; linger serving queries
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server_->stop();
+  WMESH_LOG_INFO("serve", kv("event", "ingest_stop"), kv("rounds", ingested));
+  return ingested;
+}
+
+void ServeDaemon::request_shutdown() noexcept {
+  stop_.store(true, std::memory_order_release);
+}
+
+}  // namespace wmesh::serve

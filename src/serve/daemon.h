@@ -1,0 +1,63 @@
+// ServeDaemon: MeshService + QueryServer wired into a runnable daemon.
+//
+// The daemon owns the ingest loop: it drives MeshService::tick() on the
+// run() caller's thread -- as fast as the CPU allows by default (the
+// virtual clock is free; hours of 40 s probe rounds replay in
+// milliseconds), or paced by tick_sleep_ms for a wall-clock-ish feed --
+// while the query server answers on its own thread.  When the stream is
+// exhausted (or max_rounds reached) the daemon lingers, serving queries
+// over the final window, until a client sends "shutdown" or the owner calls
+// request_shutdown().
+//
+// tools/wmesh_serve.cc is a flag parser around this class; the smoke and
+// fault-injection tests drive it in-process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/query_server.h"
+#include "serve/service.h"
+
+namespace wmesh::serve {
+
+struct DaemonOptions {
+  ServeConfig service;
+  std::string listen;            // query endpoint address (required)
+  std::uint64_t max_rounds = 0;  // stop ingesting after N rounds (0 = all)
+  int tick_sleep_ms = 0;         // wall pause between probe rounds
+};
+
+class ServeDaemon {
+ public:
+  // Builds the service (generates the fleet; the expensive step) and binds
+  // the query endpoint.  nullptr + *error when the bind fails.
+  static std::unique_ptr<ServeDaemon> start(const DaemonOptions& options,
+                                            std::string* error);
+
+  ~ServeDaemon();
+
+  // Ingests until shutdown (see header comment).  Returns the number of
+  // probe rounds ingested.
+  std::uint64_t run();
+
+  // Stops run() from another thread (same effect as a "shutdown" command).
+  void request_shutdown() noexcept;
+
+  const std::string& query_address() const noexcept {
+    return server_->bound_address();
+  }
+  MeshService& service() noexcept { return *service_; }
+
+ private:
+  ServeDaemon() = default;
+
+  DaemonOptions options_;
+  std::unique_ptr<MeshService> service_;
+  std::unique_ptr<QueryServer> server_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace wmesh::serve

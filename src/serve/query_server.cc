@@ -1,0 +1,153 @@
+#include "serve/query_server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <mutex>
+#include <thread>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/socket_util.h"
+
+namespace wmesh::serve {
+namespace {
+
+// Longest accepted request line (including the newline).  Commands are a
+// word and an optional network id; anything near this limit is garbage.
+constexpr std::size_t kMaxLine = 4096;
+
+void protocol_error(const char* what) noexcept {
+  WMESH_COUNTER_INC("serve.protocol_errors");
+  WMESH_LOG_DEBUG("serve.query", kv("protocol_error", what));
+}
+
+}  // namespace
+
+struct QueryServer::Impl {
+  int listen_fd = -1;
+  std::string unix_path;
+  Handler handler;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> shutdown_requested{false};
+  obs::WakePipe wake;
+  std::thread thread;
+  std::mutex stop_mu;  // same discipline as ExportServer::stop()
+};
+
+std::unique_ptr<QueryServer> QueryServer::start(const std::string& address,
+                                                Handler handler,
+                                                std::string* error) {
+  std::string bound, unix_path;
+  const int fd = obs::bind_listen_socket(address, &bound, &unix_path, error);
+  if (fd < 0) return nullptr;
+
+  auto server = std::unique_ptr<QueryServer>(new QueryServer());
+  server->impl_ = std::make_unique<Impl>();
+  server->impl_->listen_fd = fd;
+  server->impl_->unix_path = unix_path;
+  server->impl_->handler = std::move(handler);
+  server->bound_ = bound;
+  if (!server->impl_->wake.ok()) {
+    *error = "cannot create shutdown wakeup pipe";
+    ::close(fd);
+    if (!unix_path.empty()) ::unlink(unix_path.c_str());
+    return nullptr;
+  }
+  QueryServer* raw = server.get();
+  server->impl_->thread = std::thread([raw] { raw->serve_loop(); });
+  WMESH_LOG_INFO("serve.query", kv("event", "listening"), kv("addr", bound));
+  return server;
+}
+
+QueryServer::~QueryServer() { stop(); }
+
+void QueryServer::stop() noexcept {
+  if (!impl_) return;
+  std::lock_guard<std::mutex> lock(impl_->stop_mu);
+  if (impl_->stop.exchange(true)) return;
+  impl_->wake.wake();
+  if (impl_->thread.joinable()) impl_->thread.join();
+  if (impl_->listen_fd >= 0) {
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+  }
+  if (!impl_->unix_path.empty()) ::unlink(impl_->unix_path.c_str());
+}
+
+bool QueryServer::shutdown_requested() const noexcept {
+  return impl_ && impl_->shutdown_requested.load(std::memory_order_acquire);
+}
+
+void QueryServer::serve_loop() noexcept {
+  Impl& im = *impl_;
+  while (!im.stop.load(std::memory_order_acquire)) {
+    pollfd pfds[2] = {{im.listen_fd, POLLIN, 0},
+                      {im.wake.read_fd(), POLLIN, 0}};
+    const int pr = ::poll(pfds, 2, -1);
+    if (pr <= 0) continue;
+    if (im.stop.load(std::memory_order_acquire)) break;
+    if ((pfds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept(im.listen_fd, nullptr, nullptr);
+    if (client < 0) continue;  // non-blocking listen fd: readiness lapsed
+    WMESH_COUNTER_INC("serve.connections");
+    serve_client(client);
+    ::close(client);
+  }
+}
+
+void QueryServer::serve_client(int fd) noexcept {
+  Impl& im = *impl_;
+  std::string buf;
+  char chunk[1024];
+  while (!im.stop.load(std::memory_order_acquire)) {
+    // Drain complete lines before reading more.
+    std::size_t nl;
+    while ((nl = buf.find('\n')) != std::string::npos) {
+      std::string line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;  // blank keep-alives are fine
+      Response resp = im.handler(line);
+      if (resp.shutdown) {
+        im.shutdown_requested.store(true, std::memory_order_release);
+      }
+      std::string out =
+          resp.ok ? "ok " + std::to_string(resp.body.size()) + "\n" + resp.body
+                  : "err " + resp.body + "\n";
+      if (!resp.ok) protocol_error("rejected_command");
+      if (!obs::send_all(fd, out.data(), out.size())) {
+        // Peer vanished mid-response; the connection dies, the server
+        // doesn't (send_all uses MSG_NOSIGNAL, so no SIGPIPE either).
+        protocol_error("client_disconnect");
+        return;
+      }
+      if (resp.close || resp.shutdown) return;
+    }
+    if (buf.size() >= kMaxLine) {
+      const char msg[] = "err line too long\n";
+      protocol_error("oversized_line");
+      obs::send_all(fd, msg, sizeof(msg) - 1);
+      return;
+    }
+    // Block on {client, wake} so a silent client never pins shutdown.
+    pollfd pfds[2] = {{fd, POLLIN, 0}, {im.wake.read_fd(), POLLIN, 0}};
+    const int pr = ::poll(pfds, 2, -1);
+    if (pr <= 0) continue;
+    if (im.stop.load(std::memory_order_acquire)) return;
+    if ((pfds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      // EOF.  Bytes left without a newline are a truncated request.
+      if (!buf.empty()) protocol_error("truncated_request");
+      return;
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace wmesh::serve

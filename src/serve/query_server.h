@@ -1,0 +1,69 @@
+// Line-protocol query endpoint for wmesh_serve.
+//
+// Protocol (newline-framed, one command per line, many commands per
+// connection):
+//   request:  "<command> [arg]\n"           (<= 4096 bytes, '\r' stripped)
+//   response: "ok <payload-bytes>\n<payload>"  on success
+//             "err <message>\n"                on failure
+//
+// The listener reuses the obs/socket_util plumbing (same address grammar as
+// every --listen flag: "unix:<path>" or "<host>:<port>", ":0" = ephemeral)
+// and the same deterministic-shutdown wakeup pipe as the OpenMetrics
+// endpoint.  One serving thread handles one connection at a time; commands
+// dispatch through the injected handler, so the server knows framing and
+// nothing else.
+//
+// Fault containment is the contract (the fault-injection wall in
+// tests/test_serve.cc pins it): oversized lines, unknown commands (handler
+// says not-ok), truncated requests and clients vanishing mid-response all
+// leave the server accepting -- each increments `serve.protocol_errors`,
+// none raises a signal or wedges the loop.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace wmesh::serve {
+
+class QueryServer {
+ public:
+  struct Response {
+    bool ok = false;
+    std::string body;       // payload when ok, error message otherwise
+    bool close = false;     // close this connection after responding
+    bool shutdown = false;  // caller should stop the daemon (reported via
+                            // shutdown_requested(); the server keeps
+                            // serving until stop())
+  };
+  using Handler = std::function<Response(const std::string& line)>;
+
+  // Binds `address` and starts the serving thread.  nullptr + *error on
+  // failure.  The handler runs on the serving thread.
+  static std::unique_ptr<QueryServer> start(const std::string& address,
+                                            Handler handler,
+                                            std::string* error);
+
+  ~QueryServer();
+
+  // Idempotent, thread-safe: wakes the poll loop, joins the serving thread,
+  // closes and unlinks the socket.
+  void stop() noexcept;
+
+  // Concrete address, e.g. "127.0.0.1:40913" after binding ":0".
+  const std::string& bound_address() const noexcept { return bound_; }
+
+  // True once any handled command set Response::shutdown.
+  bool shutdown_requested() const noexcept;
+
+ private:
+  QueryServer() = default;
+  void serve_loop() noexcept;
+  void serve_client(int fd) noexcept;
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::string bound_;
+};
+
+}  // namespace wmesh::serve

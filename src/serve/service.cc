@@ -1,0 +1,235 @@
+#include "serve/service.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iterator>
+#include <sstream>
+
+#include "core/report.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/env.h"
+
+namespace wmesh::serve {
+namespace {
+
+// Sections that accept an optional trailing network id.
+bool takes_network_arg(const std::string& what) {
+  return what == "etx" || what == "exor" || what == "paths" ||
+         what == "hidden";
+}
+
+}  // namespace
+
+MeshService::MeshService(const ServeConfig& config)
+    : config_(config), fleet_(config.gen) {
+  const std::size_t n = fleet_.trace_count();
+  windows_.assign(n, ReportWindow(config_.window_rounds));
+  round_sets_.resize(n);
+  // Sized once, never reallocated: &live_.networks[i] keys the cache.
+  live_.networks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    NetworkTrace nt;
+    nt.info = fleet_.info(i);
+    nt.ap_count = fleet_.ap_count(i);
+    nt.client_samples = fleet_.client_samples(i);
+    live_.networks.push_back(std::move(nt));
+  }
+  next_report_s_ = config_.gen.probes.report_interval_s;
+  WMESH_LOG_INFO("serve", kv("event", "service_ready"), kv("traces", n),
+                 kv("window_rounds", config_.window_rounds));
+}
+
+bool MeshService::tick() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fleet_.finished()) return false;
+  WMESH_SPAN("serve.tick");
+  for (auto& v : round_sets_) v.clear();
+  fleet_.advance_round(&round_sets_);
+  ++rounds_;
+  WMESH_COUNTER_INC("serve.rounds");
+
+  std::size_t ingested = 0;
+  for (const auto& v : round_sets_) ingested += v.size();
+  ingested_sets_ += ingested;
+  if (ingested > 0) WMESH_COUNTER_ADD("serve.reports_ingested", ingested);
+
+  // Every trace shares one probe schedule (config.gen.probes), so report
+  // boundaries are global: when one passes, every trace gets a window round
+  // -- possibly empty, silent networks report nothing -- and only traces
+  // whose window contents changed pay for rematerialization and cache
+  // invalidation.
+  const double t = fleet_.time_s();
+  while (next_report_s_ <= t + 1e-9) {
+    const auto rt = static_cast<std::uint32_t>(std::lround(next_report_s_));
+    ++report_rounds_;
+    for (std::size_t i = 0; i < round_sets_.size(); ++i) {
+      auto& pending = round_sets_[i];
+      std::size_t k = 0;
+      while (k < pending.size() && pending[k].time_s == rt) ++k;
+      std::vector<ProbeSet> round(
+          std::make_move_iterator(pending.begin()),
+          std::make_move_iterator(pending.begin() +
+                                  static_cast<std::ptrdiff_t>(k)));
+      pending.erase(pending.begin(),
+                    pending.begin() + static_cast<std::ptrdiff_t>(k));
+      if (windows_[i].push_round(std::move(round))) {
+        ++window_advances_;
+        WMESH_COUNTER_INC("serve.window_advances");
+        windows_[i].materialize(&live_.networks[i].probe_sets);
+        const std::size_t dropped = cache_.invalidate(&live_.networks[i]);
+        invalidations_ += dropped;
+        if (dropped > 0) {
+          WMESH_COUNTER_ADD("serve.cache_invalidations", dropped);
+        }
+      }
+    }
+    next_report_s_ += config_.gen.probes.report_interval_s;
+  }
+  WMESH_GAUGE_SET("serve.time_s", t);
+  return true;
+}
+
+QueryResult MeshService::query(const std::string& line) {
+  const auto start = std::chrono::steady_clock::now();
+  QueryResult result;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    WMESH_SPAN("serve.query");
+    ++queries_;
+    result = dispatch(line);
+  }
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  WMESH_COUNTER_INC("serve.queries");
+  WMESH_HISTOGRAM_RECORD("serve.query_us", us);
+  return result;
+}
+
+QueryResult MeshService::dispatch(const std::string& line) {
+  std::istringstream in(line);
+  std::string what, arg, extra;
+  in >> what >> arg >> extra;
+  if (what.empty()) return {false, "empty command"};
+  if (!extra.empty()) return {false, "too many arguments"};
+  if (!arg.empty() && !takes_network_arg(what)) {
+    return {false, "'" + what + "' takes no argument"};
+  }
+
+  if (what == "help") return {true, help_text()};
+  if (what == "stats") return {true, stats_text()};
+
+  if (!arg.empty()) {
+    const auto id = env::parse_u64(arg);
+    if (!id || *id > 0xffffffffULL) {
+      return {false, "bad network id '" + arg + "'"};
+    }
+    return render_filtered(what, static_cast<std::uint32_t>(*id));
+  }
+
+  if (what == "snr") return {true, report_snr(live_)};
+  if (what == "lookup") return {true, report_lookup(live_)};
+  if (what == "etx") return {true, report_etx(live_)};
+  if (what == "exor") return {true, report_routing(live_, cache_)};
+  if (what == "paths") return {true, report_path_lengths(live_, cache_)};
+  if (what == "hidden") return {true, report_hidden(live_, cache_)};
+  if (what == "mobility") return {true, report_mobility(live_)};
+  if (what == "traffic") return {true, report_traffic(live_)};
+  return {false, "unknown command '" + what + "' (try help)"};
+}
+
+QueryResult MeshService::render_filtered(const std::string& what,
+                                         std::uint32_t id) {
+  // Per-network queries render over a copy: the shared cache keys on the
+  // live trace addresses, and a one-network Dataset is cheap next to the
+  // analysis itself.
+  Dataset one;
+  for (const auto& nt : live_.networks) {
+    if (nt.info.id == id) one.networks.push_back(nt);
+  }
+  if (one.networks.empty()) {
+    return {false, "unknown network id " + std::to_string(id)};
+  }
+  if (what == "etx") return {true, report_etx(one)};
+  if (what == "exor") return {true, report_routing(one)};
+  if (what == "paths") return {true, report_path_lengths(one)};
+  if (what == "hidden") return {true, report_hidden(one)};
+  return {false, "unknown command '" + what + "' (try help)"};
+}
+
+std::string MeshService::stats_text() const {
+  const AnalysisCache::Stats cs = cache_.stats();
+  std::size_t live_sets = 0;
+  for (const auto& nt : live_.networks) live_sets += nt.probe_sets.size();
+  char buf[640];
+  std::snprintf(buf, sizeof(buf),
+                "== serve stats ==\n"
+                "virtual_time_s       %.0f\n"
+                "probe_rounds         %llu\n"
+                "report_rounds        %llu\n"
+                "traces               %zu\n"
+                "window_rounds        %zu\n"
+                "live_probe_sets      %zu\n"
+                "ingested_probe_sets  %llu\n"
+                "window_advances      %llu\n"
+                "cache_invalidations  %llu\n"
+                "queries              %llu\n"
+                "cache_hits           %llu\n"
+                "cache_misses         %llu\n"
+                "cache_entries        %zu\n"
+                "cache_bytes          %zu\n",
+                fleet_.time_s(),
+                static_cast<unsigned long long>(rounds_),
+                static_cast<unsigned long long>(report_rounds_),
+                live_.networks.size(), config_.window_rounds, live_sets,
+                static_cast<unsigned long long>(ingested_sets_),
+                static_cast<unsigned long long>(window_advances_),
+                static_cast<unsigned long long>(invalidations_),
+                static_cast<unsigned long long>(queries_),
+                static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.misses), cs.entries,
+                cs.bytes);
+  return buf;
+}
+
+std::string MeshService::help_text() {
+  return
+      "commands (one per line; responses are 'ok <bytes>\\n<payload>' or "
+      "'err <msg>\\n'):\n"
+      "  snr           SNR dispersion summary over the live window\n"
+      "  lookup        look-up table accuracy by scope\n"
+      "  etx [net]     full pipeline at the ETX base rate\n"
+      "  exor [net]    opportunistic-routing gains at 1 Mbit/s\n"
+      "  paths [net]   ETX1 shortest-path hop count summary\n"
+      "  hidden [net]  hidden-triple medians per rate\n"
+      "  mobility      prevalence & persistence by environment\n"
+      "  traffic       client/AP load summary\n"
+      "  stats         live window / cache / ingest counters\n"
+      "  help          this text\n"
+      "  shutdown      stop the daemon (quit: close this connection)\n";
+}
+
+std::uint64_t MeshService::rounds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rounds_;
+}
+
+double MeshService::time_s() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fleet_.time_s();
+}
+
+bool MeshService::finished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fleet_.finished();
+}
+
+Dataset MeshService::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_;
+}
+
+}  // namespace wmesh::serve

@@ -1,0 +1,100 @@
+// MeshService: the live analysis state behind wmesh_serve.
+//
+// The service owns
+//   * a FleetProbeStream (the simulated probe feed),
+//   * one ReportWindow per (network, standard) trace,
+//   * a live Dataset whose traces hold exactly the windowed probe sets
+//     (plus full client traces), and
+//   * an AnalysisCache keyed by the live traces.
+//
+// tick() advances the fleet one probe round; when a report boundary passes,
+// each trace's new report round enters its window and -- only for traces
+// whose window contents actually changed -- the live probe sets are
+// rematerialized and that network's cache entries invalidated.  Queries
+// render through the same core/report functions wmesh_analyze uses, over
+// the live dataset with the shared cache, so after any stream prefix every
+// served section is byte-identical to a batch run over the same window
+// (tests/test_serve.cc pins this at 1/2/8 threads).
+//
+// The live Dataset's networks vector is sized once at construction and
+// never reallocated: NetworkTrace addresses are the cache keys and must
+// stay stable for the service's lifetime.
+//
+// Thread safety: tick() and query() serialize on one mutex, so a query
+// always sees a complete window state and an advance never mutates a trace
+// under a running analysis.  The san_smoke TSan wall races them on purpose.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/analysis_cache.h"
+#include "serve/stream.h"
+#include "serve/window.h"
+#include "trace/records.h"
+
+namespace wmesh::serve {
+
+struct ServeConfig {
+  GeneratorConfig gen;
+  // Report rounds kept live per trace (4 x 300 s = 20 min of reports with
+  // the paper defaults).
+  std::size_t window_rounds = 4;
+};
+
+struct QueryResult {
+  bool ok = false;
+  std::string body;  // payload when ok, error message otherwise
+};
+
+class MeshService {
+ public:
+  explicit MeshService(const ServeConfig& config);
+  MeshService(const MeshService&) = delete;
+  MeshService& operator=(const MeshService&) = delete;
+
+  // Advances the stream one probe round and updates windows, live traces
+  // and the cache.  Returns false (and changes nothing) once the stream is
+  // exhausted.
+  bool tick();
+
+  // Runs one query command (see help_text()) and returns the rendered
+  // section or an error.  Safe to call concurrently with tick().
+  QueryResult query(const std::string& line);
+
+  // One line per command, served for "help" and printed by the tool.
+  static std::string help_text();
+
+  // Introspection (also serialized against tick()).
+  std::uint64_t rounds() const;
+  double time_s() const;
+  bool finished() const;
+
+  // Deep copy of the live dataset, for equivalence tests.
+  Dataset snapshot() const;
+
+ private:
+  QueryResult dispatch(const std::string& line);
+  QueryResult render_filtered(const std::string& what, std::uint32_t id);
+  std::string stats_text() const;  // caller holds mu_
+
+  ServeConfig config_;
+  mutable std::mutex mu_;
+  FleetProbeStream fleet_;
+  std::vector<ReportWindow> windows_;
+  std::vector<std::vector<ProbeSet>> round_sets_;  // scratch, one per trace
+  Dataset live_;
+  AnalysisCache cache_;
+
+  double next_report_s_ = 0.0;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t report_rounds_ = 0;
+  std::uint64_t ingested_sets_ = 0;
+  std::uint64_t window_advances_ = 0;
+  std::uint64_t invalidations_ = 0;
+  std::uint64_t queries_ = 0;
+};
+
+}  // namespace wmesh::serve

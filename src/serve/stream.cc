@@ -1,0 +1,102 @@
+#include "serve/stream.h"
+
+#include "clients/mobility_sim.h"
+#include "mesh/topology.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "par/thread_pool.h"
+
+namespace wmesh::serve {
+
+FleetProbeStream::FleetProbeStream(const GeneratorConfig& config)
+    : config_(config) {
+  WMESH_SPAN("serve.fleet_build");
+  // Fork order is load-bearing: master -> fleet -> one stream per fleet
+  // network, then inside each network probe fork before client fork, b/g
+  // before n -- the exact sequence generate_dataset() draws.  Any deviation
+  // here silently breaks stream-vs-batch byte equivalence.
+  Rng master(config.seed);
+  Rng fleet_rng = master.fork();
+  const auto fleet = make_fleet(config.fleet, fleet_rng);
+
+  std::vector<Rng> net_rngs;
+  net_rngs.reserve(fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    net_rngs.push_back(master.fork());
+  }
+
+  // Trace slots are laid out first (b/g trace before n trace per network,
+  // fleet order across networks) so parallel construction lands each trace
+  // at the index generate_dataset would give it.
+  struct Slot {
+    std::size_t fleet_index;
+    Standard standard;
+    bool with_clients;
+  };
+  std::vector<Slot> slots;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    if (fleet[i].has_bg) slots.push_back({i, Standard::kBg, true});
+    if (fleet[i].has_n) slots.push_back({i, Standard::kN, !fleet[i].has_bg});
+  }
+  traces_.resize(slots.size());
+
+  // Channel-model construction (burst schedules, per-link offsets) is the
+  // heavy part; build per network so both traces of a dual-radio network
+  // draw from the shared per-network stream in order.
+  par::parallel_for(fleet.size(), [&](std::size_t i) {
+    const FleetNetwork& fn = fleet[i];
+    Rng& net_rng = net_rngs[i];  // task-exclusive: one task per index
+    const ChannelParams& chan = (fn.network.info().env == Environment::kOutdoor)
+                                    ? config_.outdoor_channel
+                                    : config_.indoor_channel;
+    std::size_t slot = 0;
+    while (slot < slots.size() && slots[slot].fleet_index != i) ++slot;
+    for (; slot < slots.size() && slots[slot].fleet_index == i; ++slot) {
+      auto trace = std::make_unique<Trace>();
+      trace->info = fn.network.info();
+      trace->info.standard = slots[slot].standard;
+      trace->ap_count = static_cast<std::uint16_t>(fn.network.size());
+      Rng probe_rng = net_rng.fork();
+      trace->stream = std::make_unique<NetworkProbeStream>(
+          fn.network, slots[slot].standard, chan, config_.probes,
+          std::move(probe_rng));
+      if (slots[slot].with_clients && config_.generate_clients) {
+        const MobilityParams& mob =
+            (fn.network.info().env == Environment::kOutdoor)
+                ? config_.outdoor_mobility
+                : config_.indoor_mobility;
+        Rng client_rng = net_rng.fork();
+        trace->client_samples = simulate_clients(fn.network, mob, client_rng);
+      }
+      traces_[slot] = std::move(trace);
+    }
+  });
+
+  WMESH_LOG_INFO("serve.stream", kv("seed", config_.seed),
+                 kv("traces", traces_.size()),
+                 kv("duration_s", config_.probes.duration_s));
+}
+
+bool FleetProbeStream::finished() const noexcept {
+  for (const auto& t : traces_) {
+    if (!t->stream->finished()) return false;
+  }
+  return true;
+}
+
+bool FleetProbeStream::advance_round(std::vector<std::vector<ProbeSet>>* out) {
+  if (finished()) return false;
+  WMESH_SPAN("serve.fleet_round");
+  // One task per trace: streams are independent (pre-forked RNGs), and each
+  // writes only its own slot, so the round is byte-identical for any thread
+  // count.  The per-stream report emission nests inside this region and
+  // runs inline on the owning task's thread.
+  par::parallel_for(traces_.size(), [&](std::size_t i) {
+    traces_[i]->stream->advance_round(&(*out)[i]);
+  });
+  time_s_ += config_.probes.probe_interval_s;
+  return true;
+}
+
+}  // namespace wmesh::serve

@@ -1,0 +1,83 @@
+// Fleet-level probe traffic source for wmesh_serve.
+//
+// A FleetProbeStream is generate_dataset() turned inside out: the same
+// master-seed fork discipline builds the same fleet, the same per-network
+// RNG streams feed the same channel models, and the same client traces are
+// attached -- but instead of draining every network to its configured
+// duration in one call, the fleet advances one probe round (40 s of virtual
+// time with the paper defaults) per advance_round() call, handing each
+// network's newly due ProbeSets back to the caller.  Draining a
+// FleetProbeStream to the end therefore reproduces generate_dataset(config)
+// byte for byte (tests/test_serve.cc pins this), which is what makes
+// "serve over the live stream" and "batch-analyze the saved snapshot"
+// comparable at all.
+//
+// Client data (five-minute association/packet counters) is not streamed:
+// the paper collects it on a separate path, and the mobility/traffic
+// analyses want full-trace context.  It is generated at construction --
+// burning exactly the RNG forks generate_network_trace() would -- and
+// exposed per trace for the service to attach to its live dataset.
+//
+// Determinism: one pre-forked RNG per (network, standard) trace, one
+// parallel task per trace, results landing in fixed per-trace slots.
+// Output is byte-identical for any wmesh::par thread count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/generator.h"
+#include "sim/probe_stream.h"
+#include "trace/records.h"
+
+namespace wmesh::serve {
+
+class FleetProbeStream {
+ public:
+  // Builds the fleet and all per-trace channel state (parallel, one task
+  // per network, as generate_dataset does).
+  explicit FleetProbeStream(const GeneratorConfig& config);
+
+  // One streamed (network, standard) trace; indices are stable and ordered
+  // exactly like generate_dataset's Dataset::networks.
+  std::size_t trace_count() const noexcept { return traces_.size(); }
+  const NetworkInfo& info(std::size_t i) const noexcept {
+    return traces_[i]->info;
+  }
+  std::uint16_t ap_count(std::size_t i) const noexcept {
+    return traces_[i]->ap_count;
+  }
+  const std::vector<ClientSample>& client_samples(std::size_t i) const
+      noexcept {
+    return traces_[i]->client_samples;
+  }
+
+  // Advances every trace one probe round in parallel and appends the newly
+  // due ProbeSets of trace i to (*out)[i] (out must have trace_count()
+  // entries; existing contents are preserved).  Returns false -- advancing
+  // nothing -- once every trace reached its configured duration.
+  bool advance_round(std::vector<std::vector<ProbeSet>>* out);
+
+  // Virtual time of the last executed probe round (0 before the first).
+  double time_s() const noexcept { return time_s_; }
+  bool finished() const noexcept;
+
+  const ProbeSimParams& probe_params() const noexcept {
+    return config_.probes;
+  }
+
+ private:
+  struct Trace {
+    NetworkInfo info;
+    std::uint16_t ap_count = 0;
+    std::vector<ClientSample> client_samples;
+    std::unique_ptr<NetworkProbeStream> stream;
+  };
+
+  GeneratorConfig config_;
+  std::vector<std::unique_ptr<Trace>> traces_;
+  double time_s_ = 0.0;
+};
+
+}  // namespace wmesh::serve

@@ -1,0 +1,25 @@
+#include "serve/window.h"
+
+namespace wmesh::serve {
+
+bool ReportWindow::push_round(std::vector<ProbeSet> round) {
+  bool changed = !round.empty();
+  total_sets_ += round.size();
+  rounds_.push_back(std::move(round));
+  if (rounds_.size() > max_rounds_) {
+    changed = changed || !rounds_.front().empty();
+    total_sets_ -= rounds_.front().size();
+    rounds_.pop_front();
+  }
+  return changed;
+}
+
+void ReportWindow::materialize(std::vector<ProbeSet>* out) const {
+  out->clear();
+  out->reserve(total_sets_);
+  for (const auto& round : rounds_) {
+    out->insert(out->end(), round.begin(), round.end());
+  }
+}
+
+}  // namespace wmesh::serve

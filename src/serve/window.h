@@ -1,0 +1,48 @@
+// Per-trace sliding window of report rounds.
+//
+// wmesh_serve keeps the last W *report rounds* (every probe set sharing one
+// report timestamp) per (network, standard) trace live; older rounds fall
+// off as the stream advances.  The window stores the rounds verbatim --
+// no incremental float math -- so materialize() yields exactly the
+// (time, from, to)-sorted suffix of the batch trace, and every analysis
+// over the live dataset is byte-identical to a batch run over the same
+// window.  Success matrices stay cached per network (core/AnalysisCache)
+// and are recomputed lazily only after the window actually changed.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "trace/records.h"
+
+namespace wmesh::serve {
+
+class ReportWindow {
+ public:
+  // Keeps at most `max_rounds` report rounds (0 is pinned up to 1).
+  explicit ReportWindow(std::size_t max_rounds)
+      : max_rounds_(max_rounds == 0 ? 1 : max_rounds) {}
+
+  // Appends one report round (all ProbeSets sharing a report time; may be
+  // empty -- silent networks emit nothing, exactly as in the real logs) and
+  // evicts the oldest round beyond capacity.  Returns true when the window
+  // *contents* changed: a non-empty round arrived or a non-empty round was
+  // evicted.  Empty-in/empty-out keeps analyses warm in the cache.
+  bool push_round(std::vector<ProbeSet> round);
+
+  std::size_t rounds() const noexcept { return rounds_.size(); }
+  std::size_t total_sets() const noexcept { return total_sets_; }
+
+  // Concatenates the live rounds, oldest first, into *out (cleared first).
+  // Rounds are emitted time-ascending and link-ordered by the stream, so
+  // the result is sorted by (time, from, to) like a batch trace.
+  void materialize(std::vector<ProbeSet>* out) const;
+
+ private:
+  std::size_t max_rounds_;
+  std::deque<std::vector<ProbeSet>> rounds_;
+  std::size_t total_sets_ = 0;
+};
+
+}  // namespace wmesh::serve

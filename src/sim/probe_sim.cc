@@ -1,168 +1,32 @@
 #include "sim/probe_sim.h"
 
-#include <algorithm>
-#include <cmath>
-#include <cstdint>
-#include <iterator>
-
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
-#include "par/thread_pool.h"
+#include "sim/probe_stream.h"
 
 namespace wmesh {
-namespace {
-
-// Per-(link, rate) sliding window of probe outcomes.  The window length in
-// probes is window_s / probe_interval_s (20 for the defaults); a plain ring
-// buffer of bits plus a received-count keeps updates O(1).
-class OutcomeWindow {
- public:
-  void configure(std::size_t capacity) {
-    bits_.assign(capacity, 0);
-    head_ = 0;
-    filled_ = 0;
-    received_ = 0;
-  }
-
-  void push(bool delivered) {
-    if (filled_ == bits_.size()) {
-      received_ -= bits_[head_];
-    } else {
-      ++filled_;
-    }
-    bits_[head_] = delivered ? 1 : 0;
-    received_ += bits_[head_];
-    head_ = (head_ + 1) % bits_.size();
-  }
-
-  std::size_t samples() const { return filled_; }
-  std::size_t received() const { return received_; }
-
-  double loss() const {
-    if (filled_ == 0) return 1.0;
-    return 1.0 -
-           static_cast<double>(received_) / static_cast<double>(filled_);
-  }
-
- private:
-  std::vector<std::uint8_t> bits_;
-  std::size_t head_ = 0;
-  std::size_t filled_ = 0;
-  std::size_t received_ = 0;
-};
-
-float median_snr(std::vector<float>& snrs) {
-  if (snrs.empty()) return kNoSnr;
-  std::sort(snrs.begin(), snrs.end());
-  const std::size_t n = snrs.size();
-  if (n % 2 == 1) return snrs[n / 2];
-  return 0.5f * (snrs[n / 2 - 1] + snrs[n / 2]);
-}
-
-}  // namespace
 
 std::vector<ProbeSet> simulate_probes(const MeshNetwork& net,
                                       Standard standard,
                                       const ChannelParams& channel_params,
                                       const ProbeSimParams& params, Rng& rng) {
   WMESH_SPAN("sim.probes");
-  ChannelModel channel(net, standard, channel_params, params.duration_s, rng);
-  const auto rates = probed_rates(standard);
-  const std::size_t n_rates = rates.size();
-  const std::size_t n_links = channel.links().size();
-
-  const auto window_probes = static_cast<std::size_t>(
-      std::max(1.0, std::round(params.window_s / params.probe_interval_s)));
-
-  // State per (link, rate), flattened.
-  std::vector<OutcomeWindow> windows(n_links * n_rates);
-  for (auto& w : windows) w.configure(window_probes);
-  std::vector<float> last_snr(n_links * n_rates, kNoSnr);
+  // The batch simulator is the streaming scheduler drained to its duration:
+  // one probe round per advance_round(), reports appended as they fall due.
+  // wmesh_serve drives the same class tick by tick, so the service's live
+  // window contents and this function's output cannot drift apart.
+  NetworkProbeStream stream(net, standard, channel_params, params, rng);
 
   std::vector<ProbeSet> out;
-  double next_report = params.report_interval_s;
-  double prev_t = 0.0;
-
-  // Channel samples are counted locally and flushed once: the inner loop is
-  // the hottest path in generation and must not touch shared atomics.
-  std::uint64_t channel_samples = 0;
-
-  // Builds the report for one link from its (read-only) window state, or an
-  // empty set when no rate received anything inside the window.  Used by
-  // the parallel emission below; per-link sets concatenate in link order,
-  // identical to the serial emission loop.
-  const auto build_report = [&](std::size_t li, double report_t) {
-    ProbeSet set;
-    set.from = channel.links()[li].from;
-    set.to = channel.links()[li].to;
-    set.time_s = static_cast<std::uint32_t>(std::lround(report_t));
-    bool any_received = false;
-    std::vector<float> median_buf;
-    median_buf.reserve(n_rates);
-    for (std::size_t ri = 0; ri < n_rates; ++ri) {
-      const std::size_t slot = li * n_rates + ri;
-      ProbeEntry e;
-      e.rate = static_cast<RateIndex>(ri);
-      e.loss = static_cast<float>(windows[slot].loss());
-      if (windows[slot].received() > 0) {
-        e.snr_db = last_snr[slot];
-        median_buf.push_back(e.snr_db);
-        any_received = true;
-      }
-      set.entries.push_back(e);
-    }
-    if (!any_received) set.entries.clear();  // link absent from the logs
-    if (any_received) set.snr_db = median_snr(median_buf);
-    return set;
-  };
-
-  for (double t = params.probe_interval_s; t <= params.duration_s;
-       t += params.probe_interval_s) {
-    channel.advance_slow_fading(t - prev_t, rng);
-    prev_t = t;
-
-    for (std::size_t li = 0; li < n_links; ++li) {
-      for (std::size_t ri = 0; ri < n_rates; ++ri) {
-        const auto outcome =
-            channel.sample_probe(li, static_cast<RateIndex>(ri), t, rng);
-        const std::size_t slot = li * n_rates + ri;
-        windows[slot].push(outcome.delivered);
-        if (outcome.delivered) last_snr[slot] = outcome.reported_snr_db;
-      }
-    }
-    channel_samples += n_links * n_rates;
-
-    // Emit reports that are due.  Probe rounds are much finer than report
-    // intervals, so checking after each round is exact enough (reports land
-    // on the first probe round at/after their nominal time).  Window state
-    // is stable between rounds, so links report in parallel; RNG-driven
-    // sampling above stays serial (one stream per network, by design).
-    while (next_report <= t + 1e-9) {
-      const double report_t = next_report;
-      std::vector<ProbeSet> sets = par::parallel_map_reduce(
-          n_links, std::vector<ProbeSet>{},
-          [&](std::size_t li) {
-            std::vector<ProbeSet> one;
-            ProbeSet set = build_report(li, report_t);
-            if (!set.entries.empty()) one.push_back(std::move(set));
-            return one;
-          },
-          [](std::vector<ProbeSet>& acc, std::vector<ProbeSet>&& v) {
-            acc.insert(acc.end(), std::make_move_iterator(v.begin()),
-                       std::make_move_iterator(v.end()));
-          },
-          /*grain=*/64);
-      out.insert(out.end(), std::make_move_iterator(sets.begin()),
-                 std::make_move_iterator(sets.end()));
-      next_report += params.report_interval_s;
-    }
+  while (stream.advance_round(&out)) {
   }
 
-  WMESH_COUNTER_ADD("sim.channel_samples", channel_samples);
+  WMESH_COUNTER_ADD("sim.channel_samples", stream.channel_samples());
   WMESH_COUNTER_ADD("sim.probe_sets", out.size());
-  WMESH_LOG_DEBUG("sim.probes", kv("links", n_links), kv("rates", n_rates),
-                  kv("channel_samples", channel_samples),
+  WMESH_LOG_DEBUG("sim.probes", kv("links", stream.link_count()),
+                  kv("rates", probed_rates(standard).size()),
+                  kv("channel_samples", stream.channel_samples()),
                   kv("probe_sets", out.size()));
   return out;
 }

@@ -1,0 +1,118 @@
+// Incremental probe scheduler: the streaming form of sim/probe_sim.h.
+//
+// A NetworkProbeStream owns the full per-network probe state -- channel
+// model, per-(link, rate) sliding outcome windows, latest SNRs, report
+// clock -- and advances it one probe round (probe_interval_s of virtual
+// time) per advance_round() call, appending any report-due ProbeSets to the
+// caller's buffer.  Draining a stream to its configured duration produces
+// exactly the ProbeSet sequence simulate_probes() returns for the same
+// (network, standard, params, rng): the batch simulator is now a thin loop
+// over this class, so the two code paths cannot drift.
+//
+// The virtual clock is the caller's: advance_round() does no sleeping and
+// consumes no wall time, which is what lets wmesh_serve replay hours of
+// 40 s / 800 s / 300 s probe traffic in milliseconds under test.
+//
+// Determinism: all stochastic state is drawn from the Rng handed to the
+// constructor (moved in, owned by the stream).  Streams are independent --
+// one per (network, standard) with a pre-forked rng -- so a fleet of
+// streams can be advanced in parallel, one task per stream, with
+// byte-identical results for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/channel.h"
+#include "sim/probe_sim.h"
+#include "trace/records.h"
+#include "util/rng.h"
+
+namespace wmesh {
+
+// Per-(link, rate) sliding window of probe outcomes.  The window length in
+// probes is window_s / probe_interval_s (20 for the defaults); a plain ring
+// buffer of bits plus a received-count keeps updates O(1).
+class ProbeOutcomeWindow {
+ public:
+  void configure(std::size_t capacity) {
+    bits_.assign(capacity, 0);
+    head_ = 0;
+    filled_ = 0;
+    received_ = 0;
+  }
+
+  void push(bool delivered) {
+    if (filled_ == bits_.size()) {
+      received_ -= bits_[head_];
+    } else {
+      ++filled_;
+    }
+    bits_[head_] = delivered ? 1 : 0;
+    received_ += bits_[head_];
+    head_ = (head_ + 1) % bits_.size();
+  }
+
+  std::size_t samples() const { return filled_; }
+  std::size_t received() const { return received_; }
+
+  double loss() const {
+    if (filled_ == 0) return 1.0;
+    return 1.0 -
+           static_cast<double>(received_) / static_cast<double>(filled_);
+  }
+
+ private:
+  std::vector<std::uint8_t> bits_;
+  std::size_t head_ = 0;
+  std::size_t filled_ = 0;
+  std::size_t received_ = 0;
+};
+
+class NetworkProbeStream {
+ public:
+  // Builds the channel state for (net, standard); `rng` is consumed (the
+  // channel construction draws from it first, then every probe round).
+  NetworkProbeStream(const MeshNetwork& net, Standard standard,
+                     const ChannelParams& channel_params,
+                     const ProbeSimParams& params, Rng rng);
+
+  // Advances one probe round: samples every (link, rate) at the next probe
+  // instant and appends any report-due ProbeSets (link order, the batch
+  // emission order) to *out.  Returns false -- and does nothing -- once the
+  // configured duration is exhausted.
+  bool advance_round(std::vector<ProbeSet>* out);
+
+  // Virtual time of the last executed probe round (0 before the first).
+  double time_s() const noexcept { return prev_t_; }
+  // True when every round within params.duration_s has run.
+  bool finished() const noexcept { return next_t_ > params_.duration_s; }
+  // Virtual time of the next report emission.
+  double next_report_s() const noexcept { return next_report_; }
+
+  const ProbeSimParams& params() const noexcept { return params_; }
+  std::size_t link_count() const noexcept { return channel_.links().size(); }
+
+  // Channel samples drawn so far; the batch wrapper flushes this total to
+  // the `sim.channel_samples` counter once per trace.
+  std::uint64_t channel_samples() const noexcept { return channel_samples_; }
+
+ private:
+  ProbeSet build_report(std::size_t li, double report_t) const;
+
+  ProbeSimParams params_;
+  Rng rng_;  // declared before channel_: its construction draws from rng_
+  ChannelModel channel_;
+  std::size_t n_rates_ = 0;
+
+  // Per-(link, rate) state, flattened as in the batch simulator.
+  std::vector<ProbeOutcomeWindow> windows_;
+  std::vector<float> last_snr_;
+
+  double next_t_ = 0.0;        // time of the next probe round
+  double prev_t_ = 0.0;        // time of the last executed round
+  double next_report_ = 0.0;   // next report emission time
+  std::uint64_t channel_samples_ = 0;
+};
+
+}  // namespace wmesh

@@ -22,9 +22,11 @@
 #include <vector>
 
 #include "core/report.h"
+#include "obs/export_server.h"
 #include "obs/flight.h"
 #include "obs/metrics.h"
 #include "par/thread_pool.h"
+#include "serve/service.h"
 #include "sim/generator.h"
 #include "trace/io.h"
 
@@ -353,6 +355,90 @@ TEST(ParFlightRecorder, PoolWorkersRecordConcurrentlyAndDrainIsClean) {
   ::unsetenv("WMESH_FLIGHT_OUT");
   obs::flight::reinit_from_env();
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Listener lifecycle under TSan.  These live in the par test wall so the
+// san_smoke case race-checks them: the export server's shutdown used to
+// exchange a flag and return while another caller was still joining the
+// serving thread, and a spurious poll wakeup could park it in a blocking
+// accept forever.  One hundred start/stop cycles with concurrent stop()
+// callers pin the fixed join discipline.
+// ---------------------------------------------------------------------------
+
+TEST(ParExportServer, HundredStartStopCyclesJoinDeterministically) {
+  for (int round = 0; round < 100; ++round) {
+    std::string error;
+    auto server = obs::ExportServer::start("127.0.0.1:0", &error);
+    ASSERT_NE(server, nullptr) << "round " << round << ": " << error;
+    ASSERT_FALSE(server->bound_address().empty());
+    if (round % 10 == 0) {
+      // Occasionally scrape mid-lifecycle so stop() also races a live
+      // client connection, not just an idle accept loop.
+      std::string body;
+      EXPECT_TRUE(
+          obs::scrape_openmetrics_once(server->bound_address(), &body, &error))
+          << "round " << round << ": " << error;
+    }
+    // Two concurrent stops plus the destructor: all three must serialize on
+    // the join instead of racing the teardown.
+    obs::ExportServer* raw = server.get();
+    std::thread racer([raw] { raw->stop(); });
+    server->stop();
+    racer.join();
+    server.reset();
+  }
+}
+
+TEST(ParServe, ConcurrentQueriesAndIngestConvergeToTheSerialWindow) {
+  serve::ServeConfig sc;
+  sc.gen = small_config();
+  sc.gen.probes.duration_s = 1500.0;
+  sc.gen.seed = 20100811;
+  sc.window_rounds = 4;
+  constexpr std::uint64_t kRounds = 37;
+
+  // Race ingest against queries: one thread drives ticks, two hammer
+  // queries.  TSan checks the service's internal locking; afterwards the
+  // served sections must be byte-identical to an unraced serial run, so the
+  // race also cannot have perturbed the window or the cache contents.
+  par::set_default_threads(4);
+  serve::MeshService service(sc);
+  std::atomic<bool> done{false};
+  std::thread ingest([&] {
+    for (std::uint64_t r = 0; r < kRounds; ++r) {
+      if (!service.tick()) {
+        ADD_FAILURE() << "stream exhausted early at round " << r;
+        break;
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&service, &done, t] {
+      const char* const cmds[] = {"exor", "paths", "hidden", "stats"};
+      std::size_t i = static_cast<std::size_t>(t);
+      while (!done.load(std::memory_order_acquire)) {
+        const serve::QueryResult r = service.query(cmds[i++ % 4]);
+        EXPECT_TRUE(r.ok) << r.body;
+      }
+    });
+  }
+  ingest.join();
+  for (auto& r : readers) r.join();
+
+  par::set_default_threads(1);
+  serve::MeshService serial(sc);
+  for (std::uint64_t r = 0; r < kRounds; ++r) ASSERT_TRUE(serial.tick());
+  for (const char* cmd : {"snr", "exor", "paths", "hidden"}) {
+    const serve::QueryResult raced = service.query(cmd);
+    const serve::QueryResult clean = serial.query(cmd);
+    ASSERT_TRUE(raced.ok) << cmd;
+    ASSERT_TRUE(clean.ok) << cmd;
+    EXPECT_EQ(raced.body, clean.body) << cmd;
+  }
+  par::set_default_threads(0);
 }
 
 }  // namespace

@@ -7,7 +7,8 @@
 //
 // Runs a registered suite of stage micro-benchmarks -- dataset generation,
 // CSV and WSNAP save/load, ETX path selection, ExOR routing, look-up
-// tables, hidden triples, mobility -- `--repeat` times each and writes
+// tables, hidden triples, mobility, streaming ingest -- `--repeat` times
+// each and writes
 // BENCH_<suite>.json (schema wmesh.bench/1: per-stage raw runs plus
 // median/p10/p90).  With --baseline + --check it compares medians against a
 // previous BENCH_*.json and exits non-zero when any stage slowed by more
@@ -38,6 +39,7 @@
 #include "obs/report.h"
 #include "obs/span.h"
 #include "par/thread_pool.h"
+#include "serve/service.h"
 #include "sim/generator.h"
 #include "trace/io.h"
 #include "util/env.h"
@@ -61,7 +63,8 @@ void print_help() {
   std::printf(
       "%s\n"
       "stages: gen, csv_save, csv_load, wsnap_save, wsnap_load, etx, exor,\n"
-      "        lookup, hidden, mobility, dijkstra_sparse, dijkstra_dense\n"
+      "        lookup, hidden, mobility, dijkstra_sparse, dijkstra_dense,\n"
+      "        serve_ingest\n"
       "\n"
       "flags:\n"
       "  --suite=S        quick (small dataset, default) or full (paper-\n"
@@ -144,17 +147,25 @@ struct KernelFixture {
   }
 };
 
+// Rounds the serve_ingest stage advances per timed run: 24 probe rounds =
+// 960 virtual seconds, i.e. ~3 report boundaries, so every run exercises
+// the full tick path -- window pushes, live-trace rematerialization and
+// cache invalidation -- not just the cheap intra-report accumulation.
+constexpr int kServeIngestRounds = 24;
+
 // Builds the stage list.  Stages share `ds` (generated once, before the
 // timed loops, except for the `gen` stage which regenerates per run), the
 // scratch dir for the I/O stages, the kernel fixture for the Dijkstra
-// micro-stages, and one AnalysisCache for the analysis stages (so repeat
-// runs exercise the warm-cache path report_etx uses in production).  All
+// micro-stages, one AnalysisCache for the analysis stages (so repeat
+// runs exercise the warm-cache path report_etx uses in production), and a
+// long-duration MeshService the serve_ingest stage keeps advancing.  All
 // lambdas capture by reference; the caller keeps everything alive across
 // run_bench_suite().
 std::vector<obs::BenchStage> make_stages(const GeneratorConfig& config,
                                          Dataset& ds, AnalysisCache& cache,
                                          const KernelFixture& kernel,
-                                         const ScratchDir& scratch) {
+                                         const ScratchDir& scratch,
+                                         serve::MeshService& service) {
   std::vector<obs::BenchStage> stages;
   stages.push_back({"gen", [&config] {
     Dataset tmp = generate_dataset(config);
@@ -212,6 +223,16 @@ std::vector<obs::BenchStage> make_stages(const GeneratorConfig& config,
                                                    &parent);
     }
     if (dist.size() != n) throw std::runtime_error("dijkstra_dense: bad n");
+  }});
+  // Streaming ingest: advance the live service kServeIngestRounds probe
+  // rounds per run.  The service is constructed once with a ~30-day stream
+  // (outside the timed loop), so repeats keep consuming fresh rounds
+  // instead of re-paying fleet construction.
+  stages.push_back({"serve_ingest", [&service] {
+    for (int i = 0; i < kServeIngestRounds; ++i) {
+      if (!service.tick())
+        throw std::runtime_error("serve_ingest: stream exhausted");
+    }
   }});
   return stages;
 }
@@ -311,13 +332,30 @@ int main(int argc, char** argv) {
   const double kernel_density = 0.12;
   const std::uint64_t kernel_seed = 0xd175eedULL;
 
+  // The serve_ingest fixture: the suite's fleet with the probe stream
+  // stretched to ~30 days so repeated runs never exhaust it (the burst
+  // schedule precompute scales with duration, so "30 days" and not "forever"),
+  // and without client traces -- ingest ticks never touch them and mobility
+  // simulation cost also scales with duration.
+  serve::ServeConfig serve_cfg;
+  serve_cfg.gen = config;
+  serve_cfg.gen.probes.duration_s = 30.0 * 24.0 * 3600.0;
+  serve_cfg.gen.generate_clients = false;
+
   if (want_list) {
     Dataset dummy;
     AnalysisCache dummy_cache;
     const KernelFixture kernel(1, kernel_density, 1);
     ScratchDir scratch;
+    // A one-round throwaway service: --list only needs stage names.
+    serve::ServeConfig tiny = serve_cfg;
+    tiny.gen = small_config();
+    tiny.gen.probes.duration_s = tiny.gen.probes.probe_interval_s;
+    tiny.gen.generate_clients = false;
+    serve::MeshService tiny_service(tiny);
     for (const auto& st :
-         make_stages(config, dummy, dummy_cache, kernel, scratch)) {
+         make_stages(config, dummy, dummy_cache, kernel, scratch,
+                     tiny_service)) {
       std::printf("%s\n", st.name.c_str());
     }
     return 0;
@@ -343,7 +381,9 @@ int main(int argc, char** argv) {
   Dataset ds = generate_dataset(config);
   AnalysisCache cache;
   const KernelFixture kernel(kernel_n, kernel_density, kernel_seed);
-  const auto stages = make_stages(config, ds, cache, kernel, scratch);
+  serve::MeshService service(serve_cfg);
+  const auto stages =
+      make_stages(config, ds, cache, kernel, scratch, service);
 
   obs::BenchResult result;
   try {

@@ -1,0 +1,178 @@
+// wmesh_serve: a long-running analysis daemon over a live probe stream.
+//
+// The daemon generates the same synthetic fleet as wmesh_gen, but instead
+// of writing a snapshot it ingests the probe traffic round by round (one
+// 40 s probe round per tick, virtual time -- by default as fast as the CPU
+// allows), keeps the last --window report rounds live per network, and
+// answers analysis queries over that sliding window on --listen with a
+// newline-framed protocol:
+//
+//   $ wmesh_serve --listen=unix:/tmp/wmesh.sock --config=small &
+//   $ printf 'etx\n' | nc -U /tmp/wmesh.sock
+//   ok 1893
+//   ... the same text wmesh_analyze prints for this window ...
+//
+// Responses are "ok <payload-bytes>\n<payload>" or "err <message>\n"; see
+// `help` (or serve::MeshService::help_text) for the command set.  Success
+// matrices and ETX graphs are cached per network and invalidated only for
+// networks whose window advanced, so repeated queries against a slow
+// stream are cheap.
+//
+// Flags:
+//   --listen=ADDR        query endpoint, unix:<path> or <host>:<port>
+//                        (':0' binds an ephemeral port; required)
+//   --metrics-listen=ADDR  serve live OpenMetrics (serve.* counters, query
+//                        latency histogram) on a second endpoint
+//   --config=NAME        fleet preset: small | default | paper
+//   --seed=N             generator seed (default: the wmesh default seed)
+//   --duration=S         probe stream length in virtual seconds
+//   --window=N           report rounds kept live per network (default 4)
+//   --rounds=N           stop ingesting after N probe rounds (default: all)
+//   --tick-ms=N          wall pause between rounds (default 0: free-run)
+//   --threads=N          wmesh::par pool size; responses are byte-identical
+//                        for every N
+//   --metrics[=path], --report[=path.json], --version, --help: as in every
+//   wmesh_* tool.
+//
+// The daemon exits 0 after a client sends "shutdown" (the stream merely
+// ending keeps it alive, serving the final window).
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "cli_common.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/span.h"
+#include "par/thread_pool.h"
+#include "serve/daemon.h"
+#include "util/env.h"
+
+using namespace wmesh;
+
+namespace {
+
+const char* const kUsage =
+    "usage: wmesh_serve --listen=ADDR [--metrics-listen=ADDR]\n"
+    "                   [--config=small|default|paper] [--seed=N]\n"
+    "                   [--duration=S] [--window=N] [--rounds=N]\n"
+    "                   [--tick-ms=N] [--threads=N] [--metrics[=path]]\n"
+    "                   [--report[=path.json]] [--version]\n"
+    "       wmesh_serve --help\n";
+
+[[nodiscard]] int usage_error(const std::string& reason) {
+  WMESH_LOG_ERROR("cli", kv("tool", "wmesh_serve"), kv("error", reason));
+  std::fputs(kUsage, stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::DaemonOptions options;
+  std::string metrics_listen;
+  bool want_metrics = false;
+  std::string metrics_path;
+  bool want_report = false;
+  std::string report_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s\n%s", kUsage, serve::MeshService::help_text().c_str());
+      return 0;
+    }
+    if (arg == "--version") return cli::print_version("wmesh_serve");
+    if (arg == "--metrics") {
+      want_metrics = true;
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      want_metrics = true;
+      metrics_path = arg.substr(std::strlen("--metrics="));
+    } else if (arg == "--report") {
+      want_report = true;
+    } else if (arg.rfind("--report=", 0) == 0) {
+      want_report = true;
+      report_path = arg.substr(std::strlen("--report="));
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      options.listen = arg.substr(std::strlen("--listen="));
+    } else if (arg.rfind("--metrics-listen=", 0) == 0) {
+      metrics_listen = arg.substr(std::strlen("--metrics-listen="));
+    } else if (arg.rfind("--config=", 0) == 0) {
+      const std::string v = arg.substr(std::strlen("--config="));
+      if (v == "small") {
+        options.service.gen = small_config();
+      } else if (v == "default") {
+        options.service.gen = default_config();
+      } else if (v == "paper") {
+        options.service.gen = paper_scale_config();
+      } else {
+        return usage_error("--config: want small, default or paper, got '" +
+                           v + "'");
+      }
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      const auto v = env::parse_u64(arg.substr(std::strlen("--seed=")));
+      if (!v) return usage_error("--seed: not an integer");
+      options.service.gen.seed = *v;
+    } else if (arg.rfind("--duration=", 0) == 0) {
+      const auto v = env::parse_u64(arg.substr(std::strlen("--duration=")));
+      if (!v || *v == 0) {
+        return usage_error("--duration: not a positive integer");
+      }
+      options.service.gen.probes.duration_s = static_cast<double>(*v);
+    } else if (arg.rfind("--window=", 0) == 0) {
+      const auto v = env::parse_u64(arg.substr(std::strlen("--window=")));
+      if (!v || *v == 0) return usage_error("--window: not a positive integer");
+      options.service.window_rounds = static_cast<std::size_t>(*v);
+    } else if (arg.rfind("--rounds=", 0) == 0) {
+      const auto v = env::parse_u64(arg.substr(std::strlen("--rounds=")));
+      if (!v) return usage_error("--rounds: not an integer");
+      options.max_rounds = *v;
+    } else if (arg.rfind("--tick-ms=", 0) == 0) {
+      const auto v = env::parse_u64(arg.substr(std::strlen("--tick-ms=")));
+      if (!v) return usage_error("--tick-ms: not an integer");
+      options.tick_sleep_ms = static_cast<int>(*v);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      const auto v = env::parse_u64(arg.substr(std::strlen("--threads=")));
+      if (!v || *v == 0) return usage_error("--threads: not a positive integer");
+      par::set_default_threads(static_cast<std::size_t>(*v));
+    } else {
+      return usage_error("unknown flag '" + arg + "'");
+    }
+  }
+  if (options.listen.empty()) return usage_error("--listen is required");
+
+  bool listen_failed = false;
+  const auto export_server =
+      cli::start_export_server("wmesh_serve", metrics_listen, &listen_failed);
+  if (listen_failed) return 1;
+
+  std::optional<obs::RunReport> report;
+  if (want_report) report.emplace("wmesh_serve", argc, argv);
+
+  std::string error;
+  auto daemon = serve::ServeDaemon::start(options, &error);
+  if (daemon == nullptr) {
+    std::fprintf(stderr, "wmesh_serve: --listen=%s: %s\n",
+                 options.listen.c_str(), error.c_str());
+    return 1;
+  }
+  std::printf("(serving queries on %s)\n", daemon->query_address().c_str());
+  std::fflush(stdout);
+
+  const std::uint64_t rounds = daemon->run();
+  std::printf("(shutdown after %llu probe rounds, virtual time %.0f s)\n",
+              static_cast<unsigned long long>(rounds),
+              daemon->service().time_s());
+
+  int rc = 0;
+  if (report) {
+    report->set_threads(par::default_thread_count());
+    report->finish();
+  }
+  if (want_metrics) cli::emit_metrics("wmesh_serve", metrics_path);
+  if (report) rc = cli::emit_run_report(*report, "wmesh_serve", report_path);
+  obs::flush_trace();
+  return rc;
+}
