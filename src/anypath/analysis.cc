@@ -1,0 +1,245 @@
+#include "anypath/analysis.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdint>
+#include <vector>
+
+#include "anypath/anypath.h"
+#include "core/analysis_cache.h"
+#include "core/exor.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "par/thread_pool.h"
+#include "util/text_table.h"
+
+namespace wmesh {
+namespace {
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void appendf(std::string& out, const char* fmt_str, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt_str);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt_str, args);
+  va_end(args);
+  if (n > 0) out.append(buf, std::min(static_cast<std::size_t>(n),
+                                      sizeof(buf) - 1));
+}
+
+// Sum of pair costs (us) and the pair count they cover.
+struct CostSums {
+  std::size_t pairs = 0;
+  double etx_us = 0.0;
+  double exor_us = 0.0;
+  double any_us = 0.0;
+
+  void operator+=(const CostSums& o) {
+    pairs += o.pairs;
+    etx_us += o.etx_us;
+    exor_us += o.exor_us;
+    any_us += o.any_us;
+  }
+};
+
+constexpr std::array<const char*, 4> kSizeLabels = {"5-9", "10-19", "20-39",
+                                                    "40+"};
+
+std::size_t size_bucket(std::size_t ap_count) {
+  if (ap_count < 10) return 0;
+  if (ap_count < 20) return 1;
+  if (ap_count < 40) return 2;
+  return 3;
+}
+
+// One network's (or the whole study's) accumulated comparison.  Doubles are
+// summed network-by-network in index order (the parallel_map_reduce fold),
+// so totals are byte-identical for any thread count.
+struct Study {
+  std::vector<CostSums> per_rate;  // empty until the first network lands
+  struct SizeRow {
+    std::size_t networks = 0;
+    CostSums sums;  // base-rate pairs only
+  };
+  std::array<SizeRow, 4> per_size;
+  // ETX2-vs-ETX1 anypath over pairs reachable under both ACK models.
+  std::size_t ack_pairs = 0;
+  double ack1_us = 0.0;
+  double ack2_us = 0.0;
+  // Optimal first-hop rate histogram over all reachable (src, dst) pairs.
+  std::vector<std::uint64_t> rate_hist;
+  std::size_t reachable_pairs = 0;
+};
+
+void merge(Study& acc, Study&& v) {
+  if (acc.per_rate.empty()) {
+    acc.per_rate = std::move(v.per_rate);
+    acc.rate_hist = std::move(v.rate_hist);
+  } else if (!v.per_rate.empty()) {
+    for (std::size_t r = 0; r < acc.per_rate.size(); ++r) {
+      acc.per_rate[r] += v.per_rate[r];
+      acc.rate_hist[r] += v.rate_hist[r];
+    }
+  }
+  for (std::size_t b = 0; b < acc.per_size.size(); ++b) {
+    acc.per_size[b].networks += v.per_size[b].networks;
+    acc.per_size[b].sums += v.per_size[b].sums;
+  }
+  acc.ack_pairs += v.ack_pairs;
+  acc.ack1_us += v.ack1_us;
+  acc.ack2_us += v.ack2_us;
+  acc.reachable_pairs += v.reachable_pairs;
+}
+
+Study study_network(AnalysisCache& cache, const NetworkTrace& nt) {
+  using anypath::AnypathField;
+  Study s;
+  const std::size_t n = nt.ap_count;
+  const auto& ag1 = cache.anypath_graph(nt, EtxVariant::kEtx1);
+  const auto& ag2 = cache.anypath_graph(nt, EtxVariant::kEtx2);
+  const std::size_t rate_n = ag1.rate_count();
+
+  // One destination per task; per-destination fields concatenate in dst
+  // order, so the serial accumulation below sees a fixed layout.
+  struct Fields {
+    AnypathField ack1;
+    AnypathField ack2;
+  };
+  const std::vector<Fields> fields = par::parallel_map_reduce(
+      n, std::vector<Fields>{},
+      [&](std::size_t dst) {
+        std::vector<Fields> one;
+        one.push_back({ag1.costs_to(static_cast<ApId>(dst)),
+                       ag2.costs_to(static_cast<ApId>(dst))});
+        return one;
+      },
+      [](std::vector<Fields>& acc, std::vector<Fields>&& v) {
+        acc.insert(acc.end(), std::make_move_iterator(v.begin()),
+                   std::make_move_iterator(v.end()));
+      });
+
+  s.per_rate.assign(rate_n, CostSums{});
+  s.rate_hist.assign(rate_n, 0);
+  Study::SizeRow& size_row = s.per_size[size_bucket(n)];
+  size_row.networks = 1;
+
+  // Fixed-rate ETX/ExOR pairs per rate, joined with the multirate anypath
+  // cost of the same pair.  The pair set is the ETX-reachable one, a subset
+  // of the anypath-reachable pairs (ExOR at that rate is a feasible anypath
+  // policy), so the anypath cost is always finite here.
+  for (std::size_t r = 0; r < rate_n; ++r) {
+    const double air = ag1.airtime_us(static_cast<RateIndex>(r));
+    for (const PairGain& pg : opportunistic_gains(
+             cache, nt, static_cast<RateIndex>(r), EtxVariant::kEtx1)) {
+      CostSums one;
+      one.pairs = 1;
+      one.etx_us = pg.etx_cost * air;
+      one.exor_us = pg.exor_cost * air;
+      one.any_us = fields[pg.dst].ack1.cost_us[pg.src];
+      s.per_rate[r] += one;
+      if (r == 0) size_row.sums += one;
+    }
+  }
+
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    const AnypathField& f1 = fields[dst].ack1;
+    const AnypathField& f2 = fields[dst].ack2;
+    for (std::size_t src = 0; src < n; ++src) {
+      if (src == dst || f1.cost_us[src] == kInfCost) continue;
+      ++s.reachable_pairs;
+      ++s.rate_hist[f1.best_rate[src]];
+      if (f2.cost_us[src] == kInfCost) continue;
+      ++s.ack_pairs;
+      s.ack1_us += f1.cost_us[src];
+      s.ack2_us += f2.cost_us[src];
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string report_anypath(const Dataset& ds) {
+  AnalysisCache cache;
+  return report_anypath(ds, cache);
+}
+
+std::string report_anypath(const Dataset& ds, AnalysisCache& cache) {
+  WMESH_SPAN("anypath.report");
+  // One network per task, like the routing report; per-network studies
+  // merge in network order.
+  Study total = par::parallel_map_reduce(
+      ds.networks.size(), Study{},
+      [&](std::size_t i) {
+        const auto& nt = ds.networks[i];
+        if (nt.info.standard != Standard::kBg || nt.ap_count < 5) {
+          return Study{};
+        }
+        return study_network(cache, nt);
+      },
+      merge);
+
+  std::string out;
+  if (total.per_rate.empty() || total.reachable_pairs == 0) {
+    out = "no connected >=5-AP b/g networks for anypath\n";
+    return out;
+  }
+  WMESH_COUNTER_ADD("anypath.pairs", total.reachable_pairs);
+
+  TextTable by_rate;
+  by_rate.header({"rate", "pairs", "etx ms", "exor ms", "anypath ms",
+                  "vs etx"});
+  for (std::size_t r = 0; r < total.per_rate.size(); ++r) {
+    const CostSums& c = total.per_rate[r];
+    if (c.pairs == 0) continue;
+    const double pairs = static_cast<double>(c.pairs);
+    by_rate.add_row(
+        {std::string(rate_name(Standard::kBg, static_cast<RateIndex>(r))),
+         std::to_string(c.pairs), fmt(c.etx_us / pairs / 1000.0, 2),
+         fmt(c.exor_us / pairs / 1000.0, 2),
+         fmt(c.any_us / pairs / 1000.0, 2),
+         fmt(100.0 * (c.etx_us - c.any_us) / c.etx_us, 1) + "%"});
+  }
+  out += by_rate.render();
+
+  TextTable by_size;
+  by_size.header({"aps", "networks", "pairs", "etx ms", "exor ms",
+                  "anypath ms"});
+  for (std::size_t b = 0; b < total.per_size.size(); ++b) {
+    const Study::SizeRow& row = total.per_size[b];
+    if (row.networks == 0 || row.sums.pairs == 0) continue;
+    const double pairs = static_cast<double>(row.sums.pairs);
+    by_size.add_row({kSizeLabels[b], std::to_string(row.networks),
+                     std::to_string(row.sums.pairs),
+                     fmt(row.sums.etx_us / pairs / 1000.0, 2),
+                     fmt(row.sums.exor_us / pairs / 1000.0, 2),
+                     fmt(row.sums.any_us / pairs / 1000.0, 2)});
+  }
+  out += by_size.render();
+
+  if (total.ack_pairs > 0) {
+    const double pairs = static_cast<double>(total.ack_pairs);
+    appendf(out,
+            "lossy-ack penalty: ETX2-model anypath %.2f ms vs ETX1 %.2f ms "
+            "(+%.1f%%) over %zu pairs\n",
+            total.ack2_us / pairs / 1000.0, total.ack1_us / pairs / 1000.0,
+            100.0 * (total.ack2_us - total.ack1_us) / total.ack1_us,
+            total.ack_pairs);
+  }
+  appendf(out, "best first-hop rate:");
+  for (std::size_t r = 0; r < total.rate_hist.size(); ++r) {
+    appendf(out, " %s %.1f%%",
+            std::string(rate_name(Standard::kBg, static_cast<RateIndex>(r)))
+                .c_str(),
+            100.0 * static_cast<double>(total.rate_hist[r]) /
+                static_cast<double>(total.reachable_pairs));
+  }
+  appendf(out, " (%zu reachable pairs)\n", total.reachable_pairs);
+  return out;
+}
+
+}  // namespace wmesh

@@ -1,0 +1,34 @@
+// The three-way routing comparison (ROADMAP item 3): ETX shortest-path vs
+// fixed-rate ExOR vs multirate anypath over every >=5-AP b/g network.
+//
+// All three are expressed in expected airtime so the multirate engine can
+// be compared against the fixed-rate metrics: an ETX or ExOR cost at rate r
+// is a transmission count, and count * airtime_us(r) is the airtime a
+// fixed-rate deployment would spend.  Anypath costs are airtimes natively.
+// Per pair (with the ETX1 ack model throughout) the chain
+//
+//     anypath <= exor(r) * airtime(r) <= etx(r) * airtime(r)
+//
+// holds for every rate r: ExOR-at-r is a feasible anypath policy (its
+// candidate order strictly decreases the ETX distance, so it is loop-free)
+// and the anypath optimum minimizes over all policies and rates; the right
+// inequality is PR 5's ExOR <= ETX property scaled by a constant.  The
+// property wall in tests/test_routing_properties.cc pins both.
+#pragma once
+
+#include <string>
+
+#include "trace/records.h"
+
+namespace wmesh {
+
+class AnalysisCache;
+
+// The `anypath` report section: per-rate three-way comparison, per-size
+// three-way at the base rate, ETX2-vs-ETX1 anypath summary, and the
+// best-rate-per-hop histogram.  The cache overload memoizes success
+// matrices and anypath graphs; output is identical either way.
+std::string report_anypath(const Dataset& ds);
+std::string report_anypath(const Dataset& ds, AnalysisCache& cache);
+
+}  // namespace wmesh

@@ -1,0 +1,164 @@
+#include "anypath/anypath.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "phy/rates.h"
+
+namespace wmesh::anypath {
+
+double airtime_us(Standard std, RateIndex rate) {
+  return kFrameOverheadUs + kPayloadBits / rate_mbps(std, rate);
+}
+
+AnypathGraph::AnypathGraph(const std::vector<SuccessMatrix>& per_rate,
+                           Standard std, EtxVariant ack)
+    : rates_(&per_rate), std_(std), ack_(ack) {
+  const std::size_t rate_n = per_rate.size();
+  n_ = rate_n > 0 ? per_rate[0].ap_count() : 0;
+  airtime_us_.resize(rate_n);
+  in_rows_.reserve(rate_n);
+  for (std::size_t r = 0; r < rate_n; ++r) {
+    airtime_us_[r] = anypath::airtime_us(std, static_cast<RateIndex>(r));
+    util::BitRows rows(n_, n_);
+    for (std::size_t u = 0; u < n_; ++u) {
+      for (std::size_t s = 0; s < n_; ++s) {
+        if (s == u) continue;
+        if (delivery(static_cast<ApId>(s), static_cast<ApId>(u),
+                     static_cast<RateIndex>(r)) > 0.0) {
+          rows.set(u, s);  // row u = the senders whose frames reach u
+        }
+      }
+    }
+    in_rows_.push_back(std::move(rows));
+  }
+}
+
+std::size_t AnypathGraph::approx_bytes() const noexcept {
+  std::size_t bytes = sizeof(*this) + airtime_us_.size() * sizeof(double);
+  for (const util::BitRows& rows : in_rows_) bytes += rows.approx_bytes();
+  return bytes;
+}
+
+// One Dijkstra over the hyperlink graph.  Per (node, rate) the open prefix
+// of settled in-neighbors is folded incrementally: when u settles at cost c,
+// every unsettled s that hears u at rate r appends u to its rate-r prefix
+//
+//     weighted[r][s] += p * none[r][s] * c;   none[r][s] *= (1 - p);
+//     prefix cost = (airtime[r] + weighted) / (1 - none)
+//
+// and the node's tentative distance is the running minimum of those prefix
+// costs over every (settle event, rate).  Settling in ascending tentative
+// distance makes each prefix exactly the ascending-D neighbor order the
+// optimal forwarding set is a prefix of, so the running minimum is the true
+// shortest-anypath distance.  kSparse only changes how "every unsettled s
+// that hears u" is enumerated (bitset row AND active mask vs a full scan);
+// both visit s in ascending order with identical arithmetic, so the outputs
+// are bit-identical.
+template <bool kSparse>
+AnypathField AnypathGraph::costs_to_impl(ApId dst) const {
+  const std::size_t n = n_;
+  const std::size_t rate_n = rate_count();
+  AnypathField field;
+  field.cost_us.assign(n, kInfCost);
+  field.best_rate.assign(n, kNoRate);
+  if (n == 0) return field;
+
+  // Per (rate, node): P(no prefix member received) and sum p*P*D.
+  std::vector<double> none(rate_n * n, 1.0);
+  std::vector<double> weighted(rate_n * n, 0.0);
+  std::vector<double> cand(n, kInfCost);   // tentative distance
+  std::vector<std::uint8_t> cand_rate(n, kNoRate);
+  const std::size_t words = util::BitRows::word_count(n);
+  std::vector<std::uint64_t> active(words, 0);  // unsettled nodes
+  for (std::size_t v = 0; v < n; ++v) {
+    active[v >> 6] |= std::uint64_t{1} << (v & 63);
+  }
+  cand[dst] = 0.0;
+
+  std::uint64_t settled = 0;
+  std::uint64_t hyperlink_evals = 0;
+
+  for (std::size_t round = 0; round < n; ++round) {
+    // Deterministic settle order: strict < keeps the lowest node id on
+    // ties, identically in both enumeration modes.
+    std::size_t u = n;
+    double best = kInfCost;
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t bits = active[w];
+      while (bits != 0) {
+        const std::size_t v =
+            w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        if (cand[v] < best) {
+          best = cand[v];
+          u = v;
+        }
+      }
+    }
+    if (u == n) break;  // everything left is unreachable
+    const double c = cand[u];
+    field.cost_us[u] = c;
+    field.best_rate[u] = cand_rate[u];
+    active[u >> 6] &= ~(std::uint64_t{1} << (u & 63));
+    ++settled;
+
+    // Append u to the open prefix of every unsettled node that hears it.
+    for (std::size_t r = 0; r < rate_n; ++r) {
+      double* none_r = none.data() + r * n;
+      double* weighted_r = weighted.data() + r * n;
+      const double airtime = airtime_us_[r];
+      const auto relax = [&](std::size_t s) {
+        const double p = delivery(static_cast<ApId>(s), static_cast<ApId>(u),
+                                  static_cast<RateIndex>(r));
+        if (p <= 0.0) return;
+        ++hyperlink_evals;
+        weighted_r[s] += p * none_r[s] * c;
+        none_r[s] *= (1.0 - p);
+        if (none_r[s] < 1.0) {
+          const double cost = (airtime + weighted_r[s]) / (1.0 - none_r[s]);
+          if (cost < cand[s]) {
+            cand[s] = cost;
+            cand_rate[s] = static_cast<std::uint8_t>(r);
+          }
+        }
+      };
+      if constexpr (kSparse) {
+        const std::uint64_t* row = in_rows_[r].row(u);
+        for (std::size_t w = 0; w < words; ++w) {
+          std::uint64_t bits = row[w] & active[w];
+          while (bits != 0) {
+            const std::size_t s =
+                w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+            bits &= bits - 1;
+            relax(s);
+          }
+        }
+      } else {
+        for (std::size_t s = 0; s < n; ++s) {
+          if (s == u) continue;
+          if (!((active[s >> 6] >> (s & 63)) & 1)) continue;
+          relax(s);
+        }
+      }
+    }
+  }
+  if constexpr (kSparse) {
+    WMESH_COUNTER_ADD("anypath.settled", settled);
+    WMESH_COUNTER_ADD("anypath.hyperlink_evals", hyperlink_evals);
+  }
+  return field;
+}
+
+AnypathField AnypathGraph::costs_to(ApId dst) const {
+  WMESH_SPAN("anypath.costs");
+  return costs_to_impl<true>(dst);
+}
+
+AnypathField AnypathGraph::costs_to_reference(ApId dst) const {
+  return costs_to_impl<false>(dst);
+}
+
+}  // namespace wmesh::anypath

@@ -1,0 +1,126 @@
+// Multirate anypath routing (Laufer & Kleinrock, "Multirate Anypath
+// Routing in Wireless Mesh Networks"; ROADMAP item 3).
+//
+// ETX picks one path and one rate; ExOR (core/exor.h) fixes the rate but
+// lets any closer receiver forward.  Anypath routing generalizes both: a
+// transmission is a *hyperlink* (J, r) -- a forwarding set J tried at bit
+// rate r -- and the shortest-anypath distance of node s to destination d is
+//
+//     D(s) = min over (J, r) of  T(r) / p_any(s,J,r)
+//                                + sum_{j in J} w_j(s,J,r) * D(j)
+//
+// where T(r) is the airtime of one transmission at rate r, p_any is the
+// probability at least one member of J receives it, and w_j is the
+// probability j is the *closest* receiver (relays are prioritized by their
+// own anypath distance, exactly like ExOR's candidate ordering):
+//
+//     w_j = p(s->j) * prod_{k in J, D(k) < D(j)} (1 - p(s->k)) / p_any.
+//
+// Expanding, the hyperlink cost is the ExOR recursion with an airtime in
+// place of the "1": (T(r) + sum_j r_j D(j)) / (1 - prod_j (1 - p_j)).
+// Because every term is positive, the optimal forwarding set at a rate is a
+// *prefix* of the neighbors in ascending anypath distance (adding a relay
+// with D(j) below the current hyperlink cost always helps, one above never
+// does), so a Dijkstra that settles nodes in ascending D and appends each
+// settled in-neighbor to the open prefix of every unsettled node -- taking
+// the running minimum over prefix lengths and rates -- computes the exact
+// optimum.  Costs are expected airtimes (us), so "best rate per hop" is a
+// real trade-off: high rates send faster but are heard by fewer relays.
+//
+// ACK models mirror core/etx.h's variants: under kEtx1 a relay counts if it
+// receives the data frame (perfect ACK channel, delivery = p_fwd); under
+// kEtx2 its ACK must also survive the reverse channel (delivery =
+// p_fwd * p_rev), so kEtx2 distances dominate kEtx1's.
+//
+// The candidate enumeration is the same bitset row-intersection sweep the
+// ExOR scan uses: per rate, one BitRows of in-neighbors (row u = the
+// senders that can reach u), AND-ed against the unsettled mask when u
+// settles, visited in ascending node order.  The dense scan is retained as
+// `costs_to_reference` for the kernel-equivalence wall in
+// tests/test_kernels.cc; both produce bit-identical costs and rate choices.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset_ops.h"
+#include "core/etx.h"
+#include "util/bitrows.h"
+
+namespace wmesh::anypath {
+
+// Airtime model: fixed per-frame overhead (preamble, DIFS, SIFS + ACK)
+// plus payload serialization of one 1500-byte frame.  The constants are a
+// plain 802.11b/g long-preamble budget; only their *ratios* across rates
+// matter for the rate choices and they keep the highest rates from being
+// free the way a pure payload/rate model would.
+inline constexpr double kFrameOverheadUs = 265.0;
+inline constexpr double kPayloadBits = 12000.0;  // 1500-byte frame
+
+// Expected airtime of one transmission attempt at probed rate `rate`.
+double airtime_us(Standard std, RateIndex rate);
+
+// best_rate value for the destination itself and unreachable nodes.
+inline constexpr std::uint8_t kNoRate = 0xff;
+
+// Per-destination solution: for every node, the expected airtime (us) of
+// delivering one frame to `dst` under the optimal (forwarding set, rate)
+// policy, and the rate of the optimal first-hop hyperlink.
+struct AnypathField {
+  std::vector<double> cost_us;          // kInfCost where unreachable
+  std::vector<std::uint8_t> best_rate;  // kNoRate for dst / unreachable
+};
+
+// The multirate hyperlink graph of one network: per-rate delivery
+// probabilities under one ACK model, per-rate airtimes, and the per-rate
+// in-neighbor bitset rows the sweep intersects.
+//
+// Lifetime: non-owning -- `per_rate` must outlive the graph (it is the
+// AnalysisCache::all_success entry when built by the cache; the cache
+// invalidates both together).  `per_rate.size()` may be any prefix of the
+// standard's probed-rate table.
+class AnypathGraph {
+ public:
+  AnypathGraph(const std::vector<SuccessMatrix>& per_rate, Standard std,
+               EtxVariant ack);
+
+  std::size_t ap_count() const noexcept { return n_; }
+  std::size_t rate_count() const noexcept { return rates_->size(); }
+  Standard standard() const noexcept { return std_; }
+  EtxVariant ack_model() const noexcept { return ack_; }
+  double airtime_us(RateIndex r) const noexcept { return airtime_us_[r]; }
+
+  // Approximate resident size (bitset rows; the referenced success
+  // matrices are accounted by their own cache entry).
+  std::size_t approx_bytes() const noexcept;
+
+  // Effective delivery probability of the data frame s->u at rate r under
+  // the ACK model: p_fwd under kEtx1, p_fwd * p_rev under kEtx2.
+  double delivery(ApId s, ApId u, RateIndex r) const noexcept {
+    const SuccessMatrix& m = (*rates_)[r];
+    const double p = m.at(s, u);
+    if (ack_ == EtxVariant::kEtx1) return p;
+    return p * m.at(u, s);
+  }
+
+  // Shortest-anypath field to `dst`: the bitset hyperlink sweep.
+  AnypathField costs_to(ApId dst) const;
+
+  // Dense-scan reference (every settle event scans all n candidates), kept
+  // for the kernel-equivalence wall; bit-identical to costs_to.
+  AnypathField costs_to_reference(ApId dst) const;
+
+ private:
+  template <bool kSparse>
+  AnypathField costs_to_impl(ApId dst) const;
+
+  const std::vector<SuccessMatrix>* rates_;
+  Standard std_;
+  EtxVariant ack_;
+  std::size_t n_ = 0;
+  std::vector<double> airtime_us_;
+  // Per rate: row u = bitset of senders s with delivery(s, u, r) > 0.
+  std::vector<util::BitRows> in_rows_;
+};
+
+}  // namespace wmesh::anypath

@@ -1,5 +1,6 @@
 #include "core/analysis_cache.h"
 
+#include "anypath/anypath.h"
 #include "obs/metrics.h"
 
 namespace wmesh {
@@ -101,6 +102,25 @@ const EtxGraph& AnalysisCache::etx_graph(const NetworkTrace& nt,
   return *slot->value;
 }
 
+const anypath::AnypathGraph& AnalysisCache::anypath_graph(
+    const NetworkTrace& nt, EtxVariant ack) {
+  bool created = false;
+  auto slot = slot_for(
+      anypath_, AnypathKey{&nt, static_cast<std::uint8_t>(ack)}, &created);
+  count_lookup(created);
+  std::call_once(slot->once, [&] {
+    // all_success() is served from this cache, so the graph's matrix
+    // reference stays valid exactly as long as this slot does (both are
+    // dropped by the same invalidate()/clear()).
+    auto value = std::make_unique<const anypath::AnypathGraph>(
+        all_success(nt), nt.info.standard, ack);
+    slot->bytes = value->approx_bytes();
+    add_bytes(slot->bytes);
+    slot->value = std::move(value);
+  });
+  return *slot->value;
+}
+
 std::size_t AnalysisCache::invalidate(const NetworkTrace* nt) {
   std::size_t dropped = 0;
   std::size_t total_bytes, total_entries;
@@ -125,6 +145,7 @@ std::size_t AnalysisCache::invalidate(const NetworkTrace* nt) {
     drop(success_, [nt](const SuccessKey& k) { return k.first == nt; });
     drop(all_, [nt](const NetworkTrace* k) { return k == nt; });
     drop(graphs_, [nt](const GraphKey& k) { return std::get<0>(k) == nt; });
+    drop(anypath_, [nt](const AnypathKey& k) { return k.first == nt; });
     total_bytes = stats_.bytes;
     total_entries = stats_.entries;
   }
@@ -144,6 +165,7 @@ void AnalysisCache::clear() {
   success_.clear();
   all_.clear();
   graphs_.clear();
+  anypath_.clear();
   stats_ = Stats{};
 }
 

@@ -6,8 +6,9 @@
 // plus another ETX1 graph, and `report_hidden` rebuilds per-rate matrices
 // the range study also wants.  An AnalysisCache memoizes
 //   * mean_success_matrix(network, rate),
-//   * all_success_matrices(network), and
-//   * EtxGraph instances keyed by (network, rate, variant, min_delivery)
+//   * all_success_matrices(network),
+//   * EtxGraph instances keyed by (network, rate, variant, min_delivery), and
+//   * anypath::AnypathGraph instances keyed by (network, ack model)
 // so each is computed exactly once per cache lifetime.
 //
 // Keying & invalidation: networks are keyed by NetworkTrace address, so a
@@ -40,6 +41,10 @@
 
 namespace wmesh {
 
+namespace anypath {
+class AnypathGraph;
+}  // namespace anypath
+
 class AnalysisCache {
  public:
   AnalysisCache() = default;
@@ -55,6 +60,13 @@ class AnalysisCache {
   // Memoized EtxGraph over success(nt, rate).
   const EtxGraph& etx_graph(const NetworkTrace& nt, RateIndex rate,
                             EtxVariant variant, double min_delivery);
+
+  // Memoized multirate anypath hyperlink graph over all_success(nt) under
+  // one ACK model.  The graph references the all_success entry (it does not
+  // copy the matrices); both entries are keyed by `nt` and die together
+  // under invalidate()/clear(), so the reference cannot dangle.
+  const anypath::AnypathGraph& anypath_graph(const NetworkTrace& nt,
+                                             EtxVariant ack);
 
   struct Stats {
     std::uint64_t hits = 0;
@@ -97,6 +109,7 @@ class AnalysisCache {
   using SuccessKey = std::pair<const NetworkTrace*, RateIndex>;
   using GraphKey =
       std::tuple<const NetworkTrace*, RateIndex, std::uint8_t, double>;
+  using AnypathKey = std::pair<const NetworkTrace*, std::uint8_t>;
 
   mutable std::mutex mu_;
   Stats stats_;
@@ -104,6 +117,7 @@ class AnalysisCache {
   std::map<const NetworkTrace*, std::shared_ptr<Slot<std::vector<SuccessMatrix>>>>
       all_;
   std::map<GraphKey, std::shared_ptr<Slot<EtxGraph>>> graphs_;
+  std::map<AnypathKey, std::shared_ptr<Slot<anypath::AnypathGraph>>> anypath_;
 };
 
 }  // namespace wmesh

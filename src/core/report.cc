@@ -4,6 +4,7 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "anypath/analysis.h"
 #include "core/analysis_cache.h"
 #include "core/exor.h"
 #include "core/hidden.h"
@@ -214,6 +215,8 @@ std::string report_etx(const Dataset& ds) {
   out += "\n== etx/exor routing ==\n";
   out += report_routing(ds, cache);
   out += report_path_lengths(ds, cache);
+  out += "\n== anypath ==\n";
+  out += report_anypath(ds, cache);
   out += "\n== hidden ==\n";
   out += report_hidden(ds, cache);
   out += "\n== mobility ==\n";
@@ -227,6 +230,7 @@ std::string run_report(const Dataset& ds, std::string_view what) {
   if (what == "snr") return report_snr(ds);
   if (what == "lookup") return report_lookup(ds);
   if (what == "routing") return report_routing(ds);
+  if (what == "anypath") return report_anypath(ds);
   if (what == "hidden") return report_hidden(ds);
   if (what == "mobility") return report_mobility(ds);
   if (what == "traffic") return report_traffic(ds);

@@ -50,6 +50,11 @@ std::string report_path_lengths(const Dataset& ds, AnalysisCache& cache);
 std::string report_hidden(const Dataset& ds);
 std::string report_hidden(const Dataset& ds, AnalysisCache& cache);
 
+// ROADMAP item 3: three-way ETX / ExOR / multirate-anypath comparison
+// (declared in anypath/analysis.h, dispatched here as "anypath").
+std::string report_anypath(const Dataset& ds);
+std::string report_anypath(const Dataset& ds, AnalysisCache& cache);
+
 // Fig 7.3/7.4: prevalence & persistence by environment.
 std::string report_mobility(const Dataset& ds);
 
@@ -61,8 +66,8 @@ std::string report_traffic(const Dataset& ds);
 std::string report_etx(const Dataset& ds);
 
 // Dispatch by analysis name as accepted by wmesh_analyze
-// (snr|lookup|routing|hidden|mobility|traffic|etx|all); returns an empty
-// string for an unknown name.
+// (snr|lookup|routing|anypath|hidden|mobility|traffic|etx|all); returns an
+// empty string for an unknown name.
 std::string run_report(const Dataset& ds, std::string_view what);
 
 }  // namespace wmesh

@@ -17,8 +17,8 @@ namespace {
 
 // Sections that accept an optional trailing network id.
 bool takes_network_arg(const std::string& what) {
-  return what == "etx" || what == "exor" || what == "paths" ||
-         what == "hidden";
+  return what == "etx" || what == "exor" || what == "anypath" ||
+         what == "paths" || what == "hidden";
 }
 
 }  // namespace
@@ -134,6 +134,7 @@ QueryResult MeshService::dispatch(const std::string& line) {
   if (what == "lookup") return {true, report_lookup(live_)};
   if (what == "etx") return {true, report_etx(live_)};
   if (what == "exor") return {true, report_routing(live_, cache_)};
+  if (what == "anypath") return {true, report_anypath(live_, cache_)};
   if (what == "paths") return {true, report_path_lengths(live_, cache_)};
   if (what == "hidden") return {true, report_hidden(live_, cache_)};
   if (what == "mobility") return {true, report_mobility(live_)};
@@ -155,6 +156,7 @@ QueryResult MeshService::render_filtered(const std::string& what,
   }
   if (what == "etx") return {true, report_etx(one)};
   if (what == "exor") return {true, report_routing(one)};
+  if (what == "anypath") return {true, report_anypath(one)};
   if (what == "paths") return {true, report_path_lengths(one)};
   if (what == "hidden") return {true, report_hidden(one)};
   return {false, "unknown command '" + what + "' (try help)"};
@@ -203,6 +205,7 @@ std::string MeshService::help_text() {
       "  lookup        look-up table accuracy by scope\n"
       "  etx [net]     full pipeline at the ETX base rate\n"
       "  exor [net]    opportunistic-routing gains at 1 Mbit/s\n"
+      "  anypath [net] three-way ETX / ExOR / multirate-anypath comparison\n"
       "  paths [net]   ETX1 shortest-path hop count summary\n"
       "  hidden [net]  hidden-triple medians per rate\n"
       "  mobility      prevalence & persistence by environment\n"

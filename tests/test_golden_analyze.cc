@@ -78,8 +78,8 @@ TEST_P(GoldenReport, MatchesCheckedInText) {
 
 INSTANTIATE_TEST_SUITE_P(AllAnalyses, GoldenReport,
                          ::testing::Values("snr", "lookup", "routing",
-                                           "hidden", "mobility", "traffic",
-                                           "etx"),
+                                           "anypath", "hidden", "mobility",
+                                           "traffic", "etx"),
                          [](const auto& info) {
                            return std::string(info.param);
                          });

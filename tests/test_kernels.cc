@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "anypath/anypath.h"
 #include "core/analysis_cache.h"
 #include "core/exor.h"
 #include "core/hidden.h"
@@ -159,6 +160,70 @@ TEST(KernelEquivalence, ExorCostsMatchDenseScan) {
   }
 }
 
+// Independent per-rate matrices, like a real trace's per-rate probing.
+// Three rates keep the 130-AP cases affordable while still exercising the
+// multirate minimum.
+std::vector<SuccessMatrix> random_rate_matrices(std::uint64_t seed,
+                                                std::size_t n,
+                                                double density) {
+  std::vector<SuccessMatrix> out;
+  for (std::uint64_t r = 0; r < 3; ++r) {
+    out.push_back(random_matrix(seed * 97 + r, n, density));
+  }
+  return out;
+}
+
+TEST(KernelEquivalence, AnypathCostsMatchDenseScan) {
+  for (const auto& c : kCases) {
+    const auto rates = random_rate_matrices(c.seed, c.n, c.density);
+    for (const EtxVariant ack : {EtxVariant::kEtx1, EtxVariant::kEtx2}) {
+      const anypath::AnypathGraph g(rates, Standard::kBg, ack);
+      for (std::size_t dst = 0; dst < c.n; ++dst) {
+        const auto sparse = g.costs_to(static_cast<ApId>(dst));
+        const auto dense = g.costs_to_reference(static_cast<ApId>(dst));
+        expect_bytes_equal(sparse.cost_us, dense.cost_us, "anypath costs");
+        EXPECT_EQ(sparse.best_rate, dense.best_rate)
+            << "n=" << c.n << " dst=" << dst;
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, AnypathEdgeCases) {
+  // Fully disconnected: only the destination itself is reachable.
+  const std::vector<SuccessMatrix> none(3, SuccessMatrix(12));
+  const anypath::AnypathGraph g_none(none, Standard::kBg,
+                                     EtxVariant::kEtx1);
+  for (std::size_t dst = 0; dst < 12; ++dst) {
+    const auto f = g_none.costs_to(static_cast<ApId>(dst));
+    const auto ref = g_none.costs_to_reference(static_cast<ApId>(dst));
+    expect_bytes_equal(f.cost_us, ref.cost_us, "disconnected costs");
+    EXPECT_EQ(f.best_rate, ref.best_rate);
+    for (std::size_t s = 0; s < 12; ++s) {
+      EXPECT_EQ(f.cost_us[s], s == dst ? 0.0 : kInfCost);
+      EXPECT_EQ(f.best_rate[s], anypath::kNoRate);
+    }
+  }
+  // Fully connected at perfect delivery: every node reaches the
+  // destination in one transmission at the fastest of the three rates
+  // (delivery is certain everywhere, so only the airtime differs).
+  const std::vector<SuccessMatrix> full(3, full_matrix(12, 1.0));
+  const anypath::AnypathGraph g_full(full, Standard::kBg,
+                                     EtxVariant::kEtx2);
+  const double fastest = g_full.airtime_us(2);
+  for (std::size_t dst = 0; dst < 12; ++dst) {
+    const auto f = g_full.costs_to(static_cast<ApId>(dst));
+    const auto ref = g_full.costs_to_reference(static_cast<ApId>(dst));
+    expect_bytes_equal(f.cost_us, ref.cost_us, "connected costs");
+    EXPECT_EQ(f.best_rate, ref.best_rate);
+    for (std::size_t s = 0; s < 12; ++s) {
+      if (s == dst) continue;
+      EXPECT_EQ(f.cost_us[s], fastest);
+      EXPECT_EQ(f.best_rate[s], 2);
+    }
+  }
+}
+
 TEST(AnalysisCacheWall, HitMissAccountingAndIdentity) {
   const Dataset ds = generate_dataset(small_config());
   ASSERT_FALSE(ds.networks.empty());
@@ -217,6 +282,55 @@ TEST(AnalysisCacheWall, HitMissAccountingAndIdentity) {
   // After clear, the same lookup is a miss again.
   (void)cache.success(nt, 0);
   EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(AnalysisCacheWall, AnypathEntryAccountingAndInvalidation) {
+  const Dataset ds = generate_dataset(small_config());
+  ASSERT_FALSE(ds.networks.empty());
+  const NetworkTrace& nt = ds.networks.front();
+
+  AnalysisCache cache;
+  // First lookup: one anypath miss plus the all_success miss it triggers.
+  const anypath::AnypathGraph& g1 =
+      cache.anypath_graph(nt, EtxVariant::kEtx1);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  const anypath::AnypathGraph& g1b =
+      cache.anypath_graph(nt, EtxVariant::kEtx1);
+  EXPECT_EQ(&g1, &g1b);  // memoized: same object
+  EXPECT_EQ(cache.stats().hits, 1u);
+  // The other ACK model is a distinct key but shares the matrices.
+  const anypath::AnypathGraph& g2 =
+      cache.anypath_graph(nt, EtxVariant::kEtx2);
+  EXPECT_NE(&g1, &g2);
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().entries, 3u);  // all_success + two anypath graphs
+  const std::size_t bytes = cache.stats().bytes;
+  EXPECT_GT(bytes, 0u);
+
+  // Cached graph computes the same field as an uncached build.
+  const auto direct_rates = all_success_matrices(nt);
+  const anypath::AnypathGraph direct(direct_rates, nt.info.standard,
+                                     EtxVariant::kEtx1);
+  ASSERT_GT(nt.ap_count, 0u);
+  const auto got = g1.costs_to(0);
+  const auto want = direct.costs_to(0);
+  expect_bytes_equal(got.cost_us, want.cost_us, "cached anypath costs");
+  EXPECT_EQ(got.best_rate, want.best_rate);
+
+  // Invalidating a different network drops nothing; invalidating this one
+  // drops the matrices and both graphs with a full byte refund.
+  if (ds.networks.size() > 1) {
+    EXPECT_EQ(cache.invalidate(&ds.networks[1]), 0u);
+    EXPECT_EQ(cache.stats().bytes, bytes);
+  }
+  EXPECT_EQ(cache.invalidate(&nt), 3u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  // After invalidation the same lookup misses and recomputes.
+  (void)cache.anypath_graph(nt, EtxVariant::kEtx1);
+  EXPECT_EQ(cache.stats().misses, 5u);
 }
 
 TEST(AnalysisCacheWall, CachedAnalysesMatchUncached) {

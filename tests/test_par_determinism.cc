@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/analysis_cache.h"
 #include "core/report.h"
 #include "obs/export_server.h"
 #include "obs/flight.h"
@@ -279,8 +280,9 @@ TEST_F(ParDeterminism, EveryReportIsByteIdenticalAcrossThreadCounts) {
   const std::string etx_want = report_etx(ds);
   ASSERT_FALSE(etx_want.empty());
   const std::string paths_want = report_path_lengths(ds);
-  const std::array<const char*, 6> kNames{"snr",    "lookup",   "routing",
-                                          "hidden", "mobility", "traffic"};
+  const std::array<const char*, 7> kNames{"snr",     "lookup",   "routing",
+                                          "anypath", "hidden",   "mobility",
+                                          "traffic"};
   std::map<std::string, std::string> want;
   for (const char* name : kNames) {
     want[name] = run_report(ds, name);
@@ -295,6 +297,30 @@ TEST_F(ParDeterminism, EveryReportIsByteIdenticalAcrossThreadCounts) {
       EXPECT_EQ(run_report(ds, name), want[name])
           << "analysis " << name << " threads " << threads;
     }
+  }
+}
+
+TEST_F(ParDeterminism, ParAnypathIsByteIdenticalAcrossThreadCounts) {
+  // The anypath report nests two wmesh::par levels -- networks outside,
+  // destinations inside -- and folds floating-point sums at both; this (and
+  // san_smoke's TSan rebuild of it) pins the 1/2/8-thread byte-identity of
+  // the new kernel's sharded loops specifically.
+  par::set_default_threads(1);
+  const Dataset ds = generate_dataset(test_config());
+  AnalysisCache serial_cache;
+  const std::string want = report_anypath(ds, serial_cache);
+  ASSERT_FALSE(want.empty());
+  ASSERT_NE(want.find("anypath ms"), std::string::npos);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    par::set_default_threads(threads);
+    // Fresh cache per thread count: hit/miss totals must not depend on the
+    // pool size either.
+    AnalysisCache cache;
+    EXPECT_EQ(report_anypath(ds, cache), want) << "threads " << threads;
+    EXPECT_EQ(cache.stats().hits, serial_cache.stats().hits)
+        << "threads " << threads;
+    EXPECT_EQ(cache.stats().misses, serial_cache.stats().misses)
+        << "threads " << threads;
   }
 }
 

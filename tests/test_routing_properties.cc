@@ -8,14 +8,21 @@
 //     only help an idealized, overhead-free ExOR) and >= 1
 //   * ETX2 path cost >= ETX1 path cost (the lossy ACK channel can only add
 //     transmissions), and ETX2 reachability is a subset of ETX1's
+//   * anypath airtime <= ExOR airtime <= ETX airtime per (network, rate,
+//     destination) pair: ExOR at any fixed rate is a feasible anypath
+//     policy, and the ETX shortest path is a feasible ExOR strategy
+//   * ETX2-ack-model anypath >= ETX1-ack-model anypath (lossy ACKs shrink
+//     every delivery probability, and the anypath distance is monotone)
 //   * shrinking the hearing relation (the constructed analogue of moving to
 //     a faster, shorter-range bit rate) shrinks the range and the relevant
 //     triple count monotonically
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
+#include "anypath/anypath.h"
 #include "core/dataset_ops.h"
 #include "core/etx.h"
 #include "core/exor.h"
@@ -100,6 +107,83 @@ TEST(RoutingProperties, Etx2PathCostDominatesEtx1) {
         // reachability is a subset of ETX1 reachability.
         EXPECT_NE(d1[dst], kInfCost);
         EXPECT_GE(d2[dst] + 1e-9, d1[dst]);
+      }
+    }
+  }
+  ASSERT_GT(reachable, 0u);
+}
+
+TEST(AnypathProperties, AnypathNeverCostsMoreAirtimeThanExorOrEtx) {
+  std::size_t pairs = 0;
+  for (const auto& nt : test_dataset().networks) {
+    if (nt.info.standard != Standard::kBg || nt.ap_count < 5) continue;
+    const auto per_rate = all_success_matrices(nt);
+    const anypath::AnypathGraph ag(per_rate, Standard::kBg,
+                                   EtxVariant::kEtx1);
+    const std::size_t n = nt.ap_count;
+    double min_air = kInfCost;
+    for (RateIndex r = 0; r < static_cast<RateIndex>(per_rate.size()); ++r) {
+      min_air = std::min(min_air, ag.airtime_us(r));
+    }
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      const auto field = ag.costs_to(static_cast<ApId>(dst));
+      for (RateIndex r = 0; r < static_cast<RateIndex>(per_rate.size());
+           ++r) {
+        const double air = ag.airtime_us(r);
+        const EtxGraph g(per_rate[r], EtxVariant::kEtx1, kEtxMinDelivery);
+        const auto etx_to = g.shortest_to(static_cast<ApId>(dst));
+        const auto exor_to = exor_costs_to(per_rate[r], etx_to);
+        for (std::size_t src = 0; src < n; ++src) {
+          if (src == dst || etx_to[src] == kInfCost ||
+              exor_to[src] == kInfCost) {
+            continue;
+          }
+          ++pairs;
+          const double any_us = field.cost_us[src];
+          const double exor_us = exor_to[src] * air;
+          const double etx_us = etx_to[src] * air;
+          // Multirate anypath minimizes over every (forwarding set, rate)
+          // policy; ExOR fixed at rate r is one of them, and the ETX
+          // shortest path at rate r is one of ExOR's.  Tolerances are
+          // relative: costs are airtimes in the 1e4..1e6 us range.
+          ASSERT_NE(any_us, kInfCost);
+          EXPECT_LE(any_us, exor_us * (1.0 + 1e-9))
+              << rate_name(Standard::kBg, r) << " " << src << "->" << dst;
+          EXPECT_LE(exor_us, etx_us * (1.0 + 1e-9))
+              << rate_name(Standard::kBg, r) << " " << src << "->" << dst;
+          // ...and delivery still takes at least one transmission at the
+          // fastest rate.
+          EXPECT_GE(any_us, min_air * (1.0 - 1e-9));
+        }
+      }
+    }
+  }
+  ASSERT_GT(pairs, 0u) << "generated fleet produced no routable pairs";
+}
+
+TEST(AnypathProperties, LossyAckModelDominatesPerfectAckModel) {
+  std::size_t reachable = 0;
+  for (const auto& nt : test_dataset().networks) {
+    if (nt.info.standard != Standard::kBg || nt.ap_count < 5) continue;
+    const auto per_rate = all_success_matrices(nt);
+    const anypath::AnypathGraph a1(per_rate, Standard::kBg,
+                                   EtxVariant::kEtx1);
+    const anypath::AnypathGraph a2(per_rate, Standard::kBg,
+                                   EtxVariant::kEtx2);
+    const std::size_t n = nt.ap_count;
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      const auto f1 = a1.costs_to(static_cast<ApId>(dst));
+      const auto f2 = a2.costs_to(static_cast<ApId>(dst));
+      for (std::size_t src = 0; src < n; ++src) {
+        if (src == dst || f2.cost_us[src] == kInfCost) continue;
+        ++reachable;
+        // The ETX2 model multiplies every delivery probability by the
+        // reverse (ACK) success, so each hyperlink gets strictly harder and
+        // the optimal distance can only grow; ETX2 reachability is a
+        // subset of ETX1's.
+        EXPECT_NE(f1.cost_us[src], kInfCost);
+        EXPECT_GE(f2.cost_us[src] * (1.0 + 1e-9), f1.cost_us[src])
+            << src << "->" << dst;
       }
     }
   }

@@ -252,9 +252,10 @@ TEST_F(ServeWindowTest, ServedSectionsMatchBatchAnalyzeAtOneTwoEightThreads) {
     const char* command;
     std::string want;
   };
-  std::array<Section, 8> sections{{{"snr", report_snr(want_ds)},
+  std::array<Section, 9> sections{{{"snr", report_snr(want_ds)},
                                    {"lookup", report_lookup(want_ds)},
                                    {"exor", report_routing(want_ds)},
+                                   {"anypath", report_anypath(want_ds)},
                                    {"paths", report_path_lengths(want_ds)},
                                    {"hidden", report_hidden(want_ds)},
                                    {"mobility", report_mobility(want_ds)},
@@ -357,9 +358,10 @@ TEST(ServeGolden, TranscriptMatchesCheckedInBytes) {
   serve::MeshService service(sc);
   for (int r = 0; r < 45; ++r) ASSERT_TRUE(service.tick());
 
-  const std::array<const char*, 14> kCommands{
-      "stats", "snr", "lookup", "exor", "paths", "hidden", "mobility",
-      "traffic", "etx", "etx 3", "bogus", "etx 99", "hidden x", "snr 1"};
+  const std::array<const char*, 16> kCommands{
+      "stats", "snr", "lookup", "exor", "anypath", "paths", "hidden",
+      "mobility", "traffic", "etx", "etx 3", "anypath 3", "bogus", "etx 99",
+      "hidden x", "snr 1"};
   std::string transcript;
   for (const char* cmd : kCommands) {
     const serve::QueryResult r = service.query(cmd);
@@ -564,8 +566,9 @@ TEST(ServeSmoke, BinaryServesQueriesMetricsAndRunReport) {
                    << slurp(log_path);
 
   // One query per section, all over one connection.
-  for (const char* cmd : {"snr", "lookup", "exor", "paths", "hidden",
-                          "mobility", "traffic", "etx", "stats", "help"}) {
+  for (const char* cmd : {"snr", "lookup", "exor", "anypath", "paths",
+                          "hidden", "mobility", "traffic", "etx", "stats",
+                          "help"}) {
     const std::string line = std::string(cmd) + "\n";
     ASSERT_TRUE(obs::send_all(fd, line.data(), line.size())) << cmd;
     const std::string resp = recv_frame(fd);

@@ -6,6 +6,7 @@
 //   lookup    Fig 4.4 look-up table accuracy by scope (both standards)
 //   routing   Fig 5.1 opportunistic-routing gains at 1 Mbit/s
 //   hidden    Fig 6.1 hidden-triple medians per rate
+//   anypath   three-way ETX / ExOR / multirate-anypath comparison
 //   mobility  Fig 7.3/7.4 prevalence & persistence by environment
 //   traffic   §3.2 client/AP load summary
 //   etx       full pipeline anchored on the ETX base rate: runs the routing
@@ -49,8 +50,8 @@ namespace {
 
 const char* const kUsage =
     "usage: wmesh_analyze <prefix> "
-    "<snr|lookup|routing|hidden|mobility|traffic|etx|all> "
-    "[--format=csv|wsnap|auto] [--threads=N] [--metrics[=path]] "
+    "<snr|lookup|routing|anypath|hidden|mobility|traffic|etx|all> "
+    "[--anypath] [--format=csv|wsnap|auto] [--threads=N] [--metrics[=path]] "
     "[--report[=path.json]] [--version]\n"
     "       wmesh_analyze --help\n";
 
@@ -61,6 +62,8 @@ void print_help() {
       "  snr       SNR dispersion summary (Fig 3.1)\n"
       "  lookup    look-up table accuracy by scope (Fig 4.4)\n"
       "  routing   opportunistic-routing gains at 1 Mbit/s (Fig 5.1)\n"
+      "  anypath   three-way ETX / ExOR / multirate-anypath comparison\n"
+      "            (ROADMAP item 3; --anypath is an alias)\n"
       "  hidden    hidden-triple medians per rate (Fig 6.1)\n"
       "  mobility  prevalence & persistence by environment (Fig 7.3/7.4)\n"
       "  traffic   client/AP load summary (SS3.2)\n"
@@ -114,7 +117,11 @@ int main(int argc, char** argv) {
     if (arg == "--version") {
       return cli::print_version("wmesh_analyze");
     }
-    if (arg == "--metrics") {
+    if (arg == "--anypath") {
+      // Flag alias for the anypath analysis, so scripted pipelines can
+      // toggle it without reordering positionals.
+      what = "anypath";
+    } else if (arg == "--metrics") {
       want_metrics = true;
     } else if (arg.rfind("--metrics=", 0) == 0) {
       want_metrics = true;
@@ -155,8 +162,8 @@ int main(int argc, char** argv) {
     return usage_error("missing <prefix> or <analysis>");
   }
   if (what != "snr" && what != "lookup" && what != "routing" &&
-      what != "hidden" && what != "mobility" && what != "traffic" &&
-      what != "etx" && what != "all") {
+      what != "anypath" && what != "hidden" && what != "mobility" &&
+      what != "traffic" && what != "etx" && what != "all") {
     return usage_error("unknown analysis '" + what + "'");
   }
 
