@@ -1,0 +1,313 @@
+#include "obs/alerts.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "util/text_table.h"
+
+namespace wmesh::obs {
+
+const char* to_string(AlertKind k) {
+  switch (k) {
+    case AlertKind::kThreshold:
+      return "threshold";
+    case AlertKind::kAbsent:
+      return "absent";
+    case AlertKind::kBurnRate:
+      return "burn";
+  }
+  return "?";
+}
+
+const char* to_string(AlertOp op) {
+  switch (op) {
+    case AlertOp::kGt:
+      return ">";
+    case AlertOp::kGe:
+      return ">=";
+    case AlertOp::kLt:
+      return "<";
+    case AlertOp::kLe:
+      return "<=";
+  }
+  return "?";
+}
+
+const char* to_string(AlertState s) {
+  switch (s) {
+    case AlertState::kInactive:
+      return "inactive";
+    case AlertState::kPending:
+      return "pending";
+    case AlertState::kFiring:
+      return "FIRING";
+  }
+  return "?";
+}
+
+namespace {
+
+bool compare(AlertOp op, double lhs, double rhs) {
+  switch (op) {
+    case AlertOp::kGt:
+      return lhs > rhs;
+    case AlertOp::kGe:
+      return lhs >= rhs;
+    case AlertOp::kLt:
+      return lhs < rhs;
+    case AlertOp::kLe:
+      return lhs <= rhs;
+  }
+  return false;
+}
+
+bool parse_op(const std::string& tok, AlertOp* op) {
+  if (tok == ">") {
+    *op = AlertOp::kGt;
+  } else if (tok == ">=") {
+    *op = AlertOp::kGe;
+  } else if (tok == "<") {
+    *op = AlertOp::kLt;
+  } else if (tok == "<=") {
+    *op = AlertOp::kLe;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_number(const std::string& tok, double* v) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  *v = std::strtod(tok.c_str(), &end);
+  return end == tok.c_str() + tok.size();
+}
+
+bool parse_ticks(const std::string& tok, std::uint64_t* v) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(tok.c_str(), &end, 10);
+  if (end != tok.c_str() + tok.size() || n == 0) return false;
+  *v = n;
+  return true;
+}
+
+// Consumes one "key=value" option token; false when tok is not `key=`.
+bool option(const std::string& tok, const char* key, std::string* value) {
+  const std::string prefix = std::string(key) + "=";
+  if (tok.rfind(prefix, 0) != 0) return false;
+  *value = tok.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+bool parse_alert_rules(std::string_view text, std::string_view filename,
+                       std::vector<AlertRule>* out, std::string* error) {
+  std::vector<AlertRule> rules;
+  std::set<std::string> names;
+  std::size_t lineno = 0;
+  std::size_t pos = 0;
+
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) {
+      *error = std::string(filename) + ":" + std::to_string(lineno) + ": " +
+               msg;
+    }
+    return false;
+  };
+
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) nl = text.size();
+    std::string line(text.substr(pos, nl - pos));
+    pos = nl + 1;
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+
+    std::istringstream in(line);
+    std::vector<std::string> tok;
+    for (std::string t; in >> t;) tok.push_back(std::move(t));
+    if (tok.empty()) continue;
+    if (tok[0] != "alert") {
+      return fail("expected 'alert', got '" + tok[0] + "'");
+    }
+    if (tok.size() < 4) return fail("incomplete rule");
+    AlertRule r;
+    r.name = tok[1];
+    if (!names.insert(r.name).second) {
+      return fail("duplicate rule name '" + r.name + "'");
+    }
+    const std::string& kind = tok[2];
+    r.series = tok[3];
+    std::size_t i = 4;
+    if (kind == "threshold" || kind == "burn") {
+      r.kind = kind == "burn" ? AlertKind::kBurnRate : AlertKind::kThreshold;
+      if (tok.size() < i + 2) return fail("missing <op> <value>");
+      if (!parse_op(tok[i], &r.op)) {
+        return fail("bad operator '" + tok[i] + "' (want > >= < <=)");
+      }
+      if (!parse_number(tok[i + 1], &r.value)) {
+        return fail("bad value '" + tok[i + 1] + "'");
+      }
+      i += 2;
+    } else if (kind == "absent") {
+      r.kind = AlertKind::kAbsent;
+    } else {
+      return fail("unknown rule kind '" + kind +
+                  "' (want threshold, absent or burn)");
+    }
+    bool saw_short = false;
+    bool saw_long = false;
+    for (; i < tok.size(); ++i) {
+      std::string v;
+      if (option(tok[i], "for", &v)) {
+        if (!parse_ticks(v, &r.for_ticks)) return fail("bad for=" + v);
+      } else if (r.kind == AlertKind::kAbsent && option(tok[i], "window", &v)) {
+        if (!parse_ticks(v, &r.window)) return fail("bad window=" + v);
+      } else if (r.kind == AlertKind::kBurnRate &&
+                 option(tok[i], "short", &v)) {
+        if (!parse_ticks(v, &r.short_window)) return fail("bad short=" + v);
+        saw_short = true;
+      } else if (r.kind == AlertKind::kBurnRate && option(tok[i], "long", &v)) {
+        if (!parse_ticks(v, &r.long_window)) return fail("bad long=" + v);
+        saw_long = true;
+      } else {
+        return fail("unexpected token '" + tok[i] + "'");
+      }
+    }
+    if (r.kind == AlertKind::kBurnRate) {
+      if (!saw_short || !saw_long) {
+        return fail("burn rule needs short=<S> and long=<L>");
+      }
+      if (r.short_window >= r.long_window) {
+        return fail("burn rule wants short < long");
+      }
+    }
+    rules.push_back(std::move(r));
+  }
+  *out = std::move(rules);
+  return true;
+}
+
+AlertEngine::AlertEngine(std::vector<AlertRule> rules)
+    : rules_(std::move(rules)), states_(rules_.size()) {}
+
+bool AlertEngine::condition(const AlertRule& rule, const Tsdb& tsdb,
+                            double* input) const {
+  switch (rule.kind) {
+    case AlertKind::kThreshold: {
+      *input = tsdb.value(rule.series);
+      return tsdb.has_series(rule.series) &&
+             compare(rule.op, *input, rule.value);
+    }
+    case AlertKind::kAbsent: {
+      const std::size_t points = tsdb.points_in(rule.series, rule.window);
+      *input = static_cast<double>(points);
+      return points == 0;
+    }
+    case AlertKind::kBurnRate: {
+      const double short_rate = tsdb.rate(rule.series, rule.short_window);
+      const double long_rate = tsdb.rate(rule.series, rule.long_window);
+      *input = short_rate;
+      return compare(rule.op, short_rate, rule.value) &&
+             compare(rule.op, long_rate, rule.value);
+    }
+  }
+  return false;
+}
+
+void AlertEngine::publish_state(const AlertRule& rule,
+                                AlertState state) const {
+#if !defined(WMESH_OBS_DISABLED)
+  Registry::instance()
+      .gauge("alert.state{alert=" + rule.name + "}")
+      .set(static_cast<double>(state));
+#else
+  (void)rule;
+  (void)state;
+#endif
+}
+
+void AlertEngine::evaluate(const Tsdb& tsdb) {
+  std::uint64_t newly_fired = 0;
+  std::uint64_t newly_resolved = 0;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const AlertRule& rule = rules_[i];
+    RuleState& st = states_[i];
+    ++stats_.evaluations;
+    const bool active = condition(rule, tsdb, &st.last_input);
+    if (active) {
+      if (st.state != AlertState::kFiring) {
+        ++st.pending_ticks;
+        st.state = st.pending_ticks >= rule.for_ticks ? AlertState::kFiring
+                                                      : AlertState::kPending;
+        if (st.state == AlertState::kFiring) {
+          ++st.fired;
+          ++stats_.fired;
+          ++newly_fired;
+        }
+      }
+    } else {
+      if (st.state == AlertState::kFiring) {
+        ++st.resolved;
+        ++stats_.resolved;
+        ++newly_resolved;
+      }
+      st.state = AlertState::kInactive;
+      st.pending_ticks = 0;
+    }
+    publish_state(rule, st.state);
+  }
+  WMESH_COUNTER_ADD("alerts.evaluations", rules_.size());
+  if (newly_fired > 0) WMESH_COUNTER_ADD("alerts.fired", newly_fired);
+  if (newly_resolved > 0) {
+    WMESH_COUNTER_ADD("alerts.resolved", newly_resolved);
+  }
+}
+
+std::vector<AlertEngine::RuleStatus> AlertEngine::status() const {
+  std::vector<RuleStatus> out;
+  out.reserve(rules_.size());
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    out.push_back({&rules_[i], states_[i].state, states_[i].pending_ticks,
+                   states_[i].fired, states_[i].resolved,
+                   states_[i].last_input});
+  }
+  return out;
+}
+
+AlertEngine::Stats AlertEngine::stats() const { return stats_; }
+
+std::string AlertEngine::render() const {
+  std::string out = "== alerts ==\n";
+  if (rules_.empty()) {
+    out += "(no alert rules loaded; start with --alerts=<file>)\n";
+    return out;
+  }
+  TextTable t;
+  t.header({"alert", "kind", "series", "state", "pending", "fired",
+            "resolved", "input"});
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const AlertRule& r = rules_[i];
+    const RuleState& st = states_[i];
+    t.add_row({r.name, to_string(r.kind), r.series, to_string(st.state),
+               std::to_string(st.pending_ticks), std::to_string(st.fired),
+               std::to_string(st.resolved), fmt(st.last_input, 4)});
+  }
+  out += t.render();
+  char tail[128];
+  std::snprintf(tail, sizeof(tail),
+                "(%zu rules, %llu evaluations, %llu fired, %llu resolved)\n",
+                rules_.size(),
+                static_cast<unsigned long long>(stats_.evaluations),
+                static_cast<unsigned long long>(stats_.fired),
+                static_cast<unsigned long long>(stats_.resolved));
+  out += tail;
+  return out;
+}
+
+}  // namespace wmesh::obs

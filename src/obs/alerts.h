@@ -1,0 +1,122 @@
+// Declarative alerting over the in-process TSDB (obs v4).
+//
+// Rules live in a plain text file (wmesh_serve --alerts=<file>), one per
+// line; '#' comments and blank lines are ignored:
+//
+//   alert <name> threshold <series> <op> <value> [for=<N>]
+//   alert <name> absent <series> [window=<W>] [for=<N>]
+//   alert <name> burn <series> <op> <value> short=<S> long=<L> [for=<N>]
+//
+// where <op> is one of > >= < <=, <series> is a registry family name
+// (labeled health series like health.score{net=3,std=bg} are one token),
+// and windows are virtual-clock ticks.
+//
+//   * threshold compares the series' latest value;
+//   * absent fires when the series has no point in the trailing window
+//     (default 5 ticks) -- the "this network stopped reporting" rule;
+//   * burn is the two-window burn-rate form: the per-tick rate over BOTH
+//     the short and the long window must satisfy the comparison, so brief
+//     blips (short only) and long-faded incidents (long only) do not fire.
+//
+// Evaluation runs once per tick against the Tsdb.  Each rule owns a
+// three-state machine: inactive -> pending (condition true, waiting out
+// for=N consecutive ticks) -> firing; any false evaluation resets pending
+// to inactive, and firing -> inactive counts a resolution.  Totals are
+// tracked internally (exact under -DWMESH_OBS_DISABLED) and mirrored to
+// the registry as `alerts.evaluations` / `alerts.fired` /
+// `alerts.resolved` counters plus one `alert.state{alert=<name>}` gauge
+// per rule (0 inactive, 1 pending, 2 firing) so alert state itself lands
+// in the TSDB and the OpenMetrics exposition.
+//
+// Parsing is strict: any unknown keyword, malformed number, duplicate
+// rule name or trailing token fails with a "<file>:<line>: message"
+// diagnostic, so a typo'd rule file cannot load as silently-weaker
+// monitoring.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/tsdb.h"
+
+namespace wmesh::obs {
+
+enum class AlertKind : std::uint8_t { kThreshold, kAbsent, kBurnRate };
+enum class AlertOp : std::uint8_t { kGt, kGe, kLt, kLe };
+enum class AlertState : std::uint8_t { kInactive, kPending, kFiring };
+
+const char* to_string(AlertKind k);
+const char* to_string(AlertOp op);
+const char* to_string(AlertState s);
+
+struct AlertRule {
+  std::string name;
+  AlertKind kind = AlertKind::kThreshold;
+  std::string series;
+  AlertOp op = AlertOp::kGt;
+  double value = 0.0;
+  std::uint64_t for_ticks = 1;     // consecutive true ticks before firing
+  std::uint64_t window = 5;        // absent: lookback window
+  std::uint64_t short_window = 0;  // burn: short rate window
+  std::uint64_t long_window = 0;   // burn: long rate window
+};
+
+// Parses a rule file.  On failure returns false with *error set to
+// "<filename>:<line>: <message>" and leaves *out untouched.
+bool parse_alert_rules(std::string_view text, std::string_view filename,
+                       std::vector<AlertRule>* out, std::string* error);
+
+class AlertEngine {
+ public:
+  AlertEngine() = default;
+  explicit AlertEngine(std::vector<AlertRule> rules);
+
+  bool empty() const noexcept { return rules_.empty(); }
+  std::size_t rule_count() const noexcept { return rules_.size(); }
+
+  // Evaluates every rule against `tsdb` (one tick) and advances the state
+  // machines.  Deterministic: depends only on the rules and the tsdb
+  // contents.
+  void evaluate(const Tsdb& tsdb);
+
+  struct RuleStatus {
+    const AlertRule* rule = nullptr;
+    AlertState state = AlertState::kInactive;
+    std::uint64_t pending_ticks = 0;  // consecutive true ticks so far
+    std::uint64_t fired = 0;          // times this rule entered firing
+    std::uint64_t resolved = 0;       // times it left firing
+    double last_input = 0.0;          // last evaluated comparison input
+  };
+  std::vector<RuleStatus> status() const;
+
+  struct Stats {
+    std::uint64_t evaluations = 0;  // rule evaluations (rules x ticks)
+    std::uint64_t fired = 0;
+    std::uint64_t resolved = 0;
+  };
+  Stats stats() const;
+
+  // Text table for the wmesh_serve `alerts` command.
+  std::string render() const;
+
+ private:
+  struct RuleState {
+    AlertState state = AlertState::kInactive;
+    std::uint64_t pending_ticks = 0;
+    std::uint64_t fired = 0;
+    std::uint64_t resolved = 0;
+    double last_input = 0.0;
+  };
+
+  bool condition(const AlertRule& rule, const Tsdb& tsdb,
+                 double* input) const;
+  void publish_state(const AlertRule& rule, AlertState state) const;
+
+  std::vector<AlertRule> rules_;
+  std::vector<RuleState> states_;
+  Stats stats_;
+};
+
+}  // namespace wmesh::obs

@@ -219,6 +219,15 @@ std::vector<double> span_time_bounds_us() {
   return bounds;
 }
 
+std::vector<double> query_time_bounds_us() {
+  // 1-2-5 decades through 1 ms: cached serve queries cluster well under
+  // 100 us, where the doubling ladder has almost no resolution.
+  std::vector<double> bounds = {1.0,   2.0,   5.0,   10.0,  20.0,
+                                50.0,  100.0, 200.0, 500.0, 1000.0};
+  for (double b = 2000.0; b <= 17e6; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
 Registry& Registry::instance() {
   static Registry* r = new Registry();  // leaked: outlives atexit users
   return *r;

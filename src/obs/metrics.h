@@ -219,6 +219,12 @@ class SpanAggregate {
 // buckets from 1 us to ~17 s.
 std::vector<double> span_time_bounds_us();
 
+// Bounds for query/request latency histograms: a 1-2-5 ladder through the
+// sub-millisecond range (where most cached serve queries land -- the
+// doubling ladder above has only 10 buckets below 1 ms) and doubling
+// buckets from 2 ms to ~16 s above it.
+std::vector<double> query_time_bounds_us();
+
 // Deterministic, name-sorted view of the registry at one instant.
 struct Snapshot {
   struct CounterRow {
@@ -336,6 +342,10 @@ class Registry {
   do {                                  \
     (void)sizeof(v);                    \
   } while (0)
+#define WMESH_HISTOGRAM_RECORD_BOUNDS(name, v, bounds) \
+  do {                                                 \
+    (void)sizeof(v);                                   \
+  } while (0)
 
 #else
 
@@ -360,6 +370,16 @@ class Registry {
         ::wmesh::obs::Registry::instance().histogram(         \
             name, ::wmesh::obs::span_time_bounds_us());       \
     wmesh_obs_hist_.record(static_cast<double>(v));           \
+  } while (0)
+// As above with an explicit bounds expression (evaluated once, on first
+// registration), e.g. WMESH_HISTOGRAM_RECORD_BOUNDS("serve.query_us", us,
+// ::wmesh::obs::query_time_bounds_us()).
+#define WMESH_HISTOGRAM_RECORD_BOUNDS(name, v, bounds)          \
+  do {                                                          \
+    static ::wmesh::obs::Histogram& wmesh_obs_hist_ =           \
+        ::wmesh::obs::Registry::instance().histogram(name,      \
+                                                     (bounds)); \
+    wmesh_obs_hist_.record(static_cast<double>(v));             \
   } while (0)
 
 #endif  // WMESH_OBS_DISABLED

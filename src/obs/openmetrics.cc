@@ -46,12 +46,77 @@ void append_label_value(std::string& out, std::string_view v) {
   }
 }
 
+using LabelList = std::vector<std::pair<std::string, std::string>>;
+
+// Splits a registry name with the labeled-series convention -- base
+// name plus an optional "{k=v,k2=v2}" suffix ("health.score{net=3,std=bg}")
+// -- into the base and its label pairs.  A malformed suffix is kept as part
+// of the base so nothing silently disappears from the exposition.
+void split_registry_name(const std::string& raw, std::string* base,
+                         LabelList* labels) {
+  labels->clear();
+  const std::size_t brace = raw.find('{');
+  if (brace == std::string::npos || raw.back() != '}') {
+    *base = raw;
+    return;
+  }
+  *base = raw.substr(0, brace);
+  std::size_t i = brace + 1;
+  while (i < raw.size() - 1) {
+    std::size_t comma = raw.find(',', i);
+    if (comma == std::string::npos || comma > raw.size() - 1) {
+      comma = raw.size() - 1;
+    }
+    const std::string item = raw.substr(i, comma - i);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      // Not k=v: treat the whole raw name as unlabeled.
+      *base = raw;
+      labels->clear();
+      return;
+    }
+    labels->emplace_back(item.substr(0, eq), item.substr(eq + 1));
+    i = comma + 1;
+  }
+}
+
+std::string render_labels(const LabelList& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    append_label_value(out, labels[i].second);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+// One family's annotation block: TYPE + HELP + UNIT.
+void append_family_header(std::string& out, const std::string& family,
+                          const char* type) {
+  const FamilyReference ref = openmetrics_reference(family);
+  out += "# TYPE " + family + ' ' + type + '\n';
+  out += "# HELP " + family + ' ' + ref.help + '\n';
+  out += "# UNIT " + family + ' ' + ref.unit + '\n';
+}
+
+// Grouped sample lines of one kind: family -> rendered lines in snapshot
+// (name-sorted) order.  The grouping matters because the registry sorts
+// "health.score{...}" series after any longer bare name sharing the
+// prefix, so adjacent-run emission could declare a family twice.
+struct FamilyGroup {
+  std::map<std::string, std::string> lines;  // family -> concatenated lines
+
+  std::string& of(const std::string& family) { return lines[family]; }
+};
+
 void append_span_gauge(std::string& out, const char* family,
                        const std::vector<Snapshot::SpanRow>& spans,
                        double Snapshot::SpanRow::* field) {
-  out += "# TYPE ";
-  out += family;
-  out += " gauge\n";
+  append_family_header(out, family, "gauge");
   for (const auto& sp : spans) {
     out += family;
     out += "{span=\"";
@@ -62,54 +127,201 @@ void append_span_gauge(std::string& out, const char* family,
   }
 }
 
+bool ends_with(std::string_view name, std::string_view suffix) {
+  return name.size() >= suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
 }  // namespace
+
+FamilyReference openmetrics_reference(std::string_view family) {
+  // The central name -> (help, unit) table.  Every family the library
+  // exposes should have a curated entry; the fallback below guarantees a
+  // syntactically complete annotation for anything new, so the lint can
+  // require HELP and UNIT unconditionally.
+  struct Entry {
+    std::string_view family;
+    std::string_view help;
+    std::string_view unit;
+  };
+  static constexpr Entry kTable[] = {
+      // serve plane
+      {"wmesh_serve_rounds", "probe rounds ingested by the serve stream",
+       "rounds"},
+      {"wmesh_serve_reports_ingested",
+       "probe sets ingested into live windows", "probesets"},
+      {"wmesh_serve_window_advances",
+       "report-window advances across all traces", "advances"},
+      {"wmesh_serve_cache_invalidations",
+       "analysis-cache slots dropped by window advances", "slots"},
+      {"wmesh_serve_queries", "queries answered by the serve endpoint",
+       "queries"},
+      {"wmesh_serve_query_us", "serve query latency", "microseconds"},
+      {"wmesh_serve_protocol_errors",
+       "malformed or oversized query-protocol lines", "errors"},
+      {"wmesh_serve_time_s", "virtual time of the live probe stream",
+       "seconds"},
+      // analysis cache
+      {"wmesh_cache_hits", "analysis-cache lookups served from memory",
+       "lookups"},
+      {"wmesh_cache_misses", "analysis-cache lookups that computed",
+       "lookups"},
+      {"wmesh_cache_bytes", "resident analysis-cache payload", "bytes"},
+      {"wmesh_cache_entries", "computed analysis-cache slots", "slots"},
+      // time-series plane (obs v4)
+      {"wmesh_tsdb_points", "points retained across all TSDB rings",
+       "points"},
+      {"wmesh_tsdb_bytes", "exact retained TSDB payload", "bytes"},
+      {"wmesh_tsdb_series", "live TSDB series", "series"},
+      {"wmesh_tsdb_samples", "registry snapshots ingested by the TSDB",
+       "samples"},
+      {"wmesh_tsdb_evictions",
+       "TSDB points folded into series bases by ring wraparound", "points"},
+      {"wmesh_alerts_evaluations", "alert rule evaluations", "evaluations"},
+      {"wmesh_alerts_fired", "alert rules that entered firing", "alerts"},
+      {"wmesh_alerts_resolved", "alert rules that left firing", "alerts"},
+      {"wmesh_alert_state",
+       "alert rule state (0 inactive, 1 pending, 2 firing)", "state"},
+      // per-network health scorecards
+      {"wmesh_health_score", "composite per-network health score (0-100)",
+       "score"},
+      {"wmesh_health_etx_inflation",
+       "mean ETX1 path cost over hop count at the base rate", "ratio"},
+      {"wmesh_health_hidden_density",
+       "hidden-triple fraction at the base rate", "fraction"},
+      {"wmesh_health_range_ratio",
+       "hearing range at the top rate over the base rate", "ratio"},
+      {"wmesh_health_staleness",
+       "report boundaries since the live window changed", "boundaries"},
+      {"wmesh_health_churn",
+       "cache slots invalidated at the last window change", "slots"},
+      // thread pool / process
+      {"wmesh_par_pool_threads", "worker threads in the wmesh::par pool",
+       "threads"},
+      {"wmesh_par_pool_queue_depth", "tasks waiting in the pool queue",
+       "tasks"},
+      {"wmesh_par_tasks", "tasks executed by the pool", "tasks"},
+      {"wmesh_par_regions", "parallel regions entered", "regions"},
+      {"wmesh_proc_rss_bytes", "resident set size", "bytes"},
+      {"wmesh_proc_peak_rss_bytes", "peak resident set size", "bytes"},
+      {"wmesh_export_scrapes", "OpenMetrics scrapes served", "scrapes"},
+      // shared span families
+      {"wmesh_span_count", "span executions", "spans"},
+      {"wmesh_span_us", "span wall time", "microseconds"},
+      {"wmesh_span_self_us", "span self time (exclusive of children)",
+       "microseconds"},
+      {"wmesh_span_parent", "span executions under one parent span",
+       "spans"},
+      {"wmesh_span_min_us", "minimum span wall time", "microseconds"},
+      {"wmesh_span_max_us", "maximum span wall time", "microseconds"},
+      {"wmesh_span_p50_us", "median span wall time", "microseconds"},
+      {"wmesh_span_p90_us", "90th-percentile span wall time",
+       "microseconds"},
+      {"wmesh_span_p99_us", "99th-percentile span wall time",
+       "microseconds"},
+  };
+  for (const Entry& e : kTable) {
+    if (e.family == family) {
+      return {std::string(e.help), std::string(e.unit)};
+    }
+  }
+  FamilyReference ref;
+  ref.help = "wmesh metric " + std::string(family) +
+             " (no curated help; see DESIGN.md metric reference)";
+  if (ends_with(family, "_us")) {
+    ref.unit = "microseconds";
+  } else if (ends_with(family, "_bytes")) {
+    ref.unit = "bytes";
+  } else if (ends_with(family, "_s")) {
+    ref.unit = "seconds";
+  } else {
+    ref.unit = "count";
+  }
+  return ref;
+}
 
 std::string render_openmetrics(const Snapshot& s) {
   std::string out;
-  for (const auto& c : s.counters) {
-    const std::string f = family_name(c.name);
-    out += "# TYPE " + f + " counter\n";
-    out += f + "_total " + std::to_string(c.value) + '\n';
-  }
-  for (const auto& g : s.gauges) {
-    const std::string f = family_name(g.name);
-    out += "# TYPE " + f + " gauge\n";
-    out += f + ' ' + fmt_value(g.value) + '\n';
-  }
-  for (const auto& h : s.histograms) {
-    const std::string f = family_name(h.name);
-    out += "# TYPE " + f + " histogram\n";
-    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
-      out += f + "_bucket{le=\"" + fmt_value(h.bounds[i]) + "\"} " +
-             std::to_string(h.cumulative[i]) + '\n';
+  std::string base;
+  LabelList labels;
+
+  // Counters, grouped by family so labeled series of one base share a
+  // single declaration block.
+  {
+    FamilyGroup g;
+    for (const auto& c : s.counters) {
+      split_registry_name(c.name, &base, &labels);
+      const std::string f = family_name(base);
+      g.of(f) += f + "_total" + render_labels(labels) + ' ' +
+                 std::to_string(c.value) + '\n';
     }
-    out += f + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + '\n';
-    out += f + "_sum " + fmt_value(h.sum) + '\n';
-    out += f + "_count " + std::to_string(h.count) + '\n';
+    for (const auto& [f, lines] : g.lines) {
+      append_family_header(out, f, "counter");
+      out += lines;
+    }
+  }
+  {
+    FamilyGroup g;
+    for (const auto& gr : s.gauges) {
+      split_registry_name(gr.name, &base, &labels);
+      const std::string f = family_name(base);
+      g.of(f) += f + render_labels(labels) + ' ' + fmt_value(gr.value) + '\n';
+    }
+    for (const auto& [f, lines] : g.lines) {
+      append_family_header(out, f, "gauge");
+      out += lines;
+    }
+  }
+  {
+    FamilyGroup g;
+    for (const auto& h : s.histograms) {
+      split_registry_name(h.name, &base, &labels);
+      const std::string f = family_name(base);
+      std::string& lines = g.of(f);
+      for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+        LabelList with_le = labels;
+        with_le.emplace_back("le", fmt_value(h.bounds[i]));
+        lines += f + "_bucket" + render_labels(with_le) + ' ' +
+                 std::to_string(h.cumulative[i]) + '\n';
+      }
+      LabelList with_inf = labels;
+      with_inf.emplace_back("le", "+Inf");
+      lines += f + "_bucket" + render_labels(with_inf) + ' ' +
+               std::to_string(h.count) + '\n';
+      lines += f + "_sum" + render_labels(labels) + ' ' + fmt_value(h.sum) +
+               '\n';
+      lines += f + "_count" + render_labels(labels) + ' ' +
+               std::to_string(h.count) + '\n';
+    }
+    for (const auto& [f, lines] : g.lines) {
+      append_family_header(out, f, "histogram");
+      out += lines;
+    }
   }
   if (!s.spans.empty()) {
     // Shared span families, labeled by span name: exact counts and totals
     // as counters, the distribution summaries as gauges, and the causal
     // parent edges as a two-label counter family.
-    out += "# TYPE wmesh_span_count counter\n";
+    append_family_header(out, "wmesh_span_count", "counter");
     for (const auto& sp : s.spans) {
       out += "wmesh_span_count_total{span=\"";
       append_label_value(out, sp.name);
       out += "\"} " + std::to_string(sp.count) + '\n';
     }
-    out += "# TYPE wmesh_span_us counter\n";
+    append_family_header(out, "wmesh_span_us", "counter");
     for (const auto& sp : s.spans) {
       out += "wmesh_span_us_total{span=\"";
       append_label_value(out, sp.name);
       out += "\"} " + fmt_value(sp.total_us) + '\n';
     }
-    out += "# TYPE wmesh_span_self_us counter\n";
+    append_family_header(out, "wmesh_span_self_us", "counter");
     for (const auto& sp : s.spans) {
       out += "wmesh_span_self_us_total{span=\"";
       append_label_value(out, sp.name);
       out += "\"} " + fmt_value(sp.self_us) + '\n';
     }
-    out += "# TYPE wmesh_span_parent counter\n";
+    append_family_header(out, "wmesh_span_parent", "counter");
     for (const auto& sp : s.spans) {
       for (const auto& [pname, pcount] : sp.parents) {
         out += "wmesh_span_parent_total{span=\"";
@@ -201,6 +413,18 @@ bool parse_labels(std::string_view line, std::size_t& i, OmSample* s,
   return true;
 }
 
+// Splits "# WORD <name> <rest>" comment payloads.
+bool split_annotation(std::string_view rest, std::string* name,
+                      std::string* payload) {
+  const std::size_t sp = rest.find(' ');
+  if (sp == std::string_view::npos || sp == 0 || sp + 1 >= rest.size()) {
+    return false;
+  }
+  *name = std::string(rest.substr(0, sp));
+  *payload = std::string(rest.substr(sp + 1));
+  return true;
+}
+
 }  // namespace
 
 bool parse_openmetrics(std::string_view text, OmDocument* out,
@@ -237,7 +461,29 @@ bool parse_openmetrics(std::string_view text, OmDocument* out,
         }
         continue;
       }
-      if (line.rfind("# HELP ", 0) == 0) continue;  // tolerated, not emitted
+      if (line.rfind("# HELP ", 0) == 0) {
+        std::string name, help;
+        if (!split_annotation(line.substr(7), &name, &help)) {
+          return fail(error, "malformed HELP line: " + std::string(line));
+        }
+        if (!out->helps.emplace(name, help).second) {
+          return fail(error, "duplicate HELP for family: " + name);
+        }
+        continue;
+      }
+      if (line.rfind("# UNIT ", 0) == 0) {
+        std::string name, unit;
+        if (!split_annotation(line.substr(7), &name, &unit)) {
+          return fail(error, "malformed UNIT line: " + std::string(line));
+        }
+        if (unit.find(' ') != std::string::npos) {
+          return fail(error, "malformed UNIT token: " + std::string(line));
+        }
+        if (!out->units.emplace(name, unit).second) {
+          return fail(error, "duplicate UNIT for family: " + name);
+        }
+        continue;
+      }
       return fail(error, "unrecognized comment line: " + std::string(line));
     }
     OmSample s;
@@ -292,8 +538,8 @@ double parse_le(const std::string& le) {
 
 bool lint_openmetrics(const OmDocument& doc, std::string* error) {
   if (!doc.saw_eof) return fail(error, "missing # EOF terminator");
-  // Histogram bucket state, keyed by family: buckets must appear in
-  // ascending `le` order with non-decreasing cumulative counts.
+  // Histogram bucket state, keyed by (family, non-le labels): buckets must
+  // appear in ascending `le` order with non-decreasing cumulative counts.
   struct HistState {
     double last_le = -std::numeric_limits<double>::infinity();
     double last_cum = 0.0;
@@ -325,7 +571,12 @@ bool lint_openmetrics(const OmDocument& doc, std::string* error) {
         return fail(error, "gauge sample has unexpected suffix: " + s.name);
       }
     } else if (type == "histogram") {
-      HistState& h = hists[family];
+      // Distinguish labeled histogram series of one family.
+      std::string key = family;
+      for (const auto& [k, v] : s.labels) {
+        if (k != "le") key += '|' + k + '=' + v;
+      }
+      HistState& h = hists[key];
       if (s.name == family + "_bucket") {
         const std::string le = s.label("le");
         if (le.empty()) {
@@ -352,15 +603,27 @@ bool lint_openmetrics(const OmDocument& doc, std::string* error) {
       }
     }
   }
-  for (const auto& [family, h] : hists) {
+  for (const auto& [key, h] : hists) {
     if (!h.saw_inf) {
-      return fail(error, "histogram missing +Inf bucket: " + family);
+      return fail(error, "histogram missing +Inf bucket: " + key);
     }
     if (!h.saw_count) {
-      return fail(error, "histogram missing _count: " + family);
+      return fail(error, "histogram missing _count: " + key);
     }
     if (h.inf_value != h.count_value) {
-      return fail(error, "+Inf bucket != _count for: " + family);
+      return fail(error, "+Inf bucket != _count for: " + key);
+    }
+  }
+  // Annotation completeness: every wmesh_* family must carry HELP and
+  // UNIT (the renderer's central reference table guarantees this; a family
+  // missing either is a hand-rolled or truncated exposition).
+  for (const auto& [family, type] : doc.types) {
+    if (family.rfind("wmesh_", 0) != 0) continue;
+    if (doc.helps.count(family) == 0) {
+      return fail(error, "family missing HELP: " + family);
+    }
+    if (doc.units.count(family) == 0) {
+      return fail(error, "family missing UNIT: " + family);
     }
   }
   return true;

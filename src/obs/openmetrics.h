@@ -7,8 +7,15 @@
 //
 //   - every family is prefixed `wmesh_` and dots become underscores
 //     ("etx.relax_rounds" -> wmesh_etx_relax_rounds);
-//   - counters render as `# TYPE f counter` + `f_total <v>`;
-//   - gauges render as `# TYPE f gauge` + `f <v>`;
+//   - a registry name may carry a `{k=v,k2=v2}` label suffix
+//     ("health.score{net=3,std=bg}"): the base name becomes the family and
+//     the labels render as proper quoted OpenMetrics labels, with every
+//     labeled series of one base grouped under a single TYPE declaration;
+//   - every family gets `# TYPE`, `# HELP` and `# UNIT` lines; help and
+//     unit come from the central reference table (openmetrics_reference),
+//     with a suffix-derived unit fallback so new families can never render
+//     an unannotated (lint-failing) exposition;
+//   - counters render as `f_total <v>`, gauges as `f <v>`;
 //   - histograms render with cumulative `f_bucket{le="<bound>"}` series,
 //     an explicit `le="+Inf"` bucket, and `f_sum` / `f_count`;
 //   - span aggregates render as shared families labeled by span name --
@@ -19,9 +26,11 @@
 //
 // The parser is intentionally strict about what the renderer emits (it is a
 // lint, not a general scraper): unknown lines, samples without a TYPE,
-// non-cumulative buckets or counter decreases between two scrapes are
-// errors.  Keeping render and lint in one translation unit means the ctest
-// exercises the real exposition end-to-end over a live socket.
+// duplicate HELP/UNIT, non-cumulative buckets or counter decreases between
+// two scrapes are errors, and the linter fails any wmesh_* family missing
+// its HELP or UNIT annotation.  Keeping render and lint in one translation
+// unit means the ctest exercises the real exposition end-to-end over a
+// live socket.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +47,17 @@ namespace wmesh::obs {
 // Renders `s` in OpenMetrics text format (terminated by "# EOF\n").
 std::string render_openmetrics(const Snapshot& s);
 
+// Help text and unit for one family, from the central reference table.
+// Families outside the table get a generic help line and a unit derived
+// from the family-name suffix (_us -> microseconds, _bytes -> bytes,
+// _s -> seconds, otherwise "count"), so every rendered family is always
+// fully annotated.
+struct FamilyReference {
+  std::string help;
+  std::string unit;
+};
+FamilyReference openmetrics_reference(std::string_view family);
+
 // One parsed sample line: `name{labels} value`.
 struct OmSample {
   std::string name;  // full sample name including _total/_bucket suffix
@@ -52,6 +72,9 @@ struct OmSample {
 struct OmDocument {
   // family name -> declared type ("counter", "gauge", "histogram").
   std::map<std::string, std::string> types;
+  // family name -> HELP text / UNIT token, as declared.
+  std::map<std::string, std::string> helps;
+  std::map<std::string, std::string> units;
   std::vector<OmSample> samples;
   bool saw_eof = false;
 
@@ -71,7 +94,8 @@ bool parse_openmetrics(std::string_view text, OmDocument* out,
 // Structural lint over one document: every sample maps to a declared
 // family; counter samples use the _total suffix and are finite and
 // non-negative; histogram buckets have ascending `le` bounds, cumulative
-// non-decreasing counts, and an `le="+Inf"` bucket equal to `_count`.
+// non-decreasing counts, and an `le="+Inf"` bucket equal to `_count`;
+// every declared wmesh_* family carries both a HELP and a UNIT line.
 bool lint_openmetrics(const OmDocument& doc, std::string* error);
 
 // Cross-scrape lint: every counter-family sample present in `earlier` must

@@ -1,0 +1,336 @@
+#include "obs/tsdb.h"
+
+#include <algorithm>
+
+#include "util/text_table.h"
+
+namespace wmesh::obs {
+
+namespace {
+
+// Fixed per-point payload of a scalar ring slot.
+constexpr std::size_t kScalarPointBytes =
+    sizeof(std::uint64_t) + sizeof(double);
+
+}  // namespace
+
+Tsdb::Tsdb(TsdbOptions options) : options_(options) {
+  if (options_.points_per_series == 0) options_.points_per_series = 1;
+}
+
+std::size_t Tsdb::point_bytes(const Series& s) {
+  if (s.kind != Kind::kHistogram) return kScalarPointBytes;
+  // tick + count delta + sum delta + one delta per finite bound.
+  return sizeof(std::uint64_t) * 2 + sizeof(double) +
+         s.bounds.size() * sizeof(std::uint64_t);
+}
+
+Tsdb::Series& Tsdb::upsert(std::string_view name, Kind kind,
+                           std::size_t bucket_bounds) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_.emplace(std::string(name), Series{}).first;
+    Series& s = it->second;
+    s.kind = kind;
+    if (kind == Kind::kHistogram) {
+      s.hring.resize(options_.points_per_series);
+      for (auto& p : s.hring) p.bucket_deltas.resize(bucket_bounds);
+    } else {
+      s.ring.resize(options_.points_per_series);
+    }
+    ++stats_.series;
+  }
+  return it->second;
+}
+
+void Tsdb::push_scalar(Series& s, std::uint64_t tick, double raw) {
+  if (!s.seen) {
+    // First sight establishes the baseline; no point is recorded, so a
+    // warm process-global registry never shows up as one giant delta.
+    s.seen = true;
+    s.base = raw;
+    s.last_raw = raw;
+    return;
+  }
+  const double delta = raw - s.last_raw;
+  s.last_raw = raw;
+  const std::size_t cap = s.ring.size();
+  if (s.count == cap) {
+    // Fold the oldest point into the base and reuse its slot.
+    s.base += s.ring[s.head].delta;
+    s.head = (s.head + 1) % cap;
+    --s.count;
+    --stats_.points;
+    stats_.bytes -= kScalarPointBytes;
+    ++stats_.evictions;
+  }
+  ScalarPoint& slot = s.ring[(s.head + s.count) % cap];
+  slot.tick = tick;
+  slot.delta = delta;
+  ++s.count;
+  ++stats_.points;
+  stats_.bytes += kScalarPointBytes;
+}
+
+void Tsdb::sample(const Snapshot& snap, std::uint64_t tick) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.samples;
+  last_tick_ = tick;
+
+  for (const auto& c : snap.counters) {
+    push_scalar(upsert(c.name, Kind::kCounter, 0), tick,
+                static_cast<double>(c.value));
+  }
+  for (const auto& g : snap.gauges) {
+    push_scalar(upsert(g.name, Kind::kGauge, 0), tick, g.value);
+  }
+  for (const auto& h : snap.histograms) {
+    Series& s = upsert(h.name, Kind::kHistogram, h.bounds.size());
+    if (!s.seen) {
+      s.seen = true;
+      s.bounds = h.bounds;
+      s.last_cum = h.cumulative;
+      s.last_count = h.count;
+      s.last_sum = h.sum;
+      s.last_raw = static_cast<double>(h.count);
+      s.base = s.last_raw;
+      continue;
+    }
+    if (h.bounds.size() != s.bounds.size()) continue;  // layout changed
+    const std::size_t cap = s.hring.size();
+    if (s.count == cap) {
+      s.base += static_cast<double>(s.hring[s.head].count_delta);
+      s.head = (s.head + 1) % cap;
+      --s.count;
+      --stats_.points;
+      stats_.bytes -= point_bytes(s);
+      ++stats_.evictions;
+    }
+    HistPoint& slot = s.hring[(s.head + s.count) % cap];
+    slot.tick = tick;
+    slot.count_delta = h.count - s.last_count;
+    slot.sum_delta = h.sum - s.last_sum;
+    for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+      slot.bucket_deltas[i] = h.cumulative[i] - s.last_cum[i];
+    }
+    s.last_count = h.count;
+    s.last_sum = h.sum;
+    s.last_cum = h.cumulative;
+    s.last_raw = static_cast<double>(h.count);
+    ++s.count;
+    ++stats_.points;
+    stats_.bytes += point_bytes(s);
+  }
+  mirror_locked();
+}
+
+void Tsdb::mirror_locked() {
+  WMESH_GAUGE_SET("tsdb.points", stats_.points);
+  WMESH_GAUGE_SET("tsdb.bytes", stats_.bytes);
+  WMESH_GAUGE_SET("tsdb.series", stats_.series);
+  WMESH_COUNTER_INC("tsdb.samples");
+  if (stats_.evictions > mirrored_evictions_) {
+    WMESH_COUNTER_ADD("tsdb.evictions",
+                      stats_.evictions - mirrored_evictions_);
+    mirrored_evictions_ = stats_.evictions;
+  }
+}
+
+Tsdb::Stats Tsdb::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::uint64_t Tsdb::last_tick() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_tick_;
+}
+
+const Tsdb::Series* Tsdb::find(std::string_view name) const {
+  const auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+bool Tsdb::has_series(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find(name) != nullptr;
+}
+
+std::vector<std::string> Tsdb::series_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, s] : series_) out.push_back(name);
+  return out;
+}
+
+Tsdb::WindowSum Tsdb::window_sum(const Series& s, std::size_t window,
+                                 std::vector<std::uint64_t>* buckets) const {
+  WindowSum w;
+  const std::uint64_t min_tick =
+      (window == 0 || last_tick_ < window) ? 0 : last_tick_ - window;
+  if (buckets != nullptr) buckets->assign(s.bounds.size(), 0);
+  const std::size_t cap =
+      s.kind == Kind::kHistogram ? s.hring.size() : s.ring.size();
+  for (std::size_t i = 0; i < s.count; ++i) {
+    const std::size_t at = (s.head + i) % cap;
+    const std::uint64_t tick =
+        s.kind == Kind::kHistogram ? s.hring[at].tick : s.ring[at].tick;
+    if (tick <= min_tick && window != 0) continue;
+    if (w.points == 0) w.first_tick = tick;
+    w.last_tick = tick;
+    ++w.points;
+    if (s.kind == Kind::kHistogram) {
+      const HistPoint& p = s.hring[at];
+      w.increase += static_cast<double>(p.count_delta);
+      w.sum_delta += p.sum_delta;
+      if (buckets != nullptr) {
+        for (std::size_t b = 0; b < p.bucket_deltas.size(); ++b) {
+          (*buckets)[b] += p.bucket_deltas[b];
+        }
+      }
+    } else {
+      w.increase += s.ring[at].delta;
+    }
+  }
+  return w;
+}
+
+std::size_t Tsdb::points_in(std::string_view name, std::size_t window) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Series* s = find(name);
+  if (s == nullptr) return 0;
+  return window_sum(*s, window, nullptr).points;
+}
+
+double Tsdb::value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Series* s = find(name);
+  return s == nullptr ? 0.0 : s->last_raw;
+}
+
+double Tsdb::increase(std::string_view name, std::size_t window) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Series* s = find(name);
+  if (s == nullptr) return 0.0;
+  return window_sum(*s, window, nullptr).increase;
+}
+
+double Tsdb::rate(std::string_view name, std::size_t window) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Series* s = find(name);
+  if (s == nullptr) return 0.0;
+  const WindowSum w = window_sum(*s, window, nullptr);
+  if (w.points == 0) return 0.0;
+  // Each point covers the ticks since its predecessor; the oldest windowed
+  // point's span reaches back one inter-sample gap, approximated as the
+  // window mean so sparse tick sequences stay sane.
+  const std::uint64_t span = window == 0
+                                 ? (w.last_tick - w.first_tick) + 1
+                                 : std::min<std::uint64_t>(window, last_tick_);
+  if (span == 0) return 0.0;
+  return w.increase / static_cast<double>(span);
+}
+
+double Tsdb::quantile_over_time(std::string_view name, double q,
+                                std::size_t window) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Series* s = find(name);
+  if (s == nullptr || s->kind != Kind::kHistogram) return 0.0;
+  std::vector<std::uint64_t> cum;
+  const WindowSum w = window_sum(*s, window, &cum);
+  const double total = w.increase;
+  if (total <= 0.0) return 0.0;
+  // Histogram::quantile semantics over the windowed distribution: report
+  // the first bucket whose cumulative count reaches q * total; overflow
+  // falls back to the last finite bound.
+  const double target = q * total;
+  for (std::size_t i = 0; i < cum.size(); ++i) {
+    if (static_cast<double>(cum[i]) + 1e-9 >= target) return s->bounds[i];
+  }
+  return s->bounds.empty() ? 0.0 : s->bounds.back();
+}
+
+std::vector<double> Tsdb::deltas(std::string_view name,
+                                 std::size_t window) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<double> out;
+  const Series* s = find(name);
+  if (s == nullptr) return out;
+  const std::uint64_t min_tick =
+      (window == 0 || last_tick_ < window) ? 0 : last_tick_ - window;
+  const std::size_t cap =
+      s->kind == Kind::kHistogram ? s->hring.size() : s->ring.size();
+  for (std::size_t i = 0; i < s->count; ++i) {
+    const std::size_t at = (s->head + i) % cap;
+    if (s->kind == Kind::kHistogram) {
+      const HistPoint& p = s->hring[at];
+      if (p.tick <= min_tick && window != 0) continue;
+      out.push_back(static_cast<double>(p.count_delta));
+    } else {
+      const ScalarPoint& p = s->ring[at];
+      if (p.tick <= min_tick && window != 0) continue;
+      out.push_back(p.delta);
+    }
+  }
+  return out;
+}
+
+std::string Tsdb::render(std::string_view name, std::size_t window) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Series* s = find(name);
+  std::string out = "== tsdb ";
+  out += name;
+  out += " ==\n";
+  if (s == nullptr) {
+    out += "(no such series)\n";
+    return out;
+  }
+  const WindowSum w = window_sum(*s, window, nullptr);
+  const char* kind = s->kind == Kind::kCounter
+                         ? "counter"
+                         : s->kind == Kind::kGauge ? "gauge" : "histogram";
+  TextTable t;
+  t.header({"field", "value"});
+  t.add_row({"kind", kind});
+  t.add_row({"last_tick", std::to_string(last_tick_)});
+  t.add_row({"retained_points", std::to_string(s->count)});
+  t.add_row({"window_ticks", window == 0 ? "all" : std::to_string(window)});
+  t.add_row({"window_points", std::to_string(w.points)});
+  t.add_row({"increase", fmt(w.increase, 3)});
+  {
+    const std::uint64_t span =
+        w.points == 0 ? 0
+                      : (window == 0 ? (w.last_tick - w.first_tick) + 1
+                                     : std::min<std::uint64_t>(window,
+                                                               last_tick_));
+    const double r =
+        span == 0 ? 0.0 : w.increase / static_cast<double>(span);
+    t.add_row({"rate_per_tick", fmt(r, 4)});
+  }
+  if (s->kind == Kind::kGauge) {
+    t.add_row({"last_value", fmt(s->last_raw, 3)});
+  }
+  if (s->kind == Kind::kHistogram) {
+    // Windowed quantiles, computed like quantile_over_time.
+    std::vector<std::uint64_t> cum;
+    (void)window_sum(*s, window, &cum);
+    const double total = w.increase;
+    auto qat = [&](double q) {
+      if (total <= 0.0) return 0.0;
+      const double target = q * total;
+      for (std::size_t i = 0; i < cum.size(); ++i) {
+        if (static_cast<double>(cum[i]) + 1e-9 >= target) return s->bounds[i];
+      }
+      return s->bounds.empty() ? 0.0 : s->bounds.back();
+    };
+    t.add_row({"window_sum", fmt(w.sum_delta, 3)});
+    t.add_row({"p50", fmt(qat(0.50), 3)});
+    t.add_row({"p90", fmt(qat(0.90), 3)});
+    t.add_row({"p99", fmt(qat(0.99), 3)});
+  }
+  out += t.render();
+  return out;
+}
+
+}  // namespace wmesh::obs

@@ -1,0 +1,166 @@
+// In-process time-series ring over the metrics registry (obs v4).
+//
+// A Tsdb turns the instantaneous Registry snapshot into bounded history:
+// sample(snapshot, tick) ingests one snapshot at a virtual-clock tick
+// (wmesh_serve calls it from MeshService::tick(); tests and benches call it
+// explicitly) and appends one delta-encoded point per family:
+//
+//   * counters and gauges store the per-tick value delta (8-byte double)
+//     plus the sample tick; the value before the oldest retained point is
+//     folded into a per-series base, so value() is exact at any retention;
+//   * histograms store per-tick deltas of count, sum and every cumulative
+//     bucket, so quantile_over_time() can rebuild the windowed distribution.
+//
+// The first sight of a series only establishes its baseline -- history
+// starts at the second sample -- so a Tsdb attached to an already-warm
+// process-global registry never reports the pre-attach totals as one giant
+// delta.
+//
+// Memory is bounded by construction: every series is a fixed-capacity ring
+// (TsdbOptions::points_per_series); when a ring is full the oldest point is
+// folded into the base and counted as an eviction.  Retention accounting is
+// exact and internal (`stats()`), and mirrored to the registry as
+// `tsdb.points` / `tsdb.bytes` / `tsdb.series` gauges and the
+// `tsdb.evictions` / `tsdb.samples` counters -- the internal stats stay
+// authoritative under -DWMESH_OBS_DISABLED.
+//
+// Thread safety: every method takes the internal mutex, so sampling may
+// race queries (the ParTsdb TSan case).  Query results depend only on the
+// ingested (snapshot, tick) sequence, so for deterministic families they
+// are byte-identical at any wmesh::par thread count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace wmesh::obs {
+
+struct TsdbOptions {
+  // Ring capacity per series; with wmesh_serve's 40 s probe rounds the
+  // default keeps four hours of per-tick history per family.
+  std::size_t points_per_series = 360;
+};
+
+class Tsdb {
+ public:
+  explicit Tsdb(TsdbOptions options = {});
+  Tsdb(const Tsdb&) = delete;
+  Tsdb& operator=(const Tsdb&) = delete;
+
+  // Ingests one snapshot at `tick` (ticks must be strictly increasing).
+  // Counter, gauge and histogram families are retained; span aggregates are
+  // not (their wall-clock durations are inherently nondeterministic).
+  void sample(const Snapshot& snap, std::uint64_t tick);
+
+  struct Stats {
+    std::uint64_t samples = 0;    // sample() calls ingested
+    std::size_t series = 0;       // live series
+    std::size_t points = 0;       // retained points across all rings
+    std::size_t bytes = 0;        // exact retained payload bytes
+    std::uint64_t evictions = 0;  // points folded into series bases
+  };
+  Stats stats() const;
+
+  std::uint64_t last_tick() const;
+  bool has_series(std::string_view name) const;
+  // Name-sorted list of live series.
+  std::vector<std::string> series_names() const;
+
+  // Retained points of `name` with tick > last_tick - window (window 0 =
+  // every retained point).  0 for unknown series.
+  std::size_t points_in(std::string_view name, std::size_t window) const;
+
+  // Latest reconstructed value: series base + every retained delta (equal
+  // to the last sampled raw value).  0 for unknown series; for histograms
+  // this is the cumulative observation count.
+  double value(std::string_view name) const;
+
+  // Net change over the trailing `window` ticks (0 = whole retention).
+  // For histograms: the change in observation count.
+  double increase(std::string_view name, std::size_t window) const;
+
+  // increase() divided by the ticks the window actually covers -- a
+  // per-tick rate.  0 when no tick span is covered.
+  double rate(std::string_view name, std::size_t window) const;
+
+  // Bucket-interpolated quantile of the observations a histogram series
+  // recorded within the window, with Histogram::quantile's semantics
+  // (upper bucket bound; overflow reports the last finite bound).  0 for
+  // unknown or non-histogram series or an empty window.
+  double quantile_over_time(std::string_view name, double q,
+                            std::size_t window) const;
+
+  // Per-tick deltas of the trailing window, oldest first (sparklines, the
+  // serve `tsdb` command).  For histograms: observation-count deltas.
+  std::vector<double> deltas(std::string_view name, std::size_t window) const;
+
+  // Text scorecard for one series over the trailing window -- the payload
+  // of the wmesh_serve `tsdb <family> [window]` command.  Counter series
+  // render only delta-derived numbers (increase/rate), so the text is
+  // byte-deterministic even when the process-global registry carried
+  // pre-baseline totals.
+  std::string render(std::string_view name, std::size_t window) const;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  struct ScalarPoint {
+    std::uint64_t tick = 0;
+    double delta = 0.0;
+  };
+  struct HistPoint {
+    std::uint64_t tick = 0;
+    std::uint64_t count_delta = 0;
+    double sum_delta = 0.0;
+    std::vector<std::uint64_t> bucket_deltas;  // per finite bound, cumulative
+  };
+
+  struct Series {
+    Kind kind = Kind::kCounter;
+    bool seen = false;  // baseline established; next sample records a point
+    // Fixed-capacity ring: ring[(head + i) % capacity] is the i-th oldest.
+    std::vector<ScalarPoint> ring;
+    std::vector<HistPoint> hring;
+    std::size_t head = 0;
+    std::size_t count = 0;
+    double base = 0.0;      // value folded out of the ring
+    double last_raw = 0.0;  // last sampled raw value
+    // Histogram baseline (cumulative, as sampled).
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> last_cum;
+    std::uint64_t last_count = 0;
+    double last_sum = 0.0;
+  };
+
+  Series& upsert(std::string_view name, Kind kind, std::size_t bucket_bounds);
+  void push_scalar(Series& s, std::uint64_t tick, double raw);
+  static std::size_t point_bytes(const Series& s);
+  const Series* find(std::string_view name) const;  // caller holds mu_
+  // Sums the trailing window of `s`; fills per-bound cumulative deltas for
+  // histograms when `buckets` is non-null.  Caller holds mu_.
+  struct WindowSum {
+    double increase = 0.0;
+    double sum_delta = 0.0;
+    std::size_t points = 0;
+    std::uint64_t first_tick = 0;  // oldest tick in the window
+    std::uint64_t last_tick = 0;
+  };
+  WindowSum window_sum(const Series& s, std::size_t window,
+                       std::vector<std::uint64_t>* buckets) const;
+  void mirror_locked();  // publishes tsdb.* registry metrics
+
+  TsdbOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Series, std::less<>> series_;
+  Stats stats_;
+  std::uint64_t last_tick_ = 0;
+  std::uint64_t mirrored_evictions_ = 0;  // registry counter high-water mark
+};
+
+}  // namespace wmesh::obs

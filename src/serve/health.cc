@@ -1,0 +1,164 @@
+#include "serve/health.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/analysis_cache.h"
+#include "core/etx.h"
+#include "core/exor.h"
+#include "core/hidden.h"
+#include "obs/metrics.h"
+#include "util/text_table.h"
+
+namespace wmesh::serve {
+namespace {
+
+// Hearing threshold the hidden/range report sections use (core/report.cc).
+constexpr double kHearingThreshold = 0.10;
+
+double clamp(double v, double lo, double hi) {
+  return std::min(hi, std::max(lo, v));
+}
+
+// Composite score: 100 minus one clamped penalty per dimension.  Weights
+// are chosen so a healthy paper-like network sits in the 90s and each
+// dimension alone cannot zero the score (documented in DESIGN.md §5k).
+double score_of(const HealthCard& c) {
+  const double p_inflation = clamp((c.etx_inflation - 1.0) * 40.0, 0.0, 30.0);
+  const double p_hidden = clamp(c.hidden_density * 100.0, 0.0, 25.0);
+  const double p_range = clamp((1.0 - c.range_ratio) * 25.0, 0.0, 20.0);
+  const double p_stale = clamp(c.staleness * 5.0, 0.0, 15.0);
+  const double p_churn = clamp(c.churn * 0.5, 0.0, 10.0);
+  return clamp(100.0 - p_inflation - p_hidden - p_range - p_stale - p_churn,
+               0.0, 100.0);
+}
+
+const char* std_label(Standard s) {
+  return s == Standard::kBg ? "bg" : "n";
+}
+
+}  // namespace
+
+void HealthBoard::init(const Dataset& live) {
+  cards_.clear();
+  cards_.reserve(live.networks.size());
+  for (const auto& nt : live.networks) {
+    HealthCard c;
+    c.net_id = nt.info.id;
+    c.standard = nt.info.standard;
+    cards_.push_back(c);
+  }
+}
+
+std::string HealthBoard::label(const HealthCard& card) {
+  return "net=" + std::to_string(card.net_id) +
+         ",std=" + std_label(card.standard);
+}
+
+void HealthBoard::update_trace(std::size_t i, const NetworkTrace& nt,
+                               AnalysisCache& cache,
+                               std::size_t invalidations) {
+  HealthCard& c = cards_[i];
+  c.computed = true;
+  c.staleness = 0.0;
+  c.churn = static_cast<double>(invalidations);
+
+  // ETX-vs-hops inflation at the base rate, ETX1 with the report sections'
+  // delivery floor so the cache entry is shared with `paths` queries.
+  const EtxGraph& g =
+      cache.etx_graph(nt, 0, EtxVariant::kEtx1, kEtxMinDelivery);
+  const std::size_t n = g.ap_count();
+  double ratio_sum = 0.0;
+  std::size_t pairs = 0;
+  std::vector<double> dist;
+  std::vector<int> parent;
+  for (ApId src = 0; src < n; ++src) {
+    g.shortest_from_into(src, &dist, &parent);
+    for (ApId dst = 0; dst < n; ++dst) {
+      if (dst == src || dist[dst] >= kInfCost) continue;
+      const int hops = EtxGraph::hops(parent, src, dst);
+      if (hops <= 0) continue;
+      ratio_sum += dist[dst] / static_cast<double>(hops);
+      ++pairs;
+    }
+  }
+  c.etx_inflation = pairs == 0 ? 1.0 : ratio_sum / static_cast<double>(pairs);
+
+  // Hidden-triple density and hearing range at the base rate.
+  const HearingGraph base(cache.success(nt, 0), kHearingThreshold);
+  c.hidden_density = count_triples(base).hidden_fraction();
+  const std::size_t base_range = base.range_pairs();
+
+  // Range at the highest probed rate over the base rate (Fig 6.2's
+  // fastest-rate endpoint); a silent network scores the neutral 1.
+  const RateIndex top =
+      static_cast<RateIndex>(rate_count(nt.info.standard) - 1);
+  if (base_range == 0) {
+    c.range_ratio = 1.0;
+  } else {
+    const HearingGraph fast(cache.success(nt, top), kHearingThreshold);
+    c.range_ratio = static_cast<double>(fast.range_pairs()) /
+                    static_cast<double>(base_range);
+  }
+
+  c.score = score_of(c);
+}
+
+void HealthBoard::mark_stale(std::size_t i) {
+  HealthCard& c = cards_[i];
+  c.staleness += 1.0;
+  c.score = score_of(c);
+}
+
+void HealthBoard::publish() const {
+#if !defined(WMESH_OBS_DISABLED)
+  auto& reg = obs::Registry::instance();
+  for (const HealthCard& c : cards_) {
+    if (!c.computed) continue;
+    const std::string suffix = "{" + label(c) + "}";
+    reg.gauge("health.score" + suffix).set(c.score);
+    reg.gauge("health.etx_inflation" + suffix).set(c.etx_inflation);
+    reg.gauge("health.hidden_density" + suffix).set(c.hidden_density);
+    reg.gauge("health.range_ratio" + suffix).set(c.range_ratio);
+    reg.gauge("health.staleness" + suffix).set(c.staleness);
+    reg.gauge("health.churn" + suffix).set(c.churn);
+  }
+#endif
+}
+
+std::string HealthBoard::render(long net_filter) const {
+  std::string out = "== health ==\n";
+  TextTable t;
+  t.header({"net", "std", "score", "etx_infl", "hidden", "range", "stale",
+            "churn"});
+  std::size_t rows = 0;
+  std::size_t pending = 0;
+  for (const HealthCard& c : cards_) {
+    if (net_filter >= 0 && c.net_id != static_cast<std::uint32_t>(net_filter)) {
+      continue;
+    }
+    ++rows;
+    if (!c.computed) {
+      ++pending;
+      t.add_row({std::to_string(c.net_id), std_label(c.standard), "-", "-",
+                 "-", "-", "-", "-"});
+      continue;
+    }
+    t.add_row({std::to_string(c.net_id), std_label(c.standard),
+               fmt(c.score, 1), fmt(c.etx_inflation, 3),
+               fmt(c.hidden_density, 3), fmt(c.range_ratio, 3),
+               fmt(c.staleness, 0), fmt(c.churn, 0)});
+  }
+  if (rows == 0) {
+    out += "(no such network)\n";
+    return out;
+  }
+  out += t.render();
+  if (pending > 0) {
+    out += "(" + std::to_string(pending) +
+           " trace(s) awaiting their first report window)\n";
+  }
+  return out;
+}
+
+}  // namespace wmesh::serve

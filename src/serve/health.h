@@ -1,0 +1,88 @@
+// Per-network health scorecards over the live serve window (obs v4).
+//
+// The paper's continuous-measurement premise (§1) is that an operator
+// watches per-network indicators drift, not one batch snapshot.  A
+// HealthBoard keeps one card per (network, standard) trace and recomputes
+// it from the live window -- through the shared AnalysisCache, so the
+// intermediates stay warm for subsequent queries -- whenever that trace's
+// window content changes at a report boundary:
+//
+//   etx_inflation   mean ETX1 path cost / hop count over reachable AP
+//                   pairs at the base rate (>= 1; §5.1's "how much more
+//                   than hop count does the real path cost")
+//   hidden_density  hidden-triple fraction at the base rate (§6.1)
+//   range_ratio     hearing-range pairs at the highest probed rate over
+//                   the base rate (§6.2's Fig 6.2 endpoint)
+//   staleness       report boundaries since the window content changed
+//   churn           cache slots invalidated at the last content change
+//
+// The composite score starts at 100 and subtracts one clamped penalty per
+// dimension (see health.cc for the exact weights); it is computed with
+// serial arithmetic over cached analysis results, so cards are
+// byte-deterministic at any wmesh::par thread count.
+//
+// Every dimension is also published as a labeled registry gauge --
+// health.score{net=3,std=bg} and friends -- feeding the TSDB and the
+// OpenMetrics exposition, which is what lets alert rules target one
+// network's health.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "phy/rates.h"
+#include "trace/records.h"
+
+namespace wmesh {
+class AnalysisCache;
+}  // namespace wmesh
+
+namespace wmesh::serve {
+
+struct HealthCard {
+  std::uint32_t net_id = 0;
+  Standard standard = Standard::kBg;
+  bool computed = false;  // at least one full window analysis ran
+  double etx_inflation = 1.0;
+  double hidden_density = 0.0;
+  double range_ratio = 1.0;
+  double staleness = 0.0;
+  double churn = 0.0;
+  double score = 100.0;
+};
+
+class HealthBoard {
+ public:
+  // One card per trace of `live`, in trace order (the same indexing
+  // MeshService uses).
+  void init(const Dataset& live);
+
+  std::size_t size() const noexcept { return cards_.size(); }
+  const HealthCard& card(std::size_t i) const { return cards_[i]; }
+
+  // Full recompute of card i from its live trace: the window content
+  // changed at a report boundary and `invalidations` cache slots died.
+  void update_trace(std::size_t i, const NetworkTrace& nt,
+                    AnalysisCache& cache, std::size_t invalidations);
+
+  // A report boundary passed without changing trace i's window.
+  void mark_stale(std::size_t i);
+
+  // Publishes every card's dimensions as labeled registry gauges
+  // (health.*{net=...,std=...}); no-op under -DWMESH_OBS_DISABLED.
+  void publish() const;
+
+  // Text scorecard table -- the `health` command payload.  With
+  // `net_filter` >= 0 only that network's traces render.
+  std::string render(long net_filter = -1) const;
+
+  // The "net=N,std=S" label suffix of card i, exposed so tests can target
+  // the exact TSDB series the board publishes.
+  static std::string label(const HealthCard& card);
+
+ private:
+  std::vector<HealthCard> cards_;
+};
+
+}  // namespace wmesh::serve

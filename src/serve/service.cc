@@ -18,13 +18,16 @@ namespace {
 // Sections that accept an optional trailing network id.
 bool takes_network_arg(const std::string& what) {
   return what == "etx" || what == "exor" || what == "anypath" ||
-         what == "paths" || what == "hidden";
+         what == "paths" || what == "hidden" || what == "health";
 }
 
 }  // namespace
 
 MeshService::MeshService(const ServeConfig& config)
-    : config_(config), fleet_(config.gen) {
+    : config_(config),
+      fleet_(config.gen),
+      tsdb_(config.tsdb),
+      alerts_(config.alerts) {
   const std::size_t n = fleet_.trace_count();
   windows_.assign(n, ReportWindow(config_.window_rounds));
   round_sets_.resize(n);
@@ -37,9 +40,11 @@ MeshService::MeshService(const ServeConfig& config)
     nt.client_samples = fleet_.client_samples(i);
     live_.networks.push_back(std::move(nt));
   }
+  health_.init(live_);
   next_report_s_ = config_.gen.probes.report_interval_s;
   WMESH_LOG_INFO("serve", kv("event", "service_ready"), kv("traces", n),
-                 kv("window_rounds", config_.window_rounds));
+                 kv("window_rounds", config_.window_rounds),
+                 kv("alert_rules", alerts_.rule_count()));
 }
 
 bool MeshService::tick() {
@@ -84,11 +89,23 @@ bool MeshService::tick() {
         if (dropped > 0) {
           WMESH_COUNTER_ADD("serve.cache_invalidations", dropped);
         }
+        health_.update_trace(i, live_.networks[i], cache_, dropped);
+      } else {
+        health_.mark_stale(i);
       }
     }
     next_report_s_ += config_.gen.probes.report_interval_s;
   }
   WMESH_GAUGE_SET("serve.time_s", t);
+  // The tick is the TSDB's virtual clock: publish the health gauges, then
+  // sample the whole registry (draining in-flight counter batches so the
+  // point reflects every probe just ingested), then evaluate alerts over
+  // the freshly extended series.
+  health_.publish();
+  tsdb_.sample(
+      obs::Registry::instance().snapshot(obs::SnapshotFlush::kActiveBatches),
+      rounds_);
+  alerts_.evaluate(tsdb_);
   return true;
 }
 
@@ -105,15 +122,29 @@ QueryResult MeshService::query(const std::string& line) {
                       std::chrono::steady_clock::now() - start)
                       .count();
   WMESH_COUNTER_INC("serve.queries");
-  WMESH_HISTOGRAM_RECORD("serve.query_us", us);
+  WMESH_HISTOGRAM_RECORD_BOUNDS("serve.query_us", us,
+                                ::wmesh::obs::query_time_bounds_us());
   return result;
 }
 
 QueryResult MeshService::dispatch(const std::string& line) {
   std::istringstream in(line);
-  std::string what, arg, extra;
-  in >> what >> arg >> extra;
+  std::string what, arg, extra, rest;
+  in >> what >> arg >> extra >> rest;
   if (what.empty()) return {false, "empty command"};
+  if (!rest.empty()) return {false, "too many arguments"};
+
+  // `tsdb <family> [window]` is the one two-argument command.
+  if (what == "tsdb") {
+    if (arg.empty()) return {false, "usage: tsdb <family> [window]"};
+    std::size_t window = 0;
+    if (!extra.empty()) {
+      const auto w = env::parse_u64(extra);
+      if (!w) return {false, "bad window '" + extra + "'"};
+      window = static_cast<std::size_t>(*w);
+    }
+    return {true, tsdb_.render(arg, window)};
+  }
   if (!extra.empty()) return {false, "too many arguments"};
   if (!arg.empty() && !takes_network_arg(what)) {
     return {false, "'" + what + "' takes no argument"};
@@ -121,14 +152,19 @@ QueryResult MeshService::dispatch(const std::string& line) {
 
   if (what == "help") return {true, help_text()};
   if (what == "stats") return {true, stats_text()};
+  if (what == "alerts") return {true, alerts_.render()};
 
   if (!arg.empty()) {
     const auto id = env::parse_u64(arg);
     if (!id || *id > 0xffffffffULL) {
       return {false, "bad network id '" + arg + "'"};
     }
+    if (what == "health") {
+      return {true, health_.render(static_cast<long>(*id))};
+    }
     return render_filtered(what, static_cast<std::uint32_t>(*id));
   }
+  if (what == "health") return {true, health_.render()};
 
   if (what == "snr") return {true, report_snr(live_)};
   if (what == "lookup") return {true, report_lookup(live_)};
@@ -210,6 +246,10 @@ std::string MeshService::help_text() {
       "  hidden [net]  hidden-triple medians per rate\n"
       "  mobility      prevalence & persistence by environment\n"
       "  traffic       client/AP load summary\n"
+      "  health [net]  per-network health scorecards over the live window\n"
+      "  alerts        alert rule states and firing/resolved totals\n"
+      "  tsdb <family> [window]  time-series scorecard for one metric "
+      "family\n"
       "  stats         live window / cache / ingest counters\n"
       "  help          this text\n"
       "  shutdown      stop the daemon (quit: close this connection)\n";

@@ -31,6 +31,9 @@
 #include <vector>
 
 #include "core/analysis_cache.h"
+#include "obs/alerts.h"
+#include "obs/tsdb.h"
+#include "serve/health.h"
 #include "serve/stream.h"
 #include "serve/window.h"
 #include "trace/records.h"
@@ -42,6 +45,10 @@ struct ServeConfig {
   // Report rounds kept live per trace (4 x 300 s = 20 min of reports with
   // the paper defaults).
   std::size_t window_rounds = 4;
+  // Time-series retention (obs v4); ticks are probe rounds.
+  obs::TsdbOptions tsdb;
+  // Alert rules evaluated once per tick (wmesh_serve --alerts=<file>).
+  std::vector<obs::AlertRule> alerts;
 };
 
 struct QueryResult {
@@ -75,6 +82,12 @@ class MeshService {
   // Deep copy of the live dataset, for equivalence tests.
   Dataset snapshot() const;
 
+  // The time-series plane and alert engine (query methods lock
+  // internally); exposed for tests and the bench harness.
+  const obs::Tsdb& tsdb() const { return tsdb_; }
+  const obs::AlertEngine& alerts() const { return alerts_; }
+  const HealthBoard& health() const { return health_; }
+
  private:
   QueryResult dispatch(const std::string& line);
   QueryResult render_filtered(const std::string& what, std::uint32_t id);
@@ -87,6 +100,9 @@ class MeshService {
   std::vector<std::vector<ProbeSet>> round_sets_;  // scratch, one per trace
   Dataset live_;
   AnalysisCache cache_;
+  obs::Tsdb tsdb_;
+  obs::AlertEngine alerts_;
+  HealthBoard health_;
 
   double next_report_s_ = 0.0;
   std::uint64_t rounds_ = 0;

@@ -464,5 +464,43 @@ TEST(ObsResource, MissingProcStatusZeroesFieldsAndCountsTheError) {
   EXPECT_GE(ok.peak_rss_bytes, ok.current_rss_bytes);
 }
 
+// ---------------------------------------------------------------------------
+// The serve.query_us bounds ladder: 1-2-5 decades under 1 ms (where cached
+// queries cluster), doubling above.
+// ---------------------------------------------------------------------------
+
+TEST(ObsBounds, QueryTimeLadderIsFineGrainedBelowOneMillisecond) {
+  const std::vector<double> bounds = query_time_bounds_us();
+  const std::vector<double> sub_ms = {1.0,  2.0,   5.0,   10.0,  20.0,
+                                      50.0, 100.0, 200.0, 500.0, 1000.0};
+  ASSERT_GE(bounds.size(), sub_ms.size());
+  for (std::size_t i = 0; i < sub_ms.size(); ++i) {
+    EXPECT_DOUBLE_EQ(bounds[i], sub_ms[i]) << "bound " << i;
+  }
+  // Doubling from 2 ms up; strictly ascending throughout; top bound covers
+  // a ~16 s outlier query but no more.
+  for (std::size_t i = sub_ms.size() + 1; i < bounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(bounds[i], bounds[i - 1] * 2.0) << "bound " << i;
+  }
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]) << "bound " << i;
+  }
+  EXPECT_GE(bounds.back(), 16e6);
+  EXPECT_LE(bounds.back(), 17e6);
+
+  // The ladder is what the serve query path actually registers: recording
+  // through the macro binds these bounds on first use.
+  Registry::instance().reset_for_test();
+  WMESH_HISTOGRAM_RECORD_BOUNDS("serve.query_us", 3.0,
+                                ::wmesh::obs::query_time_bounds_us());
+#if !defined(WMESH_OBS_DISABLED)
+  const Snapshot snap = Registry::instance().snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "serve.query_us");
+  ASSERT_EQ(snap.histograms[0].bounds.size(), bounds.size());
+  EXPECT_DOUBLE_EQ(snap.histograms[0].bounds[2], 5.0);
+#endif
+}
+
 }  // namespace
 }  // namespace wmesh::obs

@@ -165,6 +165,121 @@ TEST(OpenMetrics, LintCatchesStructuralViolations) {
   EXPECT_FALSE(lint_openmetrics(doc, &error));
 }
 
+TEST(OpenMetrics, HelpAndUnitAnnotationsParseRecordAndAreRequired) {
+  OmDocument doc;
+  std::string error;
+  ASSERT_TRUE(parse_openmetrics(
+      "# TYPE wmesh_x counter\n"
+      "# HELP wmesh_x Things that happened.\n"
+      "# UNIT wmesh_x count\n"
+      "wmesh_x_total 3\n# EOF\n",
+      &doc, &error))
+      << error;
+  EXPECT_EQ(doc.helps.at("wmesh_x"), "Things that happened.");
+  EXPECT_EQ(doc.units.at("wmesh_x"), "count");
+  EXPECT_TRUE(lint_openmetrics(doc, &error)) << error;
+
+  // A wmesh_* family missing HELP fails the lint...
+  ASSERT_TRUE(parse_openmetrics(
+      "# TYPE wmesh_x counter\n"
+      "# UNIT wmesh_x count\n"
+      "wmesh_x_total 3\n# EOF\n",
+      &doc, &error))
+      << error;
+  EXPECT_FALSE(lint_openmetrics(doc, &error));
+  EXPECT_NE(error.find("HELP"), std::string::npos) << error;
+
+  // ...and so does one missing UNIT.
+  ASSERT_TRUE(parse_openmetrics(
+      "# TYPE wmesh_x counter\n"
+      "# HELP wmesh_x Things that happened.\n"
+      "wmesh_x_total 3\n# EOF\n",
+      &doc, &error))
+      << error;
+  EXPECT_FALSE(lint_openmetrics(doc, &error));
+  EXPECT_NE(error.find("UNIT"), std::string::npos) << error;
+
+  // Duplicate HELP or UNIT declarations are parse errors, like TYPE.
+  EXPECT_FALSE(parse_openmetrics(
+      "# TYPE wmesh_x counter\n# HELP wmesh_x a\n# HELP wmesh_x b\n# EOF\n",
+      &doc, &error));
+  EXPECT_FALSE(parse_openmetrics(
+      "# TYPE wmesh_x counter\n# UNIT wmesh_x count\n# UNIT wmesh_x count\n"
+      "# EOF\n",
+      &doc, &error));
+}
+
+TEST(OpenMetrics, CuratedReferenceAnnotatesEveryRenderedFamily) {
+  // Curated families carry their table entry; everything else falls back
+  // to a generic help plus a suffix-derived unit -- never an unannotated
+  // exposition.
+  const FamilyReference rounds = openmetrics_reference("wmesh_serve_rounds");
+  EXPECT_EQ(rounds.help.find("no curated help"), std::string::npos);
+  EXPECT_FALSE(rounds.unit.empty());
+
+  const FamilyReference fallback =
+      openmetrics_reference("wmesh_made_up_family_us");
+  EXPECT_NE(fallback.help.find("no curated help"), std::string::npos);
+  EXPECT_EQ(fallback.unit, "microseconds");
+  EXPECT_EQ(openmetrics_reference("wmesh_made_up_bytes").unit, "bytes");
+  EXPECT_EQ(openmetrics_reference("wmesh_made_up_s").unit, "seconds");
+  EXPECT_EQ(openmetrics_reference("wmesh_made_up").unit, "count");
+
+  // A rendered registry -- including a family the table has never heard
+  // of -- is fully annotated: lint passes and each declared family has
+  // both entries.
+  Registry& reg = Registry::instance();
+  reg.reset_for_test();
+  reg.counter("serve.rounds").add(2);
+  reg.counter("totally.novel.family_us").add(1);
+  reg.gauge("tsdb.points").set(42.0);
+  const std::string text = render_openmetrics(reg.snapshot());
+  OmDocument doc;
+  std::string error;
+  ASSERT_TRUE(parse_openmetrics(text, &doc, &error)) << error << "\n" << text;
+  EXPECT_TRUE(lint_openmetrics(doc, &error)) << error << "\n" << text;
+  for (const auto& [family, type] : doc.types) {
+    EXPECT_EQ(doc.helps.count(family), 1u) << family;
+    EXPECT_EQ(doc.units.count(family), 1u) << family;
+  }
+  EXPECT_EQ(doc.units.at("wmesh_totally_novel_family_us"), "microseconds");
+}
+
+TEST(OpenMetrics, LabeledRegistryNamesGroupUnderOneFamily) {
+  // Registry names carrying a {k=v} suffix (health scorecards, alert
+  // states) render as one family with proper quoted labels.
+  Registry& reg = Registry::instance();
+  reg.reset_for_test();
+  reg.gauge("health.score{net=3,std=bg}").set(91.5);
+  reg.gauge("health.score{net=4,std=n}").set(88.0);
+  reg.gauge("alert.state{alert=burn_errors}").set(2.0);
+
+  const std::string text = render_openmetrics(reg.snapshot());
+  OmDocument doc;
+  std::string error;
+  ASSERT_TRUE(parse_openmetrics(text, &doc, &error)) << error << "\n" << text;
+  EXPECT_TRUE(lint_openmetrics(doc, &error)) << error << "\n" << text;
+
+  // One TYPE declaration for the base family, two labeled series.
+  EXPECT_EQ(doc.types.at("wmesh_health_score"), "gauge");
+  const OmSample* a =
+      doc.find("wmesh_health_score", {{"net", "3"}, {"std", "bg"}});
+  const OmSample* b =
+      doc.find("wmesh_health_score", {{"net", "4"}, {"std", "n"}});
+  ASSERT_TRUE(a && b) << text;
+  EXPECT_DOUBLE_EQ(a->value, 91.5);
+  EXPECT_DOUBLE_EQ(b->value, 88.0);
+  const OmSample* st =
+      doc.find("wmesh_alert_state", {{"alert", "burn_errors"}});
+  ASSERT_NE(st, nullptr) << text;
+  EXPECT_DOUBLE_EQ(st->value, 2.0);
+  // The TYPE line appears exactly once even with multiple label sets.
+  const std::string type_line = "# TYPE wmesh_health_score gauge";
+  const std::size_t first = text.find(type_line);
+  ASSERT_NE(first, std::string::npos) << text;
+  EXPECT_EQ(text.find(type_line, first + 1), std::string::npos) << text;
+}
+
 TEST(OpenMetrics, MonotoneCheckFlagsCounterDecreases) {
   OmDocument a, b;
   std::string error;
@@ -199,9 +314,11 @@ TEST(OpenMetricsLive, MidFlightScrapeLintsCleanAndCountersAreMonotone) {
   GeneratorConfig config = small_config();
   const Dataset ds = generate_dataset(config);
   std::atomic<bool> stop{false};
+  std::atomic<int> iterations{0};
   std::thread worker([&] {
     while (!stop.load(std::memory_order_relaxed)) {
       (void)report_etx(ds);
+      iterations.fetch_add(1, std::memory_order_release);
     }
   });
 
@@ -212,7 +329,12 @@ TEST(OpenMetricsLive, MidFlightScrapeLintsCleanAndCountersAreMonotone) {
   ASSERT_TRUE(parse_openmetrics(body, &first, &error)) << error << "\n" << body;
   EXPECT_TRUE(lint_openmetrics(first, &error)) << error << "\n" << body;
 
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Wait for at least one full workload pass (a wall-clock sleep flakes on
+  // loaded machines where the worker thread gets starved), so the second
+  // scrape is guaranteed to see completed spans.
+  while (iterations.load(std::memory_order_acquire) == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   ASSERT_TRUE(scrape_openmetrics_once(server->bound_address(), &body, &error))
       << error;
   ASSERT_TRUE(parse_openmetrics(body, &second, &error))

@@ -26,6 +26,7 @@
 #include "obs/export_server.h"
 #include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/tsdb.h"
 #include "par/thread_pool.h"
 #include "serve/service.h"
 #include "sim/generator.h"
@@ -414,6 +415,65 @@ TEST(ParExportServer, HundredStartStopCyclesJoinDeterministically) {
     racer.join();
     server.reset();
   }
+}
+
+TEST(ParTsdb, ConcurrentSampleAndQueryAreRaceFree) {
+  // The serve daemon samples the TSDB on the ingest thread while the query
+  // thread renders it; san_smoke rebuilds this binary under TSan, so two
+  // readers hammering every query helper against a live writer prove the
+  // ring's single-mutex discipline (and that render never sees a
+  // half-pushed point).
+  obs::Tsdb tsdb;
+  constexpr std::uint64_t kTicks = 2000;
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (std::uint64_t t = 1; t <= kTicks; ++t) {
+      obs::Snapshot s;
+      s.counters.push_back({"par.tsdb.ctr", t * 3});
+      s.gauges.push_back({"par.tsdb.gauge", static_cast<double>(t % 17)});
+      obs::Snapshot::HistogramRow h;
+      h.name = "par.tsdb.hist";
+      h.bounds = {1.0, 10.0, 100.0};
+      h.cumulative = {t, t + t / 2, 2 * t};
+      h.count = 2 * t;
+      h.sum = static_cast<double>(t) * 4.0;
+      h.p50 = h.p90 = h.p99 = 0.0;
+      s.histograms.push_back(std::move(h));
+      tsdb.sample(s, t);
+    }
+    done.store(true, std::memory_order_release);
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&tsdb, &done] {
+      while (!done.load(std::memory_order_acquire)) {
+        (void)tsdb.value("par.tsdb.ctr");
+        (void)tsdb.rate("par.tsdb.ctr", 8);
+        (void)tsdb.increase("par.tsdb.gauge", 0);
+        (void)tsdb.quantile_over_time("par.tsdb.hist", 0.9, 16);
+        (void)tsdb.points_in("par.tsdb.hist", 4);
+        // A reader may race ahead of the writer's first sample (the first
+        // sample is baseline-only and records no point), so mid-flight the
+        // render is either the table or the empty-series notice -- never
+        // garbage.
+        const std::string rendered = tsdb.render("par.tsdb.ctr", 8);
+        EXPECT_TRUE(rendered.find("retained_points") != std::string::npos ||
+                    rendered.find("(no such series)") != std::string::npos)
+            << rendered;
+      }
+    });
+  }
+  writer.join();
+  for (auto& r : readers) r.join();
+  EXPECT_NE(tsdb.render("par.tsdb.ctr", 8).find("retained_points"),
+            std::string::npos);
+
+  // The raced run still lands on the exact serial end state.
+  EXPECT_DOUBLE_EQ(tsdb.value("par.tsdb.ctr"), kTicks * 3.0);
+  EXPECT_EQ(tsdb.last_tick(), kTicks);
+  EXPECT_EQ(tsdb.stats().samples, kTicks);
+  const obs::TsdbOptions defaults;
+  EXPECT_EQ(tsdb.stats().points, 3 * defaults.points_per_series);
 }
 
 TEST(ParServe, ConcurrentQueriesAndIngestConvergeToTheSerialWindow) {

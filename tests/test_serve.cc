@@ -37,6 +37,7 @@
 
 #include "core/analysis_cache.h"
 #include "core/report.h"
+#include "obs/alerts.h"
 #include "obs/export_server.h"
 #include "obs/metrics.h"
 #include "obs/socket_util.h"
@@ -347,6 +348,61 @@ TEST(ServeCache, InvalidationAndHitCountsAreThreadCountIndependent) {
 }
 
 // ---------------------------------------------------------------------------
+// Observability plane determinism
+// ---------------------------------------------------------------------------
+
+TEST(ServeObsPlane, HealthAlertsAndTsdbAreByteIdenticalAtOneTwoEightThreads) {
+  // The TSDB samples on the virtual-clock tick, health scores derive from
+  // the deterministic window analyses, and alert evaluation is a pure
+  // function of the TSDB -- so every rendered byte must be independent of
+  // the worker-pool size.  Queries stick to deterministic families
+  // (serve.*, health.*); wall-clock histograms like serve.query_us are
+  // exercised elsewhere.
+  const std::array<const char*, 6> kCommands{
+      "health",        "health 3",
+      "alerts",        "tsdb serve.rounds 16",
+      "tsdb serve.reports_ingested", "tsdb serve.window_advances 8"};
+  // Warm the process-global registry first: families like
+  // serve.reports_ingested only register at the first report boundary, so
+  // a cold first run would baseline them later (fewer retained points)
+  // than the warm runs after it -- a process-warmth artifact, not a
+  // thread-count one.
+  {
+    serve::MeshService warmup(service_config());
+    for (int r = 0; r < 9; ++r) ASSERT_TRUE(warmup.tick());
+  }
+  std::array<std::string, 3> rendered;
+  const std::array<std::size_t, 3> kThreads{1, 2, 8};
+  for (std::size_t k = 0; k < kThreads.size(); ++k) {
+    par::set_default_threads(kThreads[k]);
+    serve::ServeConfig sc = service_config();
+    std::string error;
+    ASSERT_TRUE(obs::parse_alert_rules(
+        "alert rounds_hot burn serve.rounds >= 1 short=4 long=16\n"
+        "alert clock_high threshold serve.time_s > 600 for=3\n"
+        "alert ghost absent no.such.series window=5\n",
+        "obs_plane_rules", &sc.alerts, &error))
+        << error;
+    serve::MeshService service(sc);
+    for (int r = 0; r < 45; ++r) ASSERT_TRUE(service.tick());
+    std::string all;
+    for (const char* cmd : kCommands) {
+      const serve::QueryResult r = service.query(cmd);
+      ASSERT_TRUE(r.ok) << cmd << ": " << r.body;
+      all += "> " + std::string(cmd) + "\n" + r.body;
+    }
+    rendered[k] = std::move(all);
+  }
+  par::set_default_threads(0);
+  EXPECT_EQ(rendered[0], rendered[1]);
+  EXPECT_EQ(rendered[0], rendered[2]);
+  // Sanity: the plane actually produced data, not empty tables.
+  EXPECT_NE(rendered[0].find("etx_infl"), std::string::npos);
+  EXPECT_NE(rendered[0].find("ghost"), std::string::npos);
+  EXPECT_NE(rendered[0].find("retained_points"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
 // Golden query transcript
 // ---------------------------------------------------------------------------
 
@@ -355,13 +411,28 @@ TEST(ServeGolden, TranscriptMatchesCheckedInBytes) {
   sc.gen = small_config();
   sc.gen.seed = 7;  // the documented golden seed (wmesh_gen --small --seed 7)
   sc.window_rounds = 4;
+  // Alert rules over deterministic series only (gauge values and counter
+  // deltas; a threshold on a counter's absolute value would depend on how
+  // warm the process-global registry is).
+  {
+    std::string error;
+    ASSERT_TRUE(obs::parse_alert_rules(
+        "# golden transcript rules\n"
+        "alert stream_hot burn serve.rounds >= 1 short=4 long=16\n"
+        "alert time_advancing threshold serve.time_s > 600 for=3\n"
+        "alert ghost absent no.such.series window=5\n",
+        "golden_rules", &sc.alerts, &error))
+        << error;
+  }
   serve::MeshService service(sc);
   for (int r = 0; r < 45; ++r) ASSERT_TRUE(service.tick());
 
-  const std::array<const char*, 16> kCommands{
+  const std::array<const char*, 24> kCommands{
       "stats", "snr", "lookup", "exor", "anypath", "paths", "hidden",
       "mobility", "traffic", "etx", "etx 3", "anypath 3", "bogus", "etx 99",
-      "hidden x", "snr 1"};
+      "hidden x", "snr 1", "health", "health 3", "health 99", "alerts",
+      "tsdb serve.rounds", "tsdb serve.rounds 8", "tsdb no.such.series",
+      "tsdb"};
   std::string transcript;
   for (const char* cmd : kCommands) {
     const serve::QueryResult r = service.query(cmd);
@@ -523,6 +594,136 @@ TEST(ServeFault, DaemonSurvivesProtocolAbuse) {
     EXPECT_NE(resp.find("== serve stats =="), std::string::npos);
     ::close(fd);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Alert fire/resolve against a live paced daemon (the alerts_smoke ctest
+// case)
+// ---------------------------------------------------------------------------
+
+struct AlertRow {
+  std::string state;
+  std::uint64_t fired = 0;
+  std::uint64_t resolved = 0;
+};
+
+// Pulls one rule's row out of the rendered `alerts` table.
+bool parse_alert_row(const std::string& body, const std::string& name,
+                     AlertRow* row) {
+  std::istringstream lines(body);
+  for (std::string line; std::getline(lines, line);) {
+    std::istringstream in(line);
+    std::vector<std::string> tok;
+    for (std::string t; in >> t;) tok.push_back(std::move(t));
+    // alert kind series state pending fired resolved input
+    if (tok.size() < 8 || tok[0] != name) continue;
+    row->state = tok[3];
+    row->fired = std::stoull(tok[5]);
+    row->resolved = std::stoull(tok[6]);
+    return true;
+  }
+  return false;
+}
+
+class AlertsDaemon {
+ public:
+  AlertsDaemon() {
+    serve::DaemonOptions options;
+    options.service.gen = test_config();
+    // Two virtual days of probe rounds at 5 ms wall each: the ingest loop
+    // keeps evaluating alerts for ~20 s of wall clock, far beyond what the
+    // fire/resolve polling below needs.
+    options.service.gen.probes.duration_s = 172800.0;
+    options.service.window_rounds = 4;
+    options.tick_sleep_ms = 5;
+    std::string parse_error;
+    EXPECT_TRUE(obs::parse_alert_rules(
+        "alert proto_errs burn serve.protocol_errors >= 0.5 short=3 long=9\n"
+        "alert quiet_burn burn serve.rounds >= 1000 short=3 long=9\n"
+        "alert never threshold serve.time_s < 0\n",
+        "alerts_smoke_rules", &options.service.alerts, &parse_error))
+        << parse_error;
+    options.listen = "unix:" + socket_path();
+    std::string error;
+    daemon_ = serve::ServeDaemon::start(options, &error);
+    EXPECT_NE(daemon_, nullptr) << error;
+    if (daemon_ != nullptr) {
+      runner_ = std::thread([this] { daemon_->run(); });
+    }
+  }
+
+  ~AlertsDaemon() {
+    if (daemon_ != nullptr) daemon_->request_shutdown();
+    if (runner_.joinable()) runner_.join();
+  }
+
+  static std::string socket_path() {
+    return std::string(::testing::TempDir()) + "wmesh_serve_alerts.sock";
+  }
+
+  // One framed query over a fresh connection (the server is serial, so a
+  // held-open connection would block everything else).
+  std::string query(const std::string& cmd) const {
+    std::string error;
+    const int fd = obs::connect_socket("unix:" + socket_path(), &error);
+    EXPECT_GE(fd, 0) << error;
+    if (fd < 0) return "";
+    const std::string line = cmd + "\n";
+    EXPECT_TRUE(obs::send_all(fd, line.data(), line.size()));
+    const std::string resp = recv_frame(fd);
+    ::close(fd);
+    return resp;
+  }
+
+ private:
+  std::unique_ptr<serve::ServeDaemon> daemon_;
+  std::thread runner_;
+};
+
+TEST(AlertsSmoke, BurnRuleFiresOnInducedErrorsAndResolvesAfterRecovery) {
+  AlertsDaemon daemon;
+
+  // Degrade: bursts of unknown commands drive serve.protocol_errors until
+  // the burn rule's short and long windows are both hot.  fired/resolved
+  // are monotone counters, so a fire that resolves between polls still
+  // counts.
+  AlertRow proto;
+  bool fired = false;
+  for (int iter = 0; iter < 400 && !fired; ++iter) {
+    for (int i = 0; i < 10; ++i) {
+      const std::string resp = daemon.query("frobnicate");
+      ASSERT_EQ(resp.rfind("err ", 0), 0u) << resp;
+    }
+    const std::string body = daemon.query("alerts");
+    ASSERT_EQ(body.rfind("ok ", 0), 0u) << body;
+    ASSERT_TRUE(parse_alert_row(body, "proto_errs", &proto)) << body;
+    fired = proto.fired >= 1;
+    if (!fired) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(fired) << "burn rule never fired under induced errors";
+
+  // Exactly the matching rule fired: the impossible burn and threshold
+  // rules stayed quiet through the same degradation.
+  {
+    const std::string body = daemon.query("alerts");
+    AlertRow other;
+    ASSERT_TRUE(parse_alert_row(body, "quiet_burn", &other)) << body;
+    EXPECT_EQ(other.fired, 0u) << body;
+    ASSERT_TRUE(parse_alert_row(body, "never", &other)) << body;
+    EXPECT_EQ(other.fired, 0u) << body;
+  }
+
+  // Recover: stop the abuse and wait for the error rate to drain out of
+  // the long window; the rule must resolve.
+  bool resolved = false;
+  for (int iter = 0; iter < 600 && !resolved; ++iter) {
+    const std::string body = daemon.query("alerts");
+    ASSERT_EQ(body.rfind("ok ", 0), 0u) << body;
+    ASSERT_TRUE(parse_alert_row(body, "proto_errs", &proto)) << body;
+    resolved = proto.resolved >= 1;
+    if (!resolved) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(resolved) << "burn rule never resolved after recovery";
 }
 
 // ---------------------------------------------------------------------------

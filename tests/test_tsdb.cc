@@ -1,0 +1,307 @@
+// Tests for the in-process time-series ring (obs/tsdb.h) and the alert
+// engine over it (obs/alerts.h).  Snapshots are hand-built Snapshot
+// structs, not the process-global registry, so every case also passes in
+// the -DWMESH_OBS_DISABLED nested build (where the Tsdb's internal stats
+// stay authoritative and the registry mirror is a no-op).
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/alerts.h"
+#include "obs/tsdb.h"
+
+namespace wmesh::obs {
+namespace {
+
+Snapshot scalar_snapshot(std::uint64_t counter, double gauge) {
+  Snapshot s;
+  s.counters.push_back({"t.counter", counter});
+  s.gauges.push_back({"t.gauge", gauge});
+  return s;
+}
+
+// One histogram family with bounds {1, 10, 100} and the given cumulative
+// counts (the implicit +Inf bucket is `count`).
+Snapshot hist_snapshot(std::vector<std::uint64_t> cum, std::uint64_t count,
+                       double sum) {
+  Snapshot s;
+  Snapshot::HistogramRow h;
+  h.name = "t.hist";
+  h.bounds = {1.0, 10.0, 100.0};
+  h.cumulative = std::move(cum);
+  h.count = count;
+  h.sum = sum;
+  h.p50 = h.p90 = h.p99 = 0.0;
+  s.histograms.push_back(std::move(h));
+  return s;
+}
+
+TEST(Tsdb, FirstSampleOnlyEstablishesBaseline) {
+  Tsdb tsdb;
+  tsdb.sample(scalar_snapshot(1000, 5.0), 1);
+  // A warm registry's pre-attach totals must not appear as one giant
+  // delta: the first sample records no point.
+  EXPECT_EQ(tsdb.stats().points, 0u);
+  EXPECT_EQ(tsdb.stats().series, 2u);
+  EXPECT_TRUE(tsdb.has_series("t.counter"));
+  EXPECT_DOUBLE_EQ(tsdb.value("t.counter"), 1000.0);
+  EXPECT_DOUBLE_EQ(tsdb.increase("t.counter", 0), 0.0);
+
+  tsdb.sample(scalar_snapshot(1007, 6.5), 2);
+  EXPECT_EQ(tsdb.stats().points, 2u);
+  EXPECT_DOUBLE_EQ(tsdb.value("t.counter"), 1007.0);
+  EXPECT_DOUBLE_EQ(tsdb.increase("t.counter", 0), 7.0);
+  EXPECT_DOUBLE_EQ(tsdb.increase("t.gauge", 0), 1.5);
+}
+
+TEST(Tsdb, RingWraparoundEvictsWithExactAccounting) {
+  TsdbOptions opt;
+  opt.points_per_series = 4;
+  Tsdb tsdb(opt);
+  // 10 samples into a 4-point ring: 1 baseline + 9 points pushed, 5 of
+  // them evicted (per series).
+  for (std::uint64_t t = 1; t <= 10; ++t) {
+    tsdb.sample(scalar_snapshot(t * 10, static_cast<double>(t)), t);
+  }
+  const Tsdb::Stats st = tsdb.stats();
+  EXPECT_EQ(st.samples, 10u);
+  EXPECT_EQ(st.series, 2u);
+  EXPECT_EQ(st.points, 8u);  // 4 retained per series
+  EXPECT_EQ(st.evictions, 10u);
+  const std::size_t scalar_bytes = sizeof(std::uint64_t) + sizeof(double);
+  EXPECT_EQ(st.bytes, 8u * scalar_bytes);
+
+  // Evicted deltas fold into the base, so the latest value stays exact.
+  EXPECT_DOUBLE_EQ(tsdb.value("t.counter"), 100.0);
+  // Full-retention increase only covers what the ring still holds.
+  EXPECT_DOUBLE_EQ(tsdb.increase("t.counter", 0), 4 * 10.0);
+  EXPECT_EQ(tsdb.points_in("t.counter", 0), 4u);
+  // Trailing-2-ticks window: points at ticks 9 and 10.
+  EXPECT_EQ(tsdb.points_in("t.counter", 2), 2u);
+  EXPECT_DOUBLE_EQ(tsdb.increase("t.counter", 2), 20.0);
+  EXPECT_DOUBLE_EQ(tsdb.rate("t.counter", 2), 10.0);
+
+  const std::vector<double> d = tsdb.deltas("t.counter", 0);
+  ASSERT_EQ(d.size(), 4u);
+  for (double v : d) EXPECT_DOUBLE_EQ(v, 10.0);
+}
+
+TEST(Tsdb, ThirtyDayRunHoldsMemoryCap) {
+  // A 30-day wmesh_serve run at 40 s rounds is 64800 ticks; the default
+  // ring must hold its exact byte cap while the eviction counters prove
+  // the stream kept flowing (ISSUE 9's retention acceptance criterion).
+  Tsdb tsdb;  // default 360 points per series
+  constexpr std::uint64_t kTicks = 30 * 24 * 3600 / 40;
+  for (std::uint64_t t = 1; t <= kTicks; ++t) {
+    tsdb.sample(scalar_snapshot(t * 3, static_cast<double>(t % 17)), t);
+  }
+  const Tsdb::Stats st = tsdb.stats();
+  const std::size_t scalar_bytes = sizeof(std::uint64_t) + sizeof(double);
+  EXPECT_EQ(st.points, 2u * 360u);
+  EXPECT_EQ(st.bytes, 2u * 360u * scalar_bytes);
+  EXPECT_EQ(st.evictions, 2u * (kTicks - 1u - 360u));
+  EXPECT_DOUBLE_EQ(tsdb.value("t.counter"),
+                   static_cast<double>(kTicks * 3));
+}
+
+TEST(Tsdb, HistogramQuantileOverTime) {
+  Tsdb tsdb;
+  // Baseline: 5 observations all <= 1.
+  tsdb.sample(hist_snapshot({5, 5, 5}, 5, 5.0), 1);
+  // Tick 2: +10 observations in (1, 10].
+  tsdb.sample(hist_snapshot({5, 15, 15}, 15, 55.0), 2);
+  // Tick 3: +10 observations in (10, 100].
+  tsdb.sample(hist_snapshot({5, 15, 25}, 25, 555.0), 3);
+
+  // Full window holds 20 observations: 10 at <=10, 10 at <=100.
+  EXPECT_DOUBLE_EQ(tsdb.increase("t.hist", 0), 20.0);
+  EXPECT_DOUBLE_EQ(tsdb.quantile_over_time("t.hist", 0.50, 0), 10.0);
+  EXPECT_DOUBLE_EQ(tsdb.quantile_over_time("t.hist", 0.95, 0), 100.0);
+  // Trailing 1 tick only sees the (10, 100] batch.
+  EXPECT_DOUBLE_EQ(tsdb.quantile_over_time("t.hist", 0.50, 1), 100.0);
+  // Unknown and non-histogram series report 0.
+  EXPECT_DOUBLE_EQ(tsdb.quantile_over_time("t.nope", 0.5, 0), 0.0);
+  tsdb.sample(scalar_snapshot(1, 1.0), 4);
+  EXPECT_DOUBLE_EQ(tsdb.quantile_over_time("t.counter", 0.5, 0), 0.0);
+}
+
+TEST(Tsdb, RenderIsDeltaDerivedAndHandlesUnknown) {
+  Tsdb tsdb;
+  tsdb.sample(scalar_snapshot(100, 1.0), 1);
+  tsdb.sample(scalar_snapshot(110, 2.0), 2);
+  const std::string text = tsdb.render("t.counter", 0);
+  EXPECT_NE(text.find("== tsdb t.counter =="), std::string::npos);
+  EXPECT_NE(text.find("counter"), std::string::npos);
+  EXPECT_NE(text.find("increase"), std::string::npos);
+  // Counter scorecards must not leak the absolute (registry-warm) total.
+  EXPECT_EQ(text.find("100"), std::string::npos) << text;
+  EXPECT_NE(tsdb.render("t.gauge", 0).find("last_value"), std::string::npos);
+  EXPECT_NE(tsdb.render("t.missing", 5).find("(no such series)"),
+            std::string::npos);
+}
+
+TEST(Alerts, ParseDiagnosticsAreFileAndLineExact) {
+  std::vector<AlertRule> rules;
+  std::string error;
+
+  EXPECT_TRUE(parse_alert_rules(
+      "# comment\n"
+      "\n"
+      "alert hot threshold serve.query_us > 100 for=3\n"
+      "alert quiet absent serve.rounds window=7\n"
+      "alert burny burn serve.protocol_errors >= 0.5 short=5 long=30\n",
+      "rules.txt", &rules, &error))
+      << error;
+  ASSERT_EQ(rules.size(), 3u);
+  EXPECT_EQ(rules[0].kind, AlertKind::kThreshold);
+  EXPECT_EQ(rules[0].for_ticks, 3u);
+  EXPECT_EQ(rules[1].kind, AlertKind::kAbsent);
+  EXPECT_EQ(rules[1].window, 7u);
+  EXPECT_EQ(rules[2].kind, AlertKind::kBurnRate);
+  EXPECT_EQ(rules[2].short_window, 5u);
+  EXPECT_EQ(rules[2].long_window, 30u);
+
+  struct Bad {
+    const char* text;
+    const char* want;  // substring of the diagnostic
+  };
+  const Bad bad[] = {
+      {"watch x threshold y > 1\n", "rules.txt:1: expected 'alert'"},
+      {"alert x threshold y !> 1\n", "rules.txt:1: bad operator"},
+      {"alert x threshold y > nope\n", "rules.txt:1: bad value"},
+      {"alert x threshold y > 1 bogus=2\n", "rules.txt:1: unexpected token"},
+      {"alert x sideways y > 1\n", "rules.txt:1: unknown rule kind"},
+      {"alert x burn y > 1 short=9 long=3\n",
+       "rules.txt:1: burn rule wants short < long"},
+      {"alert x burn y > 1 short=5\n",
+       "rules.txt:1: burn rule needs short"},
+      {"alert a threshold y > 1\nalert a threshold z > 2\n",
+       "rules.txt:2: duplicate rule name"},
+      {"alert x threshold y > 1 for=0\n", "rules.txt:1: bad for="},
+  };
+  for (const Bad& b : bad) {
+    std::vector<AlertRule> out;
+    error.clear();
+    EXPECT_FALSE(parse_alert_rules(b.text, "rules.txt", &out, &error))
+        << b.text;
+    EXPECT_NE(error.find(b.want), std::string::npos)
+        << "text: " << b.text << "\ngot: " << error;
+  }
+}
+
+TEST(Alerts, ThresholdStateMachinePendingFiringResolved) {
+  std::vector<AlertRule> rules;
+  std::string error;
+  ASSERT_TRUE(parse_alert_rules("alert hot threshold t.gauge > 10 for=2\n",
+                                "r", &rules, &error))
+      << error;
+  AlertEngine engine(rules);
+  Tsdb tsdb;
+
+  std::uint64_t tick = 0;
+  auto step = [&](double gauge) {
+    Snapshot s;
+    s.gauges.push_back({"t.gauge", gauge});
+    tsdb.sample(s, ++tick);
+    engine.evaluate(tsdb);
+    return engine.status()[0];
+  };
+
+  EXPECT_EQ(step(5.0).state, AlertState::kInactive);   // baseline
+  EXPECT_EQ(step(20.0).state, AlertState::kPending);   // 1 of for=2
+  EXPECT_EQ(step(20.0).state, AlertState::kFiring);    // 2 of for=2
+  EXPECT_EQ(step(20.0).state, AlertState::kFiring);    // stays firing
+  const auto resolved = step(5.0);                     // condition clears
+  EXPECT_EQ(resolved.state, AlertState::kInactive);
+  EXPECT_EQ(resolved.fired, 1u);
+  EXPECT_EQ(resolved.resolved, 1u);
+
+  // Flapping below for=2 never fires: true, false, true, false...
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(step(20.0).state, AlertState::kPending);
+    EXPECT_EQ(step(5.0).state, AlertState::kInactive);
+  }
+  const AlertEngine::Stats st = engine.stats();
+  EXPECT_EQ(st.fired, 1u);
+  EXPECT_EQ(st.resolved, 1u);
+  EXPECT_EQ(st.evaluations, 11u);
+
+  const std::string text = engine.render();
+  EXPECT_NE(text.find("== alerts =="), std::string::npos);
+  EXPECT_NE(text.find("hot"), std::string::npos);
+  EXPECT_NE(text.find("1 fired"), std::string::npos);
+}
+
+TEST(Alerts, AbsentFiresWhenSeriesStops) {
+  std::vector<AlertRule> rules;
+  std::string error;
+  ASSERT_TRUE(parse_alert_rules("alert gone absent t.counter window=3\n",
+                                "r", &rules, &error))
+      << error;
+  AlertEngine engine(rules);
+  Tsdb tsdb;
+
+  // Unknown series: absent is immediately true.
+  Snapshot empty;
+  tsdb.sample(empty, 1);
+  engine.evaluate(tsdb);
+  EXPECT_EQ(engine.status()[0].state, AlertState::kFiring);
+
+  // Series starts reporting: resolves.
+  for (std::uint64_t t = 2; t <= 4; ++t) {
+    tsdb.sample(scalar_snapshot(t, 0.0), t);
+    engine.evaluate(tsdb);
+  }
+  EXPECT_EQ(engine.status()[0].state, AlertState::kInactive);
+  EXPECT_EQ(engine.status()[0].resolved, 1u);
+
+  // Series goes quiet (sampled snapshots no longer carry it): after the
+  // 3-tick lookback drains, absent fires again.
+  for (std::uint64_t t = 5; t <= 8; ++t) {
+    tsdb.sample(empty, t);
+    engine.evaluate(tsdb);
+  }
+  EXPECT_EQ(engine.status()[0].state, AlertState::kFiring);
+  EXPECT_EQ(engine.status()[0].fired, 2u);
+}
+
+TEST(Alerts, BurnRateNeedsBothWindowsHot) {
+  std::vector<AlertRule> rules;
+  std::string error;
+  ASSERT_TRUE(parse_alert_rules(
+      "alert burny burn t.counter >= 1 short=2 long=6\n", "r", &rules,
+      &error))
+      << error;
+  AlertEngine engine(rules);
+  Tsdb tsdb;
+
+  std::uint64_t tick = 0;
+  std::uint64_t total = 0;
+  auto step = [&](std::uint64_t add) {
+    total += add;
+    tsdb.sample(scalar_snapshot(total, 0.0), ++tick);
+    engine.evaluate(tsdb);
+    return engine.status()[0].state;
+  };
+
+  // Baseline plus a quiet warm-up so the long window covers real history.
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(step(0), AlertState::kInactive);
+  // A 2-tick blip heats the short window only: must not fire.
+  EXPECT_EQ(step(2), AlertState::kInactive);
+  EXPECT_EQ(step(2), AlertState::kInactive);
+  EXPECT_EQ(step(0), AlertState::kInactive);
+  // Sustained errors heat both windows.
+  AlertState last = AlertState::kInactive;
+  for (int i = 0; i < 8; ++i) last = step(3);
+  EXPECT_EQ(last, AlertState::kFiring);
+  EXPECT_EQ(engine.status()[0].fired, 1u);
+  // Recovery cools the short window first; the rule resolves.
+  for (int i = 0; i < 8; ++i) last = step(0);
+  EXPECT_EQ(last, AlertState::kInactive);
+  EXPECT_EQ(engine.status()[0].resolved, 1u);
+}
+
+}  // namespace
+}  // namespace wmesh::obs

@@ -39,6 +39,7 @@
 #include "obs/log.h"
 #include "obs/report.h"
 #include "obs/span.h"
+#include "obs/tsdb.h"
 #include "par/thread_pool.h"
 #include "serve/service.h"
 #include "sim/generator.h"
@@ -65,7 +66,7 @@ void print_help() {
       "%s\n"
       "stages: gen, csv_save, csv_load, wsnap_save, wsnap_load, etx, exor,\n"
       "        anypath, lookup, hidden, mobility, dijkstra_sparse,\n"
-      "        dijkstra_dense, serve_ingest\n"
+      "        dijkstra_dense, serve_ingest, tsdb_retention\n"
       "\n"
       "flags:\n"
       "  --suite=S        quick (small dataset, default) or full (paper-\n"
@@ -239,6 +240,46 @@ std::vector<obs::BenchStage> make_stages(const GeneratorConfig& config,
     for (int i = 0; i < kServeIngestRounds; ++i) {
       if (!service.tick())
         throw std::runtime_error("serve_ingest: stream exhausted");
+    }
+  }});
+  // Per-tick TSDB sampling overhead at full retention: a synthetic
+  // registry-shaped snapshot (scalar families plus bucketed histograms)
+  // sampled far past the default ring capacity, so most ticks pay the
+  // wraparound/eviction path wmesh_serve pays in steady state.
+  stages.push_back({"tsdb_retention", [] {
+    constexpr std::size_t kScalars = 8;
+    constexpr std::size_t kBounds = 12;
+    constexpr std::uint64_t kTicks = 1024;
+    obs::Tsdb tsdb;  // default capacity: 360 points per series
+    obs::Snapshot snap;
+    for (std::size_t i = 0; i < kScalars; ++i) {
+      snap.counters.push_back({"bench.ctr" + std::to_string(i), 0});
+      snap.gauges.push_back({"bench.gauge" + std::to_string(i), 0.0});
+    }
+    obs::Snapshot::HistogramRow hist;
+    hist.name = "bench.hist_us";
+    for (std::size_t b = 0; b < kBounds; ++b) {
+      hist.bounds.push_back(static_cast<double>(1 << b));
+      hist.cumulative.push_back(0);
+    }
+    hist.count = 0;
+    hist.sum = 0.0;
+    snap.histograms.push_back(hist);
+    for (std::uint64_t tick = 1; tick <= kTicks; ++tick) {
+      for (std::size_t i = 0; i < kScalars; ++i) {
+        snap.counters[i].value += tick % (i + 2);
+        snap.gauges[i].value = static_cast<double>((tick * 7 + i) % 97);
+      }
+      auto& h = snap.histograms[0];
+      for (std::size_t b = tick % kBounds; b < kBounds; ++b) {
+        h.cumulative[b] += 1;
+      }
+      h.count += 1;
+      h.sum += static_cast<double>(tick % 100);
+      tsdb.sample(snap, tick);
+    }
+    if (tsdb.stats().evictions == 0) {
+      throw std::runtime_error("tsdb_retention: no evictions recorded");
     }
   }});
   return stages;

@@ -31,6 +31,10 @@
 //   --tick-ms=N          wall pause between rounds (default 0: free-run)
 //   --threads=N          wmesh::par pool size; responses are byte-identical
 //                        for every N
+//   --alerts=FILE        load alert rules (obs/alerts.h grammar); a parse
+//                        error prints the file:line diagnostic and exits 2
+//   --tsdb-points=N      time-series ring capacity per metric family
+//                        (default 360 points = 4 h of 40 s rounds)
 //   --metrics[=path], --report[=path.json], --version, --help: as in every
 //   wmesh_* tool.
 //
@@ -38,10 +42,13 @@
 // ending keeps it alive, serving the final window).
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "cli_common.h"
+#include "obs/alerts.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -58,7 +65,8 @@ const char* const kUsage =
     "usage: wmesh_serve --listen=ADDR [--metrics-listen=ADDR]\n"
     "                   [--config=small|default|paper] [--seed=N]\n"
     "                   [--duration=S] [--window=N] [--rounds=N]\n"
-    "                   [--tick-ms=N] [--threads=N] [--metrics[=path]]\n"
+    "                   [--tick-ms=N] [--threads=N] [--alerts=FILE]\n"
+    "                   [--tsdb-points=N] [--metrics[=path]]\n"
     "                   [--report[=path.json]] [--version]\n"
     "       wmesh_serve --help\n";
 
@@ -137,6 +145,27 @@ int main(int argc, char** argv) {
       const auto v = env::parse_u64(arg.substr(std::strlen("--threads=")));
       if (!v || *v == 0) return usage_error("--threads: not a positive integer");
       par::set_default_threads(static_cast<std::size_t>(*v));
+    } else if (arg.rfind("--alerts=", 0) == 0) {
+      const std::string path = arg.substr(std::strlen("--alerts="));
+      std::ifstream in_file(path);
+      if (!in_file) return usage_error("--alerts: cannot read '" + path + "'");
+      std::ostringstream text;
+      text << in_file.rdbuf();
+      std::string parse_error;
+      if (!obs::parse_alert_rules(text.str(), path,
+                                  &options.service.alerts, &parse_error)) {
+        WMESH_LOG_ERROR("cli", kv("tool", "wmesh_serve"),
+                        kv("error", parse_error));
+        std::fprintf(stderr, "wmesh_serve: %s\n", parse_error.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--tsdb-points=", 0) == 0) {
+      const auto v =
+          env::parse_u64(arg.substr(std::strlen("--tsdb-points=")));
+      if (!v || *v == 0) {
+        return usage_error("--tsdb-points: not a positive integer");
+      }
+      options.service.tsdb.points_per_series = static_cast<std::size_t>(*v);
     } else {
       return usage_error("unknown flag '" + arg + "'");
     }

@@ -7,19 +7,25 @@
 // strict parser the tests lint with, and renders:
 //
 //   - the top spans by self-time (exclusive of children), with counts,
-//     totals and the dominant parent span -- the causal hot list;
+//     totals, the dominant parent span and a sparkline of the self-time
+//     spent between recent polls -- the causal hot list plus its trend;
 //   - cache hit rates (every "*.cache.{hits,misses}" counter pair);
+//   - an ALERTS pane whenever the endpoint exposes wmesh_alert_state
+//     gauges (wmesh_serve --alerts), pending/FIRING rules first;
 //   - thread-pool occupancy (threads, regions, tasks, queue depth);
 //   - process RSS (live and peak) from the resource sampler gauges.
 //
 // Counter-backed rates are per-second deltas between polls.  --once prints
 // a single snapshot without clearing the screen (scripts, tests); with
-// --iterations=N the dashboard exits after N polls (0 = run until killed
-// or the endpoint goes away).
+// --iterations=N the dashboard exits after N polls (0 = run until killed).
+// A failed or malformed scrape mid-session exits 1 with a single
+// poll-numbered diagnostic on stderr (and counts top.scrape_errors), so a
+// daemon shutting down under the dashboard never strands it.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <map>
 #include <string>
 #include <string_view>
@@ -27,6 +33,7 @@
 #include <vector>
 
 #include "obs/export_server.h"
+#include "obs/metrics.h"
 #include "obs/openmetrics.h"
 #include "util/env.h"
 #include "util/text_table.h"
@@ -99,6 +106,61 @@ double sample_or(const OmDocument& doc, const char* name, double fallback) {
   return s != nullptr ? s->value : fallback;
 }
 
+// Self-time history per span across polls; the trend column renders the
+// per-poll deltas as a sparkline scaled to the busiest poll in view.
+constexpr std::size_t kTrendPolls = 9;  // 8 deltas
+using TrendHistory = std::map<std::string, std::deque<double>>;
+
+std::string sparkline(const std::deque<double>& history) {
+  static const char* const kBlocks[] = {"▁", "▂", "▃",
+                                        "▄", "▅", "▆",
+                                        "▇", "█"};
+  if (history.size() < 2) return "";
+  std::vector<double> deltas;
+  deltas.reserve(history.size() - 1);
+  double peak = 0.0;
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    const double d = std::max(0.0, history[i] - history[i - 1]);
+    deltas.push_back(d);
+    peak = std::max(peak, d);
+  }
+  std::string out;
+  for (double d : deltas) {
+    const auto level =
+        peak > 0 ? static_cast<std::size_t>(d / peak * 7.0 + 0.5) : 0;
+    out += kBlocks[std::min<std::size_t>(level, 7)];
+  }
+  return out;
+}
+
+// Alert-state rows (wmesh_alert_state{alert="..."}: 0 inactive, 1 pending,
+// 2 firing); active alerts sort first, then by name.
+void render_alerts(const OmDocument& doc) {
+  std::vector<std::pair<std::string, int>> alerts;
+  for (const OmSample& s : doc.samples) {
+    if (s.name != "wmesh_alert_state") continue;
+    const std::string name = s.label("alert");
+    if (name.empty()) continue;
+    alerts.emplace_back(name, static_cast<int>(s.value));
+  }
+  if (alerts.empty()) return;
+  std::sort(alerts.begin(), alerts.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  TextTable t;
+  t.header({"alert", "state"});
+  std::size_t firing = 0;
+  for (const auto& [name, state] : alerts) {
+    const char* label = state >= 2 ? "FIRING" : state == 1 ? "pending"
+                                                           : "inactive";
+    if (state >= 2) ++firing;
+    t.add_row({name, label});
+  }
+  std::printf("\n-- alerts (%zu firing / %zu rules) --\n%s", firing,
+              alerts.size(), t.render().c_str());
+}
+
 std::string fmt_ms(double us) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.1f", us / 1000.0);
@@ -112,16 +174,25 @@ std::string fmt_mib(double bytes) {
 }
 
 // One rendered frame.  `prev` (when non-null) supplies counter deltas for
-// per-second rates over `dt_s`.
-void render(const OmDocument& doc, const OmDocument* prev, double dt_s) {
+// per-second rates over `dt_s`; `trend` accumulates self-time history for
+// the sparkline column.
+void render(const OmDocument& doc, const OmDocument* prev, double dt_s,
+            TrendHistory* trend) {
   const std::vector<SpanView> spans = collect_spans(doc);
+  for (const SpanView& v : spans) {
+    std::deque<double>& h = (*trend)[v.name];
+    h.push_back(v.self_us);
+    while (h.size() > kTrendPolls) h.pop_front();
+  }
   TextTable t;
-  t.header({"span", "count", "total ms", "self ms", "p99 ms", "top parent"});
+  t.header({"span", "count", "total ms", "self ms", "p99 ms", "trend",
+            "top parent"});
   std::size_t shown = 0;
   for (const SpanView& v : spans) {
     if (++shown > 12) break;  // top spans by self-time
     t.add_row({v.name, fmt(v.count, 0), fmt_ms(v.total_us),
-               fmt_ms(v.self_us), fmt_ms(v.p99_us), v.top_parent});
+               fmt_ms(v.self_us), fmt_ms(v.p99_us), sparkline((*trend)[v.name]),
+               v.top_parent});
   }
   if (shown != 0) {
     std::printf("-- top spans by self-time --\n%s", t.render().c_str());
@@ -153,6 +224,8 @@ void render(const OmDocument& doc, const OmDocument* prev, double dt_s) {
   if (cache_rows != 0) {
     std::printf("\n-- caches --\n%s", caches.render().c_str());
   }
+
+  render_alerts(doc);
 
   const double threads = sample_or(doc, "wmesh_par_pool_threads", 0);
   const double depth = sample_or(doc, "wmesh_par_pool_queue_depth", 0);
@@ -227,6 +300,7 @@ int main(int argc, char** argv) {
 
   OmDocument prev;
   bool have_prev = false;
+  TrendHistory trend;
   auto prev_time = std::chrono::steady_clock::now();
   for (std::uint64_t n = 0; iterations == 0 || n < iterations; ++n) {
     if (n != 0) {
@@ -234,12 +308,20 @@ int main(int argc, char** argv) {
     }
     std::string body, error;
     if (!obs::scrape_openmetrics_once(address, &body, &error)) {
-      std::fprintf(stderr, "wmesh_top: %s\n", error.c_str());
+      WMESH_COUNTER_INC("top.scrape_errors");
+      std::fprintf(stderr,
+                   "wmesh_top: poll %llu: scrape of %s failed: %s\n",
+                   static_cast<unsigned long long>(n + 1), address.c_str(),
+                   error.c_str());
       return 1;
     }
     OmDocument doc;
     if (!obs::parse_openmetrics(body, &doc, &error)) {
-      std::fprintf(stderr, "wmesh_top: bad exposition: %s\n", error.c_str());
+      WMESH_COUNTER_INC("top.scrape_errors");
+      std::fprintf(stderr,
+                   "wmesh_top: poll %llu: malformed exposition from %s: %s\n",
+                   static_cast<unsigned long long>(n + 1), address.c_str(),
+                   error.c_str());
       return 1;
     }
     const auto now = std::chrono::steady_clock::now();
@@ -250,7 +332,7 @@ int main(int argc, char** argv) {
       std::printf("wmesh_top  %s  (interval %llums)\n\n", address.c_str(),
                   static_cast<unsigned long long>(interval_ms));
     }
-    render(doc, have_prev ? &prev : nullptr, dt_s);
+    render(doc, have_prev ? &prev : nullptr, dt_s, &trend);
     std::fflush(stdout);
     prev = std::move(doc);
     have_prev = true;
