@@ -31,21 +31,6 @@ void appendf(std::string& out, const char* fmt_str, ...) {
                                       sizeof(buf) - 1));
 }
 
-// Sum of pair costs (us) and the pair count they cover.
-struct CostSums {
-  std::size_t pairs = 0;
-  double etx_us = 0.0;
-  double exor_us = 0.0;
-  double any_us = 0.0;
-
-  void operator+=(const CostSums& o) {
-    pairs += o.pairs;
-    etx_us += o.etx_us;
-    exor_us += o.exor_us;
-    any_us += o.any_us;
-  }
-};
-
 constexpr std::array<const char*, 4> kSizeLabels = {"5-9", "10-19", "20-39",
                                                     "40+"};
 
@@ -56,48 +41,9 @@ std::size_t size_bucket(std::size_t ap_count) {
   return 3;
 }
 
-// One network's (or the whole study's) accumulated comparison.  Doubles are
-// summed network-by-network in index order (the parallel_map_reduce fold),
-// so totals are byte-identical for any thread count.
-struct Study {
-  std::vector<CostSums> per_rate;  // empty until the first network lands
-  struct SizeRow {
-    std::size_t networks = 0;
-    CostSums sums;  // base-rate pairs only
-  };
-  std::array<SizeRow, 4> per_size;
-  // ETX2-vs-ETX1 anypath over pairs reachable under both ACK models.
-  std::size_t ack_pairs = 0;
-  double ack1_us = 0.0;
-  double ack2_us = 0.0;
-  // Optimal first-hop rate histogram over all reachable (src, dst) pairs.
-  std::vector<std::uint64_t> rate_hist;
-  std::size_t reachable_pairs = 0;
-};
-
-void merge(Study& acc, Study&& v) {
-  if (acc.per_rate.empty()) {
-    acc.per_rate = std::move(v.per_rate);
-    acc.rate_hist = std::move(v.rate_hist);
-  } else if (!v.per_rate.empty()) {
-    for (std::size_t r = 0; r < acc.per_rate.size(); ++r) {
-      acc.per_rate[r] += v.per_rate[r];
-      acc.rate_hist[r] += v.rate_hist[r];
-    }
-  }
-  for (std::size_t b = 0; b < acc.per_size.size(); ++b) {
-    acc.per_size[b].networks += v.per_size[b].networks;
-    acc.per_size[b].sums += v.per_size[b].sums;
-  }
-  acc.ack_pairs += v.ack_pairs;
-  acc.ack1_us += v.ack1_us;
-  acc.ack2_us += v.ack2_us;
-  acc.reachable_pairs += v.reachable_pairs;
-}
-
-Study study_network(AnalysisCache& cache, const NetworkTrace& nt) {
+AnypathStudy study_network(AnalysisCache& cache, const NetworkTrace& nt) {
   using anypath::AnypathField;
-  Study s;
+  AnypathStudy s;
   const std::size_t n = nt.ap_count;
   const auto& ag1 = cache.anypath_graph(nt, EtxVariant::kEtx1);
   const auto& ag2 = cache.anypath_graph(nt, EtxVariant::kEtx2);
@@ -122,9 +68,9 @@ Study study_network(AnalysisCache& cache, const NetworkTrace& nt) {
                    std::make_move_iterator(v.end()));
       });
 
-  s.per_rate.assign(rate_n, CostSums{});
+  s.per_rate.assign(rate_n, AnypathCostSums{});
   s.rate_hist.assign(rate_n, 0);
-  Study::SizeRow& size_row = s.per_size[size_bucket(n)];
+  AnypathStudy::SizeRow& size_row = s.per_size[size_bucket(n)];
   size_row.networks = 1;
 
   // Fixed-rate ETX/ExOR pairs per rate, joined with the multirate anypath
@@ -135,7 +81,7 @@ Study study_network(AnalysisCache& cache, const NetworkTrace& nt) {
     const double air = ag1.airtime_us(static_cast<RateIndex>(r));
     for (const PairGain& pg : opportunistic_gains(
              cache, nt, static_cast<RateIndex>(r), EtxVariant::kEtx1)) {
-      CostSums one;
+      AnypathCostSums one;
       one.pairs = 1;
       one.etx_us = pg.etx_cost * air;
       one.exor_us = pg.exor_cost * air;
@@ -163,25 +109,55 @@ Study study_network(AnalysisCache& cache, const NetworkTrace& nt) {
 
 }  // namespace
 
-std::string report_anypath(const Dataset& ds) {
-  AnalysisCache cache;
-  return report_anypath(ds, cache);
+void merge_anypath_study(AnypathStudy& acc, AnypathStudy&& v) {
+  if (acc.per_rate.empty()) {
+    acc.per_rate = std::move(v.per_rate);
+    acc.rate_hist = std::move(v.rate_hist);
+  } else if (!v.per_rate.empty()) {
+    for (std::size_t r = 0; r < acc.per_rate.size(); ++r) {
+      acc.per_rate[r] += v.per_rate[r];
+      acc.rate_hist[r] += v.rate_hist[r];
+    }
+  }
+  for (std::size_t b = 0; b < acc.per_size.size(); ++b) {
+    acc.per_size[b].networks += v.per_size[b].networks;
+    acc.per_size[b].sums += v.per_size[b].sums;
+  }
+  acc.ack_pairs += v.ack_pairs;
+  acc.ack1_us += v.ack1_us;
+  acc.ack2_us += v.ack2_us;
+  acc.reachable_pairs += v.reachable_pairs;
 }
 
-std::string report_anypath(const Dataset& ds, AnalysisCache& cache) {
-  WMESH_SPAN("anypath.report");
+std::vector<AnypathStudy> collect_anypath(const Dataset& ds,
+                                          AnalysisCache& cache) {
   // One network per task, like the routing report; per-network studies
-  // merge in network order.
-  Study total = par::parallel_map_reduce(
-      ds.networks.size(), Study{},
+  // concatenate in network order (render folds them serially, so the
+  // double sums group identically for any thread count or shard split).
+  return par::parallel_map_reduce(
+      ds.networks.size(), std::vector<AnypathStudy>{},
       [&](std::size_t i) {
+        std::vector<AnypathStudy> one;
         const auto& nt = ds.networks[i];
-        if (nt.info.standard != Standard::kBg || nt.ap_count < 5) {
-          return Study{};
+        if (nt.info.standard == Standard::kBg && nt.ap_count >= 5) {
+          one.push_back(study_network(cache, nt));
         }
-        return study_network(cache, nt);
+        return one;
       },
-      merge);
+      [](std::vector<AnypathStudy>& acc, std::vector<AnypathStudy>&& v) {
+        acc.insert(acc.end(), std::make_move_iterator(v.begin()),
+                   std::make_move_iterator(v.end()));
+      });
+}
+
+std::string render_anypath(const std::vector<AnypathStudy>& studies) {
+  // Flat left fold in network order: the same arithmetic the monolithic
+  // parallel_map_reduce (grain 1) performed, and invariant under shard
+  // concatenation.
+  AnypathStudy total;
+  for (const AnypathStudy& s : studies) {
+    merge_anypath_study(total, AnypathStudy(s));
+  }
 
   std::string out;
   if (total.per_rate.empty() || total.reachable_pairs == 0) {
@@ -194,7 +170,7 @@ std::string report_anypath(const Dataset& ds, AnalysisCache& cache) {
   by_rate.header({"rate", "pairs", "etx ms", "exor ms", "anypath ms",
                   "vs etx"});
   for (std::size_t r = 0; r < total.per_rate.size(); ++r) {
-    const CostSums& c = total.per_rate[r];
+    const AnypathCostSums& c = total.per_rate[r];
     if (c.pairs == 0) continue;
     const double pairs = static_cast<double>(c.pairs);
     by_rate.add_row(
@@ -210,7 +186,7 @@ std::string report_anypath(const Dataset& ds, AnalysisCache& cache) {
   by_size.header({"aps", "networks", "pairs", "etx ms", "exor ms",
                   "anypath ms"});
   for (std::size_t b = 0; b < total.per_size.size(); ++b) {
-    const Study::SizeRow& row = total.per_size[b];
+    const AnypathStudy::SizeRow& row = total.per_size[b];
     if (row.networks == 0 || row.sums.pairs == 0) continue;
     const double pairs = static_cast<double>(row.sums.pairs);
     by_size.add_row({kSizeLabels[b], std::to_string(row.networks),
@@ -240,6 +216,16 @@ std::string report_anypath(const Dataset& ds, AnalysisCache& cache) {
   }
   appendf(out, " (%zu reachable pairs)\n", total.reachable_pairs);
   return out;
+}
+
+std::string report_anypath(const Dataset& ds) {
+  AnalysisCache cache;
+  return report_anypath(ds, cache);
+}
+
+std::string report_anypath(const Dataset& ds, AnalysisCache& cache) {
+  WMESH_SPAN("anypath.report");
+  return render_anypath(collect_anypath(ds, cache));
 }
 
 }  // namespace wmesh

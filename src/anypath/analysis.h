@@ -16,7 +16,10 @@
 // property wall in tests/test_routing_properties.cc pins both.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "trace/records.h"
 
@@ -30,5 +33,54 @@ class AnalysisCache;
 // matrices and anypath graphs; output is identical either way.
 std::string report_anypath(const Dataset& ds);
 std::string report_anypath(const Dataset& ds, AnalysisCache& cache);
+
+// Sum of pair costs (us) and the pair count they cover.
+struct AnypathCostSums {
+  std::size_t pairs = 0;
+  double etx_us = 0.0;
+  double exor_us = 0.0;
+  double any_us = 0.0;
+
+  void operator+=(const AnypathCostSums& o) {
+    pairs += o.pairs;
+    etx_us += o.etx_us;
+    exor_us += o.exor_us;
+    any_us += o.any_us;
+  }
+};
+
+// One qualifying network's accumulated three-way comparison -- the
+// mergeable partial behind report_anypath.  The study's double sums are the
+// one report quantity that is *not* grouping-invariant (floating-point
+// addition does not associate), so the out-of-core path keeps per-network
+// studies as an ordered list and render_anypath folds them serially, left
+// to right: a flat fold over [network 0, network 1, ...] is the same
+// arithmetic whether the list was collected monolithically or concatenated
+// shard by shard.
+struct AnypathStudy {
+  std::vector<AnypathCostSums> per_rate;  // one per probed b/g rate
+  struct SizeRow {
+    std::size_t networks = 0;
+    AnypathCostSums sums;  // base-rate pairs only
+  };
+  std::array<SizeRow, 4> per_size;
+  // ETX2-vs-ETX1 anypath over pairs reachable under both ACK models.
+  std::size_t ack_pairs = 0;
+  double ack1_us = 0.0;
+  double ack2_us = 0.0;
+  // Optimal first-hop rate histogram over all reachable (src, dst) pairs.
+  std::vector<std::uint64_t> rate_hist;
+  std::size_t reachable_pairs = 0;
+};
+
+void merge_anypath_study(AnypathStudy& acc, AnypathStudy&& v);
+
+// One study per >=5-AP b/g network, in network order (non-qualifying
+// networks contribute no entry).
+std::vector<AnypathStudy> collect_anypath(const Dataset& ds,
+                                          AnalysisCache& cache);
+
+// The exact report_anypath text from an ordered study list.
+std::string render_anypath(const std::vector<AnypathStudy>& studies);
 
 }  // namespace wmesh

@@ -121,18 +121,20 @@ const anypath::AnypathGraph& AnalysisCache::anypath_graph(
   return *slot->value;
 }
 
-std::size_t AnalysisCache::invalidate(const NetworkTrace* nt) {
-  std::size_t dropped = 0;
+AnalysisCache::Evicted AnalysisCache::invalidate(const NetworkTrace* nt) {
+  Evicted ev;
   std::size_t total_bytes, total_entries;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto drop = [&](auto& map, auto key_matches) {
       for (auto it = map.begin(); it != map.end();) {
         if (key_matches(it->first)) {
-          ++dropped;
+          ++ev.entries;
           // Uncomputed slots (created, call_once pending) were never
           // counted by add_bytes; only refund what was charged.
           if (it->second->value) {
+            ++ev.computed;
+            ev.bytes += it->second->bytes;
             stats_.bytes -= it->second->bytes;
             --stats_.entries;
           }
@@ -151,8 +153,8 @@ std::size_t AnalysisCache::invalidate(const NetworkTrace* nt) {
   }
   WMESH_GAUGE_SET("cache.bytes", total_bytes);
   WMESH_GAUGE_SET("cache.entries", total_entries);
-  if (dropped > 0) WMESH_COUNTER_ADD("cache.invalidations", dropped);
-  return dropped;
+  if (ev.entries > 0) WMESH_COUNTER_ADD("cache.invalidations", ev.entries);
+  return ev;
 }
 
 AnalysisCache::Stats AnalysisCache::stats() const {

@@ -76,14 +76,24 @@ class AnalysisCache {
   };
   Stats stats() const;
 
+  // What one invalidate() call dropped, so callers (the serve window
+  // advance, the fleet shard-drop path and their tests) can assert that
+  // eviction actually happened and account for the reclaimed payload.
+  struct Evicted {
+    std::size_t entries = 0;   // slots dropped, computed or still pending
+    std::size_t computed = 0;  // slots that held a value (bytes refunded)
+    std::size_t bytes = 0;     // payload bytes refunded
+  };
+
   // Drops every entry keyed by `nt` (success matrices, all-rate vectors and
-  // ETX graphs alike) and returns how many slots died; byte/entry stats and
-  // the cache.* gauges shrink accordingly.  This is the streaming hook: when
-  // a live window advances for one network, wmesh_serve invalidates just
-  // that network and every other network's entries stay warm.  Like clear(),
-  // must not race readers of the invalidated network -- callers serialize
-  // window advances against queries.
-  std::size_t invalidate(const NetworkTrace* nt);
+  // ETX graphs alike) and reports what died; byte/entry stats and the
+  // cache.* gauges shrink accordingly.  This is the streaming hook: when a
+  // live window advances for one network, wmesh_serve invalidates just
+  // that network and every other network's entries stay warm -- and the
+  // fleet analyzer evicts a whole shard's entries before dropping its
+  // Dataset.  Like clear(), must not race readers of the invalidated
+  // network -- callers serialize window advances against queries.
+  Evicted invalidate(const NetworkTrace* nt);
 
   // Drops every entry (references die); stats reset to zero.
   void clear();

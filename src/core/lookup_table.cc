@@ -164,20 +164,15 @@ RatesNeededCurve rates_needed_curve(const SnrLookupTable& table,
   return out;
 }
 
-TableErrorResult lookup_table_errors(const Dataset& ds, Standard standard,
-                                     TableScope scope) {
-  WMESH_SPAN("lookup.errors");
-  const SnrLookupTable table = build_lookup_table(ds, standard, scope);
+TableEvalPartial eval_lookup_table(const Dataset& ds, Standard standard,
+                                   TableScope scope,
+                                   const SnrLookupTable& table) {
   // Evaluation reads the finished table; one network per task, per-network
   // diffs concatenated in network order (the for_each_probe_set order).
-  struct Partial {
-    std::vector<double> diffs;
-    std::size_t exact = 0;
-  };
-  Partial all = par::parallel_map_reduce(
-      ds.networks.size(), Partial{},
+  return par::parallel_map_reduce(
+      ds.networks.size(), TableEvalPartial{},
       [&](std::size_t i) {
-        Partial p;
+        TableEvalPartial p;
         const auto& nt = ds.networks[i];
         if (nt.info.standard != standard) return p;
         for (const auto& set : nt.probe_sets) {
@@ -196,10 +191,17 @@ TableErrorResult lookup_table_errors(const Dataset& ds, Standard standard,
         }
         return p;
       },
-      [](Partial& acc, Partial&& v) {
+      [](TableEvalPartial& acc, TableEvalPartial&& v) {
         acc.diffs.insert(acc.diffs.end(), v.diffs.begin(), v.diffs.end());
         acc.exact += v.exact;
       });
+}
+
+TableErrorResult lookup_table_errors(const Dataset& ds, Standard standard,
+                                     TableScope scope) {
+  WMESH_SPAN("lookup.errors");
+  const SnrLookupTable table = build_lookup_table(ds, standard, scope);
+  TableEvalPartial all = eval_lookup_table(ds, standard, scope, table);
   TableErrorResult out;
   out.throughput_diff_mbps = std::move(all.diffs);
   if (!out.throughput_diff_mbps.empty()) {

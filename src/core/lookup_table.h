@@ -100,4 +100,19 @@ struct TableErrorResult {
 TableErrorResult lookup_table_errors(const Dataset& ds, Standard standard,
                                      TableScope scope);
 
+// The mergeable half of lookup_table_errors: evaluates `ds` against a
+// prebuilt `table` (which must have the same standard and scope).  Diffs
+// concatenate in network order and `exact` is an integer sum, so partials
+// evaluated per shard against a fleet-wide (or, for the network/ap/link
+// scopes, shard-local -- scope keys embed the network id, so the cells a
+// shard queries are the same either way) table concatenate into exactly the
+// monolithic evaluation.
+struct TableEvalPartial {
+  std::vector<double> diffs;  // optimal minus table-choice throughput
+  std::size_t exact = 0;      // sets where the table choice was optimal
+};
+TableEvalPartial eval_lookup_table(const Dataset& ds, Standard standard,
+                                   TableScope scope,
+                                   const SnrLookupTable& table);
+
 }  // namespace wmesh

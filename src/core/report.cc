@@ -10,6 +10,7 @@
 #include "core/hidden.h"
 #include "core/lookup_table.h"
 #include "core/mobility.h"
+#include "core/report_partials.h"
 #include "core/snr_stats.h"
 #include "core/traffic.h"
 #include "obs/span.h"
@@ -35,77 +36,55 @@ void appendf(std::string& out, const char* fmt_str, ...) {
                                       sizeof(buf) - 1));
 }
 
-}  // namespace
+constexpr std::array<Standard, 2> kStandards = {Standard::kBg, Standard::kN};
+constexpr std::array<TableScope, 4> kScopes = {
+    TableScope::kGlobal, TableScope::kNetwork, TableScope::kAp,
+    TableScope::kLink};
+constexpr std::array<EtxVariant, 2> kVariants = {EtxVariant::kEtx1,
+                                                EtxVariant::kEtx2};
 
-std::string report_snr(const Dataset& ds) {
+std::string render_snr(const ReportPartials& p) {
   std::string out;
-  for (const Standard std : {Standard::kBg, Standard::kN}) {
-    const auto dev = snr_deviations(ds, std);
+  for (std::size_t si = 0; si < kStandards.size(); ++si) {
+    const SnrDeviations& dev = p.snr[si];
     if (dev.per_probe_set.empty()) continue;
     const Cdf sets(dev.per_probe_set);
     appendf(out,
             "%s: probe-set sigma median %.2f dB (<5 dB: %.1f%%), link "
             "median %.2f, network median %.2f\n",
-            std::string(to_string(std)).c_str(), sets.median(),
+            std::string(to_string(kStandards[si])).c_str(), sets.median(),
             100.0 * sets.fraction_at_or_below(5.0), median(dev.per_link),
             median(dev.per_network));
   }
   return out;
 }
 
-std::string report_lookup(const Dataset& ds) {
+std::string render_lookup(const ReportPartials& p) {
   TextTable t;
   t.header({"standard", "scope", "exact", "mean loss (Mbit/s)"});
-  for (const Standard std : {Standard::kBg, Standard::kN}) {
-    for (const TableScope scope :
-         {TableScope::kGlobal, TableScope::kNetwork, TableScope::kAp,
-          TableScope::kLink}) {
-      const auto err = lookup_table_errors(ds, std, scope);
-      if (err.throughput_diff_mbps.empty()) continue;
-      t.add_row({std::string(to_string(std)), to_string(scope),
-                 fmt(100.0 * err.exact_fraction, 1) + "%",
-                 fmt(mean(err.throughput_diff_mbps), 3)});
+  for (std::size_t si = 0; si < kStandards.size(); ++si) {
+    for (std::size_t sc = 0; sc < kScopes.size(); ++sc) {
+      const TableEvalPartial& err = p.lookup[si][sc];
+      if (err.diffs.empty()) continue;
+      const double exact_fraction = static_cast<double>(err.exact) /
+                                    static_cast<double>(err.diffs.size());
+      t.add_row({std::string(to_string(kStandards[si])),
+                 to_string(kScopes[sc]), fmt(100.0 * exact_fraction, 1) + "%",
+                 fmt(mean(err.diffs), 3)});
     }
   }
   return t.render();
 }
 
-std::string report_routing(const Dataset& ds) {
-  AnalysisCache cache;
-  return report_routing(ds, cache);
-}
-
-std::string report_routing(const Dataset& ds, AnalysisCache& cache) {
+std::string render_routing(const ReportPartials& p) {
   std::string out;
-  for (const EtxVariant v : {EtxVariant::kEtx1, EtxVariant::kEtx2}) {
-    // One network per task (the paper's 110-network study is embarrassingly
-    // parallel); per-network gains concatenate in network order, so the
-    // summary below is byte-identical for any thread count.
-    struct Gains {
-      std::vector<double> imps;
-      std::size_t none = 0;
-    };
-    const Gains all = par::parallel_map_reduce(
-        ds.networks.size(), Gains{},
-        [&](std::size_t i) {
-          Gains g;
-          const auto& nt = ds.networks[i];
-          if (nt.info.standard != Standard::kBg || nt.ap_count < 5) return g;
-          for (const auto& pg : opportunistic_gains(cache, nt, 0, v)) {
-            g.imps.push_back(pg.improvement());
-            g.none += pg.improvement() < 1e-9 ? 1 : 0;
-          }
-          return g;
-        },
-        [](Gains& acc, Gains&& v2) {
-          acc.imps.insert(acc.imps.end(), v2.imps.begin(), v2.imps.end());
-          acc.none += v2.none;
-        });
+  for (std::size_t vi = 0; vi < kVariants.size(); ++vi) {
+    const ReportPartials::RoutingGains& all = p.routing[vi];
     if (all.imps.empty()) continue;
     appendf(out,
             "%s @1M: mean %.3f median %.3f zero-gain %.1f%% over %zu "
             "pairs\n",
-            to_string(v), mean(all.imps), median(all.imps),
+            to_string(kVariants[vi]), mean(all.imps), median(all.imps),
             100.0 * static_cast<double>(all.none) /
                 static_cast<double>(all.imps.size()),
             all.imps.size());
@@ -113,53 +92,26 @@ std::string report_routing(const Dataset& ds, AnalysisCache& cache) {
   return out;
 }
 
-std::string report_path_lengths(const Dataset& ds) {
-  AnalysisCache cache;
-  return report_path_lengths(ds, cache);
-}
-
-std::string report_path_lengths(const Dataset& ds, AnalysisCache& cache) {
-  // One network per task; per-network hop lists concatenate in network
-  // order.
-  const std::vector<double> lengths = par::parallel_map_reduce(
-      ds.networks.size(), std::vector<double>{},
-      [&](std::size_t i) {
-        std::vector<double> l;
-        const auto& nt = ds.networks[i];
-        if (nt.info.standard != Standard::kBg || nt.ap_count < 5) return l;
-        for (const int h : path_lengths(cache, nt, 0)) {
-          l.push_back(static_cast<double>(h));
-        }
-        return l;
-      },
-      [](std::vector<double>& acc, std::vector<double>&& v) {
-        acc.insert(acc.end(), v.begin(), v.end());
-      });
+std::string render_paths(const ReportPartials& p) {
   std::string out;
-  if (lengths.empty()) {
+  if (p.path_hops.empty()) {
     out = "no connected >=5-AP b/g networks for path lengths\n";
     return out;
   }
   appendf(out,
           "ETX1 @1M paths: %zu pairs, mean %.2f hops, median %.0f, p90 "
           "%.0f\n",
-          lengths.size(), mean(lengths), median(lengths),
-          quantile(lengths, 0.9));
+          p.path_hops.size(), mean(p.path_hops), median(p.path_hops),
+          quantile(p.path_hops, 0.9));
   return out;
 }
 
-std::string report_hidden(const Dataset& ds) {
-  AnalysisCache cache;
-  return report_hidden(ds, cache);
-}
-
-std::string report_hidden(const Dataset& ds, AnalysisCache& cache) {
+std::string render_hidden(const ReportPartials& p) {
   TextTable t;
   t.header({"rate", "networks", "median hidden fraction"});
   const auto rates = probed_rates(Standard::kBg);
-  for (RateIndex r = 0; r < rates.size(); ++r) {
-    const auto stats =
-        hidden_triples_per_network(cache, ds, Standard::kBg, r, 0.10);
+  for (RateIndex r = 0; r < rates.size() && r < p.hidden.size(); ++r) {
+    const HiddenTripleStats& stats = p.hidden[r];
     if (stats.fractions.empty()) continue;
     t.add_row({std::string(rates[r].name),
                std::to_string(stats.fractions.size()),
@@ -168,23 +120,28 @@ std::string report_hidden(const Dataset& ds, AnalysisCache& cache) {
   return t.render();
 }
 
-std::string report_mobility(const Dataset& ds) {
+std::string render_mobility(const ReportPartials& p) {
+  constexpr std::array<Environment, 2> kEnvs = {Environment::kIndoor,
+                                                Environment::kOutdoor};
   std::string out;
-  for (const Environment env : {Environment::kIndoor, Environment::kOutdoor}) {
-    const auto m = analyze_mobility_by_env(ds, env);
+  for (std::size_t ei = 0; ei < kEnvs.size(); ++ei) {
+    const MobilityStats& m = p.mobility[ei];
     if (m.prevalence.empty()) continue;
     appendf(out,
             "%s: prevalence mean/med %.3f/%.3f, persistence mean/med "
             "%.1f/%.1f min, %zu sessions\n",
-            to_string(env).c_str(), mean(m.prevalence), median(m.prevalence),
-            mean(m.persistence_min), median(m.persistence_min),
-            m.aps_visited.size());
+            to_string(kEnvs[ei]).c_str(), mean(m.prevalence),
+            median(m.prevalence), mean(m.persistence_min),
+            median(m.persistence_min), m.aps_visited.size());
   }
   return out;
 }
 
-std::string report_traffic(const Dataset& ds) {
-  const auto t = analyze_traffic(ds);
+std::string render_traffic(const ReportPartials& p) {
+  // Finalize on a copy: the partial stays mergeable (the top-decile AP
+  // share is a global statistic, computable only after the last shard).
+  TrafficStats t = p.traffic;
+  finalize_traffic(t);
   std::string out;
   if (t.packets_per_client.empty()) {
     out = "no client data in snapshot\n";
@@ -201,29 +158,246 @@ std::string report_traffic(const Dataset& ds) {
   return out;
 }
 
+}  // namespace
+
+unsigned report_sections(std::string_view what) {
+  if (what == "snr") return kSectionSnr;
+  if (what == "lookup") return kSectionLookup;
+  if (what == "routing") return kSectionRouting;
+  if (what == "anypath") return kSectionAnypath;
+  if (what == "hidden") return kSectionHidden;
+  if (what == "mobility") return kSectionMobility;
+  if (what == "traffic") return kSectionTraffic;
+  if (what == "etx" || what == "all") return kSectionAll;
+  return 0;
+}
+
+void GlobalLookupTables::add(const Dataset& ds) {
+  bg.merge(build_lookup_table(ds, Standard::kBg, TableScope::kGlobal));
+  n.merge(build_lookup_table(ds, Standard::kN, TableScope::kGlobal));
+}
+
+ReportPartials collect_report(const Dataset& ds, unsigned sections,
+                              const GlobalLookupTables* global,
+                              AnalysisCache& cache) {
+  ReportPartials p;
+  p.sections = sections;
+  if (sections & kSectionSnr) {
+    for (std::size_t si = 0; si < kStandards.size(); ++si) {
+      p.snr[si] = snr_deviations(ds, kStandards[si]);
+    }
+  }
+  if (sections & kSectionLookup) {
+    for (std::size_t si = 0; si < kStandards.size(); ++si) {
+      for (std::size_t sc = 0; sc < kScopes.size(); ++sc) {
+        WMESH_SPAN("lookup.errors");
+        const Standard std_ = kStandards[si];
+        const TableScope scope = kScopes[sc];
+        // The global scope pools every network's observations, so a fleet
+        // shard must evaluate against the fleet-wide table the driver built
+        // in its first pass.  The other scopes key cells by network id, so
+        // a table built from the shard answers the shard's queries exactly
+        // like the fleet-wide one would.
+        if (scope == TableScope::kGlobal && global != nullptr) {
+          const SnrLookupTable& t = si == 0 ? global->bg : global->n;
+          p.lookup[si][sc] = eval_lookup_table(ds, std_, scope, t);
+        } else {
+          const SnrLookupTable t = build_lookup_table(ds, std_, scope);
+          p.lookup[si][sc] = eval_lookup_table(ds, std_, scope, t);
+        }
+      }
+    }
+  }
+  if (sections & kSectionRouting) {
+    for (std::size_t vi = 0; vi < kVariants.size(); ++vi) {
+      const EtxVariant v = kVariants[vi];
+      // One network per task (the paper's 110-network study is
+      // embarrassingly parallel); per-network gains concatenate in network
+      // order, so the summary is byte-identical for any thread count.
+      using Gains = ReportPartials::RoutingGains;
+      p.routing[vi] = par::parallel_map_reduce(
+          ds.networks.size(), Gains{},
+          [&](std::size_t i) {
+            Gains g;
+            const auto& nt = ds.networks[i];
+            if (nt.info.standard != Standard::kBg || nt.ap_count < 5) {
+              return g;
+            }
+            for (const auto& pg : opportunistic_gains(cache, nt, 0, v)) {
+              g.imps.push_back(pg.improvement());
+              g.none += pg.improvement() < 1e-9 ? 1 : 0;
+            }
+            return g;
+          },
+          [](Gains& acc, Gains&& v2) {
+            acc.imps.insert(acc.imps.end(), v2.imps.begin(), v2.imps.end());
+            acc.none += v2.none;
+          });
+    }
+  }
+  if (sections & kSectionPaths) {
+    // One network per task; per-network hop lists concatenate in network
+    // order.
+    p.path_hops = par::parallel_map_reduce(
+        ds.networks.size(), std::vector<double>{},
+        [&](std::size_t i) {
+          std::vector<double> l;
+          const auto& nt = ds.networks[i];
+          if (nt.info.standard != Standard::kBg || nt.ap_count < 5) return l;
+          for (const int h : path_lengths(cache, nt, 0)) {
+            l.push_back(static_cast<double>(h));
+          }
+          return l;
+        },
+        [](std::vector<double>& acc, std::vector<double>&& v) {
+          acc.insert(acc.end(), v.begin(), v.end());
+        });
+  }
+  if (sections & kSectionAnypath) {
+    p.anypath = collect_anypath(ds, cache);
+  }
+  if (sections & kSectionHidden) {
+    const auto rates = probed_rates(Standard::kBg);
+    p.hidden.resize(rates.size());
+    for (RateIndex r = 0; r < rates.size(); ++r) {
+      p.hidden[r] =
+          hidden_triples_per_network(cache, ds, Standard::kBg, r, 0.10);
+    }
+  }
+  if (sections & kSectionMobility) {
+    p.mobility[0] = analyze_mobility_by_env(ds, Environment::kIndoor);
+    p.mobility[1] = analyze_mobility_by_env(ds, Environment::kOutdoor);
+  }
+  if (sections & kSectionTraffic) {
+    p.traffic = collect_traffic(ds);
+  }
+  return p;
+}
+
+void merge_report(ReportPartials& acc, ReportPartials&& next) {
+  acc.sections |= next.sections;
+  for (std::size_t si = 0; si < acc.snr.size(); ++si) {
+    auto append = [](std::vector<double>& dst, std::vector<double>& src) {
+      dst.insert(dst.end(), src.begin(), src.end());
+    };
+    append(acc.snr[si].per_probe_set, next.snr[si].per_probe_set);
+    append(acc.snr[si].per_link, next.snr[si].per_link);
+    append(acc.snr[si].per_network, next.snr[si].per_network);
+    for (std::size_t sc = 0; sc < acc.lookup[si].size(); ++sc) {
+      append(acc.lookup[si][sc].diffs, next.lookup[si][sc].diffs);
+      acc.lookup[si][sc].exact += next.lookup[si][sc].exact;
+    }
+  }
+  for (std::size_t vi = 0; vi < acc.routing.size(); ++vi) {
+    acc.routing[vi].imps.insert(acc.routing[vi].imps.end(),
+                                next.routing[vi].imps.begin(),
+                                next.routing[vi].imps.end());
+    acc.routing[vi].none += next.routing[vi].none;
+  }
+  acc.path_hops.insert(acc.path_hops.end(), next.path_hops.begin(),
+                       next.path_hops.end());
+  acc.anypath.insert(acc.anypath.end(),
+                     std::make_move_iterator(next.anypath.begin()),
+                     std::make_move_iterator(next.anypath.end()));
+  if (acc.hidden.size() < next.hidden.size()) {
+    acc.hidden.resize(next.hidden.size());
+  }
+  for (std::size_t r = 0; r < next.hidden.size(); ++r) {
+    acc.hidden[r].fractions.insert(acc.hidden[r].fractions.end(),
+                                   next.hidden[r].fractions.begin(),
+                                   next.hidden[r].fractions.end());
+    acc.hidden[r].networks_with_triples +=
+        next.hidden[r].networks_with_triples;
+  }
+  for (std::size_t ei = 0; ei < acc.mobility.size(); ++ei) {
+    merge_mobility(acc.mobility[ei], std::move(next.mobility[ei]));
+  }
+  merge_traffic(acc.traffic, std::move(next.traffic));
+}
+
+std::string render_report(const ReportPartials& p, std::string_view what) {
+  if (what == "snr") return render_snr(p);
+  if (what == "lookup") return render_lookup(p);
+  if (what == "routing") return render_routing(p);
+  if (what == "anypath") return render_anypath(p.anypath);
+  if (what == "hidden") return render_hidden(p);
+  if (what == "mobility") return render_mobility(p);
+  if (what == "traffic") return render_traffic(p);
+  if (what != "etx" && what != "all") return std::string();
+  std::string out;
+  out += "== snr ==\n";
+  out += render_snr(p);
+  out += "\n== lookup ==\n";
+  out += render_lookup(p);
+  out += "\n== etx/exor routing ==\n";
+  out += render_routing(p);
+  out += render_paths(p);
+  out += "\n== anypath ==\n";
+  out += render_anypath(p.anypath);
+  out += "\n== hidden ==\n";
+  out += render_hidden(p);
+  out += "\n== mobility ==\n";
+  out += render_mobility(p);
+  out += "\n== traffic ==\n";
+  out += render_traffic(p);
+  return out;
+}
+
+std::string report_snr(const Dataset& ds) {
+  AnalysisCache cache;
+  return render_snr(collect_report(ds, kSectionSnr, nullptr, cache));
+}
+
+std::string report_lookup(const Dataset& ds) {
+  AnalysisCache cache;
+  return render_lookup(collect_report(ds, kSectionLookup, nullptr, cache));
+}
+
+std::string report_routing(const Dataset& ds) {
+  AnalysisCache cache;
+  return report_routing(ds, cache);
+}
+
+std::string report_routing(const Dataset& ds, AnalysisCache& cache) {
+  return render_routing(collect_report(ds, kSectionRouting, nullptr, cache));
+}
+
+std::string report_path_lengths(const Dataset& ds) {
+  AnalysisCache cache;
+  return report_path_lengths(ds, cache);
+}
+
+std::string report_path_lengths(const Dataset& ds, AnalysisCache& cache) {
+  return render_paths(collect_report(ds, kSectionPaths, nullptr, cache));
+}
+
+std::string report_hidden(const Dataset& ds) {
+  AnalysisCache cache;
+  return report_hidden(ds, cache);
+}
+
+std::string report_hidden(const Dataset& ds, AnalysisCache& cache) {
+  return render_hidden(collect_report(ds, kSectionHidden, nullptr, cache));
+}
+
+std::string report_mobility(const Dataset& ds) {
+  AnalysisCache cache;
+  return render_mobility(collect_report(ds, kSectionMobility, nullptr, cache));
+}
+
+std::string report_traffic(const Dataset& ds) {
+  AnalysisCache cache;
+  return render_traffic(collect_report(ds, kSectionTraffic, nullptr, cache));
+}
+
 std::string report_etx(const Dataset& ds) {
   WMESH_SPAN("analyze.etx_pipeline");
   // One cache across the sections: routing's rate-0 matrices and ETX1
   // graphs are reused by the path-length report, hidden's per-rate
   // matrices are computed once.
   AnalysisCache cache;
-  std::string out;
-  out += "== snr ==\n";
-  out += report_snr(ds);
-  out += "\n== lookup ==\n";
-  out += report_lookup(ds);
-  out += "\n== etx/exor routing ==\n";
-  out += report_routing(ds, cache);
-  out += report_path_lengths(ds, cache);
-  out += "\n== anypath ==\n";
-  out += report_anypath(ds, cache);
-  out += "\n== hidden ==\n";
-  out += report_hidden(ds, cache);
-  out += "\n== mobility ==\n";
-  out += report_mobility(ds);
-  out += "\n== traffic ==\n";
-  out += report_traffic(ds);
-  return out;
+  return render_report(collect_report(ds, kSectionAll, nullptr, cache),
+                       "etx");
 }
 
 std::string run_report(const Dataset& ds, std::string_view what) {

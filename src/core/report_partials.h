@@ -1,0 +1,116 @@
+// Mergeable per-shard partials of every report section -- the layer that
+// makes out-of-core fleet analysis byte-identical to the monolithic path.
+//
+// Every report section in core/report.cc decomposes into
+//     collect (Dataset -> plain-data partial)   [parallel, per network]
+//     merge   (partial ++ partial)              [serial, shard order]
+//     render  (partial -> exact report text)    [serial]
+// and the monolithic report_X(ds) is literally render(collect(ds)), so the
+// fleet path -- collect per shard, merge in shard order, render once --
+// produces the same bytes by construction:
+//   * every per-network quantity (SNR sigmas, routing gains, hop counts,
+//     hidden fractions, anypath studies, mobility sessions) is kept as an
+//     ordered concatenation, and concatenation associates exactly;
+//   * counts are integer sums, associative too;
+//   * traffic's per-client/AP vectors are sorted by (network id, key), so
+//     per-shard vectors over ascending disjoint id ranges (the manifest
+//     invariant store/fleet.h enforces) concatenate into the global order;
+//   * the one non-associative family -- anypath's floating-point cost sums
+//     -- is kept per network and folded serially at render time (see
+//     anypath/analysis.h).
+// The only cross-shard dependency is the *global*-scope lookup table, which
+// needs every network's observations before any can be evaluated; the
+// fleet driver builds it in a first streaming pass (integer cell merges,
+// order-independent) and passes it to collect.  The network/ap/link scopes
+// key their cells by network id, so a shard-local table answers exactly
+// like the fleet-wide one and no second pass is needed for them.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "anypath/analysis.h"
+#include "core/hidden.h"
+#include "core/lookup_table.h"
+#include "core/mobility.h"
+#include "core/snr_stats.h"
+#include "core/traffic.h"
+#include "trace/records.h"
+
+namespace wmesh {
+
+class AnalysisCache;
+
+// Report sections as a bitmask, so the fleet driver collects only what the
+// requested analysis renders.
+enum : unsigned {
+  kSectionSnr = 1u << 0,
+  kSectionLookup = 1u << 1,
+  kSectionRouting = 1u << 2,
+  kSectionPaths = 1u << 3,
+  kSectionAnypath = 1u << 4,
+  kSectionHidden = 1u << 5,
+  kSectionMobility = 1u << 6,
+  kSectionTraffic = 1u << 7,
+  kSectionAll = (1u << 8) - 1,
+};
+
+// The sections an analysis name renders ("etx"/"all" -> kSectionAll);
+// 0 for an unknown name.
+unsigned report_sections(std::string_view what);
+
+// The fleet-wide global-scope lookup tables (one per standard), built by
+// the driver's first pass and consumed by collect_report's lookup section.
+struct GlobalLookupTables {
+  SnrLookupTable bg{Standard::kBg, TableScope::kGlobal};
+  SnrLookupTable n{Standard::kN, TableScope::kGlobal};
+
+  // Folds `ds`'s global-scope observations in (integer cell sums:
+  // order-independent, so shard order does not matter).
+  void add(const Dataset& ds);
+};
+
+struct ReportPartials {
+  unsigned sections = 0;  // which members below were collected
+
+  std::array<SnrDeviations, 2> snr;  // per standard (b/g, n)
+
+  // lookup[standard][scope], scope in TableScope order.
+  std::array<std::array<TableEvalPartial, 4>, 2> lookup;
+
+  struct RoutingGains {
+    std::vector<double> imps;
+    std::size_t none = 0;
+  };
+  std::array<RoutingGains, 2> routing;  // per ETX variant
+
+  std::vector<double> path_hops;
+
+  std::vector<AnypathStudy> anypath;  // one per qualifying network
+
+  std::vector<HiddenTripleStats> hidden;  // one per probed b/g rate
+
+  std::array<MobilityStats, 2> mobility;  // indoor, outdoor
+
+  TrafficStats traffic;  // unfinalized (top decile computed at render)
+};
+
+// Collects the requested sections over one Dataset (a shard, or the whole
+// snapshot).  `global` supplies the global-scope lookup tables; pass
+// nullptr to build them from `ds` itself (the monolithic path).  `cache`
+// memoizes success matrices and graphs across sections exactly as
+// report_etx always did.
+ReportPartials collect_report(const Dataset& ds, unsigned sections,
+                              const GlobalLookupTables* global,
+                              AnalysisCache& cache);
+
+// Folds `next` into `acc` (shard order).  Both must cover the same
+// sections.
+void merge_report(ReportPartials& acc, ReportPartials&& next);
+
+// The exact text run_report(ds, what) prints, from merged partials.  The
+// partials must cover at least report_sections(what).
+std::string render_report(const ReportPartials& p, std::string_view what);
+
+}  // namespace wmesh

@@ -51,7 +51,6 @@ TrafficStats from_maps(const std::map<std::uint64_t, double>& by_client,
     (void)k;
     out.assocs_per_client.push_back(v);
   }
-  finalize_ap_share(out);
   return out;
 }
 
@@ -61,10 +60,18 @@ TrafficStats analyze_traffic(const NetworkTrace& trace) {
   std::map<std::uint64_t, double> by_client, by_ap, assocs;
   double total = 0.0;
   accumulate(trace, by_client, by_ap, assocs, total);
-  return from_maps(by_client, by_ap, assocs, total);
+  TrafficStats out = from_maps(by_client, by_ap, assocs, total);
+  finalize_traffic(out);
+  return out;
 }
 
 TrafficStats analyze_traffic(const Dataset& ds) {
+  TrafficStats out = collect_traffic(ds);
+  finalize_traffic(out);
+  return out;
+}
+
+TrafficStats collect_traffic(const Dataset& ds) {
   std::map<std::uint64_t, double> by_client, by_ap, assocs;
   double total = 0.0;
   for (const auto& nt : ds.networks) {
@@ -72,5 +79,22 @@ TrafficStats analyze_traffic(const Dataset& ds) {
   }
   return from_maps(by_client, by_ap, assocs, total);
 }
+
+void merge_traffic(TrafficStats& into, TrafficStats&& more) {
+  into.packets_per_client.insert(into.packets_per_client.end(),
+                                 more.packets_per_client.begin(),
+                                 more.packets_per_client.end());
+  into.packets_per_ap.insert(into.packets_per_ap.end(),
+                             more.packets_per_ap.begin(),
+                             more.packets_per_ap.end());
+  into.assocs_per_client.insert(into.assocs_per_client.end(),
+                                more.assocs_per_client.begin(),
+                                more.assocs_per_client.end());
+  // Per-sample packet counts are integer-valued doubles, so the sum is
+  // exact and independent of the shard grouping.
+  into.total_packets += more.total_packets;
+}
+
+void finalize_traffic(TrafficStats& stats) { finalize_ap_share(stats); }
 
 }  // namespace wmesh

@@ -27,4 +27,15 @@ TrafficStats analyze_traffic(const NetworkTrace& trace);
 // Aggregate over every trace with client data in the dataset.
 TrafficStats analyze_traffic(const Dataset& ds);
 
+// Out-of-core decomposition of analyze_traffic(Dataset): collect leaves
+// top_decile_ap_share unset, merge concatenates the per-key vectors and
+// sums the total, finalize computes the share.  Per-client/AP vectors come
+// out sorted by (network id, client/AP id), so partials collected over
+// ascending disjoint network-id groups (the fleet shard contract)
+// concatenate into exactly the monolithic vectors:
+//   analyze_traffic(ds) == finalize(merge(collect(shard_0), ...)).
+TrafficStats collect_traffic(const Dataset& ds);
+void merge_traffic(TrafficStats& into, TrafficStats&& more);
+void finalize_traffic(TrafficStats& stats);
+
 }  // namespace wmesh

@@ -196,6 +196,17 @@ FamilyReference openmetrics_reference(std::string_view family) {
        "report boundaries since the live window changed", "boundaries"},
       {"wmesh_health_churn",
        "cache slots invalidated at the last window change", "slots"},
+      // store / fleet
+      {"wmesh_store_shards_opened",
+       "fleet shards opened (loaded or fully verified)", "shards"},
+      {"wmesh_store_shards_skipped",
+       "fleet shards skipped because manifest row counts prove they cannot "
+       "contribute to the requested analysis",
+       "shards"},
+      {"wmesh_store_fleet_peak_rss",
+       "max resident set sampled at fleet shard boundaries (the out-of-core "
+       "working set)",
+       "bytes"},
       // thread pool / process
       {"wmesh_par_pool_threads", "worker threads in the wmesh::par pool",
        "threads"},

@@ -84,7 +84,8 @@ bool MeshService::tick() {
         ++window_advances_;
         WMESH_COUNTER_INC("serve.window_advances");
         windows_[i].materialize(&live_.networks[i].probe_sets);
-        const std::size_t dropped = cache_.invalidate(&live_.networks[i]);
+        const std::size_t dropped =
+            cache_.invalidate(&live_.networks[i]).entries;
         invalidations_ += dropped;
         if (dropped > 0) {
           WMESH_COUNTER_ADD("serve.cache_invalidations", dropped);

@@ -1,5 +1,6 @@
 #include "sim/generator.h"
 
+#include <algorithm>
 #include <iterator>
 
 #include "obs/log.h"
@@ -60,34 +61,41 @@ NetworkTrace generate_network_trace(const MeshNetwork& net, Standard standard,
   return trace;
 }
 
-Dataset generate_dataset(const GeneratorConfig& config) {
-  WMESH_SPAN("gen.dataset");
-  Rng master(config.seed);
+FleetGenerator::FleetGenerator(const GeneratorConfig& config)
+    : config_(config) {
+  // The exact up-front RNG sequence the serial loop drew: master seed, the
+  // fleet fork, then one pre-forked child stream per fleet network in fleet
+  // order.  Keeping the streams by value lets generate() replay any slice.
+  Rng master(config_.seed);
   Rng fleet_rng = master.fork();
-  const auto fleet = make_fleet(config.fleet, fleet_rng);
-
-  // Fork one child stream per fleet network up front, in fleet order --
-  // exactly the sequence the serial loop drew -- then simulate the networks
-  // in parallel, one network per task, each on its own pre-forked stream.
-  // Traces concatenate in fleet order, so the dataset is bit-identical to a
-  // serial run for any thread count.
-  std::vector<Rng> net_rngs;
-  net_rngs.reserve(fleet.size());
-  for (std::size_t i = 0; i < fleet.size(); ++i) {
-    net_rngs.push_back(master.fork());
+  fleet_ = make_fleet(config_.fleet, fleet_rng);
+  net_rngs_.reserve(fleet_.size());
+  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+    net_rngs_.push_back(master.fork());
   }
+}
 
+Dataset FleetGenerator::generate(std::size_t begin, std::size_t end) const {
+  WMESH_SPAN("gen.slice");
+  end = std::min(end, fleet_.size());
+  begin = std::min(begin, end);
+
+  // One network per task, each on a copy of its own pre-forked stream.
+  // Traces concatenate in fleet order, so the dataset is bit-identical to a
+  // serial run for any thread count -- and to the same index range of a
+  // whole-fleet generation, since no stream is shared across networks.
   Dataset ds;
   ds.networks = par::parallel_map_reduce(
-      fleet.size(), std::vector<NetworkTrace>{},
-      [&](std::size_t i) {
-        const FleetNetwork& fn = fleet[i];
-        Rng& net_rng = net_rngs[i];  // task-exclusive: one task per index
+      end - begin, std::vector<NetworkTrace>{},
+      [&](std::size_t task) {
+        const std::size_t i = begin + task;
+        const FleetNetwork& fn = fleet_[i];
+        Rng net_rng = net_rngs_[i];  // value copy: generate() is repeatable
         std::vector<NetworkTrace> traces;
         bool clients_done = false;
         if (fn.has_bg) {
           traces.push_back(generate_network_trace(fn.network, Standard::kBg,
-                                                  config, net_rng,
+                                                  config_, net_rng,
                                                   /*with_clients=*/true));
           clients_done = true;
         }
@@ -95,7 +103,7 @@ Dataset generate_dataset(const GeneratorConfig& config) {
           // Dual-radio networks: client data is attached to the first trace
           // only, so mobility analyses count each physical network once.
           traces.push_back(generate_network_trace(fn.network, Standard::kN,
-                                                  config, net_rng,
+                                                  config_, net_rng,
                                                   !clients_done));
         }
         return traces;
@@ -104,6 +112,13 @@ Dataset generate_dataset(const GeneratorConfig& config) {
         acc.insert(acc.end(), std::make_move_iterator(v.begin()),
                    std::make_move_iterator(v.end()));
       });
+  return ds;
+}
+
+Dataset generate_dataset(const GeneratorConfig& config) {
+  WMESH_SPAN("gen.dataset");
+  const FleetGenerator gen(config);
+  Dataset ds = gen.generate(0, gen.network_count());
   WMESH_COUNTER_ADD("gen.networks", ds.networks.size());
   WMESH_LOG_INFO("gen", kv("seed", config.seed),
                  kv("networks", ds.networks.size()),

@@ -46,6 +46,34 @@ NetworkTrace generate_network_trace(const MeshNetwork& net, Standard standard,
                                     const GeneratorConfig& config, Rng& rng,
                                     bool with_clients);
 
+// Slice-at-a-time snapshot generation, for sharded (out-of-core) output.
+//
+// The constructor replays exactly the RNG sequence generate_dataset() draws
+// up front -- master seed, the fleet fork, then one pre-forked child stream
+// per fleet network in fleet order -- and keeps the streams by value.  Each
+// generate(begin, end) call then simulates fleet networks [begin, end) from
+// *copies* of their pre-forked streams, so any partition of [0, n) into
+// slices concatenates byte-identically to generate_dataset(config), and
+// only one slice's traces are ever resident.  generate_dataset() itself is
+// a single full-range slice of this class.
+class FleetGenerator {
+ public:
+  explicit FleetGenerator(const GeneratorConfig& config);
+
+  // Fleet networks (id groups; dual-radio networks count once but produce
+  // two traces).
+  std::size_t network_count() const noexcept { return fleet_.size(); }
+
+  // Traces fleet networks [begin, end) (clamped to network_count), in
+  // parallel on wmesh::par, bit-identical for any thread count.
+  Dataset generate(std::size_t begin, std::size_t end) const;
+
+ private:
+  GeneratorConfig config_;
+  std::vector<FleetNetwork> fleet_;
+  std::vector<Rng> net_rngs_;  // one pre-forked stream per fleet network
+};
+
 // Generates the whole snapshot.
 Dataset generate_dataset(const GeneratorConfig& config);
 

@@ -1,0 +1,527 @@
+#include "store/fleet.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/resource.h"
+#include "obs/span.h"
+#include "par/thread_pool.h"
+#include "util/json.h"
+
+namespace wmesh::store {
+namespace {
+
+std::string fleet_fail(const std::string& manifest, const std::string& msg) {
+  WMESH_COUNTER_INC("store.load_errors");
+  WMESH_LOG_ERROR("store", kv("op", "fleet"), kv("path", manifest),
+                  kv("error", msg));
+  return "fleet: " + manifest + ": " + msg;
+}
+
+void set_error(std::string* error, std::string msg) {
+  if (error != nullptr) *error = std::move(msg);
+}
+
+// Minimal JSON string escape for shard paths (the only free-form strings
+// the manifest carries).
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+// A manifest number: JSON numbers are doubles, so integers are exact up to
+// 2^53 -- far beyond any shard row count; reject negatives and fractions.
+bool read_u64(const json::Value& obj, const char* key, std::uint64_t* out) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) return false;
+  if (v->number < 0.0 || v->number != static_cast<double>(
+                             static_cast<std::uint64_t>(v->number))) {
+    return false;
+  }
+  *out = static_cast<std::uint64_t>(v->number);
+  return true;
+}
+
+std::string dir_of(const std::string& path) {
+  const auto p = std::filesystem::path(path).parent_path();
+  return p.empty() ? std::string(".") : p.string();
+}
+
+std::string join_dir(const std::string& dir, const std::string& rel) {
+  if (std::filesystem::path(rel).is_absolute()) return rel;
+  return (std::filesystem::path(dir) / rel).string();
+}
+
+std::uint64_t file_bytes_of(const std::string& path) {
+  std::error_code ec;
+  const auto n = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<std::uint64_t>(n);
+}
+
+}  // namespace
+
+bool has_manifest_extension(const std::string& path) {
+  const std::string ext = kManifestExtension;
+  return path.size() >= ext.size() &&
+         path.compare(path.size() - ext.size(), ext.size(), ext) == 0;
+}
+
+std::string manifest_path(const std::string& prefix) {
+  return has_manifest_extension(prefix) ? prefix
+                                        : prefix + kManifestExtension;
+}
+
+std::uint64_t FleetManifest::total_networks() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& s : shards) n += s.networks;
+  return n;
+}
+
+std::uint64_t FleetManifest::total_probe_sets() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& s : shards) n += s.probe_sets;
+  return n;
+}
+
+std::uint64_t FleetManifest::total_probe_entries() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& s : shards) n += s.probe_entries;
+  return n;
+}
+
+std::uint64_t FleetManifest::total_client_samples() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& s : shards) n += s.client_samples;
+  return n;
+}
+
+std::uint64_t FleetManifest::total_bytes() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& s : shards) n += s.bytes;
+  return n;
+}
+
+bool save_fleet_manifest(const FleetManifest& m, const std::string& path,
+                         std::string* error) {
+  std::string out = "{\n  \"schema\": \"wmesh.fleet/1\",\n  \"shards\": [\n";
+  for (std::size_t i = 0; i < m.shards.size(); ++i) {
+    const FleetShard& s = m.shards[i];
+    out += "    { \"path\": ";
+    append_json_string(out, s.path);
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  ",\n      \"networks\": %llu, \"first_id\": %u, "
+                  "\"last_id\": %u,\n      \"probe_sets\": %llu, "
+                  "\"probe_entries\": %llu,\n      \"client_samples\": %llu, "
+                  "\"bytes\": %llu }",
+                  static_cast<unsigned long long>(s.networks), s.first_id,
+                  s.last_id, static_cast<unsigned long long>(s.probe_sets),
+                  static_cast<unsigned long long>(s.probe_entries),
+                  static_cast<unsigned long long>(s.client_samples),
+                  static_cast<unsigned long long>(s.bytes));
+    out += buf;
+    out += i + 1 < m.shards.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f || !(f << out) || !f.flush()) {
+    set_error(error, fleet_fail(path, "cannot write manifest"));
+    return false;
+  }
+  return true;
+}
+
+bool load_fleet_manifest(const std::string& path, FleetManifest* out,
+                         std::string* error) {
+  out->shards.clear();
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    set_error(error, fleet_fail(path, "cannot open manifest"));
+    return false;
+  }
+  std::ostringstream text;
+  text << f.rdbuf();
+
+  std::string json_err;
+  const auto doc = json::parse(text.str(), &json_err);
+  if (!doc) {
+    set_error(error, fleet_fail(path, json_err));
+    return false;
+  }
+  if (!doc->is_object()) {
+    set_error(error, fleet_fail(path, "manifest is not a JSON object"));
+    return false;
+  }
+  const json::Value* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string != "wmesh.fleet/1") {
+    set_error(error, fleet_fail(path, "missing or unsupported schema marker"));
+    return false;
+  }
+  const json::Value* shards = doc->find("shards");
+  if (shards == nullptr || !shards->is_array() || shards->array.empty()) {
+    set_error(error, fleet_fail(path, "missing or empty shards array"));
+    return false;
+  }
+
+  const std::string dir = dir_of(path);
+  FleetManifest m;
+  for (std::size_t i = 0; i < shards->array.size(); ++i) {
+    const json::Value& e = shards->array[i];
+    const std::string where = "shard " + std::to_string(i);
+    if (!e.is_object()) {
+      set_error(error, fleet_fail(path, where + ": not an object"));
+      return false;
+    }
+    FleetShard s;
+    const json::Value* p = e.find("path");
+    if (p == nullptr || !p->is_string() || p->string.empty()) {
+      set_error(error, fleet_fail(path, where + ": missing path"));
+      return false;
+    }
+    s.path = p->string;
+    s.resolved = join_dir(dir, s.path);
+    std::uint64_t first = 0, last = 0;
+    if (!read_u64(e, "networks", &s.networks) ||
+        !read_u64(e, "first_id", &first) || !read_u64(e, "last_id", &last) ||
+        !read_u64(e, "probe_sets", &s.probe_sets) ||
+        !read_u64(e, "probe_entries", &s.probe_entries) ||
+        !read_u64(e, "client_samples", &s.client_samples) ||
+        !read_u64(e, "bytes", &s.bytes)) {
+      set_error(error,
+                fleet_fail(path, where + ": missing or invalid count field"));
+      return false;
+    }
+    constexpr std::uint64_t kMaxId = std::numeric_limits<std::uint32_t>::max();
+    if (first > kMaxId || last > kMaxId || first > last || s.networks == 0) {
+      set_error(error, fleet_fail(path, where + ": invalid network id range"));
+      return false;
+    }
+    s.first_id = static_cast<std::uint32_t>(first);
+    s.last_id = static_cast<std::uint32_t>(last);
+    // Strictly ascending, disjoint ranges: the invariant that makes
+    // id-keyed aggregations over shard order match the monolithic order.
+    if (!m.shards.empty() && s.first_id <= m.shards.back().last_id) {
+      set_error(error,
+                fleet_fail(path, where + " (" + s.path +
+                                     "): duplicate network range (overlaps "
+                                     "previous shard)"));
+      return false;
+    }
+    m.shards.push_back(std::move(s));
+  }
+  *out = std::move(m);
+  return true;
+}
+
+bool FleetReader::open(const std::string& manifest_path) {
+  error_.clear();
+  manifest_path_ = manifest_path;
+  return load_fleet_manifest(manifest_path, &manifest_, &error_);
+}
+
+bool FleetReader::check_against_manifest(std::size_t s,
+                                         const WsnapInfo& info) {
+  const FleetShard& sh = manifest_.shards[s];
+  if (info.networks != sh.networks || info.probe_sets != sh.probe_sets ||
+      info.probe_entries != sh.probe_entries ||
+      info.client_samples != sh.client_samples) {
+    error_ = fleet_fail(
+        manifest_path_,
+        "shard " + sh.path + ": row counts disagree with manifest");
+    return false;
+  }
+  return true;
+}
+
+bool FleetReader::load_shard(std::size_t s, Dataset* out) {
+  WMESH_SPAN("store.fleet.load_shard");
+  out->networks.clear();
+  if (s >= manifest_.shards.size()) {
+    error_ = fleet_fail(manifest_path_, "shard index out of range");
+    return false;
+  }
+  const FleetShard& sh = manifest_.shards[s];
+  {
+    WsnapReader r;
+    if (!r.open(sh.resolved)) {
+      error_ = r.error();
+      return false;
+    }
+    if (!check_against_manifest(s, r.info())) return false;
+    const std::size_t n = r.network_count();
+    out->networks.assign(n, NetworkTrace{});
+    // Disjoint slots, identical to serial for any thread count (the
+    // load_wsnap decode discipline).
+    par::parallel_for(n, [&](std::size_t i) {
+      r.read_network(i, &out->networks[i]);
+    });
+    // The id range is part of the fleet contract (see load_fleet_manifest);
+    // a shard whose rows wandered outside it would silently corrupt
+    // id-keyed aggregations, so fail closed here too.
+    for (const auto& nt : out->networks) {
+      if (nt.info.id < sh.first_id || nt.info.id > sh.last_id) {
+        out->networks.clear();
+        error_ = fleet_fail(manifest_path_,
+                            "shard " + sh.path +
+                                ": network id outside manifest range");
+        return false;
+      }
+    }
+  }  // reader (and its mapping) closed before the RSS sample below
+  WMESH_COUNTER_INC("store.shards_opened");
+  peak_rss_ =
+      std::max(peak_rss_, obs::sample_resources().current_rss_bytes);
+  WMESH_GAUGE_SET("store.fleet_peak_rss", peak_rss_);
+  return true;
+}
+
+bool FleetReader::verify_shard(std::size_t s, WsnapInfo* info) {
+  if (s >= manifest_.shards.size()) {
+    error_ = fleet_fail(manifest_path_, "shard index out of range");
+    return false;
+  }
+  const FleetShard& sh = manifest_.shards[s];
+  WsnapReader r;
+  if (!r.open(sh.resolved)) {  // full open: every block CRC-checked
+    error_ = r.error();
+    return false;
+  }
+  if (!check_against_manifest(s, r.info())) return false;
+  *info = r.info();
+  WMESH_COUNTER_INC("store.shards_opened");
+  return true;
+}
+
+namespace {
+
+// Shared by split and generation: feeds one network into a shard writer and
+// updates the manifest entry under construction.
+struct ShardAccumulator {
+  std::unique_ptr<WsnapWriter> writer;
+  FleetShard entry;
+  bool any = false;
+
+  void begin(const std::string& path, const std::string& rel) {
+    writer = std::make_unique<WsnapWriter>(path);
+    entry = FleetShard{};
+    entry.path = rel;
+    entry.resolved = path;
+    any = false;
+  }
+
+  void add(const NetworkTrace& nt) {
+    writer->begin_network(nt.info, nt.ap_count);
+    for (const ProbeSet& set : nt.probe_sets) writer->add_probe_set(set);
+    for (const ClientSample& cs : nt.client_samples) {
+      writer->add_client_sample(cs);
+    }
+    if (!any) entry.first_id = nt.info.id;
+    entry.last_id = std::max(entry.last_id, nt.info.id);
+    any = true;
+    ++entry.networks;
+    entry.probe_sets += nt.probe_sets.size();
+    for (const ProbeSet& set : nt.probe_sets) {
+      entry.probe_entries += set.entries.size();
+    }
+    entry.client_samples += nt.client_samples.size();
+  }
+
+  bool finish(FleetManifest* m, std::string* error) {
+    if (!writer->finish()) {
+      set_error(error, writer->error());
+      return false;
+    }
+    entry.bytes = file_bytes_of(entry.resolved);
+    m->shards.push_back(entry);
+    writer.reset();
+    return true;
+  }
+};
+
+}  // namespace
+
+std::string shard_file_name(const std::string& out_prefix, std::size_t s) {
+  std::string base = out_prefix;
+  if (has_manifest_extension(base)) {
+    base.resize(base.size() - std::string(kManifestExtension).size());
+  }
+  const std::string name = std::filesystem::path(base).filename().string();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), ".shard-%03zu.wsnap", s);
+  return name + buf;
+}
+
+namespace {
+
+// The shared split loop: walks `n` networks through `get` (which returns a
+// pointer valid until the next call, or nullptr on a read error) and
+// rotates shard writers at the even split points -- but never between the
+// two traces of a dual-radio network (same id): the id ranges must stay
+// disjoint, so the shard count can come out below `shards`.
+template <typename GetFn>
+bool split_networks(std::size_t n, GetFn&& get, const std::string& out_prefix,
+                    std::size_t shards, std::string* error) {
+  const std::string mpath = manifest_path(out_prefix);
+  if (n == 0) {
+    set_error(error, fleet_fail(mpath, "input snapshot has no networks"));
+    return false;
+  }
+  const std::size_t want = std::clamp<std::size_t>(shards, 1, n);
+  const std::string dir = dir_of(mpath);
+
+  FleetManifest m;
+  ShardAccumulator acc;
+  std::size_t shard_index = 0;
+  std::uint32_t prev_id = 0;
+  bool have_prev = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NetworkTrace* nt = get(i);
+    if (nt == nullptr) {
+      set_error(error, fleet_fail(mpath, "cannot read input network"));
+      return false;
+    }
+    // Non-decreasing ids in, disjoint shard ranges out (equal-id runs never
+    // straddle a rotation).  An interleaved input would produce a manifest
+    // the loader rejects, so fail closed at write time instead.
+    if (have_prev && nt->info.id < prev_id) {
+      set_error(error,
+                fleet_fail(mpath, "input networks not ordered by id; "
+                                  "cannot produce disjoint shard ranges"));
+      return false;
+    }
+    const std::size_t boundary = (shard_index + 1) * n / want;
+    const bool rotate =
+        acc.writer != nullptr && i >= boundary && shard_index + 1 < want &&
+        (!have_prev || nt->info.id != prev_id);
+    if (rotate) {
+      if (!acc.finish(&m, error)) return false;
+      ++shard_index;
+    }
+    if (acc.writer == nullptr) {
+      const std::string rel = shard_file_name(out_prefix, shard_index);
+      acc.begin(join_dir(dir, rel), rel);
+    }
+    acc.add(*nt);
+    prev_id = nt->info.id;
+    have_prev = true;
+  }
+  if (acc.writer != nullptr && !acc.finish(&m, error)) return false;
+  if (!save_fleet_manifest(m, mpath, error)) return false;
+  WMESH_LOG_INFO("store", kv("op", "fleet_split"), kv("path", mpath),
+                 kv("shards", m.shards.size()),
+                 kv("networks", m.total_networks()));
+  return true;
+}
+
+}  // namespace
+
+bool split_wsnap_fleet(const std::string& wsnap_path,
+                       const std::string& out_prefix, std::size_t shards,
+                       std::string* error) {
+  WMESH_SPAN("store.fleet.split");
+  WsnapReader r;
+  if (!r.open(wsnap_path)) {
+    set_error(error, r.error());
+    return false;
+  }
+  NetworkTrace scratch;  // one network resident at a time
+  return split_networks(
+      r.network_count(),
+      [&](std::size_t i) -> const NetworkTrace* {
+        scratch = NetworkTrace{};
+        return r.read_network(i, &scratch) ? &scratch : nullptr;
+      },
+      out_prefix, shards, error);
+}
+
+bool write_fleet(const Dataset& ds, const std::string& out_prefix,
+                 std::size_t shards, std::string* error) {
+  WMESH_SPAN("store.fleet.write");
+  return split_networks(
+      ds.networks.size(),
+      [&](std::size_t i) { return &ds.networks[i]; }, out_prefix, shards,
+      error);
+}
+
+bool merge_fleet_wsnap(const std::string& manifest_path,
+                       const std::string& out_path, std::string* error) {
+  WMESH_SPAN("store.fleet.merge");
+  FleetReader fleet;
+  if (!fleet.open(manifest_path)) {
+    set_error(error, fleet.error());
+    return false;
+  }
+  WsnapWriter w(out_path);
+  NetworkTrace nt;
+  for (std::size_t s = 0; s < fleet.shard_count(); ++s) {
+    const FleetShard& sh = fleet.manifest().shards[s];
+    WsnapReader r;
+    if (!r.open(sh.resolved)) {
+      set_error(error, r.error());
+      return false;
+    }
+    WMESH_COUNTER_INC("store.shards_opened");
+    for (std::size_t i = 0; i < r.network_count(); ++i) {
+      nt = NetworkTrace{};
+      if (!r.read_network(i, &nt)) {
+        set_error(error, fleet_fail(manifest_path,
+                                    "shard " + sh.path +
+                                        ": cannot read network"));
+        return false;
+      }
+      w.begin_network(nt.info, nt.ap_count);
+      for (const ProbeSet& set : nt.probe_sets) w.add_probe_set(set);
+      for (const ClientSample& cs : nt.client_samples) {
+        w.add_client_sample(cs);
+      }
+    }
+  }
+  if (!w.finish()) {
+    set_error(error, w.error());
+    return false;
+  }
+  return true;
+}
+
+bool append_fleet_shard(const Dataset& ds, const std::string& shard_path,
+                        FleetManifest* m, std::string* error) {
+  ShardAccumulator acc;
+  acc.begin(shard_path,
+            std::filesystem::path(shard_path).filename().string());
+  for (const NetworkTrace& nt : ds.networks) acc.add(nt);
+  return acc.finish(m, error);
+}
+
+}  // namespace wmesh::store

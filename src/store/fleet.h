@@ -1,0 +1,171 @@
+// wmesh::store -- sharded multi-file WSNAP fleet layout.
+//
+// A fleet is a JSON manifest (`<prefix>.wmanifest`, schema "wmesh.fleet/1")
+// naming N shard files, each a normal WSNAP holding a contiguous group of
+// networks, plus per-shard row counts and the network-id range the shard
+// covers.  The layout exists so a 10k-network fleet can be generated,
+// converted and analyzed out-of-core: a FleetReader streams shard-by-shard
+// over the existing mmap reader, materializing one per-shard Dataset at a
+// time, so peak RSS is O(largest shard) instead of O(fleet).
+//
+// Manifest schema (member order as written):
+//   {
+//     "schema": "wmesh.fleet/1",
+//     "shards": [
+//       { "path": "demo.shard-000.wsnap",
+//         "networks": 40, "first_id": 0, "last_id": 39,
+//         "probe_sets": 1200, "probe_entries": 13200,
+//         "client_samples": 900, "bytes": 524288 },
+//       ...
+//     ]
+//   }
+// Shard paths are resolved relative to the manifest's directory, so a fleet
+// directory is relocatable as a unit.  Network-id ranges must be strictly
+// ascending and disjoint across shards -- this is what makes per-shard
+// analysis partials concatenate byte-identically to the monolithic path
+// (global aggregations key on network id) -- and a manifest violating it is
+// rejected as corrupt ("duplicate network range").
+//
+// Corruption policy, like store/wsnap.h: every defect fails *closed* with a
+// one-line diagnostic.  Manifest-level defects (unreadable file, bad JSON,
+// wrong schema, overlapping ranges) read "fleet:<manifest>: <msg>"; a
+// missing, truncated or CRC-failing shard surfaces the shard's own
+// "wsnap:<shard-path>: <msg>" diagnostic naming the shard.  Never a partial
+// fleet.
+//
+// Observability: counter `store.shards_opened` (per successful shard load
+// or verification), gauge `store.fleet_peak_rss` (max RSS sampled at shard
+// boundaries -- the out-of-core working set).  `store.shards_skipped` is
+// bumped by the analysis driver (store/fleet_analyze.h) when a manifest's
+// row counts prove a shard cannot contribute to the requested analysis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/wsnap.h"
+#include "trace/records.h"
+
+namespace wmesh::store {
+
+// Canonical manifest extension (including the dot).
+inline constexpr const char* kManifestExtension = ".wmanifest";
+
+// True when `path` ends in ".wmanifest".
+bool has_manifest_extension(const std::string& path);
+
+// The manifest path for a prefix: `prefix` itself when it already ends in
+// ".wmanifest", else prefix + ".wmanifest".
+std::string manifest_path(const std::string& prefix);
+
+// The canonical shard file name for a fleet prefix: the prefix's base name
+// (any ".wmanifest" stripped) + ".shard-NNN.wsnap".  Relative -- callers
+// join it with the manifest directory.
+std::string shard_file_name(const std::string& out_prefix, std::size_t s);
+
+// One shard as described by the manifest.
+struct FleetShard {
+  std::string path;      // as written in the manifest (usually relative)
+  std::string resolved;  // joined with the manifest directory
+  std::uint64_t networks = 0;        // NetworkTrace rows
+  std::uint32_t first_id = 0;        // lowest network id in the shard
+  std::uint32_t last_id = 0;         // highest network id in the shard
+  std::uint64_t probe_sets = 0;
+  std::uint64_t probe_entries = 0;
+  std::uint64_t client_samples = 0;
+  std::uint64_t bytes = 0;           // on-disk shard size
+};
+
+struct FleetManifest {
+  std::vector<FleetShard> shards;
+
+  std::uint64_t total_networks() const noexcept;
+  std::uint64_t total_probe_sets() const noexcept;
+  std::uint64_t total_probe_entries() const noexcept;
+  std::uint64_t total_client_samples() const noexcept;
+  std::uint64_t total_bytes() const noexcept;
+};
+
+// Writes the manifest JSON (shard `path` fields as given; `resolved` is
+// ignored).  Returns false with a diagnostic on I/O error.
+bool save_fleet_manifest(const FleetManifest& m, const std::string& path,
+                         std::string* error = nullptr);
+
+// Parses and validates a manifest (strict JSON via util/json, schema marker,
+// per-shard fields, strictly ascending disjoint id ranges).  Fails closed.
+bool load_fleet_manifest(const std::string& path, FleetManifest* out,
+                         std::string* error = nullptr);
+
+// Streams a sharded fleet one shard at a time.  open() validates the
+// manifest only (no shard I/O); load_shard() then opens one shard with the
+// full WSNAP verification (header, footer, every block CRC), cross-checks
+// it against its manifest row counts and id range, and decodes it into a
+// fresh Dataset -- the mapping is closed before load_shard returns, so a
+// caller that drops each Dataset before requesting the next holds one
+// shard's rows at a time.
+class FleetReader {
+ public:
+  FleetReader() = default;
+
+  FleetReader(const FleetReader&) = delete;
+  FleetReader& operator=(const FleetReader&) = delete;
+
+  bool open(const std::string& manifest_path);
+
+  const FleetManifest& manifest() const noexcept { return manifest_; }
+  std::size_t shard_count() const noexcept { return manifest_.shards.size(); }
+
+  // Replaces *out with shard `s`.  Networks decode in parallel on
+  // wmesh::par into disjoint slots, identical to serial for any thread
+  // count.  On failure `out` is cleared and error() names the defect.
+  bool load_shard(std::size_t s, Dataset* out);
+
+  // Full verification of shard `s` (open + every block CRC + manifest
+  // cross-check) without materializing rows; fills *info from the header.
+  bool verify_shard(std::size_t s, WsnapInfo* info);
+
+  // Max RSS sampled after each load_shard(); 0 before the first load.
+  std::uint64_t peak_rss_bytes() const noexcept { return peak_rss_; }
+
+  const std::string& error() const noexcept { return error_; }
+
+ private:
+  bool check_against_manifest(std::size_t s, const WsnapInfo& info);
+
+  std::string manifest_path_;
+  FleetManifest manifest_;
+  std::string error_;
+  std::uint64_t peak_rss_ = 0;
+};
+
+// Streaming split of a monolithic WSNAP into `shards` contiguous shard
+// files plus a manifest at manifest_path(out_prefix).  One network is
+// resident at a time.  Shard boundaries land on the even split points
+// except that the traces of one physical network (same info.id, dual-radio)
+// never straddle shards, so the shard count can come out below `shards`
+// when the fleet has fewer id groups.  merge_fleet_wsnap() of the result
+// reproduces the input byte-for-byte.
+bool split_wsnap_fleet(const std::string& wsnap_path,
+                       const std::string& out_prefix, std::size_t shards,
+                       std::string* error = nullptr);
+
+// As split_wsnap_fleet, but over an in-memory Dataset (the CSV-input
+// conversion path).  Same boundary rule, same output bytes as splitting the
+// equivalent WSNAP.
+bool write_fleet(const Dataset& ds, const std::string& out_prefix,
+                 std::size_t shards, std::string* error = nullptr);
+
+// Streaming merge of a sharded fleet back into one monolithic WSNAP; the
+// inverse of split_wsnap_fleet (byte-identical to save_wsnap of the same
+// networks in shard order).
+bool merge_fleet_wsnap(const std::string& manifest_path,
+                       const std::string& out_path,
+                       std::string* error = nullptr);
+
+// Writes `ds` as one shard file and appends its manifest entry to `m`
+// (path stored relative: the file name only).  Used by sharded generation.
+bool append_fleet_shard(const Dataset& ds, const std::string& shard_path,
+                        FleetManifest* m, std::string* error = nullptr);
+
+}  // namespace wmesh::store

@@ -1,0 +1,94 @@
+#include "store/fleet_analyze.h"
+
+#include <utility>
+
+#include "core/analysis_cache.h"
+#include "core/report.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace wmesh::store {
+namespace {
+
+// True when every requested section draws only on client samples, so a
+// shard without any cannot change the output.
+bool client_sample_sections_only(unsigned sections) {
+  return (sections & ~(kSectionMobility | kSectionTraffic)) == 0;
+}
+
+}  // namespace
+
+bool FleetAnalyzer::build_global_tables(GlobalLookupTables* tables) {
+  WMESH_SPAN("fleet.lookup_pass");
+  for (std::size_t s = 0; s < reader_.shard_count(); ++s) {
+    // A shard with no probe sets has no look-up observations to fold in.
+    if (reader_.manifest().shards[s].probe_sets == 0) {
+      ++totals_.shards_skipped;
+      WMESH_COUNTER_INC("store.shards_skipped");
+      continue;
+    }
+    Dataset shard;
+    if (!reader_.load_shard(s, &shard)) {
+      error_ = reader_.error();
+      return false;
+    }
+    ++totals_.shards_opened;
+    tables->add(shard);
+  }
+  return true;
+}
+
+bool FleetAnalyzer::run(std::string_view what, std::string* out) {
+  WMESH_SPAN("fleet.analyze");
+  const unsigned sections = report_sections(what);
+  if (sections == 0) {
+    error_ = "unknown analysis '" + std::string(what) + "'";
+    return false;
+  }
+
+  GlobalLookupTables tables;
+  if (sections & kSectionLookup) {
+    if (!build_global_tables(&tables)) return false;
+  }
+
+  AnalysisCache cache;
+  ReportPartials merged;
+  merged.sections = sections;
+  for (std::size_t s = 0; s < reader_.shard_count(); ++s) {
+    if (client_sample_sections_only(sections) &&
+        reader_.manifest().shards[s].client_samples == 0) {
+      ++totals_.shards_skipped;
+      WMESH_COUNTER_INC("store.shards_skipped");
+      continue;
+    }
+    Dataset shard;
+    if (!reader_.load_shard(s, &shard)) {
+      error_ = reader_.error();
+      return false;
+    }
+    ++totals_.shards_opened;
+    ReportPartials partial = collect_report(
+        shard, sections, (sections & kSectionLookup) ? &tables : nullptr,
+        cache);
+    // Evict the shard's cache entries before its traces go away: the cache
+    // keys on trace addresses, and this is what keeps both the cache and
+    // the dataset footprint bounded by one shard.
+    for (const NetworkTrace& nt : shard.networks) {
+      const AnalysisCache::Evicted ev = cache.invalidate(&nt);
+      totals_.cache_entries_evicted += ev.entries;
+      totals_.cache_bytes_evicted += ev.bytes;
+    }
+    merge_report(merged, std::move(partial));
+  }
+  totals_.peak_rss_bytes = reader_.peak_rss_bytes();
+  WMESH_LOG_DEBUG("fleet", kv("event", "analyze_done"),
+                  kv("what", std::string(what)),
+                  kv("shards_opened", totals_.shards_opened),
+                  kv("shards_skipped", totals_.shards_skipped),
+                  kv("peak_rss_bytes", totals_.peak_rss_bytes));
+  *out += render_report(merged, what);
+  return true;
+}
+
+}  // namespace wmesh::store

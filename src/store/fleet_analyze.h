@@ -1,0 +1,73 @@
+// Out-of-core analysis driver over a sharded WSNAP fleet.
+//
+// FleetAnalyzer streams the fleet shard-by-shard through a FleetReader,
+// collects per-shard ReportPartials (parallel within the shard on
+// wmesh::par), folds them in shard order, and renders the merged partials
+// once at the end.  Because every report section decomposes into
+// collect/merge/render (core/report_partials.h) and shard id ranges are
+// strictly ascending and disjoint (store/fleet.h), the output is
+// byte-identical to run_report() over the monolithic dataset -- at any
+// thread count and any shard size -- while peak RSS stays O(largest shard):
+// each shard's Dataset is dropped (and its analysis-cache entries evicted)
+// before the next shard is opened.
+//
+// The look-up section's *global* scope pools observations across the whole
+// fleet, so when it is requested the driver makes a first streaming pass
+// that only folds global-scope tables (integer cell sums, order-free), then
+// evaluates per shard in the second pass.  Shards the manifest proves
+// cannot contribute are skipped without being opened -- conservatively:
+// pass 1 skips shards with zero probe sets, and pass 2 skips a shard only
+// when every requested section is client-sample-driven (mobility, traffic)
+// and the shard has zero client samples.  (Probe-count skipping would be
+// unsound elsewhere: e.g. the anypath size table counts qualifying networks
+// even when they carry no probes.)  Skips bump `store.shards_skipped`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/report_partials.h"
+#include "store/fleet.h"
+
+namespace wmesh::store {
+
+class FleetAnalyzer {
+ public:
+  // Run statistics, for tools and the bounded-RSS tests.
+  struct Totals {
+    std::size_t shards_opened = 0;   // shard loads, both passes
+    std::size_t shards_skipped = 0;  // manifest-proven no-contribution skips
+    // AnalysisCache entries/bytes evicted on the shard-drop path, summed
+    // over AnalysisCache::invalidate() calls (one per trace per shard).
+    std::size_t cache_entries_evicted = 0;
+    std::size_t cache_bytes_evicted = 0;
+    // FleetReader::peak_rss_bytes() after the last shard.
+    std::uint64_t peak_rss_bytes = 0;
+  };
+
+  // The reader must be open()ed already and outlive the analyzer.
+  explicit FleetAnalyzer(FleetReader& reader) : reader_(reader) {}
+
+  FleetAnalyzer(const FleetAnalyzer&) = delete;
+  FleetAnalyzer& operator=(const FleetAnalyzer&) = delete;
+
+  // Runs analysis `what` (the wmesh_analyze names: snr|lookup|routing|
+  // anypath|hidden|mobility|traffic|etx|all) and appends the report text to
+  // *out.  Returns false -- with error() set and *out untouched -- on an
+  // unknown analysis name or any shard defect (fail closed: no partial
+  // fleet output).
+  bool run(std::string_view what, std::string* out);
+
+  const Totals& totals() const noexcept { return totals_; }
+  const std::string& error() const noexcept { return error_; }
+
+ private:
+  bool build_global_tables(GlobalLookupTables* tables);
+
+  FleetReader& reader_;
+  Totals totals_;
+  std::string error_;
+};
+
+}  // namespace wmesh::store

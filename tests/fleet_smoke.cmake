@@ -1,0 +1,100 @@
+# End-to-end fleet smoke at the ISSUE's target scale: generate a
+# 10,000-network sharded fleet, inspect it, analyze it out-of-core with a
+# run report, merge it back to a monolithic WSNAP and analyze that too --
+# then assert (a) the two reports are byte-identical and (b) the fleet
+# run's sampled peak RSS is a small fraction of the monolithic run's
+# (bounded by O(largest shard), not O(fleet)).  Run via
+#   cmake -DWMESH_GEN=... -DWMESH_ANALYZE=... -DWMESH_CONVERT=...
+#         -DWMESH_INSPECT=... -DWORK_DIR=... -P fleet_smoke.cmake
+foreach(var WMESH_GEN WMESH_ANALYZE WMESH_CONVERT WMESH_INSPECT WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "fleet_smoke: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+# 10k networks with a short probe window and no client traces: the RSS
+# contrast comes from network count, and generation stays ~15 s.
+execute_process(
+  COMMAND ${WMESH_GEN} ${WORK_DIR}/fleet --networks 10000 --hours 0.1
+    --no-clients --shards=50 --seed 3
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fleet_smoke: sharded wmesh_gen failed (rc ${rc})")
+endif()
+if(NOT EXISTS ${WORK_DIR}/fleet.wmanifest)
+  message(FATAL_ERROR "fleet_smoke: fleet.wmanifest was not written")
+endif()
+
+# Inspect verifies every shard (full CRC pass) before printing anything.
+execute_process(
+  COMMAND ${WMESH_INSPECT} ${WORK_DIR}/fleet.wmanifest
+  RESULT_VARIABLE rc OUTPUT_VARIABLE inspect_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fleet_smoke: wmesh_inspect failed (rc ${rc})")
+endif()
+string(FIND "${inspect_out}" "50 shards" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "fleet_smoke: inspect lacks shard summary:\n${inspect_out}")
+endif()
+
+# Out-of-core analysis of the fleet, with the run report's RSS sampler.
+execute_process(
+  COMMAND ${WMESH_ANALYZE} ${WORK_DIR}/fleet.wmanifest snr
+    --report=${WORK_DIR}/fleet.report.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE fleet_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fleet_smoke: fleet wmesh_analyze failed (rc ${rc})")
+endif()
+
+# Merge back to one monolithic WSNAP and analyze that in-core.
+execute_process(
+  COMMAND ${WMESH_CONVERT} ${WORK_DIR}/fleet.wmanifest ${WORK_DIR}/mono
+    --out=wsnap
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fleet_smoke: fleet merge failed (rc ${rc})")
+endif()
+execute_process(
+  COMMAND ${WMESH_ANALYZE} ${WORK_DIR}/mono.wsnap snr
+    --report=${WORK_DIR}/mono.report.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE mono_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fleet_smoke: monolithic wmesh_analyze failed (rc ${rc})")
+endif()
+
+# Byte-identity: sharded out-of-core output == monolithic output.  The
+# "(run report written to <path>)" trailer names each run's own report
+# file; everything above it must match exactly.
+string(REGEX REPLACE "\\(run report written[^\n]*\n?" "" fleet_out "${fleet_out}")
+string(REGEX REPLACE "\\(run report written[^\n]*\n?" "" mono_out "${mono_out}")
+if(NOT fleet_out STREQUAL mono_out)
+  message(FATAL_ERROR "fleet_smoke: fleet output differs from monolithic:\n"
+    "--- fleet ---\n${fleet_out}\n--- monolithic ---\n${mono_out}")
+endif()
+
+# Bounded RSS: the out-of-core run must peak far below the in-core run.
+# The 3x headroom (observed ~11x on a 74 MB fleet) keeps the assertion
+# robust to allocator and platform variance while still failing if the
+# analyzer ever holds more than a few shards resident.
+if(NOT OBS_DISABLED)
+  foreach(which fleet mono)
+    file(READ ${WORK_DIR}/${which}.report.json report)
+    string(REGEX MATCH "\"peak_rss_bytes\": ([0-9]+)" _ "${report}")
+    if(NOT CMAKE_MATCH_1 OR CMAKE_MATCH_1 EQUAL 0)
+      message(FATAL_ERROR "fleet_smoke: ${which} report lacks peak_rss_bytes")
+    endif()
+    set(${which}_rss ${CMAKE_MATCH_1})
+  endforeach()
+  math(EXPR bound "${mono_rss} / 3")
+  if(fleet_rss GREATER ${bound})
+    message(FATAL_ERROR "fleet_smoke: fleet peak RSS ${fleet_rss} exceeds "
+      "1/3 of monolithic peak ${mono_rss} -- out-of-core bound lost")
+  endif()
+  message(STATUS "fleet_smoke: fleet peak RSS ${fleet_rss} vs monolithic "
+    "${mono_rss}")
+endif()
+
+message(STATUS "fleet_smoke: OK")

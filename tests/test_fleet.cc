@@ -1,0 +1,371 @@
+// Test wall for the sharded WSNAP fleet layout and its out-of-core
+// analysis driver (store/fleet.h, store/fleet_analyze.h).
+//
+// Own binary (wmesh_fleet_tests) so the fleet suite can be invoked as its
+// own ctest case and kept apart from the monolithic store wall.
+//
+// Pillars:
+//   * byte-identity -- FleetAnalyzer over any shard partition at any
+//     thread count reproduces run_report() over the monolithic dataset
+//     exactly, every report section included;
+//   * losslessness -- split -> merge round-trips the monolithic WSNAP
+//     byte-for-byte, and sharded generation emits the same shard bytes as
+//     splitting the monolithic snapshot;
+//   * fail-closed corruption handling -- a missing shard, a flipped shard
+//     byte, an overlapping id range or malformed manifest JSON each yield
+//     a one-line diagnostic and no partial fleet output;
+//   * bounded working set -- the analyzer drops each shard's Dataset and
+//     evicts its analysis-cache entries before opening the next shard.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "obs/metrics.h"
+#include "par/thread_pool.h"
+#include "sim/generator.h"
+#include "store/fleet.h"
+#include "store/fleet_analyze.h"
+#include "trace/io.h"
+
+namespace wmesh {
+namespace {
+
+// ctest runs tests concurrently across processes; temp files must be
+// process-unique or one process truncates a shard another has mmap'd.
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/wmesh_fleet_" + std::to_string(::getpid()) +
+         "_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing file: " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.is_open()) << "cannot write " << path;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// The shared small dataset all fleet tests run on.
+const Dataset& test_dataset() {
+  static const Dataset ds = generate_dataset(small_config());
+  return ds;
+}
+
+// A fresh fleet of the test dataset at `shards` shards under a unique
+// prefix; returns the manifest path.
+std::string make_fleet(const std::string& tag, std::size_t shards) {
+  const std::string prefix = temp_path(tag);
+  std::string err;
+  EXPECT_TRUE(store::write_fleet(test_dataset(), prefix, shards, &err))
+      << err;
+  return store::manifest_path(prefix);
+}
+
+std::string analyze_fleet(const std::string& manifest,
+                          const std::string& what,
+                          store::FleetAnalyzer::Totals* totals = nullptr) {
+  store::FleetReader reader;
+  EXPECT_TRUE(reader.open(manifest)) << reader.error();
+  store::FleetAnalyzer analyzer(reader);
+  std::string out;
+  EXPECT_TRUE(analyzer.run(what, &out)) << analyzer.error();
+  if (totals != nullptr) *totals = analyzer.totals();
+  return out;
+}
+
+// -- byte-identity ---------------------------------------------------------
+
+// The full grid the acceptance criterion names: etx (which renders every
+// report section) at 1/2/8 threads x 1/3/7 shards (7 is deliberately
+// uneven) must match the monolithic report byte-for-byte.
+TEST(FleetIdentity, EtxMatchesMonolithicAcrossThreadsAndShardCounts) {
+  par::set_default_threads(1);
+  const std::string expected = run_report(test_dataset(), "etx");
+  for (const std::size_t shards : {1u, 3u, 7u}) {
+    const std::string manifest =
+        make_fleet("id_s" + std::to_string(shards), shards);
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      par::set_default_threads(threads);
+      EXPECT_EQ(expected, analyze_fleet(manifest, "etx"))
+          << "shards=" << shards << " threads=" << threads;
+    }
+  }
+  par::set_default_threads(1);
+}
+
+// Each section alias individually (etx above folds them into one document;
+// this proves the per-section render paths too).
+TEST(FleetIdentity, EverySectionMatchesMonolithic) {
+  par::set_default_threads(2);
+  const std::string manifest = make_fleet("id_sections", 3);
+  for (const char* what : {"snr", "lookup", "routing", "anypath", "hidden",
+                           "mobility", "traffic", "all"}) {
+    EXPECT_EQ(run_report(test_dataset(), what), analyze_fleet(manifest, what))
+        << "section " << what;
+  }
+  par::set_default_threads(1);
+}
+
+TEST(FleetIdentity, UnknownAnalysisFailsClosed) {
+  const std::string manifest = make_fleet("id_unknown", 2);
+  store::FleetReader reader;
+  ASSERT_TRUE(reader.open(manifest)) << reader.error();
+  store::FleetAnalyzer analyzer(reader);
+  std::string out = "prefix-";
+  EXPECT_FALSE(analyzer.run("bogus", &out));
+  EXPECT_NE(analyzer.error().find("unknown analysis"), std::string::npos);
+  EXPECT_EQ(out, "prefix-");  // untouched on failure
+}
+
+// -- losslessness ----------------------------------------------------------
+
+TEST(FleetRoundTrip, SplitThenMergeReproducesMonolithicBytes) {
+  const std::string mono = temp_path("rt_mono.wsnap");
+  ASSERT_TRUE(store::save_wsnap(test_dataset(), mono));
+  const std::string prefix = temp_path("rt_fleet");
+  std::string err;
+  ASSERT_TRUE(store::split_wsnap_fleet(mono, prefix, 3, &err)) << err;
+  const std::string merged = temp_path("rt_merged.wsnap");
+  ASSERT_TRUE(store::merge_fleet_wsnap(store::manifest_path(prefix), merged,
+                                       &err))
+      << err;
+  EXPECT_EQ(slurp(mono), slurp(merged));
+}
+
+// write_fleet (the in-memory split) and split_wsnap_fleet (the streaming
+// split) must emit identical shard files for the same networks.
+TEST(FleetRoundTrip, StreamingSplitMatchesInMemorySplit) {
+  const std::string mono = temp_path("ss_mono.wsnap");
+  ASSERT_TRUE(store::save_wsnap(test_dataset(), mono));
+  const std::string a = temp_path("ss_a");
+  const std::string b = temp_path("ss_b");
+  std::string err;
+  ASSERT_TRUE(store::split_wsnap_fleet(mono, a, 3, &err)) << err;
+  ASSERT_TRUE(store::write_fleet(test_dataset(), b, 3, &err)) << err;
+  store::FleetManifest ma, mb;
+  ASSERT_TRUE(store::load_fleet_manifest(store::manifest_path(a), &ma, &err))
+      << err;
+  ASSERT_TRUE(store::load_fleet_manifest(store::manifest_path(b), &mb, &err))
+      << err;
+  ASSERT_EQ(ma.shards.size(), mb.shards.size());
+  for (std::size_t s = 0; s < ma.shards.size(); ++s) {
+    EXPECT_EQ(slurp(ma.shards[s].resolved), slurp(mb.shards[s].resolved))
+        << "shard " << s;
+  }
+}
+
+// Sliced generation is partition-invariant: any split of [0, n) into
+// contiguous slices concatenates to exactly generate_dataset()'s snapshot.
+TEST(FleetRoundTrip, GeneratorSlicesConcatenateToMonolithic) {
+  const GeneratorConfig config = small_config();
+  const FleetGenerator gen(config);
+  const std::size_t n = gen.network_count();
+  ASSERT_GT(n, 2u);
+  Dataset sliced;
+  const std::size_t cut1 = 1, cut2 = n - 1;  // deliberately uneven
+  const std::vector<std::pair<std::size_t, std::size_t>> slices = {
+      {0, cut1}, {cut1, cut2}, {cut2, n}};
+  for (const auto& [b, e] : slices) {
+    Dataset part = gen.generate(b, e);
+    for (auto& nt : part.networks) sliced.networks.push_back(std::move(nt));
+  }
+  const std::string mono_path = temp_path("gs_mono.wsnap");
+  const std::string sliced_path = temp_path("gs_sliced.wsnap");
+  ASSERT_TRUE(store::save_wsnap(generate_dataset(config), mono_path));
+  ASSERT_TRUE(store::save_wsnap(sliced, sliced_path));
+  EXPECT_EQ(slurp(mono_path), slurp(sliced_path));
+}
+
+TEST(FleetRoundTrip, UnorderedInputFailsClosedAtWriteTime) {
+  Dataset ds;
+  ds.networks.resize(2);
+  ds.networks[0].info.id = 5;
+  ds.networks[1].info.id = 2;  // out of order: disjoint ranges impossible
+  std::string err;
+  EXPECT_FALSE(store::write_fleet(ds, temp_path("unordered"), 2, &err));
+  EXPECT_NE(err.find("not ordered by id"), std::string::npos) << err;
+}
+
+// -- fail-closed corruption handling ---------------------------------------
+
+TEST(FleetCorruption, MissingShardNamesItAndFailsClosed) {
+  const std::string manifest = make_fleet("c_missing", 3);
+  store::FleetManifest m;
+  std::string err;
+  ASSERT_TRUE(store::load_fleet_manifest(manifest, &m, &err)) << err;
+  std::filesystem::remove(m.shards[1].resolved);
+  store::FleetReader reader;
+  ASSERT_TRUE(reader.open(manifest)) << reader.error();  // manifest-only
+  store::FleetAnalyzer analyzer(reader);
+  std::string out;
+  EXPECT_FALSE(analyzer.run("snr", &out));
+  EXPECT_TRUE(out.empty());  // never a partial fleet report
+  EXPECT_NE(analyzer.error().find("wsnap:"), std::string::npos)
+      << analyzer.error();
+  EXPECT_NE(analyzer.error().find(m.shards[1].path), std::string::npos)
+      << analyzer.error();
+}
+
+TEST(FleetCorruption, FlippedShardByteFailsTheWholeAnalysis) {
+  const std::string manifest = make_fleet("c_flip", 3);
+  store::FleetManifest m;
+  std::string err;
+  ASSERT_TRUE(store::load_fleet_manifest(manifest, &m, &err)) << err;
+  std::string bytes = slurp(m.shards[0].resolved);
+  ASSERT_GT(bytes.size(), 4000u);
+  bytes[4000] ^= 0x40;  // payload corruption -> block CRC mismatch
+  spit(m.shards[0].resolved, bytes);
+  store::FleetReader reader;
+  ASSERT_TRUE(reader.open(manifest)) << reader.error();
+  store::FleetAnalyzer analyzer(reader);
+  std::string out;
+  EXPECT_FALSE(analyzer.run("routing", &out));
+  EXPECT_TRUE(out.empty());
+  EXPECT_NE(analyzer.error().find("wsnap:"), std::string::npos)
+      << analyzer.error();
+}
+
+TEST(FleetCorruption, OverlappingIdRangeRejectedAtOpen) {
+  const std::string manifest = make_fleet("c_overlap", 3);
+  std::string text = slurp(manifest);
+  // Pull shard 1's first_id back into shard 0's range.
+  const std::string needle = "\"first_id\": ";
+  std::size_t pos = text.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  pos = text.find(needle, pos + 1);  // second shard's entry
+  ASSERT_NE(pos, std::string::npos);
+  pos += needle.size();
+  const std::size_t end = text.find_first_of(",}", pos);
+  ASSERT_NE(end, std::string::npos);
+  text.replace(pos, end - pos, "0");
+  spit(manifest, text);
+  store::FleetReader reader;
+  EXPECT_FALSE(reader.open(manifest));
+  EXPECT_NE(reader.error().find("duplicate network range"), std::string::npos)
+      << reader.error();
+  EXPECT_NE(reader.error().find("fleet:"), std::string::npos)
+      << reader.error();
+}
+
+TEST(FleetCorruption, MalformedManifestJsonRejectedAtOpen) {
+  const std::string manifest = temp_path("c_json.wmanifest");
+  spit(manifest, "{\"schema\": \"wmesh.fleet/1\", \"shards\": [oops");
+  store::FleetReader reader;
+  EXPECT_FALSE(reader.open(manifest));
+  EXPECT_NE(reader.error().find("fleet:"), std::string::npos)
+      << reader.error();
+}
+
+TEST(FleetCorruption, WrongSchemaMarkerRejectedAtOpen) {
+  const std::string manifest = temp_path("c_schema.wmanifest");
+  spit(manifest, "{\"schema\": \"wmesh.fleet/999\", \"shards\": []}");
+  store::FleetReader reader;
+  EXPECT_FALSE(reader.open(manifest));
+  EXPECT_NE(reader.error().find("fleet:"), std::string::npos)
+      << reader.error();
+}
+
+TEST(FleetCorruption, RowCountSkewAgainstManifestFailsClosed) {
+  // Swap two shard files on disk: each still passes its own CRCs but
+  // disagrees with its manifest entry, which the cross-check must catch.
+  const std::string manifest = make_fleet("c_swap", 3);
+  store::FleetManifest m;
+  std::string err;
+  ASSERT_TRUE(store::load_fleet_manifest(manifest, &m, &err)) << err;
+  const std::string a = slurp(m.shards[0].resolved);
+  const std::string b = slurp(m.shards[1].resolved);
+  ASSERT_NE(a, b);
+  spit(m.shards[0].resolved, b);
+  spit(m.shards[1].resolved, a);
+  store::FleetReader reader;
+  ASSERT_TRUE(reader.open(manifest)) << reader.error();
+  Dataset out;
+  EXPECT_FALSE(reader.load_shard(0, &out));
+  EXPECT_TRUE(out.networks.empty());
+  EXPECT_NE(reader.error().find("disagree with manifest"), std::string::npos)
+      << reader.error();
+}
+
+// -- bounded working set ---------------------------------------------------
+
+// The shard-drop path: the analyzer must evict each shard's analysis-cache
+// entries (AnalysisCache::invalidate's Evicted return) before dropping the
+// shard's Dataset, and report the totals.
+TEST(FleetWorkingSet, ShardDropEvictsCacheEntriesAndReportsTotals) {
+  const std::string manifest = make_fleet("ws_evict", 3);
+  store::FleetAnalyzer::Totals totals;
+  const std::string out = analyze_fleet(manifest, "routing", &totals);
+  EXPECT_FALSE(out.empty());
+  EXPECT_EQ(totals.shards_opened, 3u);
+  EXPECT_EQ(totals.shards_skipped, 0u);
+  // The routing analysis computes per-trace cached artifacts (success
+  // matrices, ETX graphs); every one of them must have been evicted on the
+  // shard boundary.
+  EXPECT_GT(totals.cache_entries_evicted, 0u);
+  EXPECT_GT(totals.cache_bytes_evicted, 0u);
+#ifndef WMESH_OBS_DISABLED
+  EXPECT_GT(totals.peak_rss_bytes, 0u);
+#endif
+}
+
+// A lookup run makes two streaming passes (global tables, then per-shard
+// evaluation) -- every shard carries probes here, so both passes open all
+// shards and the output still matches the monolithic report (checked in
+// FleetIdentity); this pins the opened-count accounting.
+TEST(FleetWorkingSet, LookupRunsTwoPassesOverEveryShard) {
+  const std::string manifest = make_fleet("ws_lookup", 3);
+  store::FleetAnalyzer::Totals totals;
+  analyze_fleet(manifest, "lookup", &totals);
+  EXPECT_EQ(totals.shards_opened, 6u);  // 3 shards x 2 passes
+  EXPECT_EQ(totals.shards_skipped, 0u);
+}
+
+// Manifest-proven skips: client-sample-driven sections skip shards with
+// zero client samples without opening them.
+TEST(FleetWorkingSet, ClientFreeShardsSkippedForMobilityAndTraffic) {
+  GeneratorConfig config = small_config();
+  config.generate_clients = false;
+  const Dataset ds = generate_dataset(config);
+  const std::string prefix = temp_path("ws_skip");
+  std::string err;
+  ASSERT_TRUE(store::write_fleet(ds, prefix, 3, &err)) << err;
+  store::FleetReader reader;
+  ASSERT_TRUE(reader.open(store::manifest_path(prefix))) << reader.error();
+  store::FleetAnalyzer analyzer(reader);
+  std::string out;
+  ASSERT_TRUE(analyzer.run("mobility", &out)) << analyzer.error();
+  EXPECT_EQ(analyzer.totals().shards_opened, 0u);
+  EXPECT_EQ(analyzer.totals().shards_skipped, 3u);
+  // The skipped-shard output still matches the monolithic report (all
+  // mobility partials are empty either way).
+  EXPECT_EQ(out, run_report(ds, "mobility"));
+}
+
+// The store.shards_opened counter moves with shard loads.
+TEST(FleetWorkingSet, ShardsOpenedCounterTracksLoads) {
+  const std::string manifest = make_fleet("ws_ctr", 3);
+  auto& ctr = obs::Registry::instance().counter("store.shards_opened");
+  const std::uint64_t before = ctr.value();
+  analyze_fleet(manifest, "snr");
+#ifndef WMESH_OBS_DISABLED
+  EXPECT_EQ(ctr.value() - before, 3u);
+#else
+  (void)before;
+#endif
+}
+
+}  // namespace
+}  // namespace wmesh

@@ -322,10 +322,13 @@ TEST(AnalysisCacheWall, AnypathEntryAccountingAndInvalidation) {
   // Invalidating a different network drops nothing; invalidating this one
   // drops the matrices and both graphs with a full byte refund.
   if (ds.networks.size() > 1) {
-    EXPECT_EQ(cache.invalidate(&ds.networks[1]), 0u);
+    EXPECT_EQ(cache.invalidate(&ds.networks[1]).entries, 0u);
     EXPECT_EQ(cache.stats().bytes, bytes);
   }
-  EXPECT_EQ(cache.invalidate(&nt), 3u);
+  const AnalysisCache::Evicted ev = cache.invalidate(&nt);
+  EXPECT_EQ(ev.entries, 3u);
+  EXPECT_EQ(ev.computed, 3u);
+  EXPECT_EQ(ev.bytes, bytes);
   EXPECT_EQ(cache.stats().entries, 0u);
   EXPECT_EQ(cache.stats().bytes, 0u);
   // After invalidation the same lookup misses and recomputes.

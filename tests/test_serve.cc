@@ -299,7 +299,10 @@ TEST(ServeCache, InvalidateDropsOnlyTheTargetNetwork) {
   EXPECT_EQ(before.misses, 3u);
   EXPECT_EQ(before.hits, 1u);  // etx_graph(a) reads success(a, 0) internally
 
-  EXPECT_EQ(cache.invalidate(&a), 2u);
+  const AnalysisCache::Evicted ev = cache.invalidate(&a);
+  EXPECT_EQ(ev.entries, 2u);
+  EXPECT_EQ(ev.computed, 2u);
+  EXPECT_EQ(ev.bytes, before.bytes - cache.stats().bytes);
   const AnalysisCache::Stats after = cache.stats();
   EXPECT_EQ(after.entries, 1u);
   EXPECT_LT(after.bytes, before.bytes);
@@ -312,7 +315,7 @@ TEST(ServeCache, InvalidateDropsOnlyTheTargetNetwork) {
 
   // Invalidating an unknown key is a no-op.
   NetworkTrace unrelated;
-  EXPECT_EQ(cache.invalidate(&unrelated), 0u);
+  EXPECT_EQ(cache.invalidate(&unrelated).entries, 0u);
   EXPECT_EQ(cache.stats().entries, 2u);
 }
 

@@ -41,6 +41,8 @@
 #include "obs/report.h"
 #include "obs/span.h"
 #include "par/thread_pool.h"
+#include "store/fleet.h"
+#include "store/fleet_analyze.h"
 #include "trace/io.h"
 #include "util/env.h"
 
@@ -51,8 +53,8 @@ namespace {
 const char* const kUsage =
     "usage: wmesh_analyze <prefix> "
     "<snr|lookup|routing|anypath|hidden|mobility|traffic|etx|all> "
-    "[--anypath] [--format=csv|wsnap|auto] [--threads=N] [--metrics[=path]] "
-    "[--report[=path.json]] [--version]\n"
+    "[--anypath] [--fleet] [--format=csv|wsnap|auto] [--threads=N] "
+    "[--metrics[=path]] [--report[=path.json]] [--version]\n"
     "       wmesh_analyze --help\n";
 
 void print_help() {
@@ -71,6 +73,12 @@ void print_help() {
       "            every analysis above in one pass\n"
       "\n"
       "flags:\n"
+      "  --fleet          analyze a sharded fleet out-of-core: <prefix>\n"
+      "                   names a .wmanifest (extension optional); shards\n"
+      "                   stream one at a time, so peak RSS is bounded by\n"
+      "                   the largest shard while output stays byte-\n"
+      "                   identical to the monolithic snapshot; implied\n"
+      "                   when <prefix> ends in .wmanifest\n"
       "  --format=F       snapshot format: csv, wsnap, or auto (default;\n"
       "                   picks by extension, then by which files exist)\n"
       "  --threads=N      analysis thread count (flag > WMESH_THREADS >\n"
@@ -107,6 +115,7 @@ int main(int argc, char** argv) {
   std::string report_path;
   std::string listen_address;
   SnapshotFormat format = SnapshotFormat::kAuto;
+  bool fleet_mode = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -121,6 +130,8 @@ int main(int argc, char** argv) {
       // Flag alias for the anypath analysis, so scripted pipelines can
       // toggle it without reordering positionals.
       what = "anypath";
+    } else if (arg == "--fleet") {
+      fleet_mode = true;
     } else if (arg == "--metrics") {
       want_metrics = true;
     } else if (arg.rfind("--metrics=", 0) == 0) {
@@ -175,17 +186,39 @@ int main(int argc, char** argv) {
   std::optional<obs::RunReport> report;
   if (want_report) report.emplace("wmesh_analyze", argc, argv);
 
-  Dataset ds;
-  if (!load_dataset(prefix, &ds, format)) {
-    WMESH_LOG_ERROR("cli", kv("tool", "wmesh_analyze"),
-                    kv("error", "cannot load snapshot"), kv("prefix", prefix));
-    std::fprintf(stderr, "error: cannot load snapshot %s\n", prefix.c_str());
-    return 1;
+  if (fleet_mode || store::has_manifest_extension(prefix)) {
+    // Out-of-core path: stream the sharded fleet, one shard's Dataset
+    // resident at a time.  Output is byte-identical to loading the merged
+    // snapshot and running the analysis monolithically.
+    store::FleetReader reader;
+    if (!reader.open(store::manifest_path(prefix))) {
+      std::fprintf(stderr, "error: %s\n", reader.error().c_str());
+      return 1;
+    }
+    WMESH_LOG_INFO("cli", kv("tool", "wmesh_analyze"), kv("analysis", what),
+                   kv("fleet_shards", reader.shard_count()),
+                   kv("threads", par::default_thread_count()));
+    store::FleetAnalyzer analyzer(reader);
+    std::string out;
+    if (!analyzer.run(what, &out)) {
+      std::fprintf(stderr, "error: %s\n", analyzer.error().c_str());
+      return 1;
+    }
+    std::fputs(out.c_str(), stdout);
+  } else {
+    Dataset ds;
+    if (!load_dataset(prefix, &ds, format)) {
+      WMESH_LOG_ERROR("cli", kv("tool", "wmesh_analyze"),
+                      kv("error", "cannot load snapshot"),
+                      kv("prefix", prefix));
+      std::fprintf(stderr, "error: cannot load snapshot %s\n",
+                   prefix.c_str());
+      return 1;
+    }
+    WMESH_LOG_INFO("cli", kv("tool", "wmesh_analyze"), kv("analysis", what),
+                   kv("threads", par::default_thread_count()));
+    std::fputs(run_report(ds, what).c_str(), stdout);
   }
-
-  WMESH_LOG_INFO("cli", kv("tool", "wmesh_analyze"), kv("analysis", what),
-                 kv("threads", par::default_thread_count()));
-  std::fputs(run_report(ds, what).c_str(), stdout);
 
   int rc = 0;
   if (report) {

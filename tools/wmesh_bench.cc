@@ -43,6 +43,8 @@
 #include "par/thread_pool.h"
 #include "serve/service.h"
 #include "sim/generator.h"
+#include "store/fleet.h"
+#include "store/fleet_analyze.h"
 #include "trace/io.h"
 #include "util/env.h"
 #include "util/rng.h"
@@ -66,7 +68,7 @@ void print_help() {
       "%s\n"
       "stages: gen, csv_save, csv_load, wsnap_save, wsnap_load, etx, exor,\n"
       "        anypath, lookup, hidden, mobility, dijkstra_sparse,\n"
-      "        dijkstra_dense, serve_ingest, tsdb_retention\n"
+      "        dijkstra_dense, fleet, serve_ingest, tsdb_retention\n"
       "\n"
       "flags:\n"
       "  --suite=S        quick (small dataset, default) or full (paper-\n"
@@ -167,7 +169,8 @@ std::vector<obs::BenchStage> make_stages(const GeneratorConfig& config,
                                          Dataset& ds, AnalysisCache& cache,
                                          const KernelFixture& kernel,
                                          const ScratchDir& scratch,
-                                         serve::MeshService& service) {
+                                         serve::MeshService& service,
+                                         const std::string& fleet_manifest) {
   std::vector<obs::BenchStage> stages;
   stages.push_back({"gen", [&config] {
     Dataset tmp = generate_dataset(config);
@@ -231,6 +234,21 @@ std::vector<obs::BenchStage> make_stages(const GeneratorConfig& config,
                                                    &parent);
     }
     if (dist.size() != n) throw std::runtime_error("dijkstra_dense: bad n");
+  }});
+  // Out-of-core fleet analysis: stream the pre-split 3-shard fleet through
+  // FleetReader/FleetAnalyzer (routing section).  This times the full
+  // shard cycle -- manifest-validated open, per-shard mmap load + CRC,
+  // analysis partials, cache eviction, Dataset drop -- i.e. the marginal
+  // cost of sharding over the monolithic `exor` stage above.
+  stages.push_back({"fleet", [&fleet_manifest] {
+    store::FleetReader reader;
+    if (!reader.open(fleet_manifest))
+      throw std::runtime_error("fleet: " + reader.error());
+    store::FleetAnalyzer analyzer(reader);
+    std::string out;
+    if (!analyzer.run("routing", &out))
+      throw std::runtime_error("fleet: " + analyzer.error());
+    if (out.empty()) throw std::runtime_error("fleet: empty report");
   }});
   // Streaming ingest: advance the live service kServeIngestRounds probe
   // rounds per run.  The service is constructed once with a ~30-day stream
@@ -403,7 +421,7 @@ int main(int argc, char** argv) {
     serve::MeshService tiny_service(tiny);
     for (const auto& st :
          make_stages(config, dummy, dummy_cache, kernel, scratch,
-                     tiny_service)) {
+                     tiny_service, scratch.prefix("bench_fleet.wmanifest"))) {
       std::printf("%s\n", st.name.c_str());
     }
     return 0;
@@ -430,8 +448,21 @@ int main(int argc, char** argv) {
   AnalysisCache cache;
   const KernelFixture kernel(kernel_n, kernel_density, kernel_seed);
   serve::MeshService service(serve_cfg);
+  // The fleet stage's fixture: split the suite dataset into a 3-shard
+  // fleet once, outside the timed loop.
+  const std::string fleet_manifest =
+      store::manifest_path(scratch.prefix("bench_fleet"));
+  {
+    std::string err;
+    if (!store::write_fleet(ds, scratch.prefix("bench_fleet"), 3, &err)) {
+      std::fprintf(stderr, "error: cannot build fleet fixture: %s\n",
+                   err.c_str());
+      return 1;
+    }
+  }
   const auto stages =
-      make_stages(config, ds, cache, kernel, scratch, service);
+      make_stages(config, ds, cache, kernel, scratch, service,
+                  fleet_manifest);
 
   obs::BenchResult result;
   try {

@@ -21,6 +21,7 @@
 #include "obs/report.h"
 #include "obs/span.h"
 #include "par/thread_pool.h"
+#include "store/fleet.h"
 #include "trace/io.h"
 #include "util/env.h"
 
@@ -30,7 +31,7 @@ namespace {
 
 const char* const kUsage =
     "usage: wmesh_convert <input-prefix> <output-prefix> "
-    "[--in=csv|wsnap|auto] [--out=csv|wsnap|auto] [--threads=N] "
+    "[--in=csv|wsnap|auto] [--out=csv|wsnap|auto] [--shards=K] [--threads=N] "
     "[--metrics[=path]] [--report[=path.json]] [--version]\n"
     "       wmesh_convert --help\n";
 
@@ -47,6 +48,12 @@ void print_help() {
       "                   which files exist)\n"
       "  --out=F          output format (default auto: wsnap when the\n"
       "                   output prefix ends in .wsnap, else csv)\n"
+      "  --shards=K       split the input into a K-shard fleet instead:\n"
+      "                   writes <output-prefix>.wmanifest plus K WSNAP\n"
+      "                   shard files (WSNAP input streams one network at a\n"
+      "                   time); merging the fleet back (manifest input,\n"
+      "                   .wsnap output) reproduces the monolithic WSNAP\n"
+      "                   byte-for-byte\n"
       "  --threads=N      thread count for WSNAP encode/decode (flag >\n"
       "                   WMESH_THREADS > hardware); output is\n"
       "                   byte-identical for every N\n"
@@ -83,6 +90,7 @@ int main(int argc, char** argv) {
   std::string in_prefix, out_prefix;
   SnapshotFormat in_format = SnapshotFormat::kAuto;
   SnapshotFormat out_format = SnapshotFormat::kAuto;
+  std::size_t shards = 0;  // 0 = no fleet split
   bool want_metrics = false;
   std::string metrics_path;
   bool want_report = false;
@@ -115,6 +123,13 @@ int main(int argc, char** argv) {
         return usage_error("--out: want csv, wsnap or auto, got '" +
                            arg.substr(6) + "'");
       }
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      const std::string v = arg.substr(std::strlen("--shards="));
+      const auto n = env::parse_u64(v);
+      if (!n || *n == 0) {
+        return usage_error("--shards: not a positive integer: '" + v + "'");
+      }
+      shards = static_cast<std::size_t>(*n);
     } else if (arg.rfind("--threads=", 0) == 0) {
       const std::string v = arg.substr(std::strlen("--threads="));
       const auto n = env::parse_u64(v);
@@ -156,29 +171,85 @@ int main(int argc, char** argv) {
   std::optional<obs::RunReport> report;
   if (want_report) report.emplace("wmesh_convert", argc, argv);
 
-  const SnapshotFormat in_resolved =
-      resolve_snapshot_format(in_prefix, in_format, /*for_load=*/true);
-  const SnapshotFormat out_resolved =
-      resolve_snapshot_format(out_prefix, out_format, /*for_load=*/false);
-
   WMESH_SPAN("convert");
-  Dataset ds;
-  if (!load_dataset(in_prefix, &ds, in_resolved)) {
-    std::fprintf(stderr, "error: cannot load snapshot %s (format %s)\n",
-                 in_prefix.c_str(),
-                 std::string(to_string(in_resolved)).c_str());
-    return 1;
+  if (store::has_manifest_extension(in_prefix)) {
+    // Fleet input: streaming merge back into one monolithic WSNAP (the
+    // inverse of --shards; byte-identical to saving the same networks
+    // monolithically).  CSV output would need the whole fleet in memory,
+    // defeating the sharded layout -- merge to .wsnap first.
+    if (shards > 0) {
+      return usage_error("input is already a fleet; re-sharding is not "
+                         "supported (merge to .wsnap, then --shards)");
+    }
+    const SnapshotFormat out_resolved =
+        resolve_snapshot_format(out_prefix, out_format, /*for_load=*/false);
+    if (out_resolved != SnapshotFormat::kWsnap) {
+      std::fprintf(stderr,
+                   "error: fleet input merges to wsnap only; csv output is "
+                   "not supported (use --out=wsnap)\n");
+      return 1;
+    }
+    std::string err;
+    if (!store::merge_fleet_wsnap(in_prefix, wsnap_path(out_prefix), &err)) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("merged %s -> %s\n", in_prefix.c_str(),
+                wsnap_path(out_prefix).c_str());
+  } else if (shards > 0) {
+    // Fleet output: split into contiguous WSNAP shards plus a manifest.
+    // WSNAP input streams one network at a time; CSV has to be loaded.
+    const SnapshotFormat in_resolved =
+        resolve_snapshot_format(in_prefix, in_format, /*for_load=*/true);
+    std::string err;
+    if (in_resolved == SnapshotFormat::kWsnap) {
+      if (!store::split_wsnap_fleet(wsnap_path(in_prefix), out_prefix, shards,
+                                    &err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 1;
+      }
+    } else {
+      Dataset ds;
+      if (!load_dataset(in_prefix, &ds, in_resolved)) {
+        std::fprintf(stderr, "error: cannot load snapshot %s (format %s)\n",
+                     in_prefix.c_str(),
+                     std::string(to_string(in_resolved)).c_str());
+        return 1;
+      }
+      std::printf("loaded %s (%s): %zu traces, %zu probe sets\n",
+                  in_prefix.c_str(),
+                  std::string(to_string(in_resolved)).c_str(),
+                  ds.networks.size(), ds.total_probe_sets());
+      if (!store::write_fleet(ds, out_prefix, shards, &err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 1;
+      }
+    }
+    std::printf("wrote %s\n", store::manifest_path(out_prefix).c_str());
+  } else {
+    const SnapshotFormat in_resolved =
+        resolve_snapshot_format(in_prefix, in_format, /*for_load=*/true);
+    const SnapshotFormat out_resolved =
+        resolve_snapshot_format(out_prefix, out_format, /*for_load=*/false);
+    Dataset ds;
+    if (!load_dataset(in_prefix, &ds, in_resolved)) {
+      std::fprintf(stderr, "error: cannot load snapshot %s (format %s)\n",
+                   in_prefix.c_str(),
+                   std::string(to_string(in_resolved)).c_str());
+      return 1;
+    }
+    std::printf("loaded %s (%s): %zu traces, %zu probe sets\n",
+                in_prefix.c_str(),
+                std::string(to_string(in_resolved)).c_str(),
+                ds.networks.size(), ds.total_probe_sets());
+    if (!save_dataset(ds, out_prefix, out_resolved)) {
+      std::fprintf(stderr, "error: cannot write snapshot %s (format %s)\n",
+                   out_prefix.c_str(),
+                   std::string(to_string(out_resolved)).c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", files_of(out_prefix, out_resolved).c_str());
   }
-  std::printf("loaded %s (%s): %zu traces, %zu probe sets\n",
-              in_prefix.c_str(), std::string(to_string(in_resolved)).c_str(),
-              ds.networks.size(), ds.total_probe_sets());
-  if (!save_dataset(ds, out_prefix, out_resolved)) {
-    std::fprintf(stderr, "error: cannot write snapshot %s (format %s)\n",
-                 out_prefix.c_str(),
-                 std::string(to_string(out_resolved)).c_str());
-    return 1;
-  }
-  std::printf("wrote %s\n", files_of(out_prefix, out_resolved).c_str());
 
   int rc = 0;
   if (report) {

@@ -10,8 +10,10 @@
 //
 // Generation runs one network per wmesh::par task on pre-forked RNG
 // streams; the snapshot is byte-identical for any --threads value.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <optional>
 #include <string>
 
@@ -22,6 +24,7 @@
 #include "obs/span.h"
 #include "par/thread_pool.h"
 #include "sim/generator.h"
+#include "store/fleet.h"
 #include "trace/io.h"
 #include "util/env.h"
 
@@ -31,8 +34,9 @@ namespace {
 
 const char* const kUsage =
     "usage: wmesh_gen <prefix> [--seed N] [--hours H] [--networks N] "
-    "[--small] [--paper-scale] [--no-clients] [--format=csv|wsnap] "
-    "[--threads=N] [--metrics[=path]] [--report[=path.json]] [--version]\n"
+    "[--fleet=N] [--shards=K] [--small] [--paper-scale] [--no-clients] "
+    "[--format=csv|wsnap] [--threads=N] [--metrics[=path]] "
+    "[--report[=path.json]] [--version]\n"
     "       wmesh_gen --help\n";
 
 void print_help() {
@@ -45,6 +49,12 @@ void print_help() {
       "  --seed N         generation seed (unsigned integer)\n"
       "  --hours H        probe-trace length in hours\n"
       "  --networks N     fleet size (population classes scale with it)\n"
+      "  --fleet=N        alias for --networks N, for sharded runs\n"
+      "  --shards=K       write a sharded fleet instead of one snapshot:\n"
+      "                   K WSNAP shard files (contiguous network groups,\n"
+      "                   one generated slice resident at a time) plus a\n"
+      "                   <prefix>.wmanifest; byte-identical to --format=\n"
+      "                   wsnap output when merged (wmesh_convert --merge)\n"
       "  --small          tiny 6-network, 1-hour fleet (golden test data)\n"
       "  --paper-scale    paper-scale probe parameters\n"
       "  --no-clients     skip client mobility simulation\n"
@@ -86,6 +96,7 @@ int main(int argc, char** argv) {
   std::string report_path;
   std::string listen_address;
   SnapshotFormat format = SnapshotFormat::kAuto;
+  std::size_t shards = 0;  // 0 = monolithic output
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -114,12 +125,15 @@ int main(int argc, char** argv) {
                            std::string(v) + "'");
       }
       config.probes.duration_s = *hours * 3600.0;
-    } else if (arg == "--networks") {
-      const char* v = next("--networks");
+    } else if (arg == "--networks" || arg.rfind("--fleet=", 0) == 0) {
+      const std::string v = arg == "--networks"
+                                ? std::string(next("--networks"))
+                                : arg.substr(std::strlen("--fleet="));
+      const char* flag = arg == "--networks" ? "--networks" : "--fleet";
       const auto parsed = env::parse_u64(v);
       if (!parsed || *parsed == 0) {
-        return usage_error("--networks: not a positive integer: '" +
-                           std::string(v) + "'");
+        return usage_error(std::string(flag) +
+                           ": not a positive integer: '" + v + "'");
       }
       const auto n = static_cast<std::size_t>(*parsed);
       // Scale the population classes proportionally.
@@ -133,6 +147,13 @@ int main(int argc, char** argv) {
       config.fleet.indoor = static_cast<std::size_t>(72 * f);
       config.fleet.outdoor = static_cast<std::size_t>(17 * f);
       config.fleet.force_max_network = n >= 50;
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      const std::string v = arg.substr(std::strlen("--shards="));
+      const auto n = env::parse_u64(v);
+      if (!n || *n == 0) {
+        return usage_error("--shards: not a positive integer: '" + v + "'");
+      }
+      shards = static_cast<std::size_t>(*n);
     } else if (arg == "--small") {
       const std::uint64_t seed = config.seed;
       config = small_config();
@@ -179,6 +200,10 @@ int main(int argc, char** argv) {
   if (prefix.empty()) {
     return usage_error("missing <prefix>");
   }
+  if (shards > 0 && format == SnapshotFormat::kCsv) {
+    return usage_error("--shards writes WSNAP shard files; --format=csv is "
+                       "not supported");
+  }
 
   bool listen_failed = false;
   const auto export_server =
@@ -194,22 +219,64 @@ int main(int argc, char** argv) {
   std::printf("generating: seed %llu, %zu networks, %.1f h probes...\n",
               static_cast<unsigned long long>(config.seed),
               config.fleet.network_count, config.probes.duration_s / 3600.0);
-  const Dataset ds = generate_dataset(config);
-  std::printf("generated %zu traces, %zu APs, %zu probe sets\n",
-              ds.networks.size(), ds.total_aps(), ds.total_probe_sets());
-  const SnapshotFormat resolved =
-      resolve_snapshot_format(prefix, format, /*for_load=*/false);
-  if (!save_dataset(ds, prefix, resolved)) {
-    WMESH_LOG_ERROR("cli", kv("tool", "wmesh_gen"),
-                    kv("error", "cannot write snapshot"), kv("prefix", prefix));
-    std::fprintf(stderr, "error: cannot write snapshot %s\n", prefix.c_str());
-    return 1;
-  }
-  if (resolved == SnapshotFormat::kWsnap) {
-    std::printf("wrote %s\n", wsnap_path(prefix).c_str());
+  if (shards > 0) {
+    // Sharded fleet output: generate contiguous fleet slices one at a time
+    // (only one slice's traces are ever resident) and write each as a WSNAP
+    // shard.  The pre-forked per-network RNG streams make the result
+    // byte-identical to a monolithic run: merging the shards reproduces the
+    // --format=wsnap file bit-for-bit.
+    const FleetGenerator gen(config);
+    const std::size_t n = gen.network_count();
+    if (n == 0) {
+      std::fprintf(stderr, "error: empty fleet\n");
+      return 1;
+    }
+    const std::size_t want = std::min(shards, n);
+    const std::string mpath = store::manifest_path(prefix);
+    const auto dir = std::filesystem::path(mpath).parent_path();
+    store::FleetManifest manifest;
+    std::string err;
+    for (std::size_t s = 0; s < want; ++s) {
+      const std::size_t begin = s * n / want;
+      const std::size_t end = (s + 1) * n / want;
+      const Dataset slice = gen.generate(begin, end);
+      const std::string rel = store::shard_file_name(prefix, s);
+      if (!store::append_fleet_shard(slice, (dir / rel).string(), &manifest,
+                                     &err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 1;
+      }
+    }
+    if (!store::save_fleet_manifest(manifest, mpath, &err)) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("generated %llu traces, %llu probe sets\n",
+                static_cast<unsigned long long>(manifest.total_networks()),
+                static_cast<unsigned long long>(manifest.total_probe_sets()));
+    std::printf("wrote %s (%zu shards, %llu bytes)\n", mpath.c_str(),
+                manifest.shards.size(),
+                static_cast<unsigned long long>(manifest.total_bytes()));
   } else {
-    std::printf("wrote %s.probes.csv and %s.clients.csv\n", prefix.c_str(),
-                prefix.c_str());
+    const Dataset ds = generate_dataset(config);
+    std::printf("generated %zu traces, %zu APs, %zu probe sets\n",
+                ds.networks.size(), ds.total_aps(), ds.total_probe_sets());
+    const SnapshotFormat resolved =
+        resolve_snapshot_format(prefix, format, /*for_load=*/false);
+    if (!save_dataset(ds, prefix, resolved)) {
+      WMESH_LOG_ERROR("cli", kv("tool", "wmesh_gen"),
+                      kv("error", "cannot write snapshot"),
+                      kv("prefix", prefix));
+      std::fprintf(stderr, "error: cannot write snapshot %s\n",
+                   prefix.c_str());
+      return 1;
+    }
+    if (resolved == SnapshotFormat::kWsnap) {
+      std::printf("wrote %s\n", wsnap_path(prefix).c_str());
+    } else {
+      std::printf("wrote %s.probes.csv and %s.clients.csv\n", prefix.c_str(),
+                  prefix.c_str());
+    }
   }
   int rc = 0;
   if (report) {

@@ -19,6 +19,7 @@
 #include "cli_common.h"
 #include "obs/log.h"
 #include "obs/report.h"
+#include "store/fleet.h"
 #include "store/wsnap.h"
 #include "trace/io.h"
 #include "util/stats.h"
@@ -40,6 +41,11 @@ void print_help() {
       "counts, per-section rows), on-disk vs in-memory bytes, fleet\n"
       "composition, per-standard probe-set counts, the SNR occupancy\n"
       "histogram and client-sample volume for a saved snapshot\n"
+      "\n"
+      "a <prefix> ending in .wmanifest is a sharded fleet: every shard is\n"
+      "verified (full CRC pass) and a per-shard network/row/byte table is\n"
+      "printed; any missing or corrupt shard fails the whole inspection\n"
+      "with a one-line diagnostic naming the shard\n"
       "\n"
       "flags:\n"
       "  --format=F       snapshot format: csv, wsnap, or auto (default;\n"
@@ -141,6 +147,51 @@ int main(int argc, char** argv) {
 
   std::optional<obs::RunReport> report;
   if (want_report) report.emplace("wmesh_inspect", argc, argv);
+
+  if (store::has_manifest_extension(prefix)) {
+    // Fleet manifest: verify every shard first (full open, every block
+    // CRC-checked, manifest cross-check) and fail closed on the first
+    // defect -- the diagnostic names the bad shard; no partial fleet
+    // summary is ever printed.
+    store::FleetReader reader;
+    if (!reader.open(prefix)) {
+      std::fprintf(stderr, "error: %s\n", reader.error().c_str());
+      return 1;
+    }
+    for (std::size_t s = 0; s < reader.shard_count(); ++s) {
+      store::WsnapInfo info;
+      if (!reader.verify_shard(s, &info)) {
+        std::fprintf(stderr, "error: %s\n", reader.error().c_str());
+        return 1;
+      }
+    }
+    const store::FleetManifest& m = reader.manifest();
+    std::printf("fleet %s: %zu shards, %llu networks, %llu probe sets, "
+                "%llu client samples\n",
+                prefix.c_str(), m.shards.size(),
+                static_cast<unsigned long long>(m.total_networks()),
+                static_cast<unsigned long long>(m.total_probe_sets()),
+                static_cast<unsigned long long>(m.total_client_samples()));
+    std::printf("bytes: %s on disk across shards\n\n",
+                mib(m.total_bytes()).c_str());
+    TextTable t;
+    t.header({"shard", "ids", "networks", "probe sets", "probe entries",
+              "client samples", "bytes"});
+    for (const store::FleetShard& s : m.shards) {
+      t.add_row({s.path,
+                 std::to_string(s.first_id) + ".." + std::to_string(s.last_id),
+                 std::to_string(s.networks), std::to_string(s.probe_sets),
+                 std::to_string(s.probe_entries),
+                 std::to_string(s.client_samples), std::to_string(s.bytes)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+    int rc = 0;
+    if (report) {
+      report->finish();
+      rc = cli::emit_run_report(*report, "wmesh_inspect", report_path);
+    }
+    return rc;
+  }
 
   const SnapshotFormat resolved =
       resolve_snapshot_format(prefix, format, /*for_load=*/true);
